@@ -1,0 +1,388 @@
+// bench_test.go regenerates the paper's evaluation as testing.B
+// benchmarks — one benchmark per published table — plus the ablation
+// benchmarks called out in DESIGN.md. Per-phase results are attached
+// as custom benchmark metrics (µs units matching the paper's tables).
+//
+// Run:  go test -bench=. -benchmem
+package parafile_test
+
+import (
+	"fmt"
+	"testing"
+
+	"parafile/internal/baseline"
+	"parafile/internal/bench"
+	"parafile/internal/clusterfile"
+	"parafile/internal/core"
+	"parafile/internal/falls"
+	"parafile/internal/part"
+	"parafile/internal/redist"
+)
+
+// BenchmarkTable1 regenerates Table 1: the write-time breakdown at a
+// compute node for every (size, physical layout) configuration. The
+// paper's published values appear in bench.PaperTable1.
+func BenchmarkTable1(b *testing.B) {
+	for _, n := range bench.Sizes {
+		for _, phys := range bench.Layouts {
+			name := fmt.Sprintf("size=%d/phys=%s", n, phys)
+			b.Run(name, func(b *testing.B) {
+				var row bench.Table1Row
+				for i := 0; i < b.N; i++ {
+					r1, _, err := bench.RunConfig(phys, n)
+					if err != nil {
+						b.Fatal(err)
+					}
+					row = r1
+				}
+				b.ReportMetric(row.TIntersectUs, "t_i_µs")
+				b.ReportMetric(row.TMapUs, "t_m_µs")
+				b.ReportMetric(row.TGatherUs, "t_g_µs")
+				b.ReportMetric(row.TNetBcUs, "t_net_bc_µs")
+				b.ReportMetric(row.TNetDiskUs, "t_net_disk_µs")
+			})
+		}
+	}
+}
+
+// BenchmarkTable2 regenerates Table 2: the scatter time at an I/O node
+// for every configuration. Published values: bench.PaperTable2.
+func BenchmarkTable2(b *testing.B) {
+	for _, n := range bench.Sizes {
+		for _, phys := range bench.Layouts {
+			name := fmt.Sprintf("size=%d/phys=%s", n, phys)
+			b.Run(name, func(b *testing.B) {
+				var row bench.Table2Row
+				for i := 0; i < b.N; i++ {
+					_, r2, err := bench.RunConfig(phys, n)
+					if err != nil {
+						b.Fatal(err)
+					}
+					row = r2
+				}
+				b.ReportMetric(row.ScBcUs, "t_sc_bc_µs")
+				b.ReportMetric(row.ScDiskUs, "t_sc_disk_µs")
+				b.ReportMetric(row.ScRealUs, "t_sc_host_µs")
+			})
+		}
+	}
+}
+
+// matrixPair returns row-block and column-block files for an n×n
+// matrix — the worst-matching pair of the evaluation.
+func matrixPair(b *testing.B, n int64) (*part.File, *part.File) {
+	b.Helper()
+	rows, err := part.RowBlocks(n, n, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cols, err := part.ColBlocks(n, n, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return part.MustFile(0, rows), part.MustFile(0, cols)
+}
+
+// BenchmarkAblationSegmentsVsBytes compares the paper's segment-wise
+// redistribution plan against the per-byte mapping baseline §3 argues
+// against.
+func BenchmarkAblationSegmentsVsBytes(b *testing.B) {
+	const n = 256
+	src, dst := matrixPair(b, n)
+	img := make([]byte, n*n)
+	for i := range img {
+		img[i] = byte(i * 31)
+	}
+	srcBufs := redist.SplitFile(src, img)
+	dstBufs := redist.SplitFile(dst, img) // correct sizes; contents overwritten
+
+	b.Run("segment-plan", func(b *testing.B) {
+		plan, err := redist.NewPlan(src, dst)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(n * n)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := plan.Execute(srcBufs, dstBufs, n*n); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("per-byte", func(b *testing.B) {
+		b.SetBytes(n * n)
+		for i := 0; i < b.N; i++ {
+			if err := baseline.BytewiseRedistribute(src, dst, srcBufs, dstBufs, n*n); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationPeriodicVsSweep compares the periodic
+// INTERSECT-FALLS of [14] against a naive two-pointer segment sweep.
+func BenchmarkAblationPeriodicVsSweep(b *testing.B) {
+	f1 := falls.MustNew(0, 63, 2048, 4096)   // column-block-like family
+	f2 := falls.MustNew(0, 2047, 8192, 1024) // row-band-like family
+	b.Run("periodic", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if got := falls.IntersectFALLS(f1, f2); len(got) == 0 {
+				b.Fatal("empty intersection")
+			}
+		}
+	})
+	b.Run("sweep", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if got := falls.IntersectFALLSSweep(f1, f2); len(got) == 0 {
+				b.Fatal("empty intersection")
+			}
+		}
+	})
+}
+
+// BenchmarkAblationViewAmortization shows §8.2's amortization claim:
+// paying the intersection at every access versus once at view-set
+// time.
+func BenchmarkAblationViewAmortization(b *testing.B) {
+	const n = 512
+	b.Run("set-view-once", func(b *testing.B) {
+		w, err := bench.NewWorkload("c", n)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := w.WriteAll(clusterfile.ToBufferCache); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("set-view-every-access", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			w, err := bench.NewWorkload("c", n) // includes 4 SetView calls
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := w.WriteAll(clusterfile.ToBufferCache); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationNestedVsFlat compares the compact nested FALLS
+// representation against flattened leaf-segment lists for mapping
+// through a two-level pattern.
+func BenchmarkAblationNestedVsFlat(b *testing.B) {
+	// A square-block partition of a 1024×1024 matrix: nested (block of
+	// rows × block of columns) vs the same byte set as flat segments.
+	sq, err := part.SquareBlocks(1024, 1024, 2, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	nestedFile := part.MustFile(0, sq)
+
+	flatElems := make([]part.Element, sq.Len())
+	for e := 0; e < sq.Len(); e++ {
+		flatElems[e] = part.Element{
+			Name: sq.Element(e).Name,
+			Set:  falls.LeavesToSet(sq.Element(e).Set.Segments()),
+		}
+	}
+	flatPat, err := part.NewPattern(flatElems...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	flatFile := part.MustFile(0, flatPat)
+
+	offsets := make([]int64, 512)
+	for i := range offsets {
+		offsets[i] = int64(i) * 2047
+	}
+	run := func(b *testing.B, f *part.File) {
+		m := core.MustMapper(f, 3)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, x := range offsets {
+				if _, err := m.Map(x); err == nil {
+					continue
+				}
+			}
+		}
+	}
+	b.Run("nested", func(b *testing.B) { run(b, nestedFile) })
+	b.Run("flat-segments", func(b *testing.B) { run(b, flatFile) })
+}
+
+// BenchmarkAblationStructuralVsWalkProjection compares the one-pass
+// structural intersection+projection (work proportional to the
+// representation) against intersecting and then walking leaf segments
+// (work proportional to the matrix), across matrix sizes — the design
+// choice that keeps Table 1's t_i flat.
+func BenchmarkAblationStructuralVsWalkProjection(b *testing.B) {
+	for _, n := range []int64{256, 1024, 4096} {
+		rowsF, colsF := matrixPair(b, n)
+		b.Run(fmt.Sprintf("structural/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, _, err := redist.IntersectProjectElements(rowsF, 0, colsF, 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("walk/n=%d", n), func(b *testing.B) {
+			m1 := core.MustMapper(rowsF, 0)
+			m2 := core.MustMapper(colsF, 0)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				inter, err := redist.IntersectElements(rowsF, 0, colsF, 0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := redist.Project(inter, m1); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := redist.Project(inter, m2); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationDimwiseVsGeneral compares PARADIGM's same-shape
+// dimension-wise redistribution against the general nested-FALLS plan
+// on a case both handle (row blocks to column blocks).
+func BenchmarkAblationDimwiseVsGeneral(b *testing.B) {
+	const n = 256
+	srcSpec := part.ArraySpec{Dims: []int64{n, n}, ElemSize: 1,
+		Dists: []part.DimDist{{Kind: part.Block, Procs: 4}, {Kind: part.All}}}
+	dstSpec := part.ArraySpec{Dims: []int64{n, n}, ElemSize: 1,
+		Dists: []part.DimDist{{Kind: part.All}, {Kind: part.Block, Procs: 4}}}
+	srcPat, _ := part.NDArray(srcSpec)
+	dstPat, _ := part.NDArray(dstSpec)
+	srcFile := part.MustFile(0, srcPat)
+	dstFile := part.MustFile(0, dstPat)
+	img := make([]byte, n*n)
+	srcBufs := redist.SplitFile(srcFile, img)
+	dstBufs := redist.SplitFile(dstFile, img)
+	b.Run("general-plan", func(b *testing.B) {
+		plan, err := redist.NewPlan(srcFile, dstFile)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(n * n)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := plan.Execute(srcBufs, dstBufs, n*n); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("dimension-wise", func(b *testing.B) {
+		b.SetBytes(n * n)
+		for i := 0; i < b.N; i++ {
+			if err := baseline.DimwiseRedistribute(srcSpec, dstSpec, srcBufs, dstBufs); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkMappingFunctions measures the raw MAP / MAP⁻¹ cost on the
+// paper's layouts.
+func BenchmarkMappingFunctions(b *testing.B) {
+	for _, phys := range bench.Layouts {
+		pat, err := bench.LayoutPattern(phys, 1024)
+		if err != nil {
+			b.Fatal(err)
+		}
+		f := part.MustFile(0, pat)
+		m := core.MustMapper(f, 0)
+		b.Run("map/"+phys, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := m.MapNext(int64(i) % (1024 * 1024)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run("mapinv/"+phys, func(b *testing.B) {
+			size := m.ElementSize()
+			for i := 0; i < b.N; i++ {
+				if _, err := m.MapInv(int64(i) % size); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkGatherScatter measures the §8 copy procedures on a
+// fragmented projection (row view over column subfile).
+func BenchmarkGatherScatter(b *testing.B) {
+	const n = 1024
+	rowsF, colsF := matrixPair(b, n)
+	inter, err := redist.IntersectElements(rowsF, 0, colsF, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	proj, err := redist.Project(inter, core.MustMapper(rowsF, 0))
+	if err != nil {
+		b.Fatal(err)
+	}
+	span := proj.Period
+	src := make([]byte, span)
+	packed := make([]byte, proj.BytesIn(0, span-1))
+	b.Run("gather", func(b *testing.B) {
+		b.SetBytes(int64(len(packed)))
+		for i := 0; i < b.N; i++ {
+			if _, err := redist.Gather(packed, src, proj, 0, span-1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("scatter", func(b *testing.B) {
+		b.SetBytes(int64(len(packed)))
+		for i := 0; i < b.N; i++ {
+			if _, err := redist.Scatter(src, packed, proj, 0, span-1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkViewSet measures the view-set cost (t_i) alone for each
+// layout at 1024².
+func BenchmarkViewSet(b *testing.B) {
+	for _, phys := range bench.Layouts {
+		b.Run(phys, func(b *testing.B) {
+			pp, err := bench.LayoutPattern(phys, 1024)
+			if err != nil {
+				b.Fatal(err)
+			}
+			lp, err := bench.LayoutPattern("r", 1024)
+			if err != nil {
+				b.Fatal(err)
+			}
+			pf := part.MustFile(0, pp)
+			lf := part.MustFile(0, lp)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for s := 0; s < 4; s++ {
+					inter, err := redist.IntersectElements(lf, 0, pf, s)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if inter.Empty() {
+						continue
+					}
+					if _, err := redist.Project(inter, core.MustMapper(lf, 0)); err != nil {
+						b.Fatal(err)
+					}
+					if _, err := redist.Project(inter, core.MustMapper(pf, s)); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,120 @@
+// Command clusterfsdemo runs a small Clusterfile deployment
+// end-to-end and prints the write-path trace of the paper's Figure 5:
+// four compute nodes with row-block views writing a matrix into a
+// column-block physical partition, with the per-phase breakdown.
+//
+// Usage:
+//
+//	clusterfsdemo [-n 256] [-phys c|b|r] [-mode bc|disk]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"parafile/internal/bench"
+	"parafile/internal/clusterfile"
+	"parafile/internal/redist"
+	"parafile/internal/sim"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("clusterfsdemo: ")
+	n := flag.Int64("n", 256, "matrix side in bytes (multiple of 4)")
+	phys := flag.String("phys", "c", "physical layout: c (columns), b (square blocks), r (rows)")
+	mode := flag.String("mode", "bc", "write mode: bc (buffer cache) or disk")
+	dir := flag.String("dir", "", "store subfiles as real files in this directory (default: in-memory)")
+	trace := flag.Bool("trace", false, "print the virtual-time event trace of the write")
+	flag.Parse()
+
+	if *n < 4 || *n%4 != 0 {
+		log.Fatalf("matrix side %d must be a positive multiple of 4", *n)
+	}
+	wmode := clusterfile.ToBufferCache
+	if *mode == "disk" {
+		wmode = clusterfile.ToDisk
+	} else if *mode != "bc" {
+		log.Fatalf("unknown mode %q", *mode)
+	}
+
+	cfg := clusterfile.DefaultConfig()
+	if *dir != "" {
+		cfg.Storage = clusterfile.DirStorageFactory(*dir)
+	}
+	w, err := bench.NewWorkloadWithConfig(*phys, *n, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Clusterfile demo: %d×%d byte matrix, physical layout %q, logical row blocks\n",
+		*n, *n, *phys)
+	where := "in-memory subfiles"
+	if *dir != "" {
+		where = "subfiles under " + *dir
+	}
+	fmt.Printf("cluster: 4 compute nodes + 4 I/O nodes (Myrinet/IDE 2002 cost models), %s\n\n", where)
+
+	fmt.Println("View set (intersections + projections, computed once):")
+	for i, v := range w.Views {
+		fmt.Printf("  compute node %d: view overlaps subfiles %v, t_i = %v\n",
+			i, v.Subfiles(), v.TIntersect)
+	}
+
+	var tracer *sim.Tracer
+	if *trace {
+		tracer = w.Cluster.EnableTrace()
+	}
+	ops, err := w.WriteAll(wmode)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if tracer != nil {
+		fmt.Println("\nVirtual-time trace of the write:")
+		fmt.Print(tracer.Format())
+	}
+	fmt.Printf("\nWrite operation (mode %s):\n", wmode)
+	for i, op := range ops {
+		s := op.Stats
+		fmt.Printf("  node %d: t_m=%v  t_g(model)=%dµs  msgs=%d (%d bytes, %d zero-copy)  t_net=%dµs\n",
+			i, s.TMap, s.GatherModelNs/sim.Microsecond, s.Messages, s.BytesSent,
+			s.ContiguousSends, s.TNet/sim.Microsecond)
+	}
+
+	// Verify the file content byte-for-byte.
+	bufs := make([][]byte, w.File.Phys.Pattern.Len())
+	for i := range bufs {
+		bufs[i] = w.File.Subfile(i)
+	}
+	img, err := redist.JoinFile(w.File.Phys, bufs, *n**n)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := range img {
+		if img[i] != w.Img[i] {
+			log.Fatalf("verification FAILED at byte %d", i)
+		}
+	}
+	fmt.Printf("\nverification: all %d bytes of the matrix landed in the right subfile positions\n",
+		*n**n)
+
+	// Read everything back through the views.
+	per := *n * *n / 4
+	for i, v := range w.Views {
+		out := make([]byte, per)
+		op, err := v.StartRead(0, per-1, out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		w.Cluster.RunAll()
+		if op.Err != nil {
+			log.Fatal(op.Err)
+		}
+		for j := range out {
+			if out[j] != w.ViewBuf(i)[j] {
+				log.Fatalf("read-back mismatch at node %d byte %d", i, j)
+			}
+		}
+	}
+	fmt.Println("read-back: every compute node read its view back intact")
+}

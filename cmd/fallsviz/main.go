@@ -1,0 +1,90 @@
+// Command fallsviz renders the paper's explanatory figures (1-4) and
+// arbitrary FALLS as ASCII diagrams.
+//
+// Usage:
+//
+//	fallsviz -fig 1            # a numbered paper figure
+//	fallsviz -fig all          # all four figures
+//	fallsviz -falls 2,5,6,5 -span 32
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strconv"
+	"strings"
+
+	"parafile/internal/falls"
+	"parafile/internal/viz"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("fallsviz: ")
+	fig := flag.String("fig", "", "paper figure to render: 1, 2, 3, 4 or all")
+	spec := flag.String("falls", "", "custom FALLS as l,r,s,n")
+	span := flag.Int64("span", 32, "bytes to draw for -falls")
+	flag.Parse()
+
+	switch {
+	case *spec != "":
+		f, err := parseFALLS(*spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(viz.Custom(f, *span))
+	case *fig == "all":
+		for i, f := range []string{"1", "2", "3", "4", "5"} {
+			if i > 0 {
+				fmt.Println()
+			}
+			printFig(f)
+		}
+	case *fig != "":
+		printFig(*fig)
+	default:
+		flag.Usage()
+	}
+}
+
+func printFig(n string) {
+	switch n {
+	case "1":
+		fmt.Print(viz.Figure1())
+	case "2":
+		fmt.Print(viz.Figure2())
+	case "3":
+		fmt.Print(viz.Figure3())
+	case "4":
+		out, err := viz.Figure4()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(out)
+	case "5":
+		out, err := viz.Figure5()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(out)
+	default:
+		log.Fatalf("unknown figure %q (want 1-5 or all)", n)
+	}
+}
+
+func parseFALLS(s string) (falls.FALLS, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != 4 {
+		return falls.FALLS{}, fmt.Errorf("want l,r,s,n; got %q", s)
+	}
+	var v [4]int64
+	for i, p := range parts {
+		n, err := strconv.ParseInt(strings.TrimSpace(p), 10, 64)
+		if err != nil {
+			return falls.FALLS{}, fmt.Errorf("bad field %q: %w", p, err)
+		}
+		v[i] = n
+	}
+	return falls.New(v[0], v[1], v[2], v[3])
+}

@@ -1,0 +1,180 @@
+// Command parafilectl inspects partitions written in HPF-style
+// notation: it describes the nested FALLS representation of a
+// distribution, computes the matching degree between two partitions of
+// the same array (the §9 metric), and ranks candidate physical layouts
+// for a given logical access pattern.
+//
+// Usage:
+//
+//	parafilectl describe -dims 16x16 -dist 'BLOCK(4),*' [-elem 1] [-viz]
+//	parafilectl match    -dims 256x256 -logical 'BLOCK(4),*' -physical '*,BLOCK(4)'
+//	parafilectl rank     -dims 256x256 -logical 'BLOCK(4),*' \
+//	    -candidates 'BLOCK(4),*;*,BLOCK(4);BLOCK(2),BLOCK(2)'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"parafile/internal/hpf"
+	"parafile/internal/match"
+	"parafile/internal/part"
+	"parafile/internal/redist"
+	"parafile/internal/viz"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("parafilectl: ")
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "describe":
+		describe(os.Args[2:])
+	case "match":
+		matchCmd(os.Args[2:])
+	case "rank":
+		rankCmd(os.Args[2:])
+	case "plan":
+		planCmd(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: parafilectl describe|match|rank|plan [flags]")
+	os.Exit(2)
+}
+
+// planCmd prints the communication schedule for redistributing an
+// array between two distributions — the message lists a generated
+// redistribution routine would post.
+func planCmd(args []string) {
+	fs := flag.NewFlagSet("plan", flag.ExitOnError)
+	dims := fs.String("dims", "", "array dimensions")
+	from := fs.String("from", "", "source distribution")
+	to := fs.String("to", "", "destination distribution")
+	elem := fs.Int64("elem", 1, "element size in bytes")
+	fs.Parse(args)
+	src := buildFile(*dims, *from, *elem)
+	dst := buildFile(*dims, *to, *elem)
+	plan, err := redist.NewPlan(src, dst)
+	if err != nil {
+		log.Fatal(err)
+	}
+	length := src.Pattern.Size()
+	sched, err := plan.BuildSchedule(length)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("redistribution %s -> %s over %s (%d bytes)\n\n", *from, *to, *dims, length)
+	fmt.Printf("%-8s %-8s %12s %10s\n", "from", "to", "bytes", "runs")
+	for _, m := range sched.Messages {
+		fmt.Printf("%-8d %-8d %12d %10d\n", m.From, m.To, m.Bytes, m.Runs)
+	}
+	fmt.Printf("\n%d messages, %d bytes total, max fan-out %d\n",
+		len(sched.Messages), sched.TotalBytes(), sched.MaxFanOut())
+}
+
+func describe(args []string) {
+	fs := flag.NewFlagSet("describe", flag.ExitOnError)
+	dims := fs.String("dims", "", "array dimensions, e.g. 256x256")
+	dist := fs.String("dist", "", "distribution, e.g. 'BLOCK(4),*'")
+	elem := fs.Int64("elem", 1, "element size in bytes")
+	draw := fs.Bool("viz", false, "render each element's byte selection (small arrays only)")
+	fs.Parse(args)
+	pat, err := hpf.Pattern(*dims, *dist, *elem)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("distribution %s of %s (%d-byte elements)\n", *dist, *dims, *elem)
+	fmt.Printf("pattern: %d elements, %d bytes per repetition\n\n", pat.Len(), pat.Size())
+	for e := 0; e < pat.Len(); e++ {
+		el := pat.Element(e)
+		fmt.Printf("  %-8s size %8d B   %6d segments   depth %d   %s\n",
+			el.Name, el.Set.Size(), el.Set.SegmentCount(), el.Set.Depth(), el.Set)
+	}
+	if *draw {
+		if pat.Size() > 512 {
+			log.Fatal("-viz is limited to patterns of at most 512 bytes")
+		}
+		fmt.Println()
+		fmt.Println(viz.Ruler(pat.Size()))
+		for e := 0; e < pat.Len(); e++ {
+			fmt.Printf("%s   %s\n", viz.RenderSet(pat.Element(e).Set, pat.Size()), pat.Element(e).Name)
+		}
+	}
+}
+
+func buildFile(dims, dist string, elem int64) *part.File {
+	pat, err := hpf.Pattern(dims, dist, elem)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return part.MustFile(0, pat)
+}
+
+func matchCmd(args []string) {
+	fs := flag.NewFlagSet("match", flag.ExitOnError)
+	dims := fs.String("dims", "", "array dimensions")
+	logical := fs.String("logical", "", "logical (in-memory) distribution")
+	physical := fs.String("physical", "", "physical (on-disk) distribution")
+	elem := fs.Int64("elem", 1, "element size in bytes")
+	fs.Parse(args)
+	lf := buildFile(*dims, *logical, *elem)
+	pf := buildFile(*dims, *physical, *elem)
+	d, err := match.Compute(lf, pf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("logical  %s\nphysical %s\n\n", *logical, *physical)
+	fmt.Printf("matching degree: %.5f\n", d.Score)
+	fmt.Printf("communication pairs: %d (%d fully contiguous)\n", d.Pairs, d.ContiguousPairs)
+	fmt.Printf("contiguous runs per pattern period: %d (mean %0.f bytes)\n",
+		d.RunsPerPeriod, d.MeanRunBytes)
+	switch {
+	case d.Score == 1:
+		fmt.Println("verdict: optimal match — every access is one contiguous transfer")
+	case d.Score > 0.1:
+		fmt.Println("verdict: moderate match — some gather/scatter needed")
+	default:
+		fmt.Println("verdict: poor match — consider redistributing the file (see examples/clusterio)")
+	}
+}
+
+func rankCmd(args []string) {
+	fs := flag.NewFlagSet("rank", flag.ExitOnError)
+	dims := fs.String("dims", "", "array dimensions")
+	logical := fs.String("logical", "", "logical (in-memory) distribution")
+	candidates := fs.String("candidates", "", "semicolon-separated physical distributions")
+	elem := fs.Int64("elem", 1, "element size in bytes")
+	fs.Parse(args)
+	lf := buildFile(*dims, *logical, *elem)
+	var names []string
+	var files []*part.File
+	for _, c := range strings.Split(*candidates, ";") {
+		c = strings.TrimSpace(c)
+		if c == "" {
+			continue
+		}
+		names = append(names, c)
+		files = append(files, buildFile(*dims, c, *elem))
+	}
+	if len(files) == 0 {
+		log.Fatal("no candidates given")
+	}
+	order, degrees, err := match.PredictRank(lf, files)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("ranking physical layouts for logical %s over %s:\n\n", *logical, *dims)
+	for rank, i := range order {
+		fmt.Printf("  %d. %-24s score %.5f  pairs %d  runs/period %d\n",
+			rank+1, names[i], degrees[i].Score, degrees[i].Pairs, degrees[i].RunsPerPeriod)
+	}
+}

@@ -1,0 +1,177 @@
+// Command redistbench regenerates the evaluation tables of §8.2 —
+// Table 1 (write time breakdown at a compute node) and Table 2
+// (scatter time at an I/O node) — on the simulated Clusterfile
+// deployment, printing each value beside the paper's published number.
+//
+// Usage:
+//
+//	redistbench [-table 1|2|all] [-sizes 256,512,1024,2048] [-reps 3]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"parafile/internal/bench"
+	"parafile/internal/match"
+	"parafile/internal/part"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("redistbench: ")
+	table := flag.String("table", "all", "which table to regenerate: 1, 2 or all")
+	sizesArg := flag.String("sizes", "256,512,1024,2048", "comma-separated matrix sizes")
+	reps := flag.Int("reps", 3, "repetitions per configuration (real timings are averaged)")
+	flag.Parse()
+
+	sizes, err := parseSizes(*sizesArg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *reps < 1 {
+		log.Fatal("reps must be positive")
+	}
+
+	t1, t2, err := runAveraged(sizes, *reps)
+	if err != nil {
+		log.Fatal(err)
+	}
+	switch *table {
+	case "1":
+		fmt.Print(bench.FormatTable1(t1))
+	case "2":
+		fmt.Print(bench.FormatTable2(t2))
+	case "match":
+		if err := printMatchTable(sizes, t1); err != nil {
+			log.Fatal(err)
+		}
+	case "read":
+		if err := printReadTable(sizes); err != nil {
+			log.Fatal(err)
+		}
+	case "all":
+		fmt.Print(bench.FormatTable1(t1))
+		fmt.Println()
+		fmt.Print(bench.FormatTable2(t2))
+		fmt.Println()
+		if err := printMatchTable(sizes, t1); err != nil {
+			log.Fatal(err)
+		}
+	default:
+		log.Fatalf("unknown table %q (want 1, 2, match, read or all)", *table)
+	}
+	fmt.Fprintln(os.Stderr,
+		"\nnote: t_i, t_m and real(host) are wall-clock on this machine; t_g, t_net and t_sc\n"+
+			"come from the era-calibrated cost models (Myrinet/IDE, 2002) — compare shapes, not\n"+
+			"absolute host-dependent values.")
+}
+
+// printMatchTable prints the §9 "future work" extension: the
+// quantitative matching degree of each configuration next to the write
+// time it predicts.
+func printMatchTable(sizes []int64, t1 []bench.Table1Row) error {
+	fmt.Println("Matching degree (the paper's §9 future work) vs regenerated t_net^bc:")
+	fmt.Printf("%-6s %-4s %-4s %10s %8s %12s %14s %12s\n",
+		"Size", "Ph.", "Lo.", "score", "pairs", "runs/period", "mean run (B)", "t_net^bc µs")
+	idx := map[[2]interface{}]bench.Table1Row{}
+	for _, r := range t1 {
+		idx[[2]interface{}{r.Size, r.Phys}] = r
+	}
+	for _, n := range sizes {
+		lp, err := bench.LayoutPattern("r", n)
+		if err != nil {
+			return err
+		}
+		logical := part.MustFile(0, lp)
+		for _, phys := range bench.Layouts {
+			pp, err := bench.LayoutPattern(phys, n)
+			if err != nil {
+				return err
+			}
+			d, err := match.Compute(logical, part.MustFile(0, pp))
+			if err != nil {
+				return err
+			}
+			r := idx[[2]interface{}{n, phys}]
+			fmt.Printf("%-6d %-4s %-4s %10.5f %8d %12d %14.0f %12.0f\n",
+				n, phys, "r", d.Score, d.Pairs, d.RunsPerPeriod, d.MeanRunBytes, r.TNetBcUs)
+		}
+	}
+	return nil
+}
+
+// printReadTable prints the read-path extension experiment: §8.2 says
+// the benchmark "writes and reads" the matrix, but only the write
+// breakdown is published; this regenerates the symmetric read.
+func printReadTable(sizes []int64) error {
+	fmt.Println("Read path (extension — not tabulated in the paper):")
+	fmt.Printf("%-6s %-4s %-4s %10s %12s %10s\n", "Size", "Ph.", "Lo.", "t_m µs", "t_net µs", "msgs")
+	for _, n := range sizes {
+		for _, phys := range bench.Layouts {
+			row, err := bench.RunReadConfig(phys, n)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%-6d %-4s %-4s %10.1f %12.0f %10d\n",
+				n, phys, "r", row.TMapUs, row.TNetUs, row.Messages)
+		}
+	}
+	return nil
+}
+
+func parseSizes(s string) ([]int64, error) {
+	var out []int64
+	for _, f := range strings.Split(s, ",") {
+		n, err := strconv.ParseInt(strings.TrimSpace(f), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad size %q: %w", f, err)
+		}
+		if n < 4 || n%4 != 0 {
+			return nil, fmt.Errorf("size %d must be a positive multiple of 4", n)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no sizes given")
+	}
+	return out, nil
+}
+
+// runAveraged repeats each configuration and averages the real (host)
+// timings; the modeled virtual times are deterministic and identical
+// across repetitions.
+func runAveraged(sizes []int64, reps int) ([]bench.Table1Row, []bench.Table2Row, error) {
+	var t1 []bench.Table1Row
+	var t2 []bench.Table2Row
+	for _, n := range sizes {
+		for _, phys := range bench.Layouts {
+			var acc1 bench.Table1Row
+			var acc2 bench.Table2Row
+			for r := 0; r < reps; r++ {
+				r1, r2, err := bench.RunConfig(phys, n)
+				if err != nil {
+					return nil, nil, err
+				}
+				acc1.Size, acc1.Phys = r1.Size, r1.Phys
+				acc1.TIntersectUs += r1.TIntersectUs / float64(reps)
+				acc1.TMapUs += r1.TMapUs / float64(reps)
+				acc1.TGatherRealUs += r1.TGatherRealUs / float64(reps)
+				acc1.TGatherUs = r1.TGatherUs
+				acc1.TNetBcUs = r1.TNetBcUs
+				acc1.TNetDiskUs = r1.TNetDiskUs
+				acc2.Size, acc2.Phys = r2.Size, r2.Phys
+				acc2.ScBcUs = r2.ScBcUs
+				acc2.ScDiskUs = r2.ScDiskUs
+				acc2.ScRealUs += r2.ScRealUs / float64(reps)
+			}
+			t1 = append(t1, acc1)
+			t2 = append(t2, acc2)
+		}
+	}
+	return t1, t2, nil
+}

@@ -1,0 +1,83 @@
+// Collective I/O: two-phase writes on top of the redistribution
+// machinery (memory-memory redistribution into contiguous aggregator
+// domains) versus independent non-contiguous access with data sieving
+// — the paper's §1 problem statement ("lots of small messages",
+// "message aggregation is possible, but the costs for gathering and
+// scattering are not negligible") made measurable.
+//
+// Run: go run ./examples/collective
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"parafile/internal/mpiio"
+)
+
+const (
+	rows  = 64
+	cols  = 64
+	ranks = 4
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// Each rank owns a column block of a rows×cols matrix: the classic
+	// poor match for a row-major file.
+	fts := make([]*mpiio.Datatype, ranks)
+	data := make([][]byte, ranks)
+	for r := 0; r < ranks; r++ {
+		ft, err := mpiio.Subarray(
+			[]int64{rows, cols},
+			[]int64{0, int64(r) * cols / ranks},
+			[]int64{rows, cols / ranks},
+			1,
+		)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fts[r] = ft
+		data[r] = make([]byte, ft.Size())
+		for i := range data[r] {
+			data[r][i] = byte(r*60 + i)
+		}
+	}
+
+	// Strategy 1: independent writes through views (every rank touches
+	// `rows` separate file fragments).
+	indep := mpiio.NewFile(nil)
+	var fragments int64
+	for r := 0; r < ranks; r++ {
+		if err := indep.SetView(0, fts[r]); err != nil {
+			log.Fatal(err)
+		}
+		stats, err := indep.SievedWriteAt(data[r], 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fragments += stats.Fragments
+		fmt.Printf("rank %d independent (sieved): %d fragments, %d useful bytes, %d transferred\n",
+			r, stats.Fragments, stats.UsefulBytes, stats.SievedBytes)
+	}
+
+	// Strategy 2: collective two-phase write.
+	coll := mpiio.NewFile(nil)
+	stats, err := mpiio.CollectiveWrite(coll, 0, fts, data, rows*cols)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ncollective two-phase: %d ranks exchanged %d bytes, then %d contiguous file writes\n",
+		stats.Ranks, stats.ExchangedBytes, stats.FileWrites)
+	fmt.Printf("independent I/O would have touched %d file fragments; two-phase touches %d regions\n",
+		stats.DirectSegments, stats.FileWrites)
+
+	if !bytes.Equal(indep.Bytes(), coll.Bytes()) {
+		log.Fatal("strategies disagree!")
+	}
+	fmt.Printf("\nboth strategies produced the identical %d-byte file\n", coll.Len())
+	fmt.Printf("reduction: %d fragmented accesses -> %d contiguous ones (%.0fx)\n",
+		fragments, int64(stats.FileWrites), float64(stats.DirectSegments)/float64(stats.FileWrites))
+}

@@ -1,0 +1,3 @@
+module parafile
+
+go 1.22

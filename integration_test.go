@@ -1,0 +1,149 @@
+// integration_test.go drives the whole stack end to end, the way a
+// downstream user would: HPF notation -> partitions -> a simulated
+// Clusterfile deployment with disk-backed subfiles -> concurrent
+// writes through views -> matching-degree-guided re-layout ->
+// disk-to-disk redistribution -> metadata save/reopen -> verified
+// read-back.
+package parafile_test
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"parafile/internal/clusterfile"
+	"parafile/internal/hpf"
+	"parafile/internal/match"
+	"parafile/internal/part"
+	"parafile/internal/redist"
+)
+
+func TestEndToEndLifecycle(t *testing.T) {
+	const n = 128
+	dir := t.TempDir()
+
+	// --- Build partitions from notation --------------------------------
+	physPat, err := hpf.Pattern("128x128", "*,BLOCK(4)", 1) // column blocks
+	if err != nil {
+		t.Fatal(err)
+	}
+	logiPat, err := hpf.Pattern("128x128", "BLOCK(4),*", 1) // row blocks
+	if err != nil {
+		t.Fatal(err)
+	}
+	phys := part.MustFile(0, physPat)
+	logical := part.MustFile(0, logiPat)
+
+	// --- Deploy the cluster with disk-backed subfiles ------------------
+	cfg := clusterfile.DefaultConfig()
+	cfg.Storage = clusterfile.DirStorageFactory(dir)
+	cluster, err := clusterfile.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	file, err := cluster.CreateFile("dataset", phys, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// --- Concurrent writes through views -------------------------------
+	img := make([]byte, n*n)
+	rand.New(rand.NewSource(42)).Read(img)
+	per := int64(n * n / 4)
+	views := make([]*clusterfile.View, 4)
+	ops := make([]*clusterfile.WriteOp, 4)
+	for node := 0; node < 4; node++ {
+		v, err := file.SetView(node, logical, node)
+		if err != nil {
+			t.Fatal(err)
+		}
+		views[node] = v
+		op, err := v.StartWrite(clusterfile.ToBufferCache, 0, per-1,
+			img[int64(node)*per:int64(node+1)*per])
+		if err != nil {
+			t.Fatal(err)
+		}
+		ops[node] = op
+	}
+	cluster.RunAll()
+	for i, op := range ops {
+		if op.Err != nil || !op.Done() {
+			t.Fatalf("node %d write: %v", i, op.Err)
+		}
+	}
+
+	// --- Verify the physical decomposition on real disk files ----------
+	want := redist.SplitFile(phys, img)
+	for e := range want {
+		if !bytes.Equal(file.Subfile(e), want[e]) {
+			t.Fatalf("subfile %d content wrong", e)
+		}
+	}
+
+	// --- Diagnose the layout with the matching degree ------------------
+	deg, err := match.Compute(logical, phys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deg.Score >= 0.5 {
+		t.Fatalf("column layout should match poorly, score %v", deg.Score)
+	}
+	order, _, err := match.PredictRank(logical, []*part.File{phys, logical})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if order[0] != 1 {
+		t.Fatalf("ranking should prefer the row layout, got %v", order)
+	}
+
+	// --- Re-layout on the fly, disk to disk ----------------------------
+	newFile, rop, err := cluster.StartRedistribute(file, "dataset.v2", logical, nil, n*n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster.RunAll()
+	if rop.Err != nil || !rop.Done() {
+		t.Fatalf("redistribution: %v", rop.Err)
+	}
+
+	// --- Persist and reopen in a fresh cluster -------------------------
+	if err := newFile.SaveMetadata(dir); err != nil {
+		t.Fatal(err)
+	}
+	cfg2 := clusterfile.DefaultConfig()
+	cfg2.Storage = clusterfile.ReopenDirStorageFactory(dir)
+	cluster2, err := clusterfile.New(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reopened, err := cluster2.LoadMetadata(dir, "dataset.v2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reopened.Close()
+
+	// --- Read back through views on the reopened file ------------------
+	for node := 0; node < 4; node++ {
+		v, err := reopened.SetView(node, logical, node)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The new layout matches the views perfectly: view-set should
+		// find exactly one overlapping subfile.
+		if got := len(v.Subfiles()); got != 1 {
+			t.Fatalf("node %d overlaps %d subfiles after re-layout, want 1", node, got)
+		}
+		out := make([]byte, per)
+		op, err := v.StartRead(0, per-1, out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cluster2.RunAll()
+		if op.Err != nil {
+			t.Fatal(op.Err)
+		}
+		if !bytes.Equal(out, img[int64(node)*per:int64(node+1)*per]) {
+			t.Fatalf("node %d read-back differs after the full lifecycle", node)
+		}
+	}
+}

@@ -1,0 +1,160 @@
+package arrayutil
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestShapeValidation(t *testing.T) {
+	if _, err := NewShape(0, 4); err == nil {
+		t.Error("zero element size accepted")
+	}
+	if _, err := NewShape(4); err == nil {
+		t.Error("no dimensions accepted")
+	}
+	if _, err := NewShape(4, 3, 0); err == nil {
+		t.Error("zero extent accepted")
+	}
+	s, err := NewShape(4, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Elems() != 15 || s.Bytes() != 60 {
+		t.Errorf("Elems=%d Bytes=%d, want 15, 60", s.Elems(), s.Bytes())
+	}
+}
+
+func TestIndexCoordsRoundTrip(t *testing.T) {
+	s, _ := NewShape(2, 3, 4, 5)
+	for ord := int64(0); ord < s.Elems(); ord++ {
+		idx, err := s.Coords(ord)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := s.Index(idx...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if back != ord {
+			t.Fatalf("Index(Coords(%d)) = %d", ord, back)
+		}
+	}
+	if _, err := s.Index(0, 0); err == nil {
+		t.Error("rank mismatch accepted")
+	}
+	if _, err := s.Index(3, 0, 0); err == nil {
+		t.Error("out-of-range index accepted")
+	}
+	if _, err := s.Coords(-1); err == nil {
+		t.Error("negative ordinal accepted")
+	}
+	if _, err := s.Coords(s.Elems()); err == nil {
+		t.Error("overflowing ordinal accepted")
+	}
+}
+
+func TestByteOffsetRowMajor(t *testing.T) {
+	s, _ := NewShape(4, 2, 3) // 2×3 of 4-byte elements
+	cases := []struct {
+		i, j, want int64
+	}{
+		{0, 0, 0}, {0, 1, 4}, {0, 2, 8}, {1, 0, 12}, {1, 2, 20},
+	}
+	for _, c := range cases {
+		got, err := s.ByteOffset(c.i, c.j)
+		if err != nil || got != c.want {
+			t.Errorf("ByteOffset(%d,%d) = %d, %v; want %d", c.i, c.j, got, err, c.want)
+		}
+	}
+}
+
+// TestSubarrayOracle: the subarray byte set equals brute-force
+// membership for random shapes and boxes.
+func TestSubarrayOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(100))
+	for iter := 0; iter < 100; iter++ {
+		nd := 1 + rng.Intn(3)
+		dims := make([]int64, nd)
+		starts := make([]int64, nd)
+		counts := make([]int64, nd)
+		for k := range dims {
+			dims[k] = 2 + rng.Int63n(5)
+			starts[k] = rng.Int63n(dims[k])
+			counts[k] = 1 + rng.Int63n(dims[k]-starts[k])
+		}
+		es := int64(1 + rng.Intn(3))
+		s, err := NewShape(es, dims...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		set, err := s.Subarray(starts, counts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if set == nil {
+			// Dense: the box is the whole array.
+			for k := range dims {
+				if starts[k] != 0 || counts[k] != dims[k] {
+					t.Fatalf("nil set for a proper subarray")
+				}
+			}
+			continue
+		}
+		if err := set.Validate(); err != nil {
+			t.Fatalf("subarray set invalid: %v", err)
+		}
+		in := map[int64]bool{}
+		for _, x := range set.Offsets() {
+			in[x] = true
+		}
+		var count int64
+		for ord := int64(0); ord < s.Elems(); ord++ {
+			idx, _ := s.Coords(ord)
+			inside := true
+			for k := range idx {
+				if idx[k] < starts[k] || idx[k] >= starts[k]+counts[k] {
+					inside = false
+					break
+				}
+			}
+			for b := int64(0); b < es; b++ {
+				off := ord*es + b
+				if in[off] != inside {
+					t.Fatalf("shape %v box %v/%v: byte %d membership %v, want %v",
+						dims, starts, counts, off, in[off], inside)
+				}
+			}
+			if inside {
+				count += es
+			}
+		}
+		if set.Size() != count {
+			t.Fatalf("subarray size %d, oracle %d", set.Size(), count)
+		}
+	}
+}
+
+func TestSubarrayValidation(t *testing.T) {
+	s, _ := NewShape(1, 4, 4)
+	if _, err := s.Subarray([]int64{0}, []int64{1}); err == nil {
+		t.Error("rank mismatch accepted")
+	}
+	if _, err := s.Subarray([]int64{0, 3}, []int64{1, 2}); err == nil {
+		t.Error("overflowing box accepted")
+	}
+	if _, err := s.Subarray([]int64{0, 0}, []int64{0, 1}); err == nil {
+		t.Error("empty box accepted")
+	}
+}
+
+func TestFillVerify(t *testing.T) {
+	buf := make([]byte, 64)
+	Fill(buf, 4)
+	if off := Verify(buf, 4); off != -1 {
+		t.Errorf("fresh fill fails verify at %d", off)
+	}
+	buf[17]++
+	if off := Verify(buf, 4); off != 17 {
+		t.Errorf("corruption detected at %d, want 17", off)
+	}
+}

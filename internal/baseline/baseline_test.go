@@ -1,0 +1,195 @@
+package baseline
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"parafile/internal/core"
+	"parafile/internal/part"
+	"parafile/internal/redist"
+)
+
+// TestBytewiseMatchesPlan: the per-byte baseline and the segment-wise
+// plan produce identical results.
+func TestBytewiseMatchesPlan(t *testing.T) {
+	rows, _ := part.RowBlocks(16, 16, 4)
+	cols, _ := part.ColBlocks(16, 16, 4)
+	sq, _ := part.SquareBlocks(16, 16, 2, 2)
+	layouts := []*part.Pattern{rows, cols, sq}
+	rng := rand.New(rand.NewSource(90))
+	img := make([]byte, 256)
+	rng.Read(img)
+	for _, a := range layouts {
+		for _, b := range layouts {
+			src := part.MustFile(0, a)
+			dst := part.MustFile(0, b)
+			srcBufs := redist.SplitFile(src, img)
+			want := redist.SplitFile(dst, img)
+
+			plan, err := redist.NewPlan(src, dst)
+			if err != nil {
+				t.Fatal(err)
+			}
+			planOut := make([][]byte, len(want))
+			byteOut := make([][]byte, len(want))
+			for i := range want {
+				planOut[i] = make([]byte, len(want[i]))
+				byteOut[i] = make([]byte, len(want[i]))
+			}
+			if err := plan.Execute(srcBufs, planOut, 256); err != nil {
+				t.Fatal(err)
+			}
+			if err := BytewiseRedistribute(src, dst, srcBufs, byteOut, 256); err != nil {
+				t.Fatal(err)
+			}
+			for e := range want {
+				if !bytes.Equal(planOut[e], want[e]) {
+					t.Fatalf("plan output differs on element %d", e)
+				}
+				if !bytes.Equal(byteOut[e], want[e]) {
+					t.Fatalf("bytewise output differs on element %d", e)
+				}
+			}
+		}
+	}
+}
+
+func TestBytewiseValidation(t *testing.T) {
+	rows, _ := part.RowBlocks(8, 8, 4)
+	f := part.MustFile(0, rows)
+	bufs := make([][]byte, 4)
+	for i := range bufs {
+		bufs[i] = make([]byte, 16)
+	}
+	if err := BytewiseRedistribute(nil, f, bufs, bufs, 8); err == nil {
+		t.Error("nil file accepted")
+	}
+	if err := BytewiseRedistribute(f, f, bufs[:2], bufs, 8); err == nil {
+		t.Error("short buffer list accepted")
+	}
+	short := [][]byte{{}, {}, {}, {}}
+	if err := BytewiseRedistribute(f, f, short, bufs, 8); err == nil {
+		t.Error("undersized source accepted")
+	}
+}
+
+func TestBitPermutationValidation(t *testing.T) {
+	if _, err := NewBitPermutation([]int{0, 0}); err == nil {
+		t.Error("duplicate bit accepted")
+	}
+	if _, err := NewBitPermutation([]int{0, 5}); err == nil {
+		t.Error("out-of-range bit accepted")
+	}
+	if _, err := NewBitPermutation(make([]int, 70)); err == nil {
+		t.Error("overwide permutation accepted")
+	}
+}
+
+// TestBitPermutationBijection: Map followed by Inverse().Map is the
+// identity over the whole address space.
+func TestBitPermutationBijection(t *testing.T) {
+	bp, err := StripeMapping(8, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inv := bp.Inverse()
+	seen := make(map[int64]bool)
+	for x := int64(0); x < bp.Size(); x++ {
+		y, err := bp.Map(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[y] {
+			t.Fatalf("address %d produced twice", y)
+		}
+		seen[y] = true
+		back, err := inv.Map(y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if back != x {
+			t.Fatalf("inverse(map(%d)) = %d", x, back)
+		}
+	}
+}
+
+// TestNCubeEquivalenceWithFALLS: for power-of-two striping, the nCube
+// bit permutation computes exactly MAP_S of the corresponding stripe
+// pattern — the paper's claim that its mapping functions are "a
+// superset of those from nCube".
+func TestNCubeEquivalenceWithFALLS(t *testing.T) {
+	const (
+		addrBits = 10 // 1 KiB file
+		diskBits = 2  // 4 disks
+		unitBits = 4  // 16-byte stripe units
+	)
+	bp, err := StripeMapping(addrBits, diskBits, unitBits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pat, err := part.Stripe(1<<unitBits, 1<<diskBits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	file := part.MustFile(0, pat)
+	mappers := make([]*core.Mapper, 4)
+	for d := range mappers {
+		mappers[d] = core.MustMapper(file, d)
+	}
+	for x := int64(0); x < bp.Size(); x++ {
+		y, err := bp.Map(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		disk, local := DiskOf(bp, diskBits, y)
+		// FALLS view of the same layout.
+		e, err := file.ElementOf(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		off, err := mappers[e].Map(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if int64(e) != disk || off != local {
+			t.Fatalf("offset %d: nCube says disk %d local %d, FALLS says %d/%d",
+				x, disk, local, e, off)
+		}
+	}
+}
+
+// TestFALLSHandlesNonPowerOfTwo: the FALLS model covers geometries the
+// bit permutation cannot express at all.
+func TestFALLSHandlesNonPowerOfTwo(t *testing.T) {
+	// Three disks, 6-byte stripes: impossible as a bit permutation.
+	if _, err := part.Stripe(6, 3); err != nil {
+		t.Fatalf("FALLS stripe over 3 disks failed: %v", err)
+	}
+	// There is no integer diskBits with 2^diskBits == 3; the closest
+	// nCube geometry cannot even address it.
+	for bits := 0; bits < 4; bits++ {
+		if 1<<bits == 3 {
+			t.Fatal("3 is not a power of two; test is self-contradictory")
+		}
+	}
+}
+
+func TestStripeMappingValidation(t *testing.T) {
+	if _, err := StripeMapping(4, 3, 3); err == nil {
+		t.Error("geometry wider than address accepted")
+	}
+	if _, err := StripeMapping(8, -1, 2); err == nil {
+		t.Error("negative disk bits accepted")
+	}
+}
+
+func TestMapRangeChecks(t *testing.T) {
+	bp, _ := StripeMapping(6, 1, 2)
+	if _, err := bp.Map(-1); err == nil {
+		t.Error("negative address accepted")
+	}
+	if _, err := bp.Map(64); err == nil {
+		t.Error("overflowing address accepted")
+	}
+}

@@ -1,0 +1,82 @@
+// Package baseline implements the comparators the paper positions
+// itself against: per-byte redistribution (the strawman §3 argues the
+// segment-wise algorithm replaces) and the nCube-style address
+// bit-permutation mapping functions of DeBenedictis & del Rosario,
+// which require all sizes to be powers of two (§2).
+package baseline
+
+import (
+	"fmt"
+
+	"parafile/internal/core"
+	"parafile/internal/part"
+)
+
+// BytewiseRedistribute converts between two partitions of the same
+// file by mapping every byte individually through
+// MAP_dst(MAP⁻¹… composition) — "it would be inefficient to map each
+// byte from one distribution to another" (§3). It exists as the
+// correctness baseline and the ablation the benchmarks compare the
+// segment-wise plan against.
+//
+// src[e] and dst[e] hold the element linear spaces, as in
+// redist.Plan.Execute; length bytes of file data are converted,
+// starting at the larger displacement.
+func BytewiseRedistribute(srcFile, dstFile *part.File, src, dst [][]byte, length int64) error {
+	if srcFile == nil || dstFile == nil {
+		return fmt.Errorf("baseline: nil file")
+	}
+	if len(src) != srcFile.Pattern.Len() {
+		return fmt.Errorf("baseline: %d source buffers for %d elements", len(src), srcFile.Pattern.Len())
+	}
+	if len(dst) != dstFile.Pattern.Len() {
+		return fmt.Errorf("baseline: %d destination buffers for %d elements", len(dst), dstFile.Pattern.Len())
+	}
+	srcMappers := make([]*core.Mapper, srcFile.Pattern.Len())
+	for e := range srcMappers {
+		m, err := core.NewMapper(srcFile, e)
+		if err != nil {
+			return err
+		}
+		srcMappers[e] = m
+	}
+	dstMappers := make([]*core.Mapper, dstFile.Pattern.Len())
+	for e := range dstMappers {
+		m, err := core.NewMapper(dstFile, e)
+		if err != nil {
+			return err
+		}
+		dstMappers[e] = m
+	}
+	base := srcFile.Displacement
+	if dstFile.Displacement > base {
+		base = dstFile.Displacement
+	}
+	for i := int64(0); i < length; i++ {
+		x := base + i
+		se, err := srcFile.ElementOf(x)
+		if err != nil {
+			return err
+		}
+		so, err := srcMappers[se].Map(x)
+		if err != nil {
+			return err
+		}
+		de, err := dstFile.ElementOf(x)
+		if err != nil {
+			return err
+		}
+		do, err := dstMappers[de].Map(x)
+		if err != nil {
+			return err
+		}
+		if so >= int64(len(src[se])) {
+			return fmt.Errorf("baseline: source element %d buffer too small (offset %d)", se, so)
+		}
+		if do >= int64(len(dst[de])) {
+			return fmt.Errorf("baseline: destination element %d buffer too small (offset %d)", de, do)
+		}
+		dst[de][do] = src[se][so]
+	}
+	return nil
+}

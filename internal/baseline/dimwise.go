@@ -1,0 +1,254 @@
+package baseline
+
+import (
+	"fmt"
+
+	"parafile/internal/part"
+)
+
+// dimwise.go implements the PARADIGM-style array redistribution the
+// paper builds on and generalizes (§2): for two distributions of the
+// SAME multidimensional array, the intersection is computed
+// independently per array dimension and the common block is the
+// cartesian product. The paper's point is the restriction — "this will
+// not generally work if the array has to be redistributed to another
+// array with different sizes of at least one dimension", nor between
+// arbitrary byte-level partitions; the nested-FALLS algorithm removes
+// both limits. This baseline exists to demonstrate the equivalence on
+// the cases it does cover and to benchmark against.
+
+// dimRange is a contiguous run of global indices along one dimension.
+type dimRange struct {
+	lo, hi int64 // inclusive
+}
+
+// ownedRanges returns the global index runs a grid coordinate owns
+// along one dimension (BLOCK: one run; All: everything; CYCLIC: one
+// run per cycle).
+func ownedRanges(d part.DimDist, extent, coord int64) []dimRange {
+	switch d.Kind {
+	case part.Block:
+		chunk := (extent + d.Procs - 1) / d.Procs
+		lo := coord * chunk
+		hi := min64(lo+chunk, extent) - 1
+		if lo > hi {
+			return nil
+		}
+		return []dimRange{{lo, hi}}
+	case part.Cyclic:
+		var out []dimRange
+		cycle := d.Procs * d.Block
+		for start := coord * d.Block; start < extent; start += cycle {
+			out = append(out, dimRange{start, min64(start+d.Block, extent) - 1})
+		}
+		return out
+	default:
+		return []dimRange{{0, extent - 1}}
+	}
+}
+
+// intersectRanges intersects two run lists of one dimension.
+func intersectRanges(a, b []dimRange) []dimRange {
+	var out []dimRange
+	for _, x := range a {
+		for _, y := range b {
+			lo := max64(x.lo, y.lo)
+			hi := min64(x.hi, y.hi)
+			if lo <= hi {
+				out = append(out, dimRange{lo, hi})
+			}
+		}
+	}
+	return out
+}
+
+// localOffset converts a global index vector to the processor's local
+// element ordinal under its distribution (packed row-major local
+// array, which matches the element's MAP enumeration).
+func localOffset(spec part.ArraySpec, coords []int64, idx []int64) int64 {
+	var off int64
+	for k := range spec.Dims {
+		d := spec.Dists[k]
+		var local, localExtent int64
+		switch d.Kind {
+		case part.Block:
+			chunk := (spec.Dims[k] + d.Procs - 1) / d.Procs
+			local = idx[k] - coords[k]*chunk
+			localExtent = min64(chunk, spec.Dims[k]-coords[k]*chunk)
+		case part.Cyclic:
+			cycle := d.Procs * d.Block
+			local = idx[k]/cycle*d.Block + idx[k]%d.Block
+			localExtent = ownedCount(d, spec.Dims[k], coords[k])
+		default:
+			local = idx[k]
+			localExtent = spec.Dims[k]
+		}
+		off = off*localExtent + local
+	}
+	return off
+}
+
+// ownedCount counts the indices a coordinate owns along one dimension.
+func ownedCount(d part.DimDist, extent, coord int64) int64 {
+	var n int64
+	for _, r := range ownedRanges(d, extent, coord) {
+		n += r.hi - r.lo + 1
+	}
+	return n
+}
+
+// DimwiseRedistribute converts a distributed array between two
+// distributions of the same shape and element size using per-dimension
+// intersections. src[p] / dst[q] hold the packed local arrays in
+// row-major grid order.
+func DimwiseRedistribute(srcSpec, dstSpec part.ArraySpec, src, dst [][]byte) error {
+	if len(srcSpec.Dims) != len(dstSpec.Dims) {
+		return fmt.Errorf("baseline: rank mismatch %d vs %d", len(srcSpec.Dims), len(dstSpec.Dims))
+	}
+	for k := range srcSpec.Dims {
+		if srcSpec.Dims[k] != dstSpec.Dims[k] {
+			return fmt.Errorf("baseline: dimension %d differs (%d vs %d): the dimension-wise "+
+				"algorithm requires identical array shapes", k, srcSpec.Dims[k], dstSpec.Dims[k])
+		}
+	}
+	if srcSpec.ElemSize != dstSpec.ElemSize {
+		return fmt.Errorf("baseline: element sizes differ")
+	}
+	es := srcSpec.ElemSize
+	srcGrid := gridOf(srcSpec)
+	dstGrid := gridOf(dstSpec)
+	if len(src) != gridTotal(srcGrid) || len(dst) != gridTotal(dstGrid) {
+		return fmt.Errorf("baseline: buffer counts %d/%d do not match grids %v/%v",
+			len(src), len(dst), srcGrid, dstGrid)
+	}
+
+	srcCoords := make([]int64, len(srcGrid))
+	for p := 0; ; p++ {
+		dstCoords := make([]int64, len(dstGrid))
+		for q := 0; ; q++ {
+			// Per-dimension intersections (the PARADIGM step).
+			common := make([][]dimRange, len(srcSpec.Dims))
+			empty := false
+			for k := range srcSpec.Dims {
+				common[k] = intersectRanges(
+					ownedRanges(srcSpec.Dists[k], srcSpec.Dims[k], srcCoords[k]),
+					ownedRanges(dstSpec.Dists[k], dstSpec.Dims[k], dstCoords[k]),
+				)
+				if len(common[k]) == 0 {
+					empty = true
+					break
+				}
+			}
+			if !empty {
+				if err := copyProduct(srcSpec, dstSpec, srcCoords, dstCoords,
+					common, src[p], dst[q], es); err != nil {
+					return err
+				}
+			}
+			if !advance(dstCoords, dstGrid) {
+				break
+			}
+		}
+		if !advance(srcCoords, srcGrid) {
+			break
+		}
+	}
+	return nil
+}
+
+// copyProduct copies the cartesian product of the per-dimension common
+// runs element by element (rows at a time along the last dimension).
+func copyProduct(srcSpec, dstSpec part.ArraySpec, sc, dc []int64,
+	common [][]dimRange, sbuf, dbuf []byte, es int64) error {
+
+	nd := len(common)
+	idx := make([]int64, nd)
+	sel := make([]int, nd) // which run of each dimension
+	for k := range idx {
+		idx[k] = common[k][0].lo
+	}
+	for {
+		// Copy one innermost run of contiguous elements.
+		lastRun := common[nd-1][sel[nd-1]]
+		runLen := lastRun.hi - idx[nd-1] + 1
+		so := localOffset(srcSpec, sc, idx) * es
+		do := localOffset(dstSpec, dc, idx) * es
+		n := runLen * es
+		if so+n > int64(len(sbuf)) || do+n > int64(len(dbuf)) {
+			return fmt.Errorf("baseline: dimwise copy out of bounds")
+		}
+		copy(dbuf[do:do+n], sbuf[so:so+n])
+		// Advance to the next innermost run / outer indices.
+		k := nd - 1
+		for k >= 0 {
+			if k == nd-1 || idx[k] == common[k][sel[k]].hi {
+				// Move to this dimension's next run.
+				sel[k]++
+				if sel[k] < len(common[k]) {
+					idx[k] = common[k][sel[k]].lo
+					break
+				}
+				sel[k] = 0
+				idx[k] = common[k][0].lo
+				k--
+				continue
+			}
+			idx[k]++
+			break
+		}
+		if k < 0 {
+			return nil
+		}
+		// Reset all inner dimensions below the advanced one.
+		for j := k + 1; j < nd; j++ {
+			sel[j] = 0
+			idx[j] = common[j][0].lo
+		}
+	}
+}
+
+func gridOf(spec part.ArraySpec) []int64 {
+	out := make([]int64, len(spec.Dists))
+	for i, d := range spec.Dists {
+		if d.Kind == part.All || d.Procs < 1 {
+			out[i] = 1
+		} else {
+			out[i] = d.Procs
+		}
+	}
+	return out
+}
+
+func gridTotal(grid []int64) int {
+	n := 1
+	for _, g := range grid {
+		n *= int(g)
+	}
+	return n
+}
+
+// advance increments row-major grid coordinates; false when wrapped.
+func advance(coords, grid []int64) bool {
+	for k := len(coords) - 1; k >= 0; k-- {
+		coords[k]++
+		if coords[k] < grid[k] {
+			return true
+		}
+		coords[k] = 0
+	}
+	return false
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,154 @@
+package baseline
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"parafile/internal/part"
+	"parafile/internal/redist"
+)
+
+// specFor builds the standard 2-D distributions for an n×n byte
+// matrix.
+func specFor(kind string, n int64) part.ArraySpec {
+	switch kind {
+	case "r":
+		return part.ArraySpec{Dims: []int64{n, n}, ElemSize: 1,
+			Dists: []part.DimDist{{Kind: part.Block, Procs: 4}, {Kind: part.All}}}
+	case "c":
+		return part.ArraySpec{Dims: []int64{n, n}, ElemSize: 1,
+			Dists: []part.DimDist{{Kind: part.All}, {Kind: part.Block, Procs: 4}}}
+	case "b":
+		return part.ArraySpec{Dims: []int64{n, n}, ElemSize: 1,
+			Dists: []part.DimDist{{Kind: part.Block, Procs: 2}, {Kind: part.Block, Procs: 2}}}
+	case "cyc":
+		return part.ArraySpec{Dims: []int64{n, n}, ElemSize: 1,
+			Dists: []part.DimDist{{Kind: part.Cyclic, Procs: 2, Block: 2}, {Kind: part.Block, Procs: 2}}}
+	}
+	panic("unknown kind")
+}
+
+// TestDimwiseMatchesGeneral: on the same-shape cases PARADIGM's
+// dimension-wise algorithm covers, it produces exactly what the
+// general nested-FALLS plan produces.
+func TestDimwiseMatchesGeneral(t *testing.T) {
+	const n = 16
+	kinds := []string{"r", "c", "b", "cyc"}
+	img := make([]byte, n*n)
+	rand.New(rand.NewSource(210)).Read(img)
+	for _, from := range kinds {
+		for _, to := range kinds {
+			srcSpec := specFor(from, n)
+			dstSpec := specFor(to, n)
+			srcPat, err := part.NDArray(srcSpec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dstPat, err := part.NDArray(dstSpec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			srcFile := part.MustFile(0, srcPat)
+			dstFile := part.MustFile(0, dstPat)
+			src := redist.SplitFile(srcFile, img)
+			want := redist.SplitFile(dstFile, img)
+			got := make([][]byte, len(want))
+			for e := range want {
+				got[e] = make([]byte, len(want[e]))
+			}
+			if err := DimwiseRedistribute(srcSpec, dstSpec, src, got); err != nil {
+				t.Fatalf("%s->%s: %v", from, to, err)
+			}
+			for e := range want {
+				if !bytes.Equal(got[e], want[e]) {
+					t.Fatalf("%s->%s: element %d differs between dimension-wise and general", from, to, e)
+				}
+			}
+		}
+	}
+}
+
+// TestDimwiseRequiresSameShape: the restriction the paper's algorithm
+// removes — different shapes are rejected by the dimension-wise
+// baseline but handled by the general plan.
+func TestDimwiseRequiresSameShape(t *testing.T) {
+	a := specFor("r", 16)
+	b := specFor("r", 32)
+	if err := DimwiseRedistribute(a, b, nil, nil); err == nil {
+		t.Fatal("different shapes accepted by the dimension-wise algorithm")
+	}
+	// The general algorithm handles it: a 16×16 file redistributed
+	// into an 8×32 layout (same byte count, different geometry).
+	srcPat, _ := part.RowBlocks(16, 16, 4)
+	dstPat, _ := part.RowBlocks(8, 32, 4)
+	img := make([]byte, 256)
+	for i := range img {
+		img[i] = byte(i)
+	}
+	srcFile := part.MustFile(0, srcPat)
+	dstFile := part.MustFile(0, dstPat)
+	plan, err := redist.NewPlan(srcFile, dstFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := redist.SplitFile(srcFile, img)
+	want := redist.SplitFile(dstFile, img)
+	got := make([][]byte, len(want))
+	for e := range want {
+		got[e] = make([]byte, len(want[e]))
+	}
+	if err := plan.Execute(src, got, 256); err != nil {
+		t.Fatal(err)
+	}
+	for e := range want {
+		if !bytes.Equal(got[e], want[e]) {
+			t.Fatalf("general plan failed on reshaped array, element %d", e)
+		}
+	}
+}
+
+// TestDimwise3D: a three-dimensional case.
+func TestDimwise3D(t *testing.T) {
+	src := part.ArraySpec{Dims: []int64{4, 6, 4}, ElemSize: 2,
+		Dists: []part.DimDist{{Kind: part.Block, Procs: 2}, {Kind: part.All}, {Kind: part.All}}}
+	dst := part.ArraySpec{Dims: []int64{4, 6, 4}, ElemSize: 2,
+		Dists: []part.DimDist{{Kind: part.All}, {Kind: part.Cyclic, Procs: 3, Block: 1}, {Kind: part.All}}}
+	img := make([]byte, src.TotalBytes())
+	rand.New(rand.NewSource(211)).Read(img)
+	srcPat, err := part.NDArray(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dstPat, err := part.NDArray(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sBufs := redist.SplitFile(part.MustFile(0, srcPat), img)
+	want := redist.SplitFile(part.MustFile(0, dstPat), img)
+	got := make([][]byte, len(want))
+	for e := range want {
+		got[e] = make([]byte, len(want[e]))
+	}
+	if err := DimwiseRedistribute(src, dst, sBufs, got); err != nil {
+		t.Fatal(err)
+	}
+	for e := range want {
+		if !bytes.Equal(got[e], want[e]) {
+			t.Fatalf("3-D dimension-wise element %d differs", e)
+		}
+	}
+}
+
+func TestDimwiseValidation(t *testing.T) {
+	a := specFor("r", 16)
+	b := specFor("c", 16)
+	if err := DimwiseRedistribute(a, b, make([][]byte, 2), make([][]byte, 4)); err == nil {
+		t.Error("wrong buffer count accepted")
+	}
+	c := b
+	c.ElemSize = 2
+	if err := DimwiseRedistribute(a, c, make([][]byte, 4), make([][]byte, 4)); err == nil {
+		t.Error("element size mismatch accepted")
+	}
+}

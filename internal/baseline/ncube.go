@@ -1,0 +1,104 @@
+package baseline
+
+import "fmt"
+
+// ncube.go implements the nCube parallel I/O mapping scheme (§2): the
+// mapping between a processor's (or disk's) view of a file and the
+// file's linear addresses is an address bit permutation. The major
+// deficiency the paper points out — "all array sizes must be powers of
+// two" — is structural: a bit permutation can only describe
+// power-of-two geometries. These mappings are the comparison baseline
+// showing the FALLS-based mapping functions are a strict superset.
+
+// BitPermutation is a bijective mapping of b-bit addresses: result bit
+// i takes source bit Perm[i].
+type BitPermutation struct {
+	perm []int
+}
+
+// NewBitPermutation validates that perm is a permutation of
+// 0..len(perm)-1 and builds the mapping.
+func NewBitPermutation(perm []int) (*BitPermutation, error) {
+	seen := make([]bool, len(perm))
+	for _, p := range perm {
+		if p < 0 || p >= len(perm) {
+			return nil, fmt.Errorf("baseline: bit index %d out of range [0,%d)", p, len(perm))
+		}
+		if seen[p] {
+			return nil, fmt.Errorf("baseline: duplicate bit index %d", p)
+		}
+		seen[p] = true
+	}
+	if len(perm) > 62 {
+		return nil, fmt.Errorf("baseline: %d bits exceed int64 addresses", len(perm))
+	}
+	return &BitPermutation{perm: append([]int(nil), perm...)}, nil
+}
+
+// Bits returns the address width.
+func (bp *BitPermutation) Bits() int { return len(bp.perm) }
+
+// Size returns the address space size, 2^Bits.
+func (bp *BitPermutation) Size() int64 { return 1 << len(bp.perm) }
+
+// Map permutes the bits of x. x must fit in Bits() bits.
+func (bp *BitPermutation) Map(x int64) (int64, error) {
+	if x < 0 || x >= bp.Size() {
+		return 0, fmt.Errorf("baseline: address %d out of %d-bit range", x, len(bp.perm))
+	}
+	var y int64
+	for i, src := range bp.perm {
+		y |= (x >> uint(src) & 1) << uint(i)
+	}
+	return y, nil
+}
+
+// Inverse returns the inverse permutation mapping.
+func (bp *BitPermutation) Inverse() *BitPermutation {
+	inv := make([]int, len(bp.perm))
+	for i, p := range bp.perm {
+		inv[p] = i
+	}
+	return &BitPermutation{perm: inv}
+}
+
+// StripeMapping builds the nCube-style mapping from a file address to
+// a (disk, local offset) pair for striping 2^unitBits-byte units over
+// 2^diskBits disks: file address bits are split as
+// [block | disk | unit] and the disk bits are rotated to the top, so
+// that the permuted address is disk*2^(addrBits-diskBits) + local
+// offset.
+//
+// addrBits is the total file address width; the file holds 2^addrBits
+// bytes.
+func StripeMapping(addrBits, diskBits, unitBits int) (*BitPermutation, error) {
+	if diskBits < 0 || unitBits < 0 || addrBits < diskBits+unitBits {
+		return nil, fmt.Errorf("baseline: invalid stripe geometry addr=%d disk=%d unit=%d",
+			addrBits, diskBits, unitBits)
+	}
+	perm := make([]int, addrBits)
+	i := 0
+	// Local offset low bits: the unit offset.
+	for b := 0; b < unitBits; b++ {
+		perm[i] = b
+		i++
+	}
+	// Local offset high bits: the block number.
+	for b := unitBits + diskBits; b < addrBits; b++ {
+		perm[i] = b
+		i++
+	}
+	// Disk selector bits on top.
+	for b := unitBits; b < unitBits+diskBits; b++ {
+		perm[i] = b
+		i++
+	}
+	return NewBitPermutation(perm)
+}
+
+// DiskOf splits a permuted stripe-mapping address into its disk index
+// and local offset.
+func DiskOf(bp *BitPermutation, diskBits int, mapped int64) (disk int64, local int64) {
+	localBits := uint(bp.Bits() - diskBits)
+	return mapped >> localBits, mapped & (1<<localBits - 1)
+}

@@ -1,0 +1,271 @@
+// Package bench is the harness that regenerates the paper's
+// evaluation (§8.2): the Clusterfile write benchmark over an n×n byte
+// matrix, four compute nodes, four I/O nodes, three physical layouts
+// (column blocks c, square blocks b, row blocks r) against a row-block
+// logical partition, producing the rows of Table 1 (write time
+// breakdown at a compute node) and Table 2 (scatter time at an I/O
+// node). It is shared by the testing.B benchmarks in the repository
+// root and by cmd/redistbench.
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"parafile/internal/clusterfile"
+	"parafile/internal/part"
+	"parafile/internal/sim"
+)
+
+// Sizes are the matrix sizes of §8.2 (bytes per side).
+var Sizes = []int64{256, 512, 1024, 2048}
+
+// Layouts are the physical distributions of §8.2, in the paper's table
+// order.
+var Layouts = []string{"c", "b", "r"}
+
+// LayoutPattern builds one of the paper's physical partitions of an
+// n×n byte matrix over four subfiles.
+func LayoutPattern(kind string, n int64) (*part.Pattern, error) {
+	switch kind {
+	case "r":
+		return part.RowBlocks(n, n, 4)
+	case "c":
+		return part.ColBlocks(n, n, 4)
+	case "b":
+		return part.SquareBlocks(n, n, 2, 2)
+	}
+	return nil, fmt.Errorf("bench: unknown layout %q", kind)
+}
+
+// Workload is one benchmark configuration, ready to write.
+type Workload struct {
+	Cluster *clusterfile.Cluster
+	File    *clusterfile.File
+	Views   []*clusterfile.View
+	N       int64
+	Img     []byte
+}
+
+// NewWorkload builds the cluster, the physical file, the reference
+// matrix and the four row-block views.
+func NewWorkload(phys string, n int64) (*Workload, error) {
+	return NewWorkloadWithConfig(phys, n, clusterfile.DefaultConfig())
+}
+
+// NewWorkloadWithConfig is NewWorkload on a custom cluster
+// configuration (different cost models, disk-backed subfiles, ...).
+func NewWorkloadWithConfig(phys string, n int64, cfg clusterfile.Config) (*Workload, error) {
+	c, err := clusterfile.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	pp, err := LayoutPattern(phys, n)
+	if err != nil {
+		return nil, err
+	}
+	f, err := c.CreateFile("matrix", part.MustFile(0, pp), nil)
+	if err != nil {
+		return nil, err
+	}
+	lp, err := LayoutPattern("r", n)
+	if err != nil {
+		return nil, err
+	}
+	lf := part.MustFile(0, lp)
+	w := &Workload{Cluster: c, File: f, N: n}
+	w.Img = make([]byte, n*n)
+	rand.New(rand.NewSource(n)).Read(w.Img)
+	for node := 0; node < 4; node++ {
+		v, err := f.SetView(node, lf, node)
+		if err != nil {
+			return nil, err
+		}
+		w.Views = append(w.Views, v)
+	}
+	return w, nil
+}
+
+// ViewBuf returns compute node i's row block of the matrix.
+func (w *Workload) ViewBuf(i int) []byte {
+	per := w.N * w.N / 4
+	return w.Img[int64(i)*per : int64(i+1)*per]
+}
+
+// WriteAll performs the concurrent benchmark write in the given mode
+// and returns the per-node operations.
+func (w *Workload) WriteAll(mode clusterfile.WriteMode) ([]*clusterfile.WriteOp, error) {
+	per := w.N * w.N / 4
+	ops := make([]*clusterfile.WriteOp, 4)
+	for i, v := range w.Views {
+		op, err := v.StartWrite(mode, 0, per-1, w.ViewBuf(i))
+		if err != nil {
+			return nil, err
+		}
+		ops[i] = op
+	}
+	w.Cluster.RunAll()
+	for i, op := range ops {
+		if op.Err != nil {
+			return nil, fmt.Errorf("bench: node %d: %w", i, op.Err)
+		}
+	}
+	return ops, nil
+}
+
+// Table1Row is one row of the paper's Table 1: the write time
+// breakdown at one compute node (averages, microseconds).
+type Table1Row struct {
+	Size int64
+	Phys string
+	// TIntersectUs is t_i: real time of intersection + projections at
+	// view-set time.
+	TIntersectUs float64
+	// TMapUs is t_m: real time to map the access extremities.
+	TMapUs float64
+	// TGatherUs is t_g: the era-model cost of the gathers (the real
+	// gather time on this machine is reported separately).
+	TGatherUs     float64
+	TGatherRealUs float64
+	// TNetBcUs / TNetDiskUs are t_net: virtual time from first request
+	// to last acknowledgment, writing to buffer cache / to disk.
+	TNetBcUs   float64
+	TNetDiskUs float64
+}
+
+// Table2Row is one row of the paper's Table 2: scatter time at one I/O
+// node (averages, microseconds).
+type Table2Row struct {
+	Size int64
+	Phys string
+	// ScBcUs / ScDiskUs are the modeled scatter+write times per I/O
+	// node for the whole benchmark write.
+	ScBcUs   float64
+	ScDiskUs float64
+	// ScRealUs is the real wall time of the scatters on this machine.
+	ScRealUs float64
+}
+
+const us = float64(sim.Microsecond)
+
+// RunConfig runs the full §8.2 benchmark for one (size, layout) pair:
+// a buffer-cache write and a disk write on fresh workloads.
+func RunConfig(phys string, n int64) (Table1Row, Table2Row, error) {
+	r1 := Table1Row{Size: n, Phys: phys}
+	r2 := Table2Row{Size: n, Phys: phys}
+
+	for _, mode := range []clusterfile.WriteMode{clusterfile.ToBufferCache, clusterfile.ToDisk} {
+		w, err := NewWorkload(phys, n)
+		if err != nil {
+			return r1, r2, err
+		}
+		ops, err := w.WriteAll(mode)
+		if err != nil {
+			return r1, r2, err
+		}
+		var tnet, scatter, gatherModel int64
+		var tmap, tgather, screal float64
+		perION := map[int]int64{}
+		for i, op := range ops {
+			tnet += op.Stats.TNet
+			gatherModel += op.Stats.GatherModelNs
+			scatter += op.Stats.ScatterModelNs
+			tmap += float64(op.Stats.TMap.Nanoseconds())
+			tgather += float64(op.Stats.TGather.Nanoseconds())
+			screal += float64(op.Stats.RealScatter.Nanoseconds())
+			for io, ns := range op.Stats.PerIONodeScatterNs {
+				perION[io] += ns
+			}
+			if mode == clusterfile.ToBufferCache {
+				r1.TIntersectUs += float64(w.Views[i].TIntersect.Nanoseconds()) / 4 / us
+			}
+		}
+		// Per-I/O-node mean of the total scatter work.
+		var ionSum int64
+		for _, ns := range perION {
+			ionSum += ns
+		}
+		ionMean := float64(ionSum) / 4 / us
+		switch mode {
+		case clusterfile.ToBufferCache:
+			r1.TMapUs = tmap / 4 / us
+			r1.TGatherUs = float64(gatherModel) / 4 / us
+			r1.TGatherRealUs = tgather / 4 / us
+			r1.TNetBcUs = float64(tnet) / 4 / us
+			r2.ScBcUs = ionMean
+			r2.ScRealUs = screal / 4 / us
+		case clusterfile.ToDisk:
+			r1.TNetDiskUs = float64(tnet) / 4 / us
+			r2.ScDiskUs = ionMean
+		}
+	}
+	return r1, r2, nil
+}
+
+// RunAll regenerates both tables over the paper's full configuration
+// grid.
+func RunAll(sizes []int64) ([]Table1Row, []Table2Row, error) {
+	var t1 []Table1Row
+	var t2 []Table2Row
+	for _, n := range sizes {
+		for _, phys := range Layouts {
+			r1, r2, err := RunConfig(phys, n)
+			if err != nil {
+				return nil, nil, err
+			}
+			t1 = append(t1, r1)
+			t2 = append(t2, r2)
+		}
+	}
+	return t1, t2, nil
+}
+
+// PaperTable1 holds the published Table 1 values (µs) for comparison:
+// t_i, t_m, t_g, t_net^bc, t_net^disk indexed by size then layout.
+var PaperTable1 = map[int64]map[string][5]float64{
+	256:  {"c": {1229, 9, 344, 1205, 4346}, "b": {514, 4, 203, 831, 2191}, "r": {310, 0, 0, 510, 1455}},
+	512:  {"c": {1096, 11, 940, 2871, 7614}, "b": {506, 6, 568, 2294, 5900}, "r": {333, 0, 0, 1425, 4018}},
+	1024: {"c": {1136, 18, 2414, 9237, 22309}, "b": {518, 9, 1703, 7104, 19375}, "r": {318, 0, 0, 5340, 15136}},
+	2048: {"c": {1222, 22, 6501, 30781, 80793}, "b": {503, 11, 5496, 26184, 71358}, "r": {296, 0, 0, 20333, 56475}},
+}
+
+// PaperTable2 holds the published Table 2 values (µs): t_sc^bc,
+// t_sc^disk.
+var PaperTable2 = map[int64]map[string][2]float64{
+	256:  {"c": {87, 2255}, "b": {61, 1278}, "r": {45, 918}},
+	512:  {"c": {292, 3593}, "b": {261, 3095}, "r": {219, 2717}},
+	1024: {"c": {1096, 10602}, "b": {1068, 10622}, "r": {1194, 10951}},
+	2048: {"c": {4942, 41684}, "b": {4919, 41178}, "r": {5081, 41179}},
+}
+
+// FormatTable1 renders the regenerated Table 1 beside the paper's
+// numbers.
+func FormatTable1(rows []Table1Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 1: write time breakdown at compute node (µs; paper values in parentheses)\n")
+	fmt.Fprintf(&b, "%-6s %-4s %-4s %16s %14s %18s %20s %22s\n",
+		"Size", "Ph.", "Lo.", "t_i", "t_m", "t_g(model)", "t_net^bc", "t_net^disk")
+	for _, r := range rows {
+		p := PaperTable1[r.Size][r.Phys]
+		fmt.Fprintf(&b, "%-6d %-4s %-4s %8.0f (%4.0f) %6.1f (%3.0f) %9.0f (%5.0f) %10.0f (%6.0f) %11.0f (%6.0f)\n",
+			r.Size, r.Phys, "r",
+			r.TIntersectUs, p[0], r.TMapUs, p[1], r.TGatherUs, p[2],
+			r.TNetBcUs, p[3], r.TNetDiskUs, p[4])
+	}
+	return b.String()
+}
+
+// FormatTable2 renders the regenerated Table 2 beside the paper's
+// numbers.
+func FormatTable2(rows []Table2Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 2: scatter time at I/O node (µs; paper values in parentheses)\n")
+	fmt.Fprintf(&b, "%-6s %-4s %-4s %18s %20s %14s\n", "Size", "Ph.", "Lo.", "t_sc^bc", "t_sc^disk", "real(host)")
+	for _, r := range rows {
+		p := PaperTable2[r.Size][r.Phys]
+		fmt.Fprintf(&b, "%-6d %-4s %-4s %10.0f (%5.0f) %11.0f (%6.0f) %12.0f\n",
+			r.Size, r.Phys, "r", r.ScBcUs, p[0], r.ScDiskUs, p[1], r.ScRealUs)
+	}
+	return b.String()
+}

@@ -1,0 +1,162 @@
+package bench
+
+import (
+	"testing"
+
+	"parafile/internal/clusterfile"
+)
+
+// TestRunConfigShapes: a single configuration produces self-consistent
+// rows and matches the workload definition.
+func TestRunConfigShapes(t *testing.T) {
+	r1, r2, err := RunConfig("c", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Size != 64 || r1.Phys != "c" || r2.Size != 64 || r2.Phys != "c" {
+		t.Fatalf("row identity wrong: %+v / %+v", r1, r2)
+	}
+	if r1.TNetBcUs <= 0 || r1.TNetDiskUs <= r1.TNetBcUs {
+		t.Errorf("t_net values implausible: bc=%v disk=%v", r1.TNetBcUs, r1.TNetDiskUs)
+	}
+	if r1.TGatherUs <= 0 {
+		t.Errorf("column layout must gather, got t_g=%v", r1.TGatherUs)
+	}
+	if r2.ScDiskUs <= r2.ScBcUs || r2.ScBcUs <= 0 {
+		t.Errorf("scatter values implausible: bc=%v disk=%v", r2.ScBcUs, r2.ScDiskUs)
+	}
+}
+
+// TestPerfectMatchRow: the r layout takes the zero-copy path.
+func TestPerfectMatchRow(t *testing.T) {
+	r1, _, err := RunConfig("r", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.TGatherUs != 0 {
+		t.Errorf("r/r should not gather, got t_g=%v", r1.TGatherUs)
+	}
+}
+
+// TestTableOrderings: the regenerated table preserves the paper's
+// orderings at every size: t_net^bc and t_g ordered c > b > r.
+func TestTableOrderings(t *testing.T) {
+	for _, n := range []int64{64, 256} {
+		rows := map[string]Table1Row{}
+		for _, phys := range Layouts {
+			r1, _, err := RunConfig(phys, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rows[phys] = r1
+		}
+		if !(rows["c"].TNetBcUs > rows["b"].TNetBcUs && rows["b"].TNetBcUs > rows["r"].TNetBcUs) {
+			t.Errorf("n=%d: t_net^bc ordering violated: c=%v b=%v r=%v",
+				n, rows["c"].TNetBcUs, rows["b"].TNetBcUs, rows["r"].TNetBcUs)
+		}
+		if !(rows["c"].TGatherUs > rows["b"].TGatherUs && rows["b"].TGatherUs > rows["r"].TGatherUs) {
+			t.Errorf("n=%d: t_g ordering violated: c=%v b=%v r=%v",
+				n, rows["c"].TGatherUs, rows["b"].TGatherUs, rows["r"].TGatherUs)
+		}
+	}
+}
+
+// TestModelDeterminism: the virtual-time columns are identical across
+// runs (only host wall-clock columns may vary).
+func TestModelDeterminism(t *testing.T) {
+	a1, a2, err := RunConfig("b", 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, b2, err := RunConfig("b", 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1.TNetBcUs != b1.TNetBcUs || a1.TNetDiskUs != b1.TNetDiskUs ||
+		a1.TGatherUs != b1.TGatherUs {
+		t.Errorf("Table 1 model values not deterministic: %+v vs %+v", a1, b1)
+	}
+	if a2.ScBcUs != b2.ScBcUs || a2.ScDiskUs != b2.ScDiskUs {
+		t.Errorf("Table 2 model values not deterministic: %+v vs %+v", a2, b2)
+	}
+}
+
+// TestWorkloadContent: WriteAll stores exactly the matrix (spot check
+// of the harness itself).
+func TestWorkloadContent(t *testing.T) {
+	w, err := NewWorkload("b", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.WriteAll(clusterfile.ToBufferCache); err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	for i := 0; i < w.File.Phys.Pattern.Len(); i++ {
+		total += int64(len(w.File.Subfile(i)))
+	}
+	if total != 64*64 {
+		t.Errorf("subfiles hold %d bytes, want %d", total, 64*64)
+	}
+}
+
+// TestFormatTables: formatting includes every configured row and the
+// paper reference values.
+func TestFormatTables(t *testing.T) {
+	t1, t2, err := RunAll([]int64{64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t1) != 3 || len(t2) != 3 {
+		t.Fatalf("RunAll produced %d/%d rows, want 3/3", len(t1), len(t2))
+	}
+	s1 := FormatTable1(t1)
+	s2 := FormatTable2(t2)
+	for _, want := range []string{"t_i", "t_net^bc", "64"} {
+		if !contains(s1, want) {
+			t.Errorf("Table 1 output missing %q:\n%s", want, s1)
+		}
+	}
+	if !contains(s2, "t_sc^disk") {
+		t.Errorf("Table 2 output missing header:\n%s", s2)
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && indexOf(s, sub) >= 0
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}
+
+// TestRunReadConfig: the read path verifies data and reports sane
+// times, with the perfect match fastest.
+func TestRunReadConfig(t *testing.T) {
+	var times = map[string]float64{}
+	for _, phys := range Layouts {
+		row, err := RunReadConfig(phys, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if row.TNetUs <= 0 {
+			t.Errorf("%s: non-positive read t_net", phys)
+		}
+		times[phys] = row.TNetUs
+	}
+	if !(times["r"] < times["b"] && times["b"] < times["c"]) {
+		t.Errorf("read t_net ordering violated: %v", times)
+	}
+}
+
+// TestLayoutPatternErrors: unknown layouts fail.
+func TestLayoutPatternErrors(t *testing.T) {
+	if _, err := LayoutPattern("x", 64); err == nil {
+		t.Error("unknown layout accepted")
+	}
+}

@@ -1,0 +1,58 @@
+package bench
+
+import "testing"
+
+// TestLoadBalanceSkewedWorkload: the §3 claim — a hot row band lands
+// entirely on one disk under the row-block layout, spreads perfectly
+// under the row-cyclic layout, and the balanced layout is faster.
+func TestLoadBalanceSkewedWorkload(t *testing.T) {
+	const n = 256
+	rowBlocks, err := LayoutPattern("r", n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocked, err := RunLoadBalance(rowBlocks, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cyc, err := RowCyclicPattern(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cyclic, err := RunLoadBalance(cyc, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Row blocks: everything on one disk (imbalance == 4).
+	if blocked.Imbalance != 4 {
+		t.Errorf("row-block imbalance = %v, want 4 (all on one disk): %v",
+			blocked.Imbalance, blocked.PerDiskBytes)
+	}
+	// Row cyclic: perfect balance.
+	if cyclic.Imbalance != 1 {
+		t.Errorf("row-cyclic imbalance = %v, want 1: %v", cyclic.Imbalance, cyclic.PerDiskBytes)
+	}
+	// Balance translates into time: the spread write finishes faster
+	// because the four servers absorb it in parallel.
+	if cyclic.TNetUs >= blocked.TNetUs {
+		t.Errorf("balanced layout not faster: cyclic %vµs vs blocked %vµs",
+			cyclic.TNetUs, blocked.TNetUs)
+	}
+}
+
+// TestLoadBalanceColumns: column blocks also spread a hot row band
+// (every row crosses all subfiles).
+func TestLoadBalanceColumns(t *testing.T) {
+	const n = 128
+	cols, err := LayoutPattern("c", n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunLoadBalance(cols, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Imbalance != 1 {
+		t.Errorf("column-block imbalance = %v, want 1: %v", res.Imbalance, res.PerDiskBytes)
+	}
+}

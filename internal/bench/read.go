@@ -1,0 +1,65 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+
+	"parafile/internal/clusterfile"
+)
+
+// read.go extends the evaluation beyond the paper's published tables:
+// §8.2 states the benchmark "writes and reads a two dimensional
+// matrix", but only the write breakdown is tabulated. The read
+// experiment regenerates the reverse-symmetric path so the repository
+// records both directions.
+
+// ReadRow is the read-path analogue of Table 1.
+type ReadRow struct {
+	Size int64
+	Phys string
+	// TMapUs is the real extremity-mapping time.
+	TMapUs float64
+	// TNetUs is the virtual time from the first request until the
+	// last data arrival at the compute node.
+	TNetUs float64
+	// Messages is the per-node message count (requests + data).
+	Messages int
+}
+
+// RunReadConfig writes the matrix, then measures every compute node
+// reading its full view back, verifying the data.
+func RunReadConfig(phys string, n int64) (ReadRow, error) {
+	row := ReadRow{Size: n, Phys: phys}
+	w, err := NewWorkload(phys, n)
+	if err != nil {
+		return row, err
+	}
+	if _, err := w.WriteAll(clusterfile.ToBufferCache); err != nil {
+		return row, err
+	}
+	per := n * n / 4
+	ops := make([]*clusterfile.ReadOp, 4)
+	bufs := make([][]byte, 4)
+	for i, v := range w.Views {
+		bufs[i] = make([]byte, per)
+		op, err := v.StartRead(0, per-1, bufs[i])
+		if err != nil {
+			return row, err
+		}
+		ops[i] = op
+	}
+	w.Cluster.RunAll()
+	for i, op := range ops {
+		if op.Err != nil {
+			return row, fmt.Errorf("bench: read node %d: %w", i, op.Err)
+		}
+		if !bytes.Equal(bufs[i], w.ViewBuf(i)) {
+			return row, fmt.Errorf("bench: read node %d returned wrong data", i)
+		}
+		row.TMapUs += float64(op.Stats.TMap.Nanoseconds()) / 4 / us
+		row.TNetUs += float64(op.Stats.TNet) / 4 / us
+		row.Messages += op.Stats.Messages
+	}
+	row.Messages /= 4
+	return row, nil
+}

@@ -1,0 +1,303 @@
+// Package clusterfile reimplements the case study of §8: the data
+// operations of the Clusterfile parallel file system, built on the
+// mapping functions and the redistribution algorithm.
+//
+// The cluster divides nodes into compute nodes and I/O nodes. A file
+// is physically partitioned into subfiles stored on the I/O nodes'
+// disks; applications on compute nodes set views — logical partitions
+// described by the same file model. Setting a view intersects it with
+// every subfile and stores the two projections of each intersection:
+// PROJ_V at the compute node and PROJ_S at the subfile's I/O node.
+// Writes then follow the two-sided protocol of §8.1: map the access
+// interval's extremities onto each subfile, gather non-contiguous view
+// data into a message buffer, send, and scatter into the subfile at
+// the I/O node (reads are reverse-symmetrical).
+//
+// Data movement is performed for real on in-memory subfiles, with the
+// real algorithms; network and disk time come from the discrete-event
+// models in netsim and disksim, so the §8.2 evaluation can be
+// regenerated deterministically (see bench_test.go and
+// cmd/redistbench).
+package clusterfile
+
+import (
+	"fmt"
+	"time"
+
+	"parafile/internal/codec"
+	"parafile/internal/core"
+	"parafile/internal/disksim"
+	"parafile/internal/netsim"
+	"parafile/internal/part"
+	"parafile/internal/redist"
+	"parafile/internal/sim"
+)
+
+// WriteMode selects the storage tier the evaluation writes to —
+// Table 1/2 report both.
+type WriteMode int
+
+const (
+	// ToBufferCache stops at the I/O node's buffer cache (the paper's
+	// "bc" columns).
+	ToBufferCache WriteMode = iota
+	// ToDisk writes through to the platter (the "disk" columns).
+	ToDisk
+)
+
+func (m WriteMode) String() string {
+	if m == ToDisk {
+		return "disk"
+	}
+	return "bc"
+}
+
+// Config describes a cluster.
+type Config struct {
+	ComputeNodes int
+	IONodes      int
+	Net          netsim.Config
+	Disk         disksim.Config
+	// CopyBandwidthBytesPerSec is the era memory-copy bandwidth used
+	// to model gather/scatter CPU time in virtual time (the real
+	// copies still run, and are reported separately).
+	CopyBandwidthBytesPerSec int64
+	// CopySegmentOverheadNs is the per-additional-segment cost of a
+	// non-contiguous copy.
+	CopySegmentOverheadNs int64
+	// Storage creates the byte store for each subfile. Nil selects
+	// in-memory subfiles; DirStorageFactory stores them as real files,
+	// as the original Clusterfile I/O nodes did.
+	Storage StorageFactory
+}
+
+// DefaultConfig mirrors the paper's testbed subset: four compute nodes
+// and four I/O nodes on a 2002 Myrinet/IDE cluster with 800 MHz
+// Pentium III hosts.
+func DefaultConfig() Config {
+	return Config{
+		ComputeNodes:             4,
+		IONodes:                  4,
+		Net:                      netsim.Myrinet2002(),
+		Disk:                     disksim.IDE2002(),
+		CopyBandwidthBytesPerSec: 200 * 1000 * 1000,
+		CopySegmentOverheadNs:    700,
+	}
+}
+
+// Cluster is a simulated Clusterfile deployment. Network node ids are
+// compute nodes first (0..ComputeNodes-1), then I/O nodes.
+type Cluster struct {
+	cfg    Config
+	K      *sim.Kernel
+	Net    *netsim.Network
+	Disks  []*disksim.Disk
+	files  map[string]*File
+	tracer *sim.Tracer
+}
+
+// New builds a cluster.
+func New(cfg Config) (*Cluster, error) {
+	if cfg.ComputeNodes < 1 || cfg.IONodes < 1 {
+		return nil, fmt.Errorf("clusterfile: need at least one compute and one I/O node")
+	}
+	k := sim.NewKernel()
+	c := &Cluster{
+		cfg:   cfg,
+		K:     k,
+		Net:   netsim.New(k, cfg.Net, cfg.ComputeNodes+cfg.IONodes),
+		Disks: make([]*disksim.Disk, cfg.IONodes),
+		files: make(map[string]*File),
+	}
+	for i := range c.Disks {
+		c.Disks[i] = disksim.New(k, cfg.Disk)
+	}
+	return c, nil
+}
+
+// ioNet returns the network node id of I/O node i.
+func (c *Cluster) ioNet(i int) int { return c.cfg.ComputeNodes + i }
+
+// EnableTrace attaches a virtual-time trace recorder to the cluster
+// (network sends/receives plus protocol steps) and returns it.
+func (c *Cluster) EnableTrace() *sim.Tracer {
+	c.tracer = sim.NewTracer()
+	c.Net.SetTracer(c.tracer)
+	return c.tracer
+}
+
+// File is an open Clusterfile file: a physical partition whose
+// subfiles live on I/O nodes.
+type File struct {
+	Name    string
+	Phys    *part.File
+	Assign  []int // subfile index -> I/O node
+	stores  []Storage
+	mappers []*core.Mapper
+	cluster *Cluster
+}
+
+// CreateFile registers a file with the given physical partition. The
+// assignment maps each subfile to an I/O node; when nil, subfiles are
+// assigned round-robin.
+func (c *Cluster) CreateFile(name string, phys *part.File, assign []int) (*File, error) {
+	if _, dup := c.files[name]; dup {
+		return nil, fmt.Errorf("clusterfile: file %q already exists", name)
+	}
+	n := phys.Pattern.Len()
+	if assign == nil {
+		assign = make([]int, n)
+		for i := range assign {
+			assign[i] = i % c.cfg.IONodes
+		}
+	}
+	if len(assign) != n {
+		return nil, fmt.Errorf("clusterfile: %d assignments for %d subfiles", len(assign), n)
+	}
+	for _, io := range assign {
+		if io < 0 || io >= c.cfg.IONodes {
+			return nil, fmt.Errorf("clusterfile: I/O node %d out of range [0,%d)", io, c.cfg.IONodes)
+		}
+	}
+	factory := c.cfg.Storage
+	if factory == nil {
+		factory = MemStorageFactory
+	}
+	f := &File{
+		Name:    name,
+		Phys:    phys,
+		Assign:  assign,
+		stores:  make([]Storage, n),
+		mappers: make([]*core.Mapper, n),
+		cluster: c,
+	}
+	for i := 0; i < n; i++ {
+		m, err := core.NewMapper(phys, i)
+		if err != nil {
+			return nil, err
+		}
+		f.mappers[i] = m
+		st, err := factory(name, i)
+		if err != nil {
+			return nil, fmt.Errorf("clusterfile: storage for subfile %d: %w", i, err)
+		}
+		f.stores[i] = st
+	}
+	c.files[name] = f
+	return f, nil
+}
+
+// Subfile returns the stored bytes of subfile i (the I/O node's
+// on-disk image).
+func (f *File) Subfile(i int) []byte {
+	buf := make([]byte, f.stores[i].Len())
+	if err := f.stores[i].ReadAt(buf, 0); err != nil {
+		// Stores only fail on out-of-range access; a full read of the
+		// reported length cannot.
+		panic(err)
+	}
+	return buf
+}
+
+// Close releases the subfile stores.
+func (f *File) Close() error {
+	var first error
+	for _, st := range f.stores {
+		if err := st.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// growSubfile guarantees subfile i holds at least n bytes.
+func (f *File) growSubfile(i int, n int64) error {
+	return f.stores[i].EnsureLen(n)
+}
+
+// subView is the per-subfile state a view keeps after SetView.
+type subView struct {
+	subfile int
+	inter   *redist.Intersection
+	projV   *redist.Projection // stored at the compute node
+	projS   *redist.Projection // stored at the subfile's I/O node
+	mapper  *core.Mapper       // subfile mapper (I/O node side)
+}
+
+// View is a logical partition element set by a compute node on an open
+// file.
+type View struct {
+	file    *File
+	node    int // compute node id
+	logical *part.File
+	elem    int
+	mapper  *core.Mapper
+	subs    []subView
+
+	// TIntersect is the real wall time spent computing the
+	// intersections and projections at view-set time — the paper's
+	// t_i.
+	TIntersect time.Duration
+	// SetViewMsgBytes is the wire volume of the PROJ_S messages sent
+	// to the I/O nodes at view-set time.
+	SetViewMsgBytes int64
+}
+
+// SetView sets view element elem of the logical partition lf on the
+// file, for the given compute node (§8.1 "View set"). The
+// intersections with every subfile and both projections are computed
+// here, once; their cost is recorded as TIntersect.
+func (f *File) SetView(node int, lf *part.File, elem int) (*View, error) {
+	if node < 0 || node >= f.cluster.cfg.ComputeNodes {
+		return nil, fmt.Errorf("clusterfile: compute node %d out of range [0,%d)",
+			node, f.cluster.cfg.ComputeNodes)
+	}
+	vm, err := core.NewMapper(lf, elem)
+	if err != nil {
+		return nil, err
+	}
+	v := &View{file: f, node: node, logical: lf, elem: elem, mapper: vm}
+	start := time.Now()
+	for s := 0; s < f.Phys.Pattern.Len(); s++ {
+		inter, pv, ps, err := redist.IntersectProjectElements(lf, elem, f.Phys, s)
+		if err != nil {
+			return nil, err
+		}
+		if inter.Empty() {
+			continue
+		}
+		// PROJ_S travels to the subfile's I/O node over the wire
+		// (§8.1 "view set"); the server side operates on the decoded
+		// copy, exactly as the real system would.
+		wire := codec.EncodeProjection(ps)
+		decoded, err := codec.DecodeProjection(wire)
+		if err != nil {
+			return nil, fmt.Errorf("clusterfile: projection wire round trip: %w", err)
+		}
+		v.SetViewMsgBytes += int64(len(wire))
+		c := f.cluster
+		if err := c.Net.Send(node, c.ioNet(f.Assign[s]), int64(len(wire)), nil); err != nil {
+			return nil, err
+		}
+		v.subs = append(v.subs, subView{
+			subfile: s, inter: inter, projV: pv, projS: decoded, mapper: f.mappers[s],
+		})
+	}
+	v.TIntersect = time.Since(start)
+	return v, nil
+}
+
+// Size returns the number of view bytes per pattern repetition.
+func (v *View) Size() int64 { return v.mapper.ElementSize() }
+
+// Node returns the compute node that owns the view.
+func (v *View) Node() int { return v.node }
+
+// Subfiles returns the indices of the subfiles the view overlaps.
+func (v *View) Subfiles() []int {
+	out := make([]int, len(v.subs))
+	for i, s := range v.subs {
+		out[i] = s.subfile
+	}
+	return out
+}

@@ -1,0 +1,515 @@
+package clusterfile
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"parafile/internal/part"
+	"parafile/internal/redist"
+)
+
+// layout builds one of the paper's physical partitions of an n×n byte
+// matrix over four subfiles.
+func layout(t *testing.T, kind string, n int64) *part.Pattern {
+	t.Helper()
+	var p *part.Pattern
+	var err error
+	switch kind {
+	case "r":
+		p, err = part.RowBlocks(n, n, 4)
+	case "c":
+		p, err = part.ColBlocks(n, n, 4)
+	case "b":
+		p, err = part.SquareBlocks(n, n, 2, 2)
+	default:
+		t.Fatalf("unknown layout %q", kind)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// matrixWorkload is the §8.2 benchmark: an n×n byte matrix, physical
+// partition of the given kind over 4 I/O nodes, logical partition in
+// row blocks over 4 compute nodes.
+type matrixWorkload struct {
+	c       *Cluster
+	f       *File
+	views   []*View
+	logical *part.File
+	img     []byte // the reference matrix image
+	n       int64
+}
+
+func newMatrixWorkload(t *testing.T, phys string, n int64) *matrixWorkload {
+	t.Helper()
+	c, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf := part.MustFile(0, layout(t, phys, n))
+	f, err := c.CreateFile("matrix", pf, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lf := part.MustFile(0, layout(t, "r", n))
+	w := &matrixWorkload{c: c, f: f, logical: lf, n: n}
+	rng := rand.New(rand.NewSource(n))
+	w.img = make([]byte, n*n)
+	rng.Read(w.img)
+	for node := 0; node < 4; node++ {
+		v, err := f.SetView(node, lf, node)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w.views = append(w.views, v)
+	}
+	return w
+}
+
+// viewBuf returns compute node i's slice of the matrix (its row
+// block).
+func (w *matrixWorkload) viewBuf(i int) []byte {
+	per := w.n * w.n / 4
+	return w.img[int64(i)*per : int64(i+1)*per]
+}
+
+// writeAll performs the full concurrent benchmark write and returns
+// the per-node ops.
+func (w *matrixWorkload) writeAll(t *testing.T, mode WriteMode) []*WriteOp {
+	t.Helper()
+	per := w.n * w.n / 4
+	ops := make([]*WriteOp, 4)
+	for i, v := range w.views {
+		op, err := v.StartWrite(mode, 0, per-1, w.viewBuf(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ops[i] = op
+	}
+	w.c.RunAll()
+	for i, op := range ops {
+		if op.Err != nil {
+			t.Fatalf("node %d write error: %v", i, op.Err)
+		}
+		if !op.Done() {
+			t.Fatalf("node %d write incomplete", i)
+		}
+	}
+	return ops
+}
+
+// checkFileContent reassembles the file from the subfiles and compares
+// with the reference image.
+func (w *matrixWorkload) checkFileContent(t *testing.T) {
+	t.Helper()
+	bufs := make([][]byte, w.f.Phys.Pattern.Len())
+	for i := range bufs {
+		want := w.f.Phys.ElementBytes(i, w.n*w.n)
+		got := w.f.Subfile(i)
+		if int64(len(got)) != want {
+			t.Fatalf("subfile %d holds %d bytes, want %d", i, len(got), want)
+		}
+		bufs[i] = got
+	}
+	img, err := redist.JoinFile(w.f.Phys, bufs, w.n*w.n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(img, w.img) {
+		t.Fatal("file content differs from the written matrix")
+	}
+}
+
+// TestWriteCorrectnessAllLayouts: the full benchmark write produces
+// exactly the matrix on disk for every physical layout.
+func TestWriteCorrectnessAllLayouts(t *testing.T) {
+	for _, phys := range []string{"r", "b", "c"} {
+		t.Run(phys, func(t *testing.T) {
+			w := newMatrixWorkload(t, phys, 64)
+			w.writeAll(t, ToBufferCache)
+			w.checkFileContent(t)
+		})
+	}
+}
+
+// TestWriteDiskModeCorrectness: the disk mode stores the same bytes.
+func TestWriteDiskModeCorrectness(t *testing.T) {
+	w := newMatrixWorkload(t, "c", 32)
+	w.writeAll(t, ToDisk)
+	w.checkFileContent(t)
+}
+
+// TestContiguousFastPath: with matching partitions (r/r), every view
+// maps exactly on one subfile and the write takes the zero-copy path —
+// no gather, one data message.
+func TestContiguousFastPath(t *testing.T) {
+	w := newMatrixWorkload(t, "r", 64)
+	ops := w.writeAll(t, ToBufferCache)
+	for i, op := range ops {
+		if op.Stats.ContiguousSends != 1 {
+			t.Errorf("node %d: %d contiguous sends, want 1", i, op.Stats.ContiguousSends)
+		}
+		if op.Stats.GatherModelNs != 0 {
+			t.Errorf("node %d: gather cost %d on the fast path, want 0", i, op.Stats.GatherModelNs)
+		}
+		if op.Stats.Messages != 2 { // extremities + data
+			t.Errorf("node %d: %d messages, want 2", i, op.Stats.Messages)
+		}
+	}
+	w.checkFileContent(t)
+}
+
+// TestPoorMatchFragments: with the column layout, each view hits all
+// four subfiles and must gather.
+func TestPoorMatchFragments(t *testing.T) {
+	w := newMatrixWorkload(t, "c", 64)
+	ops := w.writeAll(t, ToBufferCache)
+	for i, op := range ops {
+		if op.Stats.ContiguousSends != 0 {
+			t.Errorf("node %d: unexpected contiguous sends %d", i, op.Stats.ContiguousSends)
+		}
+		if op.Stats.GatherModelNs == 0 {
+			t.Errorf("node %d: no gather cost on the fragmented path", i)
+		}
+		if op.Stats.Messages != 8 { // 4 × (extremities + data)
+			t.Errorf("node %d: %d messages, want 8", i, op.Stats.Messages)
+		}
+	}
+	w.checkFileContent(t)
+}
+
+// TestNetTimeOrdering: the virtual network time of the poor match
+// exceeds the perfect match at small sizes (Table 1's t_net shape).
+func TestNetTimeOrdering(t *testing.T) {
+	times := map[string]int64{}
+	for _, phys := range []string{"r", "b", "c"} {
+		w := newMatrixWorkload(t, phys, 256)
+		ops := w.writeAll(t, ToBufferCache)
+		var sum int64
+		for _, op := range ops {
+			sum += op.Stats.TNet
+		}
+		times[phys] = sum / 4
+	}
+	if !(times["r"] < times["b"] && times["b"] < times["c"]) {
+		t.Errorf("t_net ordering r < b < c violated: %v", times)
+	}
+}
+
+// TestDiskModeSlower: writing through to disk costs more virtual time
+// than the buffer cache.
+func TestDiskModeSlower(t *testing.T) {
+	wc := newMatrixWorkload(t, "c", 128)
+	opsC := wc.writeAll(t, ToBufferCache)
+	wd := newMatrixWorkload(t, "c", 128)
+	opsD := wd.writeAll(t, ToDisk)
+	for i := range opsC {
+		if opsD[i].Stats.TNet <= opsC[i].Stats.TNet {
+			t.Errorf("node %d: disk TNet %d <= cache TNet %d",
+				i, opsD[i].Stats.TNet, opsC[i].Stats.TNet)
+		}
+	}
+}
+
+// TestPartialWindowWrite: writing a sub-interval of the view touches
+// only those bytes.
+func TestPartialWindowWrite(t *testing.T) {
+	w := newMatrixWorkload(t, "b", 32)
+	v := w.views[1]
+	per := w.n * w.n / 4
+	lo, hi := per/4, per/2
+	buf := w.viewBuf(1)[lo : hi+1]
+	op, err := v.StartWrite(ToBufferCache, lo, hi, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.c.RunAll()
+	if op.Err != nil || !op.Done() {
+		t.Fatalf("partial write failed: %v", op.Err)
+	}
+	// Read the window back and compare.
+	out := make([]byte, hi-lo+1)
+	rop, err := v.StartRead(lo, hi, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.c.RunAll()
+	if rop.Err != nil || !rop.Done() {
+		t.Fatalf("read failed: %v", rop.Err)
+	}
+	if !bytes.Equal(out, buf) {
+		t.Fatal("partial window read-back differs")
+	}
+}
+
+// TestReadBackFullMatrix: write the matrix, then every node reads its
+// whole view back.
+func TestReadBackFullMatrix(t *testing.T) {
+	for _, phys := range []string{"r", "b", "c"} {
+		w := newMatrixWorkload(t, phys, 64)
+		w.writeAll(t, ToBufferCache)
+		per := w.n * w.n / 4
+		for i, v := range w.views {
+			out := make([]byte, per)
+			op, err := v.StartRead(0, per-1, out)
+			if err != nil {
+				t.Fatal(err)
+			}
+			w.c.RunAll()
+			if op.Err != nil || !op.Done() {
+				t.Fatalf("read failed: %v", op.Err)
+			}
+			if !bytes.Equal(out, w.viewBuf(i)) {
+				t.Fatalf("layout %s node %d: read-back differs", phys, i)
+			}
+			if op.Stats.TNet <= 0 {
+				t.Errorf("layout %s node %d: non-positive read TNet", phys, i)
+			}
+		}
+	}
+}
+
+// TestViewSetRecordsIntersectionTime: t_i is recorded and the view
+// knows which subfiles it overlaps.
+func TestViewSetRecordsIntersectionTime(t *testing.T) {
+	w := newMatrixWorkload(t, "c", 64)
+	for i, v := range w.views {
+		if v.TIntersect <= 0 {
+			t.Errorf("node %d: TIntersect not recorded", i)
+		}
+		if got := len(v.Subfiles()); got != 4 {
+			t.Errorf("node %d overlaps %d subfiles, want 4", i, got)
+		}
+	}
+	wr := newMatrixWorkload(t, "r", 64)
+	for i, v := range wr.views {
+		if got := len(v.Subfiles()); got != 1 {
+			t.Errorf("r/r node %d overlaps %d subfiles, want 1", i, got)
+		}
+	}
+}
+
+// TestValidation: malformed requests fail cleanly.
+func TestValidation(t *testing.T) {
+	if _, err := New(Config{ComputeNodes: 0, IONodes: 1}); err == nil {
+		t.Error("zero compute nodes accepted")
+	}
+	w := newMatrixWorkload(t, "r", 32)
+	if _, err := w.f.cluster.CreateFile("matrix", w.f.Phys, nil); err == nil {
+		t.Error("duplicate file name accepted")
+	}
+	if _, err := w.f.cluster.CreateFile("bad", w.f.Phys, []int{0}); err == nil {
+		t.Error("wrong assignment length accepted")
+	}
+	if _, err := w.f.cluster.CreateFile("bad2", w.f.Phys, []int{0, 1, 2, 99}); err == nil {
+		t.Error("out-of-range I/O node accepted")
+	}
+	if _, err := w.f.SetView(-1, w.logical, 0); err == nil {
+		t.Error("negative compute node accepted")
+	}
+	v := w.views[0]
+	if _, err := v.StartWrite(ToBufferCache, 10, 5, nil); err == nil {
+		t.Error("inverted interval accepted")
+	}
+	if _, err := v.StartWrite(ToBufferCache, 0, 7, make([]byte, 3)); err == nil {
+		t.Error("mismatched buffer accepted")
+	}
+	if _, err := v.StartRead(9, 2, nil); err == nil {
+		t.Error("inverted read interval accepted")
+	}
+	if _, err := v.StartRead(0, 7, make([]byte, 2)); err == nil {
+		t.Error("mismatched read buffer accepted")
+	}
+}
+
+// TestScatterAccounting: per-I/O-node scatter costs sum to the total.
+func TestScatterAccounting(t *testing.T) {
+	w := newMatrixWorkload(t, "c", 128)
+	ops := w.writeAll(t, ToBufferCache)
+	for i, op := range ops {
+		var sum int64
+		for _, v := range op.Stats.PerIONodeScatterNs {
+			sum += v
+		}
+		if sum != op.Stats.ScatterModelNs {
+			t.Errorf("node %d: per-ION scatter %d != total %d", i, sum, op.Stats.ScatterModelNs)
+		}
+		if len(op.Stats.PerIONodeScatterNs) != 4 {
+			t.Errorf("node %d: touched %d I/O nodes, want 4", i, len(op.Stats.PerIONodeScatterNs))
+		}
+	}
+}
+
+// TestCustomAssignment: subfiles can be placed on explicit I/O nodes.
+func TestCustomAssignment(t *testing.T) {
+	c, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf := part.MustFile(0, layout(t, "r", 32))
+	f, err := c.CreateFile("m", pf, []int{3, 2, 1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lf := part.MustFile(0, layout(t, "r", 32))
+	v, err := f.SetView(0, lf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 256)
+	for i := range buf {
+		buf[i] = byte(i)
+	}
+	op, err := v.StartWrite(ToBufferCache, 0, 255, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.RunAll()
+	if op.Err != nil {
+		t.Fatal(op.Err)
+	}
+	if _, hit := op.Stats.PerIONodeScatterNs[3]; !hit {
+		t.Errorf("subfile 0 should live on I/O node 3; scatter map: %v", op.Stats.PerIONodeScatterNs)
+	}
+}
+
+// TestTraceRecordsProtocol: an enabled trace captures sends, receives
+// and scatters of a write in time order.
+func TestTraceRecordsProtocol(t *testing.T) {
+	w := newMatrixWorkload(t, "c", 32)
+	tr := w.c.EnableTrace()
+	w.writeAll(t, ToBufferCache)
+	if tr.Len() == 0 {
+		t.Fatal("trace empty")
+	}
+	events := tr.Events()
+	last := int64(-1)
+	var sends, scatters int
+	for _, e := range events {
+		if e.At < last {
+			t.Fatalf("trace out of order at %v", e)
+		}
+		last = e.At
+		switch {
+		case len(e.Action) >= 4 && e.Action[:4] == "send":
+			sends++
+		case len(e.Action) >= 7 && e.Action[:7] == "scatter":
+			scatters++
+		}
+	}
+	if sends == 0 || scatters != 16 {
+		t.Errorf("trace has %d sends, %d scatters (want >0, 16)", sends, scatters)
+	}
+}
+
+// TestDisplacedFile: a file whose partitioning pattern starts past a
+// header region (non-zero displacement) serves views correctly.
+func TestDisplacedFile(t *testing.T) {
+	const n = 32
+	c, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	phys := part.MustFile(16, layout(t, "c", n))
+	f, err := c.CreateFile("displaced", phys, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	logical := part.MustFile(16, layout(t, "r", n))
+	per := int64(n * n / 4)
+	img := make([]byte, n*n)
+	for i := range img {
+		img[i] = byte(i*5 + 1)
+	}
+	views := make([]*View, 4)
+	for node := 0; node < 4; node++ {
+		v, err := f.SetView(node, logical, node)
+		if err != nil {
+			t.Fatal(err)
+		}
+		views[node] = v
+		op, err := v.StartWrite(ToBufferCache, 0, per-1, img[int64(node)*per:int64(node+1)*per])
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.RunAll()
+		if op.Err != nil {
+			t.Fatal(op.Err)
+		}
+	}
+	// Subfile content equals the decomposition of the image (element
+	// linear spaces start at the shared displacement).
+	want := redist.SplitFile(phys, img)
+	for e := range want {
+		if !bytes.Equal(f.Subfile(e), want[e]) {
+			t.Fatalf("displaced subfile %d differs", e)
+		}
+	}
+	for node := 0; node < 4; node++ {
+		out := make([]byte, per)
+		op, err := views[node].StartRead(0, per-1, out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.RunAll()
+		if op.Err != nil {
+			t.Fatal(op.Err)
+		}
+		if !bytes.Equal(out, img[int64(node)*per:int64(node+1)*per]) {
+			t.Fatalf("displaced read-back differs at node %d", node)
+		}
+	}
+}
+
+// TestOverwrite: a second write to the same view window replaces the
+// data (last writer wins, like any file).
+func TestOverwrite(t *testing.T) {
+	w := newMatrixWorkload(t, "b", 32)
+	per := w.n * w.n / 4
+	v := w.views[0]
+	first := make([]byte, per)
+	for i := range first {
+		first[i] = 0x11
+	}
+	op, err := v.StartWrite(ToBufferCache, 0, per-1, first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.c.RunAll()
+	if op.Err != nil {
+		t.Fatal(op.Err)
+	}
+	second := make([]byte, per/2)
+	for i := range second {
+		second[i] = 0x22
+	}
+	op, err = v.StartWrite(ToBufferCache, 0, per/2-1, second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.c.RunAll()
+	if op.Err != nil {
+		t.Fatal(op.Err)
+	}
+	out := make([]byte, per)
+	rop, err := v.StartRead(0, per-1, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.c.RunAll()
+	if rop.Err != nil {
+		t.Fatal(rop.Err)
+	}
+	for i := int64(0); i < per; i++ {
+		want := byte(0x11)
+		if i < per/2 {
+			want = 0x22
+		}
+		if out[i] != want {
+			t.Fatalf("byte %d = %#x, want %#x", i, out[i], want)
+		}
+	}
+}

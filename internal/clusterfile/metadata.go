@@ -1,0 +1,117 @@
+package clusterfile
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"parafile/internal/codec"
+)
+
+// metadata.go persists and restores file metadata — the displacement,
+// the partitioning pattern and the subfile-to-I/O-node assignment — in
+// the binary wire format, so a file created in one cluster session can
+// be reopened in another (the metadata-manager role of the real
+// system).
+
+// metadataMagic tags metadata blobs.
+var metadataMagic = []byte("PFMD")
+
+// EncodeMetadata serializes the file's description.
+func (f *File) EncodeMetadata() ([]byte, error) {
+	if len(f.Name) > 255 {
+		return nil, fmt.Errorf("clusterfile: file name longer than 255 bytes")
+	}
+	body := codec.EncodeFile(f.Phys)
+	if len(body) > 0xFFFF {
+		return nil, fmt.Errorf("clusterfile: pattern encoding of %d bytes exceeds the metadata format", len(body))
+	}
+	if len(f.Assign) > 255 {
+		return nil, fmt.Errorf("clusterfile: more than 255 subfiles")
+	}
+	buf := append([]byte(nil), metadataMagic...)
+	buf = appendString(buf, f.Name)
+	buf = appendBytes(buf, body)
+	buf = append(buf, byte(len(f.Assign)))
+	for _, io := range f.Assign {
+		buf = append(buf, byte(io))
+	}
+	return buf, nil
+}
+
+func appendString(buf []byte, s string) []byte {
+	buf = append(buf, byte(len(s)))
+	return append(buf, s...)
+}
+
+func appendBytes(buf, b []byte) []byte {
+	buf = append(buf, byte(len(b)>>8), byte(len(b)))
+	return append(buf, b...)
+}
+
+// OpenFile reconstructs a file from serialized metadata, registering
+// it with the cluster under its stored name.
+func (c *Cluster) OpenFile(meta []byte) (*File, error) {
+	if len(meta) < len(metadataMagic) || string(meta[:4]) != string(metadataMagic) {
+		return nil, fmt.Errorf("clusterfile: not a metadata blob")
+	}
+	meta = meta[4:]
+	if len(meta) < 1 {
+		return nil, fmt.Errorf("clusterfile: truncated metadata")
+	}
+	nameLen := int(meta[0])
+	meta = meta[1:]
+	if len(meta) < nameLen {
+		return nil, fmt.Errorf("clusterfile: truncated name")
+	}
+	name := string(meta[:nameLen])
+	meta = meta[nameLen:]
+	if len(meta) < 2 {
+		return nil, fmt.Errorf("clusterfile: truncated pattern")
+	}
+	bodyLen := int(meta[0])<<8 | int(meta[1])
+	meta = meta[2:]
+	if len(meta) < bodyLen {
+		return nil, fmt.Errorf("clusterfile: truncated pattern body")
+	}
+	phys, err := codec.DecodeFile(meta[:bodyLen])
+	if err != nil {
+		return nil, err
+	}
+	meta = meta[bodyLen:]
+	if len(meta) < 1 {
+		return nil, fmt.Errorf("clusterfile: truncated assignment")
+	}
+	n := int(meta[0])
+	meta = meta[1:]
+	if len(meta) != n {
+		return nil, fmt.Errorf("clusterfile: assignment holds %d entries, want %d", len(meta), n)
+	}
+	assign := make([]int, n)
+	for i := range assign {
+		assign[i] = int(meta[i])
+	}
+	return c.CreateFile(name, phys, assign)
+}
+
+// SaveMetadata writes the metadata blob next to the subfiles of a
+// directory-backed deployment.
+func (f *File) SaveMetadata(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	blob, err := f.EncodeMetadata()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, f.Name+".meta"), blob, 0o644)
+}
+
+// LoadMetadata reopens a file from a saved metadata blob.
+func (c *Cluster) LoadMetadata(dir, name string) (*File, error) {
+	blob, err := os.ReadFile(filepath.Join(dir, name+".meta"))
+	if err != nil {
+		return nil, err
+	}
+	return c.OpenFile(blob)
+}

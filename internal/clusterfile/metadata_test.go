@@ -1,0 +1,128 @@
+package clusterfile
+
+import (
+	"bytes"
+	"testing"
+
+	"parafile/internal/part"
+)
+
+// TestMetadataRoundTrip: a file written in one cluster session is
+// reopened from its saved metadata in another, with subfiles restored
+// from disk.
+func TestMetadataRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	const n = 32
+	img := make([]byte, n*n)
+	for i := range img {
+		img[i] = byte(i * 3)
+	}
+	per := int64(n * n / 4)
+
+	// Session 1: create, write, save metadata.
+	{
+		cfg := DefaultConfig()
+		cfg.Storage = DirStorageFactory(dir)
+		c, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cols, _ := part.ColBlocks(n, n, 4)
+		f, err := c.CreateFile("persist", part.MustFile(0, cols), []int{1, 0, 3, 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows, _ := part.RowBlocks(n, n, 4)
+		logical := part.MustFile(0, rows)
+		for node := 0; node < 4; node++ {
+			v, err := f.SetView(node, logical, node)
+			if err != nil {
+				t.Fatal(err)
+			}
+			op, err := v.StartWrite(ToBufferCache, 0, per-1, img[int64(node)*per:int64(node+1)*per])
+			if err != nil {
+				t.Fatal(err)
+			}
+			c.RunAll()
+			if op.Err != nil {
+				t.Fatal(op.Err)
+			}
+		}
+		if err := f.SaveMetadata(dir); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+	}
+
+	// Session 2: a fresh cluster reopens the file. The storage factory
+	// must not truncate existing subfiles, so open read-write without
+	// O_TRUNC via a reopening factory.
+	cfg := DefaultConfig()
+	cfg.Storage = ReopenDirStorageFactory(dir)
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := c.LoadMetadata(dir, "persist")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if f.Name != "persist" || f.Phys.Pattern.Len() != 4 {
+		t.Fatalf("metadata lost identity: %q / %d elements", f.Name, f.Phys.Pattern.Len())
+	}
+	if f.Assign[0] != 1 || f.Assign[3] != 2 {
+		t.Errorf("assignment lost: %v", f.Assign)
+	}
+	// Read the data back through a view.
+	rows, _ := part.RowBlocks(n, n, 4)
+	logical := part.MustFile(0, rows)
+	for node := 0; node < 4; node++ {
+		v, err := f.SetView(node, logical, node)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([]byte, per)
+		op, err := v.StartRead(0, per-1, out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.RunAll()
+		if op.Err != nil {
+			t.Fatal(op.Err)
+		}
+		if !bytes.Equal(out, img[int64(node)*per:int64(node+1)*per]) {
+			t.Fatalf("node %d: restored data differs", node)
+		}
+	}
+}
+
+func TestMetadataCorruption(t *testing.T) {
+	cfg := DefaultConfig()
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cols, _ := part.ColBlocks(32, 32, 4)
+	f, err := c.CreateFile("m", part.MustFile(0, cols), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := f.EncodeMetadata()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, _ := New(cfg)
+	if _, err := c2.OpenFile(blob); err != nil {
+		t.Fatalf("valid metadata rejected: %v", err)
+	}
+	for cut := 0; cut < len(blob); cut++ {
+		c3, _ := New(cfg)
+		if _, err := c3.OpenFile(blob[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+	if _, err := c2.OpenFile([]byte("JUNKJUNK")); err == nil {
+		t.Error("bad magic accepted")
+	}
+}

@@ -1,0 +1,460 @@
+package clusterfile
+
+import (
+	"fmt"
+	"time"
+
+	"parafile/internal/falls"
+	"parafile/internal/redist"
+	"parafile/internal/sim"
+)
+
+// ops.go implements the §8.1 write protocol and its reverse-symmetric
+// read. The algorithms and the data movement are executed for real on
+// the in-memory subfiles; durations for network, disk and era CPU
+// copying come from the cost models, composed on the cluster's
+// discrete-event kernel.
+
+// extremityMsgBytes is the wire size of the (lowS, highS) request of
+// §8.1 line 5.
+const extremityMsgBytes = 16
+
+// ackMsgBytes is the wire size of a write acknowledgement.
+const ackMsgBytes = 8
+
+// WriteStats is the per-operation breakdown the evaluation reports.
+type WriteStats struct {
+	// TMap is the real time to map the access interval extremities
+	// onto the subfiles (the paper's t_m, lines 3-4).
+	TMap time.Duration
+	// TGather is the real time spent gathering non-contiguous view
+	// data into message buffers (the paper's t_g, line 9).
+	TGather time.Duration
+	// TNet is the virtual time between sending the first write
+	// request and receiving the last acknowledgment (the paper's
+	// t_net).
+	TNet int64
+	// GatherModelNs is the era-calibrated model cost of the gathers,
+	// the amount injected into virtual time.
+	GatherModelNs int64
+	// ScatterModelNs is the total modeled scatter+write time across
+	// the I/O nodes this operation touched (the paper's t_sc, per
+	// message receive).
+	ScatterModelNs int64
+	// RealScatter is the real wall time of the scatters executed on
+	// the in-memory subfiles.
+	RealScatter time.Duration
+	// Messages and BytesSent count the data traffic (requests and
+	// data, not acks).
+	Messages  int
+	BytesSent int64
+	// ContiguousSends counts subfiles hit through the zero-copy path
+	// (line 7).
+	ContiguousSends int
+	// PerIONodeScatterNs breaks ScatterModelNs down by I/O node.
+	PerIONodeScatterNs map[int]int64
+}
+
+// WriteOp is an in-flight write; its Stats are final once the
+// cluster's kernel has drained.
+type WriteOp struct {
+	Stats WriteStats
+	Err   error
+
+	pending int
+	started int64
+	view    *View
+}
+
+// Done reports whether all acknowledgments have arrived.
+func (op *WriteOp) Done() bool { return op.pending == 0 }
+
+// copyModelNs returns the era CPU cost of moving the given bytes in
+// the given number of non-contiguous pieces (gathers and scatters).
+func (c *Cluster) copyModelNs(bytes, segments int64) int64 {
+	if segments < 1 {
+		segments = 1
+	}
+	return (segments-1)*c.cfg.CopySegmentOverheadNs +
+		sim.TransferTime(bytes, c.cfg.CopyBandwidthBytesPerSec)
+}
+
+// StartWrite begins the §8.1 write of view bytes [lowV, highV] from
+// buf at the current virtual time. Call the cluster kernel's Run (or
+// RunAll) to drive it to completion.
+func (v *View) StartWrite(mode WriteMode, lowV, highV int64, buf []byte) (*WriteOp, error) {
+	if highV < lowV {
+		return nil, fmt.Errorf("clusterfile: inverted write interval [%d,%d]", lowV, highV)
+	}
+	if int64(len(buf)) != highV-lowV+1 {
+		return nil, fmt.Errorf("clusterfile: buffer holds %d bytes for interval of %d",
+			len(buf), highV-lowV+1)
+	}
+	c := v.file.cluster
+	op := &WriteOp{view: v, started: c.K.Now()}
+	op.Stats.PerIONodeScatterNs = make(map[int]int64)
+
+	type sendPlan struct {
+		sub         *subView
+		lowS, highS int64
+		data        []byte
+		extents     int64
+		contiguous  bool
+		gatherNs    int64 // modeled gather cost (0 for the zero-copy path)
+	}
+	var plans []sendPlan
+
+	// Lines 1-4: for every subfile the view intersects, map the
+	// extremities of the access interval onto the subfile.
+	for i := range v.subs {
+		sub := &v.subs[i]
+		if sub.projV.BytesIn(lowV, highV) == 0 {
+			continue
+		}
+		tm := time.Now()
+		firstV, lastV := windowExtremes(sub.projV, lowV, highV)
+		lowS, err := mapThrough(v, sub, firstV)
+		if err != nil {
+			return nil, err
+		}
+		highS, err := mapThrough(v, sub, lastV)
+		if err != nil {
+			return nil, err
+		}
+		op.Stats.TMap += time.Since(tm)
+
+		p := sendPlan{sub: sub, lowS: lowS, highS: highS}
+		p.extents = sub.projS.SegmentsIn(lowS, highS)
+		// Line 6: when the view projection is contiguous over the
+		// whole interval, the user buffer goes out as-is.
+		if sub.projV.IsContiguous(lowV, highV) {
+			p.contiguous = true
+			p.data = buf
+			op.Stats.ContiguousSends++
+		} else {
+			// Line 9: gather the non-contiguous regions into buf2.
+			n := sub.projV.BytesIn(lowV, highV)
+			segs := sub.projV.SegmentsIn(lowV, highV)
+			buf2 := make([]byte, n)
+			tg := time.Now()
+			if err := gatherWindow(buf2, buf, sub.projV, lowV, highV); err != nil {
+				return nil, err
+			}
+			op.Stats.TGather += time.Since(tg)
+			p.gatherNs = c.copyModelNs(n, segs)
+			op.Stats.GatherModelNs += p.gatherNs
+			p.data = buf2
+		}
+		plans = append(plans, p)
+	}
+	if len(plans) == 0 {
+		return op, nil
+	}
+	op.pending = len(plans)
+
+	// The compute node executes the per-subfile loop sequentially; its
+	// local clock advances with the modeled gather costs while the NIC
+	// serializes the sends.
+	cnTime := c.K.Now()
+	for i := range plans {
+		p := plans[i]
+		ioNode := v.file.Assign[p.sub.subfile]
+		netDst := c.ioNet(ioNode)
+		// Line 5: send the extremities to the I/O server.
+		if err := c.Net.SendAt(cnTime, v.node, netDst, extremityMsgBytes, nil); err != nil {
+			return nil, err
+		}
+		op.Stats.Messages++
+		op.Stats.BytesSent += extremityMsgBytes
+		cnTime += p.gatherNs
+		// Lines 7/10: send the data.
+		data := p.data
+		sub := p.sub
+		lowS, highS, extents, contiguous := p.lowS, p.highS, p.extents, p.contiguous
+		deliver := func() {
+			c.serverWrite(op, v, sub, mode, ioNode, lowS, highS, extents, contiguous, data, lowV, highV)
+		}
+		if err := c.Net.SendAt(cnTime, v.node, netDst, int64(len(data)), deliver); err != nil {
+			return nil, err
+		}
+		op.Stats.Messages++
+		op.Stats.BytesSent += int64(len(data))
+	}
+	return op, nil
+}
+
+// serverWrite is the I/O server side of §8.1: receive the data and
+// either write it contiguously or scatter it into the subfile, then
+// acknowledge.
+func (c *Cluster) serverWrite(op *WriteOp, v *View, sub *subView, mode WriteMode,
+	ioNode int, lowS, highS, extents int64, contiguous bool, data []byte, lowV, highV int64) {
+
+	f := v.file
+	if err := f.growSubfile(sub.subfile, highS+1); err != nil {
+		op.Err = err
+		op.pending--
+		return
+	}
+	store := f.stores[sub.subfile]
+	ts := time.Now()
+	if contiguous && sub.projS.IsContiguous(lowS, highS) {
+		// Line 4 (server): contiguous on both sides — plain write.
+		if err := store.WriteAt(data, lowS); err != nil {
+			op.Err = err
+			op.pending--
+			return
+		}
+	} else {
+		// Line 6 (server): scatter buf into the subfile.
+		if err := scatterToStorage(store, data, sub.projS, lowS, highS); err != nil {
+			op.Err = err
+			op.pending--
+			return
+		}
+	}
+	op.Stats.RealScatter += time.Since(ts)
+	c.tracer.Recordf(c.K.Now(), fmt.Sprintf("ion%d", ioNode),
+		"scatter %d B into subfile %d [%d,%d] (%s)", len(data), sub.subfile, lowS, highS, mode)
+
+	// The storage model charges the scatter as the buffer-cache write
+	// (the paper's implementation copies once even in the contiguous
+	// case, which is why its numbers converge for large writes). The
+	// processing occupies the I/O node's receive path: the era server
+	// was single-threaded, so the next incoming message waits for the
+	// previous write to finish.
+	disk := c.Disks[ioNode]
+	bytes := int64(len(data))
+	cost := disk.CacheCost(bytes, extents)
+	if mode == ToDisk {
+		cost += disk.DiskCost(bytes, extents)
+	}
+	disk.Account(bytes, mode == ToDisk)
+	op.Stats.ScatterModelNs += cost
+	op.Stats.PerIONodeScatterNs[ioNode] += cost
+	err := c.Net.ReceiverBusy(c.ioNet(ioNode), cost, func() {
+		// Acknowledge back to the compute node.
+		c.Net.Send(c.ioNet(ioNode), v.node, ackMsgBytes, func() {
+			op.pending--
+			if op.pending == 0 {
+				op.Stats.TNet = c.K.Now() - op.started
+			}
+		})
+	})
+	if err != nil {
+		op.Err = err
+		op.pending--
+	}
+}
+
+// ReadStats mirrors WriteStats for the reverse-symmetric read path.
+type ReadStats struct {
+	TMap       time.Duration
+	TScatter   time.Duration // real: scatter into the user buffer
+	TNet       int64
+	Messages   int
+	BytesMoved int64
+}
+
+// ReadOp is an in-flight read.
+type ReadOp struct {
+	Stats ReadStats
+	Err   error
+
+	pending int
+	started int64
+}
+
+// Done reports whether all data has arrived.
+func (op *ReadOp) Done() bool { return op.pending == 0 }
+
+// StartRead begins the reverse-symmetric read of view bytes
+// [lowV, highV] into buf.
+func (v *View) StartRead(lowV, highV int64, buf []byte) (*ReadOp, error) {
+	if highV < lowV {
+		return nil, fmt.Errorf("clusterfile: inverted read interval [%d,%d]", lowV, highV)
+	}
+	if int64(len(buf)) != highV-lowV+1 {
+		return nil, fmt.Errorf("clusterfile: buffer holds %d bytes for interval of %d",
+			len(buf), highV-lowV+1)
+	}
+	c := v.file.cluster
+	op := &ReadOp{started: c.K.Now()}
+	for i := range v.subs {
+		sub := &v.subs[i]
+		if sub.projV.BytesIn(lowV, highV) == 0 {
+			continue
+		}
+		tm := time.Now()
+		firstV, lastV := windowExtremes(sub.projV, lowV, highV)
+		lowS, err := mapThrough(v, sub, firstV)
+		if err != nil {
+			return nil, err
+		}
+		highS, err := mapThrough(v, sub, lastV)
+		if err != nil {
+			return nil, err
+		}
+		op.Stats.TMap += time.Since(tm)
+
+		ioNode := v.file.Assign[sub.subfile]
+		netDst := c.ioNet(ioNode)
+		op.pending++
+		lowS2, highS2 := lowS, highS
+		// Request to the I/O server.
+		err = c.Net.Send(v.node, netDst, extremityMsgBytes, func() {
+			c.serverRead(op, v, sub, ioNode, lowS2, highS2, buf, lowV, highV)
+		})
+		if err != nil {
+			return nil, err
+		}
+		op.Stats.Messages++
+	}
+	return op, nil
+}
+
+// serverRead gathers the requested subfile bytes and ships them back;
+// the compute node scatters them into the user buffer on arrival.
+func (c *Cluster) serverRead(op *ReadOp, v *View, sub *subView, ioNode int,
+	lowS, highS int64, buf []byte, lowV, highV int64) {
+
+	f := v.file
+	if err := f.growSubfile(sub.subfile, highS+1); err != nil {
+		op.Err = err
+		op.pending--
+		return
+	}
+	n := sub.projS.BytesIn(lowS, highS)
+	segs := sub.projS.SegmentsIn(lowS, highS)
+	data := make([]byte, n)
+	if err := gatherFromStorage(data, f.stores[sub.subfile], sub.projS, lowS, highS); err != nil {
+		op.Err = err
+		op.pending--
+		return
+	}
+	// The server's gather is CPU work before the send.
+	c.K.After(c.copyModelNs(n, segs), func() {
+		err := c.Net.Send(c.ioNet(ioNode), v.node, n, func() {
+			ts := time.Now()
+			if err := scatterWindow(buf, data, sub.projV, lowV, highV); err != nil {
+				op.Err = err
+				op.pending--
+				return
+			}
+			op.Stats.TScatter += time.Since(ts)
+			op.Stats.BytesMoved += n
+			op.pending--
+			if op.pending == 0 {
+				op.Stats.TNet = c.K.Now() - op.started
+			}
+		})
+		if err != nil {
+			op.Err = err
+			op.pending--
+		}
+	})
+	op.Stats.Messages++
+}
+
+// RunAll drains the cluster's event kernel, completing every started
+// operation, and returns the final virtual time.
+func (c *Cluster) RunAll() int64 { return c.K.Run() }
+
+// windowExtremes returns the first and last selected element offsets
+// of the projection inside [lo, hi]. Callers ensure the window is
+// non-empty.
+func windowExtremes(p *redist.Projection, lo, hi int64) (first, last int64) {
+	first, last = -1, -1
+	p.WalkRange(lo, hi, func(seg falls.LineSegment) bool {
+		if first < 0 {
+			first = seg.L
+		}
+		last = seg.R
+		return true
+	})
+	return first, last
+}
+
+// mapThrough maps a view offset onto the subfile through the file
+// space: MAP_S(MAP⁻¹_V(y)) (§6.2). The offset is guaranteed to belong
+// to the intersection, so the direct map succeeds.
+func mapThrough(v *View, sub *subView, y int64) (int64, error) {
+	x, err := v.mapper.MapInv(y)
+	if err != nil {
+		return 0, err
+	}
+	return sub.mapper.Map(x)
+}
+
+// scatterToStorage unpacks contiguous data into the storage regions
+// selected by the projection within [lo, hi] — the §8 SCATTER against
+// an arbitrary subfile store.
+func scatterToStorage(store Storage, data []byte, p *redist.Projection, lo, hi int64) error {
+	var pos int64
+	var err error
+	p.WalkRange(lo, hi, func(seg falls.LineSegment) bool {
+		if pos+seg.Len() > int64(len(data)) {
+			err = fmt.Errorf("clusterfile: scatter underflow")
+			return false
+		}
+		if err = store.WriteAt(data[pos:pos+seg.Len()], seg.L); err != nil {
+			return false
+		}
+		pos += seg.Len()
+		return true
+	})
+	return err
+}
+
+// gatherFromStorage packs the storage regions selected by the
+// projection within [lo, hi] into dst — the §8 GATHER from a subfile
+// store.
+func gatherFromStorage(dst []byte, store Storage, p *redist.Projection, lo, hi int64) error {
+	var pos int64
+	var err error
+	p.WalkRange(lo, hi, func(seg falls.LineSegment) bool {
+		if pos+seg.Len() > int64(len(dst)) {
+			err = fmt.Errorf("clusterfile: gather overflow")
+			return false
+		}
+		if err = store.ReadAt(dst[pos:pos+seg.Len()], seg.L); err != nil {
+			return false
+		}
+		pos += seg.Len()
+		return true
+	})
+	return err
+}
+
+// gatherWindow packs the projection's bytes within [lowV, highV] from
+// a window-relative buffer (buf[0] is view offset lowV).
+func gatherWindow(dst, buf []byte, p *redist.Projection, lowV, highV int64) error {
+	var pos int64
+	var err error
+	p.WalkRange(lowV, highV, func(seg falls.LineSegment) bool {
+		if pos+seg.Len() > int64(len(dst)) {
+			err = fmt.Errorf("clusterfile: gather overflow")
+			return false
+		}
+		copy(dst[pos:pos+seg.Len()], buf[seg.L-lowV:seg.R+1-lowV])
+		pos += seg.Len()
+		return true
+	})
+	return err
+}
+
+// scatterWindow unpacks contiguous data into the projection's bytes of
+// a window-relative buffer.
+func scatterWindow(buf, data []byte, p *redist.Projection, lowV, highV int64) error {
+	var pos int64
+	var err error
+	p.WalkRange(lowV, highV, func(seg falls.LineSegment) bool {
+		if pos+seg.Len() > int64(len(data)) {
+			err = fmt.Errorf("clusterfile: scatter underflow")
+			return false
+		}
+		copy(buf[seg.L-lowV:seg.R+1-lowV], data[pos:pos+seg.Len()])
+		pos += seg.Len()
+		return true
+	})
+	return err
+}

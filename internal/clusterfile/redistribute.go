@@ -1,0 +1,162 @@
+package clusterfile
+
+import (
+	"fmt"
+	"time"
+
+	"parafile/internal/falls"
+	"parafile/internal/part"
+	"parafile/internal/redist"
+)
+
+// redistribute.go implements on-the-fly physical re-partitioning of a
+// stored file — §3: "using the redistribution algorithm it is possible
+// to implement disk redistribution on the fly, like in Panda, in order
+// to better suit the layout to a certain access pattern". Data moves
+// I/O node to I/O node over the simulated interconnect; the library's
+// redistribution plan supplies the pairwise projections.
+
+// RedistStats reports a cluster redistribution.
+type RedistStats struct {
+	// TNet is the virtual time from the first transfer send until the
+	// last scatter completed.
+	TNet int64
+	// Messages and Bytes count the inter-I/O-node traffic.
+	Messages int
+	Bytes    int64
+	// GatherReal / ScatterReal are the real wall times of the data
+	// movement on the host.
+	GatherReal, ScatterReal time.Duration
+}
+
+// RedistOp is an in-flight cluster redistribution.
+type RedistOp struct {
+	Stats RedistStats
+	Err   error
+
+	pending int
+	started int64
+}
+
+// Done reports whether all transfers have completed.
+func (op *RedistOp) Done() bool { return op.pending == 0 }
+
+// StartRedistribute creates newName with the given physical partition
+// and assignment (nil for round-robin) and moves the first length
+// bytes of f's data into it, disk to disk. Drive the kernel (RunAll)
+// to completion, then use the returned file.
+func (c *Cluster) StartRedistribute(f *File, newName string, newPhys *part.File, newAssign []int, length int64) (*File, *RedistOp, error) {
+	if f == nil {
+		return nil, nil, fmt.Errorf("clusterfile: nil file")
+	}
+	if length < 1 {
+		return nil, nil, fmt.Errorf("clusterfile: non-positive length %d", length)
+	}
+	plan, err := redist.NewPlan(f.Phys, newPhys)
+	if err != nil {
+		return nil, nil, err
+	}
+	nf, err := c.CreateFile(newName, newPhys, newAssign)
+	if err != nil {
+		return nil, nil, err
+	}
+	op := &RedistOp{started: c.K.Now()}
+	for i := range plan.Transfers {
+		t := &plan.Transfers[i]
+		srcHi, dstHi, bytes := t.Windows(plan.Period, length)
+		if bytes == 0 {
+			continue
+		}
+		srcION := f.Assign[t.SrcElem]
+		dstION := nf.Assign[t.DstElem]
+
+		// Source I/O node: gather the shared bytes from the old
+		// subfile (real I/O), modeled as CPU work before the send.
+		// Unwritten holes read as zeroes, like any sparse file.
+		if err := f.growSubfile(t.SrcElem, srcHi+1); err != nil {
+			return nil, nil, err
+		}
+		buf := make([]byte, bytes)
+		tg := time.Now()
+		if err := gatherStorageWindow(buf, f.stores[t.SrcElem], t.SrcProj, srcHi); err != nil {
+			return nil, nil, err
+		}
+		op.Stats.GatherReal += time.Since(tg)
+		segs := t.SrcProj.SegmentsIn(0, srcHi)
+		gatherNs := c.copyModelNs(bytes, segs)
+
+		op.pending++
+		op.Stats.Messages++
+		op.Stats.Bytes += bytes
+		dstProj := t.DstProj
+		dstElem := t.DstElem
+		dstSegs := dstProj.SegmentsIn(0, dstHi)
+		c.K.After(gatherNs, func() {
+			err := c.Net.Send(c.ioNet(srcION), c.ioNet(dstION), bytes, func() {
+				// Destination I/O node: scatter into the new subfile.
+				if err := nf.growSubfile(dstElem, dstHi+1); err != nil {
+					op.Err = err
+					op.pending--
+					return
+				}
+				ts := time.Now()
+				if err := scatterStorageWindow(nf.stores[dstElem], buf, dstProj, dstHi); err != nil {
+					op.Err = err
+					op.pending--
+					return
+				}
+				op.Stats.ScatterReal += time.Since(ts)
+				cost := c.Disks[dstION].CacheCost(bytes, dstSegs)
+				c.Disks[dstION].Account(bytes, false)
+				c.Net.ReceiverBusy(c.ioNet(dstION), cost, func() {
+					op.pending--
+					if op.pending == 0 {
+						op.Stats.TNet = c.K.Now() - op.started
+					}
+				})
+			})
+			if err != nil {
+				op.Err = err
+				op.pending--
+			}
+		})
+	}
+	return nf, op, nil
+}
+
+// gatherStorageWindow packs the projection's bytes in [0, hi] from a
+// storage-backed subfile.
+func gatherStorageWindow(dst []byte, store Storage, p *redist.Projection, hi int64) error {
+	var pos int64
+	var err error
+	p.WalkRange(0, hi, func(seg falls.LineSegment) bool {
+		if pos+seg.Len() > int64(len(dst)) {
+			err = fmt.Errorf("clusterfile: redistribution gather overflow")
+			return false
+		}
+		if err = store.ReadAt(dst[pos:pos+seg.Len()], seg.L); err != nil {
+			return false
+		}
+		pos += seg.Len()
+		return true
+	})
+	return err
+}
+
+// scatterStorageWindow unpacks a transfer payload into the new subfile.
+func scatterStorageWindow(store Storage, buf []byte, p *redist.Projection, hi int64) error {
+	var pos int64
+	var err error
+	p.WalkRange(0, hi, func(seg falls.LineSegment) bool {
+		if pos+seg.Len() > int64(len(buf)) {
+			err = fmt.Errorf("clusterfile: redistribution scatter underflow")
+			return false
+		}
+		if err = store.WriteAt(buf[pos:pos+seg.Len()], seg.L); err != nil {
+			return false
+		}
+		pos += seg.Len()
+		return true
+	})
+	return err
+}

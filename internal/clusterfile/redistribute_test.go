@@ -1,0 +1,153 @@
+package clusterfile
+
+import (
+	"bytes"
+	"testing"
+
+	"parafile/internal/part"
+	"parafile/internal/redist"
+)
+
+// writeMatrix fills a file with the reference image through row-block
+// views.
+func writeMatrix(t *testing.T, c *Cluster, f *File, img []byte, n int64) {
+	t.Helper()
+	rows, err := part.RowBlocks(n, n, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	logical := part.MustFile(0, rows)
+	per := n * n / 4
+	for node := 0; node < 4; node++ {
+		v, err := f.SetView(node, logical, node)
+		if err != nil {
+			t.Fatal(err)
+		}
+		op, err := v.StartWrite(ToBufferCache, 0, per-1, img[int64(node)*per:int64(node+1)*per])
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.RunAll()
+		if op.Err != nil {
+			t.Fatal(op.Err)
+		}
+	}
+}
+
+// TestClusterRedistribute: disk-to-disk re-partitioning preserves
+// every byte and reports traffic.
+func TestClusterRedistribute(t *testing.T) {
+	const n = 64
+	c, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cols, _ := part.ColBlocks(n, n, 4)
+	f, err := c.CreateFile("old", part.MustFile(0, cols), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img := make([]byte, n*n)
+	for i := range img {
+		img[i] = byte(i*11 + 7)
+	}
+	writeMatrix(t, c, f, img, n)
+
+	rowsPat, _ := part.RowBlocks(n, n, 4)
+	nf, op, err := c.StartRedistribute(f, "new", part.MustFile(0, rowsPat), nil, n*n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.RunAll()
+	if op.Err != nil || !op.Done() {
+		t.Fatalf("redistribution failed: %v", op.Err)
+	}
+	if op.Stats.TNet <= 0 {
+		t.Errorf("TNet = %d", op.Stats.TNet)
+	}
+	if op.Stats.Bytes != n*n {
+		t.Errorf("moved %d bytes, want %d", op.Stats.Bytes, n*n)
+	}
+	if op.Stats.Messages != 16 {
+		t.Errorf("%d messages, want 16 (all-to-all)", op.Stats.Messages)
+	}
+
+	// The new file's subfiles hold the row-block decomposition.
+	want := redist.SplitFile(part.MustFile(0, rowsPat), img)
+	for e := range want {
+		if !bytes.Equal(nf.Subfile(e), want[e]) {
+			t.Fatalf("new subfile %d differs after disk redistribution", e)
+		}
+	}
+
+	// The redistributed file serves reads correctly.
+	logical := part.MustFile(0, rowsPat)
+	per := int64(n * n / 4)
+	for node := 0; node < 4; node++ {
+		v, err := nf.SetView(node, logical, node)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([]byte, per)
+		rop, err := v.StartRead(0, per-1, out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.RunAll()
+		if rop.Err != nil {
+			t.Fatal(rop.Err)
+		}
+		if !bytes.Equal(out, img[int64(node)*per:int64(node+1)*per]) {
+			t.Fatalf("node %d read from redistributed file differs", node)
+		}
+	}
+}
+
+// TestClusterRedistributeIdentity: same layout, permuted placement —
+// every transfer is node-to-node bulk copy.
+func TestClusterRedistributeIdentity(t *testing.T) {
+	const n = 32
+	c, _ := New(DefaultConfig())
+	rowsPat, _ := part.RowBlocks(n, n, 4)
+	f, err := c.CreateFile("a", part.MustFile(0, rowsPat), []int{0, 1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	img := make([]byte, n*n)
+	for i := range img {
+		img[i] = byte(i)
+	}
+	writeMatrix(t, c, f, img, n)
+	nf, op, err := c.StartRedistribute(f, "b", part.MustFile(0, rowsPat), []int{3, 2, 1, 0}, n*n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.RunAll()
+	if op.Err != nil {
+		t.Fatal(op.Err)
+	}
+	if op.Stats.Messages != 4 {
+		t.Errorf("identity relayout used %d messages, want 4", op.Stats.Messages)
+	}
+	want := redist.SplitFile(part.MustFile(0, rowsPat), img)
+	for e := range want {
+		if !bytes.Equal(nf.Subfile(e), want[e]) {
+			t.Fatalf("subfile %d differs after relocation", e)
+		}
+	}
+}
+
+func TestClusterRedistributeValidation(t *testing.T) {
+	c, _ := New(DefaultConfig())
+	rowsPat, _ := part.RowBlocks(32, 32, 4)
+	f, _ := c.CreateFile("v", part.MustFile(0, rowsPat), nil)
+	if _, _, err := c.StartRedistribute(nil, "x", part.MustFile(0, rowsPat), nil, 8); err == nil {
+		t.Error("nil file accepted")
+	}
+	if _, _, err := c.StartRedistribute(f, "x", part.MustFile(0, rowsPat), nil, 0); err == nil {
+		t.Error("zero length accepted")
+	}
+	if _, _, err := c.StartRedistribute(f, "v", part.MustFile(0, rowsPat), nil, 8); err == nil {
+		t.Error("duplicate name accepted")
+	}
+}

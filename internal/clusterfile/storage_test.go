@@ -1,0 +1,153 @@
+package clusterfile
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"parafile/internal/part"
+	"parafile/internal/redist"
+)
+
+// TestDiskBackedSubfiles: the full write/read cycle works with
+// subfiles stored as real files, and the on-disk bytes match the
+// expected physical decomposition.
+func TestDiskBackedSubfiles(t *testing.T) {
+	dir := t.TempDir()
+	cfg := DefaultConfig()
+	cfg.Storage = DirStorageFactory(dir)
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 64
+	cols, err := part.ColBlocks(n, n, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := c.CreateFile("disk.mat", part.MustFile(0, cols), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	rows, err := part.RowBlocks(n, n, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	logical := part.MustFile(0, rows)
+	img := make([]byte, n*n)
+	for i := range img {
+		img[i] = byte(i*7 + 3)
+	}
+	per := int64(n * n / 4)
+	ops := make([]*WriteOp, 4)
+	views := make([]*View, 4)
+	for node := 0; node < 4; node++ {
+		v, err := f.SetView(node, logical, node)
+		if err != nil {
+			t.Fatal(err)
+		}
+		views[node] = v
+		op, err := v.StartWrite(ToBufferCache, 0, per-1, img[int64(node)*per:int64(node+1)*per])
+		if err != nil {
+			t.Fatal(err)
+		}
+		ops[node] = op
+	}
+	c.RunAll()
+	for i, op := range ops {
+		if op.Err != nil || !op.Done() {
+			t.Fatalf("node %d disk-backed write failed: %v", i, op.Err)
+		}
+	}
+	// The real files on disk hold exactly the column decomposition.
+	want := redist.SplitFile(part.MustFile(0, cols), img)
+	for e := 0; e < 4; e++ {
+		path := filepath.Join(dir, "disk.mat.subfile0"+string(rune('0'+e)))
+		got, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("subfile file missing: %v", err)
+		}
+		if !bytes.Equal(got, want[e]) {
+			t.Fatalf("on-disk subfile %d differs from expected decomposition", e)
+		}
+	}
+	// Read back through the views from disk.
+	for node := 0; node < 4; node++ {
+		out := make([]byte, per)
+		op, err := views[node].StartRead(0, per-1, out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.RunAll()
+		if op.Err != nil {
+			t.Fatal(op.Err)
+		}
+		if !bytes.Equal(out, img[int64(node)*per:int64(node+1)*per]) {
+			t.Fatalf("node %d disk-backed read-back differs", node)
+		}
+	}
+}
+
+func TestMemStorageBounds(t *testing.T) {
+	m := &memStorage{}
+	if err := m.EnsureLen(8); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.WriteAt([]byte{1, 2}, 7); err == nil {
+		t.Error("overflowing write accepted")
+	}
+	if err := m.ReadAt(make([]byte, 2), 7); err == nil {
+		t.Error("overflowing read accepted")
+	}
+	if err := m.WriteAt([]byte{1}, -1); err == nil {
+		t.Error("negative offset accepted")
+	}
+	if err := m.WriteAt([]byte{9}, 3); err != nil {
+		t.Fatal(err)
+	}
+	p := make([]byte, 1)
+	if err := m.ReadAt(p, 3); err != nil || p[0] != 9 {
+		t.Errorf("read back = %v, %v", p, err)
+	}
+	// Growing preserves content.
+	if err := m.EnsureLen(16); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.ReadAt(p, 3); err != nil || p[0] != 9 {
+		t.Errorf("content lost on grow: %v, %v", p, err)
+	}
+}
+
+func TestFileStorageBounds(t *testing.T) {
+	dir := t.TempDir()
+	st, err := DirStorageFactory(dir)("bounds", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if err := st.EnsureLen(8); err != nil {
+		t.Fatal(err)
+	}
+	if st.Len() != 8 {
+		t.Errorf("Len = %d, want 8", st.Len())
+	}
+	if err := st.WriteAt([]byte{1, 2}, 7); err == nil {
+		t.Error("overflowing write accepted")
+	}
+	if err := st.WriteAt([]byte{5, 6}, 2); err != nil {
+		t.Fatal(err)
+	}
+	p := make([]byte, 2)
+	if err := st.ReadAt(p, 2); err != nil || p[0] != 5 || p[1] != 6 {
+		t.Errorf("read back = %v, %v", p, err)
+	}
+	// Shrinking never happens: EnsureLen with smaller n is a no-op.
+	if err := st.EnsureLen(4); err != nil {
+		t.Fatal(err)
+	}
+	if st.Len() != 8 {
+		t.Errorf("EnsureLen shrank the store to %d", st.Len())
+	}
+}

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"fmt"
+
+	"parafile/internal/falls"
+	"parafile/internal/part"
+)
+
+// compose.go implements hierarchical partitioning: refining one
+// element of a partition by a sub-pattern applied to that element's
+// linear space. This is the "view of a view" the unified file model
+// makes natural — a subfile further partitioned over local disks, or a
+// view re-partitioned among the threads of one process — and it works
+// because subfiles and views are both linear-addressable instances of
+// the same model (§5).
+
+// ComposePattern replaces element elem of the file's pattern with the
+// elements of sub, each pulled back through MAP⁻¹ into the file's
+// pattern coordinates. The sub-pattern partitions the element's linear
+// space; its size must divide the element's bytes per pattern period.
+// Element names are prefixed with the refined element's name.
+func ComposePattern(f *part.File, elem int, sub *part.Pattern) (*part.Pattern, error) {
+	if f == nil || sub == nil {
+		return nil, fmt.Errorf("core: nil file or sub-pattern")
+	}
+	if elem < 0 || elem >= f.Pattern.Len() {
+		return nil, fmt.Errorf("core: element %d out of range [0,%d)", elem, f.Pattern.Len())
+	}
+	target := f.Pattern.Element(elem)
+	size := target.Set.Size()
+	if size%sub.Size() != 0 {
+		return nil, fmt.Errorf("core: sub-pattern size %d does not divide element size %d",
+			sub.Size(), size)
+	}
+	var elems []part.Element
+	for i := 0; i < f.Pattern.Len(); i++ {
+		if i != elem {
+			elems = append(elems, f.Pattern.Element(i))
+		}
+	}
+	for t := 0; t < sub.Len(); t++ {
+		set, err := pullBack(target.Set, sub.Element(t).Set, sub.Size())
+		if err != nil {
+			return nil, err
+		}
+		elems = append(elems, part.Element{
+			Name: target.Name + "/" + sub.Element(t).Name,
+			Set:  set,
+		})
+	}
+	return part.NewPattern(elems...)
+}
+
+// pullBack computes the pattern-coordinate byte set of a sub-element:
+// the positions of elemSet whose element-space offsets are selected by
+// subSet (applied periodically with the given period).
+func pullBack(elemSet falls.Set, subSet falls.Set, period int64) (falls.Set, error) {
+	var segs []falls.LineSegment
+	off := int64(0) // running element-space offset
+	elemSet.Walk(func(seg falls.LineSegment) bool {
+		// Element offsets [off, off+len) correspond to pattern
+		// coordinates [seg.L, seg.R]; select the sub-pattern's bytes
+		// within that element-offset window.
+		lo, hi := off, off+seg.Len()-1
+		for k := lo / period; k*period <= hi; k++ {
+			base := k * period
+			subSet.Walk(func(s falls.LineSegment) bool {
+				a := s.L + base
+				b := s.R + base
+				if b < lo {
+					return true
+				}
+				if a > hi {
+					return false
+				}
+				if a < lo {
+					a = lo
+				}
+				if b > hi {
+					b = hi
+				}
+				segs = append(segs, falls.LineSegment{
+					L: seg.L + (a - off),
+					R: seg.L + (b - off),
+				})
+				return true
+			})
+		}
+		off += seg.Len()
+		return true
+	})
+	set := falls.LeavesToSet(segs)
+	if err := set.Validate(); err != nil {
+		return nil, err
+	}
+	return set, nil
+}

@@ -1,0 +1,162 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"parafile/internal/part"
+)
+
+// TestComposeRowThenColumn: refine one row stripe of a matrix by a
+// column split — a subfile partitioned over two local disks.
+func TestComposeRowThenColumn(t *testing.T) {
+	const n = 8
+	rows, err := part.RowBlocks(n, n, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := part.MustFile(0, rows)
+	// Element 1 (rows 2-3) split into two column halves of its own
+	// 2×8 space.
+	sub, err := part.ColBlocks(2, n, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	composed, err := ComposePattern(f, 1, sub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if composed.Len() != 5 { // 3 untouched + 2 refined
+		t.Fatalf("composed pattern has %d elements, want 5", composed.Len())
+	}
+	// Ownership oracle: matrix byte (r, c) with r in {2,3} belongs to
+	// the refined half c/4; all other rows keep their stripes.
+	cf := part.MustFile(0, composed)
+	for r := int64(0); r < n; r++ {
+		for c := int64(0); c < n; c++ {
+			e, err := cf.ElementOf(r*n + c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			name := composed.Element(e).Name
+			if r >= 2 && r < 4 {
+				want := "p(1,0)/p(0,0)"
+				if c >= 4 {
+					want = "p(1,0)/p(0,1)"
+				}
+				if name != want {
+					t.Fatalf("byte (%d,%d) owned by %q, want %q", r, c, name, want)
+				}
+			} else if name == "p(1,0)/p(0,0)" || name == "p(1,0)/p(0,1)" {
+				t.Fatalf("byte (%d,%d) wrongly captured by refined element %q", r, c, name)
+			}
+		}
+	}
+}
+
+// TestComposeMappingConsistency: the refined element's mapping equals
+// the composition of the outer and inner mappings, byte for byte.
+func TestComposeMappingConsistency(t *testing.T) {
+	rows, _ := part.RowBlocks(8, 8, 4)
+	f := part.MustFile(0, rows)
+	sub, _ := part.Cyclic1D(16, 2, 2)
+	composed, err := ComposePattern(f, 2, sub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cf := part.MustFile(0, composed)
+	outer := MustMapper(f, 2)
+	// Find the refined elements in the composed pattern.
+	for t2 := 0; t2 < sub.Len(); t2++ {
+		name := f.Pattern.Element(2).Name + "/" + sub.Element(t2).Name
+		idx := -1
+		for e := 0; e < composed.Len(); e++ {
+			if composed.Element(e).Name == name {
+				idx = e
+			}
+		}
+		if idx < 0 {
+			t.Fatalf("refined element %q missing", name)
+		}
+		refined := MustMapper(cf, idx)
+		subSet := sub.Element(t2).Set
+		// Enumerate: the k-th byte of the refined element must be the
+		// file offset whose outer-element offset is the k-th selected
+		// offset of the sub-element (periodically).
+		var k int64
+		for rep := int64(0); rep < 2; rep++ {
+			for _, o := range subSet.Offsets() {
+				y := rep*sub.Size() + o
+				x, err := outer.MapInv(y)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := refined.Map(x)
+				if err != nil {
+					t.Fatalf("refined element does not own %d (outer offset %d): %v", x, y, err)
+				}
+				if got != k {
+					t.Fatalf("refined Map(%d) = %d, want %d", x, got, k)
+				}
+				k++
+			}
+		}
+	}
+}
+
+// TestComposeValidation: misfitting sub-patterns are rejected.
+func TestComposeValidation(t *testing.T) {
+	rows, _ := part.RowBlocks(8, 8, 4)
+	f := part.MustFile(0, rows)
+	if _, err := ComposePattern(nil, 0, rows); err == nil {
+		t.Error("nil file accepted")
+	}
+	if _, err := ComposePattern(f, 9, rows); err == nil {
+		t.Error("out-of-range element accepted")
+	}
+	bad, _ := part.Block1D(7, 7) // size 7 does not divide 16
+	if _, err := ComposePattern(f, 0, bad); err == nil {
+		t.Error("non-dividing sub-pattern accepted")
+	}
+}
+
+// TestPropertyComposeTiles: composing a random element with a random
+// 1-D split always yields a valid pattern of the same total size.
+func TestPropertyComposeTiles(t *testing.T) {
+	rng := rand.New(rand.NewSource(200))
+	for iter := 0; iter < 40; iter++ {
+		var pat *part.Pattern
+		var err error
+		switch rng.Intn(3) {
+		case 0:
+			pat, err = part.RowBlocks(8, 8, 4)
+		case 1:
+			pat, err = part.ColBlocks(8, 8, 4)
+		default:
+			pat, err = part.SquareBlocks(8, 8, 2, 2)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		f := part.MustFile(0, pat)
+		elem := rng.Intn(pat.Len())
+		size := pat.Element(elem).Set.Size()
+		// A divisor split of the element.
+		divisors := []int64{2, 4, 8}
+		d := divisors[rng.Intn(len(divisors))]
+		if size%d != 0 {
+			continue
+		}
+		sub, err := part.Block1D(size, int(d))
+		if err != nil {
+			t.Fatal(err)
+		}
+		composed, err := ComposePattern(f, elem, sub)
+		if err != nil {
+			t.Fatalf("compose failed: %v", err)
+		}
+		if composed.Size() != pat.Size() {
+			t.Fatalf("composed size %d != original %d", composed.Size(), pat.Size())
+		}
+	}
+}

@@ -1,0 +1,52 @@
+package core_test
+
+import (
+	"fmt"
+
+	"parafile/internal/core"
+	"parafile/internal/falls"
+	"parafile/internal/part"
+)
+
+// The paper's §6 worked example: the Figure 3 file (displacement 2,
+// three 2-byte stripes) maps file offset 10 onto subfile 1's offset 2.
+func ExampleMapper() {
+	pattern := part.MustPattern(
+		part.Element{Name: "s0", Set: falls.Set{falls.MustLeaf(0, 1, 6, 1)}},
+		part.Element{Name: "s1", Set: falls.Set{falls.MustLeaf(2, 3, 6, 1)}},
+		part.Element{Name: "s2", Set: falls.Set{falls.MustLeaf(4, 5, 6, 1)}},
+	)
+	file := part.MustFile(2, pattern)
+	m := core.MustMapper(file, 1)
+
+	v, _ := m.Map(10)
+	x, _ := m.MapInv(v)
+	fmt.Println("MAP_S1(10) =", v)
+	fmt.Println("MAP⁻¹_S1(2) =", x)
+
+	// Offsets owned by other subfiles snap with next/previous maps.
+	m0 := core.MustMapper(file, 0)
+	next, _ := m0.MapNext(5)
+	prev, _ := m0.MapPrev(5)
+	fmt.Println("next map of 5 on s0 =", next)
+	fmt.Println("previous map of 5 on s0 =", prev)
+	// Output:
+	// MAP_S1(10) = 2
+	// MAP⁻¹_S1(2) = 10
+	// next map of 5 on s0 = 2
+	// previous map of 5 on s0 = 1
+}
+
+// MapBetween composes MAP_S ∘ MAP⁻¹_V to map between two partitions of
+// the same file (§6.2); identical partitions compose to the identity.
+func ExampleMapBetween() {
+	rows, _ := part.RowBlocks(8, 8, 4)
+	phys := part.MustFile(0, rows)
+	logi := part.MustFile(0, rows)
+	v := core.MustMapper(logi, 2)
+	s := core.MustMapper(phys, 2)
+	got, _ := core.MapBetween(v, s, 7)
+	fmt.Println(got)
+	// Output:
+	// 7
+}

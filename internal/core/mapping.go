@@ -1,0 +1,307 @@
+// Package core implements the paper's mapping functions (§6): MAP_S
+// from a file offset to the offset inside one partition element S,
+// its inverse MAP⁻¹_S, the next/previous-byte variants, and the
+// composition MAP_S ∘ MAP⁻¹_V that maps between two elements of two
+// different partitions of the same file.
+//
+// A Mapper is built once per partition element and caches the
+// cumulative-size tables the recursive MAP-AUX lookups need, so that a
+// single mapping costs O(depth · log members).
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"parafile/internal/falls"
+	"parafile/internal/part"
+)
+
+// ErrNotMapped is wrapped by errors reporting that a file offset does
+// not belong to the partition element (it falls in another element's
+// bytes). Use MapNext/MapPrev for snapping semantics.
+type NotMappedError struct {
+	Offset int64
+}
+
+func (e *NotMappedError) Error() string {
+	return fmt.Sprintf("core: offset %d does not map on this partition element", e.Offset)
+}
+
+// Mapper maps between the linear space of a file and the linear space
+// of one partition element (subfile or view).
+type Mapper struct {
+	file *part.File
+	elem int
+	set  setIndex
+}
+
+// NewMapper builds the mapping functions for element elem of the
+// file's partition.
+func NewMapper(f *part.File, elem int) (*Mapper, error) {
+	if f == nil {
+		return nil, fmt.Errorf("core: nil file")
+	}
+	if elem < 0 || elem >= f.Pattern.Len() {
+		return nil, fmt.Errorf("core: element %d out of range [0,%d)", elem, f.Pattern.Len())
+	}
+	set := f.Pattern.Element(elem).Set
+	if len(set) == 0 {
+		return nil, fmt.Errorf("core: element %d has an empty set", elem)
+	}
+	return &Mapper{file: f, elem: elem, set: indexSet(set)}, nil
+}
+
+// MustMapper is NewMapper for statically valid inputs.
+func MustMapper(f *part.File, elem int) *Mapper {
+	m, err := NewMapper(f, elem)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Element returns the element index this mapper serves.
+func (m *Mapper) Element() int { return m.elem }
+
+// File returns the file this mapper serves.
+func (m *Mapper) File() *part.File { return m.file }
+
+// ElementSize returns the bytes the element owns per pattern
+// repetition.
+func (m *Mapper) ElementSize() int64 { return m.set.size }
+
+// setIndex is a Set plus cumulative sizes for MAP-AUX lookups.
+type setIndex struct {
+	members []memberIndex
+	lefts   []int64 // members[i].n.L, for binary search
+	cum     []int64 // bytes of members before i
+	size    int64
+}
+
+type memberIndex struct {
+	n     *falls.Nested
+	inner *setIndex // nil for leaves
+	// size of one block's mapped bytes: inner.size, or BlockLen for
+	// leaves.
+	blockBytes int64
+}
+
+func indexSet(s falls.Set) setIndex {
+	idx := setIndex{
+		members: make([]memberIndex, len(s)),
+		lefts:   make([]int64, len(s)),
+		cum:     make([]int64, len(s)),
+	}
+	var total int64
+	for i, n := range s {
+		mi := memberIndex{n: n, blockBytes: n.BlockLen()}
+		if len(n.Inner) > 0 {
+			inner := indexSet(n.Inner)
+			mi.inner = &inner
+			mi.blockBytes = inner.size
+		}
+		idx.members[i] = mi
+		idx.lefts[i] = n.L
+		idx.cum[i] = total
+		total += n.Size()
+	}
+	idx.size = total
+	return idx
+}
+
+// Map computes MAP_S(x): the offset within the partition element of
+// absolute file offset x. It fails with *NotMappedError when x
+// belongs to a different element, and with a range error when x
+// precedes the file displacement.
+func (m *Mapper) Map(x int64) (int64, error) {
+	rep, coord, err := m.file.PatternCoord(x)
+	if err != nil {
+		return 0, err
+	}
+	v, ok := m.set.mapAux(coord)
+	if !ok {
+		return 0, &NotMappedError{Offset: x}
+	}
+	return rep*m.set.size + v, nil
+}
+
+// mapAux is MAP-AUX_S: map in-pattern coordinate x onto the element's
+// linear space. ok is false when x is not covered by the set.
+func (si *setIndex) mapAux(x int64) (int64, bool) {
+	// Last member with L <= x.
+	j := sort.Search(len(si.lefts), func(i int) bool { return si.lefts[i] > x }) - 1
+	if j < 0 {
+		return 0, false
+	}
+	mi := si.members[j]
+	v, ok := mi.mapAuxFALLS(x - mi.n.L)
+	if !ok {
+		return 0, false
+	}
+	return si.cum[j] + v, true
+}
+
+// mapAuxFALLS is MAP-AUX_f: map offset x (relative to the family's
+// left index) onto the bytes described by the nested FALLS.
+func (mi memberIndex) mapAuxFALLS(x int64) (int64, bool) {
+	n := mi.n
+	i := x / n.S
+	rem := x % n.S
+	if i >= n.N || rem > n.R-n.L {
+		return 0, false // beyond the family or in an inter-segment gap
+	}
+	if mi.inner == nil {
+		return i*mi.blockBytes + rem, true
+	}
+	v, ok := mi.inner.mapAux(rem)
+	if !ok {
+		return 0, false
+	}
+	return i*mi.blockBytes + v, true
+}
+
+// MapInv computes MAP⁻¹_S(y): the absolute file offset of byte y of
+// the partition element.
+func (m *Mapper) MapInv(y int64) (int64, error) {
+	if y < 0 {
+		return 0, fmt.Errorf("core: negative element offset %d", y)
+	}
+	rep := y / m.set.size
+	rem := y % m.set.size
+	coord := m.set.mapAuxInv(rem)
+	return m.file.Displacement + rep*m.file.Pattern.Size() + coord, nil
+}
+
+// mapAuxInv is the inverse of mapAux: element byte y (0 <= y < size)
+// to in-pattern coordinate.
+func (si *setIndex) mapAuxInv(y int64) int64 {
+	// Last member whose cumulative start is <= y.
+	j := sort.Search(len(si.cum), func(i int) bool { return si.cum[i] > y }) - 1
+	mi := si.members[j]
+	rem := y - si.cum[j]
+	i := rem / mi.blockBytes
+	off := rem % mi.blockBytes
+	if mi.inner == nil {
+		return mi.n.L + i*mi.n.S + off
+	}
+	return mi.n.L + i*mi.n.S + mi.inner.mapAuxInv(off)
+}
+
+// MapNext maps x when covered, or else the next file byte after x that
+// the element covers (the paper's "next byte mapping"). It fails only
+// when x precedes the displacement.
+func (m *Mapper) MapNext(x int64) (int64, error) {
+	rep, coord, err := m.file.PatternCoord(x)
+	if err != nil {
+		return 0, err
+	}
+	v, ok := m.set.mapNextAux(coord)
+	if !ok {
+		// Nothing left in this repetition: first byte of the next one.
+		rep++
+		v = 0
+	}
+	return rep*m.set.size + v, nil
+}
+
+// mapNextAux maps coordinate x or the next covered coordinate within
+// the same pattern repetition. ok is false when no covered byte
+// remains in the repetition.
+func (si *setIndex) mapNextAux(x int64) (int64, bool) {
+	j := sort.Search(len(si.lefts), func(i int) bool { return si.lefts[i] > x }) - 1
+	if j < 0 {
+		return 0, true // before the first member: next byte is element byte 0
+	}
+	mi := si.members[j]
+	v, ok := mi.mapNextAuxFALLS(x - mi.n.L)
+	if !ok {
+		// Past member j entirely: first byte of member j+1, if any.
+		if j+1 < len(si.members) {
+			return si.cum[j+1], true
+		}
+		return 0, false
+	}
+	return si.cum[j] + v, true
+}
+
+func (mi memberIndex) mapNextAuxFALLS(x int64) (int64, bool) {
+	n := mi.n
+	i := x / n.S
+	rem := x % n.S
+	if i >= n.N {
+		return 0, false
+	}
+	if rem > n.R-n.L {
+		// In the gap after segment i: snap to segment i+1.
+		if i+1 >= n.N {
+			return 0, false
+		}
+		i++
+		rem = 0
+	}
+	if mi.inner == nil {
+		return i*mi.blockBytes + rem, true
+	}
+	v, ok := mi.inner.mapNextAux(rem)
+	if !ok {
+		// Past the inner pattern of this block: next block.
+		if i+1 >= n.N {
+			return 0, false
+		}
+		return (i + 1) * mi.blockBytes, true
+	}
+	return i*mi.blockBytes + v, true
+}
+
+// MapPrev maps x when covered, or else the last file byte before x
+// that the element covers (the paper's "previous byte mapping"). It
+// fails when no covered byte precedes x.
+func (m *Mapper) MapPrev(x int64) (int64, error) {
+	next, err := m.MapNext(x)
+	if err != nil {
+		return 0, err
+	}
+	// When x itself is mapped, MapNext(x) == Map(x); otherwise the
+	// previous covered byte is exactly one element byte before the
+	// next covered byte.
+	if v, err := m.Map(x); err == nil {
+		return v, nil
+	}
+	if next == 0 {
+		return 0, fmt.Errorf("core: no mapped byte precedes offset %d", x)
+	}
+	return next - 1, nil
+}
+
+// MapBetween maps offset y of element V (of file fv) onto element S
+// (of file fs), both partitions of the same underlying file:
+// MAP_S(MAP⁻¹_V(y)) (§6.2). It fails when the file byte is not owned
+// by S.
+func MapBetween(from, to *Mapper, y int64) (int64, error) {
+	x, err := from.MapInv(y)
+	if err != nil {
+		return 0, err
+	}
+	return to.Map(x)
+}
+
+// MapBetweenNext is MapBetween with next-byte snapping on the target
+// element.
+func MapBetweenNext(from, to *Mapper, y int64) (int64, error) {
+	x, err := from.MapInv(y)
+	if err != nil {
+		return 0, err
+	}
+	return to.MapNext(x)
+}
+
+// MapBetweenPrev is MapBetween with previous-byte snapping on the
+// target element.
+func MapBetweenPrev(from, to *Mapper, y int64) (int64, error) {
+	x, err := from.MapInv(y)
+	if err != nil {
+		return 0, err
+	}
+	return to.MapPrev(x)
+}

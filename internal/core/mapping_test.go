@@ -1,0 +1,296 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"parafile/internal/falls"
+	"parafile/internal/part"
+)
+
+// fig3File is the paper's Figure 3 file: displacement 2, subfiles
+// (0,1,6,1), (2,3,6,1), (4,5,6,1).
+func fig3File(t *testing.T) *part.File {
+	t.Helper()
+	p, err := part.NewPattern(
+		part.Element{Name: "s0", Set: falls.Set{falls.MustLeaf(0, 1, 6, 1)}},
+		part.Element{Name: "s1", Set: falls.Set{falls.MustLeaf(2, 3, 6, 1)}},
+		part.Element{Name: "s2", Set: falls.Set{falls.MustLeaf(4, 5, 6, 1)}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return part.MustFile(2, p)
+}
+
+// TestPaperMapExample reproduces §6's first worked example: for the
+// partition element {(2,3,6,1)} with pattern size 6 (Figure 3), the
+// byte at file offset 10 maps on subfile offset 2 and vice-versa.
+func TestPaperMapExample(t *testing.T) {
+	f := fig3File(t)
+	m := MustMapper(f, 1)
+	got, err := m.Map(10)
+	if err != nil || got != 2 {
+		t.Errorf("MAP_S(10) = %d, %v; want 2", got, err)
+	}
+	inv, err := m.MapInv(2)
+	if err != nil || inv != 10 {
+		t.Errorf("MAP⁻¹_S(2) = %d, %v; want 10", inv, err)
+	}
+}
+
+// TestPaperMapFormula reproduces §6.1's closed form for element 0 of
+// Figure 3: MAP_S(x) = ((x-2) div 6)*2 + (x-2) mod 6 for mapped x.
+func TestPaperMapFormula(t *testing.T) {
+	f := fig3File(t)
+	m := MustMapper(f, 0)
+	for _, x := range []int64{2, 3, 8, 9, 14, 15, 20, 21} {
+		want := (x-2)/6*2 + (x-2)%6
+		got, err := m.Map(x)
+		if err != nil || got != want {
+			t.Errorf("MAP_S(%d) = %d, %v; want %d", x, got, err, want)
+		}
+	}
+}
+
+// TestPaperNextPrevExample reproduces §6.1's snapping example: "the
+// previous map of byte at file offset x=5 on partition element 0 is
+// the byte at offset 1 and the next map is the byte at offset 2".
+func TestPaperNextPrevExample(t *testing.T) {
+	f := fig3File(t)
+	m := MustMapper(f, 0)
+	// Offset 5 belongs to subfile 1, so the direct map fails.
+	if _, err := m.Map(5); err == nil {
+		t.Error("MAP_S(5) should fail on element 0 (paper: 'the byte at file offset 5 doesn't map on partition element 0')")
+	} else {
+		var nm *NotMappedError
+		if !errors.As(err, &nm) || nm.Offset != 5 {
+			t.Errorf("MAP_S(5) error = %v, want NotMappedError{5}", err)
+		}
+	}
+	next, err := m.MapNext(5)
+	if err != nil || next != 2 {
+		t.Errorf("next map of 5 = %d, %v; want 2", next, err)
+	}
+	prev, err := m.MapPrev(5)
+	if err != nil || prev != 1 {
+		t.Errorf("previous map of 5 = %d, %v; want 1", prev, err)
+	}
+}
+
+// TestMapInverseIdentity verifies the paper's §6.2 identity
+// MAP⁻¹_S(MAP_S(x)) == x and MAP_S(MAP⁻¹_S(y)) == y.
+func TestMapInverseIdentity(t *testing.T) {
+	f := fig3File(t)
+	for e := 0; e < 3; e++ {
+		m := MustMapper(f, e)
+		for x := int64(2); x < 80; x++ {
+			v, err := m.Map(x)
+			if err != nil {
+				continue
+			}
+			back, err := m.MapInv(v)
+			if err != nil || back != x {
+				t.Errorf("elem %d: MAP⁻¹(MAP(%d)) = %d, %v", e, x, back, err)
+			}
+		}
+		for y := int64(0); y < 30; y++ {
+			x, err := m.MapInv(y)
+			if err != nil {
+				t.Fatalf("elem %d: MapInv(%d): %v", e, y, err)
+			}
+			v, err := m.Map(x)
+			if err != nil || v != y {
+				t.Errorf("elem %d: MAP(MAP⁻¹(%d)) = %d, %v", e, y, v, err)
+			}
+		}
+	}
+}
+
+// TestMapBetweenIdenticalPartitions: §6.2 — "given a physical
+// partition into subfiles and a logical partition into views,
+// described by the same parameters, each view maps exactly on a
+// subfile": the composition is the identity.
+func TestMapBetweenIdenticalPartitions(t *testing.T) {
+	phys := fig3File(t)
+	logi := fig3File(t)
+	for e := 0; e < 3; e++ {
+		v := MustMapper(logi, e)
+		s := MustMapper(phys, e)
+		for y := int64(0); y < 40; y++ {
+			got, err := MapBetween(v, s, y)
+			if err != nil || got != y {
+				t.Errorf("elem %d: MapBetween(%d) = %d, %v; want identity", e, y, got, err)
+			}
+		}
+	}
+}
+
+// TestMapBetweenDifferentPartitions maps between a row-block view and
+// a column-block subfile of an 8×8 matrix and checks against the
+// coordinate oracle.
+func TestMapBetweenDifferentPartitions(t *testing.T) {
+	const n = 8
+	rows, err := part.RowBlocks(n, n, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cols, err := part.ColBlocks(n, n, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fv := part.MustFile(0, rows)
+	fs := part.MustFile(0, cols)
+	v := MustMapper(fv, 1) // rows 2..3
+	s := MustMapper(fs, 0) // columns 0..1
+	// View byte y corresponds to matrix position (2 + y/8, y%8); it
+	// lands on subfile 0 iff its column is < 2, at subfile offset
+	// row*2 + col.
+	for y := int64(0); y < 16; y++ {
+		r := 2 + y/n
+		c := y % n
+		got, err := MapBetween(v, s, y)
+		if c < 2 {
+			want := r*2 + c
+			if err != nil || got != want {
+				t.Errorf("MapBetween(%d) = %d, %v; want %d", y, got, err, want)
+			}
+		} else if err == nil {
+			t.Errorf("MapBetween(%d) should fail (column %d not on subfile 0), got %d", y, c, got)
+		}
+	}
+}
+
+func TestMapperValidation(t *testing.T) {
+	f := fig3File(t)
+	if _, err := NewMapper(nil, 0); err == nil {
+		t.Error("nil file accepted")
+	}
+	if _, err := NewMapper(f, -1); err == nil {
+		t.Error("negative element accepted")
+	}
+	if _, err := NewMapper(f, 3); err == nil {
+		t.Error("out-of-range element accepted")
+	}
+	m := MustMapper(f, 0)
+	if _, err := m.Map(1); err == nil {
+		t.Error("offset before displacement accepted by Map")
+	}
+	if _, err := m.MapNext(0); err == nil {
+		t.Error("offset before displacement accepted by MapNext")
+	}
+	if _, err := m.MapInv(-1); err == nil {
+		t.Error("negative element offset accepted by MapInv")
+	}
+}
+
+// buildRandomFile produces a random multi-element partition for the
+// property tests: a random 2-D distribution or an interleaved nested
+// pattern.
+func buildRandomFile(t *testing.T, rng *rand.Rand) *part.File {
+	t.Helper()
+	var pat *part.Pattern
+	var err error
+	switch rng.Intn(4) {
+	case 0:
+		pat, err = part.RowBlocks(8, 8, 4)
+	case 1:
+		pat, err = part.ColBlocks(8, 8, 4)
+	case 2:
+		pat, err = part.SquareBlocks(8, 8, 2, 2)
+	default:
+		pat, err = part.Cyclic1D(48, 3, 4)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	return part.MustFile(rng.Int63n(5), pat)
+}
+
+// TestPropertyMapMatchesEnumeration: MAP_S agrees with the position of
+// the offset in the element's enumerated byte sequence, across pattern
+// repetitions; MAP⁻¹ agrees in reverse; MapNext/MapPrev snap to the
+// enumeration neighbours.
+func TestPropertyMapMatchesEnumeration(t *testing.T) {
+	rng := rand.New(rand.NewSource(30))
+	for iter := 0; iter < 20; iter++ {
+		f := buildRandomFile(t, rng)
+		ps := f.Pattern.Size()
+		for e := 0; e < f.Pattern.Len(); e++ {
+			m := MustMapper(f, e)
+			set := f.Pattern.Element(e).Set
+			offs := set.Offsets() // in-pattern coordinates, sorted
+			pos := map[int64]int64{}
+			for k, o := range offs {
+				pos[o] = int64(k)
+			}
+			size := set.Size()
+			for rep := int64(0); rep < 3; rep++ {
+				for coord := int64(0); coord < ps; coord++ {
+					x := f.Displacement + rep*ps + coord
+					k, mapped := pos[coord]
+					got, err := m.Map(x)
+					if mapped {
+						want := rep*size + k
+						if err != nil || got != want {
+							t.Fatalf("elem %d: Map(%d) = %d, %v; want %d", e, x, got, err, want)
+						}
+						inv, err := m.MapInv(want)
+						if err != nil || inv != x {
+							t.Fatalf("elem %d: MapInv(%d) = %d, %v; want %d", e, want, inv, err, x)
+						}
+						continue
+					}
+					if err == nil {
+						t.Fatalf("elem %d: Map(%d) succeeded (=%d) for unmapped offset", e, x, got)
+					}
+					// Next = number of element bytes strictly before x.
+					var before int64
+					for _, o := range offs {
+						if o < coord {
+							before++
+						}
+					}
+					next, err := m.MapNext(x)
+					wantNext := rep*size + before
+					if before == size {
+						wantNext = (rep + 1) * size
+					}
+					if err != nil || next != wantNext {
+						t.Fatalf("elem %d: MapNext(%d) = %d, %v; want %d", e, x, next, err, wantNext)
+					}
+					if wantNext > 0 {
+						prev, err := m.MapPrev(x)
+						if err != nil || prev != wantNext-1 {
+							t.Fatalf("elem %d: MapPrev(%d) = %d, %v; want %d", e, x, prev, err, wantNext-1)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPropertyMapMonotonic: MAP_S is strictly increasing over the
+// mapped offsets of the file.
+func TestPropertyMapMonotonic(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for iter := 0; iter < 10; iter++ {
+		f := buildRandomFile(t, rng)
+		for e := 0; e < f.Pattern.Len(); e++ {
+			m := MustMapper(f, e)
+			last := int64(-1)
+			for x := f.Displacement; x < f.Displacement+3*f.Pattern.Size(); x++ {
+				v, err := m.Map(x)
+				if err != nil {
+					continue
+				}
+				if v != last+1 {
+					t.Fatalf("elem %d: Map(%d) = %d, expected consecutive %d", e, x, v, last+1)
+				}
+				last = v
+			}
+		}
+	}
+}

@@ -1,0 +1,139 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"parafile/internal/part"
+)
+
+// quick_test.go: testing/quick invariants for the mapping functions.
+
+// genLayout draws one of the standard matrix partitions plus a
+// displacement.
+type genLayout struct {
+	file *part.File
+	elem int
+}
+
+func (genLayout) Generate(rng *rand.Rand, _ int) reflect.Value {
+	var pat *part.Pattern
+	var err error
+	switch rng.Intn(4) {
+	case 0:
+		pat, err = part.RowBlocks(8, 8, 4)
+	case 1:
+		pat, err = part.ColBlocks(8, 8, 4)
+	case 2:
+		pat, err = part.SquareBlocks(8, 8, 2, 2)
+	default:
+		pat, err = part.Cyclic1D(64, 4, 4)
+	}
+	if err != nil {
+		panic(err)
+	}
+	return reflect.ValueOf(genLayout{
+		file: part.MustFile(rng.Int63n(8), pat),
+		elem: rng.Intn(pat.Len()),
+	})
+}
+
+// TestQuickRoundTrip: MAP⁻¹(MAP(x)) == x wherever MAP is defined, and
+// MAP(MAP⁻¹(y)) == y everywhere.
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(l genLayout, yRaw uint16) bool {
+		m := MustMapper(l.file, l.elem)
+		y := int64(yRaw) % (4 * m.ElementSize())
+		x, err := m.MapInv(y)
+		if err != nil {
+			return false
+		}
+		back, err := m.Map(x)
+		if err != nil || back != y {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickNextIdempotent: MapNext of a mapped offset equals Map, and
+// MapNext is monotone in x.
+func TestQuickNextIdempotent(t *testing.T) {
+	f := func(l genLayout, xRaw uint16) bool {
+		m := MustMapper(l.file, l.elem)
+		x := l.file.Displacement + int64(xRaw)%(3*l.file.Pattern.Size())
+		next, err := m.MapNext(x)
+		if err != nil {
+			return false
+		}
+		if v, err := m.Map(x); err == nil && v != next {
+			return false
+		}
+		next2, err := m.MapNext(x + 1)
+		if err != nil {
+			return false
+		}
+		return next2 >= next
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickElementsPartition: for every file offset, exactly one
+// element maps it — the partition property MAP relies on.
+func TestQuickElementsPartition(t *testing.T) {
+	f := func(l genLayout, xRaw uint16) bool {
+		x := l.file.Displacement + int64(xRaw)%(2*l.file.Pattern.Size())
+		mapped := 0
+		for e := 0; e < l.file.Pattern.Len(); e++ {
+			if _, err := MustMapper(l.file, e).Map(x); err == nil {
+				mapped++
+			}
+		}
+		return mapped == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickCompositionConsistency: for two partitions of the same
+// file, MapBetween(from, to, y) agrees with mapping through the file
+// offset explicitly.
+func TestQuickCompositionConsistency(t *testing.T) {
+	f := func(a, b genLayout, yRaw uint16) bool {
+		// Re-home both partitions to a common displacement so they
+		// partition the same region.
+		src := part.MustFile(2, a.file.Pattern)
+		dst := part.MustFile(2, b.file.Pattern)
+		if src.Pattern.Size() != dst.Pattern.Size() {
+			return true // different underlying sizes: skip draw
+		}
+		from := MustMapper(src, a.elem)
+		y := int64(yRaw) % (2 * from.ElementSize())
+		x, err := from.MapInv(y)
+		if err != nil {
+			return false
+		}
+		e, err := dst.ElementOf(x)
+		if err != nil {
+			return false
+		}
+		to := MustMapper(dst, e)
+		direct, err := MapBetween(from, to, y)
+		if err != nil {
+			return false
+		}
+		explicit, err := to.Map(x)
+		return err == nil && direct == explicit
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

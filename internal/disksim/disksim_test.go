@@ -1,0 +1,113 @@
+package disksim
+
+import (
+	"testing"
+
+	"parafile/internal/sim"
+)
+
+func testConfig() Config {
+	return Config{
+		CacheBandwidthBytesPerSec: 200 * 1000 * 1000, // 5 ns/byte
+		CacheOverheadNs:           10 * sim.Microsecond,
+		DiskBandwidthBytesPerSec:  20 * 1000 * 1000, // 50 ns/byte
+		DiskOverheadNs:            500 * sim.Microsecond,
+		FragmentPenaltyNs:         1 * sim.Microsecond,
+	}
+}
+
+func TestCacheCost(t *testing.T) {
+	k := sim.NewKernel()
+	d := New(k, testConfig())
+	// 1000 bytes, 1 extent: 10µs + 5µs.
+	if got := d.CacheCost(1000, 1); got != 15*sim.Microsecond {
+		t.Errorf("CacheCost = %d, want 15µs", got)
+	}
+	// 11 extents add 10 fragment penalties.
+	if got := d.CacheCost(1000, 11); got != 25*sim.Microsecond {
+		t.Errorf("fragmented CacheCost = %d, want 25µs", got)
+	}
+	// Zero extents are clamped to one.
+	if got := d.CacheCost(0, 0); got != 10*sim.Microsecond {
+		t.Errorf("empty CacheCost = %d, want overhead only", got)
+	}
+}
+
+func TestDiskCost(t *testing.T) {
+	k := sim.NewKernel()
+	d := New(k, testConfig())
+	// 1000 bytes sequential: 500µs + 50µs.
+	if got := d.DiskCost(1000, 1); got != 550*sim.Microsecond {
+		t.Errorf("DiskCost = %d, want 550µs", got)
+	}
+}
+
+func TestWriteCacheCompletion(t *testing.T) {
+	k := sim.NewKernel()
+	d := New(k, testConfig())
+	var doneAt int64 = -1
+	k.At(0, func() {
+		if err := d.WriteCache(1000, 1, func() { doneAt = k.Now() }); err != nil {
+			t.Error(err)
+		}
+	})
+	k.Run()
+	if doneAt != 15*sim.Microsecond {
+		t.Errorf("cache write done at %d, want 15µs", doneAt)
+	}
+	if s := d.Stats(); s.CacheWrites != 1 || s.CacheBytes != 1000 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestWriteDiskIncludesCachePass(t *testing.T) {
+	k := sim.NewKernel()
+	d := New(k, testConfig())
+	var doneAt int64 = -1
+	k.At(0, func() { d.WriteDisk(1000, 1, func() { doneAt = k.Now() }) })
+	k.Run()
+	// Cache pass (15µs) + disk pass (550µs).
+	if doneAt != 565*sim.Microsecond {
+		t.Errorf("disk write done at %d, want 565µs", doneAt)
+	}
+}
+
+func TestWritesSerialize(t *testing.T) {
+	k := sim.NewKernel()
+	d := New(k, testConfig())
+	var times []int64
+	k.At(0, func() {
+		d.WriteCache(1000, 1, func() { times = append(times, k.Now()) })
+		d.WriteCache(1000, 1, func() { times = append(times, k.Now()) })
+	})
+	k.Run()
+	if len(times) != 2 || times[0] != 15*sim.Microsecond || times[1] != 30*sim.Microsecond {
+		t.Errorf("serialized writes at %v, want [15µs 30µs]", times)
+	}
+}
+
+func TestWriteValidation(t *testing.T) {
+	k := sim.NewKernel()
+	d := New(k, testConfig())
+	if err := d.WriteCache(-1, 1, nil); err == nil {
+		t.Error("negative cache write accepted")
+	}
+	if err := d.WriteDisk(-1, 1, nil); err == nil {
+		t.Error("negative disk write accepted")
+	}
+}
+
+func TestFragmentationOrdering(t *testing.T) {
+	// More extents must never be cheaper, and disk writes must
+	// dominate cache writes of the same shape.
+	k := sim.NewKernel()
+	d := New(k, IDE2002())
+	for _, bytes := range []int64{0, 512, 64 * 1024, 1024 * 1024} {
+		if d.CacheCost(bytes, 100) < d.CacheCost(bytes, 1) {
+			t.Errorf("fragmented cache write cheaper at %d bytes", bytes)
+		}
+		if d.DiskCost(bytes, 1) <= d.CacheCost(bytes, 1) {
+			t.Errorf("disk write not dominating cache write at %d bytes", bytes)
+		}
+	}
+}

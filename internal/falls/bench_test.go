@@ -1,0 +1,81 @@
+package falls
+
+import "testing"
+
+// Micro-benchmarks for the representation primitives; the repo-level
+// bench_test.go holds the paper-table and ablation benchmarks.
+
+func BenchmarkIntersectFALLS(b *testing.B) {
+	cases := []struct {
+		name   string
+		f1, f2 FALLS
+	}{
+		{"aligned", MustNew(0, 63, 2048, 2048), MustNew(0, 63, 2048, 2048)},
+		{"nested-strides", MustNew(0, 7, 16, 4096), MustNew(0, 3, 8, 8192)},
+		{"coprime", MustNew(0, 2, 5, 1000), MustNew(0, 3, 7, 800)},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if got := IntersectFALLS(c.f1, c.f2); got == nil {
+					b.Fatal("empty")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkCutFALLS(b *testing.B) {
+	f := MustNew(2, 5, 6, 1_000_000)
+	for i := 0; i < b.N; i++ {
+		if got := CutFALLSAbs(f, 1000, 4_000_000); len(got) == 0 {
+			b.Fatal("empty")
+		}
+	}
+}
+
+func BenchmarkWalk(b *testing.B) {
+	n := MustNested(MustNew(0, 2047, 4096, 256), Set{MustLeaf(0, 63, 256, 8)})
+	b.Run("segments", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			count := 0
+			n.Walk(func(LineSegment) bool {
+				count++
+				return true
+			})
+			if count == 0 {
+				b.Fatal("no segments")
+			}
+		}
+	})
+	b.Run("contains", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			n.Contains(int64(i) % n.Extent())
+		}
+	})
+}
+
+func BenchmarkRotate(b *testing.B) {
+	s := Set{MustNested(MustNew(0, 255, 1024, 64), Set{MustLeaf(0, 31, 64, 4)})}
+	period := int64(64 * 1024)
+	for i := 0; i < b.N; i++ {
+		if got := Rotate(s, period, 12345); len(got) == 0 {
+			b.Fatal("empty")
+		}
+	}
+}
+
+func BenchmarkNormalize(b *testing.B) {
+	// 256 single segments that compact to one family.
+	var fs []FALLS
+	for i := int64(0); i < 256; i++ {
+		fs = append(fs, FromSegment(LineSegment{i * 16, i*16 + 3}))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		in := append([]FALLS(nil), fs...)
+		if got := Normalize(in); len(got) != 1 {
+			b.Fatalf("normalize produced %d families", len(got))
+		}
+	}
+}

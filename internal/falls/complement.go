@@ -1,0 +1,46 @@
+package falls
+
+// complement.go provides set-level helpers used when assembling
+// partitions: the complement of a selection within a span (to complete
+// a pattern around an element of interest) and the union of disjoint
+// selections.
+
+// Complement returns the bytes of [0, span) not covered by s, as a
+// compact set. It is the usual way to complete a partitioning pattern
+// around one element under study.
+func Complement(s Set, span int64) Set {
+	var segs []LineSegment
+	next := int64(0)
+	s.WalkRange(0, span-1, func(seg LineSegment) bool {
+		if seg.L > next {
+			segs = append(segs, LineSegment{L: next, R: seg.L - 1})
+		}
+		next = seg.R + 1
+		return true
+	})
+	if next < span {
+		segs = append(segs, LineSegment{L: next, R: span - 1})
+	}
+	return LeavesToSet(segs)
+}
+
+// Union merges sets describing pairwise disjoint byte subsets into one
+// compact set. It fails-soft: overlapping inputs produce a set whose
+// Validate reports the conflict.
+func Union(sets ...Set) Set {
+	var segs []LineSegment
+	for _, s := range sets {
+		segs = append(segs, s.Segments()...)
+	}
+	sortSegs(segs)
+	return LeavesToSet(segs)
+}
+
+func sortSegs(segs []LineSegment) {
+	// Small inputs; insertion sort keeps this allocation-free.
+	for i := 1; i < len(segs); i++ {
+		for j := i; j > 0 && segs[j].L < segs[j-1].L; j-- {
+			segs[j], segs[j-1] = segs[j-1], segs[j]
+		}
+	}
+}

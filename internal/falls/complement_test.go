@@ -1,0 +1,80 @@
+package falls
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestPropertyComplement: s and Complement(s) tile [0, span) exactly.
+func TestPropertyComplement(t *testing.T) {
+	rng := rand.New(rand.NewSource(140))
+	for iter := 0; iter < 200; iter++ {
+		span := int64(16 + rng.Intn(112))
+		s := randSetWithin(rng, span, 3)
+		c := Complement(s, span)
+		if err := c.Validate(); err != nil {
+			t.Fatalf("complement invalid: %v", err)
+		}
+		in := map[int64]bool{}
+		for _, x := range s.Offsets() {
+			in[x] = true
+		}
+		for _, x := range c.Offsets() {
+			if in[x] {
+				t.Fatalf("byte %d in both set and complement", x)
+			}
+			in[x] = true
+		}
+		for x := int64(0); x < span; x++ {
+			if !in[x] {
+				t.Fatalf("byte %d in neither set nor complement", x)
+			}
+		}
+	}
+}
+
+func TestComplementEdges(t *testing.T) {
+	// Full coverage: empty complement.
+	full := Set{MustLeaf(0, 15, 16, 1)}
+	if c := Complement(full, 16); len(c) != 0 {
+		t.Errorf("complement of full = %v, want empty", c)
+	}
+	// Empty set: full complement.
+	c := Complement(nil, 16)
+	if c.Size() != 16 || !c.IsContiguous(0, 15) {
+		t.Errorf("complement of empty = %v", c)
+	}
+	// Selection beyond the span is ignored.
+	wide := Set{MustLeaf(0, 3, 8, 4)}
+	c = Complement(wide, 8)
+	equalInt64s(t, []int64{4, 5, 6, 7}, c.Offsets(), "clipped complement")
+}
+
+// TestPropertyUnion: union of a set and its complement is the full
+// span.
+func TestPropertyUnion(t *testing.T) {
+	rng := rand.New(rand.NewSource(141))
+	for iter := 0; iter < 100; iter++ {
+		span := int64(16 + rng.Intn(64))
+		s := randSetWithin(rng, span, 2)
+		u := Union(s, Complement(s, span))
+		if err := u.Validate(); err != nil {
+			t.Fatalf("union invalid: %v", err)
+		}
+		if u.Size() != span || !u.IsContiguous(0, span-1) {
+			t.Fatalf("union of set and complement not full: %v (span %d)", u, span)
+		}
+	}
+}
+
+func TestUnionCompacts(t *testing.T) {
+	a := Set{MustLeaf(0, 1, 4, 4)} // {0,1, 4,5, 8,9, 12,13}
+	b := Set{MustLeaf(2, 3, 4, 4)} // {2,3, 6,7, 10,11, 14,15}
+	u := Union(a, b)
+	if u.Size() != 16 {
+		t.Fatalf("union size = %d, want 16", u.Size())
+	}
+	if len(u) != 1 {
+		t.Errorf("union not compacted: %v", u)
+	}
+}

@@ -1,0 +1,152 @@
+package falls
+
+// cut.go implements CUT-FALLS (paper §7): clipping a family of line
+// segments to an inclusive window [a, b]. The paper's CUT-FALLS
+// returns coordinates relative to the window start a; CutFALLSAbs
+// keeps absolute coordinates for callers that intersect afterwards.
+
+// CutFALLSAbs clips f to the window [a, b], keeping absolute
+// coordinates. The result has at most three members: a clipped first
+// segment, a run of untouched middle segments, and a clipped last
+// segment.
+func CutFALLSAbs(f FALLS, a, b int64) []FALLS {
+	if b < a {
+		return nil
+	}
+	// First segment index whose right end reaches a, and last whose
+	// left end is at or before b.
+	i0 := ceilDiv(a-f.R, f.S)
+	if i0 < 0 {
+		i0 = 0
+	}
+	i1 := floorDiv(b-f.L, f.S)
+	if i1 > f.N-1 {
+		i1 = f.N - 1
+	}
+	if i0 > i1 {
+		return nil
+	}
+	headPartial := f.L+i0*f.S < a
+	tailPartial := f.R+i1*f.S > b
+	if i0 == i1 {
+		seg := f.Segment(i0)
+		clipped := LineSegment{max64(seg.L, a), min64(seg.R, b)}
+		if !headPartial && !tailPartial {
+			return []FALLS{{L: seg.L, R: seg.R, S: f.S, N: 1}}
+		}
+		return []FALLS{FromSegment(clipped)}
+	}
+	var out []FALLS
+	// Full segments are those with L+i*S >= a and R+i*S <= b.
+	j0, j1 := i0, i1
+	if headPartial {
+		j0 = i0 + 1
+		seg := f.Segment(i0)
+		out = append(out, FromSegment(LineSegment{max64(seg.L, a), seg.R}))
+	}
+	if tailPartial {
+		j1 = i1 - 1
+	}
+	if j0 <= j1 {
+		out = append(out, FALLS{L: f.L + j0*f.S, R: f.R + j0*f.S, S: f.S, N: j1 - j0 + 1})
+	}
+	if tailPartial {
+		seg := f.Segment(i1)
+		out = append(out, FromSegment(LineSegment{seg.L, min64(seg.R, b)}))
+	}
+	return out
+}
+
+// CutFALLS is the paper's CUT-FALLS(f, a, b): the clipped family with
+// coordinates relative to a.
+func CutFALLS(f FALLS, a, b int64) []FALLS {
+	abs := CutFALLSAbs(f, a, b)
+	out := make([]FALLS, len(abs))
+	for i, g := range abs {
+		out[i] = g.Shift(-a)
+	}
+	return out
+}
+
+// CutSet clips a nested set to the absolute window [a, b] and re-bases
+// the result so that a becomes offset 0. Partial blocks have their
+// inner trees clipped recursively, preserving the byte subset exactly.
+func CutSet(s Set, a, b int64) Set {
+	var out Set
+	for _, n := range s {
+		out = append(out, cutNested(n, a, b)...)
+	}
+	return out
+}
+
+// cutNested clips one nested FALLS to [a, b], re-based to a.
+func cutNested(n *Nested, a, b int64) Set {
+	parts := CutFALLSAbs(n.FALLS, a, b)
+	var out Set
+	for _, p := range parts {
+		if len(n.Inner) == 0 {
+			out = append(out, Leaf(p.Shift(-a)))
+			continue
+		}
+		// Which block(s) of n does p cover, and is p a full block?
+		if p.N > 1 || p.BlockLen() == n.BlockLen() {
+			// Full blocks: inner set carries over unchanged.
+			out = append(out, &Nested{FALLS: p.Shift(-a), Inner: n.Inner.Clone()})
+			continue
+		}
+		// A partial block: clip the inner set to the covered window of
+		// the block. p covers exactly one partial segment of n.
+		i := floorDiv(p.L-n.L, n.S)
+		blockStart := n.L + i*n.S
+		wl := p.L - blockStart
+		wr := p.R - blockStart
+		inner := CutSet(n.Inner, wl, wr)
+		if len(inner) == 0 {
+			// Nothing of the inner pattern falls in the window: this
+			// piece contributes no bytes.
+			continue
+		}
+		// The clipped piece now covers [p.L, p.R] with inner offsets
+		// relative to p.L.
+		if len(inner) == 1 && len(inner[0].Inner) == 0 &&
+			inner[0].L == 0 && inner[0].N == 1 && inner[0].R == wr-wl {
+			// Inner covers the whole window densely: collapse to leaf.
+			out = append(out, Leaf(p.Shift(-a)))
+			continue
+		}
+		out = append(out, &Nested{FALLS: p.Shift(-a), Inner: inner})
+	}
+	return out
+}
+
+// Rotate re-expresses a periodic set with a new phase. s describes a
+// pattern of the given period (its bytes lie in [0, period)); the
+// result describes the same infinite periodic subset observed from
+// origin shift: offset x in the result corresponds to offset
+// (x + shift) mod period in s.
+//
+// Rotate is the "cutting and extending" step the paper's INTERSECT
+// preprocessing uses to align two partitioning patterns at the larger
+// of their displacements.
+func Rotate(s Set, period, shift int64) Set {
+	shift = Mod64(shift, period)
+	if shift == 0 || len(s) == 0 {
+		return s.Clone()
+	}
+	// Double the pattern, cut the window [shift, shift+period-1].
+	doubled := make(Set, 0, 2*len(s))
+	for _, n := range s {
+		doubled = append(doubled, n.Clone())
+	}
+	for _, n := range s {
+		c := n.Clone()
+		shiftNested(c, period)
+		doubled = append(doubled, c)
+	}
+	return CutSet(doubled, shift, shift+period-1)
+}
+
+func shiftNested(n *Nested, delta int64) {
+	n.L += delta
+	n.R += delta
+}

@@ -1,0 +1,154 @@
+package falls
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestPaperCutExample reproduces the CUT-FALLS example of §7: cutting
+// the Figure 1 FALLS (2,5,6,5) between a=4 and b=28 yields, relative
+// to 4, the head segment [0,1], the middle run (4,7,6,3) and the tail
+// segment [22,24].
+func TestPaperCutExample(t *testing.T) {
+	f := MustNew(2, 5, 6, 5)
+	got := CutFALLS(f, 4, 28)
+	// Absolute clipped segments: [4,5],[8,11],[14,17],[20,23],[26,28];
+	// relative to 4: [0,1],[4,7],[10,13],[16,19],[22,24].
+	want := []int64{0, 1, 4, 5, 6, 7, 10, 11, 12, 13, 16, 17, 18, 19, 22, 23, 24}
+	equalInt64s(t, want, offsetsOf(got), "cut offsets")
+	if len(got) != 3 {
+		t.Errorf("CutFALLS produced %d families %v, want 3 (head, middle run, tail)", len(got), got)
+	}
+	if len(got) == 3 {
+		if got[1] != (FALLS{L: 4, R: 7, S: 6, N: 3}) {
+			t.Errorf("middle = %v, want (4,7,6,3)", got[1])
+		}
+	}
+}
+
+func TestCutFALLSEdgeCases(t *testing.T) {
+	f := MustNew(2, 5, 6, 3) // [2,5],[8,11],[14,17]
+	cases := []struct {
+		name string
+		a, b int64
+		want []int64 // absolute offsets expected
+	}{
+		{"window before family", 0, 1, nil},
+		{"window after family", 18, 30, nil},
+		{"window in a gap", 6, 7, nil},
+		{"exact family", 2, 17, []int64{2, 3, 4, 5, 8, 9, 10, 11, 14, 15, 16, 17}},
+		{"single byte", 9, 9, []int64{9}},
+		{"clip right only", 2, 4, []int64{2, 3, 4}},
+		{"clip left only", 3, 5, []int64{3, 4, 5}},
+		{"clip both of one segment", 9, 10, []int64{9, 10}},
+		{"span two segments", 4, 9, []int64{4, 5, 8, 9}},
+		{"inverted window", 9, 4, nil},
+	}
+	for _, c := range cases {
+		abs := CutFALLSAbs(f, c.a, c.b)
+		var wantAbs []int64
+		wantAbs = append(wantAbs, c.want...)
+		equalInt64s(t, wantAbs, offsetsOf(abs), c.name+" (abs)")
+		// Relative variant must be the same set shifted by -a.
+		rel := CutFALLS(f, c.a, c.b)
+		var wantRel []int64
+		for _, x := range c.want {
+			wantRel = append(wantRel, x-c.a)
+		}
+		equalInt64s(t, wantRel, offsetsOf(rel), c.name+" (rel)")
+	}
+}
+
+// TestPropertyCutFALLSOracle: CutFALLSAbs equals brute-force clipping
+// on random families and windows.
+func TestPropertyCutFALLSOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for iter := 0; iter < 500; iter++ {
+		f := randFALLS(rng, 256)
+		a := rng.Int63n(300) - 20
+		b := a + rng.Int63n(300)
+		var want []int64
+		for _, x := range Leaf(f).Offsets() {
+			if x >= a && x <= b {
+				want = append(want, x)
+			}
+		}
+		got := offsetsOf(CutFALLSAbs(f, a, b))
+		equalInt64s(t, want, got, "cut oracle")
+		// Every produced family must be valid.
+		for _, g := range CutFALLSAbs(f, a, b) {
+			if err := g.Validate(); err != nil {
+				t.Fatalf("cut produced invalid FALLS %v from %v window [%d,%d]: %v", g, f, a, b, err)
+			}
+		}
+	}
+}
+
+// TestPropertyCutSetOracle: CutSet equals brute-force clipping plus
+// re-basing on random nested sets.
+func TestPropertyCutSetOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 400; iter++ {
+		s := randSetWithin(rng, 256, 3)
+		a := rng.Int63n(280) - 10
+		b := a + rng.Int63n(280)
+		var want []int64
+		for _, x := range s.Offsets() {
+			if x >= a && x <= b {
+				want = append(want, x-a)
+			}
+		}
+		cut := CutSet(s, a, b)
+		equalInt64s(t, want, cut.Offsets(), "cutset oracle")
+		for _, n := range cut {
+			if err := n.Validate(); err != nil {
+				t.Fatalf("CutSet produced invalid member %v from %v window [%d,%d]: %v",
+					n, s, a, b, err)
+			}
+		}
+	}
+}
+
+func TestCutSetPartialBlockNesting(t *testing.T) {
+	// Figure 2 pattern (0,3,8,2,{(0,0,2,2)}) = {0,2,8,10}; cutting
+	// [1,9] keeps {2,8} re-based to {1,7}.
+	s := Set{MustNested(MustNew(0, 3, 8, 2), Set{MustLeaf(0, 0, 2, 2)})}
+	cut := CutSet(s, 1, 9)
+	equalInt64s(t, []int64{1, 7}, cut.Offsets(), "partial block nesting")
+}
+
+// TestPropertyRotateOracle: Rotate(s, period, shift) relabels the
+// periodic subset correctly: x is in the rotation iff (x+shift) mod
+// period is in s.
+func TestPropertyRotateOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for iter := 0; iter < 300; iter++ {
+		period := int64(32 + rng.Intn(96))
+		s := randSetWithin(rng, period, 2)
+		shift := rng.Int63n(3*period) - period
+		rot := Rotate(s, period, shift)
+		in := map[int64]bool{}
+		for _, x := range s.Offsets() {
+			in[x] = true
+		}
+		var want []int64
+		for x := int64(0); x < period; x++ {
+			if in[Mod64(x+shift, period)] {
+				want = append(want, x)
+			}
+		}
+		equalInt64s(t, want, rot.Offsets(), "rotate oracle")
+	}
+}
+
+func TestRotateZeroShiftClones(t *testing.T) {
+	s := Set{MustLeaf(0, 3, 8, 2)}
+	rot := Rotate(s, 16, 0)
+	if !OffsetsEqual(s, rot) {
+		t.Fatal("zero-shift rotation changed the set")
+	}
+	rot[0].L = 5 // mutating the rotation must not touch the input
+	if s[0].L != 0 {
+		t.Fatal("Rotate(…, 0) aliases its input")
+	}
+}

@@ -1,0 +1,53 @@
+package falls_test
+
+import (
+	"fmt"
+
+	"parafile/internal/falls"
+)
+
+// The paper's Figure 1 family: five 4-byte segments every 6 bytes.
+func ExampleFALLS() {
+	f := falls.MustNew(2, 5, 6, 5)
+	fmt.Println("block length:", f.BlockLen())
+	fmt.Println("size:", f.FlatSize())
+	fmt.Println("extent:", f.Extent())
+	fmt.Println("third segment:", f.Segment(2))
+	// Output:
+	// block length: 4
+	// size: 20
+	// extent: 29
+	// third segment: [14,17]
+}
+
+// The paper's Figure 2 nested family selects bytes {0,2} of each
+// 4-byte block.
+func ExampleNested() {
+	n := falls.MustNested(falls.MustNew(0, 3, 8, 2), falls.Set{falls.MustLeaf(0, 0, 2, 2)})
+	fmt.Println("size:", n.Size())
+	fmt.Println("offsets:", n.Offsets())
+	// Output:
+	// size: 4
+	// offsets: [0 2 8 10]
+}
+
+// INTERSECT-FALLS computes the common bytes of two families compactly
+// (the paper's §7 worked example).
+func ExampleIntersectFALLS() {
+	out := falls.IntersectFALLS(falls.MustNew(0, 7, 16, 2), falls.MustNew(0, 3, 8, 4))
+	fmt.Println(out[0])
+	// Output:
+	// (0,3,16,2)
+}
+
+// CUT-FALLS clips a family to a window, re-based to the window start.
+func ExampleCutFALLS() {
+	pieces := falls.CutFALLS(falls.MustNew(2, 5, 6, 5), 4, 28)
+	for _, p := range pieces {
+		fmt.Println(p)
+	}
+	// Output:
+	// (0,1,2,1)
+	// (4,7,6,3)
+	// (22,24,3,1)
+}

@@ -1,0 +1,222 @@
+// Package falls implements the data representation at the core of the
+// parallel file model of Isaila & Tichy, "Mapping Functions and Data
+// Redistribution for Parallel Files" (IPPS 2002): line segments,
+// FALLS (FAmilies of Line Segments), nested FALLS and (nested)
+// PITFALLS, together with the set algebra the paper builds on them —
+// cutting (CUT-FALLS) and intersection (INTERSECT-FALLS, after
+// Ramaswamy & Banerjee).
+//
+// All offsets are int64 byte indices. A line segment [L, R] is
+// inclusive on both ends, exactly as in the paper.
+package falls
+
+import (
+	"errors"
+	"fmt"
+)
+
+// LineSegment describes a contiguous portion of a file starting at
+// offset L and ending at offset R (both inclusive).
+type LineSegment struct {
+	L, R int64
+}
+
+// Len returns the number of bytes covered by the segment.
+func (ls LineSegment) Len() int64 { return ls.R - ls.L + 1 }
+
+// Overlaps reports whether the two segments share at least one byte.
+func (ls LineSegment) Overlaps(o LineSegment) bool {
+	return ls.L <= o.R && o.L <= ls.R
+}
+
+// Intersect returns the common part of two segments. ok is false when
+// they are disjoint.
+func (ls LineSegment) Intersect(o LineSegment) (LineSegment, bool) {
+	lo := max64(ls.L, o.L)
+	hi := min64(ls.R, o.R)
+	if lo > hi {
+		return LineSegment{}, false
+	}
+	return LineSegment{lo, hi}, true
+}
+
+func (ls LineSegment) String() string { return fmt.Sprintf("[%d,%d]", ls.L, ls.R) }
+
+// FALLS is a family of N equally spaced, equally sized line segments.
+// Segment i (0 <= i < N) is [L+i*S, R+i*S]. S is the stride between
+// the left ends of consecutive segments; the bytes [L, R] of the first
+// segment are the FALLS's block.
+type FALLS struct {
+	L, R int64 // first segment, inclusive
+	S    int64 // stride between consecutive segments
+	N    int64 // number of segments (>= 1)
+}
+
+// New constructs a validated FALLS. When n == 1 and s <= 0 the stride
+// is normalized to the block length, mirroring the paper's convention
+// that a line segment (l, r) is the FALLS (l, r, r-l+1, 1).
+func New(l, r, s, n int64) (FALLS, error) {
+	if n == 1 && s <= 0 {
+		s = r - l + 1
+	}
+	f := FALLS{L: l, R: r, S: s, N: n}
+	if err := f.Validate(); err != nil {
+		return FALLS{}, err
+	}
+	return f, nil
+}
+
+// MustNew is New for statically known literals; it panics on invalid
+// input and is intended for tests, examples and tables of constants.
+func MustNew(l, r, s, n int64) FALLS {
+	f, err := New(l, r, s, n)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// FromSegment converts a line segment to the equivalent single-member
+// FALLS (l, r, r-l+1, 1).
+func FromSegment(ls LineSegment) FALLS {
+	return FALLS{L: ls.L, R: ls.R, S: ls.Len(), N: 1}
+}
+
+// Validate checks the structural invariants of a FALLS: L >= 0,
+// L <= R, N >= 1 and, when the family repeats, a stride at least as
+// large as the block so segments cannot overlap.
+func (f FALLS) Validate() error {
+	switch {
+	case f.L < 0:
+		return fmt.Errorf("falls: negative left index %d", f.L)
+	case f.R < f.L:
+		return fmt.Errorf("falls: right index %d before left index %d", f.R, f.L)
+	case f.N < 1:
+		return fmt.Errorf("falls: non-positive segment count %d", f.N)
+	case f.N > 1 && f.S < f.BlockLen():
+		return fmt.Errorf("falls: stride %d smaller than block length %d", f.S, f.BlockLen())
+	case f.S < 1:
+		return fmt.Errorf("falls: non-positive stride %d", f.S)
+	}
+	return nil
+}
+
+// BlockLen returns the number of bytes in one segment of the family.
+func (f FALLS) BlockLen() int64 { return f.R - f.L + 1 }
+
+// FlatSize returns the number of bytes described by the family itself,
+// ignoring any nesting: N * BlockLen.
+func (f FALLS) FlatSize() int64 { return f.N * f.BlockLen() }
+
+// Extent returns the last byte index covered by the family:
+// R + (N-1)*S.
+func (f FALLS) Extent() int64 { return f.R + (f.N-1)*f.S }
+
+// Segment returns segment i of the family. It panics when i is out of
+// range; callers index with values derived from N.
+func (f FALLS) Segment(i int64) LineSegment {
+	if i < 0 || i >= f.N {
+		panic(fmt.Sprintf("falls: segment index %d out of range [0,%d)", i, f.N))
+	}
+	return LineSegment{f.L + i*f.S, f.R + i*f.S}
+}
+
+// SegmentIndex returns the index of the segment containing offset x
+// and true, or the index of the nearest segment starting after x and
+// false when x falls in a gap (or before/after the family).
+func (f FALLS) SegmentIndex(x int64) (int64, bool) {
+	if x < f.L {
+		return 0, false
+	}
+	i := (x - f.L) / f.S
+	if i >= f.N {
+		return f.N, false
+	}
+	if x <= f.R+i*f.S {
+		return i, true
+	}
+	return i + 1, false
+}
+
+// Contains reports whether offset x is covered by one of the family's
+// segments.
+func (f FALLS) Contains(x int64) bool {
+	_, ok := f.SegmentIndex(x)
+	return ok
+}
+
+// Shift returns the family translated by delta. The result may have a
+// negative left index; Validate rejects such families, so Shift is
+// used only on intermediate values that are re-based before use.
+func (f FALLS) Shift(delta int64) FALLS {
+	return FALLS{L: f.L + delta, R: f.R + delta, S: f.S, N: f.N}
+}
+
+func (f FALLS) String() string {
+	return fmt.Sprintf("(%d,%d,%d,%d)", f.L, f.R, f.S, f.N)
+}
+
+// ErrEmpty is returned by operations whose result would be an empty
+// family, where the caller must distinguish emptiness from failure.
+var ErrEmpty = errors.New("falls: empty result")
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// gcd returns the greatest common divisor of two positive integers.
+func gcd(a, b int64) int64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// lcm returns the least common multiple of two positive integers.
+func lcm(a, b int64) int64 {
+	return a / gcd(a, b) * b
+}
+
+// Lcm64 exposes the least common multiple for sibling packages that
+// reason about pattern periods.
+func Lcm64(a, b int64) int64 { return lcm(a, b) }
+
+// ceilDiv computes ceil(a/b) for b > 0 and any a.
+func ceilDiv(a, b int64) int64 {
+	q := a / b
+	if a%b != 0 && (a > 0) == (b > 0) {
+		q++
+	}
+	return q
+}
+
+// floorDiv computes floor(a/b) for b > 0 and any a.
+func floorDiv(a, b int64) int64 {
+	q := a / b
+	if a%b != 0 && (a < 0) != (b < 0) {
+		q--
+	}
+	return q
+}
+
+// FloorDiv64 exposes floorDiv for sibling packages.
+func FloorDiv64(a, b int64) int64 { return floorDiv(a, b) }
+
+// Mod64 returns the non-negative remainder of a modulo b (b > 0).
+func Mod64(a, b int64) int64 {
+	m := a % b
+	if m < 0 {
+		m += b
+	}
+	return m
+}

@@ -1,0 +1,194 @@
+package falls
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLineSegmentBasics(t *testing.T) {
+	ls := LineSegment{3, 7}
+	if got := ls.Len(); got != 5 {
+		t.Errorf("Len() = %d, want 5", got)
+	}
+	cases := []struct {
+		a, b    LineSegment
+		want    LineSegment
+		overlap bool
+	}{
+		{LineSegment{0, 4}, LineSegment{3, 9}, LineSegment{3, 4}, true},
+		{LineSegment{0, 4}, LineSegment{5, 9}, LineSegment{}, false},
+		{LineSegment{2, 2}, LineSegment{2, 2}, LineSegment{2, 2}, true},
+		{LineSegment{0, 10}, LineSegment{4, 6}, LineSegment{4, 6}, true},
+	}
+	for _, c := range cases {
+		got, ok := c.a.Intersect(c.b)
+		if ok != c.overlap || (ok && got != c.want) {
+			t.Errorf("%v ∩ %v = %v,%v; want %v,%v", c.a, c.b, got, ok, c.want, c.overlap)
+		}
+		if c.a.Overlaps(c.b) != c.overlap {
+			t.Errorf("%v.Overlaps(%v) != %v", c.a, c.b, c.overlap)
+		}
+	}
+}
+
+// TestFigure1FALLS checks the paper's Figure 1 example: the FALLS
+// (2,5,6,5) covers segments [2,5],[8,11],[14,17],[20,23],[26,29].
+func TestFigure1FALLS(t *testing.T) {
+	f := MustNew(2, 5, 6, 5)
+	if got := f.BlockLen(); got != 4 {
+		t.Errorf("BlockLen = %d, want 4", got)
+	}
+	if got := f.FlatSize(); got != 20 {
+		t.Errorf("FlatSize = %d, want 20", got)
+	}
+	if got := f.Extent(); got != 29 {
+		t.Errorf("Extent = %d, want 29", got)
+	}
+	wantSegs := []LineSegment{{2, 5}, {8, 11}, {14, 17}, {20, 23}, {26, 29}}
+	for i, want := range wantSegs {
+		if got := f.Segment(int64(i)); got != want {
+			t.Errorf("Segment(%d) = %v, want %v", i, got, want)
+		}
+	}
+	for x := int64(0); x <= 31; x++ {
+		want := false
+		for _, s := range wantSegs {
+			if x >= s.L && x <= s.R {
+				want = true
+			}
+		}
+		if got := f.Contains(x); got != want {
+			t.Errorf("Contains(%d) = %v, want %v", x, got, want)
+		}
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	cases := []struct {
+		l, r, s, n int64
+		ok         bool
+	}{
+		{0, 0, 1, 1, true},
+		{2, 5, 6, 5, true},
+		{0, 3, 4, 2, true},   // stride == block length: dense
+		{0, 3, 3, 2, false},  // overlapping segments
+		{-1, 3, 6, 1, false}, // negative left
+		{5, 4, 6, 1, false},  // right before left
+		{0, 3, 6, 0, false},  // zero count
+		{0, 3, 0, 2, false},  // zero stride with repetition
+	}
+	for _, c := range cases {
+		_, err := New(c.l, c.r, c.s, c.n)
+		if (err == nil) != c.ok {
+			t.Errorf("New(%d,%d,%d,%d) err=%v, want ok=%v", c.l, c.r, c.s, c.n, err, c.ok)
+		}
+	}
+}
+
+func TestLineSegmentAsFALLS(t *testing.T) {
+	// Paper: "A line segment (l, r) can be represented as the FALLS
+	// (l, r, r-l+1, 1)."
+	f := FromSegment(LineSegment{4, 9})
+	want := FALLS{L: 4, R: 9, S: 6, N: 1}
+	if f != want {
+		t.Errorf("FromSegment = %v, want %v", f, want)
+	}
+	g, err := New(4, 9, 0, 1) // stride normalized for single segments
+	if err != nil || g != want {
+		t.Errorf("New single-segment = %v, %v; want %v", g, err, want)
+	}
+}
+
+func TestSegmentIndex(t *testing.T) {
+	f := MustNew(2, 5, 6, 3) // [2,5],[8,11],[14,17]
+	cases := []struct {
+		x  int64
+		i  int64
+		ok bool
+	}{
+		{0, 0, false}, // before first
+		{2, 0, true},
+		{5, 0, true},
+		{6, 1, false}, // gap: next segment is 1
+		{7, 1, false},
+		{8, 1, true},
+		{11, 1, true},
+		{13, 2, false},
+		{17, 2, true},
+		{18, 3, false}, // past the family
+		{100, 3, false},
+	}
+	for _, c := range cases {
+		i, ok := f.SegmentIndex(c.x)
+		if i != c.i || ok != c.ok {
+			t.Errorf("SegmentIndex(%d) = %d,%v; want %d,%v", c.x, i, ok, c.i, c.ok)
+		}
+	}
+}
+
+func TestDivModHelpers(t *testing.T) {
+	cases := []struct{ a, b, ceil, floor, mod int64 }{
+		{7, 3, 3, 2, 1},
+		{-7, 3, -2, -3, 2},
+		{6, 3, 2, 2, 0},
+		{-6, 3, -2, -2, 0},
+		{0, 5, 0, 0, 0},
+		{1, 5, 1, 0, 1},
+		{-1, 5, 0, -1, 4},
+	}
+	for _, c := range cases {
+		if got := ceilDiv(c.a, c.b); got != c.ceil {
+			t.Errorf("ceilDiv(%d,%d) = %d, want %d", c.a, c.b, got, c.ceil)
+		}
+		if got := floorDiv(c.a, c.b); got != c.floor {
+			t.Errorf("floorDiv(%d,%d) = %d, want %d", c.a, c.b, got, c.floor)
+		}
+		if got := Mod64(c.a, c.b); got != c.mod {
+			t.Errorf("Mod64(%d,%d) = %d, want %d", c.a, c.b, got, c.mod)
+		}
+	}
+}
+
+func TestLcm(t *testing.T) {
+	cases := []struct{ a, b, want int64 }{
+		{16, 8, 16}, {6, 4, 12}, {5, 7, 35}, {1, 9, 9}, {12, 12, 12},
+	}
+	for _, c := range cases {
+		if got := Lcm64(c.a, c.b); got != c.want {
+			t.Errorf("Lcm64(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+// TestPropertyContainsMatchesOffsets: FALLS.Contains agrees with the
+// explicit offset enumeration on random families.
+func TestPropertyContainsMatchesOffsets(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for iter := 0; iter < 200; iter++ {
+		f := randFALLS(rng, 256)
+		in := map[int64]bool{}
+		for _, x := range Leaf(f).Offsets() {
+			in[x] = true
+		}
+		for x := int64(0); x < 256; x++ {
+			if got := f.Contains(x); got != in[x] {
+				t.Fatalf("f=%v Contains(%d)=%v want %v", f, x, got, in[x])
+			}
+		}
+	}
+}
+
+// TestQuickShiftRoundTrip: Shift by d then -d is the identity.
+func TestQuickShiftRoundTrip(t *testing.T) {
+	f := func(l, r, s, n uint16, d int32) bool {
+		fl, err := New(int64(l), int64(l)+int64(r%64), int64(l%64)+int64(r%64)+1, int64(n%8)+1)
+		if err != nil {
+			return true // skip invalid draws
+		}
+		return fl.Shift(int64(d)).Shift(-int64(d)) == fl
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,124 @@
+package falls
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// gen_test.go: randomized generators shared by the property tests in
+// this package (and mirrored by sibling packages' tests).
+
+// randFALLS generates a valid FALLS whose extent stays below span.
+func randFALLS(rng *rand.Rand, span int64) FALLS {
+	if span < 2 {
+		span = 2
+	}
+	for {
+		l := rng.Int63n(span / 2)
+		blockLen := 1 + rng.Int63n(max64(1, span/8)+1)
+		r := l + blockLen - 1
+		if r >= span {
+			continue
+		}
+		s := blockLen + rng.Int63n(blockLen*3+1)
+		maxN := (span - 1 - r) / s
+		n := int64(1)
+		if maxN > 0 {
+			n = 1 + rng.Int63n(min64(maxN, 16)+1)
+		}
+		f := FALLS{L: l, R: r, S: s, N: n}
+		if f.Validate() == nil && f.Extent() < span {
+			return f
+		}
+	}
+}
+
+// randNested generates a valid nested FALLS of bounded depth whose
+// extent stays below span.
+func randNested(rng *rand.Rand, span int64, depth int) *Nested {
+	f := randFALLS(rng, span)
+	n := &Nested{FALLS: f}
+	if depth > 1 && f.BlockLen() >= 4 && rng.Intn(2) == 0 {
+		n.Inner = randSetWithin(rng, f.BlockLen(), depth-1)
+	}
+	if err := n.Validate(); err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// randSetWithin generates a valid, sorted, disjoint Set whose bytes
+// lie in [0, span).
+func randSetWithin(rng *rand.Rand, span int64, depth int) Set {
+	var out Set
+	cursor := int64(0)
+	members := 1 + rng.Intn(3)
+	for m := 0; m < members && span-cursor >= 2; m++ {
+		sub := span - cursor
+		n := randNested(rng, sub, depth)
+		shiftNested(n, cursor)
+		out = append(out, n)
+		cursor = n.Extent() + 1 + rng.Int63n(3)
+	}
+	if err := out.Validate(); err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// offsetsOf converts a list of flat FALLS into a sorted offset set via
+// the Nested walker. Oracle helper.
+func offsetsOf(fs []FALLS) []int64 {
+	var s Set
+	for _, f := range fs {
+		s = append(s, Leaf(f))
+	}
+	var out []int64
+	for _, n := range s {
+		out = append(out, n.Offsets()...)
+	}
+	sortInt64s(out)
+	return out
+}
+
+func sortInt64s(xs []int64) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+func equalInt64s(t *testing.T, want, got []int64, msg string) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: length mismatch: want %d offsets, got %d\nwant=%v\ngot=%v",
+			msg, len(want), len(got), want, got)
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("%s: offset %d differs: want %d, got %d\nwant=%v\ngot=%v",
+				msg, i, want[i], got[i], want, got)
+		}
+	}
+}
+
+// intersectOffsets is the brute-force oracle: sorted intersection of
+// two sorted offset lists.
+func intersectOffsets(a, b []int64) []int64 {
+	var out []int64
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			out = append(out, a[i])
+			i++
+			j++
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return out
+}

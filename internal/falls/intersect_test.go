@@ -1,0 +1,91 @@
+package falls
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestPaperIntersectExample reproduces §7's worked example:
+// INTERSECT-FALLS((0,7,16,2), (0,3,8,4)) = (0,3,16,2).
+func TestPaperIntersectExample(t *testing.T) {
+	f1 := MustNew(0, 7, 16, 2)
+	f2 := MustNew(0, 3, 8, 4)
+	got := IntersectFALLS(f1, f2)
+	if len(got) != 1 || got[0] != (FALLS{L: 0, R: 3, S: 16, N: 2}) {
+		t.Errorf("IntersectFALLS = %v, want [(0,3,16,2)]", got)
+	}
+	// The intersection is symmetric as a byte set.
+	rev := IntersectFALLS(f2, f1)
+	equalInt64s(t, offsetsOf(got), offsetsOf(rev), "symmetry")
+}
+
+func TestIntersectFALLSCases(t *testing.T) {
+	cases := []struct {
+		name   string
+		f1, f2 FALLS
+	}{
+		{"identical", MustNew(2, 5, 6, 5), MustNew(2, 5, 6, 5)},
+		{"disjoint interleaved", MustNew(0, 1, 4, 8), MustNew(2, 3, 4, 8)},
+		{"nested strides", MustNew(0, 7, 16, 4), MustNew(0, 3, 8, 8)},
+		{"coprime strides", MustNew(0, 2, 5, 10), MustNew(0, 3, 7, 8)},
+		{"single segments", MustNew(3, 9, 7, 1), MustNew(5, 12, 8, 1)},
+		{"single vs family", MustNew(0, 63, 64, 1), MustNew(2, 5, 6, 5)},
+		{"offset phases", MustNew(1, 4, 8, 6), MustNew(3, 6, 8, 6)},
+		{"far apart", MustNew(0, 3, 8, 2), MustNew(100, 103, 8, 2)},
+		{"touching extents", MustNew(0, 7, 8, 2), MustNew(15, 20, 6, 1)},
+	}
+	for _, c := range cases {
+		want := intersectOffsets(Leaf(c.f1).Offsets(), Leaf(c.f2).Offsets())
+		got := offsetsOf(IntersectFALLS(c.f1, c.f2))
+		equalInt64s(t, want, got, c.name)
+	}
+}
+
+// TestPropertyIntersectFALLSOracle: the periodic intersection equals
+// the brute-force offset intersection on random pairs.
+func TestPropertyIntersectFALLSOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for iter := 0; iter < 1000; iter++ {
+		f1 := randFALLS(rng, 512)
+		f2 := randFALLS(rng, 512)
+		want := intersectOffsets(Leaf(f1).Offsets(), Leaf(f2).Offsets())
+		got := offsetsOf(IntersectFALLS(f1, f2))
+		if len(want) != len(got) {
+			t.Fatalf("f1=%v f2=%v: want %d offsets, got %d\nwant=%v\ngot=%v",
+				f1, f2, len(want), len(got), want, got)
+		}
+		for i := range want {
+			if want[i] != got[i] {
+				t.Fatalf("f1=%v f2=%v: offset %d: want %d got %d", f1, f2, i, want[i], got[i])
+			}
+		}
+		for _, g := range IntersectFALLS(f1, f2) {
+			if err := g.Validate(); err != nil {
+				t.Fatalf("invalid result %v from %v ∩ %v: %v", g, f1, f2, err)
+			}
+		}
+	}
+}
+
+// TestPropertySweepMatchesPeriodic: the ablation baseline and the
+// periodic algorithm agree as byte sets.
+func TestPropertySweepMatchesPeriodic(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for iter := 0; iter < 500; iter++ {
+		f1 := randFALLS(rng, 384)
+		f2 := randFALLS(rng, 384)
+		a := offsetsOf(IntersectFALLS(f1, f2))
+		b := offsetsOf(IntersectFALLSSweep(f1, f2))
+		equalInt64s(t, a, b, "sweep vs periodic")
+	}
+}
+
+// TestIntersectChainCounting exercises the chain-count logic with
+// families whose repetition counts differ and whose phases shift.
+func TestIntersectChainCounting(t *testing.T) {
+	f1 := MustNew(0, 5, 12, 10) // long family
+	f2 := MustNew(4, 9, 8, 3)   // short, different stride (lcm 24)
+	want := intersectOffsets(Leaf(f1).Offsets(), Leaf(f2).Offsets())
+	got := offsetsOf(IntersectFALLS(f1, f2))
+	equalInt64s(t, want, got, "chain counting")
+}

@@ -1,0 +1,183 @@
+package falls
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Nested is a nested FALLS (paper §4): a FALLS together with a set of
+// inner nested FALLS located inside each of its blocks. Inner
+// coordinates are relative to the left index of the containing block,
+// so the same inner set describes every repetition of the block.
+//
+// A Nested with an empty Inner set covers its blocks densely.
+type Nested struct {
+	FALLS
+	Inner Set
+}
+
+// NewNested constructs a validated nested FALLS.
+func NewNested(f FALLS, inner Set) (*Nested, error) {
+	n := &Nested{FALLS: f, Inner: inner}
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+// MustNested is NewNested for statically known literals; it panics on
+// invalid input.
+func MustNested(f FALLS, inner Set) *Nested {
+	n, err := NewNested(f, inner)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// Leaf wraps a flat FALLS as a childless nested FALLS.
+func Leaf(f FALLS) *Nested { return &Nested{FALLS: f} }
+
+// MustLeaf builds a childless nested FALLS from raw coordinates,
+// panicking on invalid input. It is the common literal form in tests
+// and tables.
+func MustLeaf(l, r, s, n int64) *Nested { return Leaf(MustNew(l, r, s, n)) }
+
+// Validate checks the FALLS itself plus the nesting invariants: every
+// inner family must fit inside [0, BlockLen-1], inner families must be
+// sorted by left index and pairwise disjoint.
+func (n *Nested) Validate() error {
+	if err := n.FALLS.Validate(); err != nil {
+		return err
+	}
+	if len(n.Inner) == 0 {
+		return nil
+	}
+	if err := n.Inner.Validate(); err != nil {
+		return fmt.Errorf("inner of %v: %w", n.FALLS, err)
+	}
+	for _, in := range n.Inner {
+		if in.L < 0 || in.Extent() > n.BlockLen()-1 {
+			return fmt.Errorf("falls: inner %v exceeds block [0,%d] of %v",
+				in.FALLS, n.BlockLen()-1, n.FALLS)
+		}
+	}
+	return nil
+}
+
+// Size returns the number of bytes in the subset described by the
+// nested FALLS (paper §4): N times the size of the inner set when one
+// is present, N times the block length otherwise.
+func (n *Nested) Size() int64 {
+	if len(n.Inner) == 0 {
+		return n.FlatSize()
+	}
+	return n.N * n.Inner.Size()
+}
+
+// Depth returns the height of the nested FALLS tree; a childless
+// family has depth 1.
+func (n *Nested) Depth() int {
+	d := 0
+	for _, in := range n.Inner {
+		if id := in.Depth(); id > d {
+			d = id
+		}
+	}
+	return d + 1
+}
+
+// Clone returns a deep copy.
+func (n *Nested) Clone() *Nested {
+	return &Nested{FALLS: n.FALLS, Inner: n.Inner.Clone()}
+}
+
+// Equal reports structural equality (same tree, same coordinates).
+// Two structurally different nested FALLS may still describe the same
+// byte set; compare Offsets for set equality.
+func (n *Nested) Equal(o *Nested) bool {
+	if n.FALLS != o.FALLS || len(n.Inner) != len(o.Inner) {
+		return false
+	}
+	for i := range n.Inner {
+		if !n.Inner[i].Equal(o.Inner[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Walk calls fn for every maximal leaf segment of the nested FALLS, in
+// increasing offset order. Returning false from fn stops the walk.
+// Walk reports whether the traversal ran to completion.
+func (n *Nested) Walk(fn func(seg LineSegment) bool) bool {
+	for i := int64(0); i < n.N; i++ {
+		base := n.L + i*n.S
+		if len(n.Inner) == 0 {
+			if !fn(LineSegment{base, base + n.BlockLen() - 1}) {
+				return false
+			}
+			continue
+		}
+		for _, in := range n.Inner {
+			if !in.walkShifted(base, fn) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func (n *Nested) walkShifted(delta int64, fn func(seg LineSegment) bool) bool {
+	for i := int64(0); i < n.N; i++ {
+		base := delta + n.L + i*n.S
+		if len(n.Inner) == 0 {
+			if !fn(LineSegment{base, base + n.BlockLen() - 1}) {
+				return false
+			}
+			continue
+		}
+		for _, in := range n.Inner {
+			if !in.walkShifted(base, fn) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Offsets enumerates every byte index of the subset, in increasing
+// order. Intended for tests and small inputs; the slice has Size()
+// elements.
+func (n *Nested) Offsets() []int64 {
+	out := make([]int64, 0, n.Size())
+	n.Walk(func(seg LineSegment) bool {
+		for x := seg.L; x <= seg.R; x++ {
+			out = append(out, x)
+		}
+		return true
+	})
+	return out
+}
+
+// Contains reports whether byte index x belongs to the subset.
+func (n *Nested) Contains(x int64) bool {
+	i, ok := n.FALLS.SegmentIndex(x)
+	if !ok {
+		return false
+	}
+	if len(n.Inner) == 0 {
+		return true
+	}
+	rel := x - (n.L + i*n.S)
+	return n.Inner.Contains(rel)
+}
+
+func (n *Nested) String() string {
+	if len(n.Inner) == 0 {
+		return n.FALLS.String()
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "(%d,%d,%d,%d,%s)", n.L, n.R, n.S, n.N, n.Inner.String())
+	return b.String()
+}

@@ -1,0 +1,152 @@
+package falls
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestFigure2NestedFALLS checks the paper's Figure 2 example: the
+// nested FALLS (0,3,8,2,{(0,0,2,2)}) has outer blocks [0,3] and
+// [8,11], inner bytes {0,2} per block, hence offsets {0,2,8,10} and
+// size 4.
+func TestFigure2NestedFALLS(t *testing.T) {
+	n := MustNested(MustNew(0, 3, 8, 2), Set{MustLeaf(0, 0, 2, 2)})
+	if got := n.Size(); got != 4 {
+		t.Errorf("Size = %d, want 4 (paper: 'the size of the nested FALLS from figure 2 is 4')", got)
+	}
+	want := []int64{0, 2, 8, 10}
+	equalInt64s(t, want, n.Offsets(), "figure 2 offsets")
+	for x := int64(0); x < 16; x++ {
+		isIn := x == 0 || x == 2 || x == 8 || x == 10
+		if got := n.Contains(x); got != isIn {
+			t.Errorf("Contains(%d) = %v, want %v", x, got, isIn)
+		}
+	}
+	if got := n.Depth(); got != 2 {
+		t.Errorf("Depth = %d, want 2", got)
+	}
+	if got := n.String(); got != "(0,3,8,2,{(0,0,2,2)})" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestNestedValidation(t *testing.T) {
+	outer := MustNew(0, 3, 8, 2)
+	cases := []struct {
+		name  string
+		inner Set
+		ok    bool
+	}{
+		{"empty inner", nil, true},
+		{"fits", Set{MustLeaf(0, 1, 2, 2)}, true},
+		{"exceeds block", Set{MustLeaf(0, 0, 4, 2)}, false}, // extent 4 > blockLen-1
+		{"beyond block", Set{MustLeaf(2, 4, 5, 1)}, false},
+		{"overlapping members", Set{MustLeaf(0, 1, 2, 1), MustLeaf(1, 2, 2, 1)}, false},
+		{"unsorted handled by SetOf", SetOf(MustLeaf(2, 3, 2, 1), MustLeaf(0, 1, 2, 1)), true},
+	}
+	for _, c := range cases {
+		_, err := NewNested(outer, c.inner)
+		if (err == nil) != c.ok {
+			t.Errorf("%s: err=%v, want ok=%v", c.name, err, c.ok)
+		}
+	}
+}
+
+func TestNestedValidationExactFit(t *testing.T) {
+	// Inner extent exactly blockLen-1 is legal.
+	outer := MustNew(0, 3, 8, 2)
+	if _, err := NewNested(outer, Set{MustLeaf(0, 0, 3, 2)}); err != nil {
+		t.Errorf("inner extent == blockLen-1 should validate, got %v", err)
+	}
+}
+
+func TestWalkOrderAndSegments(t *testing.T) {
+	// Three-level nesting: outer 2 blocks of 16, middle 2 blocks of 8
+	// with 4-byte blocks, inner picks bytes {0,1} of each 4-byte block.
+	inner := Set{MustLeaf(0, 1, 4, 1)}
+	middle := Set{MustNested(MustNew(0, 3, 8, 2), inner)}
+	n := MustNested(MustNew(0, 15, 32, 2), middle)
+	var segs []LineSegment
+	n.Walk(func(s LineSegment) bool {
+		segs = append(segs, s)
+		return true
+	})
+	want := []LineSegment{{0, 1}, {8, 9}, {32, 33}, {40, 41}}
+	if len(segs) != len(want) {
+		t.Fatalf("segments = %v, want %v", segs, want)
+	}
+	for i := range want {
+		if segs[i] != want[i] {
+			t.Fatalf("segment %d = %v, want %v (all: %v)", i, segs[i], want[i], segs)
+		}
+	}
+	if got := n.Size(); got != 8 {
+		t.Errorf("Size = %d, want 8", got)
+	}
+	if got := n.Depth(); got != 3 {
+		t.Errorf("Depth = %d, want 3", got)
+	}
+}
+
+func TestWalkEarlyStop(t *testing.T) {
+	n := MustLeaf(0, 0, 2, 10)
+	count := 0
+	done := n.Walk(func(LineSegment) bool {
+		count++
+		return count < 3
+	})
+	if done || count != 3 {
+		t.Errorf("Walk early stop: done=%v count=%d, want false,3", done, count)
+	}
+}
+
+// TestPropertySizeMatchesOffsets: Size() equals the enumerated offset
+// count on random nested trees, and offsets are strictly increasing.
+func TestPropertySizeMatchesOffsets(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for iter := 0; iter < 300; iter++ {
+		n := randNested(rng, 512, 3)
+		off := n.Offsets()
+		if int64(len(off)) != n.Size() {
+			t.Fatalf("n=%v: Size=%d but %d offsets", n, n.Size(), len(off))
+		}
+		for i := 1; i < len(off); i++ {
+			if off[i] <= off[i-1] {
+				t.Fatalf("n=%v: offsets not strictly increasing at %d: %v", n, i, off)
+			}
+		}
+	}
+}
+
+// TestPropertyContainsAgrees: Nested.Contains agrees with enumeration.
+func TestPropertyContainsAgrees(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for iter := 0; iter < 150; iter++ {
+		n := randNested(rng, 256, 3)
+		in := map[int64]bool{}
+		for _, x := range n.Offsets() {
+			in[x] = true
+		}
+		for x := int64(0); x < 256; x++ {
+			if got := n.Contains(x); got != in[x] {
+				t.Fatalf("n=%v Contains(%d)=%v want %v", n, x, got, in[x])
+			}
+		}
+	}
+}
+
+func TestCloneEqualIndependence(t *testing.T) {
+	n := MustNested(MustNew(0, 7, 16, 2), Set{MustLeaf(0, 1, 4, 2)})
+	c := n.Clone()
+	if !n.Equal(c) {
+		t.Fatal("clone not equal")
+	}
+	c.Inner[0].L = 1
+	c.Inner[0].R = 1
+	if n.Equal(c) {
+		t.Fatal("mutating clone affected original comparison")
+	}
+	if n.Inner[0].L != 0 {
+		t.Fatal("clone aliases original inner")
+	}
+}

@@ -1,0 +1,98 @@
+package falls
+
+import "sort"
+
+// normalize.go compacts lists of flat FALLS without changing the byte
+// subset they describe. Compaction keeps intersection results in the
+// closed, compact form the paper relies on for efficient mapping
+// (e.g. INTERSECT-FALLS((0,7,16,2),(0,3,8,4)) = (0,3,16,2) rather than
+// two single segments).
+
+// Normalize sorts a list of disjoint FALLS and greedily merges
+// neighbours: touching segments become one segment, equally shaped and
+// equally spaced families become one family. The input families must
+// describe pairwise disjoint byte sets.
+func Normalize(fs []FALLS) []FALLS {
+	if len(fs) <= 1 {
+		return fs
+	}
+	sort.Slice(fs, func(i, j int) bool {
+		if fs[i].L != fs[j].L {
+			return fs[i].L < fs[j].L
+		}
+		return fs[i].Extent() < fs[j].Extent()
+	})
+	for {
+		merged := false
+		out := fs[:0:0]
+		i := 0
+		for i < len(fs) {
+			cur := fs[i]
+			j := i + 1
+			for j < len(fs) {
+				if m, ok := mergeFALLS(cur, fs[j]); ok {
+					cur = m
+					merged = true
+					j++
+					continue
+				}
+				break
+			}
+			out = append(out, cur)
+			i = j
+		}
+		fs = out
+		if !merged {
+			return fs
+		}
+	}
+}
+
+// mergeFALLS attempts to merge two disjoint families with a.L <= b.L
+// into a single equivalent family.
+func mergeFALLS(a, b FALLS) (FALLS, bool) {
+	// Touching single segments coalesce into a longer segment.
+	if a.N == 1 && b.N == 1 && b.L == a.R+1 {
+		return FromSegment(LineSegment{a.L, b.R}), true
+	}
+	if a.BlockLen() != b.BlockLen() {
+		return FALLS{}, false
+	}
+	switch {
+	case a.N == 1 && b.N == 1:
+		// Two equal segments become a 2-member family when the gap
+		// admits a legal stride.
+		s := b.L - a.L
+		if s >= a.BlockLen() {
+			return FALLS{L: a.L, R: a.R, S: s, N: 2}, true
+		}
+	case a.N > 1 && b.N == 1:
+		if b.L == a.L+a.N*a.S {
+			return FALLS{L: a.L, R: a.R, S: a.S, N: a.N + 1}, true
+		}
+	case a.N == 1 && b.N > 1:
+		if b.L == a.L+b.S && b.S >= a.BlockLen() {
+			return FALLS{L: a.L, R: a.R, S: b.S, N: b.N + 1}, true
+		}
+	default:
+		if a.S == b.S && b.L == a.L+a.N*a.S {
+			return FALLS{L: a.L, R: a.R, S: a.S, N: a.N + b.N}, true
+		}
+	}
+	return FALLS{}, false
+}
+
+// LeavesToSet compresses a sorted list of disjoint leaf segments into
+// a compact Set of childless nested FALLS.
+func LeavesToSet(segs []LineSegment) Set {
+	fs := make([]FALLS, len(segs))
+	for i, seg := range segs {
+		fs[i] = FromSegment(seg)
+	}
+	fs = Normalize(fs)
+	out := make(Set, len(fs))
+	for i, f := range fs {
+		out[i] = Leaf(f)
+	}
+	return out
+}

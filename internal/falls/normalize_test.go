@@ -1,0 +1,111 @@
+package falls
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestNormalizeMergeCases(t *testing.T) {
+	cases := []struct {
+		name string
+		in   []FALLS
+		want []FALLS
+	}{
+		{
+			"touching segments",
+			[]FALLS{FromSegment(LineSegment{0, 1}), FromSegment(LineSegment{2, 3})},
+			[]FALLS{FromSegment(LineSegment{0, 3})},
+		},
+		{
+			"two segments to run",
+			[]FALLS{FromSegment(LineSegment{0, 3}), FromSegment(LineSegment{16, 19})},
+			[]FALLS{{L: 0, R: 3, S: 16, N: 2}},
+		},
+		{
+			"run absorbs trailing segment",
+			[]FALLS{{L: 0, R: 3, S: 16, N: 2}, FromSegment(LineSegment{32, 35})},
+			[]FALLS{{L: 0, R: 3, S: 16, N: 3}},
+		},
+		{
+			"segment absorbs following run",
+			[]FALLS{FromSegment(LineSegment{0, 3}), {L: 16, R: 19, S: 16, N: 2}},
+			[]FALLS{{L: 0, R: 3, S: 16, N: 3}},
+		},
+		{
+			"two runs with equal stride",
+			[]FALLS{{L: 0, R: 3, S: 16, N: 2}, {L: 32, R: 35, S: 16, N: 2}},
+			[]FALLS{{L: 0, R: 3, S: 16, N: 4}},
+		},
+		{
+			"different shapes stay apart",
+			[]FALLS{FromSegment(LineSegment{0, 3}), FromSegment(LineSegment{10, 11})},
+			[]FALLS{FromSegment(LineSegment{0, 3}), FromSegment(LineSegment{10, 11})},
+		},
+		{
+			"unsorted input",
+			[]FALLS{FromSegment(LineSegment{16, 19}), FromSegment(LineSegment{0, 3})},
+			[]FALLS{{L: 0, R: 3, S: 16, N: 2}},
+		},
+		{
+			"chained singles to one run",
+			[]FALLS{
+				FromSegment(LineSegment{0, 1}),
+				FromSegment(LineSegment{4, 5}),
+				FromSegment(LineSegment{8, 9}),
+				FromSegment(LineSegment{12, 13}),
+			},
+			[]FALLS{{L: 0, R: 1, S: 4, N: 4}},
+		},
+	}
+	for _, c := range cases {
+		got := Normalize(append([]FALLS(nil), c.in...))
+		if len(got) != len(c.want) {
+			t.Errorf("%s: Normalize = %v, want %v", c.name, got, c.want)
+			continue
+		}
+		for i := range c.want {
+			if got[i] != c.want[i] {
+				t.Errorf("%s: Normalize[%d] = %v, want %v", c.name, i, got[i], c.want[i])
+			}
+		}
+	}
+}
+
+// TestPropertyNormalizePreservesSet: normalization never changes the
+// byte set and always yields valid families.
+func TestPropertyNormalizePreservesSet(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for iter := 0; iter < 400; iter++ {
+		// Build random disjoint families by cutting a random family
+		// at random windows (guaranteed disjoint pieces).
+		f := randFALLS(rng, 512)
+		mid := f.L + rng.Int63n(f.Extent()-f.L+1)
+		pieces := append(CutFALLSAbs(f, f.L, mid), CutFALLSAbs(f, mid+1, f.Extent())...)
+		want := offsetsOf(pieces)
+		got := Normalize(append([]FALLS(nil), pieces...))
+		equalInt64s(t, want, offsetsOf(got), "normalize preserves")
+		for _, g := range got {
+			if err := g.Validate(); err != nil {
+				t.Fatalf("normalize produced invalid %v: %v", g, err)
+			}
+		}
+		// Cutting a family in two and normalizing must restore one
+		// family when the cut point is segment-aligned; at minimum it
+		// must not grow the representation beyond the pieces.
+		if len(got) > len(pieces) {
+			t.Fatalf("normalize grew: %v -> %v", pieces, got)
+		}
+	}
+}
+
+func TestLeavesToSet(t *testing.T) {
+	segs := []LineSegment{{0, 1}, {4, 5}, {8, 9}, {20, 23}}
+	s := LeavesToSet(segs)
+	if err := s.Validate(); err != nil {
+		t.Fatalf("LeavesToSet invalid: %v", err)
+	}
+	equalInt64s(t, []int64{0, 1, 4, 5, 8, 9, 20, 21, 22, 23}, s.Offsets(), "leaves to set")
+	if len(s) != 2 {
+		t.Errorf("LeavesToSet produced %d members %v, want 2 (run + tail)", len(s), s)
+	}
+}

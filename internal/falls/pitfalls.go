@@ -1,0 +1,202 @@
+package falls
+
+import "fmt"
+
+// pitfalls.go implements the PITFALLS representation (Processor
+// Indexed Tagged FAmily of Line Segments, Ramaswamy & Banerjee) and
+// its nested extension (paper §4). A PITFALLS compactly describes one
+// FALLS per processor: processor index p (0 <= p < P) owns the family
+// (L + p*D, R + p*D, S, N). A nested PITFALLS additionally carries
+// inner nested PITFALLS relative to each block, expanded with the same
+// processor index at every level.
+//
+// The paper manipulates the expanded (nested FALLS) form in all of its
+// algorithms — "each nested PITFALLS is just a compact representation
+// of a set of nested FALLS" — so this file provides the compact form
+// plus expansion.
+
+// PITFALLS is a processor-indexed family of FALLS.
+type PITFALLS struct {
+	L, R int64 // first segment of processor 0
+	S    int64 // stride between consecutive segments of one processor
+	N    int64 // segments per processor
+	D    int64 // distance between the families of consecutive processors
+	P    int64 // number of processors
+	// Inner holds nested PITFALLS relative to each block's left edge.
+	Inner []*PITFALLS
+}
+
+// NewPITFALLS constructs a validated flat PITFALLS.
+func NewPITFALLS(l, r, s, n, d, p int64) (*PITFALLS, error) {
+	pf := &PITFALLS{L: l, R: r, S: s, N: n, D: d, P: p}
+	if err := pf.Validate(); err != nil {
+		return nil, err
+	}
+	return pf, nil
+}
+
+// Validate checks the per-processor family and the processor indexing.
+func (pf *PITFALLS) Validate() error {
+	if pf.P < 1 {
+		return fmt.Errorf("pitfalls: non-positive processor count %d", pf.P)
+	}
+	if pf.P > 1 && pf.D < 1 && len(pf.Inner) == 0 {
+		// A flat PITFALLS with zero distance would give every
+		// processor the same family; with inner PITFALLS the outer may
+		// legitimately be shared while the inner varies per processor.
+		return fmt.Errorf("pitfalls: non-positive processor distance %d", pf.D)
+	}
+	if pf.D < 0 {
+		return fmt.Errorf("pitfalls: negative processor distance %d", pf.D)
+	}
+	base := FALLS{L: pf.L, R: pf.R, S: pf.S, N: pf.N}
+	if err := base.Validate(); err != nil {
+		return err
+	}
+	for _, in := range pf.Inner {
+		if err := in.Validate(); err != nil {
+			return fmt.Errorf("pitfalls inner: %w", err)
+		}
+	}
+	return nil
+}
+
+// Processor expands the PITFALLS for one processor index into a nested
+// FALLS. The index tags the whole nested structure, as in the original
+// PITFALLS formulation: every level with P > 1 uses the same p (levels
+// with P == 1 are unindexed).
+func (pf *PITFALLS) Processor(p int64) (*Nested, error) {
+	if p < 0 || p >= pf.P {
+		return nil, fmt.Errorf("pitfalls: processor %d out of range [0,%d)", p, pf.P)
+	}
+	f := FALLS{L: pf.L + p*pf.D, R: pf.R + p*pf.D, S: pf.S, N: pf.N}
+	var inner Set
+	for _, in := range pf.Inner {
+		ip := p
+		if in.P == 1 {
+			ip = 0
+		} else if p >= in.P {
+			return nil, fmt.Errorf("pitfalls: processor %d out of inner range [0,%d)", p, in.P)
+		}
+		child, err := in.Processor(ip)
+		if err != nil {
+			return nil, err
+		}
+		inner = append(inner, child)
+	}
+	return NewNested(f, inner)
+}
+
+// Expand returns the per-processor nested FALLS sets, one Set per
+// processor index.
+func (pf *PITFALLS) Expand() ([]Set, error) {
+	out := make([]Set, pf.P)
+	for p := int64(0); p < pf.P; p++ {
+		n, err := pf.Processor(p)
+		if err != nil {
+			return nil, err
+		}
+		out[p] = Set{n}
+	}
+	return out, nil
+}
+
+// GridShape returns the processor counts of the indexed levels along
+// the chain of first children, outermost first, skipping unindexed
+// (P == 1) levels. It describes the processor grid a multidimensional
+// distribution is laid out on; an unindexed chain yields an empty
+// shape (a single implicit processor).
+func (pf *PITFALLS) GridShape() []int64 {
+	var shape []int64
+	for node := pf; node != nil; {
+		if node.P > 1 {
+			shape = append(shape, node.P)
+		}
+		if len(node.Inner) == 0 {
+			break
+		}
+		node = node.Inner[0]
+	}
+	return shape
+}
+
+// ProcessorAt expands the PITFALLS for a vector of processor
+// coordinates, one per indexed level (outermost first) — the form
+// multidimensional grid distributions need. The tree must be a chain
+// (each node at most one inner child).
+func (pf *PITFALLS) ProcessorAt(coords []int64) (*Nested, error) {
+	n, rest, err := pf.processorAt(coords)
+	if err != nil {
+		return nil, err
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("pitfalls: %d excess processor coordinates", len(rest))
+	}
+	return n, nil
+}
+
+func (pf *PITFALLS) processorAt(coords []int64) (*Nested, []int64, error) {
+	if len(pf.Inner) > 1 {
+		return nil, nil, fmt.Errorf("pitfalls: ProcessorAt requires a chain, node has %d children", len(pf.Inner))
+	}
+	p := int64(0)
+	if pf.P > 1 {
+		if len(coords) == 0 {
+			return nil, nil, fmt.Errorf("pitfalls: missing processor coordinate for level with %d processors", pf.P)
+		}
+		p = coords[0]
+		coords = coords[1:]
+		if p < 0 || p >= pf.P {
+			return nil, nil, fmt.Errorf("pitfalls: coordinate %d out of range [0,%d)", p, pf.P)
+		}
+	}
+	f := FALLS{L: pf.L + p*pf.D, R: pf.R + p*pf.D, S: pf.S, N: pf.N}
+	var inner Set
+	if len(pf.Inner) == 1 {
+		child, rest, err := pf.Inner[0].processorAt(coords)
+		if err != nil {
+			return nil, nil, err
+		}
+		coords = rest
+		inner = Set{child}
+	}
+	n, err := NewNested(f, inner)
+	if err != nil {
+		return nil, nil, err
+	}
+	return n, coords, nil
+}
+
+// ExpandGrid expands every processor of the grid in row-major
+// coordinate order.
+func (pf *PITFALLS) ExpandGrid() ([]Set, error) {
+	shape := pf.GridShape()
+	total := int64(1)
+	for _, s := range shape {
+		total *= s
+	}
+	out := make([]Set, 0, total)
+	coords := make([]int64, len(shape))
+	for i := int64(0); i < total; i++ {
+		n, err := pf.ProcessorAt(coords)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Set{n})
+		for k := len(coords) - 1; k >= 0; k-- {
+			coords[k]++
+			if coords[k] < shape[k] {
+				break
+			}
+			coords[k] = 0
+		}
+	}
+	return out, nil
+}
+
+func (pf *PITFALLS) String() string {
+	if len(pf.Inner) == 0 {
+		return fmt.Sprintf("(%d,%d,%d,%d;d=%d,p=%d)", pf.L, pf.R, pf.S, pf.N, pf.D, pf.P)
+	}
+	return fmt.Sprintf("(%d,%d,%d,%d;d=%d,p=%d,%v)", pf.L, pf.R, pf.S, pf.N, pf.D, pf.P, pf.Inner)
+}

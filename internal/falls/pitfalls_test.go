@@ -1,0 +1,98 @@
+package falls
+
+import "testing"
+
+// TestPITFALLSExpandFigure3: the Figure 3 partitioning (three
+// subfiles (0,1,6,1), (2,3,6,1), (4,5,6,1)) is the single PITFALLS
+// (0,1,6,1; d=2, p=3).
+func TestPITFALLSExpandFigure3(t *testing.T) {
+	pf, err := NewPITFALLS(0, 1, 6, 1, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sets, err := pf.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fig3Pattern()
+	if len(sets) != len(want) {
+		t.Fatalf("Expand produced %d sets, want %d", len(sets), len(want))
+	}
+	for i := range want {
+		if !OffsetsEqual(sets[i], want[i]) {
+			t.Errorf("processor %d: %v, want %v", i, sets[i], want[i])
+		}
+	}
+}
+
+func TestPITFALLSNested(t *testing.T) {
+	// A cyclic(2) distribution of 2 processors over blocks of 4 within
+	// rows of 8: outer selects the row stripes, inner the per-row
+	// bytes.
+	inner, err := NewPITFALLS(0, 1, 4, 2, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outer := &PITFALLS{L: 0, R: 7, S: 8, N: 4, D: 0, P: 2, Inner: []*PITFALLS{inner}}
+	if err := outer.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	p0, err := outer.Processor(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, err := outer.Processor(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Processor 0 takes bytes {0,1,4,5} of each 8-byte row, processor
+	// 1 takes {2,3,6,7}.
+	equalInt64s(t, []int64{0, 1, 4, 5, 8, 9, 12, 13, 16, 17, 20, 21, 24, 25, 28, 29}, p0.Offsets(), "proc 0")
+	equalInt64s(t, []int64{2, 3, 6, 7, 10, 11, 14, 15, 18, 19, 22, 23, 26, 27, 30, 31}, p1.Offsets(), "proc 1")
+	// Together the processors tile every byte exactly once.
+	seen := map[int64]int{}
+	for _, x := range p0.Offsets() {
+		seen[x]++
+	}
+	for _, x := range p1.Offsets() {
+		seen[x]++
+	}
+	for x := int64(0); x < 32; x++ {
+		if seen[x] != 1 {
+			t.Errorf("byte %d covered %d times", x, seen[x])
+		}
+	}
+}
+
+func TestPITFALLSValidation(t *testing.T) {
+	cases := []struct {
+		l, r, s, n, d, p int64
+		ok               bool
+	}{
+		{0, 1, 6, 1, 2, 3, true},
+		{0, 1, 6, 1, 2, 0, false}, // no processors
+		{0, 1, 6, 1, 0, 2, false}, // zero distance with >1 processors
+		{0, 1, 6, 1, 0, 1, true},  // single processor: distance unused
+		{4, 1, 6, 1, 2, 2, false}, // bad family
+	}
+	for _, c := range cases {
+		_, err := NewPITFALLS(c.l, c.r, c.s, c.n, c.d, c.p)
+		if (err == nil) != c.ok {
+			t.Errorf("NewPITFALLS(%d,%d,%d,%d,%d,%d) err=%v, want ok=%v",
+				c.l, c.r, c.s, c.n, c.d, c.p, err, c.ok)
+		}
+	}
+}
+
+func TestPITFALLSProcessorRange(t *testing.T) {
+	pf, err := NewPITFALLS(0, 1, 6, 1, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pf.Processor(-1); err == nil {
+		t.Error("Processor(-1) should fail")
+	}
+	if _, err := pf.Processor(3); err == nil {
+		t.Error("Processor(3) should fail")
+	}
+}

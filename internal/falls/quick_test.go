@@ -1,0 +1,139 @@
+package falls
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// quick_test.go uses testing/quick with custom generators for the
+// core invariants of the representation.
+
+// genFALLS adapts randFALLS to testing/quick's Generator protocol.
+type genFALLS FALLS
+
+func (genFALLS) Generate(rng *rand.Rand, size int) reflect.Value {
+	span := int64(64 + size*8)
+	return reflect.ValueOf(genFALLS(randFALLS(rng, span)))
+}
+
+// TestQuickCutPreservesAndBounds: any cut is a subset of the original
+// family, within the window, and of no greater size.
+func TestQuickCutPreservesAndBounds(t *testing.T) {
+	f := func(g genFALLS, aRaw, widthRaw uint16) bool {
+		fl := FALLS(g)
+		a := int64(aRaw) % (fl.Extent() + 4)
+		b := a + int64(widthRaw)%64
+		pieces := CutFALLSAbs(fl, a, b)
+		var total int64
+		for _, p := range pieces {
+			if p.Validate() != nil {
+				return false
+			}
+			if p.L < a || p.Extent() > b {
+				return false
+			}
+			total += p.FlatSize()
+			// Every byte of the piece must belong to the original.
+			if !fl.Contains(p.L) || !fl.Contains(p.Extent()) {
+				return false
+			}
+		}
+		return total <= fl.FlatSize()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickIntersectionCommutes: IntersectFALLS is commutative as a
+// byte set and never exceeds either operand's size.
+func TestQuickIntersectionCommutes(t *testing.T) {
+	f := func(a, b genFALLS) bool {
+		f1, f2 := FALLS(a), FALLS(b)
+		ab := offsetsOf(IntersectFALLS(f1, f2))
+		ba := offsetsOf(IntersectFALLS(f2, f1))
+		if len(ab) != len(ba) {
+			return false
+		}
+		for i := range ab {
+			if ab[i] != ba[i] {
+				return false
+			}
+		}
+		return int64(len(ab)) <= f1.FlatSize() && int64(len(ab)) <= f2.FlatSize()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickIntersectionIdempotent: a family intersected with itself is
+// itself.
+func TestQuickIntersectionIdempotent(t *testing.T) {
+	f := func(a genFALLS) bool {
+		fl := FALLS(a)
+		got := offsetsOf(IntersectFALLS(fl, fl))
+		want := Leaf(fl).Offsets()
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickNormalizeIdempotent: normalizing twice equals normalizing
+// once.
+func TestQuickNormalizeIdempotent(t *testing.T) {
+	f := func(a, b genFALLS) bool {
+		pieces := IntersectFALLS(FALLS(a), FALLS(b))
+		once := Normalize(append([]FALLS(nil), pieces...))
+		twice := Normalize(append([]FALLS(nil), once...))
+		if len(once) != len(twice) {
+			return false
+		}
+		for i := range once {
+			if once[i] != twice[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickComplementInvolution: complementing twice restores the
+// byte set.
+func TestQuickComplementInvolution(t *testing.T) {
+	f := func(a genFALLS, spanRaw uint8) bool {
+		fl := FALLS(a)
+		span := fl.Extent() + 1 + int64(spanRaw)
+		s := Set{Leaf(fl)}
+		cc := Complement(Complement(s, span), span)
+		want := s.Offsets()
+		got := cc.Offsets()
+		if len(want) != len(got) {
+			return false
+		}
+		for i := range want {
+			if want[i] != got[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

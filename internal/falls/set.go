@@ -1,0 +1,229 @@
+package falls
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Set is an ordered collection of nested FALLS describing the union of
+// their byte subsets. Sets are the representation of subfiles and
+// views in the paper's file model (§5): a set is sorted by left index
+// and its members are pairwise disjoint.
+type Set []*Nested
+
+// SetOf builds a set from nested FALLS, sorting by left index. It does
+// not validate disjointness; use Validate for that.
+func SetOf(members ...*Nested) Set {
+	s := make(Set, len(members))
+	copy(s, members)
+	sort.SliceStable(s, func(i, j int) bool { return s[i].L < s[j].L })
+	return s
+}
+
+// Validate checks each member plus the set invariants: members sorted
+// by left index and pairwise disjoint extents at this level. (Extent
+// disjointness is stronger than byte disjointness but is what the
+// paper's MAP-AUX lookup relies on.)
+func (s Set) Validate() error {
+	for i, n := range s {
+		if n == nil {
+			return fmt.Errorf("falls: nil member %d", i)
+		}
+		if err := n.Validate(); err != nil {
+			return err
+		}
+		if i > 0 {
+			prev := s[i-1]
+			if n.L < prev.L {
+				return fmt.Errorf("falls: set not sorted: %v before %v", prev.FALLS, n.FALLS)
+			}
+			if n.L <= prev.Extent() {
+				return fmt.Errorf("falls: members overlap: %v and %v", prev.FALLS, n.FALLS)
+			}
+		}
+	}
+	return nil
+}
+
+// Size returns the total number of bytes described by the set: the sum
+// of the sizes of its members (paper §4).
+func (s Set) Size() int64 {
+	var total int64
+	for _, n := range s {
+		total += n.Size()
+	}
+	return total
+}
+
+// Extent returns the last byte index covered by any member, or -1 for
+// the empty set.
+func (s Set) Extent() int64 {
+	if len(s) == 0 {
+		return -1
+	}
+	e := int64(-1)
+	for _, n := range s {
+		if x := n.Extent(); x > e {
+			e = x
+		}
+	}
+	return e
+}
+
+// Depth returns the height of the tallest member tree; the empty set
+// has depth 0.
+func (s Set) Depth() int {
+	d := 0
+	for _, n := range s {
+		if nd := n.Depth(); nd > d {
+			d = nd
+		}
+	}
+	return d
+}
+
+// Clone returns a deep copy of the set.
+func (s Set) Clone() Set {
+	if s == nil {
+		return nil
+	}
+	out := make(Set, len(s))
+	for i, n := range s {
+		out[i] = n.Clone()
+	}
+	return out
+}
+
+// Equal reports structural equality of two sets.
+func (s Set) Equal(o Set) bool {
+	if len(s) != len(o) {
+		return false
+	}
+	for i := range s {
+		if !s[i].Equal(o[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Walk calls fn for every leaf segment of every member, in increasing
+// offset order (members are sorted and disjoint). Returning false
+// stops the walk; Walk reports whether it ran to completion.
+func (s Set) Walk(fn func(seg LineSegment) bool) bool {
+	for _, n := range s {
+		if !n.Walk(fn) {
+			return false
+		}
+	}
+	return true
+}
+
+// WalkRange walks only the parts of the set's leaf segments that fall
+// inside the inclusive window [lo, hi], clipping boundary segments.
+func (s Set) WalkRange(lo, hi int64, fn func(seg LineSegment) bool) bool {
+	return s.Walk(func(seg LineSegment) bool {
+		if seg.R < lo {
+			return true
+		}
+		if seg.L > hi {
+			return false
+		}
+		c := LineSegment{max64(seg.L, lo), min64(seg.R, hi)}
+		return fn(c)
+	})
+}
+
+// Offsets enumerates every byte index of the set in increasing order.
+// Intended for tests and small inputs.
+func (s Set) Offsets() []int64 {
+	out := make([]int64, 0, s.Size())
+	s.Walk(func(seg LineSegment) bool {
+		for x := seg.L; x <= seg.R; x++ {
+			out = append(out, x)
+		}
+		return true
+	})
+	return out
+}
+
+// Contains reports whether byte index x belongs to the set.
+func (s Set) Contains(x int64) bool {
+	// Members are sorted by L with disjoint extents; binary search for
+	// the last member starting at or before x.
+	i := sort.Search(len(s), func(i int) bool { return s[i].L > x }) - 1
+	if i < 0 {
+		return false
+	}
+	return s[i].Contains(x)
+}
+
+// Segments materializes the leaf segments of the set.
+func (s Set) Segments() []LineSegment {
+	var out []LineSegment
+	s.Walk(func(seg LineSegment) bool {
+		out = append(out, seg)
+		return true
+	})
+	return out
+}
+
+// SegmentCount returns the number of leaf segments described by the
+// set without materializing them.
+func (s Set) SegmentCount() int64 {
+	var c int64
+	s.Walk(func(LineSegment) bool {
+		c++
+		return true
+	})
+	return c
+}
+
+// IsContiguous reports whether the set's bytes inside [lo, hi] form a
+// single gap-free run that starts at lo and ends at hi. This is the
+// test the Clusterfile write path uses to pick the zero-copy path
+// (paper §8.1).
+func (s Set) IsContiguous(lo, hi int64) bool {
+	next := lo
+	ok := true
+	s.Walk(func(seg LineSegment) bool {
+		if seg.R < lo {
+			return true
+		}
+		if seg.L > hi {
+			return false // sorted: nothing further can matter
+		}
+		c := LineSegment{max64(seg.L, lo), min64(seg.R, hi)}
+		if c.L != next {
+			ok = false
+			return false
+		}
+		next = c.R + 1
+		return next <= hi
+	})
+	return ok && next == hi+1
+}
+
+func (s Set) String() string {
+	parts := make([]string, len(s))
+	for i, n := range s {
+		parts[i] = n.String()
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// OffsetsEqual reports whether two sets describe the same byte subset,
+// regardless of tree structure. Intended for tests.
+func OffsetsEqual(a, b Set) bool {
+	as, bs := a.Offsets(), b.Offsets()
+	if len(as) != len(bs) {
+		return false
+	}
+	for i := range as {
+		if as[i] != bs[i] {
+			return false
+		}
+	}
+	return true
+}

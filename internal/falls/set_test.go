@@ -1,0 +1,172 @@
+package falls
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// fig3Pattern builds the partitioning pattern of the paper's Figure 3:
+// three subfiles defined by FALLS (0,1,6,1), (2,3,6,1), (4,5,6,1).
+func fig3Pattern() []Set {
+	return []Set{
+		{MustLeaf(0, 1, 6, 1)},
+		{MustLeaf(2, 3, 6, 1)},
+		{MustLeaf(4, 5, 6, 1)},
+	}
+}
+
+func TestFigure3PatternSizes(t *testing.T) {
+	subs := fig3Pattern()
+	var total int64
+	for i, s := range subs {
+		if got := s.Size(); got != 2 {
+			t.Errorf("subfile %d size = %d, want 2", i, got)
+		}
+		total += s.Size()
+	}
+	// Paper: "The size of the partitioning pattern is 6."
+	if total != 6 {
+		t.Errorf("pattern size = %d, want 6", total)
+	}
+}
+
+func TestSetValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		s    Set
+		ok   bool
+	}{
+		{"empty", nil, true},
+		{"single", Set{MustLeaf(0, 3, 4, 1)}, true},
+		{"disjoint sorted", Set{MustLeaf(0, 1, 2, 1), MustLeaf(4, 5, 2, 1)}, true},
+		{"unsorted", Set{MustLeaf(4, 5, 2, 1), MustLeaf(0, 1, 2, 1)}, false},
+		{"overlapping extents", Set{MustLeaf(0, 3, 8, 2), MustLeaf(5, 6, 2, 1)}, false},
+		{"nil member", Set{nil}, false},
+	}
+	for _, c := range cases {
+		err := c.s.Validate()
+		if (err == nil) != c.ok {
+			t.Errorf("%s: err=%v, want ok=%v", c.name, err, c.ok)
+		}
+	}
+}
+
+func TestSetContainsAndSearch(t *testing.T) {
+	s := Set{
+		MustNested(MustNew(0, 3, 8, 2), Set{MustLeaf(0, 0, 2, 2)}), // {0,2,8,10}
+		MustLeaf(16, 17, 4, 2), // {16,17,20,21}
+	}
+	want := map[int64]bool{0: true, 2: true, 8: true, 10: true, 16: true, 17: true, 20: true, 21: true}
+	for x := int64(-2); x < 25; x++ {
+		if got := s.Contains(x); got != want[x] {
+			t.Errorf("Contains(%d) = %v, want %v", x, got, want[x])
+		}
+	}
+}
+
+func TestWalkRangeClipping(t *testing.T) {
+	s := Set{MustLeaf(0, 3, 8, 3)} // [0,3],[8,11],[16,19]
+	var segs []LineSegment
+	s.WalkRange(2, 17, func(seg LineSegment) bool {
+		segs = append(segs, seg)
+		return true
+	})
+	want := []LineSegment{{2, 3}, {8, 11}, {16, 17}}
+	if len(segs) != len(want) {
+		t.Fatalf("WalkRange = %v, want %v", segs, want)
+	}
+	for i := range want {
+		if segs[i] != want[i] {
+			t.Fatalf("WalkRange[%d] = %v, want %v", i, segs[i], want[i])
+		}
+	}
+}
+
+func TestIsContiguous(t *testing.T) {
+	dense := Set{MustLeaf(0, 15, 16, 1)}
+	sparse := Set{MustLeaf(0, 3, 8, 2)}
+	cases := []struct {
+		s      Set
+		lo, hi int64
+		want   bool
+	}{
+		{dense, 0, 15, true},
+		{dense, 4, 9, true},
+		{sparse, 0, 3, true},  // inside one block
+		{sparse, 0, 8, false}, // spans the gap
+		{sparse, 4, 7, false}, // entirely in the gap
+		{sparse, 8, 11, true}, // second block
+		{sparse, 2, 3, true},
+	}
+	for _, c := range cases {
+		if got := c.s.IsContiguous(c.lo, c.hi); got != c.want {
+			t.Errorf("%v.IsContiguous(%d,%d) = %v, want %v", c.s, c.lo, c.hi, got, c.want)
+		}
+	}
+}
+
+func TestSegmentCount(t *testing.T) {
+	s := Set{
+		MustNested(MustNew(0, 7, 16, 2), Set{MustLeaf(0, 1, 4, 2)}),
+		MustLeaf(40, 41, 2, 1),
+	}
+	if got := s.SegmentCount(); got != 5 {
+		t.Errorf("SegmentCount = %d, want 5", got)
+	}
+	if got := int64(len(s.Segments())); got != 5 {
+		t.Errorf("len(Segments) = %d, want 5", got)
+	}
+}
+
+func TestSetOfSorts(t *testing.T) {
+	s := SetOf(MustLeaf(10, 11, 2, 1), MustLeaf(0, 1, 2, 1), MustLeaf(4, 5, 2, 1))
+	if err := s.Validate(); err != nil {
+		t.Fatalf("SetOf result invalid: %v", err)
+	}
+	if s[0].L != 0 || s[1].L != 4 || s[2].L != 10 {
+		t.Errorf("SetOf order wrong: %v", s)
+	}
+}
+
+// TestPropertySetWalkSorted: leaf segments of a random set come out
+// sorted and disjoint, and the set size matches enumeration.
+func TestPropertySetWalkSorted(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for iter := 0; iter < 200; iter++ {
+		s := randSetWithin(rng, 512, 3)
+		segs := s.Segments()
+		for i := 1; i < len(segs); i++ {
+			if segs[i].L <= segs[i-1].R {
+				t.Fatalf("set %v: segments overlap or unsorted: %v then %v", s, segs[i-1], segs[i])
+			}
+		}
+		if int64(len(s.Offsets())) != s.Size() {
+			t.Fatalf("set %v: size %d != offsets %d", s, s.Size(), len(s.Offsets()))
+		}
+	}
+}
+
+// TestPropertyIsContiguousOracle: IsContiguous agrees with the
+// brute-force definition on random sets and windows.
+func TestPropertyIsContiguousOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for iter := 0; iter < 200; iter++ {
+		s := randSetWithin(rng, 128, 2)
+		in := map[int64]bool{}
+		for _, x := range s.Offsets() {
+			in[x] = true
+		}
+		lo := rng.Int63n(128)
+		hi := lo + rng.Int63n(128-lo)
+		want := true
+		for x := lo; x <= hi; x++ {
+			if !in[x] {
+				want = false
+				break
+			}
+		}
+		if got := s.IsContiguous(lo, hi); got != want {
+			t.Fatalf("set %v window [%d,%d]: IsContiguous=%v want %v", s, lo, hi, got, want)
+		}
+	}
+}

@@ -1,0 +1,169 @@
+// Package hpf parses High-Performance-Fortran-style distribution
+// notation into array specifications — the front door the paper's §3
+// promises: "support for any High-Performance Fortran-style BLOCK and
+// CYCLIC based data distribution on disk and in memory is a
+// straightforward application of our approach."
+//
+// Grammar (per dimension, comma separated):
+//
+//   - the dimension is not distributed
+//     BLOCK(p)     contiguous chunks over p processors
+//     CYCLIC(p)    round-robin single elements over p processors
+//     CYCLIC(b,p)  round-robin blocks of b elements over p processors
+//
+// Dimensions are written N1xN2x...xNk (element counts).
+package hpf
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"parafile/internal/part"
+)
+
+// ParseDims parses "256x256" style dimension lists.
+func ParseDims(s string) ([]int64, error) {
+	fields := strings.Split(strings.ToLower(strings.TrimSpace(s)), "x")
+	if len(fields) == 0 || fields[0] == "" {
+		return nil, fmt.Errorf("hpf: empty dimension list %q", s)
+	}
+	dims := make([]int64, len(fields))
+	for i, f := range fields {
+		n, err := strconv.ParseInt(strings.TrimSpace(f), 10, 64)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("hpf: bad dimension %q in %q", f, s)
+		}
+		dims[i] = n
+	}
+	return dims, nil
+}
+
+// ParseDists parses a comma-separated distribution list.
+func ParseDists(s string) ([]part.DimDist, error) {
+	fields := splitTop(s)
+	if len(fields) == 0 {
+		return nil, fmt.Errorf("hpf: empty distribution list %q", s)
+	}
+	out := make([]part.DimDist, len(fields))
+	for i, f := range fields {
+		d, err := parseDist(f)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = d
+	}
+	return out, nil
+}
+
+// splitTop splits on commas that are not inside parentheses.
+func splitTop(s string) []string {
+	var out []string
+	depth := 0
+	start := 0
+	for i, r := range s {
+		switch r {
+		case '(':
+			depth++
+		case ')':
+			depth--
+		case ',':
+			if depth == 0 {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	out = append(out, s[start:])
+	for i := range out {
+		out[i] = strings.TrimSpace(out[i])
+	}
+	return out
+}
+
+func parseDist(s string) (part.DimDist, error) {
+	u := strings.ToUpper(strings.TrimSpace(s))
+	switch {
+	case u == "*":
+		return part.DimDist{Kind: part.All}, nil
+	case strings.HasPrefix(u, "BLOCK(") && strings.HasSuffix(u, ")"):
+		p, err := strconv.ParseInt(u[6:len(u)-1], 10, 64)
+		if err != nil || p < 1 {
+			return part.DimDist{}, fmt.Errorf("hpf: bad BLOCK processor count in %q", s)
+		}
+		return part.DimDist{Kind: part.Block, Procs: p}, nil
+	case strings.HasPrefix(u, "CYCLIC(") && strings.HasSuffix(u, ")"):
+		args := strings.Split(u[7:len(u)-1], ",")
+		switch len(args) {
+		case 1:
+			p, err := strconv.ParseInt(strings.TrimSpace(args[0]), 10, 64)
+			if err != nil || p < 1 {
+				return part.DimDist{}, fmt.Errorf("hpf: bad CYCLIC processor count in %q", s)
+			}
+			return part.DimDist{Kind: part.Cyclic, Procs: p, Block: 1}, nil
+		case 2:
+			b, err1 := strconv.ParseInt(strings.TrimSpace(args[0]), 10, 64)
+			p, err2 := strconv.ParseInt(strings.TrimSpace(args[1]), 10, 64)
+			if err1 != nil || err2 != nil || b < 1 || p < 1 {
+				return part.DimDist{}, fmt.Errorf("hpf: bad CYCLIC(b,p) arguments in %q", s)
+			}
+			return part.DimDist{Kind: part.Cyclic, Procs: p, Block: b}, nil
+		}
+		return part.DimDist{}, fmt.Errorf("hpf: CYCLIC takes one or two arguments in %q", s)
+	}
+	return part.DimDist{}, fmt.Errorf("hpf: unknown distribution %q (want *, BLOCK(p), CYCLIC(p) or CYCLIC(b,p))", s)
+}
+
+// Parse combines dimensions, distributions and an element size into a
+// validated array specification.
+func Parse(dims, dists string, elemSize int64) (part.ArraySpec, error) {
+	d, err := ParseDims(dims)
+	if err != nil {
+		return part.ArraySpec{}, err
+	}
+	dd, err := ParseDists(dists)
+	if err != nil {
+		return part.ArraySpec{}, err
+	}
+	if len(d) != len(dd) {
+		return part.ArraySpec{}, fmt.Errorf("hpf: %d dimensions but %d distributions", len(d), len(dd))
+	}
+	if elemSize < 1 {
+		return part.ArraySpec{}, fmt.Errorf("hpf: non-positive element size %d", elemSize)
+	}
+	return part.ArraySpec{Dims: d, ElemSize: elemSize, Dists: dd}, nil
+}
+
+// Pattern parses and builds the partitioning pattern in one step.
+func Pattern(dims, dists string, elemSize int64) (*part.Pattern, error) {
+	spec, err := Parse(dims, dists, elemSize)
+	if err != nil {
+		return nil, err
+	}
+	return part.NDArray(spec)
+}
+
+// Format renders a spec back into the notation (for round-trip tests
+// and tool output).
+func Format(spec part.ArraySpec) (string, string) {
+	dimParts := make([]string, len(spec.Dims))
+	for i, d := range spec.Dims {
+		dimParts[i] = strconv.FormatInt(d, 10)
+	}
+	distParts := make([]string, len(spec.Dists))
+	for i, dd := range spec.Dists {
+		switch dd.Kind {
+		case part.All:
+			distParts[i] = "*"
+		case part.Block:
+			distParts[i] = fmt.Sprintf("BLOCK(%d)", dd.Procs)
+		case part.Cyclic:
+			if dd.Block == 1 {
+				distParts[i] = fmt.Sprintf("CYCLIC(%d)", dd.Procs)
+			} else {
+				distParts[i] = fmt.Sprintf("CYCLIC(%d,%d)", dd.Block, dd.Procs)
+			}
+		}
+	}
+	return strings.Join(dimParts, "x"), strings.Join(distParts, ",")
+}

@@ -1,0 +1,146 @@
+package hpf
+
+import (
+	"strings"
+	"testing"
+
+	"parafile/internal/part"
+)
+
+func TestParseDims(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []int64
+		ok   bool
+	}{
+		{"256x256", []int64{256, 256}, true},
+		{"8", []int64{8}, true},
+		{"4X6x2", []int64{4, 6, 2}, true},
+		{" 16 x 16 ", []int64{16, 16}, true},
+		{"", nil, false},
+		{"4x0", nil, false},
+		{"4xfoo", nil, false},
+	}
+	for _, c := range cases {
+		got, err := ParseDims(c.in)
+		if (err == nil) != c.ok {
+			t.Errorf("ParseDims(%q) err=%v, want ok=%v", c.in, err, c.ok)
+			continue
+		}
+		if err != nil {
+			continue
+		}
+		if len(got) != len(c.want) {
+			t.Errorf("ParseDims(%q) = %v, want %v", c.in, got, c.want)
+			continue
+		}
+		for i := range c.want {
+			if got[i] != c.want[i] {
+				t.Errorf("ParseDims(%q) = %v, want %v", c.in, got, c.want)
+			}
+		}
+	}
+}
+
+func TestParseDists(t *testing.T) {
+	ds, err := ParseDists("BLOCK(4), *, CYCLIC(3), CYCLIC(2,5)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []part.DimDist{
+		{Kind: part.Block, Procs: 4},
+		{Kind: part.All},
+		{Kind: part.Cyclic, Procs: 3, Block: 1},
+		{Kind: part.Cyclic, Procs: 5, Block: 2},
+	}
+	if len(ds) != len(want) {
+		t.Fatalf("got %v, want %v", ds, want)
+	}
+	for i := range want {
+		if ds[i] != want[i] {
+			t.Errorf("dist %d = %+v, want %+v", i, ds[i], want[i])
+		}
+	}
+	bad := []string{"", "BLOCK", "BLOCK()", "BLOCK(0)", "CYCLIC(1,2,3)", "SCATTER(2)", "block(x)"}
+	for _, b := range bad {
+		if _, err := ParseDists(b); err == nil {
+			t.Errorf("ParseDists(%q) accepted", b)
+		}
+	}
+	// Lowercase accepted.
+	if _, err := ParseDists("block(2),cyclic(2)"); err != nil {
+		t.Errorf("lowercase rejected: %v", err)
+	}
+}
+
+func TestParseValidation(t *testing.T) {
+	if _, err := Parse("4x4", "BLOCK(2)", 1); err == nil {
+		t.Error("rank mismatch accepted")
+	}
+	if _, err := Parse("4x4", "BLOCK(2),*", 0); err == nil {
+		t.Error("zero element size accepted")
+	}
+}
+
+// TestPatternMatchesBuilders: the parsed notation produces the same
+// partitions as the programmatic builders.
+func TestPatternMatchesBuilders(t *testing.T) {
+	fromHPF, err := Pattern("8x8", "BLOCK(4),*", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := part.RowBlocks(8, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fromHPF.Len() != direct.Len() || fromHPF.Size() != direct.Size() {
+		t.Fatalf("shape mismatch: %d/%d vs %d/%d",
+			fromHPF.Len(), fromHPF.Size(), direct.Len(), direct.Size())
+	}
+	for e := 0; e < direct.Len(); e++ {
+		a := fromHPF.Element(e).Set.Offsets()
+		b := direct.Element(e).Set.Offsets()
+		if len(a) != len(b) {
+			t.Fatalf("element %d differs", e)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("element %d differs at offset %d", e, i)
+			}
+		}
+	}
+}
+
+// TestFormatRoundTrip: Format output parses back to the same spec.
+func TestFormatRoundTrip(t *testing.T) {
+	specs := []part.ArraySpec{
+		{Dims: []int64{256, 256}, ElemSize: 1, Dists: []part.DimDist{
+			{Kind: part.Block, Procs: 4}, {Kind: part.All}}},
+		{Dims: []int64{12, 8, 4}, ElemSize: 8, Dists: []part.DimDist{
+			{Kind: part.Cyclic, Procs: 3, Block: 2},
+			{Kind: part.Cyclic, Procs: 2, Block: 1},
+			{Kind: part.All}}},
+	}
+	for _, spec := range specs {
+		dims, dists := Format(spec)
+		back, err := Parse(dims, dists, spec.ElemSize)
+		if err != nil {
+			t.Fatalf("Format produced unparsable %q / %q: %v", dims, dists, err)
+		}
+		if len(back.Dims) != len(spec.Dims) || len(back.Dists) != len(spec.Dists) {
+			t.Fatalf("round trip changed rank")
+		}
+		for i := range spec.Dims {
+			if back.Dims[i] != spec.Dims[i] || back.Dists[i] != spec.Dists[i] {
+				t.Fatalf("round trip changed spec: %+v vs %+v", back, spec)
+			}
+		}
+	}
+}
+
+func TestSplitTopRespectsParens(t *testing.T) {
+	got := splitTop("CYCLIC(2,5),BLOCK(4)")
+	if len(got) != 2 || !strings.HasPrefix(got[0], "CYCLIC") || !strings.HasPrefix(got[1], "BLOCK") {
+		t.Errorf("splitTop = %v", got)
+	}
+}

@@ -1,0 +1,120 @@
+// Package match implements the paper's stated future work (§9): a
+// quantitative description of the matching degree of two partitions of
+// the same file, suitable for predicting how access performance
+// relates to the layout ("we are interested in finding a quantitative
+// description of the matching degree of two partitions; subsequently,
+// we would like to investigate how the performance of parallel
+// applications relates to this quantitative evaluation").
+//
+// The metric is computed from the same intersections the
+// redistribution algorithm uses, so it costs one view-set and nothing
+// more.
+package match
+
+import (
+	"fmt"
+	"math"
+
+	"parafile/internal/part"
+	"parafile/internal/redist"
+)
+
+// Degree quantifies how well two partitions of the same file match.
+type Degree struct {
+	// Pairs is the number of element pairs that share bytes — the
+	// communication pairs a redistribution (or a write through views)
+	// needs.
+	Pairs int
+	// ContiguousPairs counts pairs whose shared bytes are contiguous
+	// in both elements' linear spaces — the zero-copy pairs of §8.1.
+	ContiguousPairs int
+	// BytesPerPeriod is the data volume shared per intersection
+	// period (the whole pattern lcm).
+	BytesPerPeriod int64
+	// RunsPerPeriod is the number of maximal contiguous runs the
+	// shared bytes split into, per period, summed over pairs.
+	RunsPerPeriod int64
+	// MeanRunBytes is BytesPerPeriod / RunsPerPeriod — the paper's
+	// "many small pieces" fragmentation measure inverted.
+	MeanRunBytes float64
+	// Score is the normalized matching degree in (0, 1]: the minimum
+	// possible number of runs — one per element of the finer partition
+	// — over the actual number of runs. 1 means each element maps onto
+	// exactly one contiguous peer region (the optimal match of §6.2);
+	// values near 0 mean heavy fragmentation and extra communication
+	// pairs.
+	Score float64
+}
+
+// Compute evaluates the matching degree of two partitions of the same
+// file.
+func Compute(f1, f2 *part.File) (*Degree, error) {
+	if f1 == nil || f2 == nil {
+		return nil, fmt.Errorf("match: nil file")
+	}
+	d := &Degree{}
+	for e1 := 0; e1 < f1.Pattern.Len(); e1++ {
+		for e2 := 0; e2 < f2.Pattern.Len(); e2++ {
+			inter, p1, p2, err := redist.IntersectProjectElements(f1, e1, f2, e2)
+			if err != nil {
+				return nil, err
+			}
+			if inter.Empty() {
+				continue
+			}
+			d.Pairs++
+			d.BytesPerPeriod += inter.BytesPerPeriod()
+			runs := inter.Set.SegmentCount()
+			d.RunsPerPeriod += runs
+			if p1.Set.SegmentCount() == 1 && p2.Set.SegmentCount() == 1 {
+				d.ContiguousPairs++
+			}
+		}
+	}
+	if d.RunsPerPeriod > 0 {
+		d.MeanRunBytes = float64(d.BytesPerPeriod) / float64(d.RunsPerPeriod)
+		minRuns := f1.Pattern.Len()
+		if f2.Pattern.Len() > minRuns {
+			minRuns = f2.Pattern.Len()
+		}
+		d.Score = float64(minRuns) / float64(d.RunsPerPeriod)
+	}
+	return d, nil
+}
+
+// String summarizes the degree.
+func (d *Degree) String() string {
+	return fmt.Sprintf("match(score=%.4f, pairs=%d, contiguous=%d, runs/period=%d, mean run=%.0fB)",
+		d.Score, d.Pairs, d.ContiguousPairs, d.RunsPerPeriod, d.MeanRunBytes)
+}
+
+// PredictRank orders a set of candidate physical layouts for a given
+// logical partition: higher score first. It returns indices into the
+// candidates slice. Ties break toward fewer communication pairs.
+func PredictRank(logical *part.File, candidates []*part.File) ([]int, []*Degree, error) {
+	degrees := make([]*Degree, len(candidates))
+	for i, c := range candidates {
+		d, err := Compute(logical, c)
+		if err != nil {
+			return nil, nil, err
+		}
+		degrees[i] = d
+	}
+	order := make([]int, len(candidates))
+	for i := range order {
+		order[i] = i
+	}
+	// Insertion sort by descending score, ascending pairs.
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0; j-- {
+			a, b := degrees[order[j-1]], degrees[order[j]]
+			if b.Score > a.Score+1e-12 ||
+				(math.Abs(b.Score-a.Score) <= 1e-12 && b.Pairs < a.Pairs) {
+				order[j-1], order[j] = order[j], order[j-1]
+			} else {
+				break
+			}
+		}
+	}
+	return order, degrees, nil
+}

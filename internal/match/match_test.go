@@ -1,0 +1,141 @@
+package match
+
+import (
+	"testing"
+
+	"parafile/internal/bench"
+	"parafile/internal/clusterfile"
+	"parafile/internal/part"
+)
+
+func files(t *testing.T, n int64) map[string]*part.File {
+	t.Helper()
+	rows, err := part.RowBlocks(n, n, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cols, err := part.ColBlocks(n, n, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sq, err := part.SquareBlocks(n, n, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]*part.File{
+		"r": part.MustFile(0, rows),
+		"c": part.MustFile(0, cols),
+		"b": part.MustFile(0, sq),
+	}
+}
+
+// TestPerfectMatchScoresOne: identical partitions have score 1, one
+// contiguous pair per element.
+func TestPerfectMatchScoresOne(t *testing.T) {
+	fs := files(t, 64)
+	d, err := Compute(fs["r"], fs["r"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Score != 1 {
+		t.Errorf("perfect match score = %v, want 1", d.Score)
+	}
+	if d.Pairs != 4 || d.ContiguousPairs != 4 {
+		t.Errorf("pairs = %d/%d contiguous, want 4/4", d.Pairs, d.ContiguousPairs)
+	}
+	if d.BytesPerPeriod != 64*64 {
+		t.Errorf("bytes per period = %d, want %d", d.BytesPerPeriod, 64*64)
+	}
+}
+
+// TestScoreOrdering: the matching degree orders the paper's layouts
+// r > b > c against a row-block logical partition, at every size.
+func TestScoreOrdering(t *testing.T) {
+	for _, n := range []int64{64, 256, 1024} {
+		fs := files(t, n)
+		logical := fs["r"]
+		dr, err := Compute(logical, fs["r"])
+		if err != nil {
+			t.Fatal(err)
+		}
+		db, err := Compute(logical, fs["b"])
+		if err != nil {
+			t.Fatal(err)
+		}
+		dc, err := Compute(logical, fs["c"])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !(dr.Score > db.Score && db.Score > dc.Score) {
+			t.Errorf("n=%d: score ordering violated: r=%v b=%v c=%v",
+				n, dr.Score, db.Score, dc.Score)
+		}
+		if !(dr.MeanRunBytes > db.MeanRunBytes && db.MeanRunBytes >= dc.MeanRunBytes) {
+			t.Errorf("n=%d: mean run ordering violated: r=%v b=%v c=%v",
+				n, dr.MeanRunBytes, db.MeanRunBytes, dc.MeanRunBytes)
+		}
+	}
+}
+
+// TestPredictRank ranks candidate layouts best-first.
+func TestPredictRank(t *testing.T) {
+	fs := files(t, 256)
+	logical := fs["r"]
+	candidates := []*part.File{fs["c"], fs["r"], fs["b"]}
+	order, degrees, err := PredictRank(logical, candidates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if order[0] != 1 || order[1] != 2 || order[2] != 0 {
+		t.Errorf("rank order = %v (scores %v,%v,%v), want [1 2 0]",
+			order, degrees[0].Score, degrees[1].Score, degrees[2].Score)
+	}
+}
+
+// TestScorePredictsWritePerformance closes the paper's §9 loop: the
+// matching degree predicts the virtual write time ordering on the
+// simulated cluster.
+func TestScorePredictsWritePerformance(t *testing.T) {
+	type result struct {
+		score float64
+		tnet  int64
+	}
+	var results []result
+	for _, phys := range []string{"r", "b", "c"} {
+		w, err := bench.NewWorkload(phys, 256)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pp, _ := bench.LayoutPattern(phys, 256)
+		lp, _ := bench.LayoutPattern("r", 256)
+		d, err := Compute(part.MustFile(0, lp), part.MustFile(0, pp))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ops, err := w.WriteAll(clusterfile.ToBufferCache)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sum int64
+		for _, op := range ops {
+			sum += op.Stats.TNet
+		}
+		results = append(results, result{score: d.Score, tnet: sum / 4})
+	}
+	// Higher score must mean lower write time, pairwise.
+	for i := range results {
+		for j := range results {
+			if results[i].score > results[j].score && results[i].tnet >= results[j].tnet {
+				t.Errorf("score %v (t_net %d) should beat score %v (t_net %d)",
+					results[i].score, results[i].tnet, results[j].score, results[j].tnet)
+			}
+		}
+	}
+}
+
+func TestComputeValidation(t *testing.T) {
+	fs := files(t, 64)
+	if _, err := Compute(nil, fs["r"]); err == nil {
+		t.Error("nil file accepted")
+	}
+}

@@ -1,0 +1,193 @@
+package mpiio
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// columnFiletypes builds one column-block subarray filetype per rank
+// over a rows×cols byte matrix.
+func columnFiletypes(t *testing.T, rows, cols, ranks int64) []*Datatype {
+	t.Helper()
+	per := cols / ranks
+	fts := make([]*Datatype, ranks)
+	for r := int64(0); r < ranks; r++ {
+		ft, err := Subarray([]int64{rows, cols}, []int64{0, r * per}, []int64{rows, per}, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fts[r] = ft
+	}
+	return fts
+}
+
+// TestCollectiveWriteMatchesIndependent: two-phase and independent
+// writes produce the same file bytes.
+func TestCollectiveWriteMatchesIndependent(t *testing.T) {
+	const rows, cols, ranks = 8, 16, 4
+	fts := columnFiletypes(t, rows, cols, ranks)
+	rng := rand.New(rand.NewSource(130))
+	data := make([][]byte, ranks)
+	for r := range data {
+		data[r] = make([]byte, fts[r].Size())
+		rng.Read(data[r])
+	}
+
+	collective := NewFile(nil)
+	stats, err := CollectiveWrite(collective, 0, fts, data, rows*cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	independent := NewFile(nil)
+	for r := range fts {
+		if err := independent.SetView(0, fts[r]); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := independent.WriteAt(data[r], 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !bytes.Equal(collective.Bytes(), independent.Bytes()) {
+		t.Fatal("collective and independent writes differ")
+	}
+	// Two-phase turns 8 segments per rank into 1 contiguous write per
+	// aggregator.
+	if stats.FileWrites != ranks {
+		t.Errorf("FileWrites = %d, want %d", stats.FileWrites, ranks)
+	}
+	if stats.DirectSegments != rows*ranks {
+		t.Errorf("DirectSegments = %d, want %d", stats.DirectSegments, rows*ranks)
+	}
+	if stats.ExchangedBytes != rows*cols {
+		t.Errorf("ExchangedBytes = %d, want %d (every byte changes owner or domain)",
+			stats.ExchangedBytes, rows*cols)
+	}
+}
+
+// TestCollectiveReadRoundTrip: collective write then collective read
+// restores every rank's buffer.
+func TestCollectiveReadRoundTrip(t *testing.T) {
+	const rows, cols, ranks = 8, 16, 4
+	fts := columnFiletypes(t, rows, cols, ranks)
+	rng := rand.New(rand.NewSource(131))
+	data := make([][]byte, ranks)
+	for r := range data {
+		data[r] = make([]byte, fts[r].Size())
+		rng.Read(data[r])
+	}
+	f := NewFile(nil)
+	if _, err := CollectiveWrite(f, 0, fts, data, rows*cols); err != nil {
+		t.Fatal(err)
+	}
+	out := make([][]byte, ranks)
+	for r := range out {
+		out[r] = make([]byte, fts[r].Size())
+	}
+	if _, err := CollectiveRead(f, 0, fts, out, rows*cols); err != nil {
+		t.Fatal(err)
+	}
+	for r := range out {
+		if !bytes.Equal(out[r], data[r]) {
+			t.Fatalf("rank %d read-back differs", r)
+		}
+	}
+}
+
+// TestCollectiveMultiplePeriods: vector filetypes that tile the extent
+// and repeat over several extents.
+func TestCollectiveMultiplePeriods(t *testing.T) {
+	// Two ranks interleave 2-byte blocks within a 4-byte extent.
+	ft0, err := Vector(1, 2, 2, 1) // bytes {0,1}, extent forced below
+	if err != nil {
+		t.Fatal(err)
+	}
+	ft0.extent = 4
+	ft1, err := Indexed([]int64{2}, []int64{2}, 1) // bytes {2,3}
+	if err != nil {
+		t.Fatal(err)
+	}
+	ft1.extent = 4
+	fts := []*Datatype{ft0, ft1}
+	const length = 24 // 6 extents
+	data := [][]byte{make([]byte, 12), make([]byte, 12)}
+	for i := range data[0] {
+		data[0][i] = byte(i + 1)
+		data[1][i] = byte(100 + i)
+	}
+	f := NewFile(nil)
+	if _, err := CollectiveWrite(f, 0, fts, data, length); err != nil {
+		t.Fatal(err)
+	}
+	want := make([]byte, length)
+	for k := 0; k < 6; k++ {
+		want[4*k] = byte(2*k + 1)
+		want[4*k+1] = byte(2*k + 2)
+		want[4*k+2] = byte(100 + 2*k)
+		want[4*k+3] = byte(100 + 2*k + 1)
+	}
+	if !bytes.Equal(f.Bytes(), want) {
+		t.Fatalf("file = %v\nwant  %v", f.Bytes(), want)
+	}
+}
+
+// TestCollectiveWithDisplacement: the file region starts past a
+// header.
+func TestCollectiveWithDisplacement(t *testing.T) {
+	const rows, cols, ranks = 4, 8, 4
+	fts := columnFiletypes(t, rows, cols, ranks)
+	data := make([][]byte, ranks)
+	for r := range data {
+		data[r] = make([]byte, fts[r].Size())
+		for i := range data[r] {
+			data[r][i] = byte(r*50 + i)
+		}
+	}
+	f := NewFile([]byte("HDR!"))
+	if _, err := CollectiveWrite(f, 4, fts, data, rows*cols); err != nil {
+		t.Fatal(err)
+	}
+	if string(f.Bytes()[:4]) != "HDR!" {
+		t.Fatal("header clobbered")
+	}
+	out := make([][]byte, ranks)
+	for r := range out {
+		out[r] = make([]byte, fts[r].Size())
+	}
+	if _, err := CollectiveRead(f, 4, fts, out, rows*cols); err != nil {
+		t.Fatal(err)
+	}
+	for r := range out {
+		if !bytes.Equal(out[r], data[r]) {
+			t.Fatalf("rank %d displaced read-back differs", r)
+		}
+	}
+}
+
+func TestCollectiveValidation(t *testing.T) {
+	f := NewFile(nil)
+	fts := columnFiletypes(t, 4, 8, 4)
+	good := make([][]byte, 4)
+	for r := range good {
+		good[r] = make([]byte, fts[r].Size())
+	}
+	if _, err := CollectiveWrite(f, 0, nil, nil, 32); err == nil {
+		t.Error("no filetypes accepted")
+	}
+	if _, err := CollectiveWrite(f, 0, fts, good, 33); err == nil {
+		t.Error("non-multiple length accepted")
+	}
+	if _, err := CollectiveWrite(f, 0, fts, good[:2], 32); err == nil {
+		t.Error("buffer count mismatch accepted")
+	}
+	// Overlapping filetypes must be rejected.
+	over, _ := Subarray([]int64{4, 8}, []int64{0, 0}, []int64{4, 4}, 1)
+	bad := []*Datatype{over, over, over, over}
+	if _, err := CollectiveWrite(f, 0, bad, good, 32); err == nil {
+		t.Error("overlapping filetypes accepted")
+	}
+	if _, err := CollectiveRead(f, 0, fts, good[:1], 32); err == nil {
+		t.Error("read buffer count mismatch accepted")
+	}
+}

@@ -1,0 +1,68 @@
+package mpiio
+
+import (
+	"fmt"
+
+	"parafile/internal/falls"
+)
+
+// etype.go adds MPI's elementary-type addressing: an MPI-IO view is
+// (displacement, etype, filetype), and all offsets and counts are in
+// etype units, not bytes. The byte-level machinery underneath is the
+// nested FALLS view; this layer only scales coordinates, checking that
+// the filetype selects whole etype units.
+
+// EView is an etype-addressed view over a file.
+type EView struct {
+	f         *File
+	etypeSize int64
+}
+
+// SetViewE installs a view whose offsets are counted in etype units of
+// the given size. The filetype's selection must consist of whole etype
+// units.
+func (f *File) SetViewE(disp int64, etypeSize int64, filetype *Datatype) (*EView, error) {
+	if etypeSize < 1 {
+		return nil, fmt.Errorf("mpiio: non-positive etype size %d", etypeSize)
+	}
+	if filetype != nil {
+		if filetype.Size()%etypeSize != 0 {
+			return nil, fmt.Errorf("mpiio: filetype selects %d bytes, not a multiple of the %d-byte etype",
+				filetype.Size(), etypeSize)
+		}
+		// Every selected run must cover whole etype units.
+		ok := true
+		filetype.Set().Walk(func(seg falls.LineSegment) bool {
+			if seg.Len()%etypeSize != 0 {
+				ok = false
+				return false
+			}
+			return true
+		})
+		if !ok {
+			return nil, fmt.Errorf("mpiio: filetype runs are not etype aligned")
+		}
+	}
+	if err := f.SetView(disp, filetype); err != nil {
+		return nil, err
+	}
+	return &EView{f: f, etypeSize: etypeSize}, nil
+}
+
+// WriteAtE writes count etypes from buf at etype offset off.
+func (v *EView) WriteAtE(buf []byte, off int64) (int64, error) {
+	if int64(len(buf))%v.etypeSize != 0 {
+		return 0, fmt.Errorf("mpiio: buffer of %d bytes is not whole etypes of %d", len(buf), v.etypeSize)
+	}
+	n, err := v.f.WriteAt(buf, off*v.etypeSize)
+	return n / v.etypeSize, err
+}
+
+// ReadAtE reads len(buf)/etypeSize etypes at etype offset off.
+func (v *EView) ReadAtE(buf []byte, off int64) (int64, error) {
+	if int64(len(buf))%v.etypeSize != 0 {
+		return 0, fmt.Errorf("mpiio: buffer of %d bytes is not whole etypes of %d", len(buf), v.etypeSize)
+	}
+	n, err := v.f.ReadAt(buf, off*v.etypeSize)
+	return n / v.etypeSize, err
+}

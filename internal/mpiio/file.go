@@ -1,0 +1,150 @@
+package mpiio
+
+import (
+	"fmt"
+
+	"parafile/internal/falls"
+)
+
+// File is an MPI-IO style file handle over an in-memory byte store: a
+// view — displacement plus filetype — turns subsequent reads and
+// writes into accesses of the selected bytes only, addressed linearly
+// (§3: "non-contiguous I/O is realized by setting a linear view on the
+// data set and accessing it contiguously").
+type File struct {
+	data []byte
+
+	disp     int64
+	filetype *Datatype
+}
+
+// NewFile wraps initial contents (which may be nil).
+func NewFile(initial []byte) *File {
+	return &File{data: append([]byte(nil), initial...)}
+}
+
+// Bytes returns the file's current contents.
+func (f *File) Bytes() []byte { return f.data }
+
+// Len returns the file's current size.
+func (f *File) Len() int64 { return int64(len(f.data)) }
+
+// SetView installs a view: the filetype tiles the file starting at the
+// displacement, and view offsets address its selected bytes in order.
+// A nil filetype restores the trivial all-bytes view.
+func (f *File) SetView(disp int64, filetype *Datatype) error {
+	if disp < 0 {
+		return fmt.Errorf("mpiio: negative displacement %d", disp)
+	}
+	if filetype != nil && filetype.Size() == 0 {
+		return fmt.Errorf("mpiio: empty filetype")
+	}
+	f.disp = disp
+	f.filetype = filetype
+	return nil
+}
+
+// grow ensures the file holds at least n bytes.
+func (f *File) grow(n int64) {
+	if int64(len(f.data)) < n {
+		grown := make([]byte, n)
+		copy(grown, f.data)
+		f.data = grown
+	}
+}
+
+// viewWalk iterates the file-space segments corresponding to view
+// offsets [off, off+n), in order, calling fn with the file segment and
+// the view position it starts at.
+func (f *File) viewWalk(off, n int64, fn func(fileSeg falls.LineSegment, viewPos int64) error) error {
+	if off < 0 || n < 0 {
+		return fmt.Errorf("mpiio: negative view range (%d, %d)", off, n)
+	}
+	if n == 0 {
+		return nil
+	}
+	if f.filetype == nil {
+		return fn(falls.LineSegment{L: f.disp + off, R: f.disp + off + n - 1}, off)
+	}
+	size := f.filetype.Size()
+	extent := f.filetype.Extent()
+	end := off + n - 1
+	pos := (off / size) * size // view position at the start of the first relevant tile
+	for k := off / size; pos <= end; k++ {
+		base := f.disp + k*extent
+		var err error
+		f.filetype.set.Walk(func(seg falls.LineSegment) bool {
+			segStart := pos
+			segEnd := pos + seg.Len() - 1
+			pos = segEnd + 1
+			if segEnd < off {
+				return true
+			}
+			if segStart > end {
+				return false
+			}
+			lo := max64(segStart, off)
+			hi := min64(segEnd, end)
+			fileSeg := falls.LineSegment{
+				L: base + seg.L + (lo - segStart),
+				R: base + seg.L + (hi - segStart),
+			}
+			if e := fn(fileSeg, lo); e != nil {
+				err = e
+				return false
+			}
+			return true
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteAt writes p through the view at view offset off, growing the
+// file as needed. It returns the bytes written.
+func (f *File) WriteAt(p []byte, off int64) (int64, error) {
+	var written int64
+	err := f.viewWalk(off, int64(len(p)), func(seg falls.LineSegment, viewPos int64) error {
+		f.grow(seg.R + 1)
+		copy(f.data[seg.L:seg.R+1], p[viewPos-off:viewPos-off+seg.Len()])
+		written += seg.Len()
+		return nil
+	})
+	return written, err
+}
+
+// ReadAt reads len(p) view bytes starting at view offset off. Bytes
+// beyond the current end of file read as zero (the file is conceptually
+// sparse).
+func (f *File) ReadAt(p []byte, off int64) (int64, error) {
+	var read int64
+	err := f.viewWalk(off, int64(len(p)), func(seg falls.LineSegment, viewPos int64) error {
+		dst := p[viewPos-off : viewPos-off+seg.Len()]
+		for i := range dst {
+			dst[i] = 0
+		}
+		if seg.L < int64(len(f.data)) {
+			hi := min64(seg.R, int64(len(f.data))-1)
+			copy(dst, f.data[seg.L:hi+1])
+		}
+		read += seg.Len()
+		return nil
+	})
+	return read, err
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,374 @@
+package mpiio
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"parafile/internal/part"
+)
+
+func TestContiguous(t *testing.T) {
+	d, err := Contiguous(3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Size() != 12 || d.Extent() != 12 {
+		t.Errorf("Size=%d Extent=%d, want 12, 12", d.Size(), d.Extent())
+	}
+	if _, err := Contiguous(0, 4); err == nil {
+		t.Error("zero count accepted")
+	}
+}
+
+func TestVector(t *testing.T) {
+	// 3 blocks of 2 elements, stride 5 elements, 4-byte elements:
+	// selects bytes [0,7], [20,27], [40,47].
+	d, err := Vector(3, 2, 5, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Size() != 24 {
+		t.Errorf("Size = %d, want 24", d.Size())
+	}
+	if d.Extent() != 48 {
+		t.Errorf("Extent = %d, want 48", d.Extent())
+	}
+	off := d.Set().Offsets()
+	if off[0] != 0 || off[8] != 20 || off[16] != 40 {
+		t.Errorf("vector offsets wrong: %v", off)
+	}
+	if _, err := Vector(3, 4, 2, 1); err == nil {
+		t.Error("stride < blocklen accepted")
+	}
+}
+
+func TestIndexed(t *testing.T) {
+	d, err := Indexed([]int64{2, 1}, []int64{0, 5}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Blocks: elements [0,2) and [5,6) of 2-byte elements: bytes
+	// {0..3, 10..11}.
+	want := []int64{0, 1, 2, 3, 10, 11}
+	got := d.Set().Offsets()
+	if len(got) != len(want) {
+		t.Fatalf("indexed offsets = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("indexed offsets = %v, want %v", got, want)
+		}
+	}
+	if d.Extent() != 12 {
+		t.Errorf("Extent = %d, want 12", d.Extent())
+	}
+	if _, err := Indexed([]int64{2, 2}, []int64{0, 1}, 1); err == nil {
+		t.Error("overlapping blocks accepted")
+	}
+	if _, err := Indexed(nil, nil, 1); err == nil {
+		t.Error("empty blocks accepted")
+	}
+}
+
+func TestSubarrayType(t *testing.T) {
+	// 4×4 array of 1-byte elements, box rows 1-2 × cols 1-2.
+	d, err := Subarray([]int64{4, 4}, []int64{1, 1}, []int64{2, 2}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{5, 6, 9, 10}
+	got := d.Set().Offsets()
+	if len(got) != len(want) {
+		t.Fatalf("subarray offsets = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("subarray offsets = %v, want %v", got, want)
+		}
+	}
+	if d.Extent() != 16 {
+		t.Errorf("Extent = %d, want 16 (whole array)", d.Extent())
+	}
+	// The whole array as a subarray is dense.
+	full, err := Subarray([]int64{4, 4}, []int64{0, 0}, []int64{4, 4}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Size() != 16 {
+		t.Errorf("full subarray size = %d, want 16", full.Size())
+	}
+}
+
+func TestPackUnpackRoundTrip(t *testing.T) {
+	d, _ := Vector(4, 1, 3, 2) // 4 blocks of 2 bytes every 6
+	src := make([]byte, 3*d.Extent())
+	rand.New(rand.NewSource(1)).Read(src)
+	packed := make([]byte, 3*d.Size())
+	n, err := Pack(packed, src, d, 3)
+	if err != nil || n != int64(len(packed)) {
+		t.Fatalf("Pack = %d, %v; want %d", n, err, len(packed))
+	}
+	out := make([]byte, len(src))
+	n, err = Unpack(out, packed, d, 3)
+	if err != nil || n != int64(len(packed)) {
+		t.Fatalf("Unpack = %d, %v", n, err)
+	}
+	// Selected bytes equal, unselected zero.
+	for k := int64(0); k < 3; k++ {
+		base := k * d.Extent()
+		for o := int64(0); o < d.Extent(); o++ {
+			sel := d.Set().Contains(o)
+			if sel && out[base+o] != src[base+o] {
+				t.Fatalf("packed byte %d lost", base+o)
+			}
+			if !sel && out[base+o] != 0 {
+				t.Fatalf("unselected byte %d written", base+o)
+			}
+		}
+	}
+	// Short source fails cleanly.
+	if _, err := Pack(packed, src[:5], d, 3); err == nil {
+		t.Error("short pack source accepted")
+	}
+	if _, err := Unpack(out[:5], packed, d, 3); err == nil {
+		t.Error("short unpack destination accepted")
+	}
+}
+
+// TestFileViewWriteRead: writing a matrix column through a vector view
+// lands in the right file bytes, and reads back linearly.
+func TestFileViewWriteRead(t *testing.T) {
+	const rows, cols = 6, 8
+	f := NewFile(nil)
+	// View: column 2 of a rows×cols byte matrix.
+	colType, err := Vector(rows, 1, cols, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.SetView(2, colType); err != nil {
+		t.Fatal(err)
+	}
+	col := []byte{10, 20, 30, 40, 50, 60}
+	n, err := f.WriteAt(col, 0)
+	if err != nil || n != rows {
+		t.Fatalf("WriteAt = %d, %v", n, err)
+	}
+	// The file must now have the column at offsets 2, 10, 18, ...
+	for r := 0; r < rows; r++ {
+		off := 2 + r*cols
+		if f.Bytes()[off] != col[r] {
+			t.Errorf("file byte %d = %d, want %d", off, f.Bytes()[off], col[r])
+		}
+	}
+	// Read it back through the view.
+	out := make([]byte, rows)
+	n, err = f.ReadAt(out, 0)
+	if err != nil || n != rows {
+		t.Fatalf("ReadAt = %d, %v", n, err)
+	}
+	if !bytes.Equal(out, col) {
+		t.Errorf("view read = %v, want %v", out, col)
+	}
+}
+
+// TestFileViewTiling: view offsets beyond one extent continue into the
+// next tile of the filetype.
+func TestFileViewTiling(t *testing.T) {
+	f := NewFile(nil)
+	d, _ := Vector(2, 1, 2, 1) // selects bytes {0, 2} of each 3-byte extent... extent = 3
+	if d.Extent() != 3 {
+		t.Fatalf("extent = %d", d.Extent())
+	}
+	if err := f.SetView(0, d); err != nil {
+		t.Fatal(err)
+	}
+	// 6 view bytes span 3 tiles: file offsets 0,2, 3,5, 6,8.
+	data := []byte{1, 2, 3, 4, 5, 6}
+	if _, err := f.WriteAt(data, 0); err != nil {
+		t.Fatal(err)
+	}
+	wantFile := []byte{1, 0, 2, 3, 0, 4, 5, 0, 6}
+	if !bytes.Equal(f.Bytes(), wantFile) {
+		t.Errorf("file = %v, want %v", f.Bytes(), wantFile)
+	}
+	// Unaligned view window.
+	out := make([]byte, 3)
+	if _, err := f.ReadAt(out, 2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out, []byte{3, 4, 5}) {
+		t.Errorf("window read = %v, want [3 4 5]", out)
+	}
+}
+
+// TestPropertyFileViewOracle: view I/O agrees with a per-byte oracle
+// built from the datatype's offsets, for random vector/indexed types.
+func TestPropertyFileViewOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(110))
+	for iter := 0; iter < 60; iter++ {
+		var d *Datatype
+		var err error
+		if rng.Intn(2) == 0 {
+			d, err = Vector(1+rng.Int63n(4), 1+rng.Int63n(3), 4+rng.Int63n(4), 1+rng.Int63n(2))
+		} else {
+			d, err = Indexed([]int64{1 + rng.Int63n(2), 1 + rng.Int63n(2)},
+				[]int64{0, 3 + rng.Int63n(3)}, 1+rng.Int63n(2))
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		disp := rng.Int63n(5)
+		f := NewFile(nil)
+		if err := f.SetView(disp, d); err != nil {
+			t.Fatal(err)
+		}
+		// Oracle: view offset -> file offset.
+		offs := d.Set().Offsets()
+		fileOff := func(v int64) int64 {
+			k := v / d.Size()
+			return disp + k*d.Extent() + offs[v%d.Size()]
+		}
+		span := 3*d.Size() + 1
+		data := make([]byte, span)
+		rng.Read(data)
+		start := rng.Int63n(d.Size())
+		if _, err := f.WriteAt(data, start); err != nil {
+			t.Fatal(err)
+		}
+		for v := int64(0); v < span; v++ {
+			fo := fileOff(start + v)
+			if f.Bytes()[fo] != data[v] {
+				t.Fatalf("iter %d: view byte %d (file %d) = %d, want %d",
+					iter, start+v, fo, f.Bytes()[fo], data[v])
+			}
+		}
+		out := make([]byte, span)
+		if _, err := f.ReadAt(out, start); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(out, data) {
+			t.Fatalf("iter %d: read-back differs", iter)
+		}
+	}
+}
+
+func TestSetViewValidation(t *testing.T) {
+	f := NewFile(nil)
+	if err := f.SetView(-1, nil); err == nil {
+		t.Error("negative displacement accepted")
+	}
+	if err := f.SetView(0, nil); err != nil {
+		t.Errorf("trivial view rejected: %v", err)
+	}
+	if _, err := f.WriteAt([]byte{1}, -1); err == nil {
+		t.Error("negative offset accepted")
+	}
+	// Trivial view with displacement writes linearly.
+	f.SetView(2, nil)
+	if _, err := f.WriteAt([]byte{7, 8}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(f.Bytes(), []byte{0, 0, 0, 7, 8}) {
+		t.Errorf("trivial view write = %v", f.Bytes())
+	}
+}
+
+// TestNestedStrided: Galley-style nested strided access — blocks of
+// blocks — selects exactly the composed byte set.
+func TestNestedStrided(t *testing.T) {
+	// Inner: 2 bytes every 4, twice (bytes {0,1,4,5}, extent 6).
+	inner, err := Vector(2, 2, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Outer: that pattern three times, every 10 bytes.
+	d, err := NestedStrided(3, 10, inner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{0, 1, 4, 5, 10, 11, 14, 15, 20, 21, 24, 25}
+	got := d.Set().Offsets()
+	if len(got) != len(want) {
+		t.Fatalf("nested strided offsets = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("nested strided offsets = %v, want %v", got, want)
+		}
+	}
+	if d.Extent() != 26 {
+		t.Errorf("extent = %d, want 26", d.Extent())
+	}
+	// Three levels deep.
+	d2, err := NestedStrided(2, 32, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.Size() != 24 || d2.Set().Depth() != 3 {
+		t.Errorf("deep nesting: size=%d depth=%d, want 24, 3", d2.Size(), d2.Set().Depth())
+	}
+	// Validation.
+	if _, err := NestedStrided(0, 10, inner); err == nil {
+		t.Error("zero count accepted")
+	}
+	if _, err := NestedStrided(2, 3, inner); err == nil {
+		t.Error("stride < extent accepted")
+	}
+	if _, err := NestedStrided(2, 10, nil); err == nil {
+		t.Error("nil inner accepted")
+	}
+}
+
+// TestDarray: the darray filetype selects exactly the rank's portion
+// of the distributed array, matching the partition builder.
+func TestDarray(t *testing.T) {
+	spec := part.ArraySpec{
+		Dims:     []int64{8, 8},
+		ElemSize: 1,
+		Dists:    []part.DimDist{{Kind: part.Block, Procs: 2}, {Kind: part.Block, Procs: 2}},
+	}
+	pat, err := part.NDArray(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for rank := int64(0); rank < 4; rank++ {
+		ft, err := Darray(rank, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ft.Extent() != 64 {
+			t.Errorf("rank %d extent = %d, want 64", rank, ft.Extent())
+		}
+		want := pat.Element(int(rank)).Set.Offsets()
+		got := ft.Set().Offsets()
+		if len(want) != len(got) {
+			t.Fatalf("rank %d selects %d bytes, want %d", rank, len(got), len(want))
+		}
+		for i := range want {
+			if want[i] != got[i] {
+				t.Fatalf("rank %d selection differs at %d", rank, i)
+			}
+		}
+	}
+	if _, err := Darray(4, spec); err == nil {
+		t.Error("out-of-range rank accepted")
+	}
+	// Darray filetypes tile, so they drive collective I/O directly.
+	fts := make([]*Datatype, 4)
+	data := make([][]byte, 4)
+	for r := int64(0); r < 4; r++ {
+		fts[r], _ = Darray(r, spec)
+		data[r] = make([]byte, fts[r].Size())
+		for i := range data[r] {
+			data[r][i] = byte(r*40 + int64(i))
+		}
+	}
+	f := NewFile(nil)
+	if _, err := CollectiveWrite(f, 0, fts, data, 64); err != nil {
+		t.Fatalf("darray collective write: %v", err)
+	}
+	if f.Len() != 64 {
+		t.Errorf("file length %d, want 64", f.Len())
+	}
+}

@@ -1,0 +1,97 @@
+package mpiio
+
+import "parafile/internal/falls"
+
+// sieve.go implements data sieving — the classic optimization for
+// independent non-contiguous access that the paper's introduction
+// motivates ("the fragmentation of data results in sending lots of
+// small messages... message aggregation is possible, but the costs for
+// gathering and scattering are not negligible"): instead of touching
+// every selected fragment separately, one contiguous region covering
+// the access is read, modified in memory, and written back.
+
+// SieveStats reports what a sieved access did, so callers (and the
+// benchmarks) can compare against the naive fragment-by-fragment
+// access.
+type SieveStats struct {
+	// Fragments is the number of non-contiguous pieces the access
+	// touches — the I/O operations the naive strategy would issue.
+	Fragments int64
+	// SievedBytes is the size of the contiguous data transferred
+	// instead (read plus any write-back).
+	SievedBytes int64
+	// UsefulBytes is the number of bytes the caller actually accessed.
+	UsefulBytes int64
+	// Operations is the number of contiguous I/O operations issued
+	// (1 for a pure read, 2 for a read-modify-write).
+	Operations int64
+}
+
+// SievedReadAt reads len(p) view bytes at view offset off using data
+// sieving: one contiguous file read spanning the selection, then an
+// in-memory gather.
+func (f *File) SievedReadAt(p []byte, off int64) (SieveStats, error) {
+	var stats SieveStats
+	lo, hi, frags, useful, err := f.viewSpan(off, int64(len(p)))
+	if err != nil || useful == 0 {
+		return stats, err
+	}
+	stats.Fragments = frags
+	stats.UsefulBytes = useful
+	// One contiguous read of the covering region.
+	region := make([]byte, hi-lo+1)
+	if lo < int64(len(f.data)) {
+		copy(region, f.data[lo:min64(hi+1, int64(len(f.data)))])
+	}
+	stats.SievedBytes = hi - lo + 1
+	stats.Operations = 1
+	// Gather the selected bytes out of the region.
+	err = f.viewWalk(off, int64(len(p)), func(seg falls.LineSegment, viewPos int64) error {
+		copy(p[viewPos-off:viewPos-off+seg.Len()], region[seg.L-lo:seg.R+1-lo])
+		return nil
+	})
+	return stats, err
+}
+
+// SievedWriteAt writes p at view offset off using data sieving: read
+// the covering region, scatter the new bytes into it, write it back
+// with one contiguous write (a read-modify-write).
+func (f *File) SievedWriteAt(p []byte, off int64) (SieveStats, error) {
+	var stats SieveStats
+	lo, hi, frags, useful, err := f.viewSpan(off, int64(len(p)))
+	if err != nil || useful == 0 {
+		return stats, err
+	}
+	stats.Fragments = frags
+	stats.UsefulBytes = useful
+	f.grow(hi + 1)
+	region := make([]byte, hi-lo+1)
+	copy(region, f.data[lo:hi+1])
+	stats.SievedBytes = 2 * (hi - lo + 1) // read + write back
+	stats.Operations = 2
+	err = f.viewWalk(off, int64(len(p)), func(seg falls.LineSegment, viewPos int64) error {
+		copy(region[seg.L-lo:seg.R+1-lo], p[viewPos-off:viewPos-off+seg.Len()])
+		return nil
+	})
+	if err != nil {
+		return stats, err
+	}
+	copy(f.data[lo:hi+1], region)
+	return stats, nil
+}
+
+// viewSpan computes the covering file range [lo, hi], the fragment
+// count and the useful byte count of a view access.
+func (f *File) viewSpan(off, n int64) (lo, hi, frags, useful int64, err error) {
+	lo, hi = -1, -1
+	err = f.viewWalk(off, n, func(seg falls.LineSegment, viewPos int64) error {
+		if lo < 0 {
+			lo = seg.L
+		}
+		hi = seg.R
+		frags++
+		useful += seg.Len()
+		return nil
+	})
+	return lo, hi, frags, useful, err
+}

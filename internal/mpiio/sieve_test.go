@@ -1,0 +1,157 @@
+package mpiio
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// TestSievedReadMatchesReadAt: sieving is invisible to the caller.
+func TestSievedReadMatchesReadAt(t *testing.T) {
+	const rows, cols = 16, 32
+	img := make([]byte, rows*cols)
+	rand.New(rand.NewSource(160)).Read(img)
+	f := NewFile(img)
+	colType, err := Vector(rows, 2, cols, 1) // two bytes per row
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.SetView(3, colType); err != nil {
+		t.Fatal(err)
+	}
+	plain := make([]byte, colType.Size())
+	if _, err := f.ReadAt(plain, 0); err != nil {
+		t.Fatal(err)
+	}
+	sieved := make([]byte, colType.Size())
+	stats, err := f.SievedReadAt(sieved, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(plain, sieved) {
+		t.Fatal("sieved read returned different data")
+	}
+	if stats.Fragments != rows {
+		t.Errorf("fragments = %d, want %d", stats.Fragments, rows)
+	}
+	if stats.Operations != 1 {
+		t.Errorf("operations = %d, want 1", stats.Operations)
+	}
+	if stats.UsefulBytes != colType.Size() {
+		t.Errorf("useful = %d, want %d", stats.UsefulBytes, colType.Size())
+	}
+	if stats.SievedBytes <= stats.UsefulBytes {
+		t.Errorf("sieving should transfer extra bytes: sieved=%d useful=%d",
+			stats.SievedBytes, stats.UsefulBytes)
+	}
+}
+
+// TestSievedWritePreservesUnselected: the read-modify-write only
+// changes the selected bytes.
+func TestSievedWritePreservesUnselected(t *testing.T) {
+	const rows, cols = 8, 16
+	img := make([]byte, rows*cols)
+	for i := range img {
+		img[i] = 0xEE
+	}
+	f := NewFile(img)
+	colType, err := Vector(rows, 1, cols, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.SetView(5, colType); err != nil {
+		t.Fatal(err)
+	}
+	update := make([]byte, rows)
+	for i := range update {
+		update[i] = byte(i + 1)
+	}
+	stats, err := f.SievedWriteAt(update, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Operations != 2 {
+		t.Errorf("operations = %d, want 2 (read-modify-write)", stats.Operations)
+	}
+	for i := 0; i < rows*cols; i++ {
+		inColumn := i >= 5 && (i-5)%cols == 0
+		switch {
+		case inColumn:
+			want := byte((i-5)/cols + 1)
+			if f.Bytes()[i] != want {
+				t.Errorf("selected byte %d = %d, want %d", i, f.Bytes()[i], want)
+			}
+		case f.Bytes()[i] != 0xEE:
+			t.Errorf("unselected byte %d was modified to %d", i, f.Bytes()[i])
+		}
+	}
+}
+
+// TestPropertySieveEquivalence: sieved and plain accesses agree on
+// random views, offsets and lengths.
+func TestPropertySieveEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(161))
+	for iter := 0; iter < 80; iter++ {
+		d, err := Vector(1+rng.Int63n(5), 1+rng.Int63n(3), 4+rng.Int63n(5), 1+rng.Int63n(2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		span := 3 * d.Extent()
+		img := make([]byte, span)
+		rng.Read(img)
+		fa := NewFile(img)
+		fb := NewFile(img)
+		fa.SetView(rng.Int63n(3), d)
+		fb.SetView(fa.disp, d)
+		off := rng.Int63n(d.Size())
+		n := 1 + rng.Int63n(2*d.Size())
+		data := make([]byte, n)
+		rng.Read(data)
+		if _, err := fa.WriteAt(data, off); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fb.SievedWriteAt(data, off); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(fa.Bytes(), fb.Bytes()) {
+			t.Fatalf("iter %d: sieved write diverged from plain write", iter)
+		}
+		ra := make([]byte, n)
+		rb := make([]byte, n)
+		if _, err := fa.ReadAt(ra, off); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fb.SievedReadAt(rb, off); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(ra, rb) {
+			t.Fatalf("iter %d: sieved read diverged from plain read", iter)
+		}
+	}
+}
+
+// TestSieveAmplification: the stats quantify the §1 trade-off — fewer
+// operations, more bytes.
+func TestSieveAmplification(t *testing.T) {
+	// A sparse view: 1 byte of every 64.
+	d, err := Vector(32, 1, 64, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := NewFile(make([]byte, d.Extent()))
+	f.SetView(0, d)
+	p := make([]byte, d.Size())
+	stats, err := f.SievedReadAt(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Fragments != 32 {
+		t.Errorf("fragments = %d, want 32", stats.Fragments)
+	}
+	// Amplification factor ~64x: the sieve reads the whole extent for
+	// 32 useful bytes.
+	if stats.SievedBytes < 60*stats.UsefulBytes {
+		t.Errorf("expected heavy read amplification, got sieved=%d useful=%d",
+			stats.SievedBytes, stats.UsefulBytes)
+	}
+}

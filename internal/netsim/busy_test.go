@@ -1,0 +1,60 @@
+package netsim
+
+import (
+	"testing"
+
+	"parafile/internal/sim"
+)
+
+// TestReceiverBusyBlocksNextMessage: server processing on the receive
+// path delays the drain of the next incoming message — the
+// single-threaded-server behaviour the Clusterfile model relies on.
+func TestReceiverBusyBlocksNextMessage(t *testing.T) {
+	k := sim.NewKernel()
+	nw := New(k, testConfig(), 3)
+	var second int64
+	k.At(0, func() {
+		// First message arrives at 25µs, then the server "processes"
+		// for 100µs on the receive path.
+		nw.Send(0, 2, 1000, func() {
+			nw.ReceiverBusy(2, 100*sim.Microsecond, nil)
+		})
+	})
+	// The second message's head reaches the server at 45µs — mid
+	// processing. Without the busy server it would complete at 55µs;
+	// with it, the receive waits until the processing ends at 125µs.
+	k.At(30*sim.Microsecond, func() {
+		nw.Send(1, 2, 1000, func() { second = k.Now() })
+	})
+	k.Run()
+	want := 135 * sim.Microsecond // 25 (first) + 100 (processing) + 10 (transfer)
+	if second != want {
+		t.Errorf("second delivery at %d, want %d", second, want)
+	}
+}
+
+func TestReceiverBusyValidation(t *testing.T) {
+	k := sim.NewKernel()
+	nw := New(k, testConfig(), 2)
+	if err := nw.ReceiverBusy(-1, 10, nil); err == nil {
+		t.Error("negative node accepted")
+	}
+	if err := nw.ReceiverBusy(2, 10, nil); err == nil {
+		t.Error("out-of-range node accepted")
+	}
+}
+
+// TestReceiverBusyCallback: the completion callback fires at the end
+// of the busy interval.
+func TestReceiverBusyCallback(t *testing.T) {
+	k := sim.NewKernel()
+	nw := New(k, testConfig(), 2)
+	var doneAt int64 = -1
+	k.At(5, func() {
+		nw.ReceiverBusy(1, 20, func() { doneAt = k.Now() })
+	})
+	k.Run()
+	if doneAt != 25 {
+		t.Errorf("busy completion at %d, want 25", doneAt)
+	}
+}

@@ -1,0 +1,149 @@
+package netsim
+
+import (
+	"testing"
+
+	"parafile/internal/sim"
+)
+
+func testConfig() Config {
+	return Config{
+		LatencyNs:            10 * sim.Microsecond,
+		BandwidthBytesPerSec: 100 * 1000 * 1000, // 100 MB/s: 10 ns/byte
+		OverheadNs:           5 * sim.Microsecond,
+	}
+}
+
+func TestSingleMessageTiming(t *testing.T) {
+	k := sim.NewKernel()
+	nw := New(k, testConfig(), 2)
+	var doneAt int64 = -1
+	k.At(0, func() {
+		if err := nw.Send(0, 1, 1000, func() { doneAt = k.Now() }); err != nil {
+			t.Error(err)
+		}
+	})
+	k.Run()
+	// overhead 5µs + latency 10µs + transfer 10µs = 25µs.
+	want := 25 * sim.Microsecond
+	if doneAt != want {
+		t.Errorf("delivery at %d, want %d", doneAt, want)
+	}
+	if s := nw.Stats(); s.Messages != 1 || s.Bytes != 1000 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestSenderSerialization(t *testing.T) {
+	k := sim.NewKernel()
+	nw := New(k, testConfig(), 3)
+	var first, second int64
+	k.At(0, func() {
+		nw.Send(0, 1, 1000, func() { first = k.Now() })
+		nw.Send(0, 2, 1000, func() { second = k.Now() })
+	})
+	k.Run()
+	// The second message waits for the first to leave the NIC
+	// (5+10 µs), then pays its own 5+10+10 µs.
+	if first != 25*sim.Microsecond {
+		t.Errorf("first at %d, want 25µs", first)
+	}
+	if second != 40*sim.Microsecond {
+		t.Errorf("second at %d, want 40µs", second)
+	}
+}
+
+func TestReceiverContention(t *testing.T) {
+	k := sim.NewKernel()
+	nw := New(k, testConfig(), 3)
+	var d1, d2 int64
+	k.At(0, func() {
+		nw.Send(0, 2, 1000, func() { d1 = k.Now() })
+		nw.Send(1, 2, 1000, func() { d2 = k.Now() })
+	})
+	k.Run()
+	// Both senders push concurrently; the receiver drains them one
+	// after another: 25µs for the first, +10µs transfer for the
+	// second.
+	if d1 != 25*sim.Microsecond {
+		t.Errorf("first delivery at %d, want 25µs", d1)
+	}
+	if d2 != 35*sim.Microsecond {
+		t.Errorf("second delivery at %d, want 35µs", d2)
+	}
+}
+
+func TestZeroByteMessage(t *testing.T) {
+	k := sim.NewKernel()
+	nw := New(k, testConfig(), 2)
+	var doneAt int64 = -1
+	k.At(0, func() { nw.Send(0, 1, 0, func() { doneAt = k.Now() }) })
+	k.Run()
+	if doneAt != 15*sim.Microsecond { // overhead + latency only
+		t.Errorf("zero-byte delivery at %d, want 15µs", doneAt)
+	}
+}
+
+func TestLoopback(t *testing.T) {
+	k := sim.NewKernel()
+	nw := New(k, testConfig(), 2)
+	var doneAt int64 = -1
+	k.At(0, func() { nw.Send(1, 1, 1000, func() { doneAt = k.Now() }) })
+	k.Run()
+	if doneAt != 25*sim.Microsecond {
+		t.Errorf("loopback delivery at %d, want 25µs", doneAt)
+	}
+}
+
+func TestSendValidation(t *testing.T) {
+	k := sim.NewKernel()
+	nw := New(k, testConfig(), 2)
+	if err := nw.Send(-1, 0, 10, nil); err == nil {
+		t.Error("negative source accepted")
+	}
+	if err := nw.Send(0, 2, 10, nil); err == nil {
+		t.Error("out-of-range destination accepted")
+	}
+	if err := nw.Send(0, 1, -1, nil); err == nil {
+		t.Error("negative size accepted")
+	}
+}
+
+func TestSendAt(t *testing.T) {
+	k := sim.NewKernel()
+	nw := New(k, testConfig(), 2)
+	var doneAt int64
+	if err := nw.SendAt(100*sim.Microsecond, 0, 1, 1000, func() { doneAt = k.Now() }); err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.SendAt(0, 0, 5, 1000, nil); err == nil {
+		t.Error("SendAt with bad destination accepted")
+	}
+	k.Run()
+	if doneAt != 125*sim.Microsecond {
+		t.Errorf("deferred delivery at %d, want 125µs", doneAt)
+	}
+}
+
+// TestNodeStats: per-node counters account for every message.
+func TestNodeStats(t *testing.T) {
+	k := sim.NewKernel()
+	nw := New(k, testConfig(), 3)
+	k.At(0, func() {
+		nw.Send(0, 1, 100, nil)
+		nw.Send(0, 2, 200, nil)
+		nw.Send(2, 0, 50, nil)
+	})
+	k.Run()
+	s0 := nw.NodeStats(0)
+	if s0.MessagesOut != 2 || s0.BytesOut != 300 || s0.MessagesIn != 1 || s0.BytesIn != 50 {
+		t.Errorf("node 0 stats = %+v", s0)
+	}
+	s1 := nw.NodeStats(1)
+	if s1.MessagesIn != 1 || s1.BytesIn != 100 || s1.MessagesOut != 0 {
+		t.Errorf("node 1 stats = %+v", s1)
+	}
+	if nw.BusyOut(0) <= nw.BusyOut(1) {
+		t.Errorf("busy accounting wrong: out0=%d out1=%d", nw.BusyOut(0), nw.BusyOut(1))
+	}
+}

@@ -1,0 +1,132 @@
+package part
+
+import (
+	"fmt"
+	"sort"
+
+	"parafile/internal/falls"
+)
+
+// dist.go provides the one-dimensional distribution builders: HPF
+// BLOCK and CYCLIC(b) partitions of a byte range, and round-robin
+// striping patterns as used by the Figure 3 example.
+
+// Block1D partitions total bytes among p elements in HPF BLOCK
+// fashion: element i owns the contiguous chunk
+// [i*ceil(total/p), ...). Every element must end up non-empty.
+func Block1D(total int64, p int) (*Pattern, error) {
+	if total < 1 || p < 1 {
+		return nil, fmt.Errorf("part: Block1D(total=%d, p=%d): arguments must be positive", total, p)
+	}
+	chunk := (total + int64(p) - 1) / int64(p)
+	elems := make([]Element, 0, p)
+	for i := 0; i < p; i++ {
+		lo := int64(i) * chunk
+		hi := min64(lo+chunk, total) - 1
+		if lo > hi {
+			return nil, fmt.Errorf("part: Block1D: element %d would be empty (total=%d, p=%d)", i, total, p)
+		}
+		elems = append(elems, Element{
+			Name: fmt.Sprintf("block%d", i),
+			Set:  falls.Set{falls.Leaf(falls.FromSegment(falls.LineSegment{L: lo, R: hi}))},
+		})
+	}
+	return NewPattern(elems...)
+}
+
+// Cyclic1D partitions total bytes among p elements in HPF CYCLIC(b)
+// fashion: blocks of b bytes are dealt round-robin. total must be a
+// positive multiple of b; the final cycle may be partial across
+// elements.
+func Cyclic1D(total int64, p int, b int64) (*Pattern, error) {
+	if total < 1 || p < 1 || b < 1 {
+		return nil, fmt.Errorf("part: Cyclic1D(total=%d, p=%d, b=%d): arguments must be positive", total, p, b)
+	}
+	if total%b != 0 {
+		return nil, fmt.Errorf("part: Cyclic1D: total %d not a multiple of block size %d", total, b)
+	}
+	nBlocks := total / b
+	cycle := int64(p) * b
+	elems := make([]Element, 0, p)
+	for i := 0; i < p; i++ {
+		first := int64(i) // first block index owned by element i
+		if first >= nBlocks {
+			return nil, fmt.Errorf("part: Cyclic1D: element %d would be empty (%d blocks, %d elements)", i, nBlocks, p)
+		}
+		n := (nBlocks - first + int64(p) - 1) / int64(p)
+		l := first * b
+		f, err := falls.New(l, l+b-1, cycle, n)
+		if err != nil {
+			return nil, err
+		}
+		elems = append(elems, Element{Name: fmt.Sprintf("cyclic%d", i), Set: falls.Set{falls.Leaf(f)}})
+	}
+	return NewPattern(elems...)
+}
+
+// Stripe builds the round-robin striping pattern of classic parallel
+// file systems (and of the paper's Figure 3): stripe units of
+// stripeSize bytes dealt over p elements; the pattern has one stripe
+// unit per element and repeats. Figure 3 is Stripe(2, 3).
+func Stripe(stripeSize int64, p int) (*Pattern, error) {
+	if stripeSize < 1 || p < 1 {
+		return nil, fmt.Errorf("part: Stripe(%d, %d): arguments must be positive", stripeSize, p)
+	}
+	elems := make([]Element, 0, p)
+	for i := 0; i < p; i++ {
+		l := int64(i) * stripeSize
+		f, err := falls.New(l, l+stripeSize-1, stripeSize*int64(p), 1)
+		if err != nil {
+			return nil, err
+		}
+		elems = append(elems, Element{Name: fmt.Sprintf("stripe%d", i), Set: falls.Set{falls.Leaf(f)}})
+	}
+	return NewPattern(elems...)
+}
+
+// Irregular builds a pattern from explicit per-element segment lists —
+// the arbitrary, non-array distributions §4 claims the representation
+// covers ("they can represent arbitrary distributions of data").
+// Together the segments must tile [0, total) for some total; each
+// element's list is compacted into nested FALLS form.
+func Irregular(names []string, segments [][]falls.LineSegment) (*Pattern, error) {
+	if len(names) != len(segments) {
+		return nil, fmt.Errorf("part: %d names for %d segment lists", len(names), len(segments))
+	}
+	elems := make([]Element, len(names))
+	for i := range names {
+		segs := append([]falls.LineSegment(nil), segments[i]...)
+		sortSegments(segs)
+		for j := 1; j < len(segs); j++ {
+			if segs[j].L <= segs[j-1].R {
+				return nil, fmt.Errorf("part: element %q has overlapping segments %v and %v",
+					names[i], segs[j-1], segs[j])
+			}
+		}
+		elems[i] = Element{Name: names[i], Set: falls.LeavesToSet(segs)}
+	}
+	return NewPattern(elems...)
+}
+
+func sortSegments(segs []falls.LineSegment) {
+	sort.Slice(segs, func(i, j int) bool { return segs[i].L < segs[j].L })
+}
+
+// Whole builds the trivial single-element pattern covering total
+// bytes: the identity partition (one linear view of the whole file).
+func Whole(total int64) (*Pattern, error) {
+	if total < 1 {
+		return nil, fmt.Errorf("part: Whole(%d): size must be positive", total)
+	}
+	return NewPattern(Element{
+		Name: "whole",
+		Set:  falls.Set{falls.Leaf(falls.FromSegment(falls.LineSegment{L: 0, R: total - 1}))},
+	})
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,174 @@
+package part
+
+import (
+	"testing"
+
+	"parafile/internal/falls"
+)
+
+func TestBlock1D(t *testing.T) {
+	p, err := Block1D(12, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Size() != 12 || p.Len() != 3 {
+		t.Fatalf("size=%d len=%d, want 12, 3", p.Size(), p.Len())
+	}
+	for i := 0; i < 3; i++ {
+		set := p.Element(i).Set
+		if set.Size() != 4 {
+			t.Errorf("element %d size = %d, want 4", i, set.Size())
+		}
+		if !set.IsContiguous(int64(i)*4, int64(i)*4+3) {
+			t.Errorf("element %d not the expected contiguous chunk", i)
+		}
+	}
+	// Uneven split: ceil-division chunks, last one short.
+	p, err = Block1D(10, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes := []int64{3, 3, 3, 1}
+	for i, want := range sizes {
+		if got := p.Element(i).Set.Size(); got != want {
+			t.Errorf("uneven element %d size = %d, want %d", i, got, want)
+		}
+	}
+	// A split that would leave an element empty must fail.
+	if _, err := Block1D(3, 4); err == nil {
+		t.Error("Block1D(3, 4) should fail: element 3 would be empty")
+	}
+}
+
+func TestCyclic1D(t *testing.T) {
+	p, err := Cyclic1D(24, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Size() != 24 {
+		t.Fatalf("size = %d, want 24", p.Size())
+	}
+	// Element 1 owns bytes {2,3, 8,9, 14,15, 20,21}.
+	want := []int64{2, 3, 8, 9, 14, 15, 20, 21}
+	got := p.Element(1).Set.Offsets()
+	if len(got) != len(want) {
+		t.Fatalf("element 1 offsets = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("element 1 offsets = %v, want %v", got, want)
+		}
+	}
+	// Partial final cycle.
+	p, err = Cyclic1D(10, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Element(0).Set.Size(); got != 6 {
+		t.Errorf("partial cycle element 0 size = %d, want 6", got)
+	}
+	if got := p.Element(1).Set.Size(); got != 4 {
+		t.Errorf("partial cycle element 1 size = %d, want 4", got)
+	}
+	if _, err := Cyclic1D(10, 2, 3); err == nil {
+		t.Error("Cyclic1D with non-multiple total should fail")
+	}
+}
+
+func TestStripeMatchesFigure3(t *testing.T) {
+	p, err := Stripe(2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []falls.Set{
+		{falls.MustLeaf(0, 1, 6, 1)},
+		{falls.MustLeaf(2, 3, 6, 1)},
+		{falls.MustLeaf(4, 5, 6, 1)},
+	}
+	for i := range want {
+		if !falls.OffsetsEqual(p.Element(i).Set, want[i]) {
+			t.Errorf("stripe element %d = %v, want %v", i, p.Element(i).Set, want[i])
+		}
+	}
+}
+
+func TestWhole(t *testing.T) {
+	p, err := Whole(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != 1 || p.Size() != 64 {
+		t.Fatalf("Whole: len=%d size=%d", p.Len(), p.Size())
+	}
+	if !p.Element(0).Set.IsContiguous(0, 63) {
+		t.Error("Whole element not contiguous")
+	}
+}
+
+func TestDistArgumentValidation(t *testing.T) {
+	if _, err := Block1D(0, 3); err == nil {
+		t.Error("Block1D zero total accepted")
+	}
+	if _, err := Cyclic1D(8, 0, 2); err == nil {
+		t.Error("Cyclic1D zero procs accepted")
+	}
+	if _, err := Stripe(0, 2); err == nil {
+		t.Error("Stripe zero size accepted")
+	}
+	if _, err := Whole(0); err == nil {
+		t.Error("Whole zero size accepted")
+	}
+}
+
+// TestIrregular: arbitrary segment lists become a valid partition with
+// working ownership, as long as they tile.
+func TestIrregular(t *testing.T) {
+	p, err := Irregular(
+		[]string{"meta", "data", "log"},
+		[][]falls.LineSegment{
+			{{L: 0, R: 7}, {L: 40, R: 43}},
+			{{L: 8, R: 31}},
+			{{L: 32, R: 39}, {L: 44, R: 47}},
+		},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Size() != 48 || p.Len() != 3 {
+		t.Fatalf("irregular pattern size=%d len=%d", p.Size(), p.Len())
+	}
+	owner := func(x int64) string {
+		e, err := p.ElementOf(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p.Element(e).Name
+	}
+	if owner(3) != "meta" || owner(41) != "meta" {
+		t.Error("meta segments misattributed")
+	}
+	if owner(8) != "data" || owner(31) != "data" {
+		t.Error("data segment misattributed")
+	}
+	if owner(35) != "log" || owner(45) != "log" {
+		t.Error("log segments misattributed")
+	}
+	// Unsorted input is accepted and sorted.
+	p2, err := Irregular([]string{"a", "b"},
+		[][]falls.LineSegment{{{L: 4, R: 7}, {L: 0, R: 1}}, {{L: 2, R: 3}}})
+	if err != nil || p2.Size() != 8 {
+		t.Fatalf("unsorted irregular: %v, size %v", err, p2)
+	}
+	// Overlaps and gaps fail.
+	if _, err := Irregular([]string{"a"},
+		[][]falls.LineSegment{{{L: 0, R: 4}, {L: 4, R: 8}}}); err == nil {
+		t.Error("overlapping segments accepted")
+	}
+	if _, err := Irregular([]string{"a"},
+		[][]falls.LineSegment{{{L: 0, R: 2}, {L: 5, R: 8}}}); err == nil {
+		t.Error("gapped tiling accepted")
+	}
+	if _, err := Irregular([]string{"a"}, nil); err == nil {
+		t.Error("name/segment count mismatch accepted")
+	}
+}

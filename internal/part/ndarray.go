@@ -1,0 +1,325 @@
+package part
+
+import (
+	"fmt"
+
+	"parafile/internal/falls"
+)
+
+// ndarray.go builds multidimensional array partitions. The paper's
+// central motivation (§1, §3) is that parallel scientific applications
+// partition multidimensional arrays over processors and disks; nested
+// FALLS exist to represent exactly the HPF-style BLOCK / CYCLIC(b)
+// distributions of such arrays compactly. This file translates an
+// n-dimensional distribution specification into one nested FALLS set
+// per processor of a processor grid.
+
+// Kind is the per-dimension distribution kind, mirroring HPF.
+type Kind int
+
+const (
+	// All keeps the dimension undistributed ("*" in HPF).
+	All Kind = iota
+	// Block gives each grid coordinate one contiguous chunk.
+	Block
+	// Cyclic deals fixed-size blocks round-robin ("CYCLIC(b)").
+	Cyclic
+)
+
+func (k Kind) String() string {
+	switch k {
+	case All:
+		return "*"
+	case Block:
+		return "BLOCK"
+	case Cyclic:
+		return "CYCLIC"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// DimDist describes how one array dimension is distributed.
+type DimDist struct {
+	Kind  Kind
+	Procs int64 // grid extent along this dimension (1 for All)
+	Block int64 // block size for Cyclic; ignored otherwise
+}
+
+// ArraySpec describes a row-major n-dimensional array of fixed-size
+// elements and its distribution over a processor grid.
+type ArraySpec struct {
+	Dims     []int64   // element counts per dimension
+	ElemSize int64     // bytes per array element
+	Dists    []DimDist // one per dimension
+}
+
+// TotalBytes returns the byte size of the whole array.
+func (s ArraySpec) TotalBytes() int64 {
+	n := s.ElemSize
+	for _, d := range s.Dims {
+		n *= d
+	}
+	return n
+}
+
+// GridSize returns the number of processors in the grid.
+func (s ArraySpec) GridSize() int64 {
+	n := int64(1)
+	for _, dd := range s.Dists {
+		n *= dd.procs()
+	}
+	return n
+}
+
+func (dd DimDist) procs() int64 {
+	if dd.Kind == All || dd.Procs < 1 {
+		return 1
+	}
+	return dd.Procs
+}
+
+func (s ArraySpec) validate() error {
+	if len(s.Dims) == 0 {
+		return fmt.Errorf("part: array needs at least one dimension")
+	}
+	if len(s.Dims) != len(s.Dists) {
+		return fmt.Errorf("part: %d dims but %d distributions", len(s.Dims), len(s.Dists))
+	}
+	if s.ElemSize < 1 {
+		return fmt.Errorf("part: non-positive element size %d", s.ElemSize)
+	}
+	for i, d := range s.Dims {
+		if d < 1 {
+			return fmt.Errorf("part: dimension %d has non-positive extent %d", i, d)
+		}
+		dd := s.Dists[i]
+		switch dd.Kind {
+		case All:
+		case Block:
+			if dd.Procs < 1 {
+				return fmt.Errorf("part: dimension %d: BLOCK needs a positive processor count", i)
+			}
+		case Cyclic:
+			if dd.Procs < 1 || dd.Block < 1 {
+				return fmt.Errorf("part: dimension %d: CYCLIC needs positive processor count and block size", i)
+			}
+		default:
+			return fmt.Errorf("part: dimension %d: unknown distribution kind %v", i, dd.Kind)
+		}
+	}
+	return nil
+}
+
+// NDArray builds the partitioning pattern of the array: one element
+// per processor of the grid, in row-major grid order, each described
+// by a nested FALLS set. The resulting pattern tiles the array's byte
+// range exactly (validated by NewPattern).
+func NDArray(spec ArraySpec) (*Pattern, error) {
+	if err := spec.validate(); err != nil {
+		return nil, err
+	}
+	grid := make([]int64, len(spec.Dists))
+	for i, dd := range spec.Dists {
+		grid[i] = dd.procs()
+	}
+	total := spec.GridSize()
+	elems := make([]Element, 0, total)
+	coords := make([]int64, len(grid))
+	for p := int64(0); p < total; p++ {
+		set, err := spec.buildDim(0, coords)
+		if err != nil {
+			return nil, fmt.Errorf("part: processor %v: %w", coords, err)
+		}
+		if set == nil {
+			// Entirely undistributed array: single dense element.
+			set = falls.Set{falls.Leaf(falls.FromSegment(falls.LineSegment{L: 0, R: spec.TotalBytes() - 1}))}
+		}
+		elems = append(elems, Element{Name: gridName(coords), Set: set})
+		// Advance row-major grid coordinates.
+		for i := len(coords) - 1; i >= 0; i-- {
+			coords[i]++
+			if coords[i] < grid[i] {
+				break
+			}
+			coords[i] = 0
+		}
+	}
+	return NewPattern(elems...)
+}
+
+func gridName(coords []int64) string {
+	s := "p("
+	for i, c := range coords {
+		if i > 0 {
+			s += ","
+		}
+		s += fmt.Sprintf("%d", c)
+	}
+	return s + ")"
+}
+
+// run is a contiguous range of selected indices along one dimension.
+type run struct {
+	start, count int64
+}
+
+// buildDim returns the nested FALLS set selecting this processor's
+// bytes for dimensions k.. of the array, or nil when everything from
+// dimension k on is dense (fully selected).
+func (s ArraySpec) buildDim(k int, coords []int64) (falls.Set, error) {
+	if k == len(s.Dims) {
+		return nil, nil
+	}
+	inner, err := s.buildDim(k+1, coords)
+	if err != nil {
+		return nil, err
+	}
+	d := s.Dims[k]
+	rowBytes := s.ElemSize
+	for _, dd := range s.Dims[k+1:] {
+		rowBytes *= dd
+	}
+	dd := s.Dists[k]
+	c := coords[k]
+
+	var runs []run
+	switch dd.Kind {
+	case All:
+		if inner == nil {
+			return nil, nil // dense from here down
+		}
+		runs = []run{{0, d}}
+	case Block:
+		chunk := (d + dd.Procs - 1) / dd.Procs
+		start := c * chunk
+		if start >= d {
+			return nil, fmt.Errorf("BLOCK leaves grid coordinate %d of dimension %d empty (extent %d over %d procs)",
+				c, k, d, dd.Procs)
+		}
+		runs = []run{{start, min64(chunk, d-start)}}
+	case Cyclic:
+		cycle := dd.Procs * dd.Block
+		for start := c * dd.Block; start < d; start += cycle {
+			runs = append(runs, run{start, min64(dd.Block, d-start)})
+		}
+		if len(runs) == 0 {
+			return nil, fmt.Errorf("CYCLIC leaves grid coordinate %d of dimension %d empty", c, k)
+		}
+	}
+	return runsToSet(runs, d, rowBytes, inner)
+}
+
+// runsToSet converts index runs along a dimension into nested FALLS
+// members over the dimension's byte space.
+func runsToSet(runs []run, extent, rowBytes int64, inner falls.Set) (falls.Set, error) {
+	var out falls.Set
+	// Group equal-count runs that are equally spaced into single FALLS
+	// members; with BLOCK there is one run, with CYCLIC all runs but
+	// possibly the last share the block size and spacing.
+	i := 0
+	for i < len(runs) {
+		j := i + 1
+		var stride int64
+		for j < len(runs) && runs[j].count == runs[i].count {
+			gap := runs[j].start - runs[j-1].start
+			if stride == 0 {
+				stride = gap
+			}
+			if gap != stride {
+				break
+			}
+			j++
+		}
+		n := int64(j - i)
+		r := runs[i]
+		if stride == 0 {
+			stride = r.count // single run
+		}
+		member, err := runMember(r, n, stride, rowBytes, inner)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, member)
+		i = j
+	}
+	if err := out.Validate(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// runMember builds one nested FALLS for n equally spaced runs of
+// r.count rows, each row rowBytes long, with optional per-row inner
+// selection.
+func runMember(r run, n, strideRows, rowBytes int64, inner falls.Set) (*falls.Nested, error) {
+	l := r.start * rowBytes
+	if inner == nil {
+		// Dense rows: each run is one contiguous block.
+		f, err := falls.New(l, l+r.count*rowBytes-1, strideRows*rowBytes, n)
+		if err != nil {
+			return nil, err
+		}
+		return falls.Leaf(f), nil
+	}
+	// Rows carry an inner pattern: blocks must be single rows so the
+	// per-row inner set applies. Wrap runs of multiple rows in an
+	// extra level.
+	if r.count == 1 && n >= 1 {
+		f, err := falls.New(l, l+rowBytes-1, strideRows*rowBytes, n)
+		if err != nil {
+			return nil, err
+		}
+		return falls.NewNested(f, inner.Clone())
+	}
+	outer, err := falls.New(l, l+r.count*rowBytes-1, strideRows*rowBytes, n)
+	if err != nil {
+		return nil, err
+	}
+	rowLevel, err := falls.New(0, rowBytes-1, rowBytes, r.count)
+	if err != nil {
+		return nil, err
+	}
+	rowNested, err := falls.NewNested(rowLevel, inner.Clone())
+	if err != nil {
+		return nil, err
+	}
+	return falls.NewNested(outer, falls.Set{rowNested})
+}
+
+// Matrix2D is a convenience for the paper's benchmark workloads: an
+// n×m matrix of byte elements.
+func Matrix2D(rows, cols int64) ArraySpec {
+	return ArraySpec{Dims: []int64{rows, cols}, ElemSize: 1,
+		Dists: []DimDist{{Kind: All}, {Kind: All}}}
+}
+
+// RowBlocks partitions an n×m byte matrix into p horizontal stripes —
+// the paper's logical distribution "blocks of rows" (r).
+func RowBlocks(rows, cols int64, p int64) (*Pattern, error) {
+	return NDArray(ArraySpec{
+		Dims:     []int64{rows, cols},
+		ElemSize: 1,
+		Dists:    []DimDist{{Kind: Block, Procs: p}, {Kind: All}},
+	})
+}
+
+// ColBlocks partitions an n×m byte matrix into p vertical stripes —
+// the paper's physical distribution "blocks of columns" (c).
+func ColBlocks(rows, cols int64, p int64) (*Pattern, error) {
+	return NDArray(ArraySpec{
+		Dims:     []int64{rows, cols},
+		ElemSize: 1,
+		Dists:    []DimDist{{Kind: All}, {Kind: Block, Procs: p}},
+	})
+}
+
+// SquareBlocks partitions an n×m byte matrix over a pr×pc processor
+// grid of rectangular blocks — the paper's physical distribution
+// "square blocks" (b) when pr == pc.
+func SquareBlocks(rows, cols int64, pr, pc int64) (*Pattern, error) {
+	return NDArray(ArraySpec{
+		Dims:     []int64{rows, cols},
+		ElemSize: 1,
+		Dists:    []DimDist{{Kind: Block, Procs: pr}, {Kind: Block, Procs: pc}},
+	})
+}

@@ -1,0 +1,253 @@
+package part
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// ownerOracle computes, straight from the distribution definition,
+// which grid processor owns array element (i, j, ...) — the reference
+// the nested FALLS construction is checked against.
+func ownerOracle(spec ArraySpec, idx []int64) int {
+	owner := 0
+	for k, dd := range spec.Dists {
+		var c int64
+		switch dd.Kind {
+		case All:
+			c = 0
+		case Block:
+			chunk := (spec.Dims[k] + dd.Procs - 1) / dd.Procs
+			c = idx[k] / chunk
+		case Cyclic:
+			c = (idx[k] / dd.Block) % dd.Procs
+		}
+		owner = owner*int(dd.procs()) + int(c)
+	}
+	return owner
+}
+
+// byteOffset converts an element index vector to a row-major byte
+// offset.
+func byteOffset(spec ArraySpec, idx []int64) int64 {
+	off := int64(0)
+	for k := range spec.Dims {
+		off = off*spec.Dims[k] + idx[k]
+	}
+	return off * spec.ElemSize
+}
+
+func checkAgainstOracle(t *testing.T, spec ArraySpec) {
+	t.Helper()
+	p, err := NDArray(spec)
+	if err != nil {
+		t.Fatalf("NDArray(%+v): %v", spec, err)
+	}
+	if p.Size() != spec.TotalBytes() {
+		t.Fatalf("pattern size %d != array bytes %d", p.Size(), spec.TotalBytes())
+	}
+	idx := make([]int64, len(spec.Dims))
+	var walk func(k int)
+	walk = func(k int) {
+		if t.Failed() {
+			return
+		}
+		if k == len(spec.Dims) {
+			want := ownerOracle(spec, idx)
+			for b := int64(0); b < spec.ElemSize; b++ {
+				got, err := p.ElementOf(byteOffset(spec, idx) + b)
+				if err != nil {
+					t.Fatalf("ElementOf(%v + %d): %v", idx, b, err)
+				}
+				if got != want {
+					t.Fatalf("element %v byte %d: owner %d, oracle %d (spec %+v)",
+						idx, b, got, want, spec)
+				}
+			}
+			return
+		}
+		for idx[k] = 0; idx[k] < spec.Dims[k]; idx[k]++ {
+			walk(k + 1)
+		}
+		idx[k] = 0
+	}
+	walk(0)
+}
+
+func TestRowColSquareLayouts(t *testing.T) {
+	// The paper's three physical layouts of an 8×8 byte matrix over 4
+	// processors.
+	specs := map[string]ArraySpec{
+		"row blocks": {Dims: []int64{8, 8}, ElemSize: 1,
+			Dists: []DimDist{{Kind: Block, Procs: 4}, {Kind: All}}},
+		"column blocks": {Dims: []int64{8, 8}, ElemSize: 1,
+			Dists: []DimDist{{Kind: All}, {Kind: Block, Procs: 4}}},
+		"square blocks": {Dims: []int64{8, 8}, ElemSize: 1,
+			Dists: []DimDist{{Kind: Block, Procs: 2}, {Kind: Block, Procs: 2}}},
+	}
+	for name, spec := range specs {
+		t.Run(name, func(t *testing.T) { checkAgainstOracle(t, spec) })
+	}
+}
+
+func TestRowBlocksShape(t *testing.T) {
+	p, err := RowBlocks(8, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each stripe is a contiguous run of 2 rows = 16 bytes.
+	for i := 0; i < 4; i++ {
+		set := p.Element(i).Set
+		if set.Size() != 16 {
+			t.Errorf("stripe %d size = %d, want 16", i, set.Size())
+		}
+		if !set.IsContiguous(int64(i)*16, int64(i)*16+15) {
+			t.Errorf("stripe %d is not contiguous", i)
+		}
+	}
+}
+
+func TestColBlocksShape(t *testing.T) {
+	p, err := ColBlocks(8, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each element owns 2 columns: FALLS with 8 segments of 2 bytes,
+	// stride 8.
+	for i := 0; i < 4; i++ {
+		set := p.Element(i).Set
+		if set.Size() != 16 {
+			t.Errorf("column element %d size = %d, want 16", i, set.Size())
+		}
+		if got := set.SegmentCount(); got != 8 {
+			t.Errorf("column element %d has %d segments, want 8", i, got)
+		}
+	}
+}
+
+func TestSquareBlocksShape(t *testing.T) {
+	p, err := SquareBlocks(8, 8, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Element p(1,0) owns rows 4-7, columns 0-3: 4 segments of 4
+	// bytes starting at byte 32.
+	set := p.Element(2).Set
+	off := set.Offsets()
+	want := []int64{32, 33, 34, 35, 40, 41, 42, 43, 48, 49, 50, 51, 56, 57, 58, 59}
+	if len(off) != len(want) {
+		t.Fatalf("p(1,0) offsets = %v, want %v", off, want)
+	}
+	for i := range want {
+		if off[i] != want[i] {
+			t.Fatalf("p(1,0) offsets = %v, want %v", off, want)
+		}
+	}
+}
+
+func TestCyclicDistribution(t *testing.T) {
+	checkAgainstOracle(t, ArraySpec{
+		Dims:     []int64{12},
+		ElemSize: 2,
+		Dists:    []DimDist{{Kind: Cyclic, Procs: 3, Block: 2}},
+	})
+}
+
+func TestBlockCyclic2D(t *testing.T) {
+	checkAgainstOracle(t, ArraySpec{
+		Dims:     []int64{8, 12},
+		ElemSize: 1,
+		Dists: []DimDist{
+			{Kind: Block, Procs: 2},
+			{Kind: Cyclic, Procs: 3, Block: 2},
+		},
+	})
+}
+
+func TestCyclicCyclic2DWithElemSize(t *testing.T) {
+	checkAgainstOracle(t, ArraySpec{
+		Dims:     []int64{6, 8},
+		ElemSize: 4,
+		Dists: []DimDist{
+			{Kind: Cyclic, Procs: 2, Block: 1},
+			{Kind: Cyclic, Procs: 2, Block: 2},
+		},
+	})
+}
+
+func Test3DArray(t *testing.T) {
+	checkAgainstOracle(t, ArraySpec{
+		Dims:     []int64{4, 6, 4},
+		ElemSize: 1,
+		Dists: []DimDist{
+			{Kind: Block, Procs: 2},
+			{Kind: Cyclic, Procs: 3, Block: 1},
+			{Kind: All},
+		},
+	})
+}
+
+func TestUndistributedArray(t *testing.T) {
+	p, err := NDArray(ArraySpec{
+		Dims:     []int64{4, 4},
+		ElemSize: 1,
+		Dists:    []DimDist{{Kind: All}, {Kind: All}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != 1 || p.Size() != 16 {
+		t.Fatalf("undistributed: len=%d size=%d", p.Len(), p.Size())
+	}
+}
+
+func TestNDArrayValidation(t *testing.T) {
+	bad := []ArraySpec{
+		{},
+		{Dims: []int64{4}, ElemSize: 1, Dists: nil},
+		{Dims: []int64{4}, ElemSize: 0, Dists: []DimDist{{Kind: All}}},
+		{Dims: []int64{0}, ElemSize: 1, Dists: []DimDist{{Kind: All}}},
+		{Dims: []int64{4}, ElemSize: 1, Dists: []DimDist{{Kind: Block}}},
+		{Dims: []int64{4}, ElemSize: 1, Dists: []DimDist{{Kind: Cyclic, Procs: 2}}},
+		{Dims: []int64{2}, ElemSize: 1, Dists: []DimDist{{Kind: Block, Procs: 4}}}, // empty elements
+	}
+	for i, spec := range bad {
+		if _, err := NDArray(spec); err == nil {
+			t.Errorf("case %d: invalid spec accepted: %+v", i, spec)
+		}
+	}
+}
+
+// TestPropertyRandomSpecsAgainstOracle: random small specs always tile
+// and agree with the ownership oracle.
+func TestPropertyRandomSpecsAgainstOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	kinds := []Kind{All, Block, Cyclic}
+	for iter := 0; iter < 60; iter++ {
+		nd := 1 + rng.Intn(3)
+		spec := ArraySpec{ElemSize: int64(1 + rng.Intn(3))}
+		for k := 0; k < nd; k++ {
+			d := int64(2 + rng.Intn(7))
+			dd := DimDist{Kind: kinds[rng.Intn(len(kinds))]}
+			switch dd.Kind {
+			case Block:
+				// Keep every element non-empty: procs at most extent.
+				dd.Procs = 1 + rng.Int63n(d)
+				chunk := (d + dd.Procs - 1) / dd.Procs
+				if (dd.Procs-1)*chunk >= d {
+					dd.Kind = All // would leave holes; skip
+				}
+			case Cyclic:
+				dd.Block = 1 + rng.Int63n(2)
+				maxProcs := d / dd.Block
+				if maxProcs < 1 {
+					dd.Kind = All
+				} else {
+					dd.Procs = 1 + rng.Int63n(maxProcs)
+				}
+			}
+			spec.Dims = append(spec.Dims, d)
+			spec.Dists = append(spec.Dists, dd)
+		}
+		checkAgainstOracle(t, spec)
+	}
+}

@@ -1,0 +1,192 @@
+// Package part implements the parallel file model of the paper (§5):
+// a file is a linear sequence of bytes described by a displacement and
+// a partitioning pattern. The pattern is a union of sets of nested
+// FALLS, each defining one partition element — a subfile when the
+// partition is physical, a view when it is logical. The pattern tiles
+// a contiguous region exactly once and is applied repeatedly
+// throughout the linear space of the file, starting at the
+// displacement.
+//
+// The package also provides the distribution builders the paper's
+// motivation calls for: HPF-style BLOCK and CYCLIC distributions and
+// general multidimensional array partitions on processor grids.
+package part
+
+import (
+	"fmt"
+	"sort"
+
+	"parafile/internal/falls"
+)
+
+// Element is one partition element: a named set of nested FALLS whose
+// coordinates live inside the pattern, i.e. in [0, pattern size).
+type Element struct {
+	Name string
+	Set  falls.Set
+}
+
+// Pattern is a partitioning pattern: the union of its elements' sets.
+// A valid pattern tiles [0, Size()) exactly once — elements are
+// non-overlapping and together describe a contiguous region (§5).
+type Pattern struct {
+	elems []Element
+	size  int64
+}
+
+// NewPattern validates and builds a partitioning pattern.
+func NewPattern(elems ...Element) (*Pattern, error) {
+	if len(elems) == 0 {
+		return nil, fmt.Errorf("part: pattern needs at least one element")
+	}
+	var size int64
+	type span struct {
+		seg  falls.LineSegment
+		elem int
+	}
+	var spans []span
+	for i, e := range elems {
+		if len(e.Set) == 0 {
+			return nil, fmt.Errorf("part: element %d (%q) is empty", i, e.Name)
+		}
+		if err := e.Set.Validate(); err != nil {
+			return nil, fmt.Errorf("part: element %d (%q): %w", i, e.Name, err)
+		}
+		size += e.Set.Size()
+		e.Set.Walk(func(seg falls.LineSegment) bool {
+			spans = append(spans, span{seg, i})
+			return true
+		})
+	}
+	sort.Slice(spans, func(i, j int) bool { return spans[i].seg.L < spans[j].seg.L })
+	next := int64(0)
+	for _, sp := range spans {
+		if sp.seg.L < next {
+			return nil, fmt.Errorf("part: elements overlap at offset %d (element %q)",
+				sp.seg.L, elems[sp.elem].Name)
+		}
+		if sp.seg.L > next {
+			return nil, fmt.Errorf("part: pattern has a gap at offsets [%d,%d)", next, sp.seg.L)
+		}
+		next = sp.seg.R + 1
+	}
+	if next != size {
+		return nil, fmt.Errorf("part: pattern covers [0,%d) but has size %d", next, size)
+	}
+	return &Pattern{elems: elems, size: size}, nil
+}
+
+// MustPattern is NewPattern for statically known literals; it panics
+// on invalid input.
+func MustPattern(elems ...Element) *Pattern {
+	p, err := NewPattern(elems...)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Size returns the number of bytes one repetition of the pattern
+// covers: the sum of the sizes of its elements (§5).
+func (p *Pattern) Size() int64 { return p.size }
+
+// Len returns the number of partition elements.
+func (p *Pattern) Len() int { return len(p.elems) }
+
+// Element returns partition element i.
+func (p *Pattern) Element(i int) Element { return p.elems[i] }
+
+// Elements returns all partition elements (shared slice; callers must
+// not mutate).
+func (p *Pattern) Elements() []Element { return p.elems }
+
+// ElementOf returns the index of the element owning pattern coordinate
+// x in [0, Size()).
+func (p *Pattern) ElementOf(x int64) (int, error) {
+	if x < 0 || x >= p.size {
+		return 0, fmt.Errorf("part: pattern coordinate %d out of range [0,%d)", x, p.size)
+	}
+	for i, e := range p.elems {
+		if e.Set.Contains(x) {
+			return i, nil
+		}
+	}
+	// Unreachable for a validated pattern.
+	return 0, fmt.Errorf("part: coordinate %d not covered by any element", x)
+}
+
+func (p *Pattern) String() string {
+	s := fmt.Sprintf("pattern(size=%d", p.size)
+	for _, e := range p.elems {
+		s += fmt.Sprintf(", %s=%s", e.Name, e.Set)
+	}
+	return s + ")"
+}
+
+// File is the paper's parallel file: a displacement (absolute byte
+// position of the first pattern repetition) plus a partitioning
+// pattern applied repeatedly from there on.
+type File struct {
+	Displacement int64
+	Pattern      *Pattern
+}
+
+// NewFile validates and builds a file description.
+func NewFile(displacement int64, pattern *Pattern) (*File, error) {
+	if displacement < 0 {
+		return nil, fmt.Errorf("part: negative displacement %d", displacement)
+	}
+	if pattern == nil {
+		return nil, fmt.Errorf("part: nil pattern")
+	}
+	return &File{Displacement: displacement, Pattern: pattern}, nil
+}
+
+// MustFile is NewFile for statically known literals.
+func MustFile(displacement int64, pattern *Pattern) *File {
+	f, err := NewFile(displacement, pattern)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// PatternCoord translates absolute file offset x into a (repetition,
+// in-pattern coordinate) pair. Offsets before the displacement are not
+// covered by the partition.
+func (f *File) PatternCoord(x int64) (rep, coord int64, err error) {
+	if x < f.Displacement {
+		return 0, 0, fmt.Errorf("part: offset %d precedes displacement %d", x, f.Displacement)
+	}
+	rel := x - f.Displacement
+	return rel / f.Pattern.Size(), rel % f.Pattern.Size(), nil
+}
+
+// ElementOf returns the partition element index owning absolute file
+// offset x.
+func (f *File) ElementOf(x int64) (int, error) {
+	_, coord, err := f.PatternCoord(x)
+	if err != nil {
+		return 0, err
+	}
+	return f.Pattern.ElementOf(coord)
+}
+
+// ElementBytes returns how many bytes of element e fall within the
+// first length bytes of partitioned data (starting at the
+// displacement): full repetitions plus the element's share of the
+// final partial repetition.
+func (f *File) ElementBytes(e int, length int64) int64 {
+	ps := f.Pattern.Size()
+	set := f.Pattern.Element(e).Set
+	full := length / ps
+	rem := length % ps
+	n := full * set.Size()
+	if rem > 0 {
+		set.WalkRange(0, rem-1, func(seg falls.LineSegment) bool {
+			n += seg.Len()
+			return true
+		})
+	}
+	return n
+}

@@ -1,0 +1,160 @@
+package part
+
+import (
+	"strings"
+	"testing"
+
+	"parafile/internal/falls"
+)
+
+// fig3File builds the paper's Figure 3 file: displacement 2, three
+// subfiles defined by FALLS (0,1,6,1), (2,3,6,1), (4,5,6,1).
+func fig3File(t *testing.T) *File {
+	t.Helper()
+	p, err := NewPattern(
+		Element{Name: "subfile0", Set: falls.Set{falls.MustLeaf(0, 1, 6, 1)}},
+		Element{Name: "subfile1", Set: falls.Set{falls.MustLeaf(2, 3, 6, 1)}},
+		Element{Name: "subfile2", Set: falls.Set{falls.MustLeaf(4, 5, 6, 1)}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return MustFile(2, p)
+}
+
+func TestFigure3File(t *testing.T) {
+	f := fig3File(t)
+	if got := f.Pattern.Size(); got != 6 {
+		t.Errorf("pattern size = %d, want 6", got)
+	}
+	// Byte 10 lies in subfile 0's second repetition ([8,9] is
+	// subfile0 shifted by displacement+pattern: offsets 2+6+0..1).
+	cases := []struct {
+		x    int64
+		elem int
+	}{
+		{2, 0}, {3, 0}, {4, 1}, {6, 2}, {8, 0}, {10, 1}, {12, 2}, {14, 0},
+	}
+	for _, c := range cases {
+		got, err := f.ElementOf(c.x)
+		if err != nil || got != c.elem {
+			t.Errorf("ElementOf(%d) = %d,%v; want %d", c.x, got, err, c.elem)
+		}
+	}
+	if _, err := f.ElementOf(1); err == nil {
+		t.Error("ElementOf before displacement should fail")
+	}
+}
+
+func TestNewPatternRejectsBadTilings(t *testing.T) {
+	cases := []struct {
+		name  string
+		elems []Element
+		want  string
+	}{
+		{"no elements", nil, "at least one"},
+		{"empty element", []Element{{Name: "e", Set: nil}}, "empty"},
+		{
+			"gap",
+			[]Element{
+				{Name: "a", Set: falls.Set{falls.MustLeaf(0, 1, 2, 1)}},
+				{Name: "b", Set: falls.Set{falls.MustLeaf(3, 4, 2, 1)}},
+			},
+			"gap",
+		},
+		{
+			"overlap",
+			[]Element{
+				{Name: "a", Set: falls.Set{falls.MustLeaf(0, 2, 3, 1)}},
+				{Name: "b", Set: falls.Set{falls.MustLeaf(2, 3, 2, 1)}},
+			},
+			"overlap",
+		},
+		{
+			"does not start at zero",
+			[]Element{{Name: "a", Set: falls.Set{falls.MustLeaf(1, 2, 2, 1)}}},
+			"gap",
+		},
+	}
+	for _, c := range cases {
+		_, err := NewPattern(c.elems...)
+		if err == nil {
+			t.Errorf("%s: expected error", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestNewPatternAcceptsInterleaved(t *testing.T) {
+	// Elements may interleave at byte granularity as long as they tile.
+	p, err := NewPattern(
+		Element{Name: "even", Set: falls.Set{falls.MustLeaf(0, 0, 2, 8)}},
+		Element{Name: "odd", Set: falls.Set{falls.MustLeaf(1, 1, 2, 8)}},
+	)
+	if err != nil {
+		t.Fatalf("interleaved tiling rejected: %v", err)
+	}
+	if p.Size() != 16 {
+		t.Errorf("size = %d, want 16", p.Size())
+	}
+	for x := int64(0); x < 16; x++ {
+		e, err := p.ElementOf(x)
+		if err != nil {
+			t.Fatalf("ElementOf(%d): %v", x, err)
+		}
+		if want := int(x % 2); e != want {
+			t.Errorf("ElementOf(%d) = %d, want %d", x, e, want)
+		}
+	}
+}
+
+func TestFileValidation(t *testing.T) {
+	p, _ := Whole(8)
+	if _, err := NewFile(-1, p); err == nil {
+		t.Error("negative displacement accepted")
+	}
+	if _, err := NewFile(0, nil); err == nil {
+		t.Error("nil pattern accepted")
+	}
+}
+
+func TestPatternCoord(t *testing.T) {
+	f := fig3File(t)
+	cases := []struct {
+		x, rep, coord int64
+	}{
+		{2, 0, 0}, {7, 0, 5}, {8, 1, 0}, {19, 2, 5}, {20, 3, 0},
+	}
+	for _, c := range cases {
+		rep, coord, err := f.PatternCoord(c.x)
+		if err != nil || rep != c.rep || coord != c.coord {
+			t.Errorf("PatternCoord(%d) = %d,%d,%v; want %d,%d", c.x, rep, coord, err, c.rep, c.coord)
+		}
+	}
+}
+
+func TestElementBytes(t *testing.T) {
+	f := fig3File(t)
+	// First 14 bytes of partitioned data: two full patterns (12 bytes,
+	// 4 per element) plus 2 bytes of the third repetition (subfile 0).
+	if got := f.ElementBytes(0, 14); got != 6 {
+		t.Errorf("ElementBytes(0, 14) = %d, want 6", got)
+	}
+	if got := f.ElementBytes(1, 14); got != 4 {
+		t.Errorf("ElementBytes(1, 14) = %d, want 4", got)
+	}
+	if got := f.ElementBytes(2, 14); got != 4 {
+		t.Errorf("ElementBytes(2, 14) = %d, want 4", got)
+	}
+	// Element bytes sum to the total length.
+	var sum int64
+	for e := 0; e < f.Pattern.Len(); e++ {
+		sum += f.ElementBytes(e, 14)
+	}
+	if sum != 14 {
+		t.Errorf("element bytes sum to %d, want 14", sum)
+	}
+}

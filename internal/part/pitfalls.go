@@ -1,0 +1,121 @@
+package part
+
+import (
+	"fmt"
+
+	"parafile/internal/falls"
+)
+
+// pitfalls.go builds the compact processor-indexed representation of a
+// distribution: one nested PITFALLS describing all processors at once
+// (paper §4: "for regular distributions, a set of nested FALLS can be
+// shortly expressed using the nested PITFALLS representation").
+// Expanding the PITFALLS for each processor index reproduces exactly
+// the per-element sets NDArray builds.
+
+// NDArrayPITFALLS builds a nested PITFALLS for the distribution. Every
+// dimension contributes one tree level; dimensions distributed over p
+// grid coordinates become the processor-indexed levels.
+//
+// The construction covers specs whose BLOCK dimensions divide evenly
+// and whose CYCLIC dimensions have whole cycles (the regular
+// distributions PITFALLS exist for); other specs must use NDArray's
+// general per-element form.
+func NDArrayPITFALLS(spec ArraySpec) (*falls.PITFALLS, error) {
+	if err := spec.validate(); err != nil {
+		return nil, err
+	}
+	for k, dd := range spec.Dists {
+		switch dd.Kind {
+		case Block:
+			if spec.Dims[k]%dd.Procs != 0 {
+				return nil, fmt.Errorf("part: PITFALLS needs BLOCK dimension %d (%d) divisible by %d",
+					k, spec.Dims[k], dd.Procs)
+			}
+		case Cyclic:
+			if spec.Dims[k]%(dd.Procs*dd.Block) != 0 {
+				return nil, fmt.Errorf("part: PITFALLS needs CYCLIC dimension %d (%d) divisible by the cycle %d",
+					k, spec.Dims[k], dd.Procs*dd.Block)
+			}
+		}
+	}
+	pf, err := buildPITFALLSDim(spec, 0)
+	if err != nil {
+		return nil, err
+	}
+	if pf == nil {
+		// Fully undistributed: one processor owning everything.
+		return falls.NewPITFALLS(0, spec.TotalBytes()-1, spec.TotalBytes(), 1, 0, 1)
+	}
+	return pf, nil
+}
+
+func buildPITFALLSDim(spec ArraySpec, k int) (*falls.PITFALLS, error) {
+	if k == len(spec.Dims) {
+		return nil, nil
+	}
+	inner, err := buildPITFALLSDim(spec, k+1)
+	if err != nil {
+		return nil, err
+	}
+	d := spec.Dims[k]
+	rowBytes := spec.ElemSize
+	for _, dd := range spec.Dims[k+1:] {
+		rowBytes *= dd
+	}
+	dd := spec.Dists[k]
+	var pf *falls.PITFALLS
+	switch dd.Kind {
+	case All:
+		if inner == nil {
+			return nil, nil
+		}
+		pf = &falls.PITFALLS{L: 0, R: rowBytes - 1, S: rowBytes, N: d, D: 0, P: 1}
+	case Block:
+		chunk := d / dd.Procs
+		if inner == nil {
+			// Dense chunks: one segment per processor.
+			pf = &falls.PITFALLS{
+				L: 0, R: chunk*rowBytes - 1, S: chunk * rowBytes, N: 1,
+				D: chunk * rowBytes, P: dd.Procs,
+			}
+		} else {
+			// Row-granular blocks so the inner pattern applies per row.
+			pf = &falls.PITFALLS{
+				L: 0, R: rowBytes - 1, S: rowBytes, N: chunk,
+				D: chunk * rowBytes, P: dd.Procs,
+			}
+		}
+	case Cyclic:
+		cycles := d / (dd.Procs * dd.Block)
+		if inner == nil {
+			pf = &falls.PITFALLS{
+				L: 0, R: dd.Block*rowBytes - 1, S: dd.Procs * dd.Block * rowBytes, N: cycles,
+				D: dd.Block * rowBytes, P: dd.Procs,
+			}
+		} else {
+			// Outer level: the processor's cyclic runs; inner level:
+			// the rows of one run carrying the deeper pattern.
+			rows := &falls.PITFALLS{L: 0, R: rowBytes - 1, S: rowBytes, N: dd.Block, D: 0, P: 1}
+			if inner != nil {
+				rows.Inner = []*falls.PITFALLS{inner}
+			}
+			pf = &falls.PITFALLS{
+				L: 0, R: dd.Block*rowBytes - 1, S: dd.Procs * dd.Block * rowBytes, N: cycles,
+				D: dd.Block * rowBytes, P: dd.Procs,
+				Inner: []*falls.PITFALLS{rows},
+			}
+			if err := pf.Validate(); err != nil {
+				return nil, err
+			}
+			return pf, nil
+		}
+	}
+	if inner != nil {
+		pf.Inner = []*falls.PITFALLS{inner}
+	}
+	if err := pf.Validate(); err != nil {
+		return nil, err
+	}
+	return pf, nil
+}

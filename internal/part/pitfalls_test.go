@@ -1,0 +1,128 @@
+package part
+
+import (
+	"testing"
+
+	"parafile/internal/falls"
+)
+
+// checkPITFALLSMatchesNDArray verifies the compact processor-indexed
+// form expands to exactly the per-element sets of the general builder.
+func checkPITFALLSMatchesNDArray(t *testing.T, spec ArraySpec) {
+	t.Helper()
+	pf, err := NDArrayPITFALLS(spec)
+	if err != nil {
+		t.Fatalf("NDArrayPITFALLS(%+v): %v", spec, err)
+	}
+	sets, err := pf.ExpandGrid()
+	if err != nil {
+		t.Fatalf("ExpandGrid: %v", err)
+	}
+	pat, err := NDArray(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sets) != pat.Len() {
+		t.Fatalf("PITFALLS expands to %d processors, pattern has %d elements (spec %+v)",
+			len(sets), pat.Len(), spec)
+	}
+	for e := 0; e < pat.Len(); e++ {
+		if !falls.OffsetsEqual(sets[e], pat.Element(e).Set) {
+			t.Fatalf("processor %d differs:\nPITFALLS %v -> %v\nNDArray %v (spec %+v)",
+				e, pf, sets[e], pat.Element(e).Set, spec)
+		}
+	}
+}
+
+func TestPITFALLSMatchesNDArray(t *testing.T) {
+	specs := map[string]ArraySpec{
+		"row blocks": {Dims: []int64{8, 8}, ElemSize: 1,
+			Dists: []DimDist{{Kind: Block, Procs: 4}, {Kind: All}}},
+		"column blocks": {Dims: []int64{8, 8}, ElemSize: 1,
+			Dists: []DimDist{{Kind: All}, {Kind: Block, Procs: 4}}},
+		"square blocks": {Dims: []int64{8, 8}, ElemSize: 1,
+			Dists: []DimDist{{Kind: Block, Procs: 2}, {Kind: Block, Procs: 2}}},
+		"cyclic": {Dims: []int64{12}, ElemSize: 2,
+			Dists: []DimDist{{Kind: Cyclic, Procs: 3, Block: 2}}},
+		"block-cyclic 2d": {Dims: []int64{8, 12}, ElemSize: 1,
+			Dists: []DimDist{{Kind: Block, Procs: 2}, {Kind: Cyclic, Procs: 3, Block: 2}}},
+		"cyclic-cyclic elem4": {Dims: []int64{4, 8}, ElemSize: 4,
+			Dists: []DimDist{{Kind: Cyclic, Procs: 2, Block: 1}, {Kind: Cyclic, Procs: 2, Block: 2}}},
+		"3d mixed": {Dims: []int64{4, 6, 4}, ElemSize: 1,
+			Dists: []DimDist{{Kind: Block, Procs: 2}, {Kind: Cyclic, Procs: 3, Block: 1}, {Kind: All}}},
+		"undistributed": {Dims: []int64{4, 4}, ElemSize: 1,
+			Dists: []DimDist{{Kind: All}, {Kind: All}}},
+	}
+	for name, spec := range specs {
+		t.Run(name, func(t *testing.T) { checkPITFALLSMatchesNDArray(t, spec) })
+	}
+}
+
+func TestPITFALLSIrregularRejected(t *testing.T) {
+	// BLOCK that does not divide evenly has no compact PITFALLS form.
+	if _, err := NDArrayPITFALLS(ArraySpec{
+		Dims: []int64{10}, ElemSize: 1,
+		Dists: []DimDist{{Kind: Block, Procs: 4}},
+	}); err == nil {
+		t.Error("uneven BLOCK accepted")
+	}
+	if _, err := NDArrayPITFALLS(ArraySpec{
+		Dims: []int64{10}, ElemSize: 1,
+		Dists: []DimDist{{Kind: Cyclic, Procs: 2, Block: 2}},
+	}); err == nil {
+		t.Error("partial CYCLIC cycle accepted")
+	}
+}
+
+func TestPITFALLSGridShape(t *testing.T) {
+	pf, err := NDArrayPITFALLS(ArraySpec{
+		Dims: []int64{8, 8}, ElemSize: 1,
+		Dists: []DimDist{{Kind: Block, Procs: 2}, {Kind: Block, Procs: 4}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shape := pf.GridShape()
+	if len(shape) != 2 || shape[0] != 2 || shape[1] != 4 {
+		t.Errorf("GridShape = %v, want [2 4]", shape)
+	}
+	// Representation is compact: a handful of tree nodes regardless of
+	// the array size.
+	big, err := NDArrayPITFALLS(ArraySpec{
+		Dims: []int64{4096, 4096}, ElemSize: 8,
+		Dists: []DimDist{{Kind: Block, Procs: 2}, {Kind: Block, Procs: 4}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nodes := countNodes(big); nodes > 4 {
+		t.Errorf("PITFALLS has %d nodes for a 128 MiB array, want <= 4", nodes)
+	}
+}
+
+func countNodes(pf *falls.PITFALLS) int {
+	n := 1
+	for _, in := range pf.Inner {
+		n += countNodes(in)
+	}
+	return n
+}
+
+func TestProcessorAtValidation(t *testing.T) {
+	pf, err := NDArrayPITFALLS(ArraySpec{
+		Dims: []int64{8, 8}, ElemSize: 1,
+		Dists: []DimDist{{Kind: Block, Procs: 2}, {Kind: Block, Procs: 2}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pf.ProcessorAt([]int64{0}); err == nil {
+		t.Error("missing coordinate accepted")
+	}
+	if _, err := pf.ProcessorAt([]int64{0, 0, 0}); err == nil {
+		t.Error("excess coordinate accepted")
+	}
+	if _, err := pf.ProcessorAt([]int64{2, 0}); err == nil {
+		t.Error("out-of-range coordinate accepted")
+	}
+}

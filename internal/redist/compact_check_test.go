@@ -1,0 +1,44 @@
+package redist
+
+import (
+	"testing"
+
+	"parafile/internal/part"
+)
+
+// TestIntersectionCompactness: after representation harmonization the
+// row-view × column-subfile intersection is O(1) members regardless of
+// matrix size — the property behind the paper's size-independent t_i.
+func TestIntersectionCompactness(t *testing.T) {
+	for _, n := range []int64{256, 1024, 2048} {
+		rows, err := part.RowBlocks(n, n, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cols, err := part.ColBlocks(n, n, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inter, err := IntersectElements(part.MustFile(0, rows), 0, part.MustFile(0, cols), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(inter.Set) > 3 {
+			t.Errorf("n=%d: intersection has %d members, want O(1): %v", n, len(inter.Set), inter.Set)
+		}
+		if got := inter.BytesPerPeriod(); got != n*n/16 {
+			t.Errorf("n=%d: %d bytes per period, want %d", n, got, n*n/16)
+		}
+		sq, err := part.SquareBlocks(n, n, 2, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		interSq, err := IntersectElements(part.MustFile(0, rows), 0, part.MustFile(0, sq), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(interSq.Set) > 3 {
+			t.Errorf("n=%d rows×square: %d members, want O(1): %v", n, len(interSq.Set), interSq.Set)
+		}
+	}
+}

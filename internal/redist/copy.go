@@ -1,0 +1,118 @@
+package redist
+
+import (
+	"fmt"
+
+	"parafile/internal/falls"
+)
+
+// copy.go implements the GATHER and SCATTER procedures of §8: copying
+// between the non-contiguous element-space regions selected by a
+// projection (or a plain nested FALLS set) and a contiguous buffer.
+// The Clusterfile write path gathers view data into a message buffer
+// at the compute node and scatters the received buffer into the
+// subfile at the I/O node; the same procedures implement MPI-style
+// pack/unpack.
+
+// Gather packs the bytes of src selected by proj within the inclusive
+// element-space window [lo, hi] into dst, in order. It returns the
+// number of bytes packed. src is indexed by element offsets; dst must
+// have room for proj.BytesIn(lo, hi) bytes.
+func Gather(dst, src []byte, proj *Projection, lo, hi int64) (int64, error) {
+	var pos int64
+	var err error
+	proj.WalkRange(lo, hi, func(seg falls.LineSegment) bool {
+		if seg.R >= int64(len(src)) {
+			err = fmt.Errorf("redist: gather source too small: need offset %d, have %d bytes",
+				seg.R, len(src))
+			return false
+		}
+		if pos+seg.Len() > int64(len(dst)) {
+			err = fmt.Errorf("redist: gather destination too small: need %d bytes, have %d",
+				pos+seg.Len(), len(dst))
+			return false
+		}
+		copy(dst[pos:pos+seg.Len()], src[seg.L:seg.R+1])
+		pos += seg.Len()
+		return true
+	})
+	if err != nil {
+		return pos, err
+	}
+	return pos, nil
+}
+
+// Scatter unpacks the contiguous bytes of src into the regions of dst
+// selected by proj within [lo, hi], in order — the reverse of Gather.
+// It returns the number of bytes unpacked.
+func Scatter(dst, src []byte, proj *Projection, lo, hi int64) (int64, error) {
+	var pos int64
+	var err error
+	proj.WalkRange(lo, hi, func(seg falls.LineSegment) bool {
+		if pos+seg.Len() > int64(len(src)) {
+			err = fmt.Errorf("redist: scatter source too small: need %d bytes, have %d",
+				pos+seg.Len(), len(src))
+			return false
+		}
+		if seg.R >= int64(len(dst)) {
+			err = fmt.Errorf("redist: scatter destination too small: need offset %d, have %d bytes",
+				seg.R, len(dst))
+			return false
+		}
+		copy(dst[seg.L:seg.R+1], src[pos:pos+seg.Len()])
+		pos += seg.Len()
+		return true
+	})
+	if err != nil {
+		return pos, err
+	}
+	return pos, nil
+}
+
+// GatherSet packs the bytes of src selected by a plain (non-periodic)
+// set within [lo, hi] into dst. It is the §8 GATHER(dst, src, lo, hi,
+// S) signature and the basis of MPI-style Pack.
+func GatherSet(dst, src []byte, s falls.Set, lo, hi int64) (int64, error) {
+	var pos int64
+	var err error
+	s.WalkRange(lo, hi, func(seg falls.LineSegment) bool {
+		if seg.R >= int64(len(src)) {
+			err = fmt.Errorf("redist: gather source too small: need offset %d, have %d bytes",
+				seg.R, len(src))
+			return false
+		}
+		if pos+seg.Len() > int64(len(dst)) {
+			err = fmt.Errorf("redist: gather destination too small: need %d bytes, have %d",
+				pos+seg.Len(), len(dst))
+			return false
+		}
+		copy(dst[pos:pos+seg.Len()], src[seg.L:seg.R+1])
+		pos += seg.Len()
+		return true
+	})
+	return pos, err
+}
+
+// ScatterSet unpacks contiguous src bytes into the regions of dst
+// selected by a plain set within [lo, hi] — the basis of MPI-style
+// Unpack.
+func ScatterSet(dst, src []byte, s falls.Set, lo, hi int64) (int64, error) {
+	var pos int64
+	var err error
+	s.WalkRange(lo, hi, func(seg falls.LineSegment) bool {
+		if pos+seg.Len() > int64(len(src)) {
+			err = fmt.Errorf("redist: scatter source too small: need %d bytes, have %d",
+				pos+seg.Len(), len(src))
+			return false
+		}
+		if seg.R >= int64(len(dst)) {
+			err = fmt.Errorf("redist: scatter destination too small: need offset %d, have %d bytes",
+				seg.R, len(dst))
+			return false
+		}
+		copy(dst[seg.L:seg.R+1], src[pos:pos+seg.Len()])
+		pos += seg.Len()
+		return true
+	})
+	return pos, err
+}

@@ -1,0 +1,185 @@
+package redist
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"parafile/internal/core"
+	"parafile/internal/falls"
+)
+
+// TestGatherScatterFigure5 reproduces the §8 example: gathering the
+// view data between lo=0 and hi=4 with the projection {(0,0,4,2)}
+// packs view bytes {0, 4}; scattering restores them.
+func TestGatherScatterFigure5(t *testing.T) {
+	fv := fileAround(t, fig4V(), 32, 0)
+	fs := fileAround(t, fig4S(), 32, 0)
+	inter, _ := IntersectElements(fv, 0, fs, 0)
+	pv, err := Project(inter, core.MustMapper(fv, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	view := []byte{10, 11, 12, 13, 14, 15, 16, 17} // 8 view bytes
+	buf2 := make([]byte, 2)
+	n, err := Gather(buf2, view, pv, 0, 4)
+	if err != nil || n != 2 {
+		t.Fatalf("Gather = %d, %v; want 2", n, err)
+	}
+	if buf2[0] != 10 || buf2[1] != 14 {
+		t.Errorf("gathered %v, want [10 14] (view bytes 0 and 4)", buf2)
+	}
+	// Scatter back into a fresh view buffer.
+	out := make([]byte, 8)
+	n, err = Scatter(out, buf2, pv, 0, 4)
+	if err != nil || n != 2 {
+		t.Fatalf("Scatter = %d, %v; want 2", n, err)
+	}
+	if out[0] != 10 || out[4] != 14 {
+		t.Errorf("scattered %v, want bytes 0 and 4 restored", out)
+	}
+}
+
+// TestPropertyGatherScatterRoundTrip: scatter(gather(x)) restores the
+// selected bytes for random projections and windows.
+func TestPropertyGatherScatterRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(70))
+	for iter := 0; iter < 100; iter++ {
+		z1 := int64(8 * (1 + rng.Intn(6)))
+		z2 := int64(8 * (1 + rng.Intn(6)))
+		f1 := fileAround(t, randSetIn(rng, z1), z1, 0)
+		f2 := fileAround(t, randSetIn(rng, z2), z2, 0)
+		inter, err := IntersectElements(f1, 0, f2, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if inter.Empty() {
+			continue
+		}
+		proj, err := Project(inter, core.MustMapper(f1, 0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		span := 3 * proj.Period
+		src := image(span, int64(iter))
+		lo := rng.Int63n(span)
+		hi := lo + rng.Int63n(span-lo)
+		want := proj.BytesIn(lo, hi)
+		buf := make([]byte, want)
+		n, err := Gather(buf, src, proj, lo, hi)
+		if err != nil || n != want {
+			t.Fatalf("Gather = %d, %v; want %d", n, err, want)
+		}
+		dst := make([]byte, span)
+		n, err = Scatter(dst, buf, proj, lo, hi)
+		if err != nil || n != want {
+			t.Fatalf("Scatter = %d, %v; want %d", n, err, want)
+		}
+		// Every selected byte must round-trip; unselected bytes stay 0.
+		sel := make([]bool, span)
+		proj.WalkRange(lo, hi, func(seg falls.LineSegment) bool {
+			for x := seg.L; x <= seg.R; x++ {
+				sel[x] = true
+			}
+			return true
+		})
+		for x := int64(0); x < span; x++ {
+			if sel[x] && dst[x] != src[x] {
+				t.Fatalf("byte %d lost in round trip", x)
+			}
+			if !sel[x] && dst[x] != 0 {
+				t.Fatalf("byte %d written outside selection", x)
+			}
+		}
+	}
+}
+
+// TestGatherScatterErrors: undersized buffers fail without corruption.
+func TestGatherScatterErrors(t *testing.T) {
+	fv := fileAround(t, fig4V(), 32, 0)
+	fs := fileAround(t, fig4S(), 32, 0)
+	inter, _ := IntersectElements(fv, 0, fs, 0)
+	pv, _ := Project(inter, core.MustMapper(fv, 0))
+	view := make([]byte, 8)
+	if _, err := Gather(make([]byte, 1), view, pv, 0, 7); err == nil {
+		t.Error("short gather destination accepted")
+	}
+	if _, err := Gather(make([]byte, 8), make([]byte, 2), pv, 0, 7); err == nil {
+		t.Error("short gather source accepted")
+	}
+	if _, err := Scatter(make([]byte, 2), make([]byte, 8), pv, 0, 7); err == nil {
+		t.Error("short scatter destination accepted")
+	}
+	if _, err := Scatter(make([]byte, 8), make([]byte, 0), pv, 0, 7); err == nil {
+		t.Error("short scatter source accepted")
+	}
+}
+
+// TestGatherSetMatchesGather: the plain-set variants agree with the
+// projection variants inside the first period.
+func TestGatherSetMatchesGather(t *testing.T) {
+	fv := fileAround(t, fig4V(), 32, 0)
+	fs := fileAround(t, fig4S(), 32, 0)
+	inter, _ := IntersectElements(fv, 0, fs, 0)
+	pv, _ := Project(inter, core.MustMapper(fv, 0))
+	src := image(pv.Period, 3)
+	a := make([]byte, pv.Bytes)
+	b := make([]byte, pv.Bytes)
+	if _, err := Gather(a, src, pv, 0, pv.Period-1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := GatherSet(b, src, pv.Set, 0, pv.Period-1); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Errorf("GatherSet %v != Gather %v", b, a)
+	}
+	// Scatter parity.
+	d1 := make([]byte, pv.Period)
+	d2 := make([]byte, pv.Period)
+	if _, err := Scatter(d1, a, pv, 0, pv.Period-1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ScatterSet(d2, a, pv.Set, 0, pv.Period-1); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(d1, d2) {
+		t.Errorf("ScatterSet != Scatter")
+	}
+}
+
+// TestScatterSetErrors mirrors the projection error tests for the set
+// variants.
+func TestScatterSetErrors(t *testing.T) {
+	s := falls.Set{falls.MustLeaf(0, 1, 4, 3)}
+	if _, err := GatherSet(make([]byte, 1), make([]byte, 12), s, 0, 11); err == nil {
+		t.Error("short GatherSet destination accepted")
+	}
+	if _, err := GatherSet(make([]byte, 6), make([]byte, 3), s, 0, 11); err == nil {
+		t.Error("short GatherSet source accepted")
+	}
+	if _, err := ScatterSet(make([]byte, 3), make([]byte, 6), s, 0, 11); err == nil {
+		t.Error("short ScatterSet destination accepted")
+	}
+	if _, err := ScatterSet(make([]byte, 12), make([]byte, 1), s, 0, 11); err == nil {
+		t.Error("short ScatterSet source accepted")
+	}
+}
+
+// TestPartElementBytesConsistency: SplitFile buffer sizes equal
+// ElementBytes (ties part and redist together).
+func TestPartElementBytesConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for iter := 0; iter < 30; iter++ {
+		z := int64(8 * (1 + rng.Intn(6)))
+		f := fileAround(t, randSetIn(rng, z), z, 0)
+		length := 1 + rng.Int63n(3*z)
+		bufs := SplitFile(f, image(length, int64(iter)))
+		for e, b := range bufs {
+			if int64(len(b)) != f.ElementBytes(e, length) {
+				t.Fatalf("element %d: buffer %d bytes, ElementBytes says %d",
+					e, len(b), f.ElementBytes(e, length))
+			}
+		}
+	}
+}

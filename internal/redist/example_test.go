@@ -1,0 +1,72 @@
+package redist_test
+
+import (
+	"fmt"
+
+	"parafile/internal/falls"
+	"parafile/internal/part"
+	"parafile/internal/redist"
+)
+
+func fig4View() falls.Set {
+	return falls.Set{falls.MustNested(falls.MustNew(0, 7, 16, 2), falls.Set{falls.MustLeaf(0, 1, 4, 2)})}
+}
+
+func fig4Subfile() falls.Set {
+	return falls.Set{falls.MustNested(falls.MustNew(0, 3, 8, 4), falls.Set{falls.MustLeaf(0, 0, 2, 2)})}
+}
+
+// figureFile completes one element into a full 32-byte partition.
+func figureFile(set falls.Set) *part.File {
+	elems := []part.Element{{Name: "elem", Set: set}}
+	if rest := falls.Complement(set, 32); len(rest) > 0 {
+		elems = append(elems, part.Element{Name: "rest", Set: rest})
+	}
+	return part.MustFile(0, part.MustPattern(elems...))
+}
+
+// A redistribution plan converts a matrix between two layouts
+// segment-wise; content is preserved byte for byte.
+func ExamplePlan() {
+	rows, _ := part.RowBlocks(4, 4, 2)
+	cols, _ := part.ColBlocks(4, 4, 2)
+	src := part.MustFile(0, rows)
+	dst := part.MustFile(0, cols)
+
+	img := []byte("the quick brown.")
+	srcBufs := redist.SplitFile(src, img)
+
+	plan, _ := redist.NewPlan(src, dst)
+	dstBufs := make([][]byte, dst.Pattern.Len())
+	for e := range dstBufs {
+		dstBufs[e] = make([]byte, dst.ElementBytes(e, int64(len(img))))
+	}
+	_ = plan.Execute(srcBufs, dstBufs, int64(len(img)))
+
+	fmt.Printf("element 0: %q\n", dstBufs[0])
+	fmt.Printf("element 1: %q\n", dstBufs[1])
+	back, _ := redist.JoinFile(dst, dstBufs, int64(len(img)))
+	fmt.Printf("rejoined: %q\n", back)
+	// Output:
+	// element 0: "thquk ow"
+	// element 1: "e icbrn."
+	// rejoined: "the quick brown."
+}
+
+// IntersectProjectElements computes the bytes two partition elements
+// share and where those bytes sit in each element's linear space — the
+// paper's §7 Figure 4 example.
+func ExampleIntersectProjectElements() {
+	// V = {(0,7,16,2,{(0,1,4,2)})} and S = {(0,3,8,4,{(0,0,2,2)})},
+	// completed into full partitions of a 32-byte pattern.
+	fv := figureFile(fig4View())
+	fs := figureFile(fig4Subfile())
+	inter, projV, projS, _ := redist.IntersectProjectElements(fv, 0, fs, 0)
+	fmt.Println("V∩S bytes/period:", inter.BytesPerPeriod())
+	fmt.Println("PROJ_V:", projV.Set)
+	fmt.Println("PROJ_S:", projS.Set)
+	// Output:
+	// V∩S bytes/period: 2
+	// PROJ_V: {(0,0,4,2)}
+	// PROJ_S: {(0,0,4,2)}
+}

@@ -1,0 +1,134 @@
+package redist
+
+import (
+	"fmt"
+
+	"parafile/internal/falls"
+)
+
+// exec_messaged.go executes a redistribution the way distributed nodes
+// would: per communication pair, the source gathers its shared bytes
+// into a message buffer, the "network" hands the buffer over, and the
+// destination scatters it — §8's GATHER/SEND/SCATTER pipeline as a
+// library-level executor. It is the reference implementation for
+// wire-format behaviour; Plan.Execute is the fused fast path.
+
+// MessageHandler observes each message of a messaged execution (for
+// instrumentation or actual transport). buf is the gathered payload;
+// handlers must not retain it.
+type MessageHandler func(m Message, buf []byte)
+
+// ExecuteMessaged redistributes length bytes from src element buffers
+// to dst element buffers through explicit gather/scatter messages.
+// onMessage may be nil.
+func (p *Plan) ExecuteMessaged(src, dst [][]byte, length int64, onMessage MessageHandler) error {
+	if len(src) != p.Src.Pattern.Len() {
+		return fmt.Errorf("redist: %d source buffers for %d elements", len(src), p.Src.Pattern.Len())
+	}
+	if len(dst) != p.Dst.Pattern.Len() {
+		return fmt.Errorf("redist: %d destination buffers for %d elements", len(dst), p.Dst.Pattern.Len())
+	}
+	if length < 0 {
+		return fmt.Errorf("redist: negative length %d", length)
+	}
+	if length == 0 {
+		return nil
+	}
+	for i := range p.Transfers {
+		t := &p.Transfers[i]
+		// Element-space windows covered by this length.
+		srcHi, dstHi, bytes := t.Windows(p.Period, length)
+		if bytes == 0 {
+			continue
+		}
+		buf := make([]byte, bytes)
+		n, err := gatherBuf(buf, src[t.SrcElem], t.SrcProj, srcHi)
+		if err != nil {
+			return fmt.Errorf("redist: transfer %d->%d gather: %w", t.SrcElem, t.DstElem, err)
+		}
+		if n != bytes {
+			return fmt.Errorf("redist: transfer %d->%d gathered %d bytes, want %d",
+				t.SrcElem, t.DstElem, n, bytes)
+		}
+		if onMessage != nil {
+			onMessage(Message{From: t.SrcElem, To: t.DstElem, Bytes: bytes, Runs: int64(len(t.triples))}, buf)
+		}
+		n, err = scatterBuf(dst[t.DstElem], buf, t.DstProj, dstHi)
+		if err != nil {
+			return fmt.Errorf("redist: transfer %d->%d scatter: %w", t.SrcElem, t.DstElem, err)
+		}
+		if n != bytes {
+			return fmt.Errorf("redist: transfer %d->%d scattered %d bytes, want %d",
+				t.SrcElem, t.DstElem, n, bytes)
+		}
+	}
+	return nil
+}
+
+// Windows computes, for the first `length` file bytes, the inclusive
+// upper bounds of the transfer's element-space windows and the bytes
+// moved. The lower bounds are the first selected offsets themselves.
+// Consumers that move transfer payloads themselves (e.g. the simulated
+// cluster's disk-to-disk redistribution) pair it with the projections.
+func (t *Transfer) Windows(period, length int64) (srcHi, dstHi, bytes int64) {
+	srcHi, dstHi = -1, -1
+	for k := int64(0); k*period < length; k++ {
+		for _, tr := range t.triples {
+			n := tr.n
+			if rem := length - k*period - tr.fileOff; rem < n {
+				n = rem
+			}
+			if n <= 0 {
+				continue
+			}
+			if hi := tr.srcOff + k*t.SrcProj.Period + n - 1; hi > srcHi {
+				srcHi = hi
+			}
+			if hi := tr.dstOff + k*t.DstProj.Period + n - 1; hi > dstHi {
+				dstHi = hi
+			}
+			bytes += n
+		}
+	}
+	return srcHi, dstHi, bytes
+}
+
+// gatherBuf packs the projection's bytes in [first selected, hi].
+func gatherBuf(buf, src []byte, proj *Projection, hi int64) (int64, error) {
+	var pos int64
+	var err error
+	proj.WalkRange(0, hi, func(seg falls.LineSegment) bool {
+		if seg.R >= int64(len(src)) {
+			err = fmt.Errorf("source too small: need offset %d, have %d", seg.R, len(src))
+			return false
+		}
+		if pos+seg.Len() > int64(len(buf)) {
+			err = fmt.Errorf("message too small")
+			return false
+		}
+		copy(buf[pos:pos+seg.Len()], src[seg.L:seg.R+1])
+		pos += seg.Len()
+		return true
+	})
+	return pos, err
+}
+
+// scatterBuf unpacks the message into the projection's bytes.
+func scatterBuf(dst, buf []byte, proj *Projection, hi int64) (int64, error) {
+	var pos int64
+	var err error
+	proj.WalkRange(0, hi, func(seg falls.LineSegment) bool {
+		if pos+seg.Len() > int64(len(buf)) {
+			err = fmt.Errorf("message underflow")
+			return false
+		}
+		if seg.R >= int64(len(dst)) {
+			err = fmt.Errorf("destination too small: need offset %d, have %d", seg.R, len(dst))
+			return false
+		}
+		copy(dst[seg.L:seg.R+1], buf[pos:pos+seg.Len()])
+		pos += seg.Len()
+		return true
+	})
+	return pos, err
+}

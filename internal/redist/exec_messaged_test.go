@@ -1,0 +1,140 @@
+package redist
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"parafile/internal/part"
+)
+
+// TestMessagedMatchesDirect: the gather/send/scatter executor produces
+// exactly what the fused executor produces, for the matrix layouts and
+// partial lengths.
+func TestMessagedMatchesDirect(t *testing.T) {
+	rows, _ := part.RowBlocks(16, 16, 4)
+	cols, _ := part.ColBlocks(16, 16, 4)
+	sq, _ := part.SquareBlocks(16, 16, 2, 2)
+	layouts := []*part.Pattern{rows, cols, sq}
+	img := image(256, 99)
+	for _, a := range layouts {
+		for _, b := range layouts {
+			src := part.MustFile(0, a)
+			dst := part.MustFile(0, b)
+			plan, err := NewPlan(src, dst)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, length := range []int64{256, 129, 64, 17} {
+				srcBufs := SplitFile(src, img[:length])
+				want := SplitFile(dst, img[:length])
+				got := make([][]byte, len(want))
+				for e := range want {
+					got[e] = make([]byte, len(want[e]))
+				}
+				if err := plan.ExecuteMessaged(srcBufs, got, length, nil); err != nil {
+					t.Fatal(err)
+				}
+				for e := range want {
+					if !bytes.Equal(got[e], want[e]) {
+						t.Fatalf("messaged execution differs on element %d (length %d)", e, length)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestMessagedObserverSeesSchedule: the message handler observes the
+// same byte counts the schedule predicts.
+func TestMessagedObserverSeesSchedule(t *testing.T) {
+	rows, _ := part.RowBlocks(8, 8, 4)
+	cols, _ := part.ColBlocks(8, 8, 4)
+	src := part.MustFile(0, rows)
+	dst := part.MustFile(0, cols)
+	plan, err := NewPlan(src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const length = 64
+	sched, err := plan.BuildSchedule(length)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[[2]int]int64{}
+	for _, m := range sched.Messages {
+		want[[2]int{m.From, m.To}] = m.Bytes
+	}
+	img := image(length, 5)
+	srcBufs := SplitFile(src, img)
+	dstBufs := SplitFile(dst, img)
+	seen := map[[2]int]int64{}
+	err = plan.ExecuteMessaged(srcBufs, dstBufs, length, func(m Message, buf []byte) {
+		seen[[2]int{m.From, m.To}] += int64(len(buf))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != len(want) {
+		t.Fatalf("observed %d message pairs, schedule has %d", len(seen), len(want))
+	}
+	for k, v := range want {
+		if seen[k] != v {
+			t.Errorf("pair %v: observed %d bytes, schedule says %d", k, seen[k], v)
+		}
+	}
+}
+
+// TestPropertyMessagedRandom: random partition pairs, random lengths.
+func TestPropertyMessagedRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(180))
+	for iter := 0; iter < 50; iter++ {
+		z1 := int64(8 * (1 + rng.Intn(5)))
+		z2 := int64(8 * (1 + rng.Intn(5)))
+		src := fileAround(t, randSetIn(rng, z1), z1, 0)
+		dst := fileAround(t, randSetIn(rng, z2), z2, 0)
+		plan, err := NewPlan(src, dst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		length := 1 + rng.Int63n(3*falls64Lcm(z1, z2))
+		img := image(length, int64(iter))
+		srcBufs := SplitFile(src, img)
+		want := SplitFile(dst, img)
+		got := make([][]byte, len(want))
+		for e := range want {
+			got[e] = make([]byte, len(want[e]))
+		}
+		if err := plan.ExecuteMessaged(srcBufs, got, length, nil); err != nil {
+			t.Fatalf("iter %d: %v", iter, err)
+		}
+		for e := range want {
+			if !bytes.Equal(got[e], want[e]) {
+				t.Fatalf("iter %d: messaged execution differs on element %d (len %d, src %v, dst %v)",
+					iter, e, length, src.Pattern, dst.Pattern)
+			}
+		}
+	}
+}
+
+func TestMessagedValidation(t *testing.T) {
+	rows, _ := part.RowBlocks(8, 8, 4)
+	plan, _ := NewPlan(part.MustFile(0, rows), part.MustFile(0, rows))
+	bufs := make([][]byte, 4)
+	for i := range bufs {
+		bufs[i] = make([]byte, 16)
+	}
+	if err := plan.ExecuteMessaged(bufs[:1], bufs, 64, nil); err == nil {
+		t.Error("wrong source count accepted")
+	}
+	if err := plan.ExecuteMessaged(bufs, bufs[:1], 64, nil); err == nil {
+		t.Error("wrong destination count accepted")
+	}
+	if err := plan.ExecuteMessaged(bufs, bufs, -1, nil); err == nil {
+		t.Error("negative length accepted")
+	}
+	short := [][]byte{{}, {}, {}, {}}
+	if err := plan.ExecuteMessaged(short, bufs, 64, nil); err == nil {
+		t.Error("short source accepted")
+	}
+}

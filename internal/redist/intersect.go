@@ -1,0 +1,348 @@
+// Package redist implements the paper's redistribution algorithm
+// (§7): intersection of two sets of nested FALLS belonging to two
+// partitions of the same file, projection of the intersection onto the
+// linear spaces of the intersected elements, and plan-driven data
+// movement (gather / scatter, §8) between arbitrary partitions.
+package redist
+
+import (
+	"fmt"
+	"sort"
+
+	"parafile/internal/falls"
+	"parafile/internal/part"
+)
+
+// Intersection is the set of file bytes common to two partition
+// elements. The result is periodic: Set describes one period of
+// length Period (the lcm of the two pattern sizes), with coordinate 0
+// at absolute file offset Base (the larger of the two displacements).
+type Intersection struct {
+	Set    falls.Set
+	Period int64
+	Base   int64
+}
+
+// Empty reports whether the elements share no bytes.
+func (i *Intersection) Empty() bool { return len(i.Set) == 0 }
+
+// BytesPerPeriod returns the number of common bytes per period.
+func (i *Intersection) BytesPerPeriod() int64 { return i.Set.Size() }
+
+// IntersectElements intersects element e1 of file f1 with element e2
+// of file f2, two partitions of the same underlying file. This is the
+// paper's INTERSECT with its PREPROCESS phase: both patterns are
+// extended to the lcm of their sizes and aligned at the larger
+// displacement, then the nested FALLS trees are intersected
+// recursively.
+func IntersectElements(f1 *part.File, e1 int, f2 *part.File, e2 int) (*Intersection, error) {
+	if f1 == nil || f2 == nil {
+		return nil, fmt.Errorf("redist: nil file")
+	}
+	if e1 < 0 || e1 >= f1.Pattern.Len() || e2 < 0 || e2 >= f2.Pattern.Len() {
+		return nil, fmt.Errorf("redist: element index out of range (%d of %d, %d of %d)",
+			e1, f1.Pattern.Len(), e2, f2.Pattern.Len())
+	}
+	z1, z2 := f1.Pattern.Size(), f2.Pattern.Size()
+	period := falls.Lcm64(z1, z2)
+	base := max64(f1.Displacement, f2.Displacement)
+
+	s1 := prepare(f1.Pattern.Element(e1).Set, z1, period, base-f1.Displacement)
+	s2 := prepare(f2.Pattern.Element(e2).Set, z2, period, base-f2.Displacement)
+
+	res := intersectSets(s1, 0, s2, 0, 0, period-1)
+	return &Intersection{Set: res, Period: period, Base: base}, nil
+}
+
+// prepare implements PREPROCESS for one element: extend the element's
+// set over the common period and rotate its phase so that coordinate 0
+// corresponds to the common base offset.
+func prepare(set falls.Set, patternSize, period, shift int64) falls.Set {
+	ext := extend(set, patternSize, period)
+	if falls.Mod64(shift, period) == 0 {
+		return ext
+	}
+	return falls.Rotate(ext, period, shift)
+}
+
+// extend wraps a set whose coordinates live in [0, patternSize) into
+// an equivalent set covering period bytes (period a multiple of
+// patternSize) by adding an outer FALLS — the paper's height
+// adjustment "adding outer FALLS".
+func extend(set falls.Set, patternSize, period int64) falls.Set {
+	reps := period / patternSize
+	if reps == 1 {
+		return set
+	}
+	outer := falls.FALLS{L: 0, R: patternSize - 1, S: patternSize, N: reps}
+	return falls.Set{{FALLS: outer, Inner: set.Clone()}}
+}
+
+// intersectSets is INTERSECT-AUX: intersect two sets of nested FALLS
+// within the window [w0, w1] of a common coordinate frame. Member
+// coordinates of s1 are offset by base1 in that frame (frame position
+// = base1 + coordinate), likewise s2/base2. The result is a valid
+// falls.Set in frame coordinates.
+func intersectSets(s1 falls.Set, base1 int64, s2 falls.Set, base2 int64, w0, w1 int64) falls.Set {
+	var pieces []*falls.Nested
+	for _, m1 := range s1 {
+		for _, m2 := range s2 {
+			pieces = append(pieces, intersectMembers(m1, base1, m2, base2, w0, w1)...)
+		}
+	}
+	return assemble(pieces)
+}
+
+// intersectMembers intersects two nested FALLS members in the common
+// frame, recursing into their inner sets.
+func intersectMembers(m1 *falls.Nested, base1 int64, m2 *falls.Nested, base2 int64, w0, w1 int64) []*falls.Nested {
+	abs1 := m1.FALLS.Shift(base1)
+	abs2 := m2.FALLS.Shift(base2)
+	c1 := falls.CutFALLSAbs(abs1, w0, w1)
+	c2 := falls.CutFALLSAbs(abs2, w0, w1)
+	var out []*falls.Nested
+	for _, g1 := range c1 {
+		for _, g2 := range c2 {
+			h1, h2 := harmonize(g1, m1, g2, m2)
+			for _, gg1 := range h1 {
+				for _, gg2 := range h2 {
+					for _, p := range intersectFlat(gg1, gg2) {
+						n := attachInner(p, m1, base1, m2, base2)
+						if n != nil {
+							out = append(out, n)
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// harmonize aligns the representation granularity of two cut pieces
+// before the flat intersection: a single dense segment meeting a
+// regular family is re-expressed on the family's stride grid, so the
+// intersection produces one family per phase instead of one piece per
+// overlapped segment. Re-striping is only valid for childless members
+// (a dense block has no inner geometry to misalign).
+func harmonize(g1 falls.FALLS, m1 *falls.Nested, g2 falls.FALLS, m2 *falls.Nested) ([]falls.FALLS, []falls.FALLS) {
+	h1 := []falls.FALLS{g1}
+	h2 := []falls.FALLS{g2}
+	if g1.N == 1 && g2.N > 1 && len(m1.Inner) == 0 && g1.BlockLen() >= 2*g2.S {
+		h1 = restripe(g1, g2.L, g2.S)
+	}
+	if g2.N == 1 && g1.N > 1 && len(m2.Inner) == 0 && g2.BlockLen() >= 2*g1.S {
+		h2 = restripe(g2, g1.L, g1.S)
+	}
+	return h1, h2
+}
+
+// restripe splits the single segment g into a family on the stride
+// grid anchored at refL (phase refL mod stride), plus partial head and
+// tail segments. The byte set is unchanged.
+func restripe(g falls.FALLS, refL, stride int64) []falls.FALLS {
+	lo, hi := g.L, g.R
+	// First grid boundary at or after lo.
+	t0 := refL + ceilDiv(lo-refL, stride)*stride
+	var out []falls.FALLS
+	if t0 > lo {
+		head := min64(t0-1, hi)
+		out = append(out, falls.FromSegment(falls.LineSegment{L: lo, R: head}))
+		if head == hi {
+			return out
+		}
+	}
+	n := (hi - t0 + 1) / stride
+	if n > 0 {
+		out = append(out, falls.FALLS{L: t0, R: t0 + stride - 1, S: stride, N: n})
+	}
+	tail := t0 + n*stride
+	if tail <= hi {
+		out = append(out, falls.FromSegment(falls.LineSegment{L: tail, R: hi}))
+	}
+	return out
+}
+
+// intersectFlat computes the raw overlap pieces of two flat FALLS.
+// Unlike falls.IntersectFALLS it does not normalize: every piece is
+// either a single segment or a family whose stride is the lcm of the
+// input strides, which the inner recursion relies on (the within-block
+// offset of a piece is then identical for all of its repetitions).
+func intersectFlat(f1, f2 falls.FALLS) []falls.FALLS {
+	w0 := max64(f1.L, f2.L)
+	w1 := min64(f1.Extent(), f2.Extent())
+	if w1 < w0 {
+		return nil
+	}
+	period := falls.Lcm64(f1.S, f2.S)
+	k1 := period / f1.S
+	k2 := period / f2.S
+	var out []falls.FALLS
+	emit := func(i, j int64) {
+		seg1 := falls.LineSegment{L: f1.L + i*f1.S, R: f1.R + i*f1.S}
+		seg2 := falls.LineSegment{L: f2.L + j*f2.S, R: f2.R + j*f2.S}
+		ov, ok := seg1.Intersect(seg2)
+		if !ok {
+			return
+		}
+		n := min64((f1.N-1-i)/k1, (f2.N-1-j)/k2) + 1
+		out = append(out, falls.FALLS{L: ov.L, R: ov.R, S: period, N: n})
+	}
+	for i := int64(0); i < min64(f1.N, k1); i++ {
+		a, b := f1.L+i*f1.S, f1.R+i*f1.S
+		jlo := max64(ceilDiv(a-f2.R, f2.S), 0)
+		jhi := min64(floorDiv(b-f2.L, f2.S), f2.N-1)
+		for j := jlo; j <= jhi; j++ {
+			emit(i, j)
+		}
+	}
+	for j := int64(0); j < min64(f2.N, k2); j++ {
+		c, d := f2.L+j*f2.S, f2.R+j*f2.S
+		ilo := max64(ceilDiv(c-f1.R, f1.S), k1)
+		ihi := min64(floorDiv(d-f1.L, f1.S), f1.N-1)
+		for i := ilo; i <= ihi; i++ {
+			emit(i, j)
+		}
+	}
+	return out
+}
+
+// attachInner recurses into the inner sets of the two parents for one
+// flat overlap piece, returning the nested intersection member (or nil
+// when no inner bytes are common).
+func attachInner(p falls.FALLS, m1 *falls.Nested, base1 int64, m2 *falls.Nested, base2 int64) *falls.Nested {
+	if len(m1.Inner) == 0 && len(m2.Inner) == 0 {
+		return falls.Leaf(p)
+	}
+	// Offsets of the piece start within its containing blocks. These
+	// are identical for every repetition of the piece because the
+	// piece stride is a multiple of both parents' strides.
+	o1 := falls.Mod64(p.L-base1-m1.L, m1.S)
+	o2 := falls.Mod64(p.L-base2-m2.L, m2.S)
+	in1 := m1.Inner
+	if len(in1) == 0 {
+		in1 = denseSet(m1.BlockLen())
+	}
+	in2 := m2.Inner
+	if len(in2) == 0 {
+		in2 = denseSet(m2.BlockLen())
+	}
+	// New frame: piece-local coordinates [0, blockLen-1]. Inner
+	// coordinates are relative to their block starts, which sit at
+	// -o1 / -o2 in the piece frame.
+	inner := intersectSets(in1, -o1, in2, -o2, 0, p.BlockLen()-1)
+	if len(inner) == 0 {
+		return nil
+	}
+	if isDense(inner, p.BlockLen()) {
+		return falls.Leaf(p)
+	}
+	return &falls.Nested{FALLS: p, Inner: inner}
+}
+
+// denseSet describes the whole block [0, blockLen) as a single leaf.
+func denseSet(blockLen int64) falls.Set {
+	return falls.Set{falls.Leaf(falls.FALLS{L: 0, R: blockLen - 1, S: blockLen, N: 1})}
+}
+
+// isDense reports whether the set is exactly one leaf covering
+// [0, blockLen).
+func isDense(s falls.Set, blockLen int64) bool {
+	return len(s) == 1 && len(s[0].Inner) == 0 &&
+		s[0].L == 0 && s[0].N == 1 && s[0].R == blockLen-1
+}
+
+// assemble turns raw intersection pieces into a valid falls.Set. The
+// pieces are pairwise disjoint as byte sets, but their extents may
+// interleave, which the set representation (and MAP-AUX lookup)
+// forbids; when that happens the pieces are flattened to leaf segments
+// and re-compacted.
+func assemble(pieces []*falls.Nested) falls.Set {
+	if len(pieces) == 0 {
+		return nil
+	}
+	for i, p := range pieces {
+		pieces[i] = canonical(p)
+	}
+	set := falls.SetOf(pieces...)
+	if set.Validate() == nil {
+		return set
+	}
+	var segs []falls.LineSegment
+	for _, p := range pieces {
+		p.Walk(func(seg falls.LineSegment) bool {
+			segs = append(segs, seg)
+			return true
+		})
+	}
+	sortSegments(segs)
+	return falls.LeavesToSet(segs)
+}
+
+func sortSegments(segs []falls.LineSegment) {
+	sort.Slice(segs, func(i, j int) bool { return segs[i].L < segs[j].L })
+}
+
+// canonical simplifies a nested member without changing its byte set:
+// a member whose inner set is a single once-repeated child collapses
+// into the member itself (the paper writes the Figure 4 projection as
+// (0,0,4,2), not (0,1,4,2,{(0,0,1,1)})).
+func canonical(n *falls.Nested) *falls.Nested {
+	if len(n.Inner) == 0 {
+		// A dense run (stride equal to the block length) is one
+		// segment; collapsing it keeps segment counts honest.
+		if n.N > 1 && n.S == n.BlockLen() {
+			return falls.Leaf(falls.FromSegment(falls.LineSegment{L: n.L, R: n.Extent()}))
+		}
+		return n
+	}
+	inner := make(falls.Set, len(n.Inner))
+	for i, c := range n.Inner {
+		inner[i] = canonical(c)
+	}
+	n = &falls.Nested{FALLS: n.FALLS, Inner: inner}
+	if len(inner) == 1 && inner[0].N == 1 {
+		child := inner[0]
+		merged := &falls.Nested{
+			FALLS: falls.FALLS{
+				L: n.L + child.L,
+				R: n.L + child.R,
+				S: n.S,
+				N: n.N,
+			},
+			Inner: child.Inner,
+		}
+		if merged.Validate() == nil {
+			return merged
+		}
+	}
+	// An inner set that densely covers the whole block is redundant.
+	if isDense(inner, n.BlockLen()) {
+		return falls.Leaf(n.FALLS)
+	}
+	return n
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func ceilDiv(a, b int64) int64 {
+	q := a / b
+	if a%b != 0 && (a > 0) == (b > 0) {
+		q++
+	}
+	return q
+}
+
+func floorDiv(a, b int64) int64 { return falls.FloorDiv64(a, b) }

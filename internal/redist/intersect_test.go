@@ -1,0 +1,293 @@
+package redist
+
+import (
+	"math/rand"
+	"testing"
+
+	"parafile/internal/falls"
+	"parafile/internal/part"
+)
+
+// fileAround builds a file whose element 0 is the given set, with a
+// complement element filling the rest of the pattern.
+func fileAround(t *testing.T, set falls.Set, size, displacement int64) *part.File {
+	t.Helper()
+	elems := []part.Element{{Name: "elem", Set: set}}
+	if rest := falls.Complement(set, size); len(rest) > 0 {
+		elems = append(elems, part.Element{Name: "rest", Set: rest})
+	}
+	pat, err := part.NewPattern(elems...)
+	if err != nil {
+		t.Fatalf("fileAround: %v", err)
+	}
+	return part.MustFile(displacement, pat)
+}
+
+// fig4V and fig4S are the view and subfile of the paper's Figure 4:
+// V = {(0,7,16,2,{(0,1,4,2)})}, S = {(0,3,8,4,{(0,0,2,2)})}, both in
+// partitioning patterns of size 32.
+func fig4V() falls.Set {
+	return falls.Set{falls.MustNested(falls.MustNew(0, 7, 16, 2), falls.Set{falls.MustLeaf(0, 1, 4, 2)})}
+}
+
+func fig4S() falls.Set {
+	return falls.Set{falls.MustNested(falls.MustNew(0, 3, 8, 4), falls.Set{falls.MustLeaf(0, 0, 2, 2)})}
+}
+
+// TestFigure4Intersection reproduces §7's worked example: the
+// intersection of V and S is {(0,3,16,2,{(0,0,4,1)})} — the byte set
+// {0, 16} per 32-byte pattern.
+func TestFigure4Intersection(t *testing.T) {
+	fv := fileAround(t, fig4V(), 32, 0)
+	fs := fileAround(t, fig4S(), 32, 0)
+	inter, err := IntersectElements(fv, 0, fs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inter.Period != 32 || inter.Base != 0 {
+		t.Errorf("period=%d base=%d, want 32, 0", inter.Period, inter.Base)
+	}
+	wantOffsets := []int64{0, 16}
+	got := inter.Set.Offsets()
+	if len(got) != len(wantOffsets) {
+		t.Fatalf("intersection offsets = %v, want %v", got, wantOffsets)
+	}
+	for i := range wantOffsets {
+		if got[i] != wantOffsets[i] {
+			t.Fatalf("intersection offsets = %v, want %v", got, wantOffsets)
+		}
+	}
+	if inter.BytesPerPeriod() != 2 {
+		t.Errorf("BytesPerPeriod = %d, want 2", inter.BytesPerPeriod())
+	}
+	// The representation must stay compact: the paper's result is a
+	// single nested FALLS.
+	if len(inter.Set) != 1 {
+		t.Errorf("intersection has %d members %v, want 1 compact member", len(inter.Set), inter.Set)
+	}
+	if err := inter.Set.Validate(); err != nil {
+		t.Errorf("intersection set invalid: %v", err)
+	}
+}
+
+// TestIntersectionIdenticalPartitions: intersecting an element with
+// itself (same parameters for physical and logical partition) yields
+// the element's own byte set — the optimal-match case of §6.2.
+func TestIntersectionIdenticalPartitions(t *testing.T) {
+	rows, err := part.RowBlocks(8, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f1 := part.MustFile(0, rows)
+	f2 := part.MustFile(0, rows)
+	for e := 0; e < 4; e++ {
+		inter, err := IntersectElements(f1, e, f2, e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !falls.OffsetsEqual(inter.Set, rows.Element(e).Set) {
+			t.Errorf("element %d: self-intersection %v != element set %v",
+				e, inter.Set, rows.Element(e).Set)
+		}
+	}
+	// Distinct elements of the same partition share nothing.
+	inter, err := IntersectElements(f1, 0, f2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !inter.Empty() {
+		t.Errorf("disjoint elements intersect: %v", inter.Set)
+	}
+}
+
+// intersectionOracle checks an Intersection against brute-force
+// membership over one period.
+func intersectionOracle(t *testing.T, f1 *part.File, e1 int, f2 *part.File, e2 int, inter *Intersection) {
+	t.Helper()
+	set1 := f1.Pattern.Element(e1).Set
+	set2 := f2.Pattern.Element(e2).Set
+	z1, z2 := f1.Pattern.Size(), f2.Pattern.Size()
+	if err := inter.Set.Validate(); err != nil {
+		t.Fatalf("intersection set invalid: %v", err)
+	}
+	var count int64
+	for o := int64(0); o < inter.Period; o++ {
+		x := inter.Base + o
+		in1 := set1.Contains(falls.Mod64(x-f1.Displacement, z1))
+		in2 := set2.Contains(falls.Mod64(x-f2.Displacement, z2))
+		want := in1 && in2
+		if got := inter.Set.Contains(o); got != want {
+			t.Fatalf("offset %d (file %d): intersection=%v, oracle=%v\nset1=%v d1=%d\nset2=%v d2=%d\nresult=%v",
+				o, x, got, want, set1, f1.Displacement, set2, f2.Displacement, inter.Set)
+		}
+		if want {
+			count++
+		}
+	}
+	if count != inter.BytesPerPeriod() {
+		t.Fatalf("BytesPerPeriod=%d, oracle count=%d", inter.BytesPerPeriod(), count)
+	}
+}
+
+// randSetIn produces a random valid set within [0, span) for property
+// tests (mirrors the falls package generator).
+func randSetIn(rng *rand.Rand, span int64) falls.Set {
+	var out falls.Set
+	cursor := int64(0)
+	for m := 0; m < 3 && span-cursor >= 2; m++ {
+		sub := span - cursor
+		f := randFALLSIn(rng, sub)
+		n := falls.Leaf(falls.FALLS{L: f.L + cursor, R: f.R + cursor, S: f.S, N: f.N})
+		if rng.Intn(2) == 0 && n.BlockLen() >= 4 {
+			n.Inner = randSetIn(rng, n.BlockLen())
+			if len(n.Inner) == 0 {
+				n.Inner = nil
+			}
+		}
+		out = append(out, n)
+		cursor = n.Extent() + 1 + rng.Int63n(3)
+	}
+	if len(out) == 0 {
+		out = falls.Set{falls.Leaf(falls.FALLS{L: 0, R: span - 1, S: span, N: 1})}
+	}
+	if err := out.Validate(); err != nil {
+		panic(err)
+	}
+	return out
+}
+
+func randFALLSIn(rng *rand.Rand, span int64) falls.FALLS {
+	if span < 2 {
+		return falls.FALLS{L: 0, R: span - 1, S: span, N: 1}
+	}
+	for {
+		l := rng.Int63n(span / 2)
+		blockLen := 1 + rng.Int63n(max64(1, span/8)+1)
+		r := l + blockLen - 1
+		if r >= span {
+			continue
+		}
+		s := blockLen + rng.Int63n(blockLen*3+1)
+		maxN := (span - 1 - r) / s
+		n := int64(1)
+		if maxN > 0 {
+			n = 1 + rng.Int63n(min64(maxN, 8)+1)
+		}
+		f := falls.FALLS{L: l, R: r, S: s, N: n}
+		if f.Validate() == nil && f.Extent() < span {
+			return f
+		}
+	}
+}
+
+// TestPropertyIntersectionOracle: random element pairs with random
+// pattern sizes and displacements agree with brute-force membership.
+func TestPropertyIntersectionOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(40))
+	for iter := 0; iter < 150; iter++ {
+		z1 := int64(8 * (1 + rng.Intn(8)))
+		z2 := int64(8 * (1 + rng.Intn(8)))
+		d1 := rng.Int63n(6)
+		d2 := rng.Int63n(6)
+		f1 := fileAround(t, randSetIn(rng, z1), z1, d1)
+		f2 := fileAround(t, randSetIn(rng, z2), z2, d2)
+		inter, err := IntersectElements(f1, 0, f2, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		intersectionOracle(t, f1, 0, f2, 0, inter)
+	}
+}
+
+// TestPropertyIntersectionCoversAllPairs: over all element pairs of
+// two partitions, the per-pair intersections tile each element — every
+// byte of the common region belongs to exactly one pair.
+func TestPropertyIntersectionCoversAllPairs(t *testing.T) {
+	rows, _ := part.RowBlocks(8, 8, 4)
+	cols, _ := part.ColBlocks(8, 8, 4)
+	sq, _ := part.SquareBlocks(8, 8, 2, 2)
+	pats := []*part.Pattern{rows, cols, sq}
+	for a, pa := range pats {
+		for b, pb := range pats {
+			f1 := part.MustFile(0, pa)
+			f2 := part.MustFile(0, pb)
+			covered := make([]int, 64)
+			for e1 := 0; e1 < pa.Len(); e1++ {
+				for e2 := 0; e2 < pb.Len(); e2++ {
+					inter, err := IntersectElements(f1, e1, f2, e2)
+					if err != nil {
+						t.Fatal(err)
+					}
+					for _, o := range inter.Set.Offsets() {
+						covered[o]++
+					}
+				}
+			}
+			for o, c := range covered {
+				if c != 1 {
+					t.Fatalf("patterns %d×%d: byte %d covered %d times", a, b, o, c)
+				}
+			}
+		}
+	}
+}
+
+// TestIntersectionDisplacementAlignment: §7 PREPROCESS — patterns with
+// different displacements are aligned at the larger one.
+func TestIntersectionDisplacementAlignment(t *testing.T) {
+	// Two stripe patterns of the same geometry but shifted phases.
+	s1, _ := part.Stripe(4, 2)
+	s2, _ := part.Stripe(4, 2)
+	f1 := part.MustFile(0, s1)
+	f2 := part.MustFile(4, s2) // shifted by one stripe unit
+	inter, err := IntersectElements(f1, 0, f2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inter.Base != 4 {
+		t.Errorf("base = %d, want 4", inter.Base)
+	}
+	intersectionOracle(t, f1, 0, f2, 0, inter)
+	// With a phase shift of one stripe unit, element 0 of f1 overlaps
+	// element 1 of f2, not element 0.
+	if !inter.Empty() {
+		t.Errorf("phase-shifted stripes should not overlap on element 0/0, got %v", inter.Set)
+	}
+	cross, err := IntersectElements(f1, 0, f2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cross.BytesPerPeriod() != 4 {
+		t.Errorf("cross pair shares %d bytes per period, want 4", cross.BytesPerPeriod())
+	}
+	intersectionOracle(t, f1, 0, f2, 1, cross)
+}
+
+// TestPropertyLcmPeriods: pattern sizes with non-trivial lcm.
+func TestPropertyLcmPeriods(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for iter := 0; iter < 100; iter++ {
+		z1 := int64(6 * (1 + rng.Intn(5)))
+		z2 := int64(10 * (1 + rng.Intn(4)))
+		f1 := fileAround(t, randSetIn(rng, z1), z1, 0)
+		f2 := fileAround(t, randSetIn(rng, z2), z2, 0)
+		inter, err := IntersectElements(f1, 0, f2, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := falls.Lcm64(z1, z2); inter.Period != want {
+			t.Fatalf("period = %d, want lcm(%d,%d)=%d", inter.Period, z1, z2, want)
+		}
+		intersectionOracle(t, f1, 0, f2, 0, inter)
+	}
+}
+
+func TestIntersectElementsValidation(t *testing.T) {
+	f := fileAround(t, fig4V(), 32, 0)
+	if _, err := IntersectElements(nil, 0, f, 0); err == nil {
+		t.Error("nil file accepted")
+	}
+	if _, err := IntersectElements(f, 5, f, 0); err == nil {
+		t.Error("out-of-range element accepted")
+	}
+}

@@ -1,0 +1,345 @@
+package redist
+
+import (
+	"fmt"
+	"sync"
+
+	"parafile/internal/core"
+	"parafile/internal/falls"
+	"parafile/internal/part"
+)
+
+// plan.go turns pairwise element intersections into an executable
+// redistribution plan: which source element sends which of its bytes
+// to which destination element. A plan is computed once per partition
+// pair and reused for any amount of data — the paper's point that the
+// intersection overhead "has to be paid only at view setting and can
+// be amortized over several accesses" (§8.2).
+
+// copyTriple is one contiguous correspondence within one intersection
+// period: n bytes at srcOff in the source element map to dstOff in the
+// destination element.
+type copyTriple struct {
+	srcOff, dstOff int64
+	fileOff        int64 // file-space coordinate of the run (period-relative)
+	n              int64
+}
+
+// Transfer is the precomputed exchange between one source element and
+// one destination element.
+type Transfer struct {
+	SrcElem, DstElem int
+	Intersection     *Intersection
+	SrcProj, DstProj *Projection
+
+	triples []copyTriple
+}
+
+// BytesPerPeriod returns the bytes this transfer moves per
+// intersection period.
+func (t *Transfer) BytesPerPeriod() int64 { return t.Intersection.BytesPerPeriod() }
+
+// Plan is the full redistribution plan between two partitions of the
+// same file.
+type Plan struct {
+	Src, Dst  *part.File
+	Period    int64 // intersection period in file bytes
+	Base      int64 // absolute file offset of period coordinate 0
+	Transfers []Transfer
+}
+
+// NewPlan intersects every source element with every destination
+// element and precomputes the per-period copy runs.
+func NewPlan(src, dst *part.File) (*Plan, error) {
+	if src == nil || dst == nil {
+		return nil, fmt.Errorf("redist: nil file")
+	}
+	plan := &Plan{Src: src, Dst: dst}
+	srcMappers := make([]*core.Mapper, src.Pattern.Len())
+	dstMappers := make([]*core.Mapper, dst.Pattern.Len())
+	for i := range srcMappers {
+		m, err := core.NewMapper(src, i)
+		if err != nil {
+			return nil, err
+		}
+		srcMappers[i] = m
+	}
+	for i := range dstMappers {
+		m, err := core.NewMapper(dst, i)
+		if err != nil {
+			return nil, err
+		}
+		dstMappers[i] = m
+	}
+	for si := 0; si < src.Pattern.Len(); si++ {
+		for di := 0; di < dst.Pattern.Len(); di++ {
+			inter, sp, dp, err := IntersectProjectElements(src, si, dst, di)
+			if err != nil {
+				return nil, err
+			}
+			if inter.Empty() {
+				continue
+			}
+			plan.Period = inter.Period
+			plan.Base = inter.Base
+			tr := Transfer{
+				SrcElem: si, DstElem: di,
+				Intersection: inter, SrcProj: sp, DstProj: dp,
+			}
+			var walkErr error
+			inter.Set.Walk(func(seg falls.LineSegment) bool {
+				so, err := srcMappers[si].Map(inter.Base + seg.L)
+				if err != nil {
+					walkErr = err
+					return false
+				}
+				do, err := dstMappers[di].Map(inter.Base + seg.L)
+				if err != nil {
+					walkErr = err
+					return false
+				}
+				tr.triples = append(tr.triples, copyTriple{
+					srcOff: so, dstOff: do, fileOff: seg.L, n: seg.Len(),
+				})
+				return true
+			})
+			if walkErr != nil {
+				return nil, walkErr
+			}
+			plan.Transfers = append(plan.Transfers, tr)
+		}
+	}
+	return plan, nil
+}
+
+// BytesPerPeriod returns the total bytes the plan moves per
+// intersection period.
+func (p *Plan) BytesPerPeriod() int64 {
+	var n int64
+	for i := range p.Transfers {
+		n += p.Transfers[i].BytesPerPeriod()
+	}
+	return n
+}
+
+// SegmentsPerPeriod returns the total number of contiguous runs per
+// period — the fragmentation measure of the partition pair.
+func (p *Plan) SegmentsPerPeriod() int64 {
+	var n int64
+	for i := range p.Transfers {
+		n += int64(len(p.Transfers[i].triples))
+	}
+	return n
+}
+
+// Execute redistributes the first length bytes of file data (starting
+// at the plan's base offset) from the source element buffers into the
+// destination element buffers. src[e] holds source element e's linear
+// space, dst likewise; buffers must be large enough for the mapped
+// range.
+func (p *Plan) Execute(src, dst [][]byte, length int64) error {
+	return p.execute(src, dst, length, 1)
+}
+
+// ExecuteRange redistributes only the file bytes [from, from+length)
+// relative to the plan's base — an incremental redistribution for
+// partial updates. Buffers still hold the full element linear spaces.
+func (p *Plan) ExecuteRange(src, dst [][]byte, from, length int64) error {
+	if from < 0 {
+		return fmt.Errorf("redist: negative range start %d", from)
+	}
+	if length < 0 {
+		return fmt.Errorf("redist: negative length %d", length)
+	}
+	if len(src) != p.Src.Pattern.Len() {
+		return fmt.Errorf("redist: %d source buffers for %d elements", len(src), p.Src.Pattern.Len())
+	}
+	if len(dst) != p.Dst.Pattern.Len() {
+		return fmt.Errorf("redist: %d destination buffers for %d elements", len(dst), p.Dst.Pattern.Len())
+	}
+	if length == 0 || len(p.Transfers) == 0 {
+		return nil
+	}
+	to := from + length // exclusive
+	for i := range p.Transfers {
+		t := &p.Transfers[i]
+		sbuf := src[t.SrcElem]
+		dbuf := dst[t.DstElem]
+		for k := from / p.Period; k*p.Period < to; k++ {
+			base := k * p.Period
+			for _, tr := range t.triples {
+				lo := max64(base+tr.fileOff, from)
+				hi := min64(base+tr.fileOff+tr.n, to)
+				if lo >= hi {
+					continue
+				}
+				skip := lo - (base + tr.fileOff)
+				n := hi - lo
+				so := tr.srcOff + k*t.SrcProj.Period + skip
+				do := tr.dstOff + k*t.DstProj.Period + skip
+				if so+n > int64(len(sbuf)) {
+					return fmt.Errorf("redist: source element %d buffer too small: need %d bytes, have %d",
+						t.SrcElem, so+n, len(sbuf))
+				}
+				if do+n > int64(len(dbuf)) {
+					return fmt.Errorf("redist: destination element %d buffer too small: need %d bytes, have %d",
+						t.DstElem, do+n, len(dbuf))
+				}
+				copy(dbuf[do:do+n], sbuf[so:so+n])
+			}
+		}
+	}
+	return nil
+}
+
+// ExecuteParallel is Execute with the transfers spread over the given
+// number of worker goroutines. Transfers write disjoint destination
+// bytes, so they are safe to run concurrently.
+func (p *Plan) ExecuteParallel(src, dst [][]byte, length int64, workers int) error {
+	if workers < 1 {
+		workers = 1
+	}
+	return p.execute(src, dst, length, workers)
+}
+
+func (p *Plan) execute(src, dst [][]byte, length int64, workers int) error {
+	if len(src) != p.Src.Pattern.Len() {
+		return fmt.Errorf("redist: %d source buffers for %d elements", len(src), p.Src.Pattern.Len())
+	}
+	if len(dst) != p.Dst.Pattern.Len() {
+		return fmt.Errorf("redist: %d destination buffers for %d elements", len(dst), p.Dst.Pattern.Len())
+	}
+	if length < 0 {
+		return fmt.Errorf("redist: negative length %d", length)
+	}
+	if length == 0 || len(p.Transfers) == 0 {
+		return nil
+	}
+	if workers > len(p.Transfers) {
+		workers = len(p.Transfers)
+	}
+	if workers == 1 {
+		for i := range p.Transfers {
+			if err := p.runTransfer(&p.Transfers[i], src, dst, length); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(p.Transfers); i += workers {
+				if err := p.runTransfer(&p.Transfers[i], src, dst, length); err != nil {
+					errs[w] = err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (p *Plan) runTransfer(t *Transfer, src, dst [][]byte, length int64) error {
+	sbuf := src[t.SrcElem]
+	dbuf := dst[t.DstElem]
+	srcPeriod := t.SrcProj.Period
+	dstPeriod := t.DstProj.Period
+	for k := int64(0); k*p.Period < length; k++ {
+		for _, tr := range t.triples {
+			n := tr.n
+			if rem := length - k*p.Period - tr.fileOff; rem < n {
+				n = rem
+			}
+			if n <= 0 {
+				continue
+			}
+			so := tr.srcOff + k*srcPeriod
+			do := tr.dstOff + k*dstPeriod
+			if so+n > int64(len(sbuf)) {
+				return fmt.Errorf("redist: source element %d buffer too small: need %d bytes, have %d",
+					t.SrcElem, so+n, len(sbuf))
+			}
+			if do+n > int64(len(dbuf)) {
+				return fmt.Errorf("redist: destination element %d buffer too small: need %d bytes, have %d",
+					t.DstElem, do+n, len(dbuf))
+			}
+			copy(dbuf[do:do+n], sbuf[so:so+n])
+		}
+	}
+	return nil
+}
+
+// SplitFile distributes a linear file image (the partitioned region
+// starting at the file's displacement) into per-element buffers, the
+// physical layout a partition induces. It is the reference
+// decomposition the redistribution tests and examples build on.
+func SplitFile(f *part.File, data []byte) [][]byte {
+	ps := f.Pattern.Size()
+	length := int64(len(data))
+	out := make([][]byte, f.Pattern.Len())
+	for e := range out {
+		out[e] = make([]byte, f.ElementBytes(e, length))
+		set := f.Pattern.Element(e).Set
+		pos := int64(0)
+		for rep := int64(0); rep*ps < length; rep++ {
+			base := rep * ps
+			set.Walk(func(seg falls.LineSegment) bool {
+				lo := base + seg.L
+				if lo >= length {
+					return false
+				}
+				n := min64(seg.Len(), length-lo)
+				copy(out[e][pos:pos+n], data[lo:lo+n])
+				pos += n
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// JoinFile reassembles a linear file image of the given length from
+// per-element buffers — the inverse of SplitFile.
+func JoinFile(f *part.File, elems [][]byte, length int64) ([]byte, error) {
+	if len(elems) != f.Pattern.Len() {
+		return nil, fmt.Errorf("redist: %d buffers for %d elements", len(elems), f.Pattern.Len())
+	}
+	ps := f.Pattern.Size()
+	data := make([]byte, length)
+	for e := range elems {
+		set := f.Pattern.Element(e).Set
+		pos := int64(0)
+		var err error
+		for rep := int64(0); rep*ps < length; rep++ {
+			base := rep * ps
+			set.Walk(func(seg falls.LineSegment) bool {
+				lo := base + seg.L
+				if lo >= length {
+					return false
+				}
+				n := min64(seg.Len(), length-lo)
+				if pos+n > int64(len(elems[e])) {
+					err = fmt.Errorf("redist: element %d buffer too small", e)
+					return false
+				}
+				copy(data[lo:lo+n], elems[e][pos:pos+n])
+				pos += n
+				return true
+			})
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	return data, nil
+}

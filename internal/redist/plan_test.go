@@ -1,0 +1,280 @@
+package redist
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"parafile/internal/part"
+)
+
+// image returns a deterministic pseudo-random file image.
+func image(n int64, seed int64) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	b := make([]byte, n)
+	rng.Read(b)
+	return b
+}
+
+// checkRedistribution redistributes an image from src to dst layout
+// and verifies every destination buffer byte-for-byte.
+func checkRedistribution(t *testing.T, src, dst *part.File, length int64, parallel int) {
+	t.Helper()
+	img := image(length, length+int64(parallel))
+	srcBufs := SplitFile(src, img)
+	wantDst := SplitFile(dst, img)
+	gotDst := make([][]byte, len(wantDst))
+	for i := range wantDst {
+		gotDst[i] = make([]byte, len(wantDst[i]))
+	}
+	plan, err := NewPlan(src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parallel > 1 {
+		err = plan.ExecuteParallel(srcBufs, gotDst, length, parallel)
+	} else {
+		err = plan.Execute(srcBufs, gotDst, length)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e := range wantDst {
+		if !bytes.Equal(gotDst[e], wantDst[e]) {
+			t.Fatalf("destination element %d differs after redistribution\nsrc=%v\ndst=%v",
+				e, src.Pattern, dst.Pattern)
+		}
+	}
+}
+
+// TestPlanMatrixLayouts redistributes an 8×8 matrix between all pairs
+// of the paper's three layouts, in both directions.
+func TestPlanMatrixLayouts(t *testing.T) {
+	rows, _ := part.RowBlocks(8, 8, 4)
+	cols, _ := part.ColBlocks(8, 8, 4)
+	sq, _ := part.SquareBlocks(8, 8, 2, 2)
+	layouts := map[string]*part.Pattern{"rows": rows, "cols": cols, "square": sq}
+	for an, a := range layouts {
+		for bn, b := range layouts {
+			t.Run(an+"->"+bn, func(t *testing.T) {
+				checkRedistribution(t, part.MustFile(0, a), part.MustFile(0, b), 64, 1)
+			})
+		}
+	}
+}
+
+// TestPlanMultiplePeriods exercises pattern repetition: data much
+// longer than one pattern period, including a partial final period.
+func TestPlanMultiplePeriods(t *testing.T) {
+	stripes, _ := part.Stripe(4, 3) // 12-byte pattern
+	blocks, _ := part.Cyclic1D(12, 2, 3)
+	src := part.MustFile(0, stripes)
+	dst := part.MustFile(0, blocks)
+	for _, length := range []int64{12, 24, 36, 7, 13, 31} {
+		checkRedistribution(t, src, dst, length, 1)
+	}
+}
+
+// TestPlanParallelMatchesSerial: parallel execution produces the same
+// result as serial.
+func TestPlanParallelMatchesSerial(t *testing.T) {
+	rows, _ := part.RowBlocks(16, 16, 4)
+	cols, _ := part.ColBlocks(16, 16, 4)
+	checkRedistribution(t, part.MustFile(0, rows), part.MustFile(0, cols), 256, 4)
+	checkRedistribution(t, part.MustFile(0, rows), part.MustFile(0, cols), 200, 8)
+}
+
+// TestPlanIdentity: redistributing between identical partitions is the
+// identity on every element, with one transfer per element.
+func TestPlanIdentity(t *testing.T) {
+	rows, _ := part.RowBlocks(8, 8, 4)
+	src := part.MustFile(0, rows)
+	dst := part.MustFile(0, rows)
+	plan, err := NewPlan(src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Transfers) != 4 {
+		t.Errorf("identity plan has %d transfers, want 4", len(plan.Transfers))
+	}
+	for _, tr := range plan.Transfers {
+		if tr.SrcElem != tr.DstElem {
+			t.Errorf("identity plan transfers %d -> %d", tr.SrcElem, tr.DstElem)
+		}
+		if len(tr.triples) != 1 {
+			t.Errorf("identity transfer %d has %d runs, want 1 contiguous run", tr.SrcElem, len(tr.triples))
+		}
+	}
+	checkRedistribution(t, src, dst, 64, 1)
+}
+
+// TestPlanBytesAccounting: the plan moves exactly the file bytes per
+// period, and fragmentation grows for poor matches.
+func TestPlanBytesAccounting(t *testing.T) {
+	rows, _ := part.RowBlocks(8, 8, 4)
+	cols, _ := part.ColBlocks(8, 8, 4)
+	planRR, _ := NewPlan(part.MustFile(0, rows), part.MustFile(0, rows))
+	planRC, _ := NewPlan(part.MustFile(0, rows), part.MustFile(0, cols))
+	if got := planRR.BytesPerPeriod(); got != 64 {
+		t.Errorf("rows->rows moves %d bytes per period, want 64", got)
+	}
+	if got := planRC.BytesPerPeriod(); got != 64 {
+		t.Errorf("rows->cols moves %d bytes per period, want 64", got)
+	}
+	if rr, rc := planRR.SegmentsPerPeriod(), planRC.SegmentsPerPeriod(); rc <= rr {
+		t.Errorf("rows->cols should fragment more than rows->rows: %d vs %d", rc, rr)
+	}
+}
+
+// TestPlanDifferentDisplacements: redistribution between files whose
+// patterns start at different displacements.
+func TestPlanDifferentDisplacements(t *testing.T) {
+	s1, _ := part.Stripe(4, 2)
+	s2, _ := part.Stripe(2, 2)
+	src := part.MustFile(0, s1)
+	dst := part.MustFile(8, s2) // aligned: base = 8, a whole src period
+	plan, err := NewPlan(src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Base != 8 {
+		t.Fatalf("base = %d, want 8", plan.Base)
+	}
+	// Build an image of the shared region [8, 8+24): source element
+	// buffers must cover their bytes of file range [0, 32) (offsets
+	// from the source displacement 0), destination ones from
+	// displacement 8.
+	img := image(32, 7)
+	srcBufs := SplitFile(src, img)
+	wantDst := SplitFile(dst, img[8:])
+	gotDst := make([][]byte, len(wantDst))
+	for i := range wantDst {
+		gotDst[i] = make([]byte, len(wantDst[i]))
+	}
+	if err := plan.Execute(srcBufs, gotDst, 24); err != nil {
+		t.Fatal(err)
+	}
+	for e := range wantDst {
+		if !bytes.Equal(gotDst[e], wantDst[e]) {
+			t.Fatalf("element %d differs with displacement alignment", e)
+		}
+	}
+}
+
+// TestPropertyPlanRandomPartitions: random partition pairs preserve
+// content.
+func TestPropertyPlanRandomPartitions(t *testing.T) {
+	rng := rand.New(rand.NewSource(60))
+	for iter := 0; iter < 60; iter++ {
+		z1 := int64(8 * (1 + rng.Intn(6)))
+		z2 := int64(8 * (1 + rng.Intn(6)))
+		src := fileAround(t, randSetIn(rng, z1), z1, 0)
+		dst := fileAround(t, randSetIn(rng, z2), z2, 0)
+		length := 1 + rng.Int63n(3*falls64Lcm(z1, z2))
+		checkRedistribution(t, src, dst, length, 1+rng.Intn(3))
+	}
+}
+
+func falls64Lcm(a, b int64) int64 {
+	g := a
+	x := b
+	for x != 0 {
+		g, x = x, g%x
+	}
+	return a / g * b
+}
+
+func TestPlanExecuteValidation(t *testing.T) {
+	rows, _ := part.RowBlocks(8, 8, 4)
+	plan, err := NewPlan(part.MustFile(0, rows), part.MustFile(0, rows))
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := make([][]byte, 4)
+	for i := range good {
+		good[i] = make([]byte, 16)
+	}
+	if err := plan.Execute(good[:2], good, 64); err == nil {
+		t.Error("wrong source buffer count accepted")
+	}
+	if err := plan.Execute(good, good[:1], 64); err == nil {
+		t.Error("wrong destination buffer count accepted")
+	}
+	if err := plan.Execute(good, good, -1); err == nil {
+		t.Error("negative length accepted")
+	}
+	short := [][]byte{make([]byte, 1), make([]byte, 1), make([]byte, 1), make([]byte, 1)}
+	if err := plan.Execute(short, good, 64); err == nil {
+		t.Error("short source buffer accepted")
+	}
+	if err := plan.Execute(good, short, 64); err == nil {
+		t.Error("short destination buffer accepted")
+	}
+	if err := plan.Execute(good, good, 0); err != nil {
+		t.Errorf("zero length should be a no-op, got %v", err)
+	}
+}
+
+// TestSplitJoinRoundTrip: JoinFile inverts SplitFile.
+func TestSplitJoinRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for iter := 0; iter < 40; iter++ {
+		z := int64(8 * (1 + rng.Intn(8)))
+		f := fileAround(t, randSetIn(rng, z), z, 0)
+		length := 1 + rng.Int63n(4*z)
+		img := image(length, int64(iter))
+		elems := SplitFile(f, img)
+		back, err := JoinFile(f, elems, length)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(img, back) {
+			t.Fatalf("split/join round trip failed for %v length %d", f.Pattern, length)
+		}
+	}
+}
+
+// TestPropertyPlanRandomDisplacements: plans between partitions with
+// different displacements redistribute the common region correctly.
+func TestPropertyPlanRandomDisplacements(t *testing.T) {
+	rng := rand.New(rand.NewSource(220))
+	for iter := 0; iter < 50; iter++ {
+		z1 := int64(8 * (1 + rng.Intn(4)))
+		z2 := int64(8 * (1 + rng.Intn(4)))
+		d1 := rng.Int63n(12)
+		d2 := rng.Int63n(12)
+		src := fileAround(t, randSetIn(rng, z1), z1, d1)
+		dst := fileAround(t, randSetIn(rng, z2), z2, d2)
+		plan, err := NewPlan(src, dst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		base := d1
+		if d2 > base {
+			base = d2
+		}
+		length := 1 + rng.Int63n(2*falls64Lcm(z1, z2))
+		// A file image covering everything from offset 0.
+		img := image(base+length, int64(iter))
+		srcBufs := SplitFile(src, img[d1:])
+		// Expected destination: its decomposition of the image, but
+		// only the bytes in [base, base+length) are written; the rest
+		// stays zero.
+		masked := make([]byte, base+length)
+		copy(masked[base:], img[base:base+length])
+		want := SplitFile(dst, masked[d2:])
+		got := make([][]byte, len(want))
+		for e := range want {
+			got[e] = make([]byte, len(want[e]))
+		}
+		if err := plan.Execute(srcBufs, got, length); err != nil {
+			t.Fatalf("iter %d (d1=%d d2=%d len=%d): %v", iter, d1, d2, length, err)
+		}
+		for e := range want {
+			if !bytes.Equal(got[e], want[e]) {
+				t.Fatalf("iter %d: displaced plan wrong on element %d (d1=%d d2=%d z1=%d z2=%d len=%d)",
+					iter, e, d1, d2, z1, z2, length)
+			}
+		}
+	}
+}

@@ -1,0 +1,114 @@
+package redist
+
+import (
+	"fmt"
+	"sort"
+)
+
+// schedule.go derives per-node communication schedules from a
+// redistribution plan — the message lists an SPMD implementation (one
+// process per source element, one per destination element) would post.
+// PITFALLS were built for exactly this use in the PARADIGM compiler:
+// "automatic generation of efficient array redistribution routines".
+
+// Message is one point-to-point transfer of a schedule.
+type Message struct {
+	From, To int   // source element / destination element
+	Bytes    int64 // bytes per execution for the planned data length
+	Runs     int64 // contiguous runs gathered into the message
+}
+
+// Schedule is the communication plan for redistributing length bytes.
+type Schedule struct {
+	Length   int64
+	Messages []Message
+}
+
+// BuildSchedule derives the schedule for redistributing the first
+// length bytes of file data under the plan.
+func (p *Plan) BuildSchedule(length int64) (*Schedule, error) {
+	if length < 0 {
+		return nil, fmt.Errorf("redist: negative length %d", length)
+	}
+	s := &Schedule{Length: length}
+	if length == 0 {
+		return s, nil
+	}
+	for i := range p.Transfers {
+		t := &p.Transfers[i]
+		var bytes, runs int64
+		for k := int64(0); k*p.Period < length; k++ {
+			for _, tr := range t.triples {
+				n := tr.n
+				if rem := length - k*p.Period - tr.fileOff; rem < n {
+					n = rem
+				}
+				if n <= 0 {
+					continue
+				}
+				bytes += n
+				runs++
+			}
+		}
+		if bytes == 0 {
+			continue
+		}
+		s.Messages = append(s.Messages, Message{
+			From: t.SrcElem, To: t.DstElem, Bytes: bytes, Runs: runs,
+		})
+	}
+	sort.Slice(s.Messages, func(i, j int) bool {
+		if s.Messages[i].From != s.Messages[j].From {
+			return s.Messages[i].From < s.Messages[j].From
+		}
+		return s.Messages[i].To < s.Messages[j].To
+	})
+	return s, nil
+}
+
+// TotalBytes returns the bytes moved by the schedule.
+func (s *Schedule) TotalBytes() int64 {
+	var n int64
+	for _, m := range s.Messages {
+		n += m.Bytes
+	}
+	return n
+}
+
+// SendsOf returns the messages node (source element) `from` sends.
+func (s *Schedule) SendsOf(from int) []Message {
+	var out []Message
+	for _, m := range s.Messages {
+		if m.From == from {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// RecvsOf returns the messages node (destination element) `to`
+// receives.
+func (s *Schedule) RecvsOf(to int) []Message {
+	var out []Message
+	for _, m := range s.Messages {
+		if m.To == to {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// MaxFanOut returns the largest number of distinct destinations any
+// source sends to — the contention measure a schedule optimizer would
+// balance.
+func (s *Schedule) MaxFanOut() int {
+	counts := map[int]int{}
+	maxN := 0
+	for _, m := range s.Messages {
+		counts[m.From]++
+		if counts[m.From] > maxN {
+			maxN = counts[m.From]
+		}
+	}
+	return maxN
+}

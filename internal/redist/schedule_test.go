@@ -1,0 +1,113 @@
+package redist
+
+import (
+	"math/rand"
+	"testing"
+
+	"parafile/internal/part"
+)
+
+func TestScheduleIdentity(t *testing.T) {
+	rows, _ := part.RowBlocks(8, 8, 4)
+	plan, err := NewPlan(part.MustFile(0, rows), part.MustFile(0, rows))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := plan.BuildSchedule(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Messages) != 4 {
+		t.Fatalf("identity schedule has %d messages, want 4", len(s.Messages))
+	}
+	for _, m := range s.Messages {
+		if m.From != m.To || m.Bytes != 16 || m.Runs != 1 {
+			t.Errorf("identity message wrong: %+v", m)
+		}
+	}
+	if s.MaxFanOut() != 1 {
+		t.Errorf("identity fan-out = %d, want 1", s.MaxFanOut())
+	}
+	if s.TotalBytes() != 64 {
+		t.Errorf("total = %d, want 64", s.TotalBytes())
+	}
+}
+
+func TestScheduleRowsToCols(t *testing.T) {
+	rows, _ := part.RowBlocks(8, 8, 4)
+	cols, _ := part.ColBlocks(8, 8, 4)
+	plan, err := NewPlan(part.MustFile(0, rows), part.MustFile(0, cols))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := plan.BuildSchedule(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All-to-all: 16 messages of 4 bytes (2 rows × 2 columns), in 2
+	// runs each.
+	if len(s.Messages) != 16 {
+		t.Fatalf("schedule has %d messages, want 16", len(s.Messages))
+	}
+	for _, m := range s.Messages {
+		if m.Bytes != 4 || m.Runs != 2 {
+			t.Errorf("message %+v, want 4 bytes in 2 runs", m)
+		}
+	}
+	if s.MaxFanOut() != 4 {
+		t.Errorf("fan-out = %d, want 4", s.MaxFanOut())
+	}
+	if got := len(s.SendsOf(2)); got != 4 {
+		t.Errorf("element 2 sends %d messages, want 4", got)
+	}
+	if got := len(s.RecvsOf(3)); got != 4 {
+		t.Errorf("element 3 receives %d messages, want 4", got)
+	}
+}
+
+// TestPropertyScheduleConservation: schedules account for every byte
+// of the redistributed range, for random partition pairs and lengths.
+func TestPropertyScheduleConservation(t *testing.T) {
+	rng := rand.New(rand.NewSource(170))
+	for iter := 0; iter < 60; iter++ {
+		z1 := int64(8 * (1 + rng.Intn(6)))
+		z2 := int64(8 * (1 + rng.Intn(6)))
+		src := fileAround(t, randSetIn(rng, z1), z1, 0)
+		dst := fileAround(t, randSetIn(rng, z2), z2, 0)
+		plan, err := NewPlan(src, dst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		length := 1 + rng.Int63n(3*falls64Lcm(z1, z2))
+		s, err := plan.BuildSchedule(length)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := s.TotalBytes(); got != length {
+			t.Fatalf("schedule moves %d bytes for length %d (src=%v dst=%v)",
+				got, length, src.Pattern, dst.Pattern)
+		}
+		// Send and receive views agree with the flat list.
+		var fromSends int64
+		for e := 0; e < src.Pattern.Len(); e++ {
+			for _, m := range s.SendsOf(e) {
+				fromSends += m.Bytes
+			}
+		}
+		if fromSends != length {
+			t.Fatalf("sends sum to %d, want %d", fromSends, length)
+		}
+	}
+}
+
+func TestScheduleValidation(t *testing.T) {
+	rows, _ := part.RowBlocks(8, 8, 4)
+	plan, _ := NewPlan(part.MustFile(0, rows), part.MustFile(0, rows))
+	if _, err := plan.BuildSchedule(-1); err == nil {
+		t.Error("negative length accepted")
+	}
+	s, err := plan.BuildSchedule(0)
+	if err != nil || len(s.Messages) != 0 {
+		t.Errorf("zero-length schedule = %v, %v", s.Messages, err)
+	}
+}

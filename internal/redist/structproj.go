@@ -1,0 +1,359 @@
+package redist
+
+import (
+	"fmt"
+
+	"parafile/internal/core"
+	"parafile/internal/falls"
+	"parafile/internal/part"
+)
+
+// structproj.go computes the intersection projections structurally —
+// on the nested FALLS trees, during the intersection itself — instead
+// of walking leaf segments afterwards. This is what keeps the paper's
+// view-set cost (t_i, Table 1) independent of the matrix size: the
+// work is proportional to the representation, not to the data.
+//
+// The fast path requires every tree level of both prepared sets to be
+// single-member, which holds for the regular array distributions the
+// paper optimizes for; anything else falls back to the segment-walk
+// Project, which is always correct.
+
+// IntersectProjectElements computes the intersection of two partition
+// elements together with its projections onto both elements' linear
+// spaces — the combined operation Clusterfile performs at view-set
+// time (§8.1).
+func IntersectProjectElements(f1 *part.File, e1 int, f2 *part.File, e2 int) (*Intersection, *Projection, *Projection, error) {
+	if f1 == nil || f2 == nil {
+		return nil, nil, nil, fmt.Errorf("redist: nil file")
+	}
+	if e1 < 0 || e1 >= f1.Pattern.Len() || e2 < 0 || e2 >= f2.Pattern.Len() {
+		return nil, nil, nil, fmt.Errorf("redist: element index out of range")
+	}
+	z1, z2 := f1.Pattern.Size(), f2.Pattern.Size()
+	period := falls.Lcm64(z1, z2)
+	base := max64(f1.Displacement, f2.Displacement)
+	s1 := prepare(f1.Pattern.Element(e1).Set, z1, period, base-f1.Displacement)
+	s2 := prepare(f2.Pattern.Element(e2).Set, z2, period, base-f2.Displacement)
+
+	if structuralOK(s1) && structuralOK(s2) {
+		inter, proj1, proj2, err := intersectProjectFast(s1, s2, period)
+		if err == nil {
+			inter.Base = base
+			proj1.Period = period / z1 * elementSize(f1, e1)
+			proj2.Period = period / z2 * elementSize(f2, e2)
+			// The fast path counts element bytes from the alignment
+			// base; shift to the true element phase (bytes before the
+			// base are element bytes too).
+			proj1.Set = rotateToPhase(proj1.Set, proj1.Period, phaseBias(f1, e1, base))
+			proj2.Set = rotateToPhase(proj2.Set, proj2.Period, phaseBias(f2, e2, base))
+			return inter, proj1, proj2, nil
+		}
+		// Structural conditions failed mid-way: fall through to the
+		// walk-based path.
+	}
+	inter, err := IntersectElements(f1, e1, f2, e2)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	m1, err := core.NewMapper(f1, e1)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	m2, err := core.NewMapper(f2, e2)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	proj1, err := Project(inter, m1)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	proj2, err := Project(inter, m2)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return inter, proj1, proj2, nil
+}
+
+func elementSize(f *part.File, e int) int64 { return f.Pattern.Element(e).Set.Size() }
+
+// phaseBias counts the element bytes of (f, e) that precede the
+// alignment base in the file: full pattern repetitions plus the
+// element's share of the partial one.
+func phaseBias(f *part.File, e int, base int64) int64 {
+	delta := base - f.Displacement
+	if delta <= 0 {
+		return 0
+	}
+	set := f.Pattern.Element(e).Set
+	z := f.Pattern.Size()
+	return delta/z*set.Size() + countBelowSet(set, delta%z)
+}
+
+// structuralOK reports whether every level of the set is
+// single-member, the precondition of the structural fast path.
+func structuralOK(s falls.Set) bool {
+	if len(s) > 1 {
+		return false
+	}
+	for _, n := range s {
+		if !structuralOK(n.Inner) {
+			return false
+		}
+	}
+	return true
+}
+
+// tri carries one intersection piece with its two projections.
+type tri struct {
+	inter, p1, p2 *falls.Nested
+}
+
+var errStructural = fmt.Errorf("redist: structural projection precondition violated")
+
+// intersectProjectFast runs the nested intersection while building
+// both projection trees. All three outputs describe one period.
+func intersectProjectFast(s1, s2 falls.Set, period int64) (*Intersection, *Projection, *Projection, error) {
+	pieces, err := intersectSetsTri(s1, 0, s2, 0, 0, period-1)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	inter := &Intersection{Period: period}
+	var i1, i2 []*falls.Nested
+	var in []*falls.Nested
+	for _, t := range pieces {
+		in = append(in, t.inter)
+		i1 = append(i1, t.p1)
+		i2 = append(i2, t.p2)
+	}
+	inter.Set = assemble(in)
+	proj1 := &Projection{Set: assemble(i1), Bytes: inter.Set.Size()}
+	proj2 := &Projection{Set: assemble(i2), Bytes: inter.Set.Size()}
+	if proj1.Set.Size() != proj1.Bytes || proj2.Set.Size() != proj2.Bytes {
+		return nil, nil, nil, errStructural
+	}
+	return inter, proj1, proj2, nil
+}
+
+// intersectSetsTri mirrors intersectSets, producing projection trees
+// alongside. Sets are single-member by precondition (or empty).
+func intersectSetsTri(s1 falls.Set, base1 int64, s2 falls.Set, base2 int64, w0, w1 int64) ([]tri, error) {
+	var out []tri
+	for _, m1 := range s1 {
+		for _, m2 := range s2 {
+			ts, err := intersectMembersTri(m1, base1, m2, base2, w0, w1)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, ts...)
+		}
+	}
+	return out, nil
+}
+
+func intersectMembersTri(m1 *falls.Nested, base1 int64, m2 *falls.Nested, base2 int64, w0, w1 int64) ([]tri, error) {
+	abs1 := m1.FALLS.Shift(base1)
+	abs2 := m2.FALLS.Shift(base2)
+	c1 := falls.CutFALLSAbs(abs1, w0, w1)
+	c2 := falls.CutFALLSAbs(abs2, w0, w1)
+	var out []tri
+	for _, g1 := range c1 {
+		for _, g2 := range c2 {
+			h1, h2 := harmonize(g1, m1, g2, m2)
+			for _, gg1 := range h1 {
+				for _, gg2 := range h2 {
+					for _, p := range intersectFlat(gg1, gg2) {
+						t, keep, err := attachInnerTri(p, m1, base1, m2, base2)
+						if err != nil {
+							return nil, err
+						}
+						if keep {
+							out = append(out, t)
+						}
+					}
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// attachInnerTri recurses into the inner sets for one flat piece and
+// builds the piece's intersection member plus its two projection
+// members. base_k is the frame shift of side k's member coordinates
+// (frame position = member coordinate + base_k).
+func attachInnerTri(p falls.FALLS, m1 *falls.Nested, base1 int64, m2 *falls.Nested, base2 int64) (tri, bool, error) {
+	o1 := falls.Mod64(p.L-base1-m1.L, m1.S)
+	o2 := falls.Mod64(p.L-base2-m2.L, m2.S)
+
+	in1 := m1.Inner
+	if len(in1) == 0 {
+		in1 = denseSet(m1.BlockLen())
+	}
+	in2 := m2.Inner
+	if len(in2) == 0 {
+		in2 = denseSet(m2.BlockLen())
+	}
+
+	// Spacing per side for repeating pieces.
+	sp1, err := spacingFor(p, m1)
+	if err != nil {
+		return tri{}, false, err
+	}
+	sp2, err := spacingFor(p, m2)
+	if err != nil {
+		return tri{}, false, err
+	}
+
+	// Projected widths: side-k bytes within the piece's block window
+	// (member coordinates).
+	w1 := countRangeNested(m1, p.L-base1, p.L-base1+p.BlockLen()-1)
+	w2 := countRangeNested(m2, p.L-base2, p.L-base2+p.BlockLen()-1)
+	if w1 == 0 || w2 == 0 {
+		return tri{}, false, nil
+	}
+
+	// Element offsets of the piece start within this level's frame:
+	// side-k bytes between the frame origin and p.L.
+	e1 := countBelowNested(m1, p.L-base1) - countBelowNested(m1, -base1)
+	e2 := countBelowNested(m2, p.L-base2) - countBelowNested(m2, -base2)
+
+	mkProj := func(start, width, spacing int64, inner falls.Set) (*falls.Nested, error) {
+		s := spacing
+		if p.N == 1 {
+			s = width
+		}
+		f, err := falls.New(start, start+width-1, s, p.N)
+		if err != nil {
+			return nil, errStructural
+		}
+		n := &falls.Nested{FALLS: f, Inner: inner}
+		if err := n.Validate(); err != nil {
+			return nil, errStructural
+		}
+		return n, nil
+	}
+
+	if len(m1.Inner) == 0 && len(m2.Inner) == 0 {
+		// Leaf piece: contiguous common bytes on both sides.
+		p1, err := mkProj(e1, p.BlockLen(), sp1, nil)
+		if err != nil {
+			return tri{}, false, err
+		}
+		p2, err := mkProj(e2, p.BlockLen(), sp2, nil)
+		if err != nil {
+			return tri{}, false, err
+		}
+		return tri{inter: falls.Leaf(p), p1: p1, p2: p2}, true, nil
+	}
+
+	// Recurse into the block.
+	inner, err := intersectSetsTri(in1, -o1, in2, -o2, 0, p.BlockLen()-1)
+	if err != nil {
+		return tri{}, false, err
+	}
+	if len(inner) == 0 {
+		return tri{}, false, nil
+	}
+	var iSet, p1Set, p2Set []*falls.Nested
+	for _, t := range inner {
+		iSet = append(iSet, t.inter)
+		p1Set = append(p1Set, t.p1)
+		p2Set = append(p2Set, t.p2)
+	}
+	interInner := assemble(iSet)
+	proj1Inner := assemble(p1Set)
+	proj2Inner := assemble(p2Set)
+	if proj1Inner.Size() != interInner.Size() || proj2Inner.Size() != interInner.Size() {
+		return tri{}, false, errStructural
+	}
+
+	interMember := &falls.Nested{FALLS: p, Inner: interInner}
+	if isDense(interInner, p.BlockLen()) {
+		interMember = falls.Leaf(p)
+	}
+	p1, err := mkProj(e1, w1, sp1, collapseDense(proj1Inner, w1))
+	if err != nil {
+		return tri{}, false, err
+	}
+	p2, err := mkProj(e2, w2, sp2, collapseDense(proj2Inner, w2))
+	if err != nil {
+		return tri{}, false, err
+	}
+	return tri{inter: interMember, p1: p1, p2: p2}, true, nil
+}
+
+// collapseDense drops an inner set that densely covers [0, width).
+func collapseDense(s falls.Set, width int64) falls.Set {
+	if isDense(s, width) {
+		return nil
+	}
+	return s
+}
+
+// spacingFor returns the element-space distance between consecutive
+// repetitions of piece p on the side of member m.
+func spacingFor(p falls.FALLS, m *falls.Nested) (int64, error) {
+	if p.N == 1 {
+		return 0, nil
+	}
+	if len(m.Inner) == 0 && m.N == 1 {
+		// The side is one dense block here: element distance equals
+		// file distance.
+		return p.S, nil
+	}
+	if p.S%m.S != 0 {
+		return 0, errStructural
+	}
+	blockBytes := m.BlockLen()
+	if len(m.Inner) > 0 {
+		blockBytes = m.Inner.Size()
+	}
+	return p.S / m.S * blockBytes, nil
+}
+
+// countBelowSet returns the number of selected bytes of s at
+// coordinates < x (set-local coordinates), computed arithmetically in
+// O(members · depth).
+func countBelowSet(s falls.Set, x int64) int64 {
+	var total int64
+	for _, n := range s {
+		if x <= n.L {
+			break
+		}
+		total += countBelowNested(n, x)
+	}
+	return total
+}
+
+func countBelowNested(n *falls.Nested, x int64) int64 {
+	if x <= n.L {
+		return 0
+	}
+	i := (x - n.L) / n.S
+	size := n.Size()
+	blockBytes := n.BlockLen()
+	if len(n.Inner) > 0 {
+		blockBytes = n.Inner.Size()
+	}
+	if i >= n.N {
+		return size
+	}
+	rem := x - n.L - i*n.S
+	var within int64
+	if len(n.Inner) == 0 {
+		within = min64(rem, n.BlockLen())
+	} else {
+		within = countBelowSet(n.Inner, rem)
+	}
+	return i*blockBytes + within
+}
+
+// countRangeNested counts the selected bytes of n in [lo, hi]
+// (member-local coordinates).
+func countRangeNested(n *falls.Nested, lo, hi int64) int64 {
+	if hi < lo {
+		return 0
+	}
+	return countBelowNested(n, hi+1) - countBelowNested(n, lo)
+}

@@ -1,0 +1,161 @@
+package redist
+
+import (
+	"math/rand"
+	"testing"
+
+	"parafile/internal/core"
+	"parafile/internal/falls"
+	"parafile/internal/part"
+)
+
+// checkTriAgainstWalk verifies IntersectProjectElements against the
+// independently computed segment-walk projections.
+func checkTriAgainstWalk(t *testing.T, f1 *part.File, e1 int, f2 *part.File, e2 int) {
+	t.Helper()
+	inter, p1, p2, err := IntersectProjectElements(f1, e1, f2, e2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantInter, err := IntersectElements(f1, e1, f2, e2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !falls.OffsetsEqual(inter.Set, wantInter.Set) {
+		t.Fatalf("intersection differs:\nfast=%v\nwalk=%v", inter.Set, wantInter.Set)
+	}
+	if inter.Period != wantInter.Period || inter.Base != wantInter.Base {
+		t.Fatalf("period/base differ: %d/%d vs %d/%d",
+			inter.Period, inter.Base, wantInter.Period, wantInter.Base)
+	}
+	w1, err := Project(wantInter, core.MustMapper(f1, e1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := Project(wantInter, core.MustMapper(f2, e2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !falls.OffsetsEqual(p1.Set, w1.Set) {
+		t.Fatalf("projection 1 differs:\nfast=%v\nwalk=%v", p1.Set, w1.Set)
+	}
+	if !falls.OffsetsEqual(p2.Set, w2.Set) {
+		t.Fatalf("projection 2 differs:\nfast=%v\nwalk=%v", p2.Set, w2.Set)
+	}
+	if p1.Period != w1.Period || p2.Period != w2.Period {
+		t.Fatalf("projection periods differ: %d/%d vs %d/%d", p1.Period, p2.Period, w1.Period, w2.Period)
+	}
+	if err := p1.Set.Validate(); err != nil {
+		t.Fatalf("fast projection 1 invalid: %v", err)
+	}
+	if err := p2.Set.Validate(); err != nil {
+		t.Fatalf("fast projection 2 invalid: %v", err)
+	}
+}
+
+// TestStructuralProjectionMatrixLayouts: every pair of the paper's
+// layouts, every element pair, against the walk oracle.
+func TestStructuralProjectionMatrixLayouts(t *testing.T) {
+	rows, _ := part.RowBlocks(16, 16, 4)
+	cols, _ := part.ColBlocks(16, 16, 4)
+	sq, _ := part.SquareBlocks(16, 16, 2, 2)
+	pats := []*part.Pattern{rows, cols, sq}
+	for _, a := range pats {
+		for _, b := range pats {
+			f1 := part.MustFile(0, a)
+			f2 := part.MustFile(0, b)
+			for e1 := 0; e1 < a.Len(); e1++ {
+				for e2 := 0; e2 < b.Len(); e2++ {
+					checkTriAgainstWalk(t, f1, e1, f2, e2)
+				}
+			}
+		}
+	}
+}
+
+// TestStructuralProjectionFigure4: the worked example goes through the
+// fast path and produces the published projections.
+func TestStructuralProjectionFigure4(t *testing.T) {
+	fv := fileAround(t, fig4V(), 32, 0)
+	fs := fileAround(t, fig4S(), 32, 0)
+	_, p1, p2, err := IntersectProjectElements(fv, 0, fs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{0, 4}
+	for name, p := range map[string]*Projection{"PROJ_V": p1, "PROJ_S": p2} {
+		got := p.Set.Offsets()
+		if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+			t.Errorf("%s = %v, want %v", name, got, want)
+		}
+	}
+}
+
+// TestStructuralProjectionRandom: random partitions — most exercise
+// the fallback path — always agree with the walk.
+func TestStructuralProjectionRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(120))
+	for iter := 0; iter < 120; iter++ {
+		z1 := int64(8 * (1 + rng.Intn(6)))
+		z2 := int64(8 * (1 + rng.Intn(6)))
+		f1 := fileAround(t, randSetIn(rng, z1), z1, rng.Int63n(4))
+		f2 := fileAround(t, randSetIn(rng, z2), z2, rng.Int63n(4))
+		checkTriAgainstWalk(t, f1, 0, f2, 0)
+	}
+}
+
+// TestStructuralProjectionDisplacements: phase-shifted patterns.
+func TestStructuralProjectionDisplacements(t *testing.T) {
+	s1, _ := part.Stripe(4, 2)
+	s2, _ := part.Stripe(2, 2)
+	f1 := part.MustFile(0, s1)
+	f2 := part.MustFile(6, s2)
+	for e1 := 0; e1 < 2; e1++ {
+		for e2 := 0; e2 < 2; e2++ {
+			checkTriAgainstWalk(t, f1, e1, f2, e2)
+		}
+	}
+}
+
+// TestStructuralProjectionCompactness: the fast path keeps work
+// independent of matrix size — representation sizes stay O(1) for the
+// row×column pair.
+func TestStructuralProjectionCompactness(t *testing.T) {
+	for _, n := range []int64{256, 2048} {
+		rows, _ := part.RowBlocks(n, n, 4)
+		cols, _ := part.ColBlocks(n, n, 4)
+		inter, p1, p2, err := IntersectProjectElements(
+			part.MustFile(0, rows), 0, part.MustFile(0, cols), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(inter.Set) > 3 || len(p1.Set) > 3 || len(p2.Set) > 3 {
+			t.Errorf("n=%d: representations not compact: inter=%d p1=%d p2=%d members",
+				n, len(inter.Set), len(p1.Set), len(p2.Set))
+		}
+		if p1.Bytes != n*n/16 || p2.Bytes != n*n/16 {
+			t.Errorf("n=%d: projected bytes %d/%d, want %d", n, p1.Bytes, p2.Bytes, n*n/16)
+		}
+	}
+}
+
+// TestCountBelowNestedOracle: the arithmetic byte counter agrees with
+// enumeration on random nested members.
+func TestCountBelowNestedOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(121))
+	for iter := 0; iter < 200; iter++ {
+		s := randSetIn(rng, 128)
+		offs := s.Offsets()
+		for x := int64(-4); x < 140; x++ {
+			var want int64
+			for _, o := range offs {
+				if o < x {
+					want++
+				}
+			}
+			if got := countBelowSet(s, x); got != want {
+				t.Fatalf("set %v: countBelowSet(%d) = %d, want %d", s, x, got, want)
+			}
+		}
+	}
+}

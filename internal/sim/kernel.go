@@ -1,0 +1,156 @@
+// Package sim provides a small discrete-event simulation kernel: a
+// virtual clock, an ordered event queue, and serialized resources.
+//
+// The Clusterfile case study (§8) was measured on a 2002 cluster
+// (Pentium III, Myrinet, IDE disks). This repository reproduces the
+// algorithmic phases of the protocol with real computation and real
+// buffers, and reproduces the network and disk phases with a cost
+// model driven by this kernel, so that the evaluation tables can be
+// regenerated deterministically on any machine.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Kernel is a discrete-event simulator with a virtual clock counted in
+// nanoseconds.
+type Kernel struct {
+	now    int64
+	seq    int64
+	events eventHeap
+}
+
+type event struct {
+	at  int64
+	seq int64 // FIFO tie-break for simultaneous events
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// NewKernel returns a kernel with the clock at zero and no pending
+// events.
+func NewKernel() *Kernel { return &Kernel{} }
+
+// Now returns the current virtual time in nanoseconds.
+func (k *Kernel) Now() int64 { return k.now }
+
+// At schedules fn to run at virtual time t. Scheduling in the past
+// panics: it indicates a broken cost model, not a recoverable
+// condition.
+func (k *Kernel) At(t int64, fn func()) {
+	if t < k.now {
+		panic(fmt.Sprintf("sim: scheduling at %d before now %d", t, k.now))
+	}
+	k.seq++
+	heap.Push(&k.events, event{at: t, seq: k.seq, fn: fn})
+}
+
+// After schedules fn to run d nanoseconds from now.
+func (k *Kernel) After(d int64, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	k.At(k.now+d, fn)
+}
+
+// Step runs the next pending event, advancing the clock to its time.
+// It reports whether an event was run.
+func (k *Kernel) Step() bool {
+	if len(k.events) == 0 {
+		return false
+	}
+	e := heap.Pop(&k.events).(event)
+	k.now = e.at
+	e.fn()
+	return true
+}
+
+// Run executes events until the queue drains and returns the final
+// virtual time.
+func (k *Kernel) Run() int64 {
+	for k.Step() {
+	}
+	return k.now
+}
+
+// Pending returns the number of queued events.
+func (k *Kernel) Pending() int { return len(k.events) }
+
+// Resource is a FIFO-serialized facility (a NIC, a disk arm): jobs
+// submitted to it run one after another, each occupying the resource
+// for its duration.
+type Resource struct {
+	k      *Kernel
+	freeAt int64
+	busy   int64 // accumulated busy nanoseconds
+}
+
+// NewResource creates a resource on the kernel.
+func NewResource(k *Kernel) *Resource { return &Resource{k: k} }
+
+// Acquire submits a job of duration d arriving now. It returns the
+// virtual start and end times and, when fn is non-nil, schedules fn at
+// the end time.
+func (r *Resource) Acquire(d int64, fn func()) (start, end int64) {
+	if d < 0 {
+		d = 0
+	}
+	start = r.k.now
+	if r.freeAt > start {
+		start = r.freeAt
+	}
+	end = start + d
+	r.freeAt = end
+	r.busy += d
+	if fn != nil {
+		r.k.At(end, fn)
+	}
+	return start, end
+}
+
+// Busy returns the accumulated busy time of the resource.
+func (r *Resource) Busy() int64 { return r.busy }
+
+// FreeAt returns the earliest time a new job could start.
+func (r *Resource) FreeAt() int64 {
+	if r.freeAt < r.k.now {
+		return r.k.now
+	}
+	return r.freeAt
+}
+
+// Convenience duration constructors (nanoseconds).
+const (
+	Microsecond int64 = 1_000
+	Millisecond int64 = 1_000_000
+	Second      int64 = 1_000_000_000
+)
+
+// TransferTime returns the time to move n bytes at the given
+// bandwidth (bytes/second), rounded up to whole nanoseconds.
+func TransferTime(n, bytesPerSec int64) int64 {
+	if n <= 0 || bytesPerSec <= 0 {
+		return 0
+	}
+	return (n*Second + bytesPerSec - 1) / bytesPerSec
+}

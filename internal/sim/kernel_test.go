@@ -1,0 +1,199 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestKernelOrdering(t *testing.T) {
+	k := NewKernel()
+	var order []int
+	k.At(30, func() { order = append(order, 3) })
+	k.At(10, func() { order = append(order, 1) })
+	k.At(20, func() { order = append(order, 2) })
+	end := k.Run()
+	if end != 30 {
+		t.Errorf("final time = %d, want 30", end)
+	}
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("execution order = %v, want [1 2 3]", order)
+	}
+}
+
+func TestKernelFIFOTieBreak(t *testing.T) {
+	k := NewKernel()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		k.At(5, func() { order = append(order, i) })
+	}
+	k.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("simultaneous events out of submission order: %v", order)
+		}
+	}
+}
+
+func TestKernelChainedEvents(t *testing.T) {
+	k := NewKernel()
+	var times []int64
+	var step func()
+	step = func() {
+		times = append(times, k.Now())
+		if len(times) < 4 {
+			k.After(7, step)
+		}
+	}
+	k.After(0, step)
+	k.Run()
+	want := []int64{0, 7, 14, 21}
+	for i := range want {
+		if times[i] != want[i] {
+			t.Fatalf("chained times = %v, want %v", times, want)
+		}
+	}
+}
+
+func TestKernelPastSchedulingPanics(t *testing.T) {
+	k := NewKernel()
+	k.At(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		k.At(5, func() {})
+	})
+	k.Run()
+}
+
+func TestKernelNegativeAfterClamps(t *testing.T) {
+	k := NewKernel()
+	ran := false
+	k.After(-100, func() { ran = true })
+	k.Run()
+	if !ran {
+		t.Error("negative After never ran")
+	}
+	if k.Now() != 0 {
+		t.Errorf("clock = %d, want 0", k.Now())
+	}
+}
+
+func TestResourceSerialization(t *testing.T) {
+	k := NewKernel()
+	r := NewResource(k)
+	// Three jobs submitted at time 0 run back to back.
+	var ends []int64
+	k.At(0, func() {
+		for i := 0; i < 3; i++ {
+			_, end := r.Acquire(10, nil)
+			ends = append(ends, end)
+		}
+	})
+	k.Run()
+	want := []int64{10, 20, 30}
+	for i := range want {
+		if ends[i] != want[i] {
+			t.Fatalf("resource ends = %v, want %v", ends, want)
+		}
+	}
+	if r.Busy() != 30 {
+		t.Errorf("busy = %d, want 30", r.Busy())
+	}
+}
+
+func TestResourceIdleGap(t *testing.T) {
+	k := NewKernel()
+	r := NewResource(k)
+	k.At(0, func() { r.Acquire(5, nil) })
+	k.At(100, func() {
+		start, end := r.Acquire(5, nil)
+		if start != 100 || end != 105 {
+			t.Errorf("job after idle gap: start=%d end=%d, want 100, 105", start, end)
+		}
+	})
+	k.Run()
+}
+
+func TestResourceCompletionCallback(t *testing.T) {
+	k := NewKernel()
+	r := NewResource(k)
+	var doneAt int64 = -1
+	k.At(0, func() {
+		r.Acquire(25, func() { doneAt = k.Now() })
+	})
+	k.Run()
+	if doneAt != 25 {
+		t.Errorf("completion at %d, want 25", doneAt)
+	}
+}
+
+func TestTransferTime(t *testing.T) {
+	cases := []struct{ n, bw, want int64 }{
+		{1000, 1000, Second},
+		{0, 1000, 0},
+		{-5, 1000, 0},
+		{1000, 0, 0},
+		{1, 1_000_000_000, 1},
+		{3, 2_000_000_000, 2}, // rounds up
+	}
+	for _, c := range cases {
+		if got := TransferTime(c.n, c.bw); got != c.want {
+			t.Errorf("TransferTime(%d,%d) = %d, want %d", c.n, c.bw, got, c.want)
+		}
+	}
+}
+
+// TestPropertyEventOrder: random event times always execute in
+// non-decreasing time order with FIFO ties.
+func TestPropertyEventOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(80))
+	for iter := 0; iter < 50; iter++ {
+		k := NewKernel()
+		var ts []int64
+		var ran []int64
+		for i := 0; i < 100; i++ {
+			at := rng.Int63n(50)
+			ts = append(ts, at)
+			k.At(at, func() { ran = append(ran, k.Now()) })
+		}
+		k.Run()
+		sort.Slice(ts, func(i, j int) bool { return ts[i] < ts[j] })
+		for i := range ts {
+			if ran[i] != ts[i] {
+				t.Fatalf("event %d ran at %d, want %d", i, ran[i], ts[i])
+			}
+		}
+	}
+}
+
+func TestTracer(t *testing.T) {
+	var nilTracer *Tracer
+	nilTracer.Record(0, "a", "ignored") // must not panic
+	if nilTracer.Len() != 0 || nilTracer.Events() != nil {
+		t.Error("nil tracer not empty")
+	}
+	tr := NewTracer()
+	tr.Record(20, "b", "second")
+	tr.Recordf(10, "a", "first %d", 1)
+	ev := tr.Events()
+	if len(ev) != 2 || ev[0].Action != "first 1" || ev[1].Actor != "b" {
+		t.Errorf("events = %v", ev)
+	}
+	out := tr.Format()
+	if !containsStr(out, "first 1") || !containsStr(out, "0.0µs") {
+		t.Errorf("format = %q", out)
+	}
+}
+
+func containsStr(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

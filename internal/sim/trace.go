@@ -1,0 +1,71 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// trace.go records virtual-time event traces: what happened on which
+// actor at which simulated instant. Subsystems call Record; tools
+// render the timeline to explain where an operation's time went.
+
+// TraceEvent is one recorded occurrence.
+type TraceEvent struct {
+	At     int64 // virtual nanoseconds
+	Actor  string
+	Action string
+}
+
+// Tracer collects trace events. A nil *Tracer is valid and records
+// nothing, so call sites need no guards.
+type Tracer struct {
+	events []TraceEvent
+}
+
+// NewTracer returns an empty tracer.
+func NewTracer() *Tracer { return &Tracer{} }
+
+// Record appends an event; no-op on a nil tracer.
+func (t *Tracer) Record(at int64, actor, action string) {
+	if t == nil {
+		return
+	}
+	t.events = append(t.events, TraceEvent{At: at, Actor: actor, Action: action})
+}
+
+// Recordf is Record with formatting.
+func (t *Tracer) Recordf(at int64, actor, format string, args ...interface{}) {
+	if t == nil {
+		return
+	}
+	t.Record(at, actor, fmt.Sprintf(format, args...))
+}
+
+// Events returns the recorded events sorted by time (stable for ties).
+func (t *Tracer) Events() []TraceEvent {
+	if t == nil {
+		return nil
+	}
+	out := append([]TraceEvent(nil), t.events...)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].At < out[j].At })
+	return out
+}
+
+// Len returns the number of recorded events.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.events)
+}
+
+// Format renders the timeline, one event per line, times in
+// microseconds.
+func (t *Tracer) Format() string {
+	var b strings.Builder
+	for _, e := range t.Events() {
+		fmt.Fprintf(&b, "%10.1fµs  %-12s %s\n", float64(e.At)/float64(Microsecond), e.Actor, e.Action)
+	}
+	return b.String()
+}

@@ -1,0 +1,86 @@
+package viz
+
+import (
+	"fmt"
+	"strings"
+
+	"parafile/internal/core"
+	"parafile/internal/falls"
+	"parafile/internal/redist"
+)
+
+// Figure5 renders the paper's Figure 5 — the Clusterfile write
+// operation between a compute node and an I/O node — as an annotated
+// trace, computed live from the Figure 4 view and subfile.
+func Figure5() (string, error) {
+	v := falls.Set{falls.MustNested(falls.MustNew(0, 7, 16, 2), falls.Set{falls.MustLeaf(0, 1, 4, 2)})}
+	s := falls.Set{falls.MustNested(falls.MustNew(0, 3, 8, 4), falls.Set{falls.MustLeaf(0, 0, 2, 2)})}
+	fv, err := fileAround(v, 32)
+	if err != nil {
+		return "", err
+	}
+	fs, err := fileAround(s, 32)
+	if err != nil {
+		return "", err
+	}
+	inter, projV, projS, err := redist.IntersectProjectElements(fv, 0, fs, 0)
+	if err != nil {
+		return "", err
+	}
+	mv := core.MustMapper(fv, 0)
+	ms := core.MustMapper(fs, 0)
+
+	// The write interval: the whole first period of the view.
+	lowV, highV := int64(0), mv.ElementSize()-1
+	firstV, lastV := int64(-1), int64(-1)
+	projV.WalkRange(lowV, highV, func(seg falls.LineSegment) bool {
+		if firstV < 0 {
+			firstV = seg.L
+		}
+		lastV = seg.R
+		return true
+	})
+	xLow, err := mv.MapInv(firstV)
+	if err != nil {
+		return "", err
+	}
+	xHigh, err := mv.MapInv(lastV)
+	if err != nil {
+		return "", err
+	}
+	lowS, err := ms.Map(xLow)
+	if err != nil {
+		return "", err
+	}
+	highS, err := ms.Map(xHigh)
+	if err != nil {
+		return "", err
+	}
+	n := projV.BytesIn(lowV, highV)
+
+	var b strings.Builder
+	b.WriteString("Figure 5. Write operation in Clusterfile (computed live)\n\n")
+	fmt.Fprintf(&b, "view V = %s, subfile S = %s\n", v, s)
+	fmt.Fprintf(&b, "V∩S = %s;  PROJ_V = %s;  PROJ_S = %s\n\n", inter.Set, projV.Set, projS.Set)
+	b.WriteString("COMPUTE NODE                                I/O NODE\n")
+	fmt.Fprintf(&b, "  write view bytes [%d,%d]\n", lowV, highV)
+	fmt.Fprintf(&b, "  (a) map extremities through the file:\n")
+	fmt.Fprintf(&b, "      low_S  = MAP_S(MAP⁻¹_V(%d)) = %d\n", firstV, lowS)
+	fmt.Fprintf(&b, "      high_S = MAP_S(MAP⁻¹_V(%d)) = %d\n", lastV, highS)
+	fmt.Fprintf(&b, "  (1) send (low_S=%d, high_S=%d)  ───────▶  expect %d bytes for [%d,%d]\n",
+		lowS, highS, n, lowS, highS)
+	contiguous := projV.IsContiguous(lowV, highV)
+	if contiguous {
+		fmt.Fprintf(&b, "  (2) PROJ_V contiguous: send buf  ──────▶\n")
+	} else {
+		fmt.Fprintf(&b, "  (2) GATHER %d bytes into buf2 (PROJ_V not contiguous)\n", n)
+		fmt.Fprintf(&b, "  (3) send buf2 (%d bytes)  ─────────────▶\n", n)
+	}
+	if projS.IsContiguous(lowS, highS) {
+		fmt.Fprintf(&b, "                                            (4) write contiguously to subfile\n")
+	} else {
+		fmt.Fprintf(&b, "                                            (4) SCATTER buf into subfile via PROJ_S\n")
+	}
+	fmt.Fprintf(&b, "  ◀───────────────────────────────────────  (5) acknowledge\n")
+	return b.String(), nil
+}

@@ -1,0 +1,172 @@
+// Package viz renders FALLS, nested FALLS, partitions and
+// intersections as ASCII diagrams, reproducing the explanatory figures
+// of the paper (Figures 1-4). cmd/fallsviz is the command-line front
+// end; the figure functions are golden-tested.
+package viz
+
+import (
+	"fmt"
+	"strings"
+
+	"parafile/internal/core"
+	"parafile/internal/falls"
+	"parafile/internal/part"
+	"parafile/internal/redist"
+)
+
+// Ruler returns a two-line byte-offset ruler for [0, span): a tens
+// line and a units line.
+func Ruler(span int64) string {
+	var tens, units strings.Builder
+	for i := int64(0); i < span; i++ {
+		if i%10 == 0 && i > 0 {
+			fmt.Fprintf(&tens, "%d", (i/10)%10)
+		} else {
+			tens.WriteByte(' ')
+		}
+		fmt.Fprintf(&units, "%d", i%10)
+	}
+	return tens.String() + "\n" + units.String()
+}
+
+// RenderSet draws the byte subset of s over [0, span): '#' for covered
+// bytes, '.' for gaps.
+func RenderSet(s falls.Set, span int64) string {
+	row := make([]byte, span)
+	for i := range row {
+		row[i] = '.'
+	}
+	s.WalkRange(0, span-1, func(seg falls.LineSegment) bool {
+		for x := seg.L; x <= seg.R; x++ {
+			row[x] = '#'
+		}
+		return true
+	})
+	return string(row)
+}
+
+// RenderFALLS draws a single flat family.
+func RenderFALLS(f falls.FALLS, span int64) string {
+	return RenderSet(falls.Set{falls.Leaf(f)}, span)
+}
+
+// Figure1 reproduces the paper's Figure 1: the FALLS (2,5,6,5) with
+// its l, r and s annotations.
+func Figure1() string {
+	f := falls.MustNew(2, 5, 6, 5)
+	var b strings.Builder
+	b.WriteString("Figure 1. FALLS example: (2,5,6,5)\n\n")
+	b.WriteString(Ruler(32) + "\n")
+	b.WriteString(RenderFALLS(f, 32) + "\n")
+	b.WriteString("  l=2  r=5   stride s=6, n=5 segments, block length 4\n")
+	return b.String()
+}
+
+// Figure2 reproduces Figure 2: the nested FALLS (0,3,8,2,{(0,0,2,2)})
+// with the outer blocks and the inner selection.
+func Figure2() string {
+	outer := falls.MustNew(0, 3, 8, 2)
+	nested := falls.MustNested(outer, falls.Set{falls.MustLeaf(0, 0, 2, 2)})
+	var b strings.Builder
+	b.WriteString("Figure 2. Nested FALLS example: (0,3,8,2,{(0,0,2,2)})\n\n")
+	b.WriteString(Ruler(16) + "\n")
+	b.WriteString("outer " + RenderFALLS(outer, 16) + "   outer FALLS (0,3,8,2)\n")
+	b.WriteString("inner " + RenderSet(falls.Set{nested}, 16) + "   inner FALLS (0,0,2,2), size 4\n")
+	return b.String()
+}
+
+// Figure3 reproduces Figure 3: a file with displacement 2 partitioned
+// into three subfiles by FALLS (0,1,6,1), (2,3,6,1), (4,5,6,1).
+func Figure3() string {
+	pat := part.MustPattern(
+		part.Element{Name: "subfile 0", Set: falls.Set{falls.MustLeaf(0, 1, 6, 1)}},
+		part.Element{Name: "subfile 1", Set: falls.Set{falls.MustLeaf(2, 3, 6, 1)}},
+		part.Element{Name: "subfile 2", Set: falls.Set{falls.MustLeaf(4, 5, 6, 1)}},
+	)
+	file := part.MustFile(2, pat)
+	const span = 32
+	var b strings.Builder
+	b.WriteString("Figure 3. File partitioning example: displacement 2, pattern size 6\n\n")
+	b.WriteString(Ruler(span) + "\n")
+	for e := 0; e < pat.Len(); e++ {
+		row := make([]byte, span)
+		for i := range row {
+			row[i] = '.'
+		}
+		m := core.MustMapper(file, e)
+		for x := int64(0); x < span; x++ {
+			if _, err := m.Map(x); err == nil {
+				row[x] = byte('0' + e)
+			}
+		}
+		fmt.Fprintf(&b, "%s   %s defined by FALLS %s\n",
+			string(row), pat.Element(e).Name, pat.Element(e).Set)
+	}
+	b.WriteString("(digits mark the bytes each subfile stores; the pattern repeats from the displacement)\n")
+	return b.String()
+}
+
+// Figure4 reproduces Figure 4: the intersection of the view
+// V = {(0,7,16,2,{(0,1,4,2)})} and the subfile
+// S = {(0,3,8,4,{(0,0,2,2)})} and its projections on both.
+func Figure4() (string, error) {
+	v := falls.Set{falls.MustNested(falls.MustNew(0, 7, 16, 2), falls.Set{falls.MustLeaf(0, 1, 4, 2)})}
+	s := falls.Set{falls.MustNested(falls.MustNew(0, 3, 8, 4), falls.Set{falls.MustLeaf(0, 0, 2, 2)})}
+	fv, err := fileAround(v, 32)
+	if err != nil {
+		return "", err
+	}
+	fs, err := fileAround(s, 32)
+	if err != nil {
+		return "", err
+	}
+	inter, err := redist.IntersectElements(fv, 0, fs, 0)
+	if err != nil {
+		return "", err
+	}
+	projV, err := redist.Project(inter, core.MustMapper(fv, 0))
+	if err != nil {
+		return "", err
+	}
+	projS, err := redist.Project(inter, core.MustMapper(fs, 0))
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	b.WriteString("Figure 4. Nested FALLS intersection algorithm\n\n")
+	b.WriteString(Ruler(32) + "\n")
+	fmt.Fprintf(&b, "V     %s   view V = %s\n", RenderSet(v, 32), v)
+	fmt.Fprintf(&b, "S     %s   subfile S = %s\n", RenderSet(s, 32), s)
+	fmt.Fprintf(&b, "V∩S   %s   intersection = %s\n", RenderSet(inter.Set, 32), inter.Set)
+	b.WriteString("\nProjections (element linear spaces, 8 bytes per period):\n")
+	b.WriteString(Ruler(8) + "\n")
+	fmt.Fprintf(&b, "on V  %s   PROJ_V(V∩S) = %s\n", RenderSet(projV.Set, 8), projV.Set)
+	fmt.Fprintf(&b, "on S  %s   PROJ_S(V∩S) = %s\n", RenderSet(projS.Set, 8), projS.Set)
+	return b.String(), nil
+}
+
+// fileAround completes a single element into a full partition with a
+// complement element, so the mapping and intersection machinery can
+// run on it.
+func fileAround(set falls.Set, size int64) (*part.File, error) {
+	elems := []part.Element{{Name: "elem", Set: set}}
+	if rest := falls.Complement(set, size); len(rest) > 0 {
+		elems = append(elems, part.Element{Name: "rest", Set: rest})
+	}
+	pat, err := part.NewPattern(elems...)
+	if err != nil {
+		return nil, err
+	}
+	return part.NewFile(0, pat)
+}
+
+// Custom renders a user-supplied FALLS over a span, with its derived
+// quantities.
+func Custom(f falls.FALLS, span int64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "FALLS %s: block length %d, size %d, extent %d\n\n",
+		f, f.BlockLen(), f.FlatSize(), f.Extent())
+	b.WriteString(Ruler(span) + "\n")
+	b.WriteString(RenderFALLS(f, span) + "\n")
+	return b.String()
+}

@@ -1,0 +1,109 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+
+	"parafile/internal/falls"
+)
+
+func TestRulerShape(t *testing.T) {
+	r := Ruler(32)
+	lines := strings.Split(r, "\n")
+	if len(lines) != 2 {
+		t.Fatalf("ruler has %d lines, want 2", len(lines))
+	}
+	if len(lines[0]) != 32 || len(lines[1]) != 32 {
+		t.Fatalf("ruler line lengths %d/%d, want 32", len(lines[0]), len(lines[1]))
+	}
+	if lines[1][0] != '0' || lines[1][11] != '1' || lines[0][10] != '1' {
+		t.Errorf("ruler digits wrong:\n%s", r)
+	}
+}
+
+// TestFigure1Golden: the rendering marks exactly the Figure 1 bytes.
+func TestFigure1Golden(t *testing.T) {
+	out := Figure1()
+	want := "..####..####..####..####..####.."
+	if !strings.Contains(out, want) {
+		t.Errorf("Figure 1 rendering missing row %q:\n%s", want, out)
+	}
+}
+
+// TestFigure2Golden: inner bytes {0,2,8,10}.
+func TestFigure2Golden(t *testing.T) {
+	out := Figure2()
+	wantOuter := "####....####...."
+	wantInner := "#.#.....#.#....."
+	if !strings.Contains(out, wantOuter) {
+		t.Errorf("Figure 2 missing outer row %q:\n%s", wantOuter, out)
+	}
+	if !strings.Contains(out, wantInner) {
+		t.Errorf("Figure 2 missing inner row %q:\n%s", wantInner, out)
+	}
+}
+
+// TestFigure3Golden: the three subfiles tile the file from
+// displacement 2 onward.
+func TestFigure3Golden(t *testing.T) {
+	out := Figure3()
+	want0 := "..00....00....00....00....00...."
+	want1 := "....11....11....11....11....11.."
+	want2 := "......22....22....22....22....22"
+	for _, w := range []string{want0, want1, want2} {
+		if !strings.Contains(out, w) {
+			t.Errorf("Figure 3 missing row %q:\n%s", w, out)
+		}
+	}
+}
+
+// TestFigure4Golden: intersection bytes {0,16} and projections {0,4}.
+func TestFigure4Golden(t *testing.T) {
+	out, err := Figure4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantV := "##..##..........##..##.........."
+	wantS := "#.#.....#.#.....#.#.....#.#....."
+	wantI := "#...............#.............."
+	wantP := "#...#..."
+	for _, w := range []string{wantV, wantS, wantI} {
+		if !strings.Contains(out, w) {
+			t.Errorf("Figure 4 missing row %q:\n%s", w, out)
+		}
+	}
+	if got := strings.Count(out, wantP); got != 2 {
+		t.Errorf("Figure 4 has %d projection rows %q, want 2:\n%s", got, wantP, out)
+	}
+}
+
+func TestCustomRendering(t *testing.T) {
+	out := Custom(falls.MustNew(0, 1, 4, 3), 12)
+	if !strings.Contains(out, "##..##..##..") {
+		t.Errorf("custom rendering wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "size 6") {
+		t.Errorf("custom rendering missing size:\n%s", out)
+	}
+}
+
+// TestFigure5Golden: the write-path trace computes the paper's §8.1
+// steps with the Figure 4 view and subfile.
+func TestFigure5Golden(t *testing.T) {
+	out, err := Figure5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"PROJ_V = {(0,0,4,2)}",
+		"PROJ_S = {(0,0,4,2)}",
+		"low_S  = MAP_S(MAP⁻¹_V(0)) = 0",
+		"GATHER 2 bytes",
+		"SCATTER buf into subfile",
+		"acknowledge",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Figure 5 missing %q:\n%s", want, out)
+		}
+	}
+}
