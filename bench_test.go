@@ -288,6 +288,51 @@ func BenchmarkAblationDimwiseVsGeneral(b *testing.B) {
 	})
 }
 
+// BenchmarkNewPlan measures sequential plan compilation on the 2048²
+// worst-matching pair (row blocks vs column blocks) — the hot path the
+// parallel compiler and the plan cache attack.
+func BenchmarkNewPlan(b *testing.B) {
+	src, dst := matrixPair(b, 2048)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := redist.NewPlanParallel(src, dst, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkNewPlanParallel is BenchmarkNewPlan over the worker pool
+// (GOMAXPROCS workers; the speedup needs a multi-core host).
+func BenchmarkNewPlanParallel(b *testing.B) {
+	src, dst := matrixPair(b, 2048)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := redist.NewPlanParallel(src, dst, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPlanCacheHit measures a warm fingerprint lookup — the cost
+// that replaces a full compile once a layout pair has been seen.
+func BenchmarkPlanCacheHit(b *testing.B) {
+	src, dst := matrixPair(b, 2048)
+	cache := redist.NewPlanCache(redist.DefaultCacheCapacity, redist.CompileOptions{})
+	if _, _, err := cache.GetOrCompile(src, dst); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, hit, err := cache.GetOrCompile(src, dst)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !hit {
+			b.Fatal("expected cache hit")
+		}
+	}
+}
+
 // BenchmarkMappingFunctions measures the raw MAP / MAP⁻¹ cost on the
 // paper's layouts.
 func BenchmarkMappingFunctions(b *testing.B) {

@@ -5,7 +5,8 @@
 //
 // Usage:
 //
-//	redistbench [-table 1|2|all] [-sizes 256,512,1024,2048] [-reps 3]
+//	redistbench [-table 1|2|match|read|ablation|all] [-sizes 256,512,1024,2048]
+//	            [-reps 3] [-workers 0] [-plancache]
 package main
 
 import (
@@ -19,14 +20,18 @@ import (
 	"parafile/internal/bench"
 	"parafile/internal/match"
 	"parafile/internal/part"
+	"parafile/internal/redist"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("redistbench: ")
-	table := flag.String("table", "all", "which table to regenerate: 1, 2 or all")
+	table := flag.String("table", "all", "which table to regenerate: 1, 2, match, read, ablation or all")
 	sizesArg := flag.String("sizes", "256,512,1024,2048", "comma-separated matrix sizes")
 	reps := flag.Int("reps", 3, "repetitions per configuration (real timings are averaged)")
+	workers := flag.Int("workers", 0, "plan compilation workers for the ablation table (0 = GOMAXPROCS)")
+	planCache := flag.Bool("plancache", false,
+		"share an intersection cache across repetitions; t_i then shows the amortized (warm) cost instead of the paper's cold cost")
 	flag.Parse()
 
 	sizes, err := parseSizes(*sizesArg)
@@ -37,7 +42,11 @@ func main() {
 		log.Fatal("reps must be positive")
 	}
 
-	t1, t2, err := runAveraged(sizes, *reps)
+	var opts bench.Options
+	if *planCache {
+		opts.ViewCache = redist.NewPairCache(redist.DefaultCacheCapacity)
+	}
+	t1, t2, err := runAveraged(sizes, *reps, opts)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -54,6 +63,10 @@ func main() {
 		if err := printReadTable(sizes); err != nil {
 			log.Fatal(err)
 		}
+	case "ablation":
+		if err := printAblationTable(sizes, *workers); err != nil {
+			log.Fatal(err)
+		}
 	case "all":
 		fmt.Print(bench.FormatTable1(t1))
 		fmt.Println()
@@ -62,8 +75,12 @@ func main() {
 		if err := printMatchTable(sizes, t1); err != nil {
 			log.Fatal(err)
 		}
+		fmt.Println()
+		if err := printAblationTable(sizes, *workers); err != nil {
+			log.Fatal(err)
+		}
 	default:
-		log.Fatalf("unknown table %q (want 1, 2, match, read or all)", *table)
+		log.Fatalf("unknown table %q (want 1, 2, match, read, ablation or all)", *table)
 	}
 	fmt.Fprintln(os.Stderr,
 		"\nnote: t_i, t_m and real(host) are wall-clock on this machine; t_g, t_net and t_sc\n"+
@@ -124,6 +141,18 @@ func printReadTable(sizes []int64) error {
 	return nil
 }
 
+// printAblationTable prints the plan-compilation ablation: sequential
+// vs parallel compile, cold vs warm cache lookup, and the coalescing
+// segment reduction.
+func printAblationTable(sizes []int64, workers int) error {
+	rows, err := bench.RunPlanAblation(sizes, workers)
+	if err != nil {
+		return err
+	}
+	fmt.Print(bench.FormatPlanAblation(rows))
+	return nil
+}
+
 func parseSizes(s string) ([]int64, error) {
 	var out []int64
 	for _, f := range strings.Split(s, ",") {
@@ -145,7 +174,7 @@ func parseSizes(s string) ([]int64, error) {
 // runAveraged repeats each configuration and averages the real (host)
 // timings; the modeled virtual times are deterministic and identical
 // across repetitions.
-func runAveraged(sizes []int64, reps int) ([]bench.Table1Row, []bench.Table2Row, error) {
+func runAveraged(sizes []int64, reps int, opts bench.Options) ([]bench.Table1Row, []bench.Table2Row, error) {
 	var t1 []bench.Table1Row
 	var t2 []bench.Table2Row
 	for _, n := range sizes {
@@ -153,7 +182,7 @@ func runAveraged(sizes []int64, reps int) ([]bench.Table1Row, []bench.Table2Row,
 			var acc1 bench.Table1Row
 			var acc2 bench.Table2Row
 			for r := 0; r < reps; r++ {
-				r1, r2, err := bench.RunConfig(phys, n)
+				r1, r2, err := bench.RunConfigOpts(phys, n, opts)
 				if err != nil {
 					return nil, nil, err
 				}

@@ -1,0 +1,36 @@
+package clusterfile
+
+import "sync"
+
+// bufpool.go pools the gather/scatter message buffers of the write,
+// read and redistribution paths. The protocol allocates one buffer
+// per (operation, subfile) pair and drops it as soon as the payload
+// has been scattered; under repeated operations that is a steady
+// stream of large short-lived allocations, which the pool turns into
+// reuse. Buffers are handed out at exact length but retain their
+// capacity across uses; callers must fully overwrite the requested
+// bytes (every gather path does — it packs exactly len(buf) bytes).
+
+var msgBufPool sync.Pool
+
+// getMsgBuf returns a length-n buffer, reusing pooled capacity when
+// possible. Contents are unspecified.
+func getMsgBuf(n int64) []byte {
+	if v := msgBufPool.Get(); v != nil {
+		b := *(v.(*[]byte))
+		if int64(cap(b)) >= n {
+			return b[:n]
+		}
+	}
+	return make([]byte, n)
+}
+
+// putMsgBuf returns a buffer to the pool. The caller must not retain
+// the slice afterwards.
+func putMsgBuf(b []byte) {
+	if cap(b) == 0 {
+		return
+	}
+	b = b[:0]
+	msgBufPool.Put(&b)
+}

@@ -24,7 +24,6 @@ import (
 	"fmt"
 	"time"
 
-	"parafile/internal/codec"
 	"parafile/internal/core"
 	"parafile/internal/disksim"
 	"parafile/internal/netsim"
@@ -69,6 +68,17 @@ type Config struct {
 	// in-memory subfiles; DirStorageFactory stores them as real files,
 	// as the original Clusterfile I/O nodes did.
 	Storage StorageFactory
+	// ViewCache, when non-nil, memoizes the per-(view element, subfile)
+	// intersection and projection products SetView computes, keyed by
+	// partition geometry. Repeated view setting over the same
+	// view/layout pair then costs a cache lookup instead of a full
+	// intersection — extending the paper's §8.2 amortization argument
+	// (pay t_i once per view set) across view sets. A cache may be
+	// shared by several clusters.
+	ViewCache *redist.PairCache
+	// PlanCache, when non-nil, memoizes the redistribution plans
+	// StartRedistribute compiles, keyed the same way.
+	PlanCache *redist.PlanCache
 }
 
 // DefaultConfig mirrors the paper's testbed subset: four compute nodes
@@ -257,9 +267,16 @@ func (f *File) SetView(node int, lf *part.File, elem int) (*View, error) {
 		return nil, err
 	}
 	v := &View{file: f, node: node, logical: lf, elem: elem, mapper: vm}
+	// The cached path costs a fingerprint lookup instead of the full
+	// intersection; TIntersect then records the amortized cost, which
+	// is the point of the cache.
+	intersectProject := redist.IntersectProjectElements
+	if cache := f.cluster.cfg.ViewCache; cache != nil {
+		intersectProject = cache.IntersectProject
+	}
 	start := time.Now()
 	for s := 0; s < f.Phys.Pattern.Len(); s++ {
-		inter, pv, ps, err := redist.IntersectProjectElements(lf, elem, f.Phys, s)
+		inter, pv, ps, err := intersectProject(lf, elem, f.Phys, s)
 		if err != nil {
 			return nil, err
 		}
@@ -269,8 +286,8 @@ func (f *File) SetView(node int, lf *part.File, elem int) (*View, error) {
 		// PROJ_S travels to the subfile's I/O node over the wire
 		// (§8.1 "view set"); the server side operates on the decoded
 		// copy, exactly as the real system would.
-		wire := codec.EncodeProjection(ps)
-		decoded, err := codec.DecodeProjection(wire)
+		wire := redist.EncodeProjection(ps)
+		decoded, err := redist.DecodeProjection(wire)
 		if err != nil {
 			return nil, fmt.Errorf("clusterfile: projection wire round trip: %w", err)
 		}

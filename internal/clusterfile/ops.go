@@ -100,6 +100,7 @@ func (v *View) StartWrite(mode WriteMode, lowV, highV int64, buf []byte) (*Write
 		data        []byte
 		extents     int64
 		contiguous  bool
+		pooled      bool  // data came from the message-buffer pool
 		gatherNs    int64 // modeled gather cost (0 for the zero-copy path)
 	}
 	var plans []sendPlan
@@ -135,7 +136,8 @@ func (v *View) StartWrite(mode WriteMode, lowV, highV int64, buf []byte) (*Write
 			// Line 9: gather the non-contiguous regions into buf2.
 			n := sub.projV.BytesIn(lowV, highV)
 			segs := sub.projV.SegmentsIn(lowV, highV)
-			buf2 := make([]byte, n)
+			buf2 := getMsgBuf(n)
+			p.pooled = true
 			tg := time.Now()
 			if err := gatherWindow(buf2, buf, sub.projV, lowV, highV); err != nil {
 				return nil, err
@@ -170,9 +172,9 @@ func (v *View) StartWrite(mode WriteMode, lowV, highV int64, buf []byte) (*Write
 		// Lines 7/10: send the data.
 		data := p.data
 		sub := p.sub
-		lowS, highS, extents, contiguous := p.lowS, p.highS, p.extents, p.contiguous
+		lowS, highS, extents, contiguous, pooled := p.lowS, p.highS, p.extents, p.contiguous, p.pooled
 		deliver := func() {
-			c.serverWrite(op, v, sub, mode, ioNode, lowS, highS, extents, contiguous, data, lowV, highV)
+			c.serverWrite(op, v, sub, mode, ioNode, lowS, highS, extents, contiguous, pooled, data, lowV, highV)
 		}
 		if err := c.Net.SendAt(cnTime, v.node, netDst, int64(len(data)), deliver); err != nil {
 			return nil, err
@@ -187,8 +189,14 @@ func (v *View) StartWrite(mode WriteMode, lowV, highV int64, buf []byte) (*Write
 // either write it contiguously or scatter it into the subfile, then
 // acknowledge.
 func (c *Cluster) serverWrite(op *WriteOp, v *View, sub *subView, mode WriteMode,
-	ioNode int, lowS, highS, extents int64, contiguous bool, data []byte, lowV, highV int64) {
+	ioNode int, lowS, highS, extents int64, contiguous, pooled bool, data []byte, lowV, highV int64) {
 
+	// The store copies on WriteAt, so a pooled message buffer is free
+	// for reuse as soon as the scatter below returns. The contiguous
+	// path carries the caller's buffer and is never pooled.
+	if pooled {
+		defer putMsgBuf(data)
+	}
 	f := v.file
 	if err := f.growSubfile(sub.subfile, highS+1); err != nil {
 		op.Err = err
@@ -325,8 +333,9 @@ func (c *Cluster) serverRead(op *ReadOp, v *View, sub *subView, ioNode int,
 	}
 	n := sub.projS.BytesIn(lowS, highS)
 	segs := sub.projS.SegmentsIn(lowS, highS)
-	data := make([]byte, n)
+	data := getMsgBuf(n)
 	if err := gatherFromStorage(data, f.stores[sub.subfile], sub.projS, lowS, highS); err != nil {
+		putMsgBuf(data)
 		op.Err = err
 		op.pending--
 		return
@@ -334,6 +343,9 @@ func (c *Cluster) serverRead(op *ReadOp, v *View, sub *subView, ioNode int,
 	// The server's gather is CPU work before the send.
 	c.K.After(c.copyModelNs(n, segs), func() {
 		err := c.Net.Send(c.ioNet(ioNode), v.node, n, func() {
+			// The scatter copies into the user buffer, after which the
+			// message buffer is free for reuse.
+			defer putMsgBuf(data)
 			ts := time.Now()
 			if err := scatterWindow(buf, data, sub.projV, lowV, highV); err != nil {
 				op.Err = err
@@ -348,6 +360,7 @@ func (c *Cluster) serverRead(op *ReadOp, v *View, sub *subView, ioNode int,
 			}
 		})
 		if err != nil {
+			putMsgBuf(data)
 			op.Err = err
 			op.pending--
 		}

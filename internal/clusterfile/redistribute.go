@@ -52,7 +52,16 @@ func (c *Cluster) StartRedistribute(f *File, newName string, newPhys *part.File,
 	if length < 1 {
 		return nil, nil, fmt.Errorf("clusterfile: non-positive length %d", length)
 	}
-	plan, err := redist.NewPlan(f.Phys, newPhys)
+	// Repeated redistributions between the same layout pair (the
+	// adaptive-layout case §3 motivates) hit the plan cache instead of
+	// recompiling.
+	var plan *redist.Plan
+	var err error
+	if cache := c.cfg.PlanCache; cache != nil {
+		plan, _, err = cache.GetOrCompile(f.Phys, newPhys)
+	} else {
+		plan, err = redist.NewPlan(f.Phys, newPhys)
+	}
 	if err != nil {
 		return nil, nil, err
 	}
@@ -76,9 +85,10 @@ func (c *Cluster) StartRedistribute(f *File, newName string, newPhys *part.File,
 		if err := f.growSubfile(t.SrcElem, srcHi+1); err != nil {
 			return nil, nil, err
 		}
-		buf := make([]byte, bytes)
+		buf := getMsgBuf(bytes)
 		tg := time.Now()
 		if err := gatherStorageWindow(buf, f.stores[t.SrcElem], t.SrcProj, srcHi); err != nil {
+			putMsgBuf(buf)
 			return nil, nil, err
 		}
 		op.Stats.GatherReal += time.Since(tg)
@@ -94,6 +104,9 @@ func (c *Cluster) StartRedistribute(f *File, newName string, newPhys *part.File,
 		c.K.After(gatherNs, func() {
 			err := c.Net.Send(c.ioNet(srcION), c.ioNet(dstION), bytes, func() {
 				// Destination I/O node: scatter into the new subfile.
+				// The store copies on write, so the pooled message
+				// buffer is released once the scatter returns.
+				defer putMsgBuf(buf)
 				if err := nf.growSubfile(dstElem, dstHi+1); err != nil {
 					op.Err = err
 					op.pending--
@@ -116,6 +129,7 @@ func (c *Cluster) StartRedistribute(f *File, newName string, newPhys *part.File,
 				})
 			})
 			if err != nil {
+				putMsgBuf(buf)
 				op.Err = err
 				op.pending--
 			}

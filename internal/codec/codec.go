@@ -1,9 +1,12 @@
 // Package codec provides a compact binary wire format for the file
 // model's data structures: FALLS, nested FALLS sets, partitioning
-// patterns, files and projections. Clusterfile uses it to ship
-// PROJ_S to the I/O nodes at view-set time (§8.1) — the structures
-// received over the wire are the ones the servers operate on — and it
-// doubles as an on-disk metadata format.
+// patterns and files. Clusterfile uses it to ship PROJ_S to the I/O
+// nodes at view-set time (§8.1) — the structures received over the
+// wire are the ones the servers operate on — and it doubles as an
+// on-disk metadata format. The projection wire format itself lives in
+// package redist (which builds on these primitives), keeping codec
+// free of higher-layer dependencies so that redist can in turn use
+// EncodeFile as the canonical plan-cache fingerprint.
 //
 // The encoding is varint-based (encoding/binary), self-delimiting and
 // versioned.
@@ -15,24 +18,26 @@ import (
 
 	"parafile/internal/falls"
 	"parafile/internal/part"
-	"parafile/internal/redist"
 )
 
-// version tags the wire format.
-const version = 1
+// Version tags the wire format.
+const Version = 1
 
 // ErrCorrupt is wrapped by all decode failures.
 var ErrCorrupt = fmt.Errorf("codec: corrupt input")
 
-func appendUvarint(buf []byte, v uint64) []byte {
+// AppendUvarint appends an unsigned varint.
+func AppendUvarint(buf []byte, v uint64) []byte {
 	return binary.AppendUvarint(buf, v)
 }
 
-func appendVarint(buf []byte, v int64) []byte {
+// AppendVarint appends a signed (zig-zag) varint.
+func AppendVarint(buf []byte, v int64) []byte {
 	return binary.AppendVarint(buf, v)
 }
 
-func readUvarint(buf []byte) (uint64, []byte, error) {
+// ReadUvarint consumes an unsigned varint, returning the remainder.
+func ReadUvarint(buf []byte) (uint64, []byte, error) {
 	v, n := binary.Uvarint(buf)
 	if n <= 0 {
 		return 0, nil, fmt.Errorf("%w: bad uvarint", ErrCorrupt)
@@ -40,13 +45,20 @@ func readUvarint(buf []byte) (uint64, []byte, error) {
 	return v, buf[n:], nil
 }
 
-func readVarint(buf []byte) (int64, []byte, error) {
+// ReadVarint consumes a signed varint, returning the remainder.
+func ReadVarint(buf []byte) (int64, []byte, error) {
 	v, n := binary.Varint(buf)
 	if n <= 0 {
 		return 0, nil, fmt.Errorf("%w: bad varint", ErrCorrupt)
 	}
 	return v, buf[n:], nil
 }
+
+// Unexported aliases keep the package-internal call sites short.
+func appendUvarint(buf []byte, v uint64) []byte        { return AppendUvarint(buf, v) }
+func appendVarint(buf []byte, v int64) []byte          { return AppendVarint(buf, v) }
+func readUvarint(buf []byte) (uint64, []byte, error)   { return ReadUvarint(buf) }
+func readVarint(buf []byte) (int64, []byte, error)     { return ReadVarint(buf) }
 
 // AppendFALLS appends the encoding of a flat FALLS.
 func AppendFALLS(buf []byte, f falls.FALLS) []byte {
@@ -132,48 +144,10 @@ func decodeSetDepth(buf []byte, depth int) (falls.Set, []byte, error) {
 	return s, buf, nil
 }
 
-// EncodeProjection encodes a projection (set, period, bytes).
-func EncodeProjection(p *redist.Projection) []byte {
-	buf := appendUvarint(nil, version)
-	buf = appendVarint(buf, p.Period)
-	buf = appendVarint(buf, p.Bytes)
-	buf = AppendSet(buf, p.Set)
-	return buf
-}
-
-// DecodeProjection decodes a projection; the whole buffer must be
-// consumed.
-func DecodeProjection(buf []byte) (*redist.Projection, error) {
-	v, buf, err := readUvarint(buf)
-	if err != nil {
-		return nil, err
-	}
-	if v != version {
-		return nil, fmt.Errorf("%w: unknown version %d", ErrCorrupt, v)
-	}
-	p := &redist.Projection{}
-	if p.Period, buf, err = readVarint(buf); err != nil {
-		return nil, err
-	}
-	if p.Bytes, buf, err = readVarint(buf); err != nil {
-		return nil, err
-	}
-	if p.Set, buf, err = DecodeSet(buf); err != nil {
-		return nil, err
-	}
-	if len(buf) != 0 {
-		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(buf))
-	}
-	if p.Set.Size() != p.Bytes {
-		return nil, fmt.Errorf("%w: set size %d != declared bytes %d", ErrCorrupt, p.Set.Size(), p.Bytes)
-	}
-	return p, nil
-}
-
 // EncodeFile encodes a file description: displacement plus the named
 // partitioning pattern.
 func EncodeFile(f *part.File) []byte {
-	buf := appendUvarint(nil, version)
+	buf := appendUvarint(nil, Version)
 	buf = appendVarint(buf, f.Displacement)
 	buf = appendUvarint(buf, uint64(f.Pattern.Len()))
 	for _, e := range f.Pattern.Elements() {
@@ -191,7 +165,7 @@ func DecodeFile(buf []byte) (*part.File, error) {
 	if err != nil {
 		return nil, err
 	}
-	if v != version {
+	if v != Version {
 		return nil, fmt.Errorf("%w: unknown version %d", ErrCorrupt, v)
 	}
 	disp, buf, err := readVarint(buf)

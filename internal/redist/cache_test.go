@@ -1,0 +1,220 @@
+package redist
+
+import (
+	"testing"
+
+	"parafile/internal/part"
+)
+
+func cachePair(t *testing.T, n int64) (*part.File, *part.File) {
+	t.Helper()
+	rows, err := part.RowBlocks(n, n, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cols, err := part.ColBlocks(n, n, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return part.MustFile(0, rows), part.MustFile(0, cols)
+}
+
+func TestFingerprintDistinguishesGeometry(t *testing.T) {
+	src, dst := cachePair(t, 8)
+	base := Fingerprint(src, dst)
+	if Fingerprint(src, dst) != base {
+		t.Fatal("fingerprint not deterministic")
+	}
+	// Displacement matters.
+	shifted := part.MustFile(3, src.Pattern)
+	if Fingerprint(shifted, dst) == base {
+		t.Error("displacement change kept the fingerprint")
+	}
+	// Pattern matters.
+	sq, err := part.SquareBlocks(8, 8, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Fingerprint(part.MustFile(0, sq), dst) == base {
+		t.Error("pattern change kept the fingerprint")
+	}
+	// Direction matters.
+	if Fingerprint(dst, src) == base {
+		t.Error("swapped pair kept the fingerprint")
+	}
+}
+
+func TestPlanCacheGetOrCompile(t *testing.T) {
+	src, dst := cachePair(t, 8)
+	c := NewPlanCache(4, CompileOptions{})
+	p1, hit, err := c.GetOrCompile(src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit {
+		t.Fatal("first lookup reported a hit")
+	}
+	p2, hit, err := c.GetOrCompile(src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit {
+		t.Fatal("second lookup missed")
+	}
+	if p1 != p2 {
+		t.Fatal("hit returned a different plan pointer")
+	}
+	// An equal-geometry file built independently hits the same entry.
+	src2, dst2 := cachePair(t, 8)
+	p3, hit, err := c.GetOrCompile(src2, dst2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit || p3 != p1 {
+		t.Fatal("structurally equal pair missed the cache")
+	}
+	s := c.Stats()
+	if s.Hits != 2 || s.Misses != 1 {
+		t.Fatalf("stats = %+v, want 2 hits 1 miss", s)
+	}
+	// The cached plan still redistributes correctly.
+	img := image(64, 1)
+	srcBufs := SplitFile(src, img)
+	want := SplitFile(dst, img)
+	got := make([][]byte, len(want))
+	for i := range want {
+		got[i] = make([]byte, len(want[i]))
+	}
+	if err := p2.Execute(srcBufs, got, 64); err != nil {
+		t.Fatal(err)
+	}
+	for e := range want {
+		if string(got[e]) != string(want[e]) {
+			t.Fatalf("cached plan wrong on element %d", e)
+		}
+	}
+}
+
+func TestPlanCacheEviction(t *testing.T) {
+	pairs := make([][2]*part.File, 3)
+	for i := range pairs {
+		n := int64(8 * (i + 1))
+		src, dst := cachePair(t, n)
+		pairs[i] = [2]*part.File{src, dst}
+	}
+	c := NewPlanCache(2, CompileOptions{})
+	for _, p := range pairs {
+		if _, _, err := c.GetOrCompile(p[0], p[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.Len() != 2 {
+		t.Fatalf("len = %d, want 2", c.Len())
+	}
+	// Pair 0 is the least recently used and must be gone.
+	if _, ok := c.Get(pairs[0][0], pairs[0][1]); ok {
+		t.Error("LRU entry survived eviction")
+	}
+	for _, p := range pairs[1:] {
+		if _, ok := c.Get(p[0], p[1]); !ok {
+			t.Error("recent entry evicted")
+		}
+	}
+	if s := c.Stats(); s.Evictions != 1 {
+		t.Errorf("evictions = %d, want 1", s.Evictions)
+	}
+	// Touching an entry protects it from the next eviction.
+	if _, ok := c.Get(pairs[1][0], pairs[1][1]); !ok {
+		t.Fatal("pair 1 missing")
+	}
+	if _, _, err := c.GetOrCompile(pairs[0][0], pairs[0][1]); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get(pairs[2][0], pairs[2][1]); ok {
+		t.Error("LRU order ignored: pair 2 should have been evicted")
+	}
+	if _, ok := c.Get(pairs[1][0], pairs[1][1]); !ok {
+		t.Error("recently touched pair 1 evicted")
+	}
+}
+
+func TestPlanCacheInvalidateAndPurge(t *testing.T) {
+	src, dst := cachePair(t, 8)
+	c := NewPlanCache(4, CompileOptions{})
+	if c.Invalidate(src, dst) {
+		t.Error("invalidate on empty cache reported true")
+	}
+	if _, _, err := c.GetOrCompile(src, dst); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Invalidate(src, dst) {
+		t.Error("invalidate missed the cached entry")
+	}
+	if _, ok := c.Get(src, dst); ok {
+		t.Error("entry survived invalidation")
+	}
+	if _, _, err := c.GetOrCompile(src, dst); err != nil {
+		t.Fatal(err)
+	}
+	c.Purge()
+	if c.Len() != 0 {
+		t.Errorf("len after purge = %d", c.Len())
+	}
+}
+
+func TestPlanCachePut(t *testing.T) {
+	src, dst := cachePair(t, 8)
+	plan, err := NewPlan(src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewPlanCache(4, CompileOptions{})
+	c.Put(src, dst, plan)
+	got, hit, err := c.GetOrCompile(src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit || got != plan {
+		t.Fatal("Put entry not returned by GetOrCompile")
+	}
+}
+
+func TestPairCacheMatchesDirect(t *testing.T) {
+	src, dst := cachePair(t, 16)
+	c := NewPairCache(8)
+	for e1 := 0; e1 < src.Pattern.Len(); e1++ {
+		for e2 := 0; e2 < dst.Pattern.Len(); e2++ {
+			wantI, wantP1, wantP2, err := IntersectProjectElements(src, e1, dst, e2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotI, gotP1, gotP2, err := c.IntersectProject(src, e1, dst, e2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gotI.Period != wantI.Period || gotI.Base != wantI.Base || !gotI.Set.Equal(wantI.Set) {
+				t.Fatalf("pair (%d,%d): cached intersection differs", e1, e2)
+			}
+			if !gotP1.Set.Equal(wantP1.Set) || !gotP2.Set.Equal(wantP2.Set) {
+				t.Fatalf("pair (%d,%d): cached projections differ", e1, e2)
+			}
+			// Second call must hit and return the identical objects.
+			againI, _, _, err := c.IntersectProject(src, e1, dst, e2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if againI != gotI {
+				t.Fatalf("pair (%d,%d): warm lookup recomputed", e1, e2)
+			}
+		}
+	}
+	s := c.Stats()
+	pairs := uint64(src.Pattern.Len() * dst.Pattern.Len())
+	if s.Misses != pairs || s.Hits != pairs {
+		t.Errorf("stats = %+v, want %d misses and %d hits", s, pairs, pairs)
+	}
+	// Element indices are part of the key: (0,1) must not alias (1,0).
+	if pairKey(src, 0, dst, 1) == pairKey(src, 1, dst, 0) {
+		t.Error("pair keys alias across element indices")
+	}
+}

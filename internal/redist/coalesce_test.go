@@ -1,0 +1,197 @@
+package redist
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"parafile/internal/falls"
+	"parafile/internal/part"
+)
+
+// executeBoth compiles the pair with and without coalescing and checks
+// that both plans produce byte-identical output and that coalescing
+// never increases the run count.
+func executeBoth(t *testing.T, src, dst *part.File, length int64, seed int64) {
+	t.Helper()
+	coalesced, err := CompilePlan(src, dst, CompileOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := CompilePlan(src, dst, CompileOptions{Workers: 1, NoCoalesce: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c, r := coalesced.SegmentsPerPeriod(), raw.SegmentsPerPeriod(); c > r {
+		t.Fatalf("coalescing increased segments: %d > %d", c, r)
+	}
+	if coalesced.BytesPerPeriod() != raw.BytesPerPeriod() {
+		t.Fatalf("coalescing changed bytes per period: %d vs %d",
+			coalesced.BytesPerPeriod(), raw.BytesPerPeriod())
+	}
+
+	img := image(length, seed)
+	srcBufs := SplitFile(src, img)
+	want := SplitFile(dst, img)
+	run := func(p *Plan, exec func(*Plan, [][]byte) error) [][]byte {
+		got := make([][]byte, len(want))
+		for i := range want {
+			got[i] = make([]byte, len(want[i]))
+		}
+		if err := exec(p, got); err != nil {
+			t.Fatal(err)
+		}
+		return got
+	}
+	full := func(p *Plan, got [][]byte) error { return p.Execute(srcBufs, got, length) }
+	// An unaligned sub-range stresses the fileOff arithmetic of merged
+	// runs across period boundaries.
+	from := length / 3
+	partial := func(p *Plan, got [][]byte) error {
+		return p.ExecuteRange(srcBufs, got, from, length-from)
+	}
+
+	for name, exec := range map[string]func(*Plan, [][]byte) error{"full": full, "range": partial} {
+		gotC := run(coalesced, exec)
+		gotR := run(raw, exec)
+		for e := range gotC {
+			if !bytes.Equal(gotC[e], gotR[e]) {
+				t.Fatalf("%s: element %d differs between coalesced and raw plans", name, e)
+			}
+		}
+		if name == "full" {
+			for e := range gotC {
+				if !bytes.Equal(gotC[e], want[e]) {
+					t.Fatalf("element %d differs from reference split", e)
+				}
+			}
+		}
+	}
+}
+
+// TestCoalesceStrictReduction pins a case where coalescing must merge:
+// a source element of two touching leaves ([0,3] and [4,7]) against a
+// dense destination — adjacent triples are contiguous in all three
+// coordinates.
+func TestCoalesceStrictReduction(t *testing.T) {
+	src := fileAround(t, falls.Set{
+		falls.MustLeaf(0, 3, 16, 1),
+		falls.MustLeaf(4, 7, 16, 1),
+	}, 16, 0)
+	dense, err := part.NewPattern(part.Element{Name: "all", Set: falls.Set{falls.MustLeaf(0, 15, 16, 1)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := part.MustFile(0, dense)
+
+	coalesced, err := CompilePlan(src, dst, CompileOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := CompilePlan(src, dst, CompileOptions{Workers: 1, NoCoalesce: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if coalesced.SegmentsPerPeriod() >= raw.SegmentsPerPeriod() {
+		t.Fatalf("expected strict reduction, got %d vs %d",
+			coalesced.SegmentsPerPeriod(), raw.SegmentsPerPeriod())
+	}
+	executeBoth(t, src, dst, 64, 7)
+}
+
+// TestCoalescePropertyRandomPairs: on randomized partition pairs the
+// coalesced plan is byte-identical to the uncoalesced one under both
+// Execute and ExecuteRange.
+func TestCoalescePropertyRandomPairs(t *testing.T) {
+	rng := rand.New(rand.NewSource(412))
+	const span = 48
+	for iter := 0; iter < 120; iter++ {
+		s1 := randSetIn(rng, span)
+		s2 := randSetIn(rng, span)
+		if len(s1) == 0 || len(s2) == 0 {
+			continue
+		}
+		if s1.Validate() != nil || s2.Validate() != nil {
+			continue
+		}
+		src := fileAround(t, s1, span, 0)
+		dst := fileAround(t, s2, span, 0)
+		executeBoth(t, src, dst, 3*span+5, int64(iter))
+	}
+}
+
+// TestCoalescePaperLayouts runs the equivalence check on the §8.2
+// layout pairs, where row/column geometry produces long triple chains.
+func TestCoalescePaperLayouts(t *testing.T) {
+	rows, _ := part.RowBlocks(16, 16, 4)
+	cols, _ := part.ColBlocks(16, 16, 4)
+	sq, _ := part.SquareBlocks(16, 16, 2, 2)
+	pats := map[string]*part.Pattern{"rows": rows, "cols": cols, "square": sq}
+	for an, a := range pats {
+		for bn, b := range pats {
+			t.Run(an+"->"+bn, func(t *testing.T) {
+				executeBoth(t, part.MustFile(0, a), part.MustFile(0, b), 256, 99)
+			})
+		}
+	}
+}
+
+// TestPlanGeometryAnalytic: Period and Base follow the analytic §7
+// formulas (lcm of pattern sizes, larger displacement) even for plans
+// compiled in parallel, and empty plans now carry them too.
+func TestPlanGeometryAnalytic(t *testing.T) {
+	s1 := falls.Set{falls.MustLeaf(0, 1, 6, 1)}
+	s2 := falls.Set{falls.MustLeaf(0, 3, 8, 1)}
+	src := fileAround(t, s1, 6, 2)
+	dst := fileAround(t, s2, 8, 5)
+	for _, workers := range []int{1, 4} {
+		p, err := CompilePlan(src, dst, CompileOptions{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Period != falls.Lcm64(6, 8) {
+			t.Errorf("workers=%d: period = %d, want %d", workers, p.Period, falls.Lcm64(6, 8))
+		}
+		if p.Base != 5 {
+			t.Errorf("workers=%d: base = %d, want 5", workers, p.Base)
+		}
+	}
+}
+
+// TestParallelPlanMatchesSequential: the worker count must not change
+// the compiled plan.
+func TestParallelPlanMatchesSequential(t *testing.T) {
+	rows, _ := part.RowBlocks(16, 16, 4)
+	cols, _ := part.ColBlocks(16, 16, 4)
+	src, dst := part.MustFile(0, rows), part.MustFile(0, cols)
+	seq, err := NewPlanParallel(src, dst, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 3, 8, 64} {
+		par, err := NewPlanParallel(src, dst, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(par.Transfers) != len(seq.Transfers) {
+			t.Fatalf("workers=%d: %d transfers, want %d", workers, len(par.Transfers), len(seq.Transfers))
+		}
+		for i := range seq.Transfers {
+			a, b := &seq.Transfers[i], &par.Transfers[i]
+			if a.SrcElem != b.SrcElem || a.DstElem != b.DstElem {
+				t.Fatalf("workers=%d: transfer %d pairs (%d,%d) vs (%d,%d)",
+					workers, i, a.SrcElem, a.DstElem, b.SrcElem, b.DstElem)
+			}
+			if len(a.triples) != len(b.triples) {
+				t.Fatalf("workers=%d: transfer %d has %d triples, want %d",
+					workers, i, len(b.triples), len(a.triples))
+			}
+			for j := range a.triples {
+				if a.triples[j] != b.triples[j] {
+					t.Fatalf("workers=%d: transfer %d triple %d = %+v, want %+v",
+						workers, i, j, b.triples[j], a.triples[j])
+				}
+			}
+		}
+	}
+}

@@ -2,6 +2,7 @@ package redist
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 
 	"parafile/internal/core"
@@ -15,6 +16,14 @@ import (
 // pair and reused for any amount of data — the paper's point that the
 // intersection overhead "has to be paid only at view setting and can
 // be amortized over several accesses" (§8.2).
+//
+// Compilation is embarrassingly parallel: every (source element,
+// destination element) pair's intersection, projections and triple
+// walk are independent of every other pair, and the mappers they read
+// are immutable after construction. CompilePlan fans the pairs out
+// over a worker pool and reassembles the transfers in deterministic
+// pair order, so a parallel compile yields a plan identical to the
+// sequential one.
 
 // copyTriple is one contiguous correspondence within one intersection
 // period: n bytes at srcOff in the source element map to dstOff in the
@@ -48,13 +57,48 @@ type Plan struct {
 	Transfers []Transfer
 }
 
+// CompileOptions tunes plan compilation. The zero value selects the
+// defaults: one worker per GOMAXPROCS and run coalescing enabled.
+type CompileOptions struct {
+	// Workers is the number of goroutines compiling element pairs
+	// concurrently; zero or negative selects runtime.GOMAXPROCS(0).
+	Workers int
+	// NoCoalesce disables the triple-coalescing pass that merges
+	// adjacent copy runs contiguous in source, destination and file
+	// space. Coalesced and uncoalesced plans move byte-identical data;
+	// the switch exists for ablation measurements.
+	NoCoalesce bool
+}
+
 // NewPlan intersects every source element with every destination
-// element and precomputes the per-period copy runs.
+// element and precomputes the per-period copy runs, compiling the
+// pairs in parallel over GOMAXPROCS workers.
 func NewPlan(src, dst *part.File) (*Plan, error) {
+	return CompilePlan(src, dst, CompileOptions{})
+}
+
+// NewPlanParallel is NewPlan with an explicit worker count for the
+// pairwise compilation loop.
+func NewPlanParallel(src, dst *part.File, workers int) (*Plan, error) {
+	return CompilePlan(src, dst, CompileOptions{Workers: workers})
+}
+
+// pairResult is the output of compiling one (source element,
+// destination element) pair.
+type pairResult struct {
+	tr    Transfer
+	inter *Intersection
+	err   error
+}
+
+// CompilePlan builds the redistribution plan under explicit options.
+// The plan is independent of the worker count: transfers appear in
+// (source element, destination element) order regardless of which
+// worker compiled them.
+func CompilePlan(src, dst *part.File, opts CompileOptions) (*Plan, error) {
 	if src == nil || dst == nil {
 		return nil, fmt.Errorf("redist: nil file")
 	}
-	plan := &Plan{Src: src, Dst: dst}
 	srcMappers := make([]*core.Mapper, src.Pattern.Len())
 	dstMappers := make([]*core.Mapper, dst.Pattern.Len())
 	for i := range srcMappers {
@@ -71,45 +115,129 @@ func NewPlan(src, dst *part.File) (*Plan, error) {
 		}
 		dstMappers[i] = m
 	}
-	for si := 0; si < src.Pattern.Len(); si++ {
-		for di := 0; di < dst.Pattern.Len(); di++ {
-			inter, sp, dp, err := IntersectProjectElements(src, si, dst, di)
-			if err != nil {
-				return nil, err
-			}
-			if inter.Empty() {
-				continue
-			}
-			plan.Period = inter.Period
-			plan.Base = inter.Base
-			tr := Transfer{
-				SrcElem: si, DstElem: di,
-				Intersection: inter, SrcProj: sp, DstProj: dp,
-			}
-			var walkErr error
-			inter.Set.Walk(func(seg falls.LineSegment) bool {
-				so, err := srcMappers[si].Map(inter.Base + seg.L)
-				if err != nil {
-					walkErr = err
-					return false
-				}
-				do, err := dstMappers[di].Map(inter.Base + seg.L)
-				if err != nil {
-					walkErr = err
-					return false
-				}
-				tr.triples = append(tr.triples, copyTriple{
-					srcOff: so, dstOff: do, fileOff: seg.L, n: seg.Len(),
-				})
-				return true
-			})
-			if walkErr != nil {
-				return nil, walkErr
-			}
-			plan.Transfers = append(plan.Transfers, tr)
+	// The intersection geometry is the same for every pair: period is
+	// the lcm of the two pattern sizes, base the larger displacement
+	// (§7 PREPROCESS). Each pair's intersection re-derives it; the
+	// assembly below cross-checks them.
+	plan := &Plan{
+		Src: src, Dst: dst,
+		Period: falls.Lcm64(src.Pattern.Size(), dst.Pattern.Size()),
+		Base:   max64(src.Displacement, dst.Displacement),
+	}
+
+	nd := dst.Pattern.Len()
+	pairs := src.Pattern.Len() * nd
+	results := make([]pairResult, pairs)
+	// compilePair runs the full per-pair pipeline: intersection,
+	// projections, and the triple walk through the (immutable, hence
+	// concurrency-safe) mappers.
+	compilePair := func(pi int) {
+		si, di := pi/nd, pi%nd
+		res := &results[pi]
+		inter, sp, dp, err := IntersectProjectElements(src, si, dst, di)
+		if err != nil {
+			res.err = err
+			return
 		}
+		res.inter = inter
+		if inter.Empty() {
+			return
+		}
+		res.tr = Transfer{
+			SrcElem: si, DstElem: di,
+			Intersection: inter, SrcProj: sp, DstProj: dp,
+		}
+		inter.Set.Walk(func(seg falls.LineSegment) bool {
+			so, err := srcMappers[si].Map(inter.Base + seg.L)
+			if err != nil {
+				res.err = err
+				return false
+			}
+			do, err := dstMappers[di].Map(inter.Base + seg.L)
+			if err != nil {
+				res.err = err
+				return false
+			}
+			res.tr.triples = append(res.tr.triples, copyTriple{
+				srcOff: so, dstOff: do, fileOff: seg.L, n: seg.Len(),
+			})
+			return true
+		})
+	}
+
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > pairs {
+		workers = pairs
+	}
+	if workers <= 1 {
+		for pi := 0; pi < pairs; pi++ {
+			compilePair(pi)
+		}
+	} else {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for pi := w; pi < pairs; pi += workers {
+					compilePair(pi)
+				}
+			}(w)
+		}
+		wg.Wait()
+	}
+
+	// Deterministic assembly, with the geometry cross-check: every
+	// non-empty intersection must report the analytic period and base.
+	// (The pre-fix code let each pair overwrite Plan.Period/Base, so a
+	// disagreeing pair would have been silently kept.)
+	for pi := range results {
+		res := &results[pi]
+		if res.err != nil {
+			return nil, res.err
+		}
+		if res.inter == nil || res.inter.Empty() {
+			continue
+		}
+		if res.inter.Period != plan.Period || res.inter.Base != plan.Base {
+			return nil, fmt.Errorf(
+				"redist: inconsistent intersection geometry for pair (%d,%d): period %d base %d, want period %d base %d",
+				res.tr.SrcElem, res.tr.DstElem, res.inter.Period, res.inter.Base, plan.Period, plan.Base)
+		}
+		if !opts.NoCoalesce {
+			res.tr.triples = coalesceTriples(res.tr.triples)
+		}
+		plan.Transfers = append(plan.Transfers, res.tr)
 	}
 	return plan, nil
+}
+
+// coalesceTriples merges adjacent copy runs whose source, destination
+// and file offsets are all contiguous into maximal runs. Triples
+// arrive in ascending file order from the intersection walk, so a
+// single forward pass suffices. Merging is exact: the merged run
+// copies the same bytes between the same offsets, and the file-offset
+// arithmetic of ExecuteRange/Windows still holds because the file
+// span of the merged run equals its length.
+func coalesceTriples(ts []copyTriple) []copyTriple {
+	if len(ts) < 2 {
+		return ts
+	}
+	out := ts[:1]
+	for _, tr := range ts[1:] {
+		last := &out[len(out)-1]
+		if last.fileOff+last.n == tr.fileOff &&
+			last.srcOff+last.n == tr.srcOff &&
+			last.dstOff+last.n == tr.dstOff {
+			last.n += tr.n
+			continue
+		}
+		out = append(out, tr)
+	}
+	return out
 }
 
 // BytesPerPeriod returns the total bytes the plan moves per

@@ -1,0 +1,96 @@
+package redist
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"parafile/internal/part"
+)
+
+// TestConcurrentCompileExecuteCache drives the three concurrent
+// entry points at once — parallel plan compilation, parallel
+// execution of a shared plan, and plan-cache lookups — so `go test
+// -race` can observe any unsynchronized access. Plans and mappers are
+// immutable after compilation, so all sharing here must be clean.
+func TestConcurrentCompileExecuteCache(t *testing.T) {
+	rows, _ := part.RowBlocks(8, 8, 4)
+	cols, _ := part.ColBlocks(8, 8, 4)
+	src, dst := part.MustFile(0, rows), part.MustFile(0, cols)
+	const length = 64
+
+	img := image(length, 3)
+	srcBufs := SplitFile(src, img)
+	want := SplitFile(dst, img)
+
+	shared, err := NewPlan(src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := NewPlanCache(4, CompileOptions{Workers: 2})
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				switch g % 4 {
+				case 0: // compile with the worker pool
+					if _, err := NewPlanParallel(src, dst, 4); err != nil {
+						errs <- err
+						return
+					}
+				case 1: // execute the shared plan in parallel
+					got := make([][]byte, len(want))
+					for e := range want {
+						got[e] = make([]byte, len(want[e]))
+					}
+					if err := shared.ExecuteParallel(srcBufs, got, length, 4); err != nil {
+						errs <- err
+						return
+					}
+					for e := range want {
+						if !bytes.Equal(got[e], want[e]) {
+							t.Errorf("goroutine %d: element %d differs", g, e)
+							return
+						}
+					}
+				case 2: // hammer the cache (miss, hit, invalidate)
+					p, _, err := cache.GetOrCompile(src, dst)
+					if err != nil {
+						errs <- err
+						return
+					}
+					if p.Period != shared.Period {
+						t.Errorf("goroutine %d: cached plan period %d, want %d", g, p.Period, shared.Period)
+						return
+					}
+					if i%7 == 0 {
+						cache.Invalidate(src, dst)
+					}
+				case 3: // execute a cache-obtained plan
+					p, _, err := cache.GetOrCompile(src, dst)
+					if err != nil {
+						errs <- err
+						return
+					}
+					got := make([][]byte, len(want))
+					for e := range want {
+						got[e] = make([]byte, len(want[e]))
+					}
+					if err := p.Execute(srcBufs, got, length); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

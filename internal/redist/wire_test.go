@@ -1,0 +1,51 @@
+package redist
+
+import (
+	"testing"
+
+	"parafile/internal/core"
+	"parafile/internal/falls"
+	"parafile/internal/part"
+)
+
+func TestProjectionRoundTrip(t *testing.T) {
+	rows, _ := part.RowBlocks(16, 16, 4)
+	cols, _ := part.ColBlocks(16, 16, 4)
+	fr := part.MustFile(0, rows)
+	fc := part.MustFile(0, cols)
+	inter, err := IntersectElements(fr, 0, fc, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proj, err := Project(inter, core.MustMapper(fc, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := EncodeProjection(proj)
+	got, err := DecodeProjection(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Period != proj.Period || got.Bytes != proj.Bytes || !got.Set.Equal(proj.Set) {
+		t.Fatalf("projection round trip changed: %+v vs %+v", got, proj)
+	}
+}
+
+func TestProjectionCorruption(t *testing.T) {
+	p := &Projection{
+		Set:    falls.Set{falls.MustLeaf(0, 3, 8, 2)},
+		Period: 16,
+		Bytes:  8,
+	}
+	buf := EncodeProjection(p)
+	for cut := 0; cut < len(buf); cut++ {
+		if _, err := DecodeProjection(buf[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+	// Size mismatch detected.
+	bad := &Projection{Set: p.Set, Period: 16, Bytes: 5}
+	if _, err := DecodeProjection(EncodeProjection(bad)); err == nil {
+		t.Error("size mismatch accepted")
+	}
+}
