@@ -5,16 +5,19 @@
 //
 // Usage:
 //
-//	clusterfsdemo [-n 256] [-phys c|b|r] [-mode bc|disk]
+//	clusterfsdemo [-n 256] [-phys c|b|r] [-mode bc|disk] [-report]
+//	              [-spans] [-metrics-addr host:port]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 
 	"parafile/internal/bench"
 	"parafile/internal/clusterfile"
+	"parafile/internal/obs"
 	"parafile/internal/redist"
 	"parafile/internal/sim"
 )
@@ -27,6 +30,10 @@ func main() {
 	mode := flag.String("mode", "bc", "write mode: bc (buffer cache) or disk")
 	dir := flag.String("dir", "", "store subfiles as real files in this directory (default: in-memory)")
 	trace := flag.Bool("trace", false, "print the virtual-time event trace of the write")
+	report := flag.Bool("report", false, "print the collected metrics as a table after the run")
+	spans := flag.Bool("spans", false, "print the wall-clock span tree of the run")
+	metricsAddr := flag.String("metrics-addr", "",
+		"serve the collected metrics over HTTP on this address after the run (/metrics Prometheus text, /metrics.json JSON, /report table); keeps the process alive")
 	flag.Parse()
 
 	if *n < 4 || *n%4 != 0 {
@@ -39,7 +46,11 @@ func main() {
 		log.Fatalf("unknown mode %q", *mode)
 	}
 
+	reg := obs.NewRegistry()
+	root := obs.StartSpan("clusterfsdemo")
 	cfg := clusterfile.DefaultConfig()
+	cfg.Metrics = reg
+	cfg.Trace = root
 	if *dir != "" {
 		cfg.Storage = clusterfile.DirStorageFactory(*dir)
 	}
@@ -117,4 +128,22 @@ func main() {
 		}
 	}
 	fmt.Println("read-back: every compute node read its view back intact")
+
+	root.End()
+	if *report {
+		fmt.Println()
+		fmt.Print(obs.Report(reg))
+	}
+	if *spans {
+		fmt.Println("\nWall-clock spans of the run:")
+		fmt.Print(root.Format())
+	}
+	if *metricsAddr != "" {
+		addr, err := obs.Serve(*metricsAddr, reg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "clusterfsdemo: serving metrics on http://%s/metrics (also /metrics.json, /report); interrupt to exit\n", addr)
+		select {}
+	}
 }

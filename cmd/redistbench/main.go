@@ -6,7 +6,7 @@
 // Usage:
 //
 //	redistbench [-table 1|2|match|read|ablation|all] [-sizes 256,512,1024,2048]
-//	            [-reps 3] [-workers 0] [-plancache]
+//	            [-reps 3] [-workers 0] [-plancache] [-metrics-addr host:port]
 package main
 
 import (
@@ -19,6 +19,7 @@ import (
 
 	"parafile/internal/bench"
 	"parafile/internal/match"
+	"parafile/internal/obs"
 	"parafile/internal/part"
 	"parafile/internal/redist"
 )
@@ -32,7 +33,32 @@ func main() {
 	workers := flag.Int("workers", 0, "plan compilation workers for the ablation table (0 = GOMAXPROCS)")
 	planCache := flag.Bool("plancache", false,
 		"share an intersection cache across repetitions; t_i then shows the amortized (warm) cost instead of the paper's cold cost")
+	metricsAddr := flag.String("metrics-addr", "",
+		"serve the collected metrics over HTTP on this address after the run (/metrics Prometheus text, /metrics.json JSON, /report table); keeps the process alive")
 	flag.Parse()
+
+	// Fail fast on malformed invocations before any benchmarking: a
+	// leftover positional argument means a flag was mistyped (the flag
+	// package stops parsing at the first non-flag), and an explicit
+	// -workers 0 with the ablation table would silently measure the
+	// GOMAXPROCS default instead of what the user asked for.
+	if flag.NArg() > 0 {
+		log.Fatalf("unexpected arguments %q — flags must precede all values; run with -h for usage", flag.Args())
+	}
+	switch *table {
+	case "1", "2", "match", "read", "ablation", "all":
+	default:
+		log.Fatalf("unknown table %q (want 1, 2, match, read, ablation or all)", *table)
+	}
+	workersSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "workers" {
+			workersSet = true
+		}
+	})
+	if (*table == "ablation" || *table == "all") && workersSet && *workers <= 0 {
+		log.Fatalf("-workers must be positive when set explicitly (got %d); omit the flag to use GOMAXPROCS", *workers)
+	}
 
 	sizes, err := parseSizes(*sizesArg)
 	if err != nil {
@@ -42,13 +68,22 @@ func main() {
 		log.Fatal("reps must be positive")
 	}
 
-	var opts bench.Options
+	reg := obs.NewRegistry()
+	opts := bench.Options{Metrics: reg}
 	if *planCache {
-		opts.ViewCache = redist.NewPairCache(redist.DefaultCacheCapacity)
+		vc := redist.NewPairCache(redist.DefaultCacheCapacity)
+		vc.Instrument(reg)
+		opts.ViewCache = vc
 	}
-	t1, t2, err := runAveraged(sizes, *reps, opts)
-	if err != nil {
-		log.Fatal(err)
+	// The match and read tables only need the cluster benchmark for
+	// context; the ablation table does not need it at all.
+	var t1 []bench.Table1Row
+	var t2 []bench.Table2Row
+	if *table != "read" && *table != "ablation" {
+		t1, t2, err = runAveraged(sizes, *reps, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
 	}
 	switch *table {
 	case "1":
@@ -64,7 +99,7 @@ func main() {
 			log.Fatal(err)
 		}
 	case "ablation":
-		if err := printAblationTable(sizes, *workers); err != nil {
+		if err := printAblationTable(sizes, *workers, reg); err != nil {
 			log.Fatal(err)
 		}
 	case "all":
@@ -76,16 +111,29 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Println()
-		if err := printAblationTable(sizes, *workers); err != nil {
+		if err := printAblationTable(sizes, *workers, reg); err != nil {
 			log.Fatal(err)
 		}
-	default:
-		log.Fatalf("unknown table %q (want 1, 2, match, read, ablation or all)", *table)
+	}
+	if rep := obs.Report(reg); rep != "" {
+		fmt.Println()
+		fmt.Print(rep)
 	}
 	fmt.Fprintln(os.Stderr,
 		"\nnote: t_i, t_m and real(host) are wall-clock on this machine; t_g, t_net and t_sc\n"+
 			"come from the era-calibrated cost models (Myrinet/IDE, 2002) — compare shapes, not\n"+
 			"absolute host-dependent values.")
+
+	if *metricsAddr != "" {
+		addr, err := obs.Serve(*metricsAddr, reg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// The bound address goes to stderr in a greppable form so
+		// scripts can use ":0" and discover the port.
+		fmt.Fprintf(os.Stderr, "redistbench: serving metrics on http://%s/metrics (also /metrics.json, /report); interrupt to exit\n", addr)
+		select {}
+	}
 }
 
 // printMatchTable prints the §9 "future work" extension: the
@@ -144,8 +192,8 @@ func printReadTable(sizes []int64) error {
 // printAblationTable prints the plan-compilation ablation: sequential
 // vs parallel compile, cold vs warm cache lookup, and the coalescing
 // segment reduction.
-func printAblationTable(sizes []int64, workers int) error {
-	rows, err := bench.RunPlanAblation(sizes, workers)
+func printAblationTable(sizes []int64, workers int, reg *obs.Registry) error {
+	rows, err := bench.RunPlanAblationObs(sizes, workers, reg, nil)
 	if err != nil {
 		return err
 	}

@@ -5,6 +5,7 @@ import (
 	"strings"
 	"time"
 
+	"parafile/internal/obs"
 	"parafile/internal/part"
 	"parafile/internal/redist"
 )
@@ -52,6 +53,15 @@ func planPair(phys string, n int64) (*part.File, *part.File, error) {
 // RunPlanAblation measures every (size, layout) configuration. A
 // workers value < 1 selects the CompilePlan default (GOMAXPROCS).
 func RunPlanAblation(sizes []int64, workers int) ([]PlanAblationRow, error) {
+	return RunPlanAblationObs(sizes, workers, nil, nil)
+}
+
+// RunPlanAblationObs is RunPlanAblation with observability: every
+// compile records into reg (compile latency histogram, seq/par
+// counters, segment counts) and parents its wall-clock span under
+// trace; the per-configuration plan cache reports its hit/miss
+// counters into reg too. Both may be nil.
+func RunPlanAblationObs(sizes []int64, workers int, reg *obs.Registry, trace *obs.Span) ([]PlanAblationRow, error) {
 	var rows []PlanAblationRow
 	for _, n := range sizes {
 		for _, phys := range Layouts {
@@ -60,21 +70,25 @@ func RunPlanAblation(sizes []int64, workers int) ([]PlanAblationRow, error) {
 				return nil, err
 			}
 			row := PlanAblationRow{Size: n, Phys: phys, Workers: workers}
+			span := trace.StartChild(fmt.Sprintf("ablation %s/%d", phys, n))
 
 			t0 := time.Now()
-			seq, err := redist.CompilePlan(src, dst, redist.CompileOptions{Workers: 1})
+			seq, err := redist.CompilePlan(src, dst,
+				redist.CompileOptions{Workers: 1, Metrics: reg, Trace: span})
 			if err != nil {
 				return nil, err
 			}
 			row.SeqUs = float64(time.Since(t0).Nanoseconds()) / us
 
 			t0 = time.Now()
-			if _, err := redist.CompilePlan(src, dst, redist.CompileOptions{Workers: workers}); err != nil {
+			if _, err := redist.CompilePlan(src, dst,
+				redist.CompileOptions{Workers: workers, Metrics: reg, Trace: span}); err != nil {
 				return nil, err
 			}
 			row.ParUs = float64(time.Since(t0).Nanoseconds()) / us
 
-			raw, err := redist.CompilePlan(src, dst, redist.CompileOptions{Workers: 1, NoCoalesce: true})
+			raw, err := redist.CompilePlan(src, dst,
+				redist.CompileOptions{Workers: 1, NoCoalesce: true, Metrics: reg, Trace: span})
 			if err != nil {
 				return nil, err
 			}
@@ -82,7 +96,8 @@ func RunPlanAblation(sizes []int64, workers int) ([]PlanAblationRow, error) {
 			row.SegsCoalesced = seq.SegmentsPerPeriod()
 
 			cache := redist.NewPlanCache(redist.DefaultCacheCapacity,
-				redist.CompileOptions{Workers: workers})
+				redist.CompileOptions{Workers: workers, Trace: span})
+			cache.Instrument(reg)
 			t0 = time.Now()
 			if _, _, err := cache.GetOrCompile(src, dst); err != nil {
 				return nil, err
@@ -95,6 +110,7 @@ func RunPlanAblation(sizes []int64, workers int) ([]PlanAblationRow, error) {
 				return nil, fmt.Errorf("bench: warm lookup missed the plan cache")
 			}
 			row.WarmUs = float64(time.Since(t0).Nanoseconds()) / us
+			span.End()
 
 			rows = append(rows, row)
 		}

@@ -14,6 +14,7 @@ import (
 	"strings"
 
 	"parafile/internal/clusterfile"
+	"parafile/internal/obs"
 	"parafile/internal/part"
 	"parafile/internal/redist"
 	"parafile/internal/sim"
@@ -158,6 +159,13 @@ type Options struct {
 	// cache across every RunConfigOpts call of a sweep turns all runs
 	// after the first into warm runs.
 	ViewCache *redist.PairCache
+	// Metrics, when non-nil, is installed in every cluster the run
+	// builds, accumulating the observability series across the whole
+	// sweep (cmd/redistbench appends the obs.Report to its output).
+	Metrics *obs.Registry
+	// Trace, when non-nil, parents the wall-clock spans of every
+	// cluster operation the run performs.
+	Trace *obs.Span
 }
 
 // RunConfig runs the full §8.2 benchmark for one (size, layout) pair:
@@ -173,6 +181,8 @@ func RunConfigOpts(phys string, n int64, opts Options) (Table1Row, Table2Row, er
 
 	cfg := clusterfile.DefaultConfig()
 	cfg.ViewCache = opts.ViewCache
+	cfg.Metrics = opts.Metrics
+	cfg.Trace = opts.Trace
 	for _, mode := range []clusterfile.WriteMode{clusterfile.ToBufferCache, clusterfile.ToDisk} {
 		w, err := NewWorkloadWithConfig(phys, n, cfg)
 		if err != nil {

@@ -1,0 +1,59 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"parafile/internal/obs"
+	"parafile/internal/redist"
+)
+
+// TestRunPlanAblationObs checks that the instrumented ablation records
+// its compiles and cache traffic into the registry and parents its
+// spans under the given root.
+func TestRunPlanAblationObs(t *testing.T) {
+	reg := obs.NewRegistry()
+	root := obs.StartSpan("test")
+	rows, err := RunPlanAblationObs([]int64{64}, 1, reg, root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(Layouts) {
+		t.Fatalf("rows = %d, want %d", len(rows), len(Layouts))
+	}
+	// Per configuration: seq, par, raw and the cache's cold compile.
+	wantCompiles := uint64(4 * len(Layouts))
+	if got := reg.Histogram(redist.MetricCompileNs, obs.LatencyBuckets()).Count(); got != wantCompiles {
+		t.Errorf("compile histogram count = %d, want %d", got, wantCompiles)
+	}
+	// Each configuration's private cache does one miss and one hit.
+	if got := reg.Counter(`parafile_redist_plan_cache_hits_total`).Value(); got != uint64(len(Layouts)) {
+		t.Errorf("plan cache hits = %d, want %d", got, len(Layouts))
+	}
+	if got := reg.Counter(`parafile_redist_plan_cache_misses_total`).Value(); got != uint64(len(Layouts)) {
+		t.Errorf("plan cache misses = %d, want %d", got, len(Layouts))
+	}
+	root.End()
+	txt := root.Format()
+	for _, want := range []string{"ablation c/64", "ablation b/64", "ablation r/64", "redist.compile"} {
+		if !strings.Contains(txt, want) {
+			t.Errorf("span tree missing %q:\n%s", want, txt)
+		}
+	}
+}
+
+// TestRunConfigOptsMetrics checks the cluster benchmark threads the
+// registry through to the clusterfile layer.
+func TestRunConfigOptsMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	if _, _, err := RunConfigOpts("c", 64, Options{Metrics: reg}); err != nil {
+		t.Fatal(err)
+	}
+	// Two workloads (bc + disk), four writes each.
+	if got := reg.Counter("parafile_clusterfile_write_ops_total").Value(); got != 8 {
+		t.Errorf("write ops = %d, want 8", got)
+	}
+	if got := reg.Counter("parafile_clusterfile_gather_bytes_total").Value(); got == 0 {
+		t.Error("gather bytes not recorded")
+	}
+}

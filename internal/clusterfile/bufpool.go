@@ -14,14 +14,18 @@ import "sync"
 var msgBufPool sync.Pool
 
 // getMsgBuf returns a length-n buffer, reusing pooled capacity when
-// possible. Contents are unspecified.
-func getMsgBuf(n int64) []byte {
+// possible. Contents are unspecified. Pool traffic is counted on the
+// cluster's msgbuf hit/miss series: a hit reuses pooled capacity, a
+// miss (empty pool, or pooled capacity too small) allocates.
+func (c *Cluster) getMsgBuf(n int64) []byte {
 	if v := msgBufPool.Get(); v != nil {
 		b := *(v.(*[]byte))
 		if int64(cap(b)) >= n {
+			c.met.bufHits.Inc()
 			return b[:n]
 		}
 	}
+	c.met.bufMisses.Inc()
 	return make([]byte, n)
 }
 

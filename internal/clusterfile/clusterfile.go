@@ -27,6 +27,7 @@ import (
 	"parafile/internal/core"
 	"parafile/internal/disksim"
 	"parafile/internal/netsim"
+	"parafile/internal/obs"
 	"parafile/internal/part"
 	"parafile/internal/redist"
 	"parafile/internal/sim"
@@ -79,6 +80,16 @@ type Config struct {
 	// PlanCache, when non-nil, memoizes the redistribution plans
 	// StartRedistribute compiles, keyed the same way.
 	PlanCache *redist.PlanCache
+	// Metrics, when non-nil, receives the cluster's operation series
+	// (metrics.go): gather/scatter volumes and latencies, protocol
+	// message counts, buffer-pool traffic, per-I/O-node byte totals.
+	// Nil (the default) records nothing at zero cost.
+	Metrics *obs.Registry
+	// Trace, when non-nil, is the parent wall-clock span under which
+	// the host-side phases of SetView, writes, reads and
+	// redistributions open children — the real-time complement of the
+	// virtual-time sim.Tracer.
+	Trace *obs.Span
 }
 
 // DefaultConfig mirrors the paper's testbed subset: four compute nodes
@@ -104,6 +115,8 @@ type Cluster struct {
 	Disks  []*disksim.Disk
 	files  map[string]*File
 	tracer *sim.Tracer
+	met    cfMetrics
+	span   *obs.Span
 }
 
 // New builds a cluster.
@@ -118,6 +131,8 @@ func New(cfg Config) (*Cluster, error) {
 		Net:   netsim.New(k, cfg.Net, cfg.ComputeNodes+cfg.IONodes),
 		Disks: make([]*disksim.Disk, cfg.IONodes),
 		files: make(map[string]*File),
+		met:   newCFMetrics(cfg.Metrics, cfg.IONodes),
+		span:  cfg.Trace,
 	}
 	for i := range c.Disks {
 		c.Disks[i] = disksim.New(k, cfg.Disk)
@@ -274,6 +289,8 @@ func (f *File) SetView(node int, lf *part.File, elem int) (*View, error) {
 	if cache := f.cluster.cfg.ViewCache; cache != nil {
 		intersectProject = cache.IntersectProject
 	}
+	span := f.cluster.span.StartChild("clusterfile.setview")
+	defer span.End()
 	start := time.Now()
 	for s := 0; s < f.Phys.Pattern.Len(); s++ {
 		inter, pv, ps, err := intersectProject(lf, elem, f.Phys, s)
@@ -296,11 +313,14 @@ func (f *File) SetView(node int, lf *part.File, elem int) (*View, error) {
 		if err := c.Net.Send(node, c.ioNet(f.Assign[s]), int64(len(wire)), nil); err != nil {
 			return nil, err
 		}
+		c.met.recordNet(int64(len(wire)))
 		v.subs = append(v.subs, subView{
 			subfile: s, inter: inter, projV: pv, projS: decoded, mapper: f.mappers[s],
 		})
 	}
 	v.TIntersect = time.Since(start)
+	f.cluster.met.setViews.Inc()
+	f.cluster.met.setViewNs.Observe(v.TIntersect.Nanoseconds())
 	return v, nil
 }
 

@@ -1,0 +1,221 @@
+package clusterfile
+
+import (
+	"strings"
+	"testing"
+
+	"parafile/internal/obs"
+	"parafile/internal/part"
+	"parafile/internal/redist"
+)
+
+// obs_test.go checks the cluster's observability wiring: byte totals
+// and message counts against the protocol's own WriteStats, the
+// per-I/O-node skew series, buffer-pool traffic, and the wall-clock
+// span tree.
+
+// obsCluster builds an instrumented 4+4 cluster with a column-block
+// file and returns it with its registry and root span.
+func obsCluster(t *testing.T, n int64) (*Cluster, *File, *obs.Registry, *obs.Span) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	root := obs.StartSpan("test")
+	cfg := DefaultConfig()
+	cfg.Metrics = reg
+	cfg.Trace = root
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cols, err := part.ColBlocks(n, n, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := c.CreateFile("m", part.MustFile(0, cols), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, f, reg, root
+}
+
+func TestWritePathMetrics(t *testing.T) {
+	const n = 64
+	c, f, reg, root := obsCluster(t, n)
+	img := make([]byte, n*n)
+	for i := range img {
+		img[i] = byte(i * 13)
+	}
+	rows, _ := part.RowBlocks(n, n, 4)
+	logical := part.MustFile(0, rows)
+	per := int64(n * n / 4)
+	var wantMsgs, wantNetBytes int64
+	for node := 0; node < 4; node++ {
+		v, err := f.SetView(node, logical, node)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantNetBytes += v.SetViewMsgBytes
+		wantMsgs += int64(len(v.Subfiles())) // one PROJ_S message per overlapped subfile
+		op, err := v.StartWrite(ToBufferCache, 0, per-1, img[int64(node)*per:int64(node+1)*per])
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.RunAll()
+		if op.Err != nil {
+			t.Fatal(op.Err)
+		}
+		wantMsgs += int64(op.Stats.Messages)
+		wantNetBytes += op.Stats.BytesSent
+	}
+
+	if got := reg.Counter(MetricSetViews).Value(); got != 4 {
+		t.Errorf("set views = %d, want 4", got)
+	}
+	if got := reg.Histogram(MetricSetViewNs, obs.LatencyBuckets()).Count(); got != 4 {
+		t.Errorf("set view histogram count = %d, want 4", got)
+	}
+	if got := reg.Counter(MetricWriteOps).Value(); got != 4 {
+		t.Errorf("write ops = %d, want 4", got)
+	}
+	// Row-block views over a column-block layout are fully
+	// non-contiguous: every view byte goes through a gather, and every
+	// payload through a scatter.
+	if got := reg.Counter(MetricGatherBytes).Value(); got != n*n {
+		t.Errorf("gather bytes = %d, want %d", got, n*n)
+	}
+	if got := reg.Counter(MetricScatterBytes).Value(); got != n*n {
+		t.Errorf("scatter bytes = %d, want %d", got, n*n)
+	}
+	if got := reg.Counter(MetricNetMessages).Value(); int64(got) != wantMsgs {
+		t.Errorf("net messages = %d, want %d", got, wantMsgs)
+	}
+	if got := reg.Counter(MetricNetBytes).Value(); int64(got) != wantNetBytes {
+		t.Errorf("net bytes = %d, want %d", got, wantNetBytes)
+	}
+	// Buffer pool: every gather wanted a buffer, so the pool traffic
+	// must balance exactly (the hit/miss split depends on what earlier
+	// tests left in the package-global pool).
+	hits := reg.Counter(MetricMsgBufHits).Value()
+	misses := reg.Counter(MetricMsgBufMisses).Value()
+	if hits+misses != 16 { // 4 nodes x 4 overlapped subfiles
+		t.Errorf("msgbuf hits+misses = %d, want 16", hits+misses)
+	}
+	// Column-block subfiles each hold a quarter of every row block:
+	// the skew series must be exactly balanced.
+	for node := 0; node < 4; node++ {
+		got := c.met.ioBytes(node).Value()
+		if int64(got) != n*n/4 {
+			t.Errorf("io node %d bytes = %d, want %d", node, got, n*n/4)
+		}
+	}
+	if c.met.ioBytes(-1) != nil || c.met.ioBytes(99) != nil {
+		t.Error("out-of-range io node counter not nil")
+	}
+
+	// The span tree recorded the host-side phases.
+	root.End()
+	txt := root.Format()
+	for _, want := range []string{"clusterfile.setview", "clusterfile.write", "map+gather", "send"} {
+		if !strings.Contains(txt, want) {
+			t.Errorf("span tree missing %q:\n%s", want, txt)
+		}
+	}
+}
+
+func TestReadPathMetrics(t *testing.T) {
+	const n = 64
+	c, f, reg, _ := obsCluster(t, n)
+	img := make([]byte, n*n)
+	for i := range img {
+		img[i] = byte(i * 7)
+	}
+	writeMatrix(t, c, f, img, n)
+	gatherBefore := reg.Counter(MetricGatherBytes).Value()
+	scatterBefore := reg.Counter(MetricScatterBytes).Value()
+
+	rows, _ := part.RowBlocks(n, n, 4)
+	logical := part.MustFile(0, rows)
+	per := int64(n * n / 4)
+	for node := 0; node < 4; node++ {
+		v, err := f.SetView(node, logical, node)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([]byte, per)
+		op, err := v.StartRead(0, per-1, out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.RunAll()
+		if op.Err != nil {
+			t.Fatal(op.Err)
+		}
+	}
+	if got := reg.Counter(MetricReadOps).Value(); got != 4 {
+		t.Errorf("read ops = %d, want 4", got)
+	}
+	// The read gathers every byte at the I/O nodes and scatters every
+	// byte into the user buffers.
+	if got := reg.Counter(MetricGatherBytes).Value() - gatherBefore; got != n*n {
+		t.Errorf("read gather bytes = %d, want %d", got, n*n)
+	}
+	if got := reg.Counter(MetricScatterBytes).Value() - scatterBefore; got != n*n {
+		t.Errorf("read scatter bytes = %d, want %d", got, n*n)
+	}
+}
+
+func TestRedistributeMetrics(t *testing.T) {
+	const n = 64
+	c, f, reg, root := obsCluster(t, n)
+	img := make([]byte, n*n)
+	for i := range img {
+		img[i] = byte(i * 3)
+	}
+	writeMatrix(t, c, f, img, n)
+	gatherBefore := reg.Counter(MetricGatherBytes).Value()
+
+	rowsPat, _ := part.RowBlocks(n, n, 4)
+	_, op, err := c.StartRedistribute(f, "new", part.MustFile(0, rowsPat), nil, n*n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.RunAll()
+	if op.Err != nil {
+		t.Fatal(op.Err)
+	}
+	if got := reg.Counter(MetricRedistOps).Value(); got != 1 {
+		t.Errorf("redist ops = %d, want 1", got)
+	}
+	if got := reg.Counter(MetricGatherBytes).Value() - gatherBefore; int64(got) != op.Stats.Bytes {
+		t.Errorf("redist gather bytes = %d, want %d", got, op.Stats.Bytes)
+	}
+	// The uncached compile inside StartRedistribute records into the
+	// cluster registry.
+	if got := reg.Histogram(redist.MetricCompileNs, obs.LatencyBuckets()).Count(); got != 1 {
+		t.Errorf("compile histogram count = %d, want 1", got)
+	}
+	root.End()
+	if !strings.Contains(root.Format(), "clusterfile.redistribute") {
+		t.Errorf("span tree missing redistribute:\n%s", root.Format())
+	}
+}
+
+// TestUninstrumentedClusterStillWorks is the nil-safety end-to-end
+// check: the default config records nothing and everything runs.
+func TestUninstrumentedClusterStillWorks(t *testing.T) {
+	const n = 32
+	c, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cols, _ := part.ColBlocks(n, n, 4)
+	f, err := c.CreateFile("m", part.MustFile(0, cols), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img := make([]byte, n*n)
+	writeMatrix(t, c, f, img, n)
+	if c.met.gatherBytes != nil || c.met.ioBytes(0) != nil {
+		t.Error("uninstrumented cluster bound live metrics")
+	}
+}

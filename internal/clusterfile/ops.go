@@ -93,6 +93,9 @@ func (v *View) StartWrite(mode WriteMode, lowV, highV int64, buf []byte) (*Write
 	c := v.file.cluster
 	op := &WriteOp{view: v, started: c.K.Now()}
 	op.Stats.PerIONodeScatterNs = make(map[int]int64)
+	c.met.writeOps.Inc()
+	span := c.span.StartChild("clusterfile.write")
+	defer span.End()
 
 	type sendPlan struct {
 		sub         *subView
@@ -107,6 +110,7 @@ func (v *View) StartWrite(mode WriteMode, lowV, highV int64, buf []byte) (*Write
 
 	// Lines 1-4: for every subfile the view intersects, map the
 	// extremities of the access interval onto the subfile.
+	gatherSpan := span.StartChild("map+gather")
 	for i := range v.subs {
 		sub := &v.subs[i]
 		if sub.projV.BytesIn(lowV, highV) == 0 {
@@ -136,19 +140,23 @@ func (v *View) StartWrite(mode WriteMode, lowV, highV int64, buf []byte) (*Write
 			// Line 9: gather the non-contiguous regions into buf2.
 			n := sub.projV.BytesIn(lowV, highV)
 			segs := sub.projV.SegmentsIn(lowV, highV)
-			buf2 := getMsgBuf(n)
+			buf2 := c.getMsgBuf(n)
 			p.pooled = true
 			tg := time.Now()
 			if err := gatherWindow(buf2, buf, sub.projV, lowV, highV); err != nil {
 				return nil, err
 			}
-			op.Stats.TGather += time.Since(tg)
+			real := time.Since(tg)
+			op.Stats.TGather += real
+			c.met.gatherBytes.Add(n)
+			c.met.gatherNs.Observe(real.Nanoseconds())
 			p.gatherNs = c.copyModelNs(n, segs)
 			op.Stats.GatherModelNs += p.gatherNs
 			p.data = buf2
 		}
 		plans = append(plans, p)
 	}
+	gatherSpan.End()
 	if len(plans) == 0 {
 		return op, nil
 	}
@@ -157,6 +165,7 @@ func (v *View) StartWrite(mode WriteMode, lowV, highV int64, buf []byte) (*Write
 	// The compute node executes the per-subfile loop sequentially; its
 	// local clock advances with the modeled gather costs while the NIC
 	// serializes the sends.
+	sendSpan := span.StartChild("send")
 	cnTime := c.K.Now()
 	for i := range plans {
 		p := plans[i]
@@ -168,6 +177,7 @@ func (v *View) StartWrite(mode WriteMode, lowV, highV int64, buf []byte) (*Write
 		}
 		op.Stats.Messages++
 		op.Stats.BytesSent += extremityMsgBytes
+		c.met.recordNet(extremityMsgBytes)
 		cnTime += p.gatherNs
 		// Lines 7/10: send the data.
 		data := p.data
@@ -181,7 +191,9 @@ func (v *View) StartWrite(mode WriteMode, lowV, highV int64, buf []byte) (*Write
 		}
 		op.Stats.Messages++
 		op.Stats.BytesSent += int64(len(data))
+		c.met.recordNet(int64(len(data)))
 	}
+	sendSpan.End()
 	return op, nil
 }
 
@@ -220,7 +232,11 @@ func (c *Cluster) serverWrite(op *WriteOp, v *View, sub *subView, mode WriteMode
 			return
 		}
 	}
-	op.Stats.RealScatter += time.Since(ts)
+	real := time.Since(ts)
+	op.Stats.RealScatter += real
+	c.met.scatterBytes.Add(int64(len(data)))
+	c.met.scatterNs.Observe(real.Nanoseconds())
+	c.met.ioBytes(ioNode).Add(int64(len(data)))
 	c.tracer.Recordf(c.K.Now(), fmt.Sprintf("ion%d", ioNode),
 		"scatter %d B into subfile %d [%d,%d] (%s)", len(data), sub.subfile, lowS, highS, mode)
 
@@ -287,6 +303,9 @@ func (v *View) StartRead(lowV, highV int64, buf []byte) (*ReadOp, error) {
 	}
 	c := v.file.cluster
 	op := &ReadOp{started: c.K.Now()}
+	c.met.readOps.Inc()
+	span := c.span.StartChild("clusterfile.read")
+	defer span.End()
 	for i := range v.subs {
 		sub := &v.subs[i]
 		if sub.projV.BytesIn(lowV, highV) == 0 {
@@ -316,6 +335,7 @@ func (v *View) StartRead(lowV, highV int64, buf []byte) (*ReadOp, error) {
 			return nil, err
 		}
 		op.Stats.Messages++
+		c.met.recordNet(extremityMsgBytes)
 	}
 	return op, nil
 }
@@ -333,15 +353,20 @@ func (c *Cluster) serverRead(op *ReadOp, v *View, sub *subView, ioNode int,
 	}
 	n := sub.projS.BytesIn(lowS, highS)
 	segs := sub.projS.SegmentsIn(lowS, highS)
-	data := getMsgBuf(n)
+	data := c.getMsgBuf(n)
+	tg := time.Now()
 	if err := gatherFromStorage(data, f.stores[sub.subfile], sub.projS, lowS, highS); err != nil {
 		putMsgBuf(data)
 		op.Err = err
 		op.pending--
 		return
 	}
+	c.met.gatherBytes.Add(n)
+	c.met.gatherNs.Observe(time.Since(tg).Nanoseconds())
+	c.met.ioBytes(ioNode).Add(n)
 	// The server's gather is CPU work before the send.
 	c.K.After(c.copyModelNs(n, segs), func() {
+		c.met.recordNet(n)
 		err := c.Net.Send(c.ioNet(ioNode), v.node, n, func() {
 			// The scatter copies into the user buffer, after which the
 			// message buffer is free for reuse.
@@ -352,7 +377,10 @@ func (c *Cluster) serverRead(op *ReadOp, v *View, sub *subView, ioNode int,
 				op.pending--
 				return
 			}
-			op.Stats.TScatter += time.Since(ts)
+			real := time.Since(ts)
+			op.Stats.TScatter += real
+			c.met.scatterBytes.Add(n)
+			c.met.scatterNs.Observe(real.Nanoseconds())
 			op.Stats.BytesMoved += n
 			op.pending--
 			if op.pending == 0 {

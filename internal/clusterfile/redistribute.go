@@ -52,6 +52,9 @@ func (c *Cluster) StartRedistribute(f *File, newName string, newPhys *part.File,
 	if length < 1 {
 		return nil, nil, fmt.Errorf("clusterfile: non-positive length %d", length)
 	}
+	c.met.redistOps.Inc()
+	span := c.span.StartChild("clusterfile.redistribute")
+	defer span.End()
 	// Repeated redistributions between the same layout pair (the
 	// adaptive-layout case §3 motivates) hit the plan cache instead of
 	// recompiling.
@@ -60,7 +63,8 @@ func (c *Cluster) StartRedistribute(f *File, newName string, newPhys *part.File,
 	if cache := c.cfg.PlanCache; cache != nil {
 		plan, _, err = cache.GetOrCompile(f.Phys, newPhys)
 	} else {
-		plan, err = redist.NewPlan(f.Phys, newPhys)
+		plan, err = redist.CompilePlan(f.Phys, newPhys,
+			redist.CompileOptions{Metrics: c.cfg.Metrics, Trace: span})
 	}
 	if err != nil {
 		return nil, nil, err
@@ -85,19 +89,24 @@ func (c *Cluster) StartRedistribute(f *File, newName string, newPhys *part.File,
 		if err := f.growSubfile(t.SrcElem, srcHi+1); err != nil {
 			return nil, nil, err
 		}
-		buf := getMsgBuf(bytes)
+		buf := c.getMsgBuf(bytes)
 		tg := time.Now()
 		if err := gatherStorageWindow(buf, f.stores[t.SrcElem], t.SrcProj, srcHi); err != nil {
 			putMsgBuf(buf)
 			return nil, nil, err
 		}
-		op.Stats.GatherReal += time.Since(tg)
+		realGather := time.Since(tg)
+		op.Stats.GatherReal += realGather
+		c.met.gatherBytes.Add(bytes)
+		c.met.gatherNs.Observe(realGather.Nanoseconds())
+		c.met.ioBytes(srcION).Add(bytes)
 		segs := t.SrcProj.SegmentsIn(0, srcHi)
 		gatherNs := c.copyModelNs(bytes, segs)
 
 		op.pending++
 		op.Stats.Messages++
 		op.Stats.Bytes += bytes
+		c.met.recordNet(bytes)
 		dstProj := t.DstProj
 		dstElem := t.DstElem
 		dstSegs := dstProj.SegmentsIn(0, dstHi)
@@ -118,7 +127,11 @@ func (c *Cluster) StartRedistribute(f *File, newName string, newPhys *part.File,
 					op.pending--
 					return
 				}
-				op.Stats.ScatterReal += time.Since(ts)
+				realScatter := time.Since(ts)
+				op.Stats.ScatterReal += realScatter
+				c.met.scatterBytes.Add(bytes)
+				c.met.scatterNs.Observe(realScatter.Nanoseconds())
+				c.met.ioBytes(dstION).Add(bytes)
 				cost := c.Disks[dstION].CacheCost(bytes, dstSegs)
 				c.Disks[dstION].Account(bytes, false)
 				c.Net.ReceiverBusy(c.ioNet(dstION), cost, func() {

@@ -1,0 +1,233 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// expo.go renders a Registry in three formats: Prometheus text
+// exposition (WriteProm), expvar-style JSON (WriteJSON) and a
+// human-readable table (Report). All three iterate names in sorted
+// order, so output is deterministic for golden tests.
+
+// splitName separates an optional label suffix from a metric name:
+// `foo{node="2"}` → (`foo`, `node="2"`).
+func splitName(name string) (base, labels string) {
+	i := strings.IndexByte(name, '{')
+	if i < 0 {
+		return name, ""
+	}
+	return name[:i], strings.TrimSuffix(name[i+1:], "}")
+}
+
+// joinLabels merges a label set with one extra pair.
+func joinLabels(labels, extra string) string {
+	if labels == "" {
+		return extra
+	}
+	return labels + "," + extra
+}
+
+// WriteProm writes the registry in the Prometheus text exposition
+// format (version 0.0.4). A nil registry writes nothing.
+func WriteProm(w io.Writer, r *Registry) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	names := r.names()
+	kinds := make(map[string]metricKind, len(names))
+	counters := make(map[string]*Counter, len(r.counter))
+	gauges := make(map[string]*Gauge, len(r.gauge))
+	hists := make(map[string]*Histogram, len(r.hist))
+	for name, k := range r.kinds {
+		kinds[name] = k
+	}
+	for name, c := range r.counter {
+		counters[name] = c
+	}
+	for name, g := range r.gauge {
+		gauges[name] = g
+	}
+	for name, h := range r.hist {
+		hists[name] = h
+	}
+	r.mu.Unlock()
+
+	typed := make(map[string]bool)
+	for _, name := range names {
+		base, labels := splitName(name)
+		kind := kinds[name]
+		if !typed[base] {
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", base, kind); err != nil {
+				return err
+			}
+			typed[base] = true
+		}
+		var err error
+		switch kind {
+		case kindCounter:
+			_, err = fmt.Fprintf(w, "%s %d\n", name, counters[name].Value())
+		case kindGauge:
+			_, err = fmt.Fprintf(w, "%s %d\n", name, gauges[name].Value())
+		case kindHistogram:
+			err = writePromHist(w, base, labels, hists[name])
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writePromHist(w io.Writer, base, labels string, h *Histogram) error {
+	bounds, counts, sum, count := h.snapshot()
+	var cum uint64
+	for i, c := range counts {
+		cum += c
+		le := "+Inf"
+		if i < len(bounds) {
+			le = strconv.FormatInt(bounds[i], 10)
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{%s} %d\n",
+			base, joinLabels(labels, `le="`+le+`"`), cum); err != nil {
+			return err
+		}
+	}
+	suffix := ""
+	if labels != "" {
+		suffix = "{" + labels + "}"
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %d\n", base, suffix, sum); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", base, suffix, count)
+	return err
+}
+
+// WriteJSON writes the registry as one JSON object keyed by metric
+// name: counters and gauges as numbers, histograms as
+// {count, sum, mean, buckets} with cumulative bucket counts keyed by
+// upper bound ("+Inf" for the overflow bucket). A nil registry writes
+// the empty object.
+func WriteJSON(w io.Writer, r *Registry) error {
+	out := make(map[string]interface{})
+	if r != nil {
+		r.mu.Lock()
+		for name, c := range r.counter {
+			out[name] = c.Value()
+		}
+		for name, g := range r.gauge {
+			out[name] = g.Value()
+		}
+		for name, h := range r.hist {
+			bounds, counts, sum, count := h.snapshot()
+			buckets := make(map[string]uint64, len(counts))
+			var cum uint64
+			for i, c := range counts {
+				cum += c
+				le := "+Inf"
+				if i < len(bounds) {
+					le = strconv.FormatInt(bounds[i], 10)
+				}
+				buckets[le] = cum
+			}
+			out[name] = map[string]interface{}{
+				"count":   count,
+				"sum":     sum,
+				"mean":    h.Mean(),
+				"buckets": buckets,
+			}
+		}
+		r.mu.Unlock()
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// Report renders the registry as a human-readable table: counters and
+// gauges first, then histograms with count/mean/p50/p99. Values of
+// metrics whose base name ends in "_ns" are rendered as durations.
+// A nil or empty registry reports "".
+func Report(r *Registry) string {
+	if r == nil {
+		return ""
+	}
+	r.mu.Lock()
+	names := r.names()
+	kinds := make(map[string]metricKind, len(names))
+	for name, k := range r.kinds {
+		kinds[name] = k
+	}
+	counters := make(map[string]*Counter, len(r.counter))
+	for name, c := range r.counter {
+		counters[name] = c
+	}
+	gauges := make(map[string]*Gauge, len(r.gauge))
+	for name, g := range r.gauge {
+		gauges[name] = g
+	}
+	hists := make(map[string]*Histogram, len(r.hist))
+	for name, h := range r.hist {
+		hists[name] = h
+	}
+	r.mu.Unlock()
+	if len(names) == 0 {
+		return ""
+	}
+
+	var scalars, histRows []string
+	for _, name := range names {
+		base, _ := splitName(name)
+		switch kinds[name] {
+		case kindCounter:
+			scalars = append(scalars, fmt.Sprintf("  %-58s %14s",
+				name, scalarValue(base, int64(counters[name].Value()))))
+		case kindGauge:
+			scalars = append(scalars, fmt.Sprintf("  %-58s %14s",
+				name, scalarValue(base, gauges[name].Value())))
+		case kindHistogram:
+			h := hists[name]
+			histRows = append(histRows, fmt.Sprintf("  %-48s %8d %10s %10s %10s",
+				name, h.Count(),
+				histValue(base, int64(h.Mean())),
+				histValue(base, h.Quantile(0.50)),
+				histValue(base, h.Quantile(0.99))))
+		}
+	}
+
+	var b strings.Builder
+	b.WriteString("Observability report\n")
+	if len(scalars) > 0 {
+		fmt.Fprintf(&b, "  %-58s %14s\n", "counter/gauge", "value")
+		for _, row := range scalars {
+			b.WriteString(row + "\n")
+		}
+	}
+	if len(histRows) > 0 {
+		fmt.Fprintf(&b, "  %-48s %8s %10s %10s %10s\n",
+			"histogram", "count", "mean", "p50", "p99")
+		for _, row := range histRows {
+			b.WriteString(row + "\n")
+		}
+	}
+	return b.String()
+}
+
+func scalarValue(base string, v int64) string {
+	if strings.HasSuffix(base, "_ns") {
+		return formatNs(v)
+	}
+	return strconv.FormatInt(v, 10)
+}
+
+func histValue(base string, v int64) string {
+	if strings.HasSuffix(base, "_ns") {
+		return formatNs(v)
+	}
+	return strconv.FormatInt(v, 10)
+}

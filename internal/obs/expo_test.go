@@ -1,0 +1,137 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// goldenRegistry builds a small registry with every metric kind,
+// including a labeled counter pair, with deterministic values.
+func goldenRegistry() *Registry {
+	r := NewRegistry()
+	r.Counter("demo_events_total").Add(7)
+	r.Counter(`demo_node_bytes_total{node="0"}`).Add(100)
+	r.Counter(`demo_node_bytes_total{node="1"}`).Add(50)
+	r.Gauge("demo_entries").Set(3)
+	h := r.Histogram("demo_latency_ns", []int64{1000, 2000})
+	h.Observe(500)
+	h.Observe(1500)
+	h.Observe(9000)
+	return r
+}
+
+func TestWritePromGolden(t *testing.T) {
+	var b strings.Builder
+	if err := WriteProm(&b, goldenRegistry()); err != nil {
+		t.Fatal(err)
+	}
+	want := `# TYPE demo_entries gauge
+demo_entries 3
+# TYPE demo_events_total counter
+demo_events_total 7
+# TYPE demo_latency_ns histogram
+demo_latency_ns_bucket{le="1000"} 1
+demo_latency_ns_bucket{le="2000"} 2
+demo_latency_ns_bucket{le="+Inf"} 3
+demo_latency_ns_sum 11000
+demo_latency_ns_count 3
+# TYPE demo_node_bytes_total counter
+demo_node_bytes_total{node="0"} 100
+demo_node_bytes_total{node="1"} 50
+`
+	if got := b.String(); got != want {
+		t.Errorf("prom exposition mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestWritePromLabeledSeriesShareOneType(t *testing.T) {
+	var b strings.Builder
+	if err := WriteProm(&b, goldenRegistry()); err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(b.String(), "# TYPE demo_node_bytes_total"); n != 1 {
+		t.Errorf("labeled series emitted %d TYPE lines, want 1", n)
+	}
+}
+
+func TestWriteJSONGolden(t *testing.T) {
+	var b strings.Builder
+	if err := WriteJSON(&b, goldenRegistry()); err != nil {
+		t.Fatal(err)
+	}
+	var got map[string]interface{}
+	if err := json.Unmarshal([]byte(b.String()), &got); err != nil {
+		t.Fatalf("exposition is not valid JSON: %v\n%s", err, b.String())
+	}
+	if got["demo_events_total"].(float64) != 7 {
+		t.Errorf("counter = %v, want 7", got["demo_events_total"])
+	}
+	if got[`demo_node_bytes_total{node="1"}`].(float64) != 50 {
+		t.Errorf("labeled counter = %v", got[`demo_node_bytes_total{node="1"}`])
+	}
+	hist := got["demo_latency_ns"].(map[string]interface{})
+	if hist["count"].(float64) != 3 || hist["sum"].(float64) != 11000 {
+		t.Errorf("histogram = %v", hist)
+	}
+	buckets := hist["buckets"].(map[string]interface{})
+	if buckets["1000"].(float64) != 1 || buckets["+Inf"].(float64) != 3 {
+		t.Errorf("buckets = %v (cumulative counts expected)", buckets)
+	}
+}
+
+func TestReportGolden(t *testing.T) {
+	got := Report(goldenRegistry())
+	for _, want := range []string{
+		"Observability report",
+		"demo_events_total",
+		"demo_entries",
+		"demo_latency_ns",
+		"p50", "p99",
+		"3.7µs", // mean of 11000/3 ns, duration-formatted via the _ns suffix
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("report missing %q:\n%s", want, got)
+		}
+	}
+	if Report(NewRegistry()) != "" {
+		t.Error("empty registry produced a non-empty report")
+	}
+}
+
+func TestHandlerEndpoints(t *testing.T) {
+	h := Handler(goldenRegistry())
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if !strings.Contains(rec.Body.String(), "demo_events_total 7") {
+		t.Errorf("/metrics missing counter:\n%s", rec.Body.String())
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Errorf("/metrics content type %q", ct)
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics.json", nil))
+	var parsed map[string]interface{}
+	if err := json.Unmarshal(rec.Body.Bytes(), &parsed); err != nil {
+		t.Errorf("/metrics.json invalid: %v", err)
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/report", nil))
+	if !strings.Contains(rec.Body.String(), "Observability report") {
+		t.Errorf("/report body:\n%s", rec.Body.String())
+	}
+}
+
+func TestServeBindsAndScrapes(t *testing.T) {
+	addr, err := Serve("127.0.0.1:0", goldenRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(addr, ":") || strings.HasSuffix(addr, ":0") {
+		t.Fatalf("bound address %q", addr)
+	}
+}

@@ -1,0 +1,46 @@
+package obs
+
+import (
+	"net"
+	"net/http"
+)
+
+// http.go serves the expositions over HTTP for the -metrics-addr
+// flags of redistbench and clusterfsdemo:
+//
+//	GET /metrics       Prometheus text exposition
+//	GET /metrics.json  expvar-style JSON
+//	GET /report        the human-readable Report table
+
+// Handler returns an http.Handler serving the registry's expositions.
+// A nil registry serves empty documents, so the endpoint can be wired
+// unconditionally.
+func Handler(r *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		WriteProm(w, r)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		WriteJSON(w, r)
+	})
+	mux.HandleFunc("/report", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write([]byte(Report(r)))
+	})
+	return mux
+}
+
+// Serve starts an HTTP metrics server on addr (":0" binds a free
+// port) and returns the bound address, e.g. "127.0.0.1:43571". The
+// server runs on a background goroutine for the life of the process.
+func Serve(addr string, r *Registry) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	srv := &http.Server{Handler: Handler(r)}
+	go srv.Serve(ln)
+	return ln.Addr().String(), nil
+}

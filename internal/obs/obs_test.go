@@ -1,0 +1,211 @@
+package obs
+
+import (
+	"io"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total")
+	c.Inc()
+	c.Add(4)
+	c.Add(-3) // negative deltas ignored: counters are monotonic
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if r.Counter("c_total") != c {
+		t.Fatal("re-registration returned a different counter")
+	}
+	g := r.Gauge("g")
+	g.Set(7)
+	g.Add(-2)
+	if got := g.Value(); got != 5 {
+		t.Fatalf("gauge = %d, want 5", got)
+	}
+}
+
+func TestKindConflictPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering x as gauge after counter did not panic")
+		}
+	}()
+	r.Gauge("x")
+}
+
+func TestHistogramObserve(t *testing.T) {
+	h := NewHistogram([]int64{10, 100, 1000})
+	for _, v := range []int64{1, 10, 11, 100, 5000} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	if h.Sum() != 5122 {
+		t.Fatalf("sum = %d, want 5122", h.Sum())
+	}
+	_, counts, _, _ := h.snapshot()
+	want := []uint64{2, 2, 0, 1} // [≤10, ≤100, ≤1000, +Inf]
+	for i, w := range want {
+		if counts[i] != w {
+			t.Fatalf("bucket %d = %d, want %d (%v)", i, counts[i], w, counts)
+		}
+	}
+	if q := h.Quantile(0.5); q != 100 {
+		t.Errorf("p50 = %d, want 100", q)
+	}
+	if q := h.Quantile(0.99); q != 1000 {
+		t.Errorf("p99 = %d, want 1000 (overflow reports largest bound)", q)
+	}
+	if q := (*Histogram)(nil).Quantile(0.5); q != 0 {
+		t.Errorf("nil quantile = %d", q)
+	}
+}
+
+func TestHistogramBadBoundsPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("descending bounds did not panic")
+		}
+	}()
+	NewHistogram([]int64{10, 5})
+}
+
+// TestConcurrentIncrements hammers one counter, one gauge and one
+// histogram from many goroutines; run under -race this is the data
+// race check, and the totals prove no increment was lost.
+func TestConcurrentIncrements(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total")
+	g := r.Gauge("g")
+	h := r.Histogram("h_ns", LatencyBuckets())
+	const workers, per = 8, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(int64(w*per + i))
+				// Concurrent registry lookups must also be safe.
+				if r.Counter("c_total") != c {
+					t.Error("lookup returned different counter")
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Value() != workers*per {
+		t.Errorf("counter = %d, want %d", c.Value(), workers*per)
+	}
+	if g.Value() != workers*per {
+		t.Errorf("gauge = %d, want %d", g.Value(), workers*per)
+	}
+	if h.Count() != workers*per {
+		t.Errorf("histogram count = %d, want %d", h.Count(), workers*per)
+	}
+}
+
+// TestNilReceiversNoOp calls every public method on nil receivers:
+// none may panic, and all must report zero values.
+func TestNilReceiversNoOp(t *testing.T) {
+	var r *Registry
+	if r.Counter("x") != nil || r.Gauge("x") != nil || r.Histogram("x", nil) != nil {
+		t.Fatal("nil registry handed out a non-nil metric")
+	}
+
+	var c *Counter
+	c.Inc()
+	c.Add(3)
+	if c.Value() != 0 {
+		t.Error("nil counter value != 0")
+	}
+
+	var g *Gauge
+	g.Set(3)
+	g.Add(-1)
+	if g.Value() != 0 {
+		t.Error("nil gauge value != 0")
+	}
+
+	var h *Histogram
+	h.Observe(42)
+	if h.Count() != 0 || h.Sum() != 0 || h.Mean() != 0 || h.Quantile(0.5) != 0 {
+		t.Error("nil histogram recorded something")
+	}
+
+	var s *Span
+	if s.StartChild("child") != nil {
+		t.Error("nil span produced a child")
+	}
+	if s.End() != 0 || s.EndObserve(h) != 0 || s.Duration() != 0 {
+		t.Error("nil span reported a duration")
+	}
+	if s.Name() != "" || s.Format() != "" || s.Children() != nil {
+		t.Error("nil span reported content")
+	}
+
+	if err := WriteProm(io.Discard, nil); err != nil {
+		t.Errorf("WriteProm(nil): %v", err)
+	}
+	if err := WriteJSON(io.Discard, nil); err != nil {
+		t.Errorf("WriteJSON(nil): %v", err)
+	}
+	if Report(nil) != "" {
+		t.Error("Report(nil) != \"\"")
+	}
+}
+
+// TestNilPathZeroAllocs is the acceptance check that disabled
+// instrumentation is free: the whole nil-receiver hot path must
+// allocate nothing.
+func TestNilPathZeroAllocs(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	g := r.Gauge("x")
+	h := r.Histogram("x", nil)
+	var s *Span
+	allocs := testing.AllocsPerRun(200, func() {
+		c.Inc()
+		c.Add(64)
+		g.Add(1)
+		h.Observe(123)
+		child := s.StartChild("op")
+		child.EndObserve(h)
+	})
+	if allocs != 0 {
+		t.Fatalf("nil path allocates %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// BenchmarkNilRegistry is the same proof in benchmark form:
+// 0 B/op, 0 allocs/op.
+func BenchmarkNilRegistry(b *testing.B) {
+	var r *Registry
+	c := r.Counter("x")
+	h := r.Histogram("x", nil)
+	var s *Span
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Add(int64(i))
+		h.Observe(int64(i))
+		s.StartChild("op").EndObserve(h)
+	}
+}
+
+// BenchmarkLiveCounter measures the enabled fast path for contrast.
+func BenchmarkLiveCounter(b *testing.B) {
+	r := NewRegistry()
+	c := r.Counter("x")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}

@@ -1,0 +1,141 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+// span.go implements wall-clock spans with parent/child structure.
+// They answer the question the virtual-time sim.Tracer cannot: where
+// did the *host's* time go — plan compilation, gathers, cache misses —
+// as opposed to where the *modeled 2002 cluster's* time went. A span
+// tree is built synchronously (StartChild under the currently open
+// parent) and rendered as an indented timeline by Format.
+//
+// A nil *Span is the disabled state: StartChild returns nil, End and
+// friends record nothing, so instrumented code needs no guards.
+
+// Span is one timed region of host execution.
+type Span struct {
+	name  string
+	start time.Time
+
+	mu       sync.Mutex
+	end      time.Time
+	ended    bool
+	children []*Span
+}
+
+// StartSpan opens a root span.
+func StartSpan(name string) *Span {
+	return &Span{name: name, start: time.Now()}
+}
+
+// StartChild opens a child span under s; nil-safe (returns nil).
+func (s *Span) StartChild(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := &Span{name: name, start: time.Now()}
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+	return c
+}
+
+// End closes the span (idempotent) and returns its duration.
+func (s *Span) End() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	if !s.ended {
+		s.end = time.Now()
+		s.ended = true
+	}
+	d := s.end.Sub(s.start)
+	s.mu.Unlock()
+	return d
+}
+
+// EndObserve closes the span and records its duration, in
+// nanoseconds, into the histogram. Both receivers may be nil.
+func (s *Span) EndObserve(h *Histogram) time.Duration {
+	d := s.End()
+	if s != nil {
+		h.Observe(d.Nanoseconds())
+	}
+	return d
+}
+
+// Name returns the span's name ("" for nil).
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// Duration returns the span's length — up to now if still open.
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ended {
+		return s.end.Sub(s.start)
+	}
+	return time.Since(s.start)
+}
+
+// Children returns a snapshot of the direct children.
+func (s *Span) Children() []*Span {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]*Span(nil), s.children...)
+}
+
+// Format renders the span tree as an indented timeline, durations on
+// the right. An open span shows "(open)".
+func (s *Span) Format() string {
+	if s == nil {
+		return ""
+	}
+	var b strings.Builder
+	s.format(&b, 0)
+	return b.String()
+}
+
+func (s *Span) format(b *strings.Builder, depth int) {
+	state := ""
+	s.mu.Lock()
+	if !s.ended {
+		state = " (open)"
+	}
+	s.mu.Unlock()
+	fmt.Fprintf(b, "%-*s%-*s %12s%s\n",
+		2*depth, "", 40-2*depth, s.name, formatNs(s.Duration().Nanoseconds()), state)
+	for _, c := range s.Children() {
+		c.format(b, depth+1)
+	}
+}
+
+// formatNs renders nanoseconds human-readably (ns/µs/ms/s).
+func formatNs(ns int64) string {
+	switch {
+	case ns < 1000:
+		return fmt.Sprintf("%dns", ns)
+	case ns < 1_000_000:
+		return fmt.Sprintf("%.1fµs", float64(ns)/1e3)
+	case ns < 1_000_000_000:
+		return fmt.Sprintf("%.1fms", float64(ns)/1e6)
+	default:
+		return fmt.Sprintf("%.2fs", float64(ns)/1e9)
+	}
+}

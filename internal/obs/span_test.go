@@ -1,0 +1,102 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSpanTree(t *testing.T) {
+	root := StartSpan("compile")
+	a := root.StartChild("mappers")
+	if a.End() < 0 {
+		t.Fatal("negative duration")
+	}
+	b := root.StartChild("pairs")
+	c := b.StartChild("intersect")
+	c.End()
+	b.End()
+	root.End()
+
+	kids := root.Children()
+	if len(kids) != 2 || kids[0].Name() != "mappers" || kids[1].Name() != "pairs" {
+		t.Fatalf("children = %v", kids)
+	}
+	if len(b.Children()) != 1 {
+		t.Fatalf("grandchildren = %d, want 1", len(b.Children()))
+	}
+	if root.Duration() < b.Duration() {
+		t.Error("parent shorter than child")
+	}
+}
+
+func TestSpanEndIdempotent(t *testing.T) {
+	s := StartSpan("op")
+	d1 := s.End()
+	time.Sleep(time.Millisecond)
+	if d2 := s.End(); d2 != d1 {
+		t.Errorf("second End changed duration: %v != %v", d2, d1)
+	}
+}
+
+func TestSpanEndObserve(t *testing.T) {
+	h := NewHistogram(LatencyBuckets())
+	s := StartSpan("op")
+	d := s.EndObserve(h)
+	if h.Count() != 1 {
+		t.Fatalf("histogram count = %d, want 1", h.Count())
+	}
+	if h.Sum() != d.Nanoseconds() {
+		t.Errorf("histogram sum %d != duration %d", h.Sum(), d.Nanoseconds())
+	}
+	// Ending into a nil histogram still closes the span.
+	s2 := StartSpan("op2")
+	if s2.EndObserve(nil) < 0 {
+		t.Error("negative duration")
+	}
+}
+
+func TestSpanFormat(t *testing.T) {
+	root := StartSpan("write")
+	child := root.StartChild("gather")
+	child.End()
+	open := root.StartChild("scatter")
+	_ = open
+	root.End()
+	out := root.Format()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("format lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "write") {
+		t.Errorf("root line %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "  gather") {
+		t.Errorf("child not indented: %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "(open)") {
+		t.Errorf("unended child not marked open: %q", lines[2])
+	}
+}
+
+// TestSpanConcurrentChildren exercises concurrent StartChild under
+// -race.
+func TestSpanConcurrentChildren(t *testing.T) {
+	root := StartSpan("root")
+	done := make(chan struct{})
+	for i := 0; i < 8; i++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for j := 0; j < 100; j++ {
+				root.StartChild("c").End()
+			}
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		<-done
+	}
+	root.End()
+	if n := len(root.Children()); n != 800 {
+		t.Fatalf("children = %d, want 800", n)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"parafile/internal/codec"
+	"parafile/internal/obs"
 	"parafile/internal/part"
 )
 
@@ -33,13 +34,35 @@ type CacheStats struct {
 	Hits, Misses, Evictions uint64
 }
 
-// lru is a mutex-guarded LRU map shared by the typed caches.
+// lru is a mutex-guarded LRU map shared by the typed caches. The obs
+// metrics mirror the CacheStats counters; unbound (nil) metrics are
+// free no-ops, so uninstrumented caches pay nothing.
 type lru struct {
 	mu    sync.Mutex
 	cap   int
 	ll    *list.List // front = most recently used
 	items map[string]*list.Element
 	stats CacheStats
+
+	hits, misses, evictions *obs.Counter
+	entries                 *obs.Gauge
+}
+
+// instrument binds the lru's traffic to <prefix>_hits_total,
+// <prefix>_misses_total, <prefix>_evictions_total and the
+// <prefix>_entries gauge of the registry. Counters pick up from the
+// current CacheStats so a late bind still reports lifetime totals.
+func (c *lru) instrument(reg *obs.Registry, prefix string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.hits = reg.Counter(prefix + "_hits_total")
+	c.misses = reg.Counter(prefix + "_misses_total")
+	c.evictions = reg.Counter(prefix + "_evictions_total")
+	c.entries = reg.Gauge(prefix + "_entries")
+	c.hits.Add(int64(c.stats.Hits))
+	c.misses.Add(int64(c.stats.Misses))
+	c.evictions.Add(int64(c.stats.Evictions))
+	c.entries.Set(int64(c.ll.Len()))
 }
 
 type lruEntry struct {
@@ -60,9 +83,11 @@ func (c *lru) get(key string) (interface{}, bool) {
 	if el, ok := c.items[key]; ok {
 		c.ll.MoveToFront(el)
 		c.stats.Hits++
+		c.hits.Inc()
 		return el.Value.(*lruEntry).val, true
 	}
 	c.stats.Misses++
+	c.misses.Inc()
 	return nil, false
 }
 
@@ -80,7 +105,9 @@ func (c *lru) add(key string, val interface{}) {
 		c.ll.Remove(oldest)
 		delete(c.items, oldest.Value.(*lruEntry).key)
 		c.stats.Evictions++
+		c.evictions.Inc()
 	}
+	c.entries.Set(int64(c.ll.Len()))
 }
 
 func (c *lru) remove(key string) bool {
@@ -92,6 +119,7 @@ func (c *lru) remove(key string) bool {
 	}
 	c.ll.Remove(el)
 	delete(c.items, key)
+	c.entries.Set(int64(c.ll.Len()))
 	return true
 }
 
@@ -100,6 +128,7 @@ func (c *lru) purge() {
 	defer c.mu.Unlock()
 	c.ll.Init()
 	c.items = make(map[string]*list.Element)
+	c.entries.Set(0)
 }
 
 func (c *lru) len() int {
@@ -132,6 +161,14 @@ type PlanCache struct {
 // compile the cache performs on a miss.
 func NewPlanCache(capacity int, opts CompileOptions) *PlanCache {
 	return &PlanCache{lru: newLRU(capacity, DefaultCacheCapacity), opts: opts}
+}
+
+// Instrument binds the cache's traffic to the registry's
+// parafile_redist_plan_cache_* series and routes the compile metrics
+// of cache misses there too. A nil registry reverts to uninstrumented.
+func (c *PlanCache) Instrument(reg *obs.Registry) {
+	c.lru.instrument(reg, planCachePrefix)
+	c.opts.Metrics = reg
 }
 
 // Get returns the cached plan for the pair, if present.
@@ -198,6 +235,13 @@ type PairCache struct {
 // (DefaultCacheCapacity when capacity <= 0).
 func NewPairCache(capacity int) *PairCache {
 	return &PairCache{lru: newLRU(capacity, DefaultCacheCapacity)}
+}
+
+// Instrument binds the cache's traffic to the registry's
+// parafile_redist_pair_cache_* series. A nil registry reverts to
+// uninstrumented.
+func (c *PairCache) Instrument(reg *obs.Registry) {
+	c.lru.instrument(reg, pairCachePrefix)
 }
 
 func pairKey(f1 *part.File, e1 int, f2 *part.File, e2 int) string {

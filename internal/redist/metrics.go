@@ -1,0 +1,30 @@
+package redist
+
+// metrics.go names the package's observability series. All
+// instrumentation is optional: a nil obs.Registry in CompileOptions
+// (or an uninstrumented cache) records nothing and allocates nothing.
+const (
+	// MetricCompileNs is the wall-clock plan-compilation latency
+	// histogram (nanoseconds).
+	MetricCompileNs = "parafile_redist_compile_ns"
+	// MetricCompilesSeq / MetricCompilesPar count compilations by
+	// whether the pairwise loop ran on one worker or several.
+	MetricCompilesSeq = `parafile_redist_compiles_total{mode="seq"}`
+	MetricCompilesPar = `parafile_redist_compiles_total{mode="par"}`
+	// MetricPairs / MetricPairsNonEmpty count element pairs examined
+	// and pairs whose intersection was non-empty.
+	MetricPairs         = "parafile_redist_pairs_total"
+	MetricPairsNonEmpty = "parafile_redist_pairs_nonempty_total"
+	// MetricSegmentsRaw / MetricSegments count copy runs per compiled
+	// plan before and after the coalescing pass (equal when coalescing
+	// is disabled).
+	MetricSegmentsRaw = "parafile_redist_segments_raw_total"
+	MetricSegments    = "parafile_redist_segments_total"
+
+	// planCachePrefix / pairCachePrefix root the hits/misses/evictions
+	// counters and the entries gauge of the two caches:
+	// <prefix>_hits_total, <prefix>_misses_total,
+	// <prefix>_evictions_total, <prefix>_entries.
+	planCachePrefix = "parafile_redist_plan_cache"
+	pairCachePrefix = "parafile_redist_pair_cache"
+)

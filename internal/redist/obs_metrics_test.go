@@ -1,0 +1,246 @@
+package redist
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"parafile/internal/obs"
+)
+
+// obs_metrics_test.go checks the observability wiring of plan
+// compilation and the two caches: the obs counters must track the
+// same scripted access sequences that cache_test.go asserts through
+// CacheStats.
+
+func TestCompilePlanMetrics(t *testing.T) {
+	src, dst := cachePair(t, 16)
+	reg := obs.NewRegistry()
+
+	if _, err := CompilePlan(src, dst, CompileOptions{Workers: 1, Metrics: reg}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CompilePlan(src, dst, CompileOptions{Workers: 4, Metrics: reg}); err != nil {
+		t.Fatal(err)
+	}
+
+	if got := reg.Counter(MetricCompilesSeq).Value(); got != 1 {
+		t.Errorf("seq compiles = %d, want 1", got)
+	}
+	if got := reg.Counter(MetricCompilesPar).Value(); got != 1 {
+		t.Errorf("par compiles = %d, want 1", got)
+	}
+	pairs := uint64(src.Pattern.Len() * dst.Pattern.Len())
+	if got := reg.Counter(MetricPairs).Value(); got != 2*pairs {
+		t.Errorf("pairs = %d, want %d", got, 2*pairs)
+	}
+	if got := reg.Counter(MetricPairsNonEmpty).Value(); got == 0 || got > 2*pairs {
+		t.Errorf("non-empty pairs = %d, want in (0,%d]", got, 2*pairs)
+	}
+	raw := reg.Counter(MetricSegmentsRaw).Value()
+	coalesced := reg.Counter(MetricSegments).Value()
+	if raw == 0 || coalesced == 0 || coalesced > raw {
+		t.Errorf("segments raw=%d coalesced=%d, want 0 < coalesced <= raw", raw, coalesced)
+	}
+	h := reg.Histogram(MetricCompileNs, obs.LatencyBuckets())
+	if h.Count() != 2 {
+		t.Errorf("compile histogram count = %d, want 2", h.Count())
+	}
+
+	// NoCoalesce must report identical raw and post-pass counts.
+	reg2 := obs.NewRegistry()
+	if _, err := CompilePlan(src, dst, CompileOptions{Workers: 1, NoCoalesce: true, Metrics: reg2}); err != nil {
+		t.Fatal(err)
+	}
+	if r, c := reg2.Counter(MetricSegmentsRaw).Value(), reg2.Counter(MetricSegments).Value(); r != c {
+		t.Errorf("NoCoalesce: raw %d != post-pass %d", r, c)
+	}
+}
+
+func TestCompilePlanSpans(t *testing.T) {
+	src, dst := cachePair(t, 8)
+	root := obs.StartSpan("test")
+	if _, err := CompilePlan(src, dst, CompileOptions{Trace: root}); err != nil {
+		t.Fatal(err)
+	}
+	root.End()
+	kids := root.Children()
+	if len(kids) != 1 || kids[0].Name() != "redist.compile" {
+		t.Fatalf("children = %v", kids)
+	}
+	var names []string
+	for _, c := range kids[0].Children() {
+		names = append(names, c.Name())
+	}
+	want := []string{"mappers", "pairs", "assemble"}
+	if fmt.Sprint(names) != fmt.Sprint(want) {
+		t.Errorf("compile phases = %v, want %v", names, want)
+	}
+}
+
+// TestPlanCacheMetricsMatchScriptedSequence drives the same access
+// script as TestPlanCacheGetOrCompile (miss, hit, structurally-equal
+// hit) and asserts the obs counters agree with CacheStats.
+func TestPlanCacheMetricsMatchScriptedSequence(t *testing.T) {
+	src, dst := cachePair(t, 8)
+	reg := obs.NewRegistry()
+	c := NewPlanCache(4, CompileOptions{})
+	c.Instrument(reg)
+
+	if _, hit, err := c.GetOrCompile(src, dst); err != nil || hit {
+		t.Fatalf("first lookup: hit=%v err=%v", hit, err)
+	}
+	if _, hit, err := c.GetOrCompile(src, dst); err != nil || !hit {
+		t.Fatalf("second lookup: hit=%v err=%v", hit, err)
+	}
+	src2, dst2 := cachePair(t, 8)
+	if _, hit, err := c.GetOrCompile(src2, dst2); err != nil || !hit {
+		t.Fatalf("equal-geometry lookup: hit=%v err=%v", hit, err)
+	}
+
+	s := c.Stats()
+	hits := reg.Counter(planCachePrefix + "_hits_total").Value()
+	misses := reg.Counter(planCachePrefix + "_misses_total").Value()
+	if hits != s.Hits || misses != s.Misses {
+		t.Errorf("obs (hits=%d misses=%d) != CacheStats %+v", hits, misses, s)
+	}
+	if hits != 2 || misses != 1 {
+		t.Errorf("hits=%d misses=%d, want 2 and 1", hits, misses)
+	}
+	if got := reg.Gauge(planCachePrefix + "_entries").Value(); got != 1 {
+		t.Errorf("entries gauge = %d, want 1", got)
+	}
+	// The miss compiled through the cache's options, which Instrument
+	// pointed at the registry.
+	if got := reg.Counter(MetricCompilesSeq).Value() + reg.Counter(MetricCompilesPar).Value(); got != 1 {
+		t.Errorf("compiles recorded through cache = %d, want 1", got)
+	}
+}
+
+// TestPlanCacheEvictionMetrics drives the eviction script of
+// TestPlanCacheEviction and checks the obs eviction counter and
+// entries gauge.
+func TestPlanCacheEvictionMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := NewPlanCache(2, CompileOptions{})
+	c.Instrument(reg)
+	for i := 0; i < 3; i++ {
+		src, dst := cachePair(t, int64(8*(i+1)))
+		if _, _, err := c.GetOrCompile(src, dst); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := reg.Counter(planCachePrefix + "_evictions_total").Value(); got != 1 {
+		t.Errorf("evictions = %d, want 1", got)
+	}
+	if got := reg.Gauge(planCachePrefix + "_entries").Value(); got != 2 {
+		t.Errorf("entries gauge = %d, want 2", got)
+	}
+	if got := uint64(c.Stats().Evictions); got != reg.Counter(planCachePrefix+"_evictions_total").Value() {
+		t.Errorf("obs evictions diverge from CacheStats (%d)", got)
+	}
+	c.Purge()
+	if got := reg.Gauge(planCachePrefix + "_entries").Value(); got != 0 {
+		t.Errorf("entries after purge = %d, want 0", got)
+	}
+}
+
+// TestPairCacheMetricsMatchScriptedSequence mirrors the sweep of
+// TestPairCacheMatchesDirect: every pair missed once and hit once.
+func TestPairCacheMetricsMatchScriptedSequence(t *testing.T) {
+	src, dst := cachePair(t, 16)
+	reg := obs.NewRegistry()
+	c := NewPairCache(64)
+	c.Instrument(reg)
+	for round := 0; round < 2; round++ {
+		for e1 := 0; e1 < src.Pattern.Len(); e1++ {
+			for e2 := 0; e2 < dst.Pattern.Len(); e2++ {
+				if _, _, _, err := c.IntersectProject(src, e1, dst, e2); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	pairs := uint64(src.Pattern.Len() * dst.Pattern.Len())
+	s := c.Stats()
+	hits := reg.Counter(pairCachePrefix + "_hits_total").Value()
+	misses := reg.Counter(pairCachePrefix + "_misses_total").Value()
+	if hits != s.Hits || misses != s.Misses {
+		t.Errorf("obs (hits=%d misses=%d) != CacheStats %+v", hits, misses, s)
+	}
+	if misses != pairs || hits != pairs {
+		t.Errorf("hits=%d misses=%d, want %d each", hits, misses, pairs)
+	}
+	if got := reg.Gauge(pairCachePrefix + "_entries").Value(); got != int64(pairs) {
+		t.Errorf("entries gauge = %d, want %d", got, pairs)
+	}
+}
+
+// TestInstrumentBackfillsLifetimeTotals: binding a registry after
+// traffic has occurred still reports lifetime totals.
+func TestInstrumentBackfillsLifetimeTotals(t *testing.T) {
+	src, dst := cachePair(t, 8)
+	c := NewPlanCache(4, CompileOptions{})
+	if _, _, err := c.GetOrCompile(src, dst); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.GetOrCompile(src, dst); err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	c.Instrument(reg)
+	if got := reg.Counter(planCachePrefix + "_hits_total").Value(); got != 1 {
+		t.Errorf("backfilled hits = %d, want 1", got)
+	}
+	if got := reg.Counter(planCachePrefix + "_misses_total").Value(); got != 1 {
+		t.Errorf("backfilled misses = %d, want 1", got)
+	}
+	if got := reg.Gauge(planCachePrefix + "_entries").Value(); got != 1 {
+		t.Errorf("backfilled entries = %d, want 1", got)
+	}
+}
+
+func TestPlanStringAndGoString(t *testing.T) {
+	if got := (*Plan)(nil).String(); got != "redist.Plan(nil)" {
+		t.Errorf("nil String = %q", got)
+	}
+	if got := (*Plan)(nil).GoString(); got != "redist.Plan(nil)" {
+		t.Errorf("nil GoString = %q", got)
+	}
+	src, dst := cachePair(t, 8)
+	p, err := NewPlan(src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := p.String()
+	for _, want := range []string{
+		fmt.Sprintf("%d transfers", len(p.Transfers)),
+		fmt.Sprintf("%d runs/period", p.SegmentsPerPeriod()),
+		fmt.Sprintf("%d B/period", p.BytesPerPeriod()),
+		fmt.Sprintf("period %d", p.Period),
+		fmt.Sprintf("base %d", p.Base),
+		"coalesced",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+	raw, err := CompilePlan(src, dst, CompileOptions{NoCoalesce: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(raw.String(), "uncoalesced") {
+		t.Errorf("NoCoalesce plan String() = %q, want uncoalesced", raw.String())
+	}
+	g := p.GoString()
+	if !strings.Contains(g, "src: ") || !strings.Contains(g, "coalesced: true") {
+		t.Errorf("GoString() = %q", g)
+	}
+	// %v and %#v pick the interfaces up.
+	if fmt.Sprintf("%v", p) != s {
+		t.Error("the default fmt verb does not use String()")
+	}
+	if fmt.Sprintf("%#v", p) != g {
+		t.Error("the go-syntax fmt verb does not use GoString()")
+	}
+}

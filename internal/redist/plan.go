@@ -4,9 +4,11 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"parafile/internal/core"
 	"parafile/internal/falls"
+	"parafile/internal/obs"
 	"parafile/internal/part"
 )
 
@@ -55,6 +57,35 @@ type Plan struct {
 	Period    int64 // intersection period in file bytes
 	Base      int64 // absolute file offset of period coordinate 0
 	Transfers []Transfer
+	// Coalesced records whether the run-coalescing pass was applied
+	// during compilation.
+	Coalesced bool
+}
+
+// String summarizes the plan for logs and traces: transfer and run
+// counts, bytes per period, the intersection geometry and the
+// coalesce state.
+func (p *Plan) String() string {
+	if p == nil {
+		return "redist.Plan(nil)"
+	}
+	co := "coalesced"
+	if !p.Coalesced {
+		co = "uncoalesced"
+	}
+	return fmt.Sprintf("redist.Plan{%d transfers, %d runs/period, %d B/period, period %d, base %d, %s}",
+		len(p.Transfers), p.SegmentsPerPeriod(), p.BytesPerPeriod(), p.Period, p.Base, co)
+}
+
+// GoString is the %#v form: String plus the partition shapes.
+func (p *Plan) GoString() string {
+	if p == nil {
+		return "redist.Plan(nil)"
+	}
+	return fmt.Sprintf("redist.Plan{src: %d elems/size %d/disp %d, dst: %d elems/size %d/disp %d, period: %d, base: %d, transfers: %d, runs/period: %d, bytes/period: %d, coalesced: %t}",
+		p.Src.Pattern.Len(), p.Src.Pattern.Size(), p.Src.Displacement,
+		p.Dst.Pattern.Len(), p.Dst.Pattern.Size(), p.Dst.Displacement,
+		p.Period, p.Base, len(p.Transfers), p.SegmentsPerPeriod(), p.BytesPerPeriod(), p.Coalesced)
 }
 
 // CompileOptions tunes plan compilation. The zero value selects the
@@ -68,6 +99,12 @@ type CompileOptions struct {
 	// space. Coalesced and uncoalesced plans move byte-identical data;
 	// the switch exists for ablation measurements.
 	NoCoalesce bool
+	// Metrics, when non-nil, receives the compile-time series of
+	// metrics.go (latency histogram, pair and segment counters).
+	Metrics *obs.Registry
+	// Trace, when non-nil, is the parent wall-clock span; CompilePlan
+	// opens a "redist.compile" child with per-phase grandchildren.
+	Trace *obs.Span
 }
 
 // NewPlan intersects every source element with every destination
@@ -99,6 +136,10 @@ func CompilePlan(src, dst *part.File, opts CompileOptions) (*Plan, error) {
 	if src == nil || dst == nil {
 		return nil, fmt.Errorf("redist: nil file")
 	}
+	start := time.Now()
+	span := opts.Trace.StartChild("redist.compile")
+	defer span.End()
+	mapperSpan := span.StartChild("mappers")
 	srcMappers := make([]*core.Mapper, src.Pattern.Len())
 	dstMappers := make([]*core.Mapper, dst.Pattern.Len())
 	for i := range srcMappers {
@@ -115,14 +156,16 @@ func CompilePlan(src, dst *part.File, opts CompileOptions) (*Plan, error) {
 		}
 		dstMappers[i] = m
 	}
+	mapperSpan.End()
 	// The intersection geometry is the same for every pair: period is
 	// the lcm of the two pattern sizes, base the larger displacement
 	// (§7 PREPROCESS). Each pair's intersection re-derives it; the
 	// assembly below cross-checks them.
 	plan := &Plan{
 		Src: src, Dst: dst,
-		Period: falls.Lcm64(src.Pattern.Size(), dst.Pattern.Size()),
-		Base:   max64(src.Displacement, dst.Displacement),
+		Period:    falls.Lcm64(src.Pattern.Size(), dst.Pattern.Size()),
+		Base:      max64(src.Displacement, dst.Displacement),
+		Coalesced: !opts.NoCoalesce,
 	}
 
 	nd := dst.Pattern.Len()
@@ -172,6 +215,7 @@ func CompilePlan(src, dst *part.File, opts CompileOptions) (*Plan, error) {
 	if workers > pairs {
 		workers = pairs
 	}
+	pairSpan := span.StartChild("pairs")
 	if workers <= 1 {
 		for pi := 0; pi < pairs; pi++ {
 			compilePair(pi)
@@ -189,11 +233,14 @@ func CompilePlan(src, dst *part.File, opts CompileOptions) (*Plan, error) {
 		}
 		wg.Wait()
 	}
+	pairSpan.End()
 
 	// Deterministic assembly, with the geometry cross-check: every
 	// non-empty intersection must report the analytic period and base.
 	// (The pre-fix code let each pair overwrite Plan.Period/Base, so a
 	// disagreeing pair would have been silently kept.)
+	assembleSpan := span.StartChild("assemble")
+	var rawSegments, segments, nonEmpty int64
 	for pi := range results {
 		res := &results[pi]
 		if res.err != nil {
@@ -207,10 +254,28 @@ func CompilePlan(src, dst *part.File, opts CompileOptions) (*Plan, error) {
 				"redist: inconsistent intersection geometry for pair (%d,%d): period %d base %d, want period %d base %d",
 				res.tr.SrcElem, res.tr.DstElem, res.inter.Period, res.inter.Base, plan.Period, plan.Base)
 		}
+		nonEmpty++
+		rawSegments += int64(len(res.tr.triples))
 		if !opts.NoCoalesce {
 			res.tr.triples = coalesceTriples(res.tr.triples)
 		}
+		segments += int64(len(res.tr.triples))
 		plan.Transfers = append(plan.Transfers, res.tr)
+	}
+	assembleSpan.End()
+
+	if m := opts.Metrics; m != nil {
+		mode := m.Counter(MetricCompilesSeq)
+		if workers > 1 {
+			mode = m.Counter(MetricCompilesPar)
+		}
+		mode.Inc()
+		m.Counter(MetricPairs).Add(int64(pairs))
+		m.Counter(MetricPairsNonEmpty).Add(nonEmpty)
+		m.Counter(MetricSegmentsRaw).Add(rawSegments)
+		m.Counter(MetricSegments).Add(segments)
+		m.Histogram(MetricCompileNs, obs.LatencyBuckets()).
+			Observe(time.Since(start).Nanoseconds())
 	}
 	return plan, nil
 }
