@@ -7,6 +7,12 @@
 //
 //	clusterfsdemo [-n 256] [-phys c|b|r] [-mode bc|disk] [-report]
 //	              [-spans] [-metrics-addr host:port]
+//	              [-remote host:port,...] [-redist]
+//
+// With -remote the subfile bytes live on parafiled I/O-node daemons
+// reached over real TCP (I/O nodes map onto the endpoints
+// round-robin); without it they live in-process. Either way the same
+// protocol runs and the verification is byte-for-byte.
 package main
 
 import (
@@ -14,11 +20,14 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strings"
 
 	"parafile/internal/bench"
 	"parafile/internal/clusterfile"
 	"parafile/internal/obs"
+	"parafile/internal/part"
 	"parafile/internal/redist"
+	"parafile/internal/rpc"
 	"parafile/internal/sim"
 )
 
@@ -29,6 +38,8 @@ func main() {
 	phys := flag.String("phys", "c", "physical layout: c (columns), b (square blocks), r (rows)")
 	mode := flag.String("mode", "bc", "write mode: bc (buffer cache) or disk")
 	dir := flag.String("dir", "", "store subfiles as real files in this directory (default: in-memory)")
+	remote := flag.String("remote", "", "comma-separated parafiled endpoints (host:port,...); subfile bytes live on the daemons instead of in-process")
+	doRedist := flag.Bool("redist", false, "after the read-back, redistribute the file to a row-block layout and verify it")
 	trace := flag.Bool("trace", false, "print the virtual-time event trace of the write")
 	report := flag.Bool("report", false, "print the collected metrics as a table after the run")
 	spans := flag.Bool("spans", false, "print the wall-clock span tree of the run")
@@ -46,6 +57,10 @@ func main() {
 		log.Fatalf("unknown mode %q", *mode)
 	}
 
+	if *remote != "" && *dir != "" {
+		log.Fatal("-remote and -dir are mutually exclusive: with -remote the daemons own the storage")
+	}
+
 	reg := obs.NewRegistry()
 	root := obs.StartSpan("clusterfsdemo")
 	cfg := clusterfile.DefaultConfig()
@@ -54,16 +69,26 @@ func main() {
 	if *dir != "" {
 		cfg.Storage = clusterfile.DirStorageFactory(*dir)
 	}
+	where := "in-memory subfiles"
+	if *dir != "" {
+		where = "subfiles under " + *dir
+	}
+	if *remote != "" {
+		endpoints := strings.Split(*remote, ",")
+		tr, err := rpc.NewTransport(endpoints, rpc.Options{Metrics: reg})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer tr.Close()
+		cfg.Transport = tr
+		where = fmt.Sprintf("subfiles on %d parafiled daemon(s) at %s", len(endpoints), *remote)
+	}
 	w, err := bench.NewWorkloadWithConfig(*phys, *n, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("Clusterfile demo: %d×%d byte matrix, physical layout %q, logical row blocks\n",
 		*n, *n, *phys)
-	where := "in-memory subfiles"
-	if *dir != "" {
-		where = "subfiles under " + *dir
-	}
 	fmt.Printf("cluster: 4 compute nodes + 4 I/O nodes (Myrinet/IDE 2002 cost models), %s\n\n", where)
 
 	fmt.Println("View set (intersections + projections, computed once):")
@@ -93,18 +118,8 @@ func main() {
 	}
 
 	// Verify the file content byte-for-byte.
-	bufs := make([][]byte, w.File.Phys.Pattern.Len())
-	for i := range bufs {
-		bufs[i] = w.File.Subfile(i)
-	}
-	img, err := redist.JoinFile(w.File.Phys, bufs, *n**n)
-	if err != nil {
+	if err := verifyFile(w.File, w.Img, *n**n); err != nil {
 		log.Fatal(err)
-	}
-	for i := range img {
-		if img[i] != w.Img[i] {
-			log.Fatalf("verification FAILED at byte %d", i)
-		}
 	}
 	fmt.Printf("\nverification: all %d bytes of the matrix landed in the right subfile positions\n",
 		*n**n)
@@ -129,6 +144,33 @@ func main() {
 	}
 	fmt.Println("read-back: every compute node read its view back intact")
 
+	if *doRedist {
+		rowPat, err := bench.LayoutPattern("r", *n)
+		if err != nil {
+			log.Fatal(err)
+		}
+		nf, rop, err := w.Cluster.StartRedistribute(w.File, "matrix.v2", part.MustFile(0, rowPat), nil, *n**n)
+		if err != nil {
+			log.Fatal(err)
+		}
+		w.Cluster.RunAll()
+		if rop.Err != nil {
+			log.Fatal(rop.Err)
+		}
+		if err := verifyFile(nf, w.Img, *n**n); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("redistribute: %q → row-block layout, %d msgs (%d bytes) I/O node to I/O node, verified byte-for-byte\n",
+			"matrix.v2", rop.Stats.Messages, rop.Stats.Bytes)
+		if err := nf.Close(); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	if err := w.File.Close(); err != nil {
+		log.Fatal(err)
+	}
+
 	root.End()
 	if *report {
 		fmt.Println()
@@ -139,11 +181,34 @@ func main() {
 		fmt.Print(root.Format())
 	}
 	if *metricsAddr != "" {
-		addr, err := obs.Serve(*metricsAddr, reg)
+		addr, _, err := obs.Serve(*metricsAddr, reg)
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "clusterfsdemo: serving metrics on http://%s/metrics (also /metrics.json, /report); interrupt to exit\n", addr)
 		select {}
 	}
+}
+
+// verifyFile joins the stored subfiles (local or fetched from the
+// daemons) and compares them byte-for-byte against the written image.
+func verifyFile(f *clusterfile.File, want []byte, length int64) error {
+	bufs := make([][]byte, f.Phys.Pattern.Len())
+	for i := range bufs {
+		b, err := f.ReadSubfile(i)
+		if err != nil {
+			return err
+		}
+		bufs[i] = b
+	}
+	img, err := redist.JoinFile(f.Phys, bufs, length)
+	if err != nil {
+		return err
+	}
+	for i := range img {
+		if img[i] != want[i] {
+			return fmt.Errorf("verification FAILED at byte %d", i)
+		}
+	}
+	return nil
 }

@@ -1,0 +1,103 @@
+// Command parafiled is the parafile I/O-node daemon: it hosts subfile
+// stores behind the internal/rpc wire protocol, so compute-node
+// clients (clusterfsdemo -remote, or any clusterfile.Cluster with an
+// rpc transport) can drive view-based scatter/gather writes, reads and
+// redistributions over real TCP.
+//
+// Usage:
+//
+//	parafiled [-listen 127.0.0.1:7070] [-data-dir DIR]
+//	          [-metrics-addr host:port] [-max-frame-mb 64]
+//	          [-drain-timeout 10s]
+//
+// With -data-dir each subfile is a real file under the directory (the
+// original Clusterfile I/O nodes' local disks); without it subfiles
+// live in the daemon's memory. SIGTERM or SIGINT drains gracefully:
+// the listener closes, in-flight requests finish (bounded by
+// -drain-timeout), and every store is synced and closed before exit.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"parafile/internal/obs"
+	"parafile/internal/rpc"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("parafiled: ")
+	listen := flag.String("listen", "127.0.0.1:7070", "TCP address to serve the I/O-node protocol on (:0 picks a free port)")
+	dataDir := flag.String("data-dir", "", "store subfiles as real files in this directory (default: in-memory)")
+	metricsAddr := flag.String("metrics-addr", "", "serve the RPC metrics over HTTP on this address (/metrics, /metrics.json, /report)")
+	maxFrameMB := flag.Int64("max-frame-mb", 64, "maximum accepted frame size in MiB")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "how long a SIGTERM drain waits for in-flight requests")
+	flag.Parse()
+	if flag.NArg() > 0 {
+		log.Fatalf("unexpected arguments: %v", flag.Args())
+	}
+	if *maxFrameMB < 1 {
+		log.Fatalf("-max-frame-mb %d must be at least 1", *maxFrameMB)
+	}
+
+	reg := obs.NewRegistry()
+	srv := rpc.NewServer(rpc.ServerConfig{
+		DataDir:  *dataDir,
+		MaxFrame: *maxFrameMB << 20,
+		Metrics:  reg,
+	})
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	where := "in-memory subfiles"
+	if *dataDir != "" {
+		where = "subfiles under " + *dataDir
+	}
+	fmt.Fprintf(os.Stderr, "parafiled: listening on %s (%s)\n", ln.Addr(), where)
+
+	var metricsShutdown func(context.Context) error
+	if *metricsAddr != "" {
+		addr, shutdown, err := obs.Serve(*metricsAddr, reg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		metricsShutdown = shutdown
+		fmt.Fprintf(os.Stderr, "parafiled: serving metrics on http://%s/metrics (also /metrics.json, /report)\n", addr)
+	}
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case sig := <-sigCh:
+		fmt.Fprintf(os.Stderr, "parafiled: %v, draining\n", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("drain: %v", err)
+		}
+		if metricsShutdown != nil {
+			if err := metricsShutdown(ctx); err != nil {
+				log.Printf("metrics shutdown: %v", err)
+			}
+		}
+		<-serveErr
+		fmt.Fprintln(os.Stderr, "parafiled: drained, bye")
+	case err := <-serveErr:
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+}

@@ -125,7 +125,7 @@ func main() {
 			"absolute host-dependent values.")
 
 	if *metricsAddr != "" {
-		addr, err := obs.Serve(*metricsAddr, reg)
+		addr, _, err := obs.Serve(*metricsAddr, reg)
 		if err != nil {
 			log.Fatal(err)
 		}

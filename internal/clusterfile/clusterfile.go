@@ -67,8 +67,16 @@ type Config struct {
 	CopySegmentOverheadNs int64
 	// Storage creates the byte store for each subfile. Nil selects
 	// in-memory subfiles; DirStorageFactory stores them as real files,
-	// as the original Clusterfile I/O nodes did.
+	// as the original Clusterfile I/O nodes did. Ignored when Transport
+	// is set.
 	Storage StorageFactory
+	// Transport decides where subfile bytes physically live. Nil
+	// selects the in-process transport over the Storage factory (the
+	// pre-transport semantics, unchanged); rpc.NewTransport sends the
+	// protocol's storage operations to remote parafiled I/O-node
+	// daemons over TCP instead. The virtual-time network and disk
+	// models are unaffected either way.
+	Transport Transport
 	// ViewCache, when non-nil, memoizes the per-(view element, subfile)
 	// intersection and projection products SetView computes, keyed by
 	// partition geometry. Repeated view setting over the same
@@ -109,14 +117,15 @@ func DefaultConfig() Config {
 // Cluster is a simulated Clusterfile deployment. Network node ids are
 // compute nodes first (0..ComputeNodes-1), then I/O nodes.
 type Cluster struct {
-	cfg    Config
-	K      *sim.Kernel
-	Net    *netsim.Network
-	Disks  []*disksim.Disk
-	files  map[string]*File
-	tracer *sim.Tracer
-	met    cfMetrics
-	span   *obs.Span
+	cfg       Config
+	K         *sim.Kernel
+	Net       *netsim.Network
+	Disks     []*disksim.Disk
+	files     map[string]*File
+	tracer    *sim.Tracer
+	met       cfMetrics
+	span      *obs.Span
+	transport Transport
 }
 
 // New builds a cluster.
@@ -136,6 +145,10 @@ func New(cfg Config) (*Cluster, error) {
 	}
 	for i := range c.Disks {
 		c.Disks[i] = disksim.New(k, cfg.Disk)
+	}
+	c.transport = cfg.Transport
+	if c.transport == nil {
+		c.transport = NewLocalTransport(cfg.Storage)
 	}
 	return c, nil
 }
@@ -157,7 +170,7 @@ type File struct {
 	Name    string
 	Phys    *part.File
 	Assign  []int // subfile index -> I/O node
-	stores  []Storage
+	handles []SubfileHandle
 	mappers []*core.Mapper
 	cluster *Cluster
 }
@@ -184,15 +197,10 @@ func (c *Cluster) CreateFile(name string, phys *part.File, assign []int) (*File,
 			return nil, fmt.Errorf("clusterfile: I/O node %d out of range [0,%d)", io, c.cfg.IONodes)
 		}
 	}
-	factory := c.cfg.Storage
-	if factory == nil {
-		factory = MemStorageFactory
-	}
 	f := &File{
 		Name:    name,
 		Phys:    phys,
 		Assign:  assign,
-		stores:  make([]Storage, n),
 		mappers: make([]*core.Mapper, n),
 		cluster: c,
 	}
@@ -202,33 +210,49 @@ func (c *Cluster) CreateFile(name string, phys *part.File, assign []int) (*File,
 			return nil, err
 		}
 		f.mappers[i] = m
-		st, err := factory(name, i)
-		if err != nil {
-			return nil, fmt.Errorf("clusterfile: storage for subfile %d: %w", i, err)
-		}
-		f.stores[i] = st
 	}
+	handles, err := c.transport.Open(name, phys, assign)
+	if err != nil {
+		return nil, fmt.Errorf("clusterfile: storage for %q: %w", name, err)
+	}
+	f.handles = handles
 	c.files[name] = f
 	return f, nil
 }
 
 // Subfile returns the stored bytes of subfile i (the I/O node's
-// on-disk image).
+// on-disk image). It panics on storage errors — use ReadSubfile when
+// the subfile lives behind a fallible transport.
 func (f *File) Subfile(i int) []byte {
-	buf := make([]byte, f.stores[i].Len())
-	if err := f.stores[i].ReadAt(buf, 0); err != nil {
-		// Stores only fail on out-of-range access; a full read of the
-		// reported length cannot.
+	buf, err := f.ReadSubfile(i)
+	if err != nil {
 		panic(err)
 	}
 	return buf
 }
 
-// Close releases the subfile stores.
+// ReadSubfile returns the stored bytes of subfile i, surfacing
+// transport errors.
+func (f *File) ReadSubfile(i int) ([]byte, error) {
+	n, err := f.handles[i].Len()
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, n)
+	if n == 0 {
+		return buf, nil
+	}
+	if err := f.handles[i].ReadAt(buf, 0); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// Close releases the subfile stores (syncing durable ones).
 func (f *File) Close() error {
 	var first error
-	for _, st := range f.stores {
-		if err := st.Close(); err != nil && first == nil {
+	for _, h := range f.handles {
+		if err := h.Close(); err != nil && first == nil {
 			first = err
 		}
 	}
@@ -237,7 +261,7 @@ func (f *File) Close() error {
 
 // growSubfile guarantees subfile i holds at least n bytes.
 func (f *File) growSubfile(i int, n int64) error {
-	return f.stores[i].EnsureLen(n)
+	return f.handles[i].EnsureLen(n)
 }
 
 // subView is the per-subfile state a view keeps after SetView.

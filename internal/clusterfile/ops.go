@@ -215,7 +215,7 @@ func (c *Cluster) serverWrite(op *WriteOp, v *View, sub *subView, mode WriteMode
 		op.pending--
 		return
 	}
-	store := f.stores[sub.subfile]
+	store := f.handles[sub.subfile]
 	ts := time.Now()
 	if contiguous && sub.projS.IsContiguous(lowS, highS) {
 		// Line 4 (server): contiguous on both sides — plain write.
@@ -226,7 +226,7 @@ func (c *Cluster) serverWrite(op *WriteOp, v *View, sub *subView, mode WriteMode
 		}
 	} else {
 		// Line 6 (server): scatter buf into the subfile.
-		if err := scatterToStorage(store, data, sub.projS, lowS, highS); err != nil {
+		if err := store.Scatter(sub.projS, lowS, highS, data); err != nil {
 			op.Err = err
 			op.pending--
 			return
@@ -355,7 +355,7 @@ func (c *Cluster) serverRead(op *ReadOp, v *View, sub *subView, ioNode int,
 	segs := sub.projS.SegmentsIn(lowS, highS)
 	data := c.getMsgBuf(n)
 	tg := time.Now()
-	if err := gatherFromStorage(data, f.stores[sub.subfile], sub.projS, lowS, highS); err != nil {
+	if err := f.handles[sub.subfile].Gather(sub.projS, lowS, highS, data); err != nil {
 		putMsgBuf(data)
 		op.Err = err
 		op.pending--
@@ -424,46 +424,6 @@ func mapThrough(v *View, sub *subView, y int64) (int64, error) {
 		return 0, err
 	}
 	return sub.mapper.Map(x)
-}
-
-// scatterToStorage unpacks contiguous data into the storage regions
-// selected by the projection within [lo, hi] — the §8 SCATTER against
-// an arbitrary subfile store.
-func scatterToStorage(store Storage, data []byte, p *redist.Projection, lo, hi int64) error {
-	var pos int64
-	var err error
-	p.WalkRange(lo, hi, func(seg falls.LineSegment) bool {
-		if pos+seg.Len() > int64(len(data)) {
-			err = fmt.Errorf("clusterfile: scatter underflow")
-			return false
-		}
-		if err = store.WriteAt(data[pos:pos+seg.Len()], seg.L); err != nil {
-			return false
-		}
-		pos += seg.Len()
-		return true
-	})
-	return err
-}
-
-// gatherFromStorage packs the storage regions selected by the
-// projection within [lo, hi] into dst — the §8 GATHER from a subfile
-// store.
-func gatherFromStorage(dst []byte, store Storage, p *redist.Projection, lo, hi int64) error {
-	var pos int64
-	var err error
-	p.WalkRange(lo, hi, func(seg falls.LineSegment) bool {
-		if pos+seg.Len() > int64(len(dst)) {
-			err = fmt.Errorf("clusterfile: gather overflow")
-			return false
-		}
-		if err = store.ReadAt(dst[pos:pos+seg.Len()], seg.L); err != nil {
-			return false
-		}
-		pos += seg.Len()
-		return true
-	})
-	return err
 }
 
 // gatherWindow packs the projection's bytes within [lowV, highV] from

@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"time"
 
-	"parafile/internal/falls"
 	"parafile/internal/part"
 	"parafile/internal/redist"
 )
@@ -91,7 +90,7 @@ func (c *Cluster) StartRedistribute(f *File, newName string, newPhys *part.File,
 		}
 		buf := c.getMsgBuf(bytes)
 		tg := time.Now()
-		if err := gatherStorageWindow(buf, f.stores[t.SrcElem], t.SrcProj, srcHi); err != nil {
+		if err := f.handles[t.SrcElem].Gather(t.SrcProj, 0, srcHi, buf); err != nil {
 			putMsgBuf(buf)
 			return nil, nil, err
 		}
@@ -122,7 +121,7 @@ func (c *Cluster) StartRedistribute(f *File, newName string, newPhys *part.File,
 					return
 				}
 				ts := time.Now()
-				if err := scatterStorageWindow(nf.stores[dstElem], buf, dstProj, dstHi); err != nil {
+				if err := nf.handles[dstElem].Scatter(dstProj, 0, dstHi, buf); err != nil {
 					op.Err = err
 					op.pending--
 					return
@@ -151,39 +150,3 @@ func (c *Cluster) StartRedistribute(f *File, newName string, newPhys *part.File,
 	return nf, op, nil
 }
 
-// gatherStorageWindow packs the projection's bytes in [0, hi] from a
-// storage-backed subfile.
-func gatherStorageWindow(dst []byte, store Storage, p *redist.Projection, hi int64) error {
-	var pos int64
-	var err error
-	p.WalkRange(0, hi, func(seg falls.LineSegment) bool {
-		if pos+seg.Len() > int64(len(dst)) {
-			err = fmt.Errorf("clusterfile: redistribution gather overflow")
-			return false
-		}
-		if err = store.ReadAt(dst[pos:pos+seg.Len()], seg.L); err != nil {
-			return false
-		}
-		pos += seg.Len()
-		return true
-	})
-	return err
-}
-
-// scatterStorageWindow unpacks a transfer payload into the new subfile.
-func scatterStorageWindow(store Storage, buf []byte, p *redist.Projection, hi int64) error {
-	var pos int64
-	var err error
-	p.WalkRange(0, hi, func(seg falls.LineSegment) bool {
-		if pos+seg.Len() > int64(len(buf)) {
-			err = fmt.Errorf("clusterfile: redistribution scatter underflow")
-			return false
-		}
-		if err = store.WriteAt(buf[pos:pos+seg.Len()], seg.L); err != nil {
-			return false
-		}
-		pos += seg.Len()
-		return true
-	})
-	return err
-}

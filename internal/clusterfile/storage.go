@@ -22,6 +22,9 @@ type Storage interface {
 	WriteAt(p []byte, off int64) error
 	// ReadAt fills p from off; the store must be long enough.
 	ReadAt(p []byte, off int64) error
+	// Sync flushes buffered writes to durable media (a no-op for
+	// memory-backed stores). Close implies a final Sync.
+	Sync() error
 	// Close releases resources.
 	Close() error
 }
@@ -60,6 +63,8 @@ func (m *memStorage) ReadAt(p []byte, off int64) error {
 	return nil
 }
 
+func (m *memStorage) Sync() error { return nil }
+
 func (m *memStorage) Close() error { return nil }
 
 // fileStorage stores a subfile in a real file on the host filesystem.
@@ -69,6 +74,19 @@ type fileStorage struct {
 }
 
 func (s *fileStorage) EnsureLen(n int64) error {
+	if s.size >= n {
+		return nil
+	}
+	// Pick up the on-disk size before deciding to grow: when the
+	// factory reopened an existing subfile the cached size may trail
+	// the file, and truncating from a stale size would shrink it.
+	info, err := s.f.Stat()
+	if err != nil {
+		return err
+	}
+	if info.Size() > s.size {
+		s.size = info.Size()
+	}
 	if s.size >= n {
 		return nil
 	}
@@ -99,7 +117,15 @@ func (s *fileStorage) ReadAt(p []byte, off int64) error {
 	return err
 }
 
-func (s *fileStorage) Close() error { return s.f.Close() }
+func (s *fileStorage) Sync() error { return s.f.Sync() }
+
+func (s *fileStorage) Close() error {
+	if err := s.f.Sync(); err != nil {
+		s.f.Close()
+		return err
+	}
+	return s.f.Close()
+}
 
 // StorageFactory creates the store for one subfile.
 type StorageFactory func(fileName string, subfile int) (Storage, error)

@@ -151,3 +151,99 @@ func TestFileStorageBounds(t *testing.T) {
 		t.Errorf("EnsureLen shrank the store to %d", st.Len())
 	}
 }
+
+// TestStorageSync: Sync is a no-op for memory and flushes (without
+// erroring or losing content) for files; Close implies a final Sync so
+// another process sees the bytes afterwards.
+func TestStorageSync(t *testing.T) {
+	m := &memStorage{}
+	if err := m.Sync(); err != nil {
+		t.Fatalf("mem sync: %v", err)
+	}
+
+	dir := t.TempDir()
+	st, err := DirStorageFactory(dir)("synced", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.EnsureLen(8); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.WriteAt([]byte("durable!"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Sync(); err != nil {
+		t.Fatalf("file sync: %v", err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(filepath.Join(dir, "synced.subfile00"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "durable!" {
+		t.Fatalf("on-disk content %q after sync+close", got)
+	}
+}
+
+// TestFileStorageEnsureLenReopen: when the cached size trails the real
+// file (a store handed out by the reopen factory in a fresh process,
+// or a file grown behind the store's back), EnsureLen must pick up the
+// on-disk size instead of truncating the file down from a stale size.
+func TestFileStorageEnsureLenReopen(t *testing.T) {
+	dir := t.TempDir()
+	// Write 16 bytes and close, as a previous daemon run would.
+	first, err := DirStorageFactory(dir)("grown", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := first.EnsureLen(16); err != nil {
+		t.Fatal(err)
+	}
+	content := []byte("sixteen bytes!!!")
+	if err := first.WriteAt(content, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := first.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen and ask for less than what is on disk: the store must
+	// adopt the on-disk size, not shrink the file.
+	st, err := ReopenDirStorageFactory(dir)("grown", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if st.Len() != 16 {
+		t.Fatalf("reopened Len = %d, want 16", st.Len())
+	}
+	if err := st.EnsureLen(4); err != nil {
+		t.Fatal(err)
+	}
+	if st.Len() != 16 {
+		t.Fatalf("EnsureLen(4) after reopen left Len = %d, want 16", st.Len())
+	}
+
+	// The hostile case: the file grows behind a store whose cached size
+	// is stale (simulated by growing the on-disk file directly). A
+	// subsequent EnsureLen between the stale size and the real size
+	// must not truncate away the tail.
+	if err := os.Truncate(filepath.Join(dir, "grown.subfile00"), 32); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.EnsureLen(24); err != nil {
+		t.Fatal(err)
+	}
+	if st.Len() != 32 {
+		t.Fatalf("EnsureLen(24) with a 32-byte file left Len = %d, want 32", st.Len())
+	}
+	got := make([]byte, 16)
+	if err := st.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, content) {
+		t.Fatalf("content %q corrupted by EnsureLen, want %q", got, content)
+	}
+}

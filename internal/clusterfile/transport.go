@@ -1,0 +1,148 @@
+package clusterfile
+
+import (
+	"fmt"
+
+	"parafile/internal/falls"
+	"parafile/internal/part"
+	"parafile/internal/redist"
+)
+
+// transport.go is the seam between the protocol engine and the place
+// subfile bytes physically live. The cluster's write/read/redistribute
+// paths perform every byte-moving storage operation through a
+// SubfileHandle obtained from the configured Transport:
+//
+//   - the in-process transport (the default, NewLocalTransport) backs
+//     each handle with a local Storage from the configured factory —
+//     semantically identical to the pre-seam code;
+//   - the TCP transport (package rpc) backs each handle with the
+//     parafiled daemon of the subfile's I/O node, so the same compiled
+//     projections drive scatter/gather over real sockets.
+//
+// The virtual-time cost models (netsim, disksim) are independent of
+// the transport: they keep supplying the reported timings either way,
+// while the transport decides where the bytes actually land.
+
+// SubfileHandle is one subfile's byte store as seen by the protocol:
+// the Storage operations plus the projection-driven scatter/gather the
+// §8.1 servers execute. Scatter and Gather operate on the projection's
+// selected regions within [lo, hi] of the subfile's linear space, so a
+// remote implementation ships one request per operation instead of one
+// per segment.
+type SubfileHandle interface {
+	// EnsureLen grows the subfile to at least n bytes (zero filled).
+	EnsureLen(n int64) error
+	// Len returns the current subfile size.
+	Len() (int64, error)
+	// WriteAt stores p contiguously at off.
+	WriteAt(p []byte, off int64) error
+	// ReadAt fills p contiguously from off.
+	ReadAt(p []byte, off int64) error
+	// Scatter unpacks contiguous data into the regions the projection
+	// selects within [lo, hi] — the §8 SCATTER.
+	Scatter(p *redist.Projection, lo, hi int64, data []byte) error
+	// Gather packs the regions the projection selects within [lo, hi]
+	// into dst — the §8 GATHER.
+	Gather(p *redist.Projection, lo, hi int64, dst []byte) error
+	// Close releases the handle (syncing durable stores).
+	Close() error
+}
+
+// Transport opens the subfile stores of a file on its I/O nodes.
+type Transport interface {
+	// Open prepares one handle per subfile. assign maps each subfile
+	// index to its I/O node.
+	Open(name string, phys *part.File, assign []int) ([]SubfileHandle, error)
+	// Close releases transport-level resources (connection pools).
+	Close() error
+}
+
+// NewLocalTransport is the in-process transport: subfiles are local
+// Storage instances from the factory (nil selects in-memory stores).
+func NewLocalTransport(factory StorageFactory) Transport {
+	if factory == nil {
+		factory = MemStorageFactory
+	}
+	return &localTransport{factory: factory}
+}
+
+type localTransport struct {
+	factory StorageFactory
+}
+
+func (t *localTransport) Open(name string, phys *part.File, assign []int) ([]SubfileHandle, error) {
+	handles := make([]SubfileHandle, len(assign))
+	for i := range assign {
+		st, err := t.factory(name, i)
+		if err != nil {
+			for _, h := range handles[:i] {
+				h.Close()
+			}
+			return nil, err
+		}
+		handles[i] = &localHandle{st: st}
+	}
+	return handles, nil
+}
+
+func (t *localTransport) Close() error { return nil }
+
+// localHandle adapts a Storage to the SubfileHandle interface.
+type localHandle struct {
+	st Storage
+}
+
+func (h *localHandle) EnsureLen(n int64) error          { return h.st.EnsureLen(n) }
+func (h *localHandle) Len() (int64, error)              { return h.st.Len(), nil }
+func (h *localHandle) WriteAt(p []byte, off int64) error { return h.st.WriteAt(p, off) }
+func (h *localHandle) ReadAt(p []byte, off int64) error  { return h.st.ReadAt(p, off) }
+func (h *localHandle) Close() error                      { return h.st.Close() }
+
+func (h *localHandle) Scatter(p *redist.Projection, lo, hi int64, data []byte) error {
+	return ScatterRange(h.st, data, p, lo, hi)
+}
+
+func (h *localHandle) Gather(p *redist.Projection, lo, hi int64, dst []byte) error {
+	return GatherRange(dst, h.st, p, lo, hi)
+}
+
+// ScatterRange unpacks contiguous data into the storage regions the
+// projection selects within [lo, hi] — the §8 SCATTER against an
+// arbitrary subfile store. It is shared by the local transport and the
+// rpc server, which keeps both sides of the wire byte-identical.
+func ScatterRange(store Storage, data []byte, p *redist.Projection, lo, hi int64) error {
+	var pos int64
+	var err error
+	p.WalkRange(lo, hi, func(seg falls.LineSegment) bool {
+		if pos+seg.Len() > int64(len(data)) {
+			err = fmt.Errorf("clusterfile: scatter underflow")
+			return false
+		}
+		if err = store.WriteAt(data[pos:pos+seg.Len()], seg.L); err != nil {
+			return false
+		}
+		pos += seg.Len()
+		return true
+	})
+	return err
+}
+
+// GatherRange packs the storage regions the projection selects within
+// [lo, hi] into dst — the §8 GATHER from a subfile store.
+func GatherRange(dst []byte, store Storage, p *redist.Projection, lo, hi int64) error {
+	var pos int64
+	var err error
+	p.WalkRange(lo, hi, func(seg falls.LineSegment) bool {
+		if pos+seg.Len() > int64(len(dst)) {
+			err = fmt.Errorf("clusterfile: gather overflow")
+			return false
+		}
+		if err = store.ReadAt(dst[pos:pos+seg.Len()], seg.L); err != nil {
+			return false
+		}
+		pos += seg.Len()
+		return true
+	})
+	return err
+}

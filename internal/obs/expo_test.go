@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"encoding/json"
 	"net/http/httptest"
 	"strings"
@@ -127,10 +128,11 @@ func TestHandlerEndpoints(t *testing.T) {
 }
 
 func TestServeBindsAndScrapes(t *testing.T) {
-	addr, err := Serve("127.0.0.1:0", goldenRegistry())
+	addr, shutdown, err := Serve("127.0.0.1:0", goldenRegistry())
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer shutdown(context.Background())
 	if !strings.Contains(addr, ":") || strings.HasSuffix(addr, ":0") {
 		t.Fatalf("bound address %q", addr)
 	}

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"net"
 	"net/http"
 )
@@ -33,14 +34,16 @@ func Handler(r *Registry) http.Handler {
 }
 
 // Serve starts an HTTP metrics server on addr (":0" binds a free
-// port) and returns the bound address, e.g. "127.0.0.1:43571". The
-// server runs on a background goroutine for the life of the process.
-func Serve(addr string, r *Registry) (string, error) {
+// port) and returns the bound address, e.g. "127.0.0.1:43571", plus a
+// shutdown function that stops the server, waiting (bounded by ctx)
+// for in-flight scrapes to finish. The server runs on a background
+// goroutine until shut down.
+func Serve(addr string, r *Registry) (string, func(context.Context) error, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
-		return "", err
+		return "", nil, err
 	}
 	srv := &http.Server{Handler: Handler(r)}
 	go srv.Serve(ln)
-	return ln.Addr().String(), nil
+	return ln.Addr().String(), srv.Shutdown, nil
 }

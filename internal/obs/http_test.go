@@ -1,0 +1,48 @@
+package obs
+
+import (
+	"context"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// http_test.go checks the metrics server lifecycle: Serve binds,
+// answers scrapes, and its shutdown function actually stops the
+// listener (the hook parafiled's drain relies on).
+
+func TestServeAndShutdown(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("test_total").Add(7)
+
+	addr, shutdown, err := Serve("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), "test_total 7") {
+		t.Fatalf("scrape missing counter:\n%s", body)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	// The port must actually be released.
+	if conn, err := net.DialTimeout("tcp", addr, 250*time.Millisecond); err == nil {
+		conn.Close()
+		t.Fatal("metrics port still accepting connections after shutdown")
+	}
+}

@@ -1,0 +1,324 @@
+package rpc
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"parafile/internal/obs"
+)
+
+// client.go is the compute-node side of the wire: one Client per I/O
+// node, holding a small pool of TCP connections. Calls are synchronous
+// request/response per connection; concurrency comes from the pool.
+//
+// Every request in the protocol is idempotent — writes place the same
+// bytes at the same offsets, registration and close are
+// retry-tolerant — so the client retries blindly on transport errors
+// (dial failures, resets, deadline expiries) with bounded exponential
+// backoff. Server-reported RemoteErrors are answers, not transport
+// failures, and are returned without retry.
+
+// ClientConfig configures a connection to one I/O node.
+type ClientConfig struct {
+	// Addr is the node's host:port.
+	Addr string
+	// PoolSize caps pooled idle connections (default 2). Calls beyond
+	// the pool dial extra connections rather than queueing.
+	PoolSize int
+	// DialTimeout bounds connection establishment (default 5s).
+	DialTimeout time.Duration
+	// WriteTimeout / ReadTimeout are per-request deadlines (default
+	// 30s each). A expired deadline drops the connection and retries.
+	WriteTimeout time.Duration
+	ReadTimeout  time.Duration
+	// MaxRetries is the number of retry attempts after the first
+	// failure (default 4; total attempts = MaxRetries+1).
+	MaxRetries int
+	// BackoffBase and BackoffMax shape the exponential backoff between
+	// attempts (defaults 10ms and 1s).
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// MaxFrame bounds response frames (DefaultMaxFrame when 0).
+	MaxFrame int64
+	// Metrics receives the client-side RPC series; nil records nothing.
+	Metrics *obs.Registry
+}
+
+func (cfg *ClientConfig) fillDefaults() {
+	if cfg.PoolSize <= 0 {
+		cfg.PoolSize = 2
+	}
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = 5 * time.Second
+	}
+	if cfg.WriteTimeout <= 0 {
+		cfg.WriteTimeout = 30 * time.Second
+	}
+	if cfg.ReadTimeout <= 0 {
+		cfg.ReadTimeout = 30 * time.Second
+	}
+	if cfg.MaxRetries < 0 {
+		cfg.MaxRetries = 0
+	} else if cfg.MaxRetries == 0 {
+		cfg.MaxRetries = 4
+	}
+	if cfg.BackoffBase <= 0 {
+		cfg.BackoffBase = 10 * time.Millisecond
+	}
+	if cfg.BackoffMax <= 0 {
+		cfg.BackoffMax = time.Second
+	}
+	if cfg.MaxFrame <= 0 {
+		cfg.MaxFrame = DefaultMaxFrame
+	}
+}
+
+// Client talks to one I/O node.
+type Client struct {
+	cfg ClientConfig
+	met clientMetrics
+
+	mu     sync.Mutex
+	idle   []net.Conn
+	closed bool
+
+	// registered remembers the projection fingerprints this node has
+	// acknowledged, so each shape's PROJ travels once (per client) —
+	// the §8.1 view-set amortization over a real wire.
+	registered sync.Map // uint64 -> struct{}
+}
+
+// NewClient builds a client; connections are dialed lazily.
+func NewClient(cfg ClientConfig) *Client {
+	cfg.fillDefaults()
+	return &Client{cfg: cfg, met: newClientMetrics(cfg.Metrics)}
+}
+
+// Addr returns the node address the client was built for.
+func (c *Client) Addr() string { return c.cfg.Addr }
+
+// Close closes pooled connections. In-flight calls on checked-out
+// connections finish normally.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closed = true
+	for _, conn := range c.idle {
+		conn.Close()
+	}
+	c.idle = nil
+	return nil
+}
+
+func (c *Client) getConn() (net.Conn, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("rpc: client for %s is closed", c.cfg.Addr)
+	}
+	if n := len(c.idle); n > 0 {
+		conn := c.idle[n-1]
+		c.idle = c.idle[:n-1]
+		c.mu.Unlock()
+		return conn, nil
+	}
+	c.mu.Unlock()
+	c.met.dials.Inc()
+	return net.DialTimeout("tcp", c.cfg.Addr, c.cfg.DialTimeout)
+}
+
+func (c *Client) putConn(conn net.Conn) {
+	c.mu.Lock()
+	if !c.closed && len(c.idle) < c.cfg.PoolSize {
+		c.idle = append(c.idle, conn)
+		c.mu.Unlock()
+		return
+	}
+	c.mu.Unlock()
+	conn.Close()
+}
+
+// backoff returns the pause before retry attempt (1-based).
+func (c *Client) backoff(attempt int) time.Duration {
+	d := c.cfg.BackoffBase << (attempt - 1)
+	if d > c.cfg.BackoffMax || d <= 0 {
+		d = c.cfg.BackoffMax
+	}
+	return d
+}
+
+// roundTrip performs one framed exchange on one connection. The
+// response body is pooled; the caller releases it.
+func (c *Client) roundTrip(conn net.Conn, req []byte) ([]byte, error) {
+	if err := conn.SetWriteDeadline(time.Now().Add(c.cfg.WriteTimeout)); err != nil {
+		return nil, err
+	}
+	if err := WriteFrame(conn, req); err != nil {
+		return nil, err
+	}
+	c.met.sentBytes.Add(int64(len(req) + 4))
+	if err := conn.SetReadDeadline(time.Now().Add(c.cfg.ReadTimeout)); err != nil {
+		return nil, err
+	}
+	body, err := ReadFrame(conn, c.cfg.MaxFrame)
+	if err != nil {
+		return nil, err
+	}
+	c.met.recvBytes.Add(int64(len(body) + 4))
+	return body, nil
+}
+
+// call sends an encoded request frame body and returns the response
+// body (pooled — release with ReleaseFrame). Transport errors are
+// retried with exponential backoff; a RemoteError is returned as-is.
+func (c *Client) call(reqType byte, req []byte) ([]byte, error) {
+	c.met.inflight.Add(1)
+	start := time.Now()
+	defer func() {
+		c.met.inflight.Add(-1)
+		c.met.requestNs.Observe(time.Since(start).Nanoseconds())
+	}()
+	c.met.requests[reqType].Inc()
+
+	var lastErr error
+	for attempt := 0; attempt <= c.cfg.MaxRetries; attempt++ {
+		if attempt > 0 {
+			c.met.retries.Inc()
+			time.Sleep(c.backoff(attempt))
+		}
+		conn, err := c.getConn()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		body, err := c.roundTrip(conn, req)
+		if err != nil {
+			conn.Close()
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				c.met.timeouts.Inc()
+			}
+			lastErr = err
+			continue
+		}
+		c.putConn(conn)
+		return body, nil
+	}
+	c.met.failures.Inc()
+	return nil, fmt.Errorf("rpc: %s to %s failed after %d attempts: %w",
+		MsgName(reqType), c.cfg.Addr, c.cfg.MaxRetries+1, lastErr)
+}
+
+// parseResp classifies a response body against the expected success
+// type and returns its payload.
+func parseResp(body []byte, want byte) ([]byte, error) {
+	msgType, payload, err := ParseFrame(body)
+	if err != nil {
+		return nil, err
+	}
+	if msgType == MsgError {
+		re, err := DecodeError(payload)
+		if err != nil {
+			return nil, err
+		}
+		return nil, re
+	}
+	if msgType != want {
+		return nil, fmt.Errorf("%w: response type %#x, want %#x", ErrCorrupt, msgType, want)
+	}
+	return payload, nil
+}
+
+// exchange is call + parse + release for requests with empty OK
+// responses.
+func (c *Client) exchange(reqType byte, req []byte) error {
+	body, err := c.call(reqType, req)
+	putFrameBuf(req)
+	if err != nil {
+		return err
+	}
+	defer ReleaseFrame(body)
+	_, err = parseResp(body, MsgOK)
+	return err
+}
+
+// CreateFile opens the request's subfile stores on the node.
+func (c *Client) CreateFile(req *CreateFileReq) error {
+	return c.exchange(MsgCreateFile, AppendCreateFile(getFrameBuf(64), req))
+}
+
+// SetView registers an encoded projection under its fingerprint.
+func (c *Client) SetView(fp uint64, proj []byte) error {
+	err := c.exchange(MsgSetView, AppendSetView(getFrameBuf(64), &SetViewReq{Fingerprint: fp, Proj: proj}))
+	if err == nil {
+		c.registered.Store(fp, struct{}{})
+	}
+	return err
+}
+
+// Registered reports whether the client has seen the node acknowledge
+// the fingerprint.
+func (c *Client) Registered(fp uint64) bool {
+	_, ok := c.registered.Load(fp)
+	return ok
+}
+
+// Forget drops the local registration record of a fingerprint (used
+// when the node reports it unknown, e.g. after a daemon restart).
+func (c *Client) Forget(fp uint64) { c.registered.Delete(fp) }
+
+// WriteSegments performs a scatter (nonzero fingerprint) or contiguous
+// (zero fingerprint) write.
+func (c *Client) WriteSegments(req *WriteSegsReq) error {
+	return c.exchange(MsgWriteSegs, AppendWriteSegs(getFrameBuf(64+len(req.Data)), req))
+}
+
+// ReadSegments performs a gather (nonzero fingerprint) or contiguous
+// (zero fingerprint) read of len(dst) bytes into dst.
+func (c *Client) ReadSegments(req *ReadSegsReq, dst []byte) error {
+	if req.N != int64(len(dst)) {
+		return fmt.Errorf("rpc: read of %d bytes into %d-byte buffer", req.N, len(dst))
+	}
+	reqBuf := AppendReadSegs(getFrameBuf(64), req)
+	body, err := c.call(MsgReadSegs, reqBuf)
+	putFrameBuf(reqBuf)
+	if err != nil {
+		return err
+	}
+	defer ReleaseFrame(body)
+	payload, err := parseResp(body, MsgData)
+	if err != nil {
+		return err
+	}
+	data, err := DecodeData(payload)
+	if err != nil {
+		return err
+	}
+	if int64(len(data)) != req.N {
+		return fmt.Errorf("%w: read returned %d bytes, want %d", ErrCorrupt, len(data), req.N)
+	}
+	copy(dst, data)
+	return nil
+}
+
+// Stat returns the subfile's current length.
+func (c *Client) Stat(file string, subfile int64) (int64, error) {
+	reqBuf := AppendStat(getFrameBuf(64), &StatReq{File: file, Subfile: subfile})
+	body, err := c.call(MsgStat, reqBuf)
+	putFrameBuf(reqBuf)
+	if err != nil {
+		return 0, err
+	}
+	defer ReleaseFrame(body)
+	payload, err := parseResp(body, MsgStatResp)
+	if err != nil {
+		return 0, err
+	}
+	return DecodeStatResp(payload)
+}
+
+// CloseFile syncs and closes the file's stores on the node.
+func (c *Client) CloseFile(file string) error {
+	return c.exchange(MsgClose, AppendClose(getFrameBuf(64), &CloseReq{File: file}))
+}

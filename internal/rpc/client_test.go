@@ -1,0 +1,248 @@
+package rpc
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"parafile/internal/codec"
+	"parafile/internal/falls"
+	"parafile/internal/obs"
+	"parafile/internal/part"
+)
+
+// client_test.go exercises the failure half of the client: connection
+// drops mid-request (retried with backoff, visible in the retry
+// counters), unresponsive peers (deadline expiry, visible in the
+// timeout counter), and server-reported errors (answered, never
+// retried).
+
+// startServer runs an in-process daemon on a loopback listener.
+func startServer(t *testing.T, cfg ServerConfig) (string, *Server) {
+	t.Helper()
+	srv := NewServer(cfg)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+		if err := <-done; err != nil {
+			t.Errorf("serve: %v", err)
+		}
+	})
+	return ln.Addr().String(), srv
+}
+
+// encodeTestPhys is a minimal single-subfile physical partition for
+// direct wire-level tests.
+func encodeTestPhys(t *testing.T) []byte {
+	t.Helper()
+	pattern := part.MustPattern(
+		part.Element{Name: "s0", Set: falls.Set{falls.MustLeaf(0, 63, 64, 1)}},
+	)
+	return codec.EncodeFile(part.MustFile(0, pattern))
+}
+
+// flakyProxy forwards TCP connections to backend, but kills the first
+// `drops` connections after a few bytes — a connection drop mid-write
+// from the client's point of view.
+func flakyProxy(t *testing.T, backend string, drops int32) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	var n atomic.Int32
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			if n.Add(1) <= drops {
+				// Read a little of the request, then slam the door.
+				io.ReadFull(conn, make([]byte, 4))
+				conn.Close()
+				continue
+			}
+			up, err := net.Dial("tcp", backend)
+			if err != nil {
+				conn.Close()
+				continue
+			}
+			go func() { io.Copy(up, conn); up.(*net.TCPConn).CloseWrite() }()
+			go func() { io.Copy(conn, up); conn.(*net.TCPConn).CloseWrite() }()
+		}
+	}()
+	return ln.Addr().String()
+}
+
+func TestClientRetriesAfterConnectionDrop(t *testing.T) {
+	backend, _ := startServer(t, ServerConfig{})
+	proxy := flakyProxy(t, backend, 1)
+
+	reg := obs.NewRegistry()
+	c := NewClient(ClientConfig{
+		Addr:        proxy,
+		MaxRetries:  3,
+		BackoffBase: time.Millisecond,
+		Metrics:     reg,
+	})
+	defer c.Close()
+
+	phys := encodeTestPhys(t)
+	if err := c.CreateFile(&CreateFileReq{Name: "f", Phys: phys, Subfiles: []int{0}}); err != nil {
+		t.Fatalf("create through flaky proxy: %v", err)
+	}
+	data := []byte("survives the drop")
+	err := c.WriteSegments(&WriteSegsReq{File: "f", Subfile: 0, Lo: 0, Hi: int64(len(data)) - 1, Data: data})
+	if err != nil {
+		t.Fatalf("write through flaky proxy: %v", err)
+	}
+	got := make([]byte, len(data))
+	err = c.ReadSegments(&ReadSegsReq{File: "f", Subfile: 0, Lo: 0, Hi: int64(len(data)) - 1, N: int64(len(data))}, got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(data) {
+		t.Fatalf("read %q after retried write, want %q", got, data)
+	}
+	if v := reg.Counter(MetricClientRetries).Value(); v < 1 {
+		t.Fatalf("retries counter = %d, want >= 1 after a dropped connection", v)
+	}
+	if v := reg.Counter(MetricClientFailures).Value(); v != 0 {
+		t.Fatalf("failures counter = %d, want 0 (every call eventually succeeded)", v)
+	}
+}
+
+func TestClientTimeout(t *testing.T) {
+	// A listener that accepts and then reads forever: the request lands
+	// but no response ever comes, so the read deadline expires.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go io.Copy(io.Discard, conn)
+		}
+	}()
+
+	reg := obs.NewRegistry()
+	c := NewClient(ClientConfig{
+		Addr:        ln.Addr().String(),
+		ReadTimeout: 30 * time.Millisecond,
+		MaxRetries:  1,
+		BackoffBase: time.Millisecond,
+		Metrics:     reg,
+	})
+	defer c.Close()
+
+	_, err = c.Stat("f", 0)
+	if err == nil {
+		t.Fatal("stat of a black-hole server succeeded")
+	}
+	var ne net.Error
+	if !errors.As(err, &ne) || !ne.Timeout() {
+		t.Fatalf("error %v does not unwrap to a timeout", err)
+	}
+	if v := reg.Counter(MetricClientTimeouts).Value(); v < 1 {
+		t.Fatalf("timeouts counter = %d, want >= 1", v)
+	}
+	if v := reg.Counter(MetricClientFailures).Value(); v != 1 {
+		t.Fatalf("failures counter = %d, want 1 (retry budget exhausted once)", v)
+	}
+	if v := reg.Counter(MetricClientRetries).Value(); v != 1 {
+		t.Fatalf("retries counter = %d, want 1 (MaxRetries=1)", v)
+	}
+}
+
+func TestClientDoesNotRetryRemoteErrors(t *testing.T) {
+	addr, _ := startServer(t, ServerConfig{})
+	reg := obs.NewRegistry()
+	c := NewClient(ClientConfig{Addr: addr, BackoffBase: time.Millisecond, Metrics: reg})
+	defer c.Close()
+
+	_, err := c.Stat("no-such-file", 0)
+	var re *RemoteError
+	if !errors.As(err, &re) {
+		t.Fatalf("error %v is not a RemoteError", err)
+	}
+	if re.Code != ErrCodeUnknownFile {
+		t.Fatalf("code %d, want %d (unknown file)", re.Code, ErrCodeUnknownFile)
+	}
+	if v := reg.Counter(MetricClientRetries).Value(); v != 0 {
+		t.Fatalf("retries counter = %d, want 0: remote errors are answers, not transport failures", v)
+	}
+}
+
+func TestClientDialFailure(t *testing.T) {
+	// A port with nothing listening: grab one, then release it.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	reg := obs.NewRegistry()
+	c := NewClient(ClientConfig{Addr: addr, MaxRetries: 1, BackoffBase: time.Millisecond, Metrics: reg})
+	defer c.Close()
+	if err := c.CloseFile("f"); err == nil {
+		t.Fatal("call to a dead address succeeded")
+	}
+	if v := reg.Counter(MetricClientFailures).Value(); v != 1 {
+		t.Fatalf("failures counter = %d, want 1", v)
+	}
+}
+
+func TestServerRejectsGarbageFrames(t *testing.T) {
+	addr, _ := startServer(t, ServerConfig{})
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	// A frame with a wrong protocol version: the server answers with a
+	// bad-request error instead of dropping the connection or panicking.
+	if err := WriteFrame(conn, []byte{ProtoVersion + 1, MsgStat}); err != nil {
+		t.Fatal(err)
+	}
+	body, err := ReadFrame(conn, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ReleaseFrame(body)
+	msgType, payload, err := ParseFrame(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msgType != MsgError {
+		t.Fatalf("response type %#x, want error", msgType)
+	}
+	re, err := DecodeError(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Code != ErrCodeBadRequest {
+		t.Fatalf("code %d, want bad request", re.Code)
+	}
+}

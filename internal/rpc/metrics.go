@@ -1,0 +1,115 @@
+package rpc
+
+import (
+	"fmt"
+
+	"parafile/internal/obs"
+)
+
+// metrics.go names and binds the RPC layer's observability series on
+// both sides of the wire, following the obs conventions: binding a nil
+// registry yields nil metrics whose methods are free no-ops.
+const (
+	// Client side: one series per request type for volume, a shared
+	// latency histogram (whole call including retries), an in-flight
+	// gauge, per-direction byte totals, and the failure taxonomy —
+	// retries (reconnect attempts after a transport error), timeouts
+	// (deadline expiries, a subset of retries), and failures (calls
+	// that exhausted the retry budget).
+	MetricClientRequests  = "parafile_rpc_client_requests_total"
+	MetricClientRequestNs = "parafile_rpc_client_request_ns"
+	MetricClientInflight  = "parafile_rpc_client_inflight"
+	MetricClientSentBytes = "parafile_rpc_client_sent_bytes_total"
+	MetricClientRecvBytes = "parafile_rpc_client_received_bytes_total"
+	MetricClientRetries   = "parafile_rpc_client_retries_total"
+	MetricClientTimeouts  = "parafile_rpc_client_timeouts_total"
+	MetricClientFailures  = "parafile_rpc_client_failures_total"
+	MetricClientDials     = "parafile_rpc_client_dials_total"
+
+	// Server side: the mirrored series plus connection and open-file
+	// gauges and a per-code error counter.
+	MetricServerRequests  = "parafile_rpc_server_requests_total"
+	MetricServerRequestNs = "parafile_rpc_server_request_ns"
+	MetricServerInflight  = "parafile_rpc_server_inflight"
+	MetricServerRecvBytes = "parafile_rpc_server_received_bytes_total"
+	MetricServerSentBytes = "parafile_rpc_server_sent_bytes_total"
+	MetricServerErrors    = "parafile_rpc_server_errors_total"
+	MetricServerConns     = "parafile_rpc_server_connections"
+	MetricServerFiles     = "parafile_rpc_server_open_files"
+)
+
+// reqTypes are the request message types with per-type volume series.
+var reqTypes = []byte{MsgCreateFile, MsgSetView, MsgWriteSegs, MsgReadSegs, MsgStat, MsgClose}
+
+func bindPerType(reg *obs.Registry, name string) map[byte]*obs.Counter {
+	m := make(map[byte]*obs.Counter, len(reqTypes))
+	for _, t := range reqTypes {
+		m[t] = reg.Counter(fmt.Sprintf(`%s{type="%s"}`, name, MsgName(t)))
+	}
+	return m
+}
+
+type clientMetrics struct {
+	requests  map[byte]*obs.Counter
+	requestNs *obs.Histogram
+	inflight  *obs.Gauge
+	sentBytes *obs.Counter
+	recvBytes *obs.Counter
+	retries   *obs.Counter
+	timeouts  *obs.Counter
+	failures  *obs.Counter
+	dials     *obs.Counter
+}
+
+func newClientMetrics(reg *obs.Registry) clientMetrics {
+	return clientMetrics{
+		requests:  bindPerType(reg, MetricClientRequests),
+		requestNs: reg.Histogram(MetricClientRequestNs, obs.LatencyBuckets()),
+		inflight:  reg.Gauge(MetricClientInflight),
+		sentBytes: reg.Counter(MetricClientSentBytes),
+		recvBytes: reg.Counter(MetricClientRecvBytes),
+		retries:   reg.Counter(MetricClientRetries),
+		timeouts:  reg.Counter(MetricClientTimeouts),
+		failures:  reg.Counter(MetricClientFailures),
+		dials:     reg.Counter(MetricClientDials),
+	}
+}
+
+type serverMetrics struct {
+	requests  map[byte]*obs.Counter
+	requestNs *obs.Histogram
+	inflight  *obs.Gauge
+	recvBytes *obs.Counter
+	sentBytes *obs.Counter
+	errors    map[uint64]*obs.Counter
+	conns     *obs.Gauge
+	files     *obs.Gauge
+}
+
+func newServerMetrics(reg *obs.Registry) serverMetrics {
+	codes := map[uint64]string{
+		ErrCodeBadRequest:        "bad_request",
+		ErrCodeUnknownFile:       "unknown_file",
+		ErrCodeUnknownProjection: "unknown_projection",
+		ErrCodeIO:                "io",
+		ErrCodeShuttingDown:      "shutting_down",
+	}
+	errs := make(map[uint64]*obs.Counter, len(codes))
+	for code, label := range codes {
+		errs[code] = reg.Counter(fmt.Sprintf(`%s{code="%s"}`, MetricServerErrors, label))
+	}
+	return serverMetrics{
+		requests:  bindPerType(reg, MetricServerRequests),
+		requestNs: reg.Histogram(MetricServerRequestNs, obs.LatencyBuckets()),
+		inflight:  reg.Gauge(MetricServerInflight),
+		recvBytes: reg.Counter(MetricServerRecvBytes),
+		sentBytes: reg.Counter(MetricServerSentBytes),
+		errors:    errs,
+		conns:     reg.Gauge(MetricServerConns),
+		files:     reg.Gauge(MetricServerFiles),
+	}
+}
+
+// errCounter returns the counter of a code (nil, hence a no-op, for
+// unknown codes or an unbound registry).
+func (m *serverMetrics) errCounter(code uint64) *obs.Counter { return m.errors[code] }

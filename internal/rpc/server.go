@@ -1,0 +1,450 @@
+package rpc
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"parafile/internal/clusterfile"
+	"parafile/internal/codec"
+	"parafile/internal/obs"
+	"parafile/internal/redist"
+)
+
+// server.go is the I/O-node daemon core: a concurrent TCP server that
+// hosts the subfile Storage backends of one node and executes the
+// view-driven scatter/gather requests against them. cmd/parafiled
+// wraps it with flags and signal handling; tests run it in-process on
+// a loopback listener.
+
+// ServerConfig configures an I/O-node server.
+type ServerConfig struct {
+	// DataDir roots the subfile stores on disk (one file per subfile,
+	// like the original Clusterfile I/O nodes). Empty keeps subfiles in
+	// memory.
+	DataDir string
+	// MaxFrame bounds accepted frame bodies (DefaultMaxFrame when 0).
+	MaxFrame int64
+	// Metrics receives the server-side RPC series; nil records nothing.
+	Metrics *obs.Registry
+}
+
+// Server hosts subfile stores behind the wire protocol. One Server is
+// one I/O node; a deployment runs one parafiled per node.
+type Server struct {
+	cfg ServerConfig
+	met serverMetrics
+
+	mu       sync.Mutex
+	ln       net.Listener
+	conns    map[net.Conn]struct{}
+	files    map[string]*serverFile
+	projs    map[uint64]*redist.Projection
+	draining atomic.Bool
+	connWG   sync.WaitGroup
+}
+
+// serverFile is one file's node-local state: the stores of the
+// subfiles this node hosts, guarded against concurrent connections.
+type serverFile struct {
+	mu     sync.Mutex
+	stores map[int]clusterfile.Storage
+}
+
+// NewServer builds a server; call Serve with a listener to run it.
+func NewServer(cfg ServerConfig) *Server {
+	if cfg.MaxFrame <= 0 {
+		cfg.MaxFrame = DefaultMaxFrame
+	}
+	return &Server{
+		cfg:   cfg,
+		met:   newServerMetrics(cfg.Metrics),
+		conns: make(map[net.Conn]struct{}),
+		files: make(map[string]*serverFile),
+		projs: make(map[uint64]*redist.Projection),
+	}
+}
+
+// Serve accepts connections on ln until Shutdown. It returns nil after
+// a graceful shutdown, or the first accept error otherwise.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if s.draining.Load() {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.draining.Load() {
+			s.mu.Unlock()
+			conn.Close()
+			continue
+		}
+		s.conns[conn] = struct{}{}
+		s.met.conns.Add(1)
+		s.connWG.Add(1)
+		s.mu.Unlock()
+		go s.handleConn(conn)
+	}
+}
+
+// Shutdown drains the server: stop accepting, let in-flight requests
+// finish (bounded by ctx), then sync and close every store. Idle
+// connections are woken and closed immediately.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	s.mu.Lock()
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	// Wake connections blocked in ReadFrame: the read loop sees the
+	// draining flag on the deadline error and exits cleanly. A request
+	// already being processed still writes its response first.
+	for c := range s.conns {
+		c.SetReadDeadline(time.Now())
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.connWG.Wait()
+		close(done)
+	}()
+	var drainErr error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		drainErr = ctx.Err()
+		s.mu.Lock()
+		for c := range s.conns {
+			c.Close()
+		}
+		s.mu.Unlock()
+		<-done
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for name, sf := range s.files {
+		sf.mu.Lock()
+		for _, st := range sf.stores {
+			if err := st.Close(); err != nil && drainErr == nil {
+				drainErr = fmt.Errorf("rpc: closing %q: %w", name, err)
+			}
+		}
+		sf.mu.Unlock()
+		delete(s.files, name)
+		s.met.files.Add(-1)
+	}
+	return drainErr
+}
+
+func (s *Server) handleConn(conn net.Conn) {
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		s.met.conns.Add(-1)
+		conn.Close()
+		s.connWG.Done()
+	}()
+	for {
+		body, err := ReadFrame(conn, s.cfg.MaxFrame)
+		if err != nil {
+			// EOF, peer reset, the drain wake-up, or garbage: either
+			// way this connection is done.
+			return
+		}
+		s.met.recvBytes.Add(int64(len(body) + 4))
+		resp := s.handle(body)
+		ReleaseFrame(body)
+		err = WriteFrame(conn, resp)
+		s.met.sentBytes.Add(int64(len(resp) + 4))
+		putFrameBuf(resp)
+		if err != nil {
+			return
+		}
+		if s.draining.Load() {
+			return
+		}
+	}
+}
+
+// handle executes one request and returns the encoded response in a
+// pooled buffer.
+func (s *Server) handle(body []byte) []byte {
+	start := time.Now()
+	s.met.inflight.Add(1)
+	defer func() {
+		s.met.inflight.Add(-1)
+		s.met.requestNs.Observe(time.Since(start).Nanoseconds())
+	}()
+
+	out := getFrameBuf(64)
+	msgType, payload, err := ParseFrame(body)
+	if err != nil {
+		return s.errResp(out, ErrCodeBadRequest, err.Error())
+	}
+	s.met.requests[msgType].Inc()
+	if s.draining.Load() {
+		return s.errResp(out, ErrCodeShuttingDown, "server draining")
+	}
+	switch msgType {
+	case MsgCreateFile:
+		return s.handleCreateFile(out, payload)
+	case MsgSetView:
+		return s.handleSetView(out, payload)
+	case MsgWriteSegs:
+		return s.handleWriteSegs(out, payload)
+	case MsgReadSegs:
+		return s.handleReadSegs(out, payload)
+	case MsgStat:
+		return s.handleStat(out, payload)
+	case MsgClose:
+		return s.handleClose(out, payload)
+	}
+	return s.errResp(out, ErrCodeBadRequest, fmt.Sprintf("unknown message type %#x", msgType))
+}
+
+func (s *Server) errResp(out []byte, code uint64, msg string) []byte {
+	s.met.errCounter(code).Inc()
+	return AppendError(out, code, msg)
+}
+
+// storageFactory returns the factory for one CreateFile request.
+func (s *Server) storageFactory(reopen bool) clusterfile.StorageFactory {
+	if s.cfg.DataDir == "" {
+		return clusterfile.MemStorageFactory
+	}
+	if reopen {
+		return clusterfile.ReopenDirStorageFactory(s.cfg.DataDir)
+	}
+	return clusterfile.DirStorageFactory(s.cfg.DataDir)
+}
+
+func (s *Server) handleCreateFile(out, payload []byte) []byte {
+	req, err := DecodeCreateFile(payload)
+	if err != nil {
+		return s.errResp(out, ErrCodeBadRequest, err.Error())
+	}
+	if _, err := codec.DecodeFile(req.Phys); err != nil {
+		return s.errResp(out, ErrCodeBadRequest, fmt.Sprintf("physical partition: %v", err))
+	}
+	s.mu.Lock()
+	sf := s.files[req.Name]
+	if sf == nil {
+		sf = &serverFile{stores: make(map[int]clusterfile.Storage)}
+		s.files[req.Name] = sf
+		s.met.files.Add(1)
+	}
+	s.mu.Unlock()
+
+	sf.mu.Lock()
+	defer sf.mu.Unlock()
+	factory := s.storageFactory(req.Reopen)
+	for _, sub := range req.Subfiles {
+		if _, open := sf.stores[sub]; open {
+			// Already open in this session (a retried CreateFile, or a
+			// second client of the same file): keep the live store
+			// rather than truncating data out from under it.
+			continue
+		}
+		st, err := factory(req.Name, sub)
+		if err != nil {
+			return s.errResp(out, ErrCodeIO, fmt.Sprintf("subfile %d: %v", sub, err))
+		}
+		sf.stores[sub] = st
+	}
+	return AppendOK(out)
+}
+
+func (s *Server) handleSetView(out, payload []byte) []byte {
+	req, err := DecodeSetView(payload)
+	if err != nil {
+		return s.errResp(out, ErrCodeBadRequest, err.Error())
+	}
+	if got := Fingerprint(req.Proj); got != req.Fingerprint {
+		return s.errResp(out, ErrCodeBadRequest,
+			fmt.Sprintf("projection fingerprint %#x does not match payload (%#x)", req.Fingerprint, got))
+	}
+	proj, err := redist.DecodeProjection(req.Proj)
+	if err != nil {
+		return s.errResp(out, ErrCodeBadRequest, err.Error())
+	}
+	s.mu.Lock()
+	s.projs[req.Fingerprint] = proj
+	s.mu.Unlock()
+	return AppendOK(out)
+}
+
+// lookup resolves (file, subfile) to its open store, or an error
+// response code.
+func (s *Server) lookup(file string, subfile int64) (*serverFile, clusterfile.Storage, uint64, string) {
+	s.mu.Lock()
+	sf := s.files[file]
+	s.mu.Unlock()
+	if sf == nil {
+		return nil, nil, ErrCodeUnknownFile, fmt.Sprintf("file %q not open", file)
+	}
+	sf.mu.Lock()
+	st := sf.stores[int(subfile)]
+	sf.mu.Unlock()
+	if st == nil {
+		return nil, nil, ErrCodeUnknownFile, fmt.Sprintf("subfile %d of %q not hosted here", subfile, file)
+	}
+	return sf, st, 0, ""
+}
+
+// projection resolves a nonzero fingerprint.
+func (s *Server) projection(fp uint64) (*redist.Projection, bool) {
+	s.mu.Lock()
+	p, ok := s.projs[fp]
+	s.mu.Unlock()
+	return p, ok
+}
+
+func (s *Server) handleWriteSegs(out, payload []byte) []byte {
+	req, err := DecodeWriteSegs(payload)
+	if err != nil {
+		return s.errResp(out, ErrCodeBadRequest, err.Error())
+	}
+	if req.Hi < req.Lo-1 || req.Lo < 0 {
+		return s.errResp(out, ErrCodeBadRequest,
+			fmt.Sprintf("bad segment window [%d,%d]", req.Lo, req.Hi))
+	}
+	var proj *redist.Projection
+	if req.Fingerprint != 0 {
+		var ok bool
+		if proj, ok = s.projection(req.Fingerprint); !ok {
+			return s.errResp(out, ErrCodeUnknownProjection,
+				fmt.Sprintf("projection %#x not registered", req.Fingerprint))
+		}
+	} else if len(req.Data) != 0 && int64(len(req.Data)) != req.Hi-req.Lo+1 {
+		return s.errResp(out, ErrCodeBadRequest,
+			fmt.Sprintf("contiguous write of %d bytes into window [%d,%d]", len(req.Data), req.Lo, req.Hi))
+	}
+	sf, st, code, msg := s.lookup(req.File, req.Subfile)
+	if code != 0 {
+		return s.errResp(out, code, msg)
+	}
+	sf.mu.Lock()
+	defer sf.mu.Unlock()
+	if err := st.EnsureLen(req.Hi + 1); err != nil {
+		return s.errResp(out, ErrCodeIO, err.Error())
+	}
+	if len(req.Data) == 0 {
+		return AppendOK(out)
+	}
+	if proj == nil {
+		err = st.WriteAt(req.Data, req.Lo)
+	} else {
+		err = clusterfile.ScatterRange(st, req.Data, proj, req.Lo, req.Hi)
+	}
+	if err != nil {
+		return s.errResp(out, ErrCodeIO, err.Error())
+	}
+	return AppendOK(out)
+}
+
+func (s *Server) handleReadSegs(out, payload []byte) []byte {
+	req, err := DecodeReadSegs(payload)
+	if err != nil {
+		return s.errResp(out, ErrCodeBadRequest, err.Error())
+	}
+	if req.N < 0 || req.Hi < req.Lo-1 || req.Lo < 0 || req.N > s.cfg.MaxFrame {
+		return s.errResp(out, ErrCodeBadRequest,
+			fmt.Sprintf("bad read window [%d,%d] of %d bytes", req.Lo, req.Hi, req.N))
+	}
+	var proj *redist.Projection
+	if req.Fingerprint != 0 {
+		var ok bool
+		if proj, ok = s.projection(req.Fingerprint); !ok {
+			return s.errResp(out, ErrCodeUnknownProjection,
+				fmt.Sprintf("projection %#x not registered", req.Fingerprint))
+		}
+		if want := proj.BytesIn(req.Lo, req.Hi); want != req.N {
+			return s.errResp(out, ErrCodeBadRequest,
+				fmt.Sprintf("projection selects %d bytes in [%d,%d], request asks for %d",
+					want, req.Lo, req.Hi, req.N))
+		}
+	} else if req.N != req.Hi-req.Lo+1 {
+		return s.errResp(out, ErrCodeBadRequest,
+			fmt.Sprintf("contiguous read of %d bytes from window [%d,%d]", req.N, req.Lo, req.Hi))
+	}
+	sf, st, code, msg := s.lookup(req.File, req.Subfile)
+	if code != 0 {
+		return s.errResp(out, code, msg)
+	}
+	sf.mu.Lock()
+	defer sf.mu.Unlock()
+	// Grow first, like the in-process read path: unwritten holes read
+	// as zeroes, like any sparse file.
+	if err := st.EnsureLen(req.Hi + 1); err != nil {
+		return s.errResp(out, ErrCodeIO, err.Error())
+	}
+	data := getFrameBuf(int(req.N))[:req.N]
+	defer putFrameBuf(data)
+	if proj == nil {
+		err = st.ReadAt(data, req.Lo)
+	} else {
+		err = clusterfile.GatherRange(data, st, proj, req.Lo, req.Hi)
+	}
+	if err != nil {
+		return s.errResp(out, ErrCodeIO, err.Error())
+	}
+	return AppendData(out, data)
+}
+
+func (s *Server) handleStat(out, payload []byte) []byte {
+	req, err := DecodeStat(payload)
+	if err != nil {
+		return s.errResp(out, ErrCodeBadRequest, err.Error())
+	}
+	sf, st, code, msg := s.lookup(req.File, req.Subfile)
+	if code != 0 {
+		return s.errResp(out, code, msg)
+	}
+	sf.mu.Lock()
+	n := st.Len()
+	sf.mu.Unlock()
+	return AppendStatResp(out, n)
+}
+
+func (s *Server) handleClose(out, payload []byte) []byte {
+	req, err := DecodeClose(payload)
+	if err != nil {
+		return s.errResp(out, ErrCodeBadRequest, err.Error())
+	}
+	s.mu.Lock()
+	sf := s.files[req.File]
+	if sf != nil {
+		delete(s.files, req.File)
+		s.met.files.Add(-1)
+	}
+	s.mu.Unlock()
+	if sf == nil {
+		// Unknown file: already closed (a retried Close). Idempotent
+		// success keeps blind client retry safe.
+		return AppendOK(out)
+	}
+	sf.mu.Lock()
+	defer sf.mu.Unlock()
+	var firstErr error
+	for _, st := range sf.stores {
+		if err := st.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if firstErr != nil {
+		return s.errResp(out, ErrCodeIO, firstErr.Error())
+	}
+	return AppendOK(out)
+}

@@ -1,0 +1,245 @@
+package rpc
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"parafile/internal/clusterfile"
+	"parafile/internal/codec"
+	"parafile/internal/obs"
+	"parafile/internal/part"
+	"parafile/internal/redist"
+)
+
+// transport.go adapts a set of parafiled daemons to the
+// clusterfile.Transport seam: each subfile's handle forwards the
+// protocol's storage operations to the daemon of the subfile's I/O
+// node, so the same compiled redistribution plans drive bytes over
+// real sockets. When a deployment runs fewer daemons than the cluster
+// has I/O nodes, nodes map onto daemons round-robin.
+
+// Options configures a TCP transport.
+type Options struct {
+	// Client is the per-node client template (Addr is filled per
+	// endpoint). Zero values take the ClientConfig defaults.
+	Client ClientConfig
+	// Reopen opens existing subfiles on the daemons without truncation
+	// (the reopen-from-metadata case). Default is a fresh truncate,
+	// matching DirStorageFactory.
+	Reopen bool
+	// Metrics receives the client-side RPC series; nil records
+	// nothing. Overrides Client.Metrics when set.
+	Metrics *obs.Registry
+}
+
+// Transport implements clusterfile.Transport over TCP.
+type Transport struct {
+	clients []*Client
+	reopen  bool
+}
+
+var _ clusterfile.Transport = (*Transport)(nil)
+
+// NewTransport builds a transport over the given daemon endpoints
+// (host:port each), one client pool per endpoint.
+func NewTransport(addrs []string, opts Options) (*Transport, error) {
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("rpc: transport needs at least one endpoint")
+	}
+	t := &Transport{reopen: opts.Reopen}
+	for _, addr := range addrs {
+		cfg := opts.Client
+		cfg.Addr = addr
+		if opts.Metrics != nil {
+			cfg.Metrics = opts.Metrics
+		}
+		t.clients = append(t.clients, NewClient(cfg))
+	}
+	return t, nil
+}
+
+// nodeClient maps an I/O node id onto a daemon.
+func (t *Transport) nodeClient(ioNode int) *Client {
+	return t.clients[ioNode%len(t.clients)]
+}
+
+// Open registers the file on every involved daemon and returns one
+// remote handle per subfile.
+func (t *Transport) Open(name string, phys *part.File, assign []int) ([]clusterfile.SubfileHandle, error) {
+	physEnc := codec.EncodeFile(phys)
+	// Group the subfiles by daemon, preserving client order so the
+	// CreateFile fan-out is deterministic.
+	perClient := make(map[*Client][]int)
+	for sub, node := range assign {
+		c := t.nodeClient(node)
+		perClient[c] = append(perClient[c], sub)
+	}
+	refs := make(map[*Client]*fileRef)
+	for _, c := range t.clients {
+		subs := perClient[c]
+		if len(subs) == 0 {
+			continue
+		}
+		err := c.CreateFile(&CreateFileReq{Name: name, Phys: physEnc, Subfiles: subs, Reopen: t.reopen})
+		if err != nil {
+			return nil, fmt.Errorf("rpc: create %q on %s: %w", name, c.Addr(), err)
+		}
+		ref := &fileRef{c: c, file: name}
+		ref.n.Store(int64(len(subs)))
+		refs[c] = ref
+	}
+	handles := make([]clusterfile.SubfileHandle, len(assign))
+	for sub, node := range assign {
+		c := t.nodeClient(node)
+		handles[sub] = &remoteHandle{c: c, file: name, subfile: int64(sub), ref: refs[c]}
+	}
+	return handles, nil
+}
+
+// Close closes every daemon client pool.
+func (t *Transport) Close() error {
+	var first error
+	for _, c := range t.clients {
+		if err := c.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// fileRef counts the open handles of one (daemon, file) pair so the
+// wire Close travels once, when the last handle closes.
+type fileRef struct {
+	c    *Client
+	file string
+	n    atomic.Int64
+}
+
+func (r *fileRef) release() error {
+	if r.n.Add(-1) > 0 {
+		return nil
+	}
+	return r.c.CloseFile(r.file)
+}
+
+// remoteHandle is one subfile on a remote daemon.
+type remoteHandle struct {
+	c       *Client
+	file    string
+	subfile int64
+	ref     *fileRef
+
+	mu     sync.Mutex
+	projFP map[*redist.Projection]uint64 // encode+fingerprint memo
+}
+
+func (h *remoteHandle) EnsureLen(n int64) error {
+	if n <= 0 {
+		return nil
+	}
+	return h.c.WriteSegments(&WriteSegsReq{File: h.file, Subfile: h.subfile, Lo: 0, Hi: n - 1})
+}
+
+func (h *remoteHandle) Len() (int64, error) {
+	return h.c.Stat(h.file, h.subfile)
+}
+
+func (h *remoteHandle) WriteAt(p []byte, off int64) error {
+	if len(p) == 0 {
+		return nil
+	}
+	return h.c.WriteSegments(&WriteSegsReq{
+		File: h.file, Subfile: h.subfile, Lo: off, Hi: off + int64(len(p)) - 1, Data: p,
+	})
+}
+
+func (h *remoteHandle) ReadAt(p []byte, off int64) error {
+	if len(p) == 0 {
+		return nil
+	}
+	return h.c.ReadSegments(&ReadSegsReq{
+		File: h.file, Subfile: h.subfile, Lo: off, Hi: off + int64(len(p)) - 1, N: int64(len(p)),
+	}, p)
+}
+
+// ensureProjection encodes and registers the projection on the daemon
+// (once per shape per client) and returns its fingerprint.
+func (h *remoteHandle) ensureProjection(p *redist.Projection) (uint64, []byte, error) {
+	h.mu.Lock()
+	if h.projFP == nil {
+		h.projFP = make(map[*redist.Projection]uint64)
+	}
+	fp, seen := h.projFP[p]
+	h.mu.Unlock()
+	var enc []byte
+	if !seen {
+		enc = redist.EncodeProjection(p)
+		fp = Fingerprint(enc)
+		h.mu.Lock()
+		h.projFP[p] = fp
+		h.mu.Unlock()
+	}
+	if h.c.Registered(fp) {
+		return fp, enc, nil
+	}
+	if enc == nil {
+		enc = redist.EncodeProjection(p)
+	}
+	if err := h.c.SetView(fp, enc); err != nil {
+		return 0, nil, err
+	}
+	return fp, enc, nil
+}
+
+// reRegister refreshes a projection the daemon reported unknown (a
+// daemon restart loses the registration table).
+func (h *remoteHandle) reRegister(p *redist.Projection, fp uint64) error {
+	h.c.Forget(fp)
+	return h.c.SetView(fp, redist.EncodeProjection(p))
+}
+
+func isUnknownProjection(err error) bool {
+	var re *RemoteError
+	return errors.As(err, &re) && re.Code == ErrCodeUnknownProjection
+}
+
+func (h *remoteHandle) Scatter(p *redist.Projection, lo, hi int64, data []byte) error {
+	fp, _, err := h.ensureProjection(p)
+	if err != nil {
+		return err
+	}
+	req := &WriteSegsReq{File: h.file, Subfile: h.subfile, Fingerprint: fp, Lo: lo, Hi: hi, Data: data}
+	err = h.c.WriteSegments(req)
+	if isUnknownProjection(err) {
+		if err = h.reRegister(p, fp); err != nil {
+			return err
+		}
+		err = h.c.WriteSegments(req)
+	}
+	return err
+}
+
+func (h *remoteHandle) Gather(p *redist.Projection, lo, hi int64, dst []byte) error {
+	fp, _, err := h.ensureProjection(p)
+	if err != nil {
+		return err
+	}
+	req := &ReadSegsReq{File: h.file, Subfile: h.subfile, Fingerprint: fp, Lo: lo, Hi: hi, N: int64(len(dst))}
+	err = h.c.ReadSegments(req, dst)
+	if isUnknownProjection(err) {
+		if err = h.reRegister(p, fp); err != nil {
+			return err
+		}
+		err = h.c.ReadSegments(req, dst)
+	}
+	return err
+}
+
+func (h *remoteHandle) Close() error {
+	if h.ref == nil {
+		return nil
+	}
+	return h.ref.release()
+}

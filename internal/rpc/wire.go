@@ -1,0 +1,548 @@
+// Package rpc is the real-network transport of the Clusterfile
+// reproduction: a length-prefixed binary wire protocol carrying the
+// §8.1 storage operations — view-driven scatter (WriteSegments) and
+// gather (ReadSegments) plus CreateFile/SetView/Stat/Close — between
+// compute-node clients and parafiled I/O-node daemons over TCP.
+//
+// Projections are content-addressed: SetView registers an encoded
+// redist projection under its fingerprint once, and every subsequent
+// WriteSegments/ReadSegments names it by fingerprint only, mirroring
+// the paper's amortization argument (PROJ_S travels at view-set time,
+// not per access). The encoding reuses the internal/codec varint
+// primitives, so the structures on the wire are the same ones the
+// in-process path computes.
+//
+// The client (client.go) keeps a per-node connection pool with write
+// and read deadlines and bounded exponential-backoff retry; every
+// request is idempotent (writes place the same bytes at the same
+// offsets), which is what makes blind retry after a connection drop
+// safe. The server (server.go) hosts one or more subfile Storage
+// backends per I/O node and drains gracefully on shutdown.
+// transport.go adapts a set of daemons to clusterfile.Transport.
+package rpc
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"sync"
+
+	"parafile/internal/codec"
+)
+
+// ProtoVersion tags every frame; a daemon refuses frames from a
+// different protocol generation instead of misparsing them.
+const ProtoVersion = 1
+
+// DefaultMaxFrame bounds a frame body (type byte + payload). Large
+// enough for any demo/benchmark payload, small enough to stop a
+// corrupt length prefix from allocating the machine away.
+const DefaultMaxFrame = 64 << 20
+
+// Request message types.
+const (
+	MsgCreateFile byte = 0x01
+	MsgSetView    byte = 0x02
+	MsgWriteSegs  byte = 0x03
+	MsgReadSegs   byte = 0x04
+	MsgStat       byte = 0x05
+	MsgClose      byte = 0x06
+)
+
+// Response message types.
+const (
+	MsgOK       byte = 0x10
+	MsgData     byte = 0x11
+	MsgStatResp byte = 0x12
+	MsgError    byte = 0x1F
+)
+
+// MsgName returns the metrics label of a message type.
+func MsgName(t byte) string {
+	switch t {
+	case MsgCreateFile:
+		return "create_file"
+	case MsgSetView:
+		return "set_view"
+	case MsgWriteSegs:
+		return "write_segments"
+	case MsgReadSegs:
+		return "read_segments"
+	case MsgStat:
+		return "stat"
+	case MsgClose:
+		return "close"
+	case MsgOK:
+		return "ok"
+	case MsgData:
+		return "data"
+	case MsgStatResp:
+		return "stat_resp"
+	case MsgError:
+		return "error"
+	}
+	return "unknown"
+}
+
+// Remote error codes carried by MsgError.
+const (
+	ErrCodeBadRequest        uint64 = 1
+	ErrCodeUnknownFile       uint64 = 2
+	ErrCodeUnknownProjection uint64 = 3
+	ErrCodeIO                uint64 = 4
+	ErrCodeShuttingDown      uint64 = 5
+)
+
+// RemoteError is a server-reported failure: the request was delivered
+// and answered, so the client does not retry it at the transport
+// layer.
+type RemoteError struct {
+	Code uint64
+	Msg  string
+}
+
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("rpc: remote error %d: %s", e.Code, e.Msg)
+}
+
+// ErrCorrupt wraps every wire-decoding failure.
+var ErrCorrupt = fmt.Errorf("rpc: corrupt frame")
+
+// Fingerprint content-addresses an encoded projection (FNV-1a 64).
+// Zero is reserved to mean "no projection / contiguous", so a real
+// hash of zero is nudged to one.
+func Fingerprint(encoded []byte) uint64 {
+	h := fnv.New64a()
+	h.Write(encoded)
+	fp := h.Sum64()
+	if fp == 0 {
+		fp = 1
+	}
+	return fp
+}
+
+// frameBufPool recycles frame encode/decode buffers across requests on
+// both sides of the wire.
+var frameBufPool sync.Pool
+
+// getFrameBuf returns a zero-length buffer with at least n capacity.
+func getFrameBuf(n int) []byte {
+	if v := frameBufPool.Get(); v != nil {
+		b := *(v.(*[]byte))
+		if cap(b) >= n {
+			return b[:0]
+		}
+	}
+	return make([]byte, 0, n)
+}
+
+// putFrameBuf returns a buffer to the pool; the caller must not retain
+// the slice afterwards.
+func putFrameBuf(b []byte) {
+	if cap(b) == 0 {
+		return
+	}
+	b = b[:0]
+	frameBufPool.Put(&b)
+}
+
+// WriteFrame writes one frame: a 4-byte big-endian body length, then
+// the body (version byte, type byte, payload).
+func WriteFrame(w io.Writer, body []byte) error {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(body)
+	return err
+}
+
+// ReadFrame reads one frame body into a pooled buffer. Callers pass
+// the body to putFrameBuf (or ReleaseFrame) when done with it.
+func ReadFrame(r io.Reader, maxFrame int64) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := int64(binary.BigEndian.Uint32(hdr[:]))
+	if maxFrame <= 0 {
+		maxFrame = DefaultMaxFrame
+	}
+	if n < 2 || n > maxFrame {
+		return nil, fmt.Errorf("%w: frame length %d outside [2,%d]", ErrCorrupt, n, maxFrame)
+	}
+	body := getFrameBuf(int(n))[:n]
+	if _, err := io.ReadFull(r, body); err != nil {
+		putFrameBuf(body)
+		return nil, err
+	}
+	return body, nil
+}
+
+// ReleaseFrame returns a frame body obtained from ReadFrame to the
+// buffer pool.
+func ReleaseFrame(body []byte) { putFrameBuf(body) }
+
+// ParseFrame splits a frame body into message type and payload,
+// checking the protocol version.
+func ParseFrame(body []byte) (msgType byte, payload []byte, err error) {
+	if len(body) < 2 {
+		return 0, nil, fmt.Errorf("%w: %d-byte body", ErrCorrupt, len(body))
+	}
+	if body[0] != ProtoVersion {
+		return 0, nil, fmt.Errorf("%w: protocol version %d, want %d", ErrCorrupt, body[0], ProtoVersion)
+	}
+	return body[1], body[2:], nil
+}
+
+// beginFrame starts a frame body of the given type in buf.
+func beginFrame(buf []byte, msgType byte) []byte {
+	return append(buf, ProtoVersion, msgType)
+}
+
+func appendString(buf []byte, s string) []byte {
+	buf = codec.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+func appendBytes(buf, b []byte) []byte {
+	buf = codec.AppendUvarint(buf, uint64(len(b)))
+	return append(buf, b...)
+}
+
+func readString(buf []byte) (string, []byte, error) {
+	b, rest, err := readBytes(buf)
+	return string(b), rest, err
+}
+
+func readBytes(buf []byte) ([]byte, []byte, error) {
+	n, rest, err := codec.ReadUvarint(buf)
+	if err != nil {
+		return nil, nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	if n > uint64(len(rest)) {
+		return nil, nil, fmt.Errorf("%w: %d-byte field overruns %d-byte buffer", ErrCorrupt, n, len(rest))
+	}
+	return rest[:n], rest[n:], nil
+}
+
+func readUvarint(buf []byte) (uint64, []byte, error) {
+	v, rest, err := codec.ReadUvarint(buf)
+	if err != nil {
+		return 0, nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	return v, rest, nil
+}
+
+func readVarint(buf []byte) (int64, []byte, error) {
+	v, rest, err := codec.ReadVarint(buf)
+	if err != nil {
+		return 0, nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	return v, rest, nil
+}
+
+func wantEmpty(buf []byte) error {
+	if len(buf) != 0 {
+		return fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(buf))
+	}
+	return nil
+}
+
+// CreateFileReq registers a file on an I/O node and opens the stores
+// of the subfiles that node hosts.
+type CreateFileReq struct {
+	Name     string
+	Phys     []byte // codec.EncodeFile of the physical partition
+	Subfiles []int  // subfile indices hosted by the receiving node
+	Reopen   bool   // open existing subfiles without truncation
+}
+
+// AppendCreateFile encodes req as a frame body.
+func AppendCreateFile(buf []byte, req *CreateFileReq) []byte {
+	buf = beginFrame(buf, MsgCreateFile)
+	buf = appendString(buf, req.Name)
+	buf = appendBytes(buf, req.Phys)
+	buf = codec.AppendUvarint(buf, uint64(len(req.Subfiles)))
+	for _, s := range req.Subfiles {
+		buf = codec.AppendUvarint(buf, uint64(s))
+	}
+	if req.Reopen {
+		buf = append(buf, 1)
+	} else {
+		buf = append(buf, 0)
+	}
+	return buf
+}
+
+// DecodeCreateFile decodes a MsgCreateFile payload.
+func DecodeCreateFile(payload []byte) (*CreateFileReq, error) {
+	req := &CreateFileReq{}
+	var err error
+	if req.Name, payload, err = readString(payload); err != nil {
+		return nil, err
+	}
+	var phys []byte
+	if phys, payload, err = readBytes(payload); err != nil {
+		return nil, err
+	}
+	req.Phys = append([]byte(nil), phys...)
+	n, payload, err := readUvarint(payload)
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(len(payload)) {
+		return nil, fmt.Errorf("%w: implausible subfile count %d", ErrCorrupt, n)
+	}
+	req.Subfiles = make([]int, 0, n)
+	for i := uint64(0); i < n; i++ {
+		var s uint64
+		if s, payload, err = readUvarint(payload); err != nil {
+			return nil, err
+		}
+		req.Subfiles = append(req.Subfiles, int(s))
+	}
+	if len(payload) < 1 {
+		return nil, fmt.Errorf("%w: missing reopen flag", ErrCorrupt)
+	}
+	req.Reopen = payload[0] != 0
+	return req, wantEmpty(payload[1:])
+}
+
+// SetViewReq registers an encoded projection under its fingerprint.
+// Projections are content-addressed and file-independent, so one
+// registration serves every file and subfile that uses the shape.
+type SetViewReq struct {
+	Fingerprint uint64
+	Proj        []byte // redist.EncodeProjection
+}
+
+// AppendSetView encodes req as a frame body.
+func AppendSetView(buf []byte, req *SetViewReq) []byte {
+	buf = beginFrame(buf, MsgSetView)
+	buf = codec.AppendUvarint(buf, req.Fingerprint)
+	buf = appendBytes(buf, req.Proj)
+	return buf
+}
+
+// DecodeSetView decodes a MsgSetView payload.
+func DecodeSetView(payload []byte) (*SetViewReq, error) {
+	req := &SetViewReq{}
+	var err error
+	if req.Fingerprint, payload, err = readUvarint(payload); err != nil {
+		return nil, err
+	}
+	var proj []byte
+	if proj, payload, err = readBytes(payload); err != nil {
+		return nil, err
+	}
+	req.Proj = append([]byte(nil), proj...)
+	return req, wantEmpty(payload)
+}
+
+// WriteSegsReq is the scatter request. The server grows the subfile to
+// Hi+1 bytes, then: with a zero fingerprint writes Data contiguously
+// at Lo; otherwise scatters Data into the regions the registered
+// projection selects within [Lo, Hi]. Empty Data makes it a pure
+// EnsureLen.
+type WriteSegsReq struct {
+	File        string
+	Subfile     int64
+	Fingerprint uint64
+	Lo, Hi      int64
+	Data        []byte
+}
+
+// AppendWriteSegs encodes req as a frame body.
+func AppendWriteSegs(buf []byte, req *WriteSegsReq) []byte {
+	buf = beginFrame(buf, MsgWriteSegs)
+	buf = appendString(buf, req.File)
+	buf = codec.AppendVarint(buf, req.Subfile)
+	buf = codec.AppendUvarint(buf, req.Fingerprint)
+	buf = codec.AppendVarint(buf, req.Lo)
+	buf = codec.AppendVarint(buf, req.Hi)
+	buf = appendBytes(buf, req.Data)
+	return buf
+}
+
+// DecodeWriteSegs decodes a MsgWriteSegs payload. Data aliases the
+// frame buffer; the server copies it into storage before releasing the
+// frame.
+func DecodeWriteSegs(payload []byte) (*WriteSegsReq, error) {
+	req := &WriteSegsReq{}
+	var err error
+	if req.File, payload, err = readString(payload); err != nil {
+		return nil, err
+	}
+	if req.Subfile, payload, err = readVarint(payload); err != nil {
+		return nil, err
+	}
+	if req.Fingerprint, payload, err = readUvarint(payload); err != nil {
+		return nil, err
+	}
+	if req.Lo, payload, err = readVarint(payload); err != nil {
+		return nil, err
+	}
+	if req.Hi, payload, err = readVarint(payload); err != nil {
+		return nil, err
+	}
+	if req.Data, payload, err = readBytes(payload); err != nil {
+		return nil, err
+	}
+	return req, wantEmpty(payload)
+}
+
+// ReadSegsReq is the gather request: with a zero fingerprint the
+// server reads N contiguous bytes at Lo; otherwise it gathers the
+// regions the registered projection selects within [Lo, Hi] (N bytes
+// in total, validated server-side).
+type ReadSegsReq struct {
+	File        string
+	Subfile     int64
+	Fingerprint uint64
+	Lo, Hi      int64
+	N           int64
+}
+
+// AppendReadSegs encodes req as a frame body.
+func AppendReadSegs(buf []byte, req *ReadSegsReq) []byte {
+	buf = beginFrame(buf, MsgReadSegs)
+	buf = appendString(buf, req.File)
+	buf = codec.AppendVarint(buf, req.Subfile)
+	buf = codec.AppendUvarint(buf, req.Fingerprint)
+	buf = codec.AppendVarint(buf, req.Lo)
+	buf = codec.AppendVarint(buf, req.Hi)
+	buf = codec.AppendVarint(buf, req.N)
+	return buf
+}
+
+// DecodeReadSegs decodes a MsgReadSegs payload.
+func DecodeReadSegs(payload []byte) (*ReadSegsReq, error) {
+	req := &ReadSegsReq{}
+	var err error
+	if req.File, payload, err = readString(payload); err != nil {
+		return nil, err
+	}
+	if req.Subfile, payload, err = readVarint(payload); err != nil {
+		return nil, err
+	}
+	if req.Fingerprint, payload, err = readUvarint(payload); err != nil {
+		return nil, err
+	}
+	if req.Lo, payload, err = readVarint(payload); err != nil {
+		return nil, err
+	}
+	if req.Hi, payload, err = readVarint(payload); err != nil {
+		return nil, err
+	}
+	if req.N, payload, err = readVarint(payload); err != nil {
+		return nil, err
+	}
+	return req, wantEmpty(payload)
+}
+
+// StatReq asks for a subfile's current length.
+type StatReq struct {
+	File    string
+	Subfile int64
+}
+
+// AppendStat encodes req as a frame body.
+func AppendStat(buf []byte, req *StatReq) []byte {
+	buf = beginFrame(buf, MsgStat)
+	buf = appendString(buf, req.File)
+	buf = codec.AppendVarint(buf, req.Subfile)
+	return buf
+}
+
+// DecodeStat decodes a MsgStat payload.
+func DecodeStat(payload []byte) (*StatReq, error) {
+	req := &StatReq{}
+	var err error
+	if req.File, payload, err = readString(payload); err != nil {
+		return nil, err
+	}
+	if req.Subfile, payload, err = readVarint(payload); err != nil {
+		return nil, err
+	}
+	return req, wantEmpty(payload)
+}
+
+// CloseReq syncs and closes every store of the file on the receiving
+// node. Closing an unknown file succeeds (idempotent, retry-safe).
+type CloseReq struct {
+	File string
+}
+
+// AppendClose encodes req as a frame body.
+func AppendClose(buf []byte, req *CloseReq) []byte {
+	buf = beginFrame(buf, MsgClose)
+	buf = appendString(buf, req.File)
+	return buf
+}
+
+// DecodeClose decodes a MsgClose payload.
+func DecodeClose(payload []byte) (*CloseReq, error) {
+	req := &CloseReq{}
+	var err error
+	if req.File, payload, err = readString(payload); err != nil {
+		return nil, err
+	}
+	return req, wantEmpty(payload)
+}
+
+// AppendOK encodes the empty success response.
+func AppendOK(buf []byte) []byte { return beginFrame(buf, MsgOK) }
+
+// AppendData encodes a payload-carrying success response.
+func AppendData(buf, data []byte) []byte {
+	buf = beginFrame(buf, MsgData)
+	return appendBytes(buf, data)
+}
+
+// DecodeData decodes a MsgData payload. The returned bytes alias the
+// frame buffer.
+func DecodeData(payload []byte) ([]byte, error) {
+	b, payload, err := readBytes(payload)
+	if err != nil {
+		return nil, err
+	}
+	return b, wantEmpty(payload)
+}
+
+// AppendStatResp encodes a Stat response.
+func AppendStatResp(buf []byte, length int64) []byte {
+	buf = beginFrame(buf, MsgStatResp)
+	return codec.AppendVarint(buf, length)
+}
+
+// DecodeStatResp decodes a MsgStatResp payload.
+func DecodeStatResp(payload []byte) (int64, error) {
+	n, payload, err := readVarint(payload)
+	if err != nil {
+		return 0, err
+	}
+	return n, wantEmpty(payload)
+}
+
+// AppendError encodes an error response.
+func AppendError(buf []byte, code uint64, msg string) []byte {
+	buf = beginFrame(buf, MsgError)
+	buf = codec.AppendUvarint(buf, code)
+	return appendString(buf, msg)
+}
+
+// DecodeError decodes a MsgError payload.
+func DecodeError(payload []byte) (*RemoteError, error) {
+	e := &RemoteError{}
+	var err error
+	if e.Code, payload, err = readUvarint(payload); err != nil {
+		return nil, err
+	}
+	if e.Msg, payload, err = readString(payload); err != nil {
+		return nil, err
+	}
+	return e, wantEmpty(payload)
+}
