@@ -8,11 +8,16 @@
 //
 //	parafiled [-listen 127.0.0.1:7070] [-data-dir DIR]
 //	          [-metrics-addr host:port] [-max-frame-mb 64]
-//	          [-drain-timeout 10s]
+//	          [-drain-timeout 10s] [-fault SPEC] [-fault-seed N]
 //
 // With -data-dir each subfile is a real file under the directory (the
 // original Clusterfile I/O nodes' local disks); without it subfiles
-// live in the daemon's memory. SIGTERM or SIGINT drains gracefully:
+// live in the daemon's memory. -fault degrades the daemon on purpose
+// with a deterministic connection-fault plan (see internal/fault), e.g.
+// -fault error:0.01,delay:5ms — every accepted connection then fails
+// reads/writes with probability 0.01 and delays each operation by 5ms,
+// which is how the CI fault matrix and demos exercise partial-failure
+// handling without test-only hooks. SIGTERM or SIGINT drains gracefully:
 // the listener closes, in-flight requests finish (bounded by
 // -drain-timeout), and every store is synced and closed before exit.
 package main
@@ -28,6 +33,7 @@ import (
 	"syscall"
 	"time"
 
+	"parafile/internal/fault"
 	"parafile/internal/obs"
 	"parafile/internal/rpc"
 )
@@ -40,6 +46,8 @@ func main() {
 	metricsAddr := flag.String("metrics-addr", "", "serve the RPC metrics over HTTP on this address (/metrics, /metrics.json, /report)")
 	maxFrameMB := flag.Int64("max-frame-mb", 64, "maximum accepted frame size in MiB")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "how long a SIGTERM drain waits for in-flight requests")
+	faultSpec := flag.String("fault", "", "inject connection faults, e.g. error:0.01,delay:5ms (kinds: error, error-once, delay, corrupt, failafter)")
+	faultSeed := flag.Int64("fault-seed", 1, "seed for probabilistic fault schedules (reproducible runs)")
 	flag.Parse()
 	if flag.NArg() > 0 {
 		log.Fatalf("unexpected arguments: %v", flag.Args())
@@ -58,6 +66,14 @@ func main() {
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *faultSpec != "" {
+		plan, err := fault.ParseSpec(*faultSpec, *faultSeed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ln = fault.NewInjector(plan, reg).WrapListener(ln)
+		fmt.Fprintf(os.Stderr, "parafiled: FAULT INJECTION ACTIVE (%s, seed %d)\n", *faultSpec, *faultSeed)
 	}
 	where := "in-memory subfiles"
 	if *dataDir != "" {

@@ -21,6 +21,7 @@
 package clusterfile
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -77,6 +78,18 @@ type Config struct {
 	// daemons over TCP instead. The virtual-time network and disk
 	// models are unaffected either way.
 	Transport Transport
+	// OpTimeout, when positive, bounds every collective operation
+	// (write, read, redistribute): the operation context the transport
+	// sees carries this deadline, so a hung I/O node turns into a
+	// cancelled/failed outcome instead of wedging the whole collective.
+	// Zero (the default) sets no deadline.
+	OpTimeout time.Duration
+	// FailFast, when true, cancels an operation's outstanding sibling
+	// transfers as soon as one I/O node fails hard: the remaining nodes
+	// report OutcomeCancelled in the PartialError instead of running.
+	// The default (false) lets every node finish independently, so a
+	// single bad node costs only its own window — the repairable case.
+	FailFast bool
 	// ViewCache, when non-nil, memoizes the per-(view element, subfile)
 	// intersection and projection products SetView computes, keyed by
 	// partition geometry. Repeated view setting over the same
@@ -156,6 +169,19 @@ func New(cfg Config) (*Cluster, error) {
 // ioNet returns the network node id of I/O node i.
 func (c *Cluster) ioNet(i int) int { return c.cfg.ComputeNodes + i }
 
+// opCtx derives a collective operation's context from the caller's:
+// the configured per-op deadline plus a cancel the operation uses for
+// release and sibling fail-fast. A nil ctx means background.
+func (c *Cluster) opCtx(ctx context.Context) (context.Context, context.CancelFunc) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if c.cfg.OpTimeout > 0 {
+		return context.WithTimeout(ctx, c.cfg.OpTimeout)
+	}
+	return context.WithCancel(ctx)
+}
+
 // EnableTrace attaches a virtual-time trace recorder to the cluster
 // (network sends/receives plus protocol steps) and returns it.
 func (c *Cluster) EnableTrace() *sim.Tracer {
@@ -179,6 +205,12 @@ type File struct {
 // assignment maps each subfile to an I/O node; when nil, subfiles are
 // assigned round-robin.
 func (c *Cluster) CreateFile(name string, phys *part.File, assign []int) (*File, error) {
+	return c.CreateFileCtx(context.Background(), name, phys, assign)
+}
+
+// CreateFileCtx is CreateFile bounded by a context: the transport's
+// store-opening RPCs observe ctx (plus the cluster's OpTimeout).
+func (c *Cluster) CreateFileCtx(ctx context.Context, name string, phys *part.File, assign []int) (*File, error) {
 	if _, dup := c.files[name]; dup {
 		return nil, fmt.Errorf("clusterfile: file %q already exists", name)
 	}
@@ -211,7 +243,9 @@ func (c *Cluster) CreateFile(name string, phys *part.File, assign []int) (*File,
 		}
 		f.mappers[i] = m
 	}
-	handles, err := c.transport.Open(name, phys, assign)
+	octx, cancel := c.opCtx(ctx)
+	defer cancel()
+	handles, err := c.transport.Open(octx, name, phys, assign)
 	if err != nil {
 		return nil, fmt.Errorf("clusterfile: storage for %q: %w", name, err)
 	}
@@ -234,7 +268,14 @@ func (f *File) Subfile(i int) []byte {
 // ReadSubfile returns the stored bytes of subfile i, surfacing
 // transport errors.
 func (f *File) ReadSubfile(i int) ([]byte, error) {
-	n, err := f.handles[i].Len()
+	return f.ReadSubfileCtx(context.Background(), i)
+}
+
+// ReadSubfileCtx is ReadSubfile bounded by a context.
+func (f *File) ReadSubfileCtx(ctx context.Context, i int) ([]byte, error) {
+	octx, cancel := f.cluster.opCtx(ctx)
+	defer cancel()
+	n, err := f.handles[i].Len(octx)
 	if err != nil {
 		return nil, err
 	}
@@ -242,7 +283,7 @@ func (f *File) ReadSubfile(i int) ([]byte, error) {
 	if n == 0 {
 		return buf, nil
 	}
-	if err := f.handles[i].ReadAt(buf, 0); err != nil {
+	if err := f.handles[i].ReadAt(octx, buf, 0); err != nil {
 		return nil, err
 	}
 	return buf, nil
@@ -260,8 +301,8 @@ func (f *File) Close() error {
 }
 
 // growSubfile guarantees subfile i holds at least n bytes.
-func (f *File) growSubfile(i int, n int64) error {
-	return f.handles[i].EnsureLen(n)
+func (f *File) growSubfile(ctx context.Context, i int, n int64) error {
+	return f.handles[i].EnsureLen(ctx, n)
 }
 
 // subView is the per-subfile state a view keeps after SetView.
@@ -297,6 +338,14 @@ type View struct {
 // intersections with every subfile and both projections are computed
 // here, once; their cost is recorded as TIntersect.
 func (f *File) SetView(node int, lf *part.File, elem int) (*View, error) {
+	return f.SetViewCtx(context.Background(), node, lf, elem)
+}
+
+// SetViewCtx is SetView bounded by a context: cancellation between
+// per-subfile intersections aborts the view set early.
+func (f *File) SetViewCtx(ctx context.Context, node int, lf *part.File, elem int) (*View, error) {
+	octx, cancelOp := f.cluster.opCtx(ctx)
+	defer cancelOp()
 	if node < 0 || node >= f.cluster.cfg.ComputeNodes {
 		return nil, fmt.Errorf("clusterfile: compute node %d out of range [0,%d)",
 			node, f.cluster.cfg.ComputeNodes)
@@ -317,6 +366,9 @@ func (f *File) SetView(node int, lf *part.File, elem int) (*View, error) {
 	defer span.End()
 	start := time.Now()
 	for s := 0; s < f.Phys.Pattern.Len(); s++ {
+		if err := octx.Err(); err != nil {
+			return nil, err
+		}
 		inter, pv, ps, err := intersectProject(lf, elem, f.Phys, s)
 		if err != nil {
 			return nil, err

@@ -1,6 +1,8 @@
 package clusterfile
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"time"
 
@@ -14,6 +16,13 @@ import (
 // the in-memory subfiles; durations for network, disk and era CPU
 // copying come from the cost models, composed on the cluster's
 // discrete-event kernel.
+//
+// Every operation runs under an operation context derived from the
+// caller's (StartWriteCtx/StartReadCtx) plus the cluster's OpTimeout.
+// The context reaches every SubfileHandle call, so a remote transport
+// bounds its RPCs by it; cancellation mid-flight turns the remaining
+// per-node deliveries into OutcomeCancelled entries of the resulting
+// PartialError instead of performing them.
 
 // extremityMsgBytes is the wire size of the (lowS, highS) request of
 // §8.1 line 5.
@@ -21,6 +30,12 @@ const extremityMsgBytes = 16
 
 // ackMsgBytes is the wire size of a write acknowledgement.
 const ackMsgBytes = 8
+
+// ctxOutcome classifies an error against the operation context:
+// context errors are cancellations, everything else a hard failure.
+func isCtxErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
 
 // WriteStats is the per-operation breakdown the evaluation reports.
 type WriteStats struct {
@@ -56,18 +71,54 @@ type WriteStats struct {
 }
 
 // WriteOp is an in-flight write; its Stats are final once the
-// cluster's kernel has drained.
+// cluster's kernel has drained. On partial failure Err holds a
+// *PartialError with the per-I/O-node outcomes.
 type WriteOp struct {
 	Stats WriteStats
 	Err   error
 
-	pending int
-	started int64
-	view    *View
+	pending  int
+	started  int64
+	view     *View
+	ctx      context.Context
+	cancel   context.CancelFunc
+	outcomes *outcomeSet
+	failFast bool
 }
 
 // Done reports whether all acknowledgments have arrived.
 func (op *WriteOp) Done() bool { return op.pending == 0 }
+
+// Cancel aborts the operation: deliveries that have not yet run
+// report OutcomeCancelled. Safe to call at any time.
+func (op *WriteOp) Cancel() { op.cancel() }
+
+// completeOne retires one per-subfile delivery; the last one seals the
+// stats, derives the PartialError and releases the op context.
+func (op *WriteOp) completeOne(c *Cluster) {
+	op.pending--
+	if op.pending == 0 {
+		op.Stats.TNet = c.K.Now() - op.started
+		if err := op.outcomes.finalize(); err != nil && op.Err == nil {
+			op.Err = err
+		}
+		op.cancel()
+	}
+}
+
+// nodeFailed records a delivery error for one I/O node, cancelling
+// siblings when the cluster is configured fail-fast.
+func (op *WriteOp) nodeFailed(c *Cluster, ioNode int, err error) {
+	if isCtxErr(err) {
+		op.outcomes.cancel(ioNode, err)
+	} else {
+		op.outcomes.fail(ioNode, err)
+		if op.failFast {
+			op.cancel()
+		}
+	}
+	op.completeOne(c)
+}
 
 // copyModelNs returns the era CPU cost of moving the given bytes in
 // the given number of non-contiguous pieces (gathers and scatters).
@@ -83,6 +134,13 @@ func (c *Cluster) copyModelNs(bytes, segments int64) int64 {
 // buf at the current virtual time. Call the cluster kernel's Run (or
 // RunAll) to drive it to completion.
 func (v *View) StartWrite(mode WriteMode, lowV, highV int64, buf []byte) (*WriteOp, error) {
+	return v.StartWriteCtx(context.Background(), mode, lowV, highV, buf)
+}
+
+// StartWriteCtx is StartWrite bounded by a context: cancelling ctx (or
+// exceeding the cluster's OpTimeout) turns deliveries that have not
+// yet run into cancelled outcomes of the write's PartialError.
+func (v *View) StartWriteCtx(ctx context.Context, mode WriteMode, lowV, highV int64, buf []byte) (*WriteOp, error) {
 	if highV < lowV {
 		return nil, fmt.Errorf("clusterfile: inverted write interval [%d,%d]", lowV, highV)
 	}
@@ -91,7 +149,13 @@ func (v *View) StartWrite(mode WriteMode, lowV, highV int64, buf []byte) (*Write
 			len(buf), highV-lowV+1)
 	}
 	c := v.file.cluster
-	op := &WriteOp{view: v, started: c.K.Now()}
+	octx, cancel := c.opCtx(ctx)
+	op := &WriteOp{
+		view: v, started: c.K.Now(),
+		ctx: octx, cancel: cancel,
+		outcomes: newOutcomeSet("write"),
+		failFast: c.cfg.FailFast,
+	}
 	op.Stats.PerIONodeScatterNs = make(map[int]int64)
 	c.met.writeOps.Inc()
 	span := c.span.StartChild("clusterfile.write")
@@ -116,14 +180,20 @@ func (v *View) StartWrite(mode WriteMode, lowV, highV int64, buf []byte) (*Write
 		if sub.projV.BytesIn(lowV, highV) == 0 {
 			continue
 		}
+		if err := octx.Err(); err != nil {
+			cancel()
+			return nil, err
+		}
 		tm := time.Now()
 		firstV, lastV := windowExtremes(sub.projV, lowV, highV)
 		lowS, err := mapThrough(v, sub, firstV)
 		if err != nil {
+			cancel()
 			return nil, err
 		}
 		highS, err := mapThrough(v, sub, lastV)
 		if err != nil {
+			cancel()
 			return nil, err
 		}
 		op.Stats.TMap += time.Since(tm)
@@ -144,6 +214,7 @@ func (v *View) StartWrite(mode WriteMode, lowV, highV int64, buf []byte) (*Write
 			p.pooled = true
 			tg := time.Now()
 			if err := gatherWindow(buf2, buf, sub.projV, lowV, highV); err != nil {
+				cancel()
 				return nil, err
 			}
 			real := time.Since(tg)
@@ -158,6 +229,7 @@ func (v *View) StartWrite(mode WriteMode, lowV, highV int64, buf []byte) (*Write
 	}
 	gatherSpan.End()
 	if len(plans) == 0 {
+		cancel()
 		return op, nil
 	}
 	op.pending = len(plans)
@@ -173,6 +245,7 @@ func (v *View) StartWrite(mode WriteMode, lowV, highV int64, buf []byte) (*Write
 		netDst := c.ioNet(ioNode)
 		// Line 5: send the extremities to the I/O server.
 		if err := c.Net.SendAt(cnTime, v.node, netDst, extremityMsgBytes, nil); err != nil {
+			cancel()
 			return nil, err
 		}
 		op.Stats.Messages++
@@ -187,6 +260,7 @@ func (v *View) StartWrite(mode WriteMode, lowV, highV int64, buf []byte) (*Write
 			c.serverWrite(op, v, sub, mode, ioNode, lowS, highS, extents, contiguous, pooled, data, lowV, highV)
 		}
 		if err := c.Net.SendAt(cnTime, v.node, netDst, int64(len(data)), deliver); err != nil {
+			cancel()
 			return nil, err
 		}
 		op.Stats.Messages++
@@ -199,7 +273,8 @@ func (v *View) StartWrite(mode WriteMode, lowV, highV int64, buf []byte) (*Write
 
 // serverWrite is the I/O server side of §8.1: receive the data and
 // either write it contiguously or scatter it into the subfile, then
-// acknowledge.
+// acknowledge. A cancelled operation context turns the delivery into a
+// cancelled outcome before touching storage.
 func (c *Cluster) serverWrite(op *WriteOp, v *View, sub *subView, mode WriteMode,
 	ioNode int, lowS, highS, extents int64, contiguous, pooled bool, data []byte, lowV, highV int64) {
 
@@ -209,31 +284,34 @@ func (c *Cluster) serverWrite(op *WriteOp, v *View, sub *subView, mode WriteMode
 	if pooled {
 		defer putMsgBuf(data)
 	}
+	if err := op.ctx.Err(); err != nil {
+		op.outcomes.cancel(ioNode, err)
+		op.completeOne(c)
+		return
+	}
 	f := v.file
-	if err := f.growSubfile(sub.subfile, highS+1); err != nil {
-		op.Err = err
-		op.pending--
+	if err := f.growSubfile(op.ctx, sub.subfile, highS+1); err != nil {
+		op.nodeFailed(c, ioNode, err)
 		return
 	}
 	store := f.handles[sub.subfile]
 	ts := time.Now()
 	if contiguous && sub.projS.IsContiguous(lowS, highS) {
 		// Line 4 (server): contiguous on both sides — plain write.
-		if err := store.WriteAt(data, lowS); err != nil {
-			op.Err = err
-			op.pending--
+		if err := store.WriteAt(op.ctx, data, lowS); err != nil {
+			op.nodeFailed(c, ioNode, err)
 			return
 		}
 	} else {
 		// Line 6 (server): scatter buf into the subfile.
-		if err := store.Scatter(sub.projS, lowS, highS, data); err != nil {
-			op.Err = err
-			op.pending--
+		if err := store.Scatter(op.ctx, sub.projS, lowS, highS, data); err != nil {
+			op.nodeFailed(c, ioNode, err)
 			return
 		}
 	}
 	real := time.Since(ts)
 	op.Stats.RealScatter += real
+	op.outcomes.ok(ioNode, int64(len(data)))
 	c.met.scatterBytes.Add(int64(len(data)))
 	c.met.scatterNs.Observe(real.Nanoseconds())
 	c.met.ioBytes(ioNode).Add(int64(len(data)))
@@ -258,15 +336,11 @@ func (c *Cluster) serverWrite(op *WriteOp, v *View, sub *subView, mode WriteMode
 	err := c.Net.ReceiverBusy(c.ioNet(ioNode), cost, func() {
 		// Acknowledge back to the compute node.
 		c.Net.Send(c.ioNet(ioNode), v.node, ackMsgBytes, func() {
-			op.pending--
-			if op.pending == 0 {
-				op.Stats.TNet = c.K.Now() - op.started
-			}
+			op.completeOne(c)
 		})
 	})
 	if err != nil {
-		op.Err = err
-		op.pending--
+		op.nodeFailed(c, ioNode, err)
 	}
 }
 
@@ -279,21 +353,58 @@ type ReadStats struct {
 	BytesMoved int64
 }
 
-// ReadOp is an in-flight read.
+// ReadOp is an in-flight read. On partial failure Err holds a
+// *PartialError with the per-I/O-node outcomes.
 type ReadOp struct {
 	Stats ReadStats
 	Err   error
 
-	pending int
-	started int64
+	pending  int
+	started  int64
+	ctx      context.Context
+	cancel   context.CancelFunc
+	outcomes *outcomeSet
+	failFast bool
 }
 
 // Done reports whether all data has arrived.
 func (op *ReadOp) Done() bool { return op.pending == 0 }
 
+// Cancel aborts the operation: server work that has not yet run
+// reports OutcomeCancelled. Safe to call at any time.
+func (op *ReadOp) Cancel() { op.cancel() }
+
+func (op *ReadOp) completeOne(c *Cluster) {
+	op.pending--
+	if op.pending == 0 {
+		op.Stats.TNet = c.K.Now() - op.started
+		if err := op.outcomes.finalize(); err != nil && op.Err == nil {
+			op.Err = err
+		}
+		op.cancel()
+	}
+}
+
+func (op *ReadOp) nodeFailed(c *Cluster, ioNode int, err error) {
+	if isCtxErr(err) {
+		op.outcomes.cancel(ioNode, err)
+	} else {
+		op.outcomes.fail(ioNode, err)
+		if op.failFast {
+			op.cancel()
+		}
+	}
+	op.completeOne(c)
+}
+
 // StartRead begins the reverse-symmetric read of view bytes
 // [lowV, highV] into buf.
 func (v *View) StartRead(lowV, highV int64, buf []byte) (*ReadOp, error) {
+	return v.StartReadCtx(context.Background(), lowV, highV, buf)
+}
+
+// StartReadCtx is StartRead bounded by a context.
+func (v *View) StartReadCtx(ctx context.Context, lowV, highV int64, buf []byte) (*ReadOp, error) {
 	if highV < lowV {
 		return nil, fmt.Errorf("clusterfile: inverted read interval [%d,%d]", lowV, highV)
 	}
@@ -302,7 +413,13 @@ func (v *View) StartRead(lowV, highV int64, buf []byte) (*ReadOp, error) {
 			len(buf), highV-lowV+1)
 	}
 	c := v.file.cluster
-	op := &ReadOp{started: c.K.Now()}
+	octx, cancel := c.opCtx(ctx)
+	op := &ReadOp{
+		started: c.K.Now(),
+		ctx:     octx, cancel: cancel,
+		outcomes: newOutcomeSet("read"),
+		failFast: c.cfg.FailFast,
+	}
 	c.met.readOps.Inc()
 	span := c.span.StartChild("clusterfile.read")
 	defer span.End()
@@ -311,14 +428,20 @@ func (v *View) StartRead(lowV, highV int64, buf []byte) (*ReadOp, error) {
 		if sub.projV.BytesIn(lowV, highV) == 0 {
 			continue
 		}
+		if err := octx.Err(); err != nil {
+			cancel()
+			return nil, err
+		}
 		tm := time.Now()
 		firstV, lastV := windowExtremes(sub.projV, lowV, highV)
 		lowS, err := mapThrough(v, sub, firstV)
 		if err != nil {
+			cancel()
 			return nil, err
 		}
 		highS, err := mapThrough(v, sub, lastV)
 		if err != nil {
+			cancel()
 			return nil, err
 		}
 		op.Stats.TMap += time.Since(tm)
@@ -332,10 +455,14 @@ func (v *View) StartRead(lowV, highV int64, buf []byte) (*ReadOp, error) {
 			c.serverRead(op, v, sub, ioNode, lowS2, highS2, buf, lowV, highV)
 		})
 		if err != nil {
+			cancel()
 			return nil, err
 		}
 		op.Stats.Messages++
 		c.met.recordNet(extremityMsgBytes)
+	}
+	if op.pending == 0 {
+		cancel()
 	}
 	return op, nil
 }
@@ -345,20 +472,23 @@ func (v *View) StartRead(lowV, highV int64, buf []byte) (*ReadOp, error) {
 func (c *Cluster) serverRead(op *ReadOp, v *View, sub *subView, ioNode int,
 	lowS, highS int64, buf []byte, lowV, highV int64) {
 
+	if err := op.ctx.Err(); err != nil {
+		op.outcomes.cancel(ioNode, err)
+		op.completeOne(c)
+		return
+	}
 	f := v.file
-	if err := f.growSubfile(sub.subfile, highS+1); err != nil {
-		op.Err = err
-		op.pending--
+	if err := f.growSubfile(op.ctx, sub.subfile, highS+1); err != nil {
+		op.nodeFailed(c, ioNode, err)
 		return
 	}
 	n := sub.projS.BytesIn(lowS, highS)
 	segs := sub.projS.SegmentsIn(lowS, highS)
 	data := c.getMsgBuf(n)
 	tg := time.Now()
-	if err := f.handles[sub.subfile].Gather(sub.projS, lowS, highS, data); err != nil {
+	if err := f.handles[sub.subfile].Gather(op.ctx, sub.projS, lowS, highS, data); err != nil {
 		putMsgBuf(data)
-		op.Err = err
-		op.pending--
+		op.nodeFailed(c, ioNode, err)
 		return
 	}
 	c.met.gatherBytes.Add(n)
@@ -371,26 +501,27 @@ func (c *Cluster) serverRead(op *ReadOp, v *View, sub *subView, ioNode int,
 			// The scatter copies into the user buffer, after which the
 			// message buffer is free for reuse.
 			defer putMsgBuf(data)
+			if err := op.ctx.Err(); err != nil {
+				op.outcomes.cancel(ioNode, err)
+				op.completeOne(c)
+				return
+			}
 			ts := time.Now()
 			if err := scatterWindow(buf, data, sub.projV, lowV, highV); err != nil {
-				op.Err = err
-				op.pending--
+				op.nodeFailed(c, ioNode, err)
 				return
 			}
 			real := time.Since(ts)
 			op.Stats.TScatter += real
+			op.outcomes.ok(ioNode, n)
 			c.met.scatterBytes.Add(n)
 			c.met.scatterNs.Observe(real.Nanoseconds())
 			op.Stats.BytesMoved += n
-			op.pending--
-			if op.pending == 0 {
-				op.Stats.TNet = c.K.Now() - op.started
-			}
+			op.completeOne(c)
 		})
 		if err != nil {
 			putMsgBuf(data)
-			op.Err = err
-			op.pending--
+			op.nodeFailed(c, ioNode, err)
 		}
 	})
 	op.Stats.Messages++

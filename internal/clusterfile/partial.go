@@ -1,0 +1,190 @@
+package clusterfile
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// partial.go defines the typed partial-failure result of the fan-out
+// operations. The paper's protocol assumes every I/O node answers
+// every GATHER/SCATTER message; over a real transport a single node
+// can fail or hang, so Write/Read/Redistribute report a per-I/O-node
+// outcome instead of a flat error: which nodes landed their bytes,
+// which failed, and which were cancelled before their turn. Callers
+// can then repair (rewrite only the failed nodes' windows) instead of
+// discarding the whole collective operation.
+
+// OutcomeState classifies one I/O node's result in a collective
+// operation.
+type OutcomeState int
+
+const (
+	// OutcomeOK: every storage operation against the node succeeded.
+	OutcomeOK OutcomeState = iota
+	// OutcomeFailed: a storage or transport operation against the node
+	// returned a hard error.
+	OutcomeFailed
+	// OutcomeCancelled: the operation's context was cancelled (caller
+	// cancellation, per-op deadline, or sibling fail-fast) before the
+	// node's work ran.
+	OutcomeCancelled
+)
+
+func (s OutcomeState) String() string {
+	switch s {
+	case OutcomeOK:
+		return "ok"
+	case OutcomeFailed:
+		return "failed"
+	case OutcomeCancelled:
+		return "cancelled"
+	}
+	return fmt.Sprintf("OutcomeState(%d)", int(s))
+}
+
+// NodeOutcome is one I/O node's result: its terminal state, the bytes
+// that actually moved to or from it, and the first error observed
+// against it (nil for OK and usually context.Canceled for cancelled).
+type NodeOutcome struct {
+	IONode int
+	State  OutcomeState
+	Bytes  int64
+	Err    error
+}
+
+// PartialError reports a collective operation that did not fully
+// succeed: the per-I/O-node outcomes, including the nodes that DID
+// succeed, so callers know exactly which windows are durable.
+type PartialError struct {
+	// Op names the operation: "write", "read" or "redistribute".
+	Op string
+	// Outcomes holds one entry per involved I/O node, sorted by node.
+	Outcomes []NodeOutcome
+}
+
+// Error summarizes the outcome split and names the failing nodes.
+func (e *PartialError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "clusterfile: partial %s: %d/%d I/O nodes ok",
+		e.Op, len(e.Nodes(OutcomeOK)), len(e.Outcomes))
+	if failed := e.Nodes(OutcomeFailed); len(failed) > 0 {
+		fmt.Fprintf(&b, "; failed %v", failed)
+		for _, o := range e.Outcomes {
+			if o.State == OutcomeFailed && o.Err != nil {
+				fmt.Fprintf(&b, " (node %d: %v)", o.IONode, o.Err)
+				break
+			}
+		}
+	}
+	if cancelled := e.Nodes(OutcomeCancelled); len(cancelled) > 0 {
+		fmt.Fprintf(&b, "; cancelled %v", cancelled)
+	}
+	return b.String()
+}
+
+// Unwrap exposes the first hard failure (if any) so errors.Is/As see
+// through the partial wrapper — e.g. context.DeadlineExceeded when a
+// per-op deadline expired, or a fault-injected error in tests.
+func (e *PartialError) Unwrap() error {
+	for _, o := range e.Outcomes {
+		if o.State == OutcomeFailed && o.Err != nil {
+			return o.Err
+		}
+	}
+	for _, o := range e.Outcomes {
+		if o.State == OutcomeCancelled && o.Err != nil {
+			return o.Err
+		}
+	}
+	return nil
+}
+
+// Nodes returns the I/O nodes in the given state, sorted.
+func (e *PartialError) Nodes(state OutcomeState) []int {
+	var out []int
+	for _, o := range e.Outcomes {
+		if o.State == state {
+			out = append(out, o.IONode)
+		}
+	}
+	return out
+}
+
+// Outcome returns the outcome of one I/O node (nil if the node was
+// not involved).
+func (e *PartialError) Outcome(ioNode int) *NodeOutcome {
+	for i := range e.Outcomes {
+		if e.Outcomes[i].IONode == ioNode {
+			return &e.Outcomes[i]
+		}
+	}
+	return nil
+}
+
+// outcomeSet accumulates per-I/O-node outcomes while an operation is
+// in flight. The event kernel is single-threaded, so no locking.
+type outcomeSet struct {
+	op    string
+	nodes map[int]*NodeOutcome
+}
+
+func newOutcomeSet(op string) *outcomeSet {
+	return &outcomeSet{op: op, nodes: make(map[int]*NodeOutcome)}
+}
+
+// get returns the node's outcome, creating an OK entry on first use.
+func (s *outcomeSet) get(ioNode int) *NodeOutcome {
+	o := s.nodes[ioNode]
+	if o == nil {
+		o = &NodeOutcome{IONode: ioNode}
+		s.nodes[ioNode] = o
+	}
+	return o
+}
+
+// ok records bytes moved for a node that completed a storage op.
+func (s *outcomeSet) ok(ioNode int, bytes int64) {
+	o := s.get(ioNode)
+	o.Bytes += bytes
+}
+
+// fail marks a node failed with its first error. Failed dominates
+// cancelled: a node that failed hard stays failed.
+func (s *outcomeSet) fail(ioNode int, err error) {
+	o := s.get(ioNode)
+	if o.State != OutcomeFailed {
+		o.State = OutcomeFailed
+		o.Err = err
+	}
+}
+
+// cancel marks a node cancelled unless it already failed.
+func (s *outcomeSet) cancel(ioNode int, err error) {
+	o := s.get(ioNode)
+	if o.State == OutcomeOK {
+		o.State = OutcomeCancelled
+		o.Err = err
+	}
+}
+
+// finalize returns a PartialError when any node is not OK, nil when
+// the operation fully succeeded.
+func (s *outcomeSet) finalize() error {
+	clean := true
+	for _, o := range s.nodes {
+		if o.State != OutcomeOK {
+			clean = false
+			break
+		}
+	}
+	if clean {
+		return nil
+	}
+	e := &PartialError{Op: s.op}
+	for _, o := range s.nodes {
+		e.Outcomes = append(e.Outcomes, *o)
+	}
+	sort.Slice(e.Outcomes, func(i, j int) bool { return e.Outcomes[i].IONode < e.Outcomes[j].IONode })
+	return e
+}

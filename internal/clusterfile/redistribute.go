@@ -1,6 +1,8 @@
 package clusterfile
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"time"
 
@@ -14,11 +16,23 @@ import (
 // to better suit the layout to a certain access pattern". Data moves
 // I/O node to I/O node over the simulated interconnect; the library's
 // redistribution plan supplies the pairwise projections.
+//
+// Redistribution is all-or-nothing: arriving transfer buffers are
+// STAGED at their destination I/O nodes and only committed — scattered
+// into the new subfiles — once every source gather and transfer has
+// landed. Any gather, transfer or cancellation before that point
+// discards the staging wholesale, leaving the new file's subfiles
+// untouched (still empty), so a failed redistribution never yields a
+// half-written destination layout.
+
+// ErrRedistAborted marks destination work discarded because the
+// redistribution aborted before its commit point.
+var ErrRedistAborted = errors.New("clusterfile: redistribute aborted before commit")
 
 // RedistStats reports a cluster redistribution.
 type RedistStats struct {
 	// TNet is the virtual time from the first transfer send until the
-	// last scatter completed.
+	// last scatter completed (or the abort was sealed).
 	TNet int64
 	// Messages and Bytes count the inter-I/O-node traffic.
 	Messages int
@@ -28,23 +42,178 @@ type RedistStats struct {
 	GatherReal, ScatterReal time.Duration
 }
 
-// RedistOp is an in-flight cluster redistribution.
+// stagedScatter is one arrived transfer parked at its destination I/O
+// node, waiting for the operation's commit point.
+type stagedScatter struct {
+	dstElem int
+	dstION  int
+	dstHi   int64
+	dstSegs int64
+	dstProj *redist.Projection
+	buf     []byte
+	bytes   int64
+}
+
+// RedistOp is an in-flight cluster redistribution. On failure Err
+// holds a *PartialError whose destination-node outcomes are cancelled
+// (their staged data was discarded, never committed).
 type RedistOp struct {
 	Stats RedistStats
 	Err   error
 
-	pending int
-	started int64
+	pending  int
+	started  int64
+	ctx      context.Context
+	cancel   context.CancelFunc
+	outcomes *outcomeSet
+	failFast bool
+	nf       *File
+	staged   []stagedScatter
+	aborted  bool
+	sealed   bool
 }
 
-// Done reports whether all transfers have completed.
-func (op *RedistOp) Done() bool { return op.pending == 0 }
+// Done reports whether the redistribution has settled (committed or
+// aborted).
+func (op *RedistOp) Done() bool { return op.sealed }
+
+// Cancel aborts the redistribution; staged destination data is
+// discarded at the commit point, leaving the new file untouched.
+func (op *RedistOp) Cancel() { op.cancel() }
+
+// nodeFailed records a hard error against one I/O node and dooms the
+// operation: the commit point will discard the staging.
+func (op *RedistOp) nodeFailed(ioNode int, err error) {
+	if isCtxErr(err) {
+		op.outcomes.cancel(ioNode, err)
+	} else {
+		op.outcomes.fail(ioNode, err)
+		if op.failFast {
+			op.cancel()
+		}
+	}
+	op.aborted = true
+}
+
+// arrived retires one transfer; the last one reaches the commit point.
+func (op *RedistOp) arrived(c *Cluster) {
+	op.pending--
+	if op.pending == 0 {
+		op.settle(c)
+	}
+}
+
+// settle is the commit point: with every gather and transfer landed
+// cleanly, scatter the staged buffers into the new subfiles; otherwise
+// discard them all.
+func (op *RedistOp) settle(c *Cluster) {
+	hardFail := op.aborted || op.ctx.Err() != nil
+	if !hardFail {
+		for _, o := range op.outcomes.nodes {
+			if o.State == OutcomeFailed {
+				hardFail = true
+				break
+			}
+		}
+	}
+	if hardFail {
+		for _, s := range op.staged {
+			putMsgBuf(s.buf)
+			op.outcomes.cancel(s.dstION, ErrRedistAborted)
+		}
+		op.staged = nil
+		op.seal(c)
+		return
+	}
+	staged := op.staged
+	op.staged = nil
+	op.pending = len(staged)
+	if op.pending == 0 {
+		op.seal(c)
+		return
+	}
+	for _, s := range staged {
+		op.commitOne(c, s)
+	}
+}
+
+// commitOne scatters one staged buffer into its destination subfile
+// and charges the destination's storage cost.
+func (op *RedistOp) commitOne(c *Cluster, s stagedScatter) {
+	defer putMsgBuf(s.buf) // the store copies on scatter
+	if err := op.ctx.Err(); err != nil {
+		op.outcomes.cancel(s.dstION, err)
+		op.commitDone(c)
+		return
+	}
+	nf := op.nf
+	if err := nf.growSubfile(op.ctx, s.dstElem, s.dstHi+1); err != nil {
+		op.nodeFailed(s.dstION, err)
+		op.commitDone(c)
+		return
+	}
+	ts := time.Now()
+	if err := nf.handles[s.dstElem].Scatter(op.ctx, s.dstProj, 0, s.dstHi, s.buf); err != nil {
+		op.nodeFailed(s.dstION, err)
+		op.commitDone(c)
+		return
+	}
+	realScatter := time.Since(ts)
+	op.Stats.ScatterReal += realScatter
+	op.outcomes.ok(s.dstION, s.bytes)
+	c.met.scatterBytes.Add(s.bytes)
+	c.met.scatterNs.Observe(realScatter.Nanoseconds())
+	c.met.ioBytes(s.dstION).Add(s.bytes)
+	cost := c.Disks[s.dstION].CacheCost(s.bytes, s.dstSegs)
+	c.Disks[s.dstION].Account(s.bytes, false)
+	err := c.Net.ReceiverBusy(c.ioNet(s.dstION), cost, func() {
+		op.commitDone(c)
+	})
+	if err != nil {
+		op.nodeFailed(s.dstION, err)
+		op.commitDone(c)
+	}
+}
+
+func (op *RedistOp) commitDone(c *Cluster) {
+	op.pending--
+	if op.pending == 0 {
+		op.seal(c)
+	}
+}
+
+// seal finishes the operation: final stats, PartialError derivation,
+// context release.
+func (op *RedistOp) seal(c *Cluster) {
+	if op.sealed {
+		return
+	}
+	op.sealed = true
+	op.Stats.TNet = c.K.Now() - op.started
+	if err := op.outcomes.finalize(); err != nil && op.Err == nil {
+		op.Err = err
+	}
+	if op.Err == nil {
+		if err := op.ctx.Err(); err != nil {
+			op.Err = err
+		}
+	}
+	op.cancel()
+}
 
 // StartRedistribute creates newName with the given physical partition
 // and assignment (nil for round-robin) and moves the first length
 // bytes of f's data into it, disk to disk. Drive the kernel (RunAll)
 // to completion, then use the returned file.
 func (c *Cluster) StartRedistribute(f *File, newName string, newPhys *part.File, newAssign []int, length int64) (*File, *RedistOp, error) {
+	return c.StartRedistributeCtx(context.Background(), f, newName, newPhys, newAssign, length)
+}
+
+// StartRedistributeCtx is StartRedistribute bounded by a context.
+// Cancellation (or the cluster's OpTimeout) before the commit point
+// aborts the whole redistribution: staged destination data is
+// discarded and the new file's subfiles stay untouched.
+func (c *Cluster) StartRedistributeCtx(ctx context.Context, f *File, newName string, newPhys *part.File, newAssign []int, length int64) (*File, *RedistOp, error) {
 	if f == nil {
 		return nil, nil, fmt.Errorf("clusterfile: nil file")
 	}
@@ -68,11 +237,19 @@ func (c *Cluster) StartRedistribute(f *File, newName string, newPhys *part.File,
 	if err != nil {
 		return nil, nil, err
 	}
-	nf, err := c.CreateFile(newName, newPhys, newAssign)
+	octx, cancel := c.opCtx(ctx)
+	nf, err := c.CreateFileCtx(octx, newName, newPhys, newAssign)
 	if err != nil {
+		cancel()
 		return nil, nil, err
 	}
-	op := &RedistOp{started: c.K.Now()}
+	op := &RedistOp{
+		started: c.K.Now(),
+		ctx:     octx, cancel: cancel,
+		outcomes: newOutcomeSet("redistribute"),
+		failFast: c.cfg.FailFast,
+		nf:       nf,
+	}
 	for i := range plan.Transfers {
 		t := &plan.Transfers[i]
 		srcHi, dstHi, bytes := t.Windows(plan.Period, length)
@@ -81,21 +258,29 @@ func (c *Cluster) StartRedistribute(f *File, newName string, newPhys *part.File,
 		}
 		srcION := f.Assign[t.SrcElem]
 		dstION := nf.Assign[t.DstElem]
+		if err := octx.Err(); err != nil {
+			op.outcomes.cancel(srcION, err)
+			op.aborted = true
+			break
+		}
 
 		// Source I/O node: gather the shared bytes from the old
 		// subfile (real I/O), modeled as CPU work before the send.
 		// Unwritten holes read as zeroes, like any sparse file.
-		if err := f.growSubfile(t.SrcElem, srcHi+1); err != nil {
-			return nil, nil, err
+		if err := f.growSubfile(octx, t.SrcElem, srcHi+1); err != nil {
+			op.nodeFailed(srcION, err)
+			break
 		}
 		buf := c.getMsgBuf(bytes)
 		tg := time.Now()
-		if err := f.handles[t.SrcElem].Gather(t.SrcProj, 0, srcHi, buf); err != nil {
+		if err := f.handles[t.SrcElem].Gather(octx, t.SrcProj, 0, srcHi, buf); err != nil {
 			putMsgBuf(buf)
-			return nil, nil, err
+			op.nodeFailed(srcION, err)
+			break
 		}
 		realGather := time.Since(tg)
 		op.Stats.GatherReal += realGather
+		op.outcomes.ok(srcION, bytes)
 		c.met.gatherBytes.Add(bytes)
 		c.met.gatherNs.Observe(realGather.Nanoseconds())
 		c.met.ioBytes(srcION).Add(bytes)
@@ -110,43 +295,34 @@ func (c *Cluster) StartRedistribute(f *File, newName string, newPhys *part.File,
 		dstElem := t.DstElem
 		dstSegs := dstProj.SegmentsIn(0, dstHi)
 		c.K.After(gatherNs, func() {
+			// A doomed operation skips the transfer: its payload could
+			// never commit.
+			if op.aborted || op.ctx.Err() != nil {
+				putMsgBuf(buf)
+				op.outcomes.cancel(dstION, ErrRedistAborted)
+				op.arrived(c)
+				return
+			}
 			err := c.Net.Send(c.ioNet(srcION), c.ioNet(dstION), bytes, func() {
-				// Destination I/O node: scatter into the new subfile.
-				// The store copies on write, so the pooled message
-				// buffer is released once the scatter returns.
-				defer putMsgBuf(buf)
-				if err := nf.growSubfile(dstElem, dstHi+1); err != nil {
-					op.Err = err
-					op.pending--
-					return
-				}
-				ts := time.Now()
-				if err := nf.handles[dstElem].Scatter(dstProj, 0, dstHi, buf); err != nil {
-					op.Err = err
-					op.pending--
-					return
-				}
-				realScatter := time.Since(ts)
-				op.Stats.ScatterReal += realScatter
-				c.met.scatterBytes.Add(bytes)
-				c.met.scatterNs.Observe(realScatter.Nanoseconds())
-				c.met.ioBytes(dstION).Add(bytes)
-				cost := c.Disks[dstION].CacheCost(bytes, dstSegs)
-				c.Disks[dstION].Account(bytes, false)
-				c.Net.ReceiverBusy(c.ioNet(dstION), cost, func() {
-					op.pending--
-					if op.pending == 0 {
-						op.Stats.TNet = c.K.Now() - op.started
-					}
+				// Destination I/O node: stage the arrived buffer. The
+				// scatter into the new subfile waits for the commit
+				// point in settle().
+				op.staged = append(op.staged, stagedScatter{
+					dstElem: dstElem, dstION: dstION,
+					dstHi: dstHi, dstSegs: dstSegs, dstProj: dstProj,
+					buf: buf, bytes: bytes,
 				})
+				op.arrived(c)
 			})
 			if err != nil {
 				putMsgBuf(buf)
-				op.Err = err
-				op.pending--
+				op.nodeFailed(dstION, err)
+				op.arrived(c)
 			}
 		})
 	}
+	if op.pending == 0 {
+		op.settle(c)
+	}
 	return nf, op, nil
 }
-

@@ -1,6 +1,7 @@
 package clusterfile
 
 import (
+	"context"
 	"fmt"
 
 	"parafile/internal/falls"
@@ -18,7 +19,14 @@ import (
 //     semantically identical to the pre-seam code;
 //   - the TCP transport (package rpc) backs each handle with the
 //     parafiled daemon of the subfile's I/O node, so the same compiled
-//     projections drive scatter/gather over real sockets.
+//     projections drive scatter/gather over real sockets;
+//   - the fault transport (package fault) wraps either of the above
+//     with a deterministic per-node fault plan for robustness tests.
+//
+// Every byte-moving method takes a context: the operation-level
+// context of the collective op it serves, carrying the per-op deadline
+// and the sibling-cancellation signal. A remote implementation bounds
+// its RPCs by it; the local one only has to observe cancellation.
 //
 // The virtual-time cost models (netsim, disksim) are independent of
 // the transport: they keep supplying the reported timings either way,
@@ -32,19 +40,19 @@ import (
 // per segment.
 type SubfileHandle interface {
 	// EnsureLen grows the subfile to at least n bytes (zero filled).
-	EnsureLen(n int64) error
+	EnsureLen(ctx context.Context, n int64) error
 	// Len returns the current subfile size.
-	Len() (int64, error)
+	Len(ctx context.Context) (int64, error)
 	// WriteAt stores p contiguously at off.
-	WriteAt(p []byte, off int64) error
+	WriteAt(ctx context.Context, p []byte, off int64) error
 	// ReadAt fills p contiguously from off.
-	ReadAt(p []byte, off int64) error
+	ReadAt(ctx context.Context, p []byte, off int64) error
 	// Scatter unpacks contiguous data into the regions the projection
 	// selects within [lo, hi] — the §8 SCATTER.
-	Scatter(p *redist.Projection, lo, hi int64, data []byte) error
+	Scatter(ctx context.Context, p *redist.Projection, lo, hi int64, data []byte) error
 	// Gather packs the regions the projection selects within [lo, hi]
 	// into dst — the §8 GATHER.
-	Gather(p *redist.Projection, lo, hi int64, dst []byte) error
+	Gather(ctx context.Context, p *redist.Projection, lo, hi int64, dst []byte) error
 	// Close releases the handle (syncing durable stores).
 	Close() error
 }
@@ -53,7 +61,7 @@ type SubfileHandle interface {
 type Transport interface {
 	// Open prepares one handle per subfile. assign maps each subfile
 	// index to its I/O node.
-	Open(name string, phys *part.File, assign []int) ([]SubfileHandle, error)
+	Open(ctx context.Context, name string, phys *part.File, assign []int) ([]SubfileHandle, error)
 	// Close releases transport-level resources (connection pools).
 	Close() error
 }
@@ -71,9 +79,15 @@ type localTransport struct {
 	factory StorageFactory
 }
 
-func (t *localTransport) Open(name string, phys *part.File, assign []int) ([]SubfileHandle, error) {
+func (t *localTransport) Open(ctx context.Context, name string, phys *part.File, assign []int) ([]SubfileHandle, error) {
 	handles := make([]SubfileHandle, len(assign))
 	for i := range assign {
+		if err := ctx.Err(); err != nil {
+			for _, h := range handles[:i] {
+				h.Close()
+			}
+			return nil, err
+		}
 		st, err := t.factory(name, i)
 		if err != nil {
 			for _, h := range handles[:i] {
@@ -88,22 +102,54 @@ func (t *localTransport) Open(name string, phys *part.File, assign []int) ([]Sub
 
 func (t *localTransport) Close() error { return nil }
 
-// localHandle adapts a Storage to the SubfileHandle interface.
+// localHandle adapts a Storage to the SubfileHandle interface. Local
+// stores cannot block, so observing ctx before each operation is the
+// whole cancellation story.
 type localHandle struct {
 	st Storage
 }
 
-func (h *localHandle) EnsureLen(n int64) error          { return h.st.EnsureLen(n) }
-func (h *localHandle) Len() (int64, error)              { return h.st.Len(), nil }
-func (h *localHandle) WriteAt(p []byte, off int64) error { return h.st.WriteAt(p, off) }
-func (h *localHandle) ReadAt(p []byte, off int64) error  { return h.st.ReadAt(p, off) }
-func (h *localHandle) Close() error                      { return h.st.Close() }
+func (h *localHandle) EnsureLen(ctx context.Context, n int64) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return h.st.EnsureLen(n)
+}
 
-func (h *localHandle) Scatter(p *redist.Projection, lo, hi int64, data []byte) error {
+func (h *localHandle) Len(ctx context.Context) (int64, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	return h.st.Len(), nil
+}
+
+func (h *localHandle) WriteAt(ctx context.Context, p []byte, off int64) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return h.st.WriteAt(p, off)
+}
+
+func (h *localHandle) ReadAt(ctx context.Context, p []byte, off int64) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return h.st.ReadAt(p, off)
+}
+
+func (h *localHandle) Close() error { return h.st.Close() }
+
+func (h *localHandle) Scatter(ctx context.Context, p *redist.Projection, lo, hi int64, data []byte) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	return ScatterRange(h.st, data, p, lo, hi)
 }
 
-func (h *localHandle) Gather(p *redist.Projection, lo, hi int64, dst []byte) error {
+func (h *localHandle) Gather(ctx context.Context, p *redist.Projection, lo, hi int64, dst []byte) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	return GatherRange(dst, h.st, p, lo, hi)
 }
 

@@ -1,0 +1,131 @@
+package fault
+
+import (
+	"context"
+	"net"
+	"time"
+)
+
+// conn.go injects faults at the connection layer, underneath the rpc
+// framing: dial failures, per-operation errors and delays, one-byte
+// frame corruption, and fail-after-N-bytes stream death. Client-side,
+// Dialer slots into rpc.ClientConfig.Dialer; server-side, WrapListener
+// wraps the daemon's TCP listener (the parafiled -fault flag), so
+// degraded daemons need no test-only hooks. These faults exercise the
+// rpc retry/timeout/breaker machinery: an idempotent request that dies
+// mid-stream is retried on a fresh conn, exactly like a real reset.
+
+// DialFunc matches rpc.ClientConfig.Dialer.
+type DialFunc func(ctx context.Context, network, addr string) (net.Conn, error)
+
+// Dialer wraps a dial function (nil for a plain TCP dial) so every
+// connection it produces carries the injector's connection faults.
+// Connections match rules as AnyNode.
+func (inj *Injector) Dialer(inner DialFunc) DialFunc {
+	if inner == nil {
+		inner = func(ctx context.Context, network, addr string) (net.Conn, error) {
+			var d net.Dialer
+			return d.DialContext(ctx, network, addr)
+		}
+	}
+	return func(ctx context.Context, network, addr string) (net.Conn, error) {
+		if err := inj.fire(ctx, AnyNode, OpDial); err != nil {
+			return nil, err
+		}
+		conn, err := inner(ctx, network, addr)
+		if err != nil {
+			return nil, err
+		}
+		return inj.WrapConn(conn), nil
+	}
+}
+
+// WrapListener wraps a listener so every accepted connection carries
+// the injector's connection faults.
+func (inj *Injector) WrapListener(ln net.Listener) net.Listener {
+	return &faultListener{Listener: ln, inj: inj}
+}
+
+type faultListener struct {
+	net.Listener
+	inj *Injector
+}
+
+func (l *faultListener) Accept() (net.Conn, error) {
+	conn, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return l.inj.WrapConn(conn), nil
+}
+
+// WrapConn layers the injector's connection faults over one conn.
+func (inj *Injector) WrapConn(conn net.Conn) net.Conn {
+	return &faultConn{Conn: conn, inj: inj}
+}
+
+// faultConn applies the plan to each Read/Write. Connections carry no
+// context, so Delay rules sleep unconditionally (bounded in practice
+// by the peer's deadlines) and Hang rules are inert here.
+type faultConn struct {
+	net.Conn
+	inj *Injector
+}
+
+// connFault runs the schedule for one conn operation. A fired error
+// rule closes the conn so the peer observes a reset, not a stall; a
+// fired Corrupt rule is reported back for the caller to apply to the
+// payload. First fired rule wins, as everywhere.
+func (c *faultConn) connFault(op Op) (corrupt bool, err error) {
+	r := c.inj.decide(AnyNode, op)
+	if r == nil {
+		return false, nil
+	}
+	switch r.Kind {
+	case ErrorOnce, ErrorAlways:
+		c.Conn.Close()
+		return false, errFor(r, AnyNode, op)
+	case Delay:
+		time.Sleep(r.Delay)
+	case Corrupt:
+		return true, nil
+	}
+	return false, nil
+}
+
+func (c *faultConn) Read(p []byte) (int, error) {
+	corrupt, err := c.connFault(OpConnRead)
+	if err != nil {
+		return 0, err
+	}
+	n, err := c.Conn.Read(p)
+	if n > 0 {
+		if berr := c.inj.accountBytes(AnyNode, OpConnRead, int64(n)); berr != nil {
+			c.Conn.Close()
+			return 0, berr
+		}
+		if corrupt {
+			c.inj.corruptByte(p[:n])
+		}
+	}
+	return n, err
+}
+
+func (c *faultConn) Write(p []byte) (int, error) {
+	corrupt, err := c.connFault(OpConnWrite)
+	if err != nil {
+		return 0, err
+	}
+	if err := c.inj.accountBytes(AnyNode, OpConnWrite, int64(len(p))); err != nil {
+		c.Conn.Close()
+		return 0, err
+	}
+	if corrupt {
+		// Corrupt a copy: the caller's buffer (possibly pooled and
+		// reused) must stay intact.
+		tmp := append([]byte(nil), p...)
+		c.inj.corruptByte(tmp)
+		return c.Conn.Write(tmp)
+	}
+	return c.Conn.Write(p)
+}

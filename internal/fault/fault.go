@@ -1,0 +1,396 @@
+// Package fault is the deterministic fault-injection layer of the
+// Clusterfile reproduction: it wraps a clusterfile.Transport (and raw
+// network connections) with programmable per-I/O-node fault plans so
+// the partial-failure semantics of the fan-out path — PartialError
+// outcomes, per-op deadlines, sibling cancellation, the rpc circuit
+// breaker — can be exercised reproducibly in tests, demos and CI.
+//
+// A Plan is a list of Rules. Each rule names the I/O node it applies
+// to (or all of them), the operation it intercepts, the fault Kind,
+// and a schedule — skip the first After matching calls, fire at most
+// Times times, every Every-th call, with probability Prob. Scheduling
+// state lives in the Injector and the random source is seeded, so the
+// same plan against the same (deterministic) operation order
+// reproduces the same faults exactly.
+//
+// Two injection points cover the whole path:
+//
+//   - Injector.WrapTransport intercepts SubfileHandle operations —
+//     storage-level faults (error-once, error-always, delay,
+//     hang-until-cancel) that surface as per-node outcomes in
+//     clusterfile's PartialError;
+//   - Injector.Dialer / Injector.WrapListener intercept raw
+//     connections — wire-level faults (errors, delays, corrupt-frame,
+//     fail-after-N-bytes) that exercise the rpc client's retry,
+//     timeout and breaker machinery underneath an unchanged transport.
+package fault
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"parafile/internal/obs"
+)
+
+// Kind is the fault a rule injects.
+type Kind int
+
+const (
+	// ErrorOnce fails the first scheduled call, then never again
+	// (shorthand for ErrorAlways with Times=1).
+	ErrorOnce Kind = iota
+	// ErrorAlways fails every scheduled call.
+	ErrorAlways
+	// Delay sleeps for the rule's Delay before letting the call
+	// proceed (interruptible by the operation context).
+	Delay
+	// Hang blocks until the operation context is cancelled, then
+	// returns its error — the crashed-but-not-closed daemon case.
+	// Meaningless on raw connections (no context); use Delay there.
+	Hang
+	// Corrupt flips one byte of the payload moving through a wrapped
+	// connection (frame corruption). Connection-level only.
+	Corrupt
+	// FailAfterBytes lets the rule's Bytes flow through a wrapped
+	// connection, then fails it permanently — the mid-stream crash.
+	// Connection-level only.
+	FailAfterBytes
+)
+
+func (k Kind) String() string {
+	switch k {
+	case ErrorOnce:
+		return "error-once"
+	case ErrorAlways:
+		return "error-always"
+	case Delay:
+		return "delay"
+	case Hang:
+		return "hang"
+	case Corrupt:
+		return "corrupt"
+	case FailAfterBytes:
+		return "fail-after-bytes"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Op names the intercepted operation class a rule matches.
+type Op string
+
+const (
+	// OpAny matches every operation at its injection point.
+	OpAny Op = ""
+	// Transport-level operations (WrapTransport).
+	OpOpen      Op = "open"
+	OpEnsureLen Op = "ensure_len"
+	OpLen       Op = "len"
+	OpWriteAt   Op = "write_at"
+	OpReadAt    Op = "read_at"
+	OpScatter   Op = "scatter"
+	OpGather    Op = "gather"
+	// Connection-level operations (Dialer / WrapListener).
+	OpDial      Op = "dial"
+	OpConnRead  Op = "conn_read"
+	OpConnWrite Op = "conn_write"
+)
+
+// AnyNode makes a rule match every I/O node (and every connection).
+const AnyNode = -1
+
+// Rule is one programmable fault: where it applies, what it injects,
+// and when it fires.
+type Rule struct {
+	// Node is the I/O node the rule targets (AnyNode for all).
+	// Connection-level rules match by AnyNode unless the conn was
+	// opened for a known node.
+	Node int
+	// Op restricts the rule to one operation class (OpAny for all at
+	// the rule's injection point).
+	Op Op
+	// Kind is the injected fault.
+	Kind Kind
+	// Err overrides the injected error (default: an *InjectedError
+	// describing the rule).
+	Err error
+	// Delay is the sleep of a Delay rule.
+	Delay time.Duration
+	// Bytes is the budget of a FailAfterBytes rule.
+	Bytes int64
+	// After skips the first After matching calls.
+	After int
+	// Times caps how often the rule fires (0 = unlimited).
+	Times int
+	// Every fires on every Every-th matching call past After (0 and 1
+	// mean every call).
+	Every int
+	// Prob fires with this probability (0 means always, i.e. 1.0),
+	// drawn from the injector's seeded source.
+	Prob float64
+}
+
+// matches reports whether the rule applies to (node, op).
+func (r *Rule) matches(node int, op Op) bool {
+	if r.Node != AnyNode && r.Node != node {
+		return false
+	}
+	return r.Op == OpAny || r.Op == op
+}
+
+// Plan is a reproducible fault schedule.
+type Plan struct {
+	// Seed initialises the injector's random source (used by Prob and
+	// Corrupt byte selection). The same seed and call order reproduce
+	// the same faults.
+	Seed int64
+	// Rules are evaluated in order; the first one that fires wins.
+	Rules []Rule
+}
+
+// InjectedError is the error an injected fault surfaces (unless the
+// rule carries its own Err). errors.As identifies injected faults in
+// tests and keeps them distinct from genuine transport errors.
+type InjectedError struct {
+	Node int
+	Op   Op
+	Kind Kind
+}
+
+func (e *InjectedError) Error() string {
+	return fmt.Sprintf("fault: injected %s on node %d (%s)", e.Kind, e.Node, e.Op)
+}
+
+// MetricInjected counts injected faults by kind:
+// parafile_fault_injected_total{kind="..."}.
+const MetricInjected = "parafile_fault_injected_total"
+
+// ruleState is one rule's mutable schedule state.
+type ruleState struct {
+	seen  int // matching calls observed
+	fired int // times the rule fired
+	moved int64
+}
+
+// Injector evaluates a Plan. One injector carries the schedule state
+// for every wrapper derived from it, so a test's transport and
+// connection faults share one deterministic timeline. Safe for
+// concurrent use.
+type Injector struct {
+	mu    sync.Mutex
+	plan  Plan
+	state []ruleState
+	rng   *rand.Rand
+	met   map[Kind]*obs.Counter
+}
+
+// NewInjector compiles a plan. reg (nil allowed) receives the
+// MetricInjected counters.
+func NewInjector(plan Plan, reg *obs.Registry) *Injector {
+	inj := &Injector{
+		plan:  plan,
+		state: make([]ruleState, len(plan.Rules)),
+		rng:   rand.New(rand.NewSource(plan.Seed)),
+		met:   make(map[Kind]*obs.Counter),
+	}
+	for _, k := range []Kind{ErrorOnce, ErrorAlways, Delay, Hang, Corrupt, FailAfterBytes} {
+		inj.met[k] = reg.Counter(fmt.Sprintf(`%s{kind="%s"}`, MetricInjected, k))
+	}
+	return inj
+}
+
+// Injected returns how many faults rule i has injected.
+func (inj *Injector) Injected(i int) int {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	if i < 0 || i >= len(inj.state) {
+		return 0
+	}
+	return inj.state[i].fired
+}
+
+// decide returns the first rule scheduled to fire for (node, op), or
+// nil. It advances every matching rule's schedule state.
+func (inj *Injector) decide(node int, op Op) *Rule {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	var hit *Rule
+	for i := range inj.plan.Rules {
+		r := &inj.plan.Rules[i]
+		if r.Kind == FailAfterBytes {
+			continue // byte-budget rules live in accountBytes
+		}
+		if !r.matches(node, op) {
+			continue
+		}
+		st := &inj.state[i]
+		st.seen++
+		if hit != nil {
+			continue // earlier rule already fired; later ones only count
+		}
+		if st.seen <= r.After {
+			continue
+		}
+		if r.Times > 0 && st.fired >= r.Times {
+			continue
+		}
+		if r.Kind == ErrorOnce && st.fired >= 1 {
+			continue
+		}
+		if r.Every > 1 && (st.seen-r.After-1)%r.Every != 0 {
+			continue
+		}
+		if r.Prob > 0 && r.Prob < 1 && inj.rng.Float64() >= r.Prob {
+			continue
+		}
+		st.fired++
+		inj.met[r.Kind].Inc()
+		hit = r
+	}
+	return hit
+}
+
+// errFor materializes the injected error of a fired rule.
+func errFor(r *Rule, node int, op Op) error {
+	if r.Err != nil {
+		return r.Err
+	}
+	return &InjectedError{Node: node, Op: op, Kind: r.Kind}
+}
+
+// fire evaluates the plan for one transport-level call and executes
+// the fault: returns the injected error, sleeps the delay, or hangs
+// until ctx is cancelled. nil means the call proceeds.
+func (inj *Injector) fire(ctx context.Context, node int, op Op) error {
+	r := inj.decide(node, op)
+	if r == nil {
+		return nil
+	}
+	switch r.Kind {
+	case ErrorOnce, ErrorAlways, Corrupt:
+		// Corrupt degenerates to a plain error at transport level.
+		return errFor(r, node, op)
+	case Delay:
+		timer := time.NewTimer(r.Delay)
+		defer timer.Stop()
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-timer.C:
+		}
+		return nil
+	case Hang:
+		<-ctx.Done()
+		return ctx.Err()
+	}
+	return nil
+}
+
+// accountBytes charges n moved bytes against every matching
+// FailAfterBytes rule; an exhausted budget fails the call (and every
+// later one — the budget stays exhausted).
+func (inj *Injector) accountBytes(node int, op Op, n int64) error {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	for i := range inj.plan.Rules {
+		r := &inj.plan.Rules[i]
+		if r.Kind != FailAfterBytes || !r.matches(node, op) {
+			continue
+		}
+		st := &inj.state[i]
+		st.moved += n
+		if st.moved > r.Bytes {
+			st.fired++
+			inj.met[FailAfterBytes].Inc()
+			return errFor(r, node, op)
+		}
+	}
+	return nil
+}
+
+// corruptByte flips one random byte of p (no-op on empty payloads).
+func (inj *Injector) corruptByte(p []byte) {
+	if len(p) == 0 {
+		return
+	}
+	inj.mu.Lock()
+	i := inj.rng.Intn(len(p))
+	inj.mu.Unlock()
+	p[i] ^= 0xFF
+}
+
+// ParseSpec parses the compact connection-fault grammar of the
+// parafiled -fault flag: a comma-separated list of
+//
+//	error:<prob>       fail conn reads/writes with probability prob
+//	error-once         fail the first conn operation, once
+//	delay:<duration>   sleep before every conn operation
+//	corrupt:<prob>     flip one byte of passing data with probability
+//	failafter:<bytes>  let bytes flow, then fail the conn permanently
+//
+// e.g. "error:0.01,delay:5ms". The rules target every connection
+// (AnyNode). seed makes probabilistic schedules reproducible.
+func ParseSpec(spec string, seed int64) (Plan, error) {
+	plan := Plan{Seed: seed}
+	if strings.TrimSpace(spec) == "" {
+		return plan, nil
+	}
+	for _, tok := range strings.Split(spec, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		name, arg, hasArg := strings.Cut(tok, ":")
+		rule := Rule{Node: AnyNode}
+		switch name {
+		case "error":
+			rule.Kind = ErrorAlways
+			if hasArg {
+				p, err := strconv.ParseFloat(arg, 64)
+				if err != nil || p < 0 || p > 1 {
+					return plan, fmt.Errorf("fault: bad error probability %q", arg)
+				}
+				rule.Prob = p
+			}
+		case "error-once":
+			rule.Kind = ErrorOnce
+		case "delay":
+			if !hasArg {
+				return plan, fmt.Errorf("fault: delay needs a duration (delay:5ms)")
+			}
+			d, err := time.ParseDuration(arg)
+			if err != nil {
+				return plan, fmt.Errorf("fault: bad delay %q: %v", arg, err)
+			}
+			rule.Kind = Delay
+			rule.Delay = d
+		case "corrupt":
+			rule.Kind = Corrupt
+			if hasArg {
+				p, err := strconv.ParseFloat(arg, 64)
+				if err != nil || p < 0 || p > 1 {
+					return plan, fmt.Errorf("fault: bad corrupt probability %q", arg)
+				}
+				rule.Prob = p
+			}
+		case "failafter":
+			if !hasArg {
+				return plan, fmt.Errorf("fault: failafter needs a byte count (failafter:65536)")
+			}
+			n, err := strconv.ParseInt(arg, 10, 64)
+			if err != nil || n < 0 {
+				return plan, fmt.Errorf("fault: bad failafter byte count %q", arg)
+			}
+			rule.Kind = FailAfterBytes
+			rule.Bytes = n
+		default:
+			return plan, fmt.Errorf("fault: unknown fault %q (want error, error-once, delay, corrupt, failafter)", name)
+		}
+		plan.Rules = append(plan.Rules, rule)
+	}
+	return plan, nil
+}

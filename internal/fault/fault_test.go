@@ -1,0 +1,677 @@
+package fault_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"parafile/internal/bench"
+	"parafile/internal/clusterfile"
+	"parafile/internal/fault"
+	"parafile/internal/obs"
+	"parafile/internal/part"
+	"parafile/internal/rpc"
+)
+
+// fault_test.go exercises the fault-injection harness end to end: the
+// schedule grammar, transparency of an idle injector, the PartialError
+// outcomes the clusterfile fan-out reports under one-node / all-node /
+// mid-write failures, hang-until-cancel against the per-op deadline,
+// and transport equivalence when connection faults are absorbed by the
+// rpc client's idempotent retries.
+
+// --- helpers -------------------------------------------------------
+
+// buildCluster assembles a 4x4 cluster with a column-block physical
+// file and the row-block view of compute node 0, so one view write
+// fans out to all four I/O nodes.
+func buildCluster(cfg clusterfile.Config, name string) (*clusterfile.Cluster, *clusterfile.File, *clusterfile.View, int64, error) {
+	c, err := clusterfile.New(cfg)
+	if err != nil {
+		return nil, nil, nil, 0, err
+	}
+	const n = 32
+	cols, err := part.ColBlocks(n, n, 4)
+	if err != nil {
+		return nil, nil, nil, 0, err
+	}
+	f, err := c.CreateFile(name, part.MustFile(0, cols), nil)
+	if err != nil {
+		return nil, nil, nil, 0, err
+	}
+	rows, err := part.RowBlocks(n, n, 4)
+	if err != nil {
+		return nil, nil, nil, 0, err
+	}
+	v, err := f.SetView(0, part.MustFile(0, rows), 0)
+	if err != nil {
+		return nil, nil, nil, 0, err
+	}
+	return c, f, v, n * n / 4, nil
+}
+
+// faultCluster wires a plan-wrapped local transport into buildCluster.
+func faultCluster(t *testing.T, plan fault.Plan, tweak func(*clusterfile.Config)) (*clusterfile.Cluster, *clusterfile.File, *clusterfile.View, int64, *fault.Injector) {
+	t.Helper()
+	inj := fault.NewInjector(plan, nil)
+	cfg := clusterfile.DefaultConfig()
+	cfg.Transport = inj.WrapTransport(clusterfile.NewLocalTransport(nil))
+	if tweak != nil {
+		tweak(&cfg)
+	}
+	c, f, v, per, err := buildCluster(cfg, "faulted")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, f, v, per, inj
+}
+
+// pattern fills a deterministic payload.
+func pattern(n int64) []byte {
+	buf := make([]byte, n)
+	for i := range buf {
+		buf[i] = byte(i*7 + 13)
+	}
+	return buf
+}
+
+func eqInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// asPartial asserts err carries a *clusterfile.PartialError.
+func asPartial(t *testing.T, err error) *clusterfile.PartialError {
+	t.Helper()
+	var pe *clusterfile.PartialError
+	if !errors.As(err, &pe) {
+		t.Fatalf("want PartialError, got %T: %v", err, err)
+	}
+	return pe
+}
+
+// checkNoGoroutineLeak waits for the goroutine count to settle back to
+// the baseline (cancellation plumbing must not strand goroutines).
+func checkNoGoroutineLeak(t *testing.T, before int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= before {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutine leak: %d before, %d after\n%s",
+				before, runtime.NumGoroutine(), buf[:n])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// startDaemon runs one in-process parafiled and returns its address.
+func startDaemon(t *testing.T, cfg rpc.ServerConfig) string {
+	t.Helper()
+	srv := rpc.NewServer(cfg)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+		if err := <-done; err != nil {
+			t.Errorf("serve: %v", err)
+		}
+	})
+	return ln.Addr().String()
+}
+
+// workloadResult mirrors the rpc transport-equivalence observation
+// points: subfiles after the write, per-view read-backs, and the
+// subfiles of a redistributed copy.
+type workloadResult struct {
+	subfiles    [][]byte
+	reads       [][]byte
+	redistSubs  [][]byte
+	groundTruth []byte
+}
+
+// runWorkload drives write -> read-back -> redistribute on a 4+4
+// cluster with the given transport configuration.
+func runWorkload(t *testing.T, n int64, cfg clusterfile.Config) *workloadResult {
+	t.Helper()
+	w, err := bench.NewWorkloadWithConfig("c", n, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops, err := w.WriteAll(clusterfile.ToBufferCache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, op := range ops {
+		if op.Err != nil || !op.Done() {
+			t.Fatalf("node %d write: %v", i, op.Err)
+		}
+	}
+	res := &workloadResult{groundTruth: w.Img}
+	for i := 0; i < w.File.Phys.Pattern.Len(); i++ {
+		b, err := w.File.ReadSubfile(i)
+		if err != nil {
+			t.Fatalf("subfile %d: %v", i, err)
+		}
+		res.subfiles = append(res.subfiles, b)
+	}
+	per := n * n / 4
+	for i, v := range w.Views {
+		out := make([]byte, per)
+		op, err := v.StartRead(0, per-1, out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w.Cluster.RunAll()
+		if op.Err != nil {
+			t.Fatal(op.Err)
+		}
+		if !bytes.Equal(out, w.ViewBuf(i)) {
+			t.Fatalf("node %d read-back differs from what it wrote", i)
+		}
+		res.reads = append(res.reads, out)
+	}
+	rowPat, err := bench.LayoutPattern("r", n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nf, rop, err := w.Cluster.StartRedistribute(w.File, "matrix.v2", part.MustFile(0, rowPat), nil, n*n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Cluster.RunAll()
+	if rop.Err != nil || !rop.Done() {
+		t.Fatalf("redistribute: %v", rop.Err)
+	}
+	for i := 0; i < nf.Phys.Pattern.Len(); i++ {
+		b, err := nf.ReadSubfile(i)
+		if err != nil {
+			t.Fatalf("redistributed subfile %d: %v", i, err)
+		}
+		res.redistSubs = append(res.redistSubs, b)
+	}
+	if err := nf.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.File.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// compareResults asserts byte-for-byte equality at every observation
+// point of two workload runs.
+func compareResults(t *testing.T, want, got *workloadResult, label string) {
+	t.Helper()
+	if !bytes.Equal(want.groundTruth, got.groundTruth) {
+		t.Fatalf("%s: workloads generated different images (seed drift)", label)
+	}
+	if len(want.subfiles) != len(got.subfiles) {
+		t.Fatalf("%s: subfile counts differ: %d vs %d", label, len(want.subfiles), len(got.subfiles))
+	}
+	for i := range want.subfiles {
+		if !bytes.Equal(want.subfiles[i], got.subfiles[i]) {
+			t.Errorf("%s: subfile %d differs", label, i)
+		}
+	}
+	for i := range want.reads {
+		if !bytes.Equal(want.reads[i], got.reads[i]) {
+			t.Errorf("%s: view read %d differs", label, i)
+		}
+	}
+	for i := range want.redistSubs {
+		if !bytes.Equal(want.redistSubs[i], got.redistSubs[i]) {
+			t.Errorf("%s: redistributed subfile %d differs", label, i)
+		}
+	}
+}
+
+// --- grammar -------------------------------------------------------
+
+func TestParseSpec(t *testing.T) {
+	cases := []struct {
+		spec  string
+		rules int
+		ok    bool
+	}{
+		{"", 0, true},
+		{"error:0.01", 1, true},
+		{"error:0.01,delay:5ms", 2, true},
+		{"error-once", 1, true},
+		{"corrupt:0.5", 1, true},
+		{"failafter:65536", 1, true},
+		{" error:1 , delay:1ms ", 2, true},
+		{"error:2", 0, false},
+		{"delay", 0, false},
+		{"delay:xyz", 0, false},
+		{"failafter:-1", 0, false},
+		{"explode", 0, false},
+	}
+	for _, tc := range cases {
+		plan, err := fault.ParseSpec(tc.spec, 1)
+		if tc.ok != (err == nil) {
+			t.Errorf("ParseSpec(%q): err=%v, want ok=%v", tc.spec, err, tc.ok)
+			continue
+		}
+		if tc.ok && len(plan.Rules) != tc.rules {
+			t.Errorf("ParseSpec(%q): %d rules, want %d", tc.spec, len(plan.Rules), tc.rules)
+		}
+	}
+}
+
+// TestInjectorDeterminism: the same seeded plan fed the same call
+// order fires identically — the property that makes a failing fault
+// run reproducible.
+func TestInjectorDeterminism(t *testing.T) {
+	plan := fault.Plan{Seed: 7, Rules: []fault.Rule{
+		{Node: fault.AnyNode, Op: fault.OpLen, Kind: fault.ErrorAlways, Prob: 0.3},
+	}}
+	run := func() []bool {
+		inj := fault.NewInjector(plan, nil)
+		tr := inj.WrapTransport(clusterfile.NewLocalTransport(nil))
+		cols, _ := part.ColBlocks(32, 32, 4)
+		handles, err := tr.Open(context.Background(), "det", part.MustFile(0, cols), []int{0, 1, 2, 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var fired []bool
+		for i := 0; i < 64; i++ {
+			_, err := handles[i%4].Len(context.Background())
+			fired = append(fired, err != nil)
+		}
+		return fired
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at call %d: %v vs %v", i, a, b)
+		}
+	}
+}
+
+// --- transparency --------------------------------------------------
+
+// TestIdleInjectorTransportEquivalence: with an empty plan the fault
+// layer is a pure pass-through — the full workload is byte-for-byte
+// identical to the unwrapped local transport.
+func TestIdleInjectorTransportEquivalence(t *testing.T) {
+	const n = 64
+	baseline := runWorkload(t, n, clusterfile.DefaultConfig())
+
+	inj := fault.NewInjector(fault.Plan{}, nil)
+	cfg := clusterfile.DefaultConfig()
+	cfg.Transport = inj.WrapTransport(clusterfile.NewLocalTransport(nil))
+	wrapped := runWorkload(t, n, cfg)
+
+	compareResults(t, baseline, wrapped, "idle injector")
+}
+
+// --- partial-failure outcomes --------------------------------------
+
+// TestOneNodeDownPartialError is the acceptance case: an error-always
+// plan against I/O node 1 yields a PartialError naming exactly that
+// node, and the sibling nodes' subfiles hold the same bytes a
+// fault-free run produces (read-back verified).
+func TestOneNodeDownPartialError(t *testing.T) {
+	plan := fault.Plan{Rules: []fault.Rule{
+		{Node: 1, Op: fault.OpScatter, Kind: fault.ErrorAlways},
+		{Node: 1, Op: fault.OpWriteAt, Kind: fault.ErrorAlways},
+	}}
+	c, f, v, per, _ := faultCluster(t, plan, nil)
+	buf := pattern(per)
+	op, err := v.StartWrite(clusterfile.ToBufferCache, 0, per-1, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.RunAll()
+
+	pe := asPartial(t, op.Err)
+	if pe.Op != "write" {
+		t.Errorf("PartialError.Op = %q, want write", pe.Op)
+	}
+	if failed := pe.Nodes(clusterfile.OutcomeFailed); !eqInts(failed, []int{1}) {
+		t.Fatalf("failed nodes %v, want [1]", failed)
+	}
+	if ok := pe.Nodes(clusterfile.OutcomeOK); !eqInts(ok, []int{0, 2, 3}) {
+		t.Fatalf("ok nodes %v, want [0 2 3]", ok)
+	}
+	var ie *fault.InjectedError
+	if !errors.As(op.Err, &ie) || ie.Node != 1 {
+		t.Fatalf("PartialError should unwrap to the injected fault on node 1, got %v", op.Err)
+	}
+	for _, node := range pe.Nodes(clusterfile.OutcomeOK) {
+		if out := pe.Outcome(node); out.Bytes == 0 {
+			t.Errorf("ok node %d reports 0 bytes moved", node)
+		}
+	}
+
+	// Sibling data intact: a fault-free control run of the identical
+	// write must produce the same bytes in subfiles 0, 2 and 3.
+	cc, cf, cv, _, _ := faultCluster(t, fault.Plan{}, nil)
+	cop, err := cv.StartWrite(clusterfile.ToBufferCache, 0, per-1, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc.RunAll()
+	if cop.Err != nil {
+		t.Fatalf("control write failed: %v", cop.Err)
+	}
+	for _, sub := range []int{0, 2, 3} {
+		got, err := f.ReadSubfile(sub)
+		if err != nil {
+			t.Fatalf("subfile %d read-back: %v", sub, err)
+		}
+		want, err := cf.ReadSubfile(sub)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("sibling subfile %d corrupted by node 1's failure", sub)
+		}
+	}
+}
+
+// TestAllNodesDownPartialError: a wildcard error-always plan fails
+// every I/O node; the outcome names all of them and none reports OK.
+func TestAllNodesDownPartialError(t *testing.T) {
+	plan := fault.Plan{Rules: []fault.Rule{
+		{Node: fault.AnyNode, Op: fault.OpScatter, Kind: fault.ErrorAlways},
+		{Node: fault.AnyNode, Op: fault.OpWriteAt, Kind: fault.ErrorAlways},
+	}}
+	c, _, v, per, _ := faultCluster(t, plan, nil)
+	op, err := v.StartWrite(clusterfile.ToBufferCache, 0, per-1, pattern(per))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.RunAll()
+	pe := asPartial(t, op.Err)
+	if failed := pe.Nodes(clusterfile.OutcomeFailed); !eqInts(failed, []int{0, 1, 2, 3}) {
+		t.Fatalf("failed nodes %v, want [0 1 2 3]", failed)
+	}
+	if ok := pe.Nodes(clusterfile.OutcomeOK); len(ok) != 0 {
+		t.Fatalf("no node should be OK, got %v", ok)
+	}
+	if c.K.Pending() != 0 {
+		t.Errorf("kernel left %d events pending", c.K.Pending())
+	}
+}
+
+// TestMidWriteCrashPartialError: a node set that dies after the first
+// two scatters of a collective write — two nodes land their bytes,
+// two fail, and the outcome splits them exactly.
+func TestMidWriteCrashPartialError(t *testing.T) {
+	plan := fault.Plan{Rules: []fault.Rule{
+		{Node: fault.AnyNode, Op: fault.OpScatter, Kind: fault.ErrorAlways, After: 2},
+	}}
+	c, _, v, per, inj := faultCluster(t, plan, nil)
+	op, err := v.StartWrite(clusterfile.ToBufferCache, 0, per-1, pattern(per))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.RunAll()
+	pe := asPartial(t, op.Err)
+	okN := pe.Nodes(clusterfile.OutcomeOK)
+	failedN := pe.Nodes(clusterfile.OutcomeFailed)
+	if len(okN) != 2 || len(failedN) != 2 {
+		t.Fatalf("want 2 ok + 2 failed, got ok=%v failed=%v", okN, failedN)
+	}
+	union := append(append([]int{}, okN...), failedN...)
+	seen := map[int]bool{}
+	for _, n := range union {
+		seen[n] = true
+	}
+	if len(seen) != 4 {
+		t.Fatalf("outcomes do not cover all 4 nodes: ok=%v failed=%v", okN, failedN)
+	}
+	if inj.Injected(0) != 2 {
+		t.Errorf("rule fired %d times, want 2", inj.Injected(0))
+	}
+}
+
+// TestReadFaultPartialError: the read path reports per-node outcomes
+// too — a gather failure on node 3 names node 3.
+func TestReadFaultPartialError(t *testing.T) {
+	plan := fault.Plan{Rules: []fault.Rule{
+		{Node: 3, Op: fault.OpGather, Kind: fault.ErrorAlways},
+	}}
+	c, _, v, per, _ := faultCluster(t, plan, nil)
+	wop, err := v.StartWrite(clusterfile.ToBufferCache, 0, per-1, pattern(per))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.RunAll()
+	if wop.Err != nil {
+		t.Fatalf("write should be clean (plan only targets gathers): %v", wop.Err)
+	}
+	rop, err := v.StartRead(0, per-1, make([]byte, per))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.RunAll()
+	pe := asPartial(t, rop.Err)
+	if pe.Op != "read" {
+		t.Errorf("PartialError.Op = %q, want read", pe.Op)
+	}
+	if failed := pe.Nodes(clusterfile.OutcomeFailed); !eqInts(failed, []int{3}) {
+		t.Fatalf("failed nodes %v, want [3]", failed)
+	}
+}
+
+// --- cancellation and deadlines ------------------------------------
+
+// TestHangRespectsOpTimeout: a hang-until-cancel fault on one node is
+// broken by the cluster's per-op deadline; the operation returns
+// within the deadline (not wall-clock minutes later), classifies the
+// hung node as cancelled, and leaks no goroutines.
+func TestHangRespectsOpTimeout(t *testing.T) {
+	before := runtime.NumGoroutine()
+	plan := fault.Plan{Rules: []fault.Rule{
+		{Node: 2, Op: fault.OpScatter, Kind: fault.Hang},
+	}}
+	c, _, v, per, _ := faultCluster(t, plan, func(cfg *clusterfile.Config) {
+		cfg.OpTimeout = 150 * time.Millisecond
+	})
+	op, err := v.StartWrite(clusterfile.ToBufferCache, 0, per-1, pattern(per))
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	c.RunAll()
+	elapsed := time.Since(start)
+	if elapsed > 5*time.Second {
+		t.Fatalf("hung write took %v despite 150ms op deadline", elapsed)
+	}
+	pe := asPartial(t, op.Err)
+	if !errors.Is(op.Err, context.DeadlineExceeded) {
+		t.Fatalf("want deadline error in chain, got %v", op.Err)
+	}
+	out := pe.Outcome(2)
+	if out == nil || out.State != clusterfile.OutcomeCancelled {
+		t.Fatalf("hung node 2 outcome = %+v, want cancelled", out)
+	}
+	if len(pe.Nodes(clusterfile.OutcomeFailed)) != 0 {
+		t.Errorf("deadline is a cancellation, not a node failure: %v", pe)
+	}
+	checkNoGoroutineLeak(t, before)
+}
+
+// TestCancelMidFlightWrite: an explicit caller cancel releases a hung
+// write promptly and surfaces context.Canceled through PartialError.
+func TestCancelMidFlightWrite(t *testing.T) {
+	before := runtime.NumGoroutine()
+	plan := fault.Plan{Rules: []fault.Rule{
+		{Node: 1, Op: fault.OpScatter, Kind: fault.Hang},
+	}}
+	c, _, v, per, _ := faultCluster(t, plan, nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	op, err := v.StartWriteCtx(ctx, clusterfile.ToBufferCache, 0, per-1, pattern(per))
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	c.RunAll()
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("cancelled write took %v to return", elapsed)
+	}
+	if op.Err == nil {
+		t.Fatal("cancelled write reported success")
+	}
+	if !errors.Is(op.Err, context.Canceled) {
+		t.Fatalf("want context.Canceled in chain, got %v", op.Err)
+	}
+	cancel()
+	checkNoGoroutineLeak(t, before)
+}
+
+// TestCancelledConcurrentWrites drives several clusters concurrently
+// against one shared daemon through fault-wrapped connections, each
+// write cancelled mid-flight at a different moment. Its value is
+// under -race: client pool, breaker, injector and server state must
+// stay clean when cancellation lands at arbitrary points.
+func TestCancelledConcurrentWrites(t *testing.T) {
+	addr := startDaemon(t, rpc.ServerConfig{})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			plan, err := fault.ParseSpec("delay:200us", int64(i))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			inj := fault.NewInjector(plan, nil)
+			tr, err := rpc.NewTransport([]string{addr}, rpc.Options{
+				Client: rpc.ClientConfig{
+					Dialer:      inj.Dialer(nil),
+					BackoffBase: time.Millisecond,
+					MaxRetries:  2,
+				},
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer tr.Close()
+			cfg := clusterfile.DefaultConfig()
+			cfg.Transport = tr
+			c, _, v, per, err := buildCluster(cfg, fmt.Sprintf("race-%d", i))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			go func() {
+				time.Sleep(time.Duration(i) * 2 * time.Millisecond)
+				cancel()
+			}()
+			op, err := v.StartWriteCtx(ctx, clusterfile.ToBufferCache, 0, per-1, pattern(per))
+			if err != nil {
+				return // cancelled before the op could start: fine
+			}
+			c.RunAll()
+			// The op may have finished cleanly (late cancel) or
+			// partially (early cancel); both are legal. The kernel
+			// must drain either way.
+			_ = op.Err
+			if c.K.Pending() != 0 {
+				t.Errorf("writer %d: kernel left %d events pending", i, c.K.Pending())
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+// --- equivalence under injected connection faults ------------------
+
+// TestFaultPlanTransportEquivalence: connection-level fault plans that
+// the rpc client can absorb through idempotent retries (transient
+// errors, one-shot errors, delays) must not change a single byte of
+// the workload relative to the in-process transport. Corrupt and
+// failafter plans are deliberately absent: they surface as hard
+// errors by design, not as silently-healed retries.
+func TestFaultPlanTransportEquivalence(t *testing.T) {
+	const n = 64
+	baseline := runWorkload(t, n, clusterfile.DefaultConfig())
+
+	plans := []struct {
+		name string
+		spec string
+		kind string // expected MetricInjected label
+	}{
+		{"error-once", "error-once", "error-once"},
+		{"error-5pct", "error:0.05", "error-always"},
+		{"delay-1ms", "delay:1ms", "delay"},
+	}
+	for _, tc := range plans {
+		t.Run(tc.name, func(t *testing.T) {
+			plan, err := fault.ParseSpec(tc.spec, 42)
+			if err != nil {
+				t.Fatal(err)
+			}
+			reg := obs.NewRegistry()
+			inj := fault.NewInjector(plan, reg)
+			addrs := []string{
+				startDaemon(t, rpc.ServerConfig{}),
+				startDaemon(t, rpc.ServerConfig{}),
+			}
+			tr, err := rpc.NewTransport(addrs, rpc.Options{
+				Client: rpc.ClientConfig{
+					Dialer: inj.Dialer(nil),
+					// Generous retries, no breaker: this test proves
+					// the retry path heals the plan, not that the
+					// breaker eventually gives up on it.
+					MaxRetries:       10,
+					BackoffBase:      time.Millisecond,
+					BackoffMax:       20 * time.Millisecond,
+					BreakerThreshold: -1,
+				},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer tr.Close()
+			cfg := clusterfile.DefaultConfig()
+			cfg.Transport = tr
+			res := runWorkload(t, n, cfg)
+			compareResults(t, baseline, res, tc.name)
+
+			// The plan must actually have fired — an inert injector
+			// would make this test vacuous.
+			fired := reg.Counter(fault.MetricInjected + `{kind="` + tc.kind + `"}`).Value()
+			if fired == 0 {
+				t.Fatalf("plan %q injected no faults", tc.spec)
+			}
+		})
+	}
+}

@@ -1,0 +1,117 @@
+package fault
+
+import (
+	"context"
+
+	"parafile/internal/clusterfile"
+	"parafile/internal/part"
+	"parafile/internal/redist"
+)
+
+// transport.go wraps a clusterfile.Transport with the injector:
+// every SubfileHandle operation first consults the fault plan for the
+// subfile's I/O node, so storage-level faults surface exactly where a
+// failing daemon would — as per-node outcomes in the collective
+// operation's PartialError. With an empty plan the wrapper is a pure
+// pass-through: the same bytes move through the same inner handles.
+
+// WrapTransport layers the injector's fault plan over inner. The
+// returned transport is as concurrency-safe as inner plus the
+// injector's own locking.
+func (inj *Injector) WrapTransport(inner clusterfile.Transport) clusterfile.Transport {
+	return &faultTransport{inner: inner, inj: inj}
+}
+
+type faultTransport struct {
+	inner clusterfile.Transport
+	inj   *Injector
+}
+
+func (t *faultTransport) Open(ctx context.Context, name string, phys *part.File, assign []int) ([]clusterfile.SubfileHandle, error) {
+	// One open fault-check per distinct I/O node, in node order — the
+	// granularity a per-daemon CreateFile fan-out has.
+	seen := make(map[int]bool)
+	for _, node := range assign {
+		if seen[node] {
+			continue
+		}
+		seen[node] = true
+		if err := t.inj.fire(ctx, node, OpOpen); err != nil {
+			return nil, err
+		}
+	}
+	handles, err := t.inner.Open(ctx, name, phys, assign)
+	if err != nil {
+		return nil, err
+	}
+	wrapped := make([]clusterfile.SubfileHandle, len(handles))
+	for i, h := range handles {
+		wrapped[i] = &faultHandle{inner: h, inj: t.inj, node: assign[i]}
+	}
+	return wrapped, nil
+}
+
+func (t *faultTransport) Close() error { return t.inner.Close() }
+
+// faultHandle interposes on one subfile's handle with its I/O node's
+// fault plan.
+type faultHandle struct {
+	inner clusterfile.SubfileHandle
+	inj   *Injector
+	node  int
+}
+
+// check runs the schedule and the byte budget for one operation.
+func (h *faultHandle) check(ctx context.Context, op Op, bytes int64) error {
+	if err := h.inj.fire(ctx, h.node, op); err != nil {
+		return err
+	}
+	if bytes > 0 {
+		return h.inj.accountBytes(h.node, op, bytes)
+	}
+	return nil
+}
+
+func (h *faultHandle) EnsureLen(ctx context.Context, n int64) error {
+	if err := h.check(ctx, OpEnsureLen, 0); err != nil {
+		return err
+	}
+	return h.inner.EnsureLen(ctx, n)
+}
+
+func (h *faultHandle) Len(ctx context.Context) (int64, error) {
+	if err := h.check(ctx, OpLen, 0); err != nil {
+		return 0, err
+	}
+	return h.inner.Len(ctx)
+}
+
+func (h *faultHandle) WriteAt(ctx context.Context, p []byte, off int64) error {
+	if err := h.check(ctx, OpWriteAt, int64(len(p))); err != nil {
+		return err
+	}
+	return h.inner.WriteAt(ctx, p, off)
+}
+
+func (h *faultHandle) ReadAt(ctx context.Context, p []byte, off int64) error {
+	if err := h.check(ctx, OpReadAt, int64(len(p))); err != nil {
+		return err
+	}
+	return h.inner.ReadAt(ctx, p, off)
+}
+
+func (h *faultHandle) Scatter(ctx context.Context, p *redist.Projection, lo, hi int64, data []byte) error {
+	if err := h.check(ctx, OpScatter, int64(len(data))); err != nil {
+		return err
+	}
+	return h.inner.Scatter(ctx, p, lo, hi, data)
+}
+
+func (h *faultHandle) Gather(ctx context.Context, p *redist.Projection, lo, hi int64, dst []byte) error {
+	if err := h.check(ctx, OpGather, int64(len(dst))); err != nil {
+		return err
+	}
+	return h.inner.Gather(ctx, p, lo, hi, dst)
+}
+
+func (h *faultHandle) Close() error { return h.inner.Close() }

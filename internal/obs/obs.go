@@ -20,6 +20,7 @@ package obs
 
 import (
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 )
@@ -187,13 +188,55 @@ func (r *Registry) Histogram(name string, buckets []int64) *Histogram {
 	return h
 }
 
-// names returns every registered metric name, sorted, so the
-// exposition formats are deterministic.
+// names returns every registered metric name in a stable natural
+// order — runs of digits compare numerically, so per-node series like
+// the rpc breaker's {node="2"} sort before {node="10"} instead of
+// after. Every exposition format (Prometheus text, JSON, the report
+// table) iterates this order, which keeps golden tests deterministic
+// as labelled series (breaker, fault-injection counters, per-I/O-node
+// bytes) accumulate.
 func (r *Registry) names() []string {
 	out := make([]string, 0, len(r.kinds))
 	for name := range r.kinds {
 		out = append(out, name)
 	}
-	sort.Strings(out)
+	sort.SliceStable(out, func(i, j int) bool { return naturalLess(out[i], out[j]) })
 	return out
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+// naturalLess orders strings with embedded numbers the way a human
+// reads them: digit runs compare by numeric value, ties (03 vs 3)
+// break on run length, everything else compares bytewise.
+func naturalLess(a, b string) bool {
+	for len(a) > 0 && len(b) > 0 {
+		if isDigit(a[0]) && isDigit(b[0]) {
+			ai, bi := 1, 1
+			for ai < len(a) && isDigit(a[ai]) {
+				ai++
+			}
+			for bi < len(b) && isDigit(b[bi]) {
+				bi++
+			}
+			an := strings.TrimLeft(a[:ai], "0")
+			bn := strings.TrimLeft(b[:bi], "0")
+			if len(an) != len(bn) {
+				return len(an) < len(bn)
+			}
+			if an != bn {
+				return an < bn
+			}
+			if ai != bi {
+				return ai < bi
+			}
+			a, b = a[ai:], b[bi:]
+			continue
+		}
+		if a[0] != b[0] {
+			return a[0] < b[0]
+		}
+		a, b = a[1:], b[1:]
+	}
+	return len(a) < len(b)
 }

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"fmt"
 	"io"
 	"sync"
 	"testing"
@@ -207,5 +208,45 @@ func BenchmarkLiveCounter(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		c.Inc()
+	}
+}
+
+// TestNaturalOrder: exposition order treats digit runs numerically, so
+// per-node label series (breaker state, fault counters, per-I/O-node
+// bytes) list node 2 before node 10 instead of lexically after.
+func TestNaturalOrder(t *testing.T) {
+	cases := []struct{ a, b string }{
+		{`m{node="2"}`, `m{node="10"}`},
+		{`m{node="9"}`, `m{node="11"}`},
+		{`a2b`, `a10b`},
+		{`a3`, `a03`}, // equal numeric value: the less-padded run sorts first
+		{`abc`, `abd`},
+		{`m`, `m{node="0"}`},
+	}
+	for _, tc := range cases {
+		if !naturalLess(tc.a, tc.b) {
+			t.Errorf("naturalLess(%q, %q) = false, want true", tc.a, tc.b)
+		}
+		if naturalLess(tc.b, tc.a) {
+			t.Errorf("naturalLess(%q, %q) = true, want false", tc.b, tc.a)
+		}
+	}
+
+	r := NewRegistry()
+	for _, node := range []int{10, 2, 0, 1, 11} {
+		r.Counter(fmt.Sprintf(`parafile_rpc_breaker_opens_total{node="%d"}`, node)).Inc()
+	}
+	got := r.names()
+	want := []string{
+		`parafile_rpc_breaker_opens_total{node="0"}`,
+		`parafile_rpc_breaker_opens_total{node="1"}`,
+		`parafile_rpc_breaker_opens_total{node="2"}`,
+		`parafile_rpc_breaker_opens_total{node="10"}`,
+		`parafile_rpc_breaker_opens_total{node="11"}`,
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("names()[%d] = %q, want %q (full: %v)", i, got[i], want[i], got)
+		}
 	}
 }

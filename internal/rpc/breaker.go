@@ -1,0 +1,174 @@
+package rpc
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"parafile/internal/obs"
+)
+
+// breaker.go is the per-I/O-node circuit breaker the client consults
+// before every call. A node that fails several calls in a row is
+// almost certainly down; hammering it with full retry budgets turns
+// one dead daemon into a cluster-wide slowdown (every collective op
+// waits out MaxRetries × backoff against the same corpse). The breaker
+// converts that into an immediate, typed fast-fail:
+//
+//	closed ──N consecutive transport failures──▶ open
+//	open ──cooldown elapsed──▶ half-open (one Ping probe)
+//	half-open ──probe ok──▶ closed     ──probe fails──▶ open
+//
+// Only transport failures count: a RemoteError is an answer from a
+// live daemon and resets the streak like a success. The half-open
+// probe is the lightweight MsgPing RPC, so recovery detection never
+// costs a real data operation.
+
+// ErrBreakerOpen is returned (wrapped) by client calls fast-failed
+// because the node's breaker is open. errors.Is(err, ErrBreakerOpen)
+// identifies it through the wrapping.
+var ErrBreakerOpen = errors.New("rpc: circuit breaker open")
+
+// Breaker states, also the values of the state gauge.
+const (
+	breakerClosed int64 = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+type breakerMetrics struct {
+	state     *obs.Gauge
+	opens     *obs.Counter
+	probes    *obs.Counter
+	fastFails *obs.Counter
+}
+
+func newBreakerMetrics(reg *obs.Registry, addr string) breakerMetrics {
+	label := func(name string) string { return fmt.Sprintf(`%s{node=%q}`, name, addr) }
+	return breakerMetrics{
+		state:     reg.Gauge(label(MetricBreakerState)),
+		opens:     reg.Counter(label(MetricBreakerOpens)),
+		probes:    reg.Counter(label(MetricBreakerProbes)),
+		fastFails: reg.Counter(label(MetricBreakerFastFails)),
+	}
+}
+
+// breaker is the state machine. It is consulted from every caller
+// goroutine of one client, so it carries its own lock.
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+	met       breakerMetrics
+
+	mu       sync.Mutex
+	state    int64
+	failures int       // consecutive transport failures while closed
+	openedAt time.Time // last transition to open
+	probing  bool      // a half-open probe is in flight
+}
+
+func newBreaker(threshold int, cooldown time.Duration, met breakerMetrics) *breaker {
+	return &breaker{threshold: threshold, cooldown: cooldown, met: met}
+}
+
+// admit decides the fate of an incoming call: proceed normally
+// (ok), run a recovery probe first (probe), or fast-fail (neither).
+// At most one caller at a time gets probe=true.
+func (b *breaker) admit() (ok, probe bool) {
+	if b == nil {
+		return true, false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true, false
+	case breakerOpen:
+		if time.Since(b.openedAt) >= b.cooldown {
+			b.state = breakerHalfOpen
+			b.met.state.Set(breakerHalfOpen)
+			b.probing = true
+			return false, true
+		}
+	case breakerHalfOpen:
+		if !b.probing {
+			b.probing = true
+			return false, true
+		}
+	}
+	b.met.fastFails.Inc()
+	return false, false
+}
+
+// success records a delivered request (including RemoteError answers):
+// the node is alive, the breaker closes.
+func (b *breaker) success() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.failures = 0
+	b.probing = false
+	if b.state != breakerClosed {
+		b.state = breakerClosed
+		b.met.state.Set(breakerClosed)
+	}
+}
+
+// failure records a transport failure; the threshold-th consecutive
+// one (or any failure while half-open) opens the breaker.
+func (b *breaker) failure() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.probing = false
+	if b.state == breakerOpen {
+		return
+	}
+	if b.state == breakerHalfOpen {
+		b.open()
+		return
+	}
+	b.failures++
+	if b.failures >= b.threshold {
+		b.open()
+	}
+}
+
+// open transitions to open (caller holds the lock).
+func (b *breaker) open() {
+	b.state = breakerOpen
+	b.openedAt = time.Now()
+	b.failures = 0
+	b.met.state.Set(breakerOpen)
+	b.met.opens.Inc()
+}
+
+// probeAborted returns a half-open breaker to open after a probe the
+// caller's context cancelled — the node's health is still unknown, so
+// the cooldown clock is not restarted (the next call past the original
+// cooldown probes again).
+func (b *breaker) probeAborted() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.probing = false
+	if b.state == breakerHalfOpen {
+		b.state = breakerOpen
+		b.met.state.Set(breakerOpen)
+	}
+}
+
+// probeStarted counts a half-open Ping probe.
+func (b *breaker) probeStarted() {
+	if b == nil {
+		return
+	}
+	b.met.probes.Inc()
+}

@@ -1,0 +1,143 @@
+package rpc_test
+
+import (
+	"context"
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"parafile/internal/obs"
+	"parafile/internal/rpc"
+)
+
+// breaker_test.go walks the per-node circuit breaker through its full
+// life cycle against a real (dead, then revived) TCP endpoint:
+// consecutive transport failures open it, open fast-fails without
+// touching the wire, and the half-open Ping probe closes it again once
+// the node answers.
+
+func TestBreakerOpensFastFailsAndRecovers(t *testing.T) {
+	// Reserve a port, then kill the listener: dials now fail fast.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	reg := obs.NewRegistry()
+	c := rpc.NewClient(rpc.ClientConfig{
+		Addr:             addr,
+		Metrics:          reg,
+		DialTimeout:      250 * time.Millisecond,
+		MaxRetries:       -1, // single attempt per call
+		BreakerThreshold: 2,
+		BreakerCooldown:  50 * time.Millisecond,
+	})
+	defer c.Close()
+	ctx := context.Background()
+	label := `{node="` + addr + `"}`
+
+	// Two consecutive dial failures reach the threshold and open it.
+	for i := 0; i < 2; i++ {
+		if _, err := c.Stat(ctx, "f", 0); err == nil {
+			t.Fatal("stat against a dead address succeeded")
+		} else if errors.Is(err, rpc.ErrBreakerOpen) {
+			t.Fatalf("call %d fast-failed before the threshold: %v", i, err)
+		}
+	}
+	if got := reg.Gauge(rpc.MetricBreakerState + label).Value(); got != 1 {
+		t.Fatalf("breaker state = %d after threshold failures, want 1 (open)", got)
+	}
+	if opens := reg.Counter(rpc.MetricBreakerOpens + label).Value(); opens != 1 {
+		t.Fatalf("opens = %d, want 1", opens)
+	}
+
+	// Open, within the cooldown: calls fast-fail with ErrBreakerOpen
+	// and never touch the socket.
+	dialsBefore := reg.Counter(rpc.MetricClientDials).Value()
+	if _, err := c.Stat(ctx, "f", 0); !errors.Is(err, rpc.ErrBreakerOpen) {
+		t.Fatalf("open breaker let a call through: %v", err)
+	}
+	if d := reg.Counter(rpc.MetricClientDials).Value(); d != dialsBefore {
+		t.Fatalf("fast-fail dialed anyway (%d -> %d)", dialsBefore, d)
+	}
+	if ff := reg.Counter(rpc.MetricBreakerFastFails + label).Value(); ff == 0 {
+		t.Fatal("fast-fail not counted")
+	}
+
+	// Revive the node on the same address.
+	srv := rpc.NewServer(rpc.ServerConfig{})
+	ln2, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatalf("rebind %s: %v", addr, err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln2) }()
+	defer func() {
+		sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(sctx)
+		<-done
+	}()
+
+	// Past the cooldown the next call runs the half-open Ping probe,
+	// which succeeds and closes the breaker; the call itself then gets
+	// a server answer (a RemoteError for the unknown file — an answer,
+	// not a transport failure).
+	time.Sleep(100 * time.Millisecond)
+	_, err = c.Stat(ctx, "f", 0)
+	if errors.Is(err, rpc.ErrBreakerOpen) {
+		t.Fatalf("breaker did not recover after the node came back: %v", err)
+	}
+	var re *rpc.RemoteError
+	if !errors.As(err, &re) {
+		t.Fatalf("want a RemoteError from the revived server, got %v", err)
+	}
+	if got := reg.Gauge(rpc.MetricBreakerState + label).Value(); got != 0 {
+		t.Fatalf("breaker state = %d after recovery, want 0 (closed)", got)
+	}
+	if probes := reg.Counter(rpc.MetricBreakerProbes + label).Value(); probes == 0 {
+		t.Fatal("recovery happened without a probe")
+	}
+}
+
+// TestBreakerDisabled: a negative threshold turns the breaker off —
+// any number of consecutive failures never fast-fails.
+func TestBreakerDisabled(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	c := rpc.NewClient(rpc.ClientConfig{
+		Addr:             addr,
+		DialTimeout:      100 * time.Millisecond,
+		MaxRetries:       -1,
+		BackoffBase:      time.Millisecond,
+		BreakerThreshold: -1,
+	})
+	defer c.Close()
+	for i := 0; i < 8; i++ {
+		_, err := c.Stat(context.Background(), "f", 0)
+		if err == nil {
+			t.Fatal("stat against a dead address succeeded")
+		}
+		if errors.Is(err, rpc.ErrBreakerOpen) {
+			t.Fatalf("disabled breaker fast-failed on call %d: %v", i, err)
+		}
+	}
+}
+
+// TestPing: the liveness RPC round-trips against a healthy daemon.
+func TestPing(t *testing.T) {
+	addr := startDaemon(t, rpc.ServerConfig{})
+	c := rpc.NewClient(rpc.ClientConfig{Addr: addr})
+	defer c.Close()
+	if err := c.Ping(context.Background()); err != nil {
+		t.Fatalf("ping: %v", err)
+	}
+}

@@ -1,6 +1,7 @@
 package rpc
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"sync"
@@ -19,6 +20,13 @@ import (
 // (dial failures, resets, deadline expiries) with bounded exponential
 // backoff. Server-reported RemoteErrors are answers, not transport
 // failures, and are returned without retry.
+//
+// Every call takes the operation context of the collective op it
+// serves: connection deadlines are capped by the context's deadline,
+// dials use it, and the backoff sleeps select on it — a cancelled op
+// returns immediately instead of finishing its retry budget. A
+// per-node circuit breaker (breaker.go) fast-fails calls to a node
+// that keeps failing, probing recovery with the lightweight Ping RPC.
 
 // ClientConfig configures a connection to one I/O node.
 type ClientConfig struct {
@@ -30,7 +38,8 @@ type ClientConfig struct {
 	// DialTimeout bounds connection establishment (default 5s).
 	DialTimeout time.Duration
 	// WriteTimeout / ReadTimeout are per-request deadlines (default
-	// 30s each). A expired deadline drops the connection and retries.
+	// 30s each), capped by the call context's deadline. An expired
+	// deadline drops the connection and retries.
 	WriteTimeout time.Duration
 	ReadTimeout  time.Duration
 	// MaxRetries is the number of retry attempts after the first
@@ -42,6 +51,18 @@ type ClientConfig struct {
 	BackoffMax  time.Duration
 	// MaxFrame bounds response frames (DefaultMaxFrame when 0).
 	MaxFrame int64
+	// BreakerThreshold is the number of consecutive transport failures
+	// that opens the per-node circuit breaker (default 5; negative
+	// disables the breaker).
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker waits before probing
+	// the node with a Ping (default 1s).
+	BreakerCooldown time.Duration
+	// Dialer optionally replaces the connection dialer — the fault
+	// layer injects connection-level faults (corrupt frames,
+	// fail-after-N-bytes) here. Nil uses a plain TCP dial. The context
+	// passed in carries the dial timeout.
+	Dialer func(ctx context.Context, network, addr string) (net.Conn, error)
 	// Metrics receives the client-side RPC series; nil records nothing.
 	Metrics *obs.Registry
 }
@@ -73,12 +94,19 @@ func (cfg *ClientConfig) fillDefaults() {
 	if cfg.MaxFrame <= 0 {
 		cfg.MaxFrame = DefaultMaxFrame
 	}
+	if cfg.BreakerThreshold == 0 {
+		cfg.BreakerThreshold = 5
+	}
+	if cfg.BreakerCooldown <= 0 {
+		cfg.BreakerCooldown = time.Second
+	}
 }
 
 // Client talks to one I/O node.
 type Client struct {
 	cfg ClientConfig
 	met clientMetrics
+	br  *breaker // nil when disabled
 
 	mu     sync.Mutex
 	idle   []net.Conn
@@ -93,7 +121,12 @@ type Client struct {
 // NewClient builds a client; connections are dialed lazily.
 func NewClient(cfg ClientConfig) *Client {
 	cfg.fillDefaults()
-	return &Client{cfg: cfg, met: newClientMetrics(cfg.Metrics)}
+	c := &Client{cfg: cfg, met: newClientMetrics(cfg.Metrics)}
+	if cfg.BreakerThreshold > 0 {
+		c.br = newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown,
+			newBreakerMetrics(cfg.Metrics, cfg.Addr))
+	}
+	return c
 }
 
 // Addr returns the node address the client was built for.
@@ -112,7 +145,7 @@ func (c *Client) Close() error {
 	return nil
 }
 
-func (c *Client) getConn() (net.Conn, error) {
+func (c *Client) getConn(ctx context.Context) (net.Conn, error) {
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
@@ -126,7 +159,13 @@ func (c *Client) getConn() (net.Conn, error) {
 	}
 	c.mu.Unlock()
 	c.met.dials.Inc()
-	return net.DialTimeout("tcp", c.cfg.Addr, c.cfg.DialTimeout)
+	dctx, cancel := context.WithTimeout(ctx, c.cfg.DialTimeout)
+	defer cancel()
+	if c.cfg.Dialer != nil {
+		return c.cfg.Dialer(dctx, "tcp", c.cfg.Addr)
+	}
+	var d net.Dialer
+	return d.DialContext(dctx, "tcp", c.cfg.Addr)
 }
 
 func (c *Client) putConn(conn net.Conn) {
@@ -149,17 +188,27 @@ func (c *Client) backoff(attempt int) time.Duration {
 	return d
 }
 
+// deadline caps a configured per-request timeout by the context's
+// deadline, so an op-level deadline shortens the socket waits.
+func deadline(ctx context.Context, d time.Duration) time.Time {
+	t := time.Now().Add(d)
+	if dl, ok := ctx.Deadline(); ok && dl.Before(t) {
+		t = dl
+	}
+	return t
+}
+
 // roundTrip performs one framed exchange on one connection. The
 // response body is pooled; the caller releases it.
-func (c *Client) roundTrip(conn net.Conn, req []byte) ([]byte, error) {
-	if err := conn.SetWriteDeadline(time.Now().Add(c.cfg.WriteTimeout)); err != nil {
+func (c *Client) roundTrip(ctx context.Context, conn net.Conn, req []byte) ([]byte, error) {
+	if err := conn.SetWriteDeadline(deadline(ctx, c.cfg.WriteTimeout)); err != nil {
 		return nil, err
 	}
 	if err := WriteFrame(conn, req); err != nil {
 		return nil, err
 	}
 	c.met.sentBytes.Add(int64(len(req) + 4))
-	if err := conn.SetReadDeadline(time.Now().Add(c.cfg.ReadTimeout)); err != nil {
+	if err := conn.SetReadDeadline(deadline(ctx, c.cfg.ReadTimeout)); err != nil {
 		return nil, err
 	}
 	body, err := ReadFrame(conn, c.cfg.MaxFrame)
@@ -170,10 +219,80 @@ func (c *Client) roundTrip(conn net.Conn, req []byte) ([]byte, error) {
 	return body, nil
 }
 
+// ping is one unretried Ping exchange, used directly by Ping and as
+// the breaker's half-open probe.
+func (c *Client) ping(ctx context.Context) error {
+	req := AppendPing(getFrameBuf(8))
+	defer putFrameBuf(req)
+	conn, err := c.getConn(ctx)
+	if err != nil {
+		return err
+	}
+	body, err := c.roundTrip(ctx, conn, req)
+	if err != nil {
+		conn.Close()
+		return err
+	}
+	c.putConn(conn)
+	defer ReleaseFrame(body)
+	_, err = parseResp(body, MsgOK)
+	return err
+}
+
+// Ping probes the node's liveness with the lightweight MsgPing RPC
+// (single attempt, no retry). The result feeds the circuit breaker.
+func (c *Client) Ping(ctx context.Context) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	c.met.requests[MsgPing].Inc()
+	err := c.ping(ctx)
+	if err != nil && ctx.Err() == nil {
+		c.br.failure()
+	} else if err == nil {
+		c.br.success()
+	}
+	return err
+}
+
+// admit consults the breaker, running the half-open recovery probe
+// when it is this call's turn to.
+func (c *Client) admit(ctx context.Context, reqType byte) error {
+	if c.br == nil {
+		return nil
+	}
+	ok, probe := c.br.admit()
+	if ok {
+		return nil
+	}
+	if !probe {
+		return fmt.Errorf("rpc: %s to %s: %w", MsgName(reqType), c.cfg.Addr, ErrBreakerOpen)
+	}
+	c.br.probeStarted()
+	if err := c.ping(ctx); err != nil {
+		if ctx.Err() == nil {
+			c.br.failure()
+		} else {
+			// A cancelled probe says nothing about the node: put the
+			// breaker back to open without restarting the cooldown.
+			c.br.probeAborted()
+		}
+		return fmt.Errorf("rpc: %s to %s: recovery probe failed (%v): %w",
+			MsgName(reqType), c.cfg.Addr, err, ErrBreakerOpen)
+	}
+	c.br.success()
+	return nil
+}
+
 // call sends an encoded request frame body and returns the response
 // body (pooled — release with ReleaseFrame). Transport errors are
 // retried with exponential backoff; a RemoteError is returned as-is.
-func (c *Client) call(reqType byte, req []byte) ([]byte, error) {
+// ctx cancellation aborts the retry loop (and its backoff sleeps)
+// immediately.
+func (c *Client) call(ctx context.Context, reqType byte, req []byte) ([]byte, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	c.met.inflight.Add(1)
 	start := time.Now()
 	defer func() {
@@ -182,27 +301,51 @@ func (c *Client) call(reqType byte, req []byte) ([]byte, error) {
 	}()
 	c.met.requests[reqType].Inc()
 
+	if err := c.admit(ctx, reqType); err != nil {
+		c.met.failures.Inc()
+		return nil, err
+	}
+
 	var lastErr error
 	for attempt := 0; attempt <= c.cfg.MaxRetries; attempt++ {
 		if attempt > 0 {
 			c.met.retries.Inc()
-			time.Sleep(c.backoff(attempt))
+			timer := time.NewTimer(c.backoff(attempt))
+			select {
+			case <-ctx.Done():
+				timer.Stop()
+				c.met.failures.Inc()
+				return nil, fmt.Errorf("rpc: %s to %s cancelled after %d attempts (last: %v): %w",
+					MsgName(reqType), c.cfg.Addr, attempt, lastErr, ctx.Err())
+			case <-timer.C:
+			}
 		}
-		conn, err := c.getConn()
+		if err := ctx.Err(); err != nil {
+			c.met.failures.Inc()
+			return nil, fmt.Errorf("rpc: %s to %s: %w", MsgName(reqType), c.cfg.Addr, err)
+		}
+		conn, err := c.getConn(ctx)
 		if err != nil {
+			if ctx.Err() == nil {
+				c.br.failure()
+			}
 			lastErr = err
 			continue
 		}
-		body, err := c.roundTrip(conn, req)
+		body, err := c.roundTrip(ctx, conn, req)
 		if err != nil {
 			conn.Close()
 			if ne, ok := err.(net.Error); ok && ne.Timeout() {
 				c.met.timeouts.Inc()
 			}
+			if ctx.Err() == nil {
+				c.br.failure()
+			}
 			lastErr = err
 			continue
 		}
 		c.putConn(conn)
+		c.br.success()
 		return body, nil
 	}
 	c.met.failures.Inc()
@@ -232,8 +375,8 @@ func parseResp(body []byte, want byte) ([]byte, error) {
 
 // exchange is call + parse + release for requests with empty OK
 // responses.
-func (c *Client) exchange(reqType byte, req []byte) error {
-	body, err := c.call(reqType, req)
+func (c *Client) exchange(ctx context.Context, reqType byte, req []byte) error {
+	body, err := c.call(ctx, reqType, req)
 	putFrameBuf(req)
 	if err != nil {
 		return err
@@ -244,13 +387,13 @@ func (c *Client) exchange(reqType byte, req []byte) error {
 }
 
 // CreateFile opens the request's subfile stores on the node.
-func (c *Client) CreateFile(req *CreateFileReq) error {
-	return c.exchange(MsgCreateFile, AppendCreateFile(getFrameBuf(64), req))
+func (c *Client) CreateFile(ctx context.Context, req *CreateFileReq) error {
+	return c.exchange(ctx, MsgCreateFile, AppendCreateFile(getFrameBuf(64), req))
 }
 
 // SetView registers an encoded projection under its fingerprint.
-func (c *Client) SetView(fp uint64, proj []byte) error {
-	err := c.exchange(MsgSetView, AppendSetView(getFrameBuf(64), &SetViewReq{Fingerprint: fp, Proj: proj}))
+func (c *Client) SetView(ctx context.Context, fp uint64, proj []byte) error {
+	err := c.exchange(ctx, MsgSetView, AppendSetView(getFrameBuf(64), &SetViewReq{Fingerprint: fp, Proj: proj}))
 	if err == nil {
 		c.registered.Store(fp, struct{}{})
 	}
@@ -270,18 +413,18 @@ func (c *Client) Forget(fp uint64) { c.registered.Delete(fp) }
 
 // WriteSegments performs a scatter (nonzero fingerprint) or contiguous
 // (zero fingerprint) write.
-func (c *Client) WriteSegments(req *WriteSegsReq) error {
-	return c.exchange(MsgWriteSegs, AppendWriteSegs(getFrameBuf(64+len(req.Data)), req))
+func (c *Client) WriteSegments(ctx context.Context, req *WriteSegsReq) error {
+	return c.exchange(ctx, MsgWriteSegs, AppendWriteSegs(getFrameBuf(64+len(req.Data)), req))
 }
 
 // ReadSegments performs a gather (nonzero fingerprint) or contiguous
 // (zero fingerprint) read of len(dst) bytes into dst.
-func (c *Client) ReadSegments(req *ReadSegsReq, dst []byte) error {
+func (c *Client) ReadSegments(ctx context.Context, req *ReadSegsReq, dst []byte) error {
 	if req.N != int64(len(dst)) {
 		return fmt.Errorf("rpc: read of %d bytes into %d-byte buffer", req.N, len(dst))
 	}
 	reqBuf := AppendReadSegs(getFrameBuf(64), req)
-	body, err := c.call(MsgReadSegs, reqBuf)
+	body, err := c.call(ctx, MsgReadSegs, reqBuf)
 	putFrameBuf(reqBuf)
 	if err != nil {
 		return err
@@ -303,9 +446,9 @@ func (c *Client) ReadSegments(req *ReadSegsReq, dst []byte) error {
 }
 
 // Stat returns the subfile's current length.
-func (c *Client) Stat(file string, subfile int64) (int64, error) {
+func (c *Client) Stat(ctx context.Context, file string, subfile int64) (int64, error) {
 	reqBuf := AppendStat(getFrameBuf(64), &StatReq{File: file, Subfile: subfile})
-	body, err := c.call(MsgStat, reqBuf)
+	body, err := c.call(ctx, MsgStat, reqBuf)
 	putFrameBuf(reqBuf)
 	if err != nil {
 		return 0, err
@@ -319,6 +462,6 @@ func (c *Client) Stat(file string, subfile int64) (int64, error) {
 }
 
 // CloseFile syncs and closes the file's stores on the node.
-func (c *Client) CloseFile(file string) error {
-	return c.exchange(MsgClose, AppendClose(getFrameBuf(64), &CloseReq{File: file}))
+func (c *Client) CloseFile(ctx context.Context, file string) error {
+	return c.exchange(ctx, MsgClose, AppendClose(getFrameBuf(64), &CloseReq{File: file}))
 }

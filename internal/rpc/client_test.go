@@ -103,16 +103,16 @@ func TestClientRetriesAfterConnectionDrop(t *testing.T) {
 	defer c.Close()
 
 	phys := encodeTestPhys(t)
-	if err := c.CreateFile(&CreateFileReq{Name: "f", Phys: phys, Subfiles: []int{0}}); err != nil {
+	if err := c.CreateFile(context.Background(), &CreateFileReq{Name: "f", Phys: phys, Subfiles: []int{0}}); err != nil {
 		t.Fatalf("create through flaky proxy: %v", err)
 	}
 	data := []byte("survives the drop")
-	err := c.WriteSegments(&WriteSegsReq{File: "f", Subfile: 0, Lo: 0, Hi: int64(len(data)) - 1, Data: data})
+	err := c.WriteSegments(context.Background(), &WriteSegsReq{File: "f", Subfile: 0, Lo: 0, Hi: int64(len(data)) - 1, Data: data})
 	if err != nil {
 		t.Fatalf("write through flaky proxy: %v", err)
 	}
 	got := make([]byte, len(data))
-	err = c.ReadSegments(&ReadSegsReq{File: "f", Subfile: 0, Lo: 0, Hi: int64(len(data)) - 1, N: int64(len(data))}, got)
+	err = c.ReadSegments(context.Background(), &ReadSegsReq{File: "f", Subfile: 0, Lo: 0, Hi: int64(len(data)) - 1, N: int64(len(data))}, got)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -155,7 +155,7 @@ func TestClientTimeout(t *testing.T) {
 	})
 	defer c.Close()
 
-	_, err = c.Stat("f", 0)
+	_, err = c.Stat(context.Background(), "f", 0)
 	if err == nil {
 		t.Fatal("stat of a black-hole server succeeded")
 	}
@@ -180,7 +180,7 @@ func TestClientDoesNotRetryRemoteErrors(t *testing.T) {
 	c := NewClient(ClientConfig{Addr: addr, BackoffBase: time.Millisecond, Metrics: reg})
 	defer c.Close()
 
-	_, err := c.Stat("no-such-file", 0)
+	_, err := c.Stat(context.Background(), "no-such-file", 0)
 	var re *RemoteError
 	if !errors.As(err, &re) {
 		t.Fatalf("error %v is not a RemoteError", err)
@@ -205,7 +205,7 @@ func TestClientDialFailure(t *testing.T) {
 	reg := obs.NewRegistry()
 	c := NewClient(ClientConfig{Addr: addr, MaxRetries: 1, BackoffBase: time.Millisecond, Metrics: reg})
 	defer c.Close()
-	if err := c.CloseFile("f"); err == nil {
+	if err := c.CloseFile(context.Background(), "f"); err == nil {
 		t.Fatal("call to a dead address succeeded")
 	}
 	if v := reg.Counter(MetricClientFailures).Value(); v != 1 {

@@ -36,10 +36,18 @@ const (
 	MetricServerErrors    = "parafile_rpc_server_errors_total"
 	MetricServerConns     = "parafile_rpc_server_connections"
 	MetricServerFiles     = "parafile_rpc_server_open_files"
+
+	// Circuit breaker (per I/O node, labelled by address): the state
+	// gauge (0 closed, 1 open, 2 half-open), transitions to open,
+	// half-open Ping probes, and calls fast-failed while open.
+	MetricBreakerState     = "parafile_rpc_breaker_state"
+	MetricBreakerOpens     = "parafile_rpc_breaker_opens_total"
+	MetricBreakerProbes    = "parafile_rpc_breaker_probes_total"
+	MetricBreakerFastFails = "parafile_rpc_breaker_fastfails_total"
 )
 
 // reqTypes are the request message types with per-type volume series.
-var reqTypes = []byte{MsgCreateFile, MsgSetView, MsgWriteSegs, MsgReadSegs, MsgStat, MsgClose}
+var reqTypes = []byte{MsgCreateFile, MsgSetView, MsgWriteSegs, MsgReadSegs, MsgStat, MsgClose, MsgPing}
 
 func bindPerType(reg *obs.Registry, name string) map[byte]*obs.Counter {
 	m := make(map[byte]*obs.Counter, len(reqTypes))

@@ -210,6 +210,12 @@ func (s *Server) handle(body []byte) []byte {
 		return s.handleStat(out, payload)
 	case MsgClose:
 		return s.handleClose(out, payload)
+	case MsgPing:
+		// Liveness probe (breaker half-open): no file state touched.
+		if err := wantEmpty(payload); err != nil {
+			return s.errResp(out, ErrCodeBadRequest, err.Error())
+		}
+		return AppendOK(out)
 	}
 	return s.errResp(out, ErrCodeBadRequest, fmt.Sprintf("unknown message type %#x", msgType))
 }

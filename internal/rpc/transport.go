@@ -1,6 +1,7 @@
 package rpc
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -67,7 +68,7 @@ func (t *Transport) nodeClient(ioNode int) *Client {
 
 // Open registers the file on every involved daemon and returns one
 // remote handle per subfile.
-func (t *Transport) Open(name string, phys *part.File, assign []int) ([]clusterfile.SubfileHandle, error) {
+func (t *Transport) Open(ctx context.Context, name string, phys *part.File, assign []int) ([]clusterfile.SubfileHandle, error) {
 	physEnc := codec.EncodeFile(phys)
 	// Group the subfiles by daemon, preserving client order so the
 	// CreateFile fan-out is deterministic.
@@ -82,7 +83,7 @@ func (t *Transport) Open(name string, phys *part.File, assign []int) ([]clusterf
 		if len(subs) == 0 {
 			continue
 		}
-		err := c.CreateFile(&CreateFileReq{Name: name, Phys: physEnc, Subfiles: subs, Reopen: t.reopen})
+		err := c.CreateFile(ctx, &CreateFileReq{Name: name, Phys: physEnc, Subfiles: subs, Reopen: t.reopen})
 		if err != nil {
 			return nil, fmt.Errorf("rpc: create %q on %s: %w", name, c.Addr(), err)
 		}
@@ -121,7 +122,10 @@ func (r *fileRef) release() error {
 	if r.n.Add(-1) > 0 {
 		return nil
 	}
-	return r.c.CloseFile(r.file)
+	// Close carries no context by interface design (it must run during
+	// teardown of an already-cancelled op), so the wire close is
+	// bounded only by the client's request timeouts.
+	return r.c.CloseFile(context.Background(), r.file)
 }
 
 // remoteHandle is one subfile on a remote daemon.
@@ -135,38 +139,38 @@ type remoteHandle struct {
 	projFP map[*redist.Projection]uint64 // encode+fingerprint memo
 }
 
-func (h *remoteHandle) EnsureLen(n int64) error {
+func (h *remoteHandle) EnsureLen(ctx context.Context, n int64) error {
 	if n <= 0 {
 		return nil
 	}
-	return h.c.WriteSegments(&WriteSegsReq{File: h.file, Subfile: h.subfile, Lo: 0, Hi: n - 1})
+	return h.c.WriteSegments(ctx, &WriteSegsReq{File: h.file, Subfile: h.subfile, Lo: 0, Hi: n - 1})
 }
 
-func (h *remoteHandle) Len() (int64, error) {
-	return h.c.Stat(h.file, h.subfile)
+func (h *remoteHandle) Len(ctx context.Context) (int64, error) {
+	return h.c.Stat(ctx, h.file, h.subfile)
 }
 
-func (h *remoteHandle) WriteAt(p []byte, off int64) error {
+func (h *remoteHandle) WriteAt(ctx context.Context, p []byte, off int64) error {
 	if len(p) == 0 {
 		return nil
 	}
-	return h.c.WriteSegments(&WriteSegsReq{
+	return h.c.WriteSegments(ctx, &WriteSegsReq{
 		File: h.file, Subfile: h.subfile, Lo: off, Hi: off + int64(len(p)) - 1, Data: p,
 	})
 }
 
-func (h *remoteHandle) ReadAt(p []byte, off int64) error {
+func (h *remoteHandle) ReadAt(ctx context.Context, p []byte, off int64) error {
 	if len(p) == 0 {
 		return nil
 	}
-	return h.c.ReadSegments(&ReadSegsReq{
+	return h.c.ReadSegments(ctx, &ReadSegsReq{
 		File: h.file, Subfile: h.subfile, Lo: off, Hi: off + int64(len(p)) - 1, N: int64(len(p)),
 	}, p)
 }
 
 // ensureProjection encodes and registers the projection on the daemon
 // (once per shape per client) and returns its fingerprint.
-func (h *remoteHandle) ensureProjection(p *redist.Projection) (uint64, []byte, error) {
+func (h *remoteHandle) ensureProjection(ctx context.Context, p *redist.Projection) (uint64, []byte, error) {
 	h.mu.Lock()
 	if h.projFP == nil {
 		h.projFP = make(map[*redist.Projection]uint64)
@@ -187,7 +191,7 @@ func (h *remoteHandle) ensureProjection(p *redist.Projection) (uint64, []byte, e
 	if enc == nil {
 		enc = redist.EncodeProjection(p)
 	}
-	if err := h.c.SetView(fp, enc); err != nil {
+	if err := h.c.SetView(ctx, fp, enc); err != nil {
 		return 0, nil, err
 	}
 	return fp, enc, nil
@@ -195,9 +199,9 @@ func (h *remoteHandle) ensureProjection(p *redist.Projection) (uint64, []byte, e
 
 // reRegister refreshes a projection the daemon reported unknown (a
 // daemon restart loses the registration table).
-func (h *remoteHandle) reRegister(p *redist.Projection, fp uint64) error {
+func (h *remoteHandle) reRegister(ctx context.Context, p *redist.Projection, fp uint64) error {
 	h.c.Forget(fp)
-	return h.c.SetView(fp, redist.EncodeProjection(p))
+	return h.c.SetView(ctx, fp, redist.EncodeProjection(p))
 }
 
 func isUnknownProjection(err error) bool {
@@ -205,34 +209,34 @@ func isUnknownProjection(err error) bool {
 	return errors.As(err, &re) && re.Code == ErrCodeUnknownProjection
 }
 
-func (h *remoteHandle) Scatter(p *redist.Projection, lo, hi int64, data []byte) error {
-	fp, _, err := h.ensureProjection(p)
+func (h *remoteHandle) Scatter(ctx context.Context, p *redist.Projection, lo, hi int64, data []byte) error {
+	fp, _, err := h.ensureProjection(ctx, p)
 	if err != nil {
 		return err
 	}
 	req := &WriteSegsReq{File: h.file, Subfile: h.subfile, Fingerprint: fp, Lo: lo, Hi: hi, Data: data}
-	err = h.c.WriteSegments(req)
+	err = h.c.WriteSegments(ctx, req)
 	if isUnknownProjection(err) {
-		if err = h.reRegister(p, fp); err != nil {
+		if err = h.reRegister(ctx, p, fp); err != nil {
 			return err
 		}
-		err = h.c.WriteSegments(req)
+		err = h.c.WriteSegments(ctx, req)
 	}
 	return err
 }
 
-func (h *remoteHandle) Gather(p *redist.Projection, lo, hi int64, dst []byte) error {
-	fp, _, err := h.ensureProjection(p)
+func (h *remoteHandle) Gather(ctx context.Context, p *redist.Projection, lo, hi int64, dst []byte) error {
+	fp, _, err := h.ensureProjection(ctx, p)
 	if err != nil {
 		return err
 	}
 	req := &ReadSegsReq{File: h.file, Subfile: h.subfile, Fingerprint: fp, Lo: lo, Hi: hi, N: int64(len(dst))}
-	err = h.c.ReadSegments(req, dst)
+	err = h.c.ReadSegments(ctx, req, dst)
 	if isUnknownProjection(err) {
-		if err = h.reRegister(p, fp); err != nil {
+		if err = h.reRegister(ctx, p, fp); err != nil {
 			return err
 		}
-		err = h.c.ReadSegments(req, dst)
+		err = h.c.ReadSegments(ctx, req, dst)
 	}
 	return err
 }

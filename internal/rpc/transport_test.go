@@ -241,12 +241,12 @@ func TestTransportDaemonRestartReopen(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer tr2.Close()
-	handles, err := tr2.Open("matrix", phys, []int{0, 1, 2, 3})
+	handles, err := tr2.Open(context.Background(), "matrix", phys, []int{0, 1, 2, 3})
 	if err != nil {
 		t.Fatal(err)
 	}
 	for i, h := range handles {
-		size, err := h.Len()
+		size, err := h.Len(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -254,7 +254,7 @@ func TestTransportDaemonRestartReopen(t *testing.T) {
 			t.Fatalf("subfile %d reopened with %d bytes, want %d", i, size, len(wantSubs[i]))
 		}
 		got := make([]byte, size)
-		if err := h.ReadAt(got, 0); err != nil {
+		if err := h.ReadAt(context.Background(), got, 0); err != nil {
 			t.Fatal(err)
 		}
 		if !bytes.Equal(got, wantSubs[i]) {

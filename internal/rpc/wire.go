@@ -48,6 +48,9 @@ const (
 	MsgReadSegs   byte = 0x04
 	MsgStat       byte = 0x05
 	MsgClose      byte = 0x06
+	// MsgPing is the lightweight liveness probe the circuit breaker
+	// uses in half-open state; it touches no file state.
+	MsgPing byte = 0x07
 )
 
 // Response message types.
@@ -73,6 +76,8 @@ func MsgName(t byte) string {
 		return "stat"
 	case MsgClose:
 		return "close"
+	case MsgPing:
+		return "ping"
 	case MsgOK:
 		return "ok"
 	case MsgData:
@@ -492,6 +497,9 @@ func DecodeClose(payload []byte) (*CloseReq, error) {
 	}
 	return req, wantEmpty(payload)
 }
+
+// AppendPing encodes the empty liveness probe.
+func AppendPing(buf []byte) []byte { return beginFrame(buf, MsgPing) }
 
 // AppendOK encodes the empty success response.
 func AppendOK(buf []byte) []byte { return beginFrame(buf, MsgOK) }
