@@ -8,6 +8,7 @@
 //	clusterfsdemo [-n 256] [-phys c|b|r] [-mode bc|disk] [-report]
 //	              [-spans] [-metrics-addr host:port]
 //	              [-remote host:port,...] [-redist]
+//	              [-replication R] [-write-quorum Q]
 //
 // With -remote the subfile bytes live on parafiled I/O-node daemons
 // reached over real TCP (I/O nodes map onto the endpoints
@@ -39,6 +40,8 @@ func main() {
 	mode := flag.String("mode", "bc", "write mode: bc (buffer cache) or disk")
 	dir := flag.String("dir", "", "store subfiles as real files in this directory (default: in-memory)")
 	remote := flag.String("remote", "", "comma-separated parafiled endpoints (host:port,...); subfile bytes live on the daemons instead of in-process")
+	replication := flag.Int("replication", 1, "materialize every subfile on this many I/O nodes (reads fail over, writes fan out)")
+	writeQuorum := flag.Int("write-quorum", 0, "replica acks a subfile's write needs (0 = all replicas); a smaller quorum keeps writes available while a node is down")
 	doRedist := flag.Bool("redist", false, "after the read-back, redistribute the file to a row-block layout and verify it")
 	trace := flag.Bool("trace", false, "print the virtual-time event trace of the write")
 	report := flag.Bool("report", false, "print the collected metrics as a table after the run")
@@ -66,6 +69,8 @@ func main() {
 	cfg := clusterfile.DefaultConfig()
 	cfg.Metrics = reg
 	cfg.Trace = root
+	cfg.Replication = *replication
+	cfg.WriteQuorum = *writeQuorum
 	if *dir != "" {
 		cfg.Storage = clusterfile.DirStorageFactory(*dir)
 	}
@@ -75,7 +80,10 @@ func main() {
 	}
 	if *remote != "" {
 		endpoints := strings.Split(*remote, ",")
-		tr, err := rpc.NewTransport(endpoints, rpc.Options{Metrics: reg})
+		// With replication the replica layer can work around an
+		// unreachable daemon, so open degraded instead of refusing the
+		// whole cluster; unreplicated files keep the strict open.
+		tr, err := rpc.NewTransport(endpoints, rpc.Options{Metrics: reg, DegradedOpen: *replication > 1})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -89,6 +97,9 @@ func main() {
 	}
 	fmt.Printf("Clusterfile demo: %d×%d byte matrix, physical layout %q, logical row blocks\n",
 		*n, *n, *phys)
+	if *replication > 1 {
+		where += fmt.Sprintf(", %d-way replicated", *replication)
+	}
 	fmt.Printf("cluster: 4 compute nodes + 4 I/O nodes (Myrinet/IDE 2002 cost models), %s\n\n", where)
 
 	fmt.Println("View set (intersections + projections, computed once):")
@@ -111,10 +122,16 @@ func main() {
 	}
 	fmt.Printf("\nWrite operation (mode %s):\n", wmode)
 	for i, op := range ops {
+		if op.Err != nil {
+			log.Fatalf("node %d write: %v", i, op.Err)
+		}
 		s := op.Stats
 		fmt.Printf("  node %d: t_m=%v  t_g(model)=%dµs  msgs=%d (%d bytes, %d zero-copy)  t_net=%dµs\n",
 			i, s.TMap, s.GatherModelNs/sim.Microsecond, s.Messages, s.BytesSent,
 			s.ContiguousSends, s.TNet/sim.Microsecond)
+		if op.Degraded != nil {
+			fmt.Printf("  node %d: degraded (quorum met, stale placements remain): %v\n", i, op.Degraded)
+		}
 	}
 
 	// Verify the file content byte-for-byte.

@@ -1,8 +1,10 @@
 // Command parafilectl inspects partitions written in HPF-style
-// notation: it describes the nested FALLS representation of a
+// notation — it describes the nested FALLS representation of a
 // distribution, computes the matching degree between two partitions of
 // the same array (the §9 metric), and ranks candidate physical layouts
-// for a given logical access pattern.
+// for a given logical access pattern — and administers replicated
+// files on live parafiled daemons: status lists every replica
+// placement, scrub compares them by checksum, repair heals divergence.
 //
 // Usage:
 //
@@ -10,19 +12,30 @@
 //	parafilectl match    -dims 256x256 -logical 'BLOCK(4),*' -physical '*,BLOCK(4)'
 //	parafilectl rank     -dims 256x256 -logical 'BLOCK(4),*' \
 //	    -candidates 'BLOCK(4),*;*,BLOCK(4);BLOCK(2),BLOCK(2)'
+//	parafilectl status -remote host:port,... -file matrix -dims 256x256 \
+//	    -dist '*,BLOCK(64)' -replication 2
+//	parafilectl scrub  ... (same flags; exit 1 when replicas diverge)
+//	parafilectl repair ... (same flags; heals divergent replicas)
+//
+// The maintenance verbs reopen the file degraded — a dead daemon shows
+// up as failed placements in status and scrub output instead of
+// refusing the connection, which is exactly when you want to look.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 	"strings"
 
+	"parafile/internal/clusterfile"
 	"parafile/internal/hpf"
 	"parafile/internal/match"
 	"parafile/internal/part"
 	"parafile/internal/redist"
+	"parafile/internal/rpc"
 	"parafile/internal/viz"
 )
 
@@ -41,13 +54,19 @@ func main() {
 		rankCmd(os.Args[2:])
 	case "plan":
 		planCmd(os.Args[2:])
+	case "status":
+		statusCmd(os.Args[2:])
+	case "scrub":
+		scrubCmd(os.Args[2:])
+	case "repair":
+		repairCmd(os.Args[2:])
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: parafilectl describe|match|rank|plan [flags]")
+	fmt.Fprintln(os.Stderr, "usage: parafilectl describe|match|rank|plan|status|scrub|repair [flags]")
 	os.Exit(2)
 }
 
@@ -108,6 +127,155 @@ func describe(args []string) {
 		for e := 0; e < pat.Len(); e++ {
 			fmt.Printf("%s   %s\n", viz.RenderSet(pat.Element(e).Set, pat.Size()), pat.Element(e).Name)
 		}
+	}
+}
+
+// remoteFlags is the shared flag set of the maintenance verbs: where
+// the daemons are, which file to open, and the file's geometry (the
+// daemons store bytes, not metadata — the caller names the layout the
+// file was created with).
+type remoteFlags struct {
+	remote *string
+	file   *string
+	dims   *string
+	dist   *string
+	elem   *int64
+	nodes  *int
+	repl   *int
+	seg    *int64
+}
+
+func addRemoteFlags(fs *flag.FlagSet) *remoteFlags {
+	return &remoteFlags{
+		remote: fs.String("remote", "", "comma-separated parafiled endpoints (host:port,...)"),
+		file:   fs.String("file", "", "file name as created on the daemons"),
+		dims:   fs.String("dims", "", "array dimensions, e.g. 256x256"),
+		dist:   fs.String("dist", "", "physical distribution the file was created with"),
+		elem:   fs.Int64("elem", 1, "element size in bytes"),
+		nodes:  fs.Int("nodes", 4, "I/O node count of the deployment"),
+		repl:   fs.Int("replication", 1, "replica count the file was created with"),
+		seg:    fs.Int64("seg-bytes", clusterfile.DefaultScrubSegmentBytes, "scrub segment granularity in bytes"),
+	}
+}
+
+// openRemote reopens the named file on the daemons without truncation
+// and degraded (dead daemons become failed placements, not a fatal
+// dial), returning the file and a teardown closure.
+func (rf *remoteFlags) openRemote() (*clusterfile.File, func()) {
+	if *rf.remote == "" || *rf.file == "" {
+		log.Fatal("need -remote and -file")
+	}
+	phys := buildFile(*rf.dims, *rf.dist, *rf.elem)
+	tr, err := rpc.NewTransport(strings.Split(*rf.remote, ","), rpc.Options{
+		Reopen:       true,
+		DegradedOpen: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := clusterfile.DefaultConfig()
+	cfg.IONodes = *rf.nodes
+	cfg.Replication = *rf.repl
+	cfg.Transport = tr
+	c, err := clusterfile.New(cfg)
+	if err != nil {
+		tr.Close()
+		log.Fatal(err)
+	}
+	f, err := c.CreateFile(*rf.file, phys, nil)
+	if err != nil {
+		tr.Close()
+		log.Fatal(err)
+	}
+	return f, func() {
+		f.Close()
+		tr.Close()
+	}
+}
+
+func statusCmd(args []string) {
+	fs := flag.NewFlagSet("status", flag.ExitOnError)
+	rf := addRemoteFlags(fs)
+	fs.Parse(args)
+	f, done := rf.openRemote()
+	defer done()
+	ctx := context.Background()
+	fmt.Printf("file %q: %d subfiles, replication %d\n\n", f.Name, f.Phys.Pattern.Len(), f.Replication)
+	fmt.Printf("%-8s %-8s %-8s %-20s %s\n", "subfile", "replica", "node", "store", "length")
+	failed := 0
+	for s := 0; s < f.Phys.Pattern.Len(); s++ {
+		for r := 0; r < f.Replication; r++ {
+			length := "?"
+			if n, err := f.ReplicaLen(ctx, r, s); err != nil {
+				length = "FAILED: " + err.Error()
+				failed++
+			} else {
+				length = fmt.Sprintf("%d", n)
+			}
+			fmt.Printf("%-8d %-8d %-8d %-20s %s\n",
+				s, r, f.Placement[r][s], clusterfile.ReplicaName(f.Name, r), length)
+		}
+	}
+	if failed > 0 {
+		fmt.Printf("\n%d placement(s) unreachable — scrub and repair once the node is back\n", failed)
+		os.Exit(1)
+	}
+	fmt.Println("\nall placements reachable")
+}
+
+func scrubCmd(args []string) {
+	fs := flag.NewFlagSet("scrub", flag.ExitOnError)
+	rf := addRemoteFlags(fs)
+	fs.Parse(args)
+	f, done := rf.openRemote()
+	defer done()
+	rep, err := f.ScrubSegments(context.Background(), *rf.seg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	printScrub(rep)
+	if !rep.Clean() {
+		os.Exit(1)
+	}
+}
+
+func repairCmd(args []string) {
+	fs := flag.NewFlagSet("repair", flag.ExitOnError)
+	rf := addRemoteFlags(fs)
+	fs.Parse(args)
+	f, done := rf.openRemote()
+	defer done()
+	stats, rep, err := f.Repair(context.Background())
+	if rep != nil {
+		printScrub(rep)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	if rep.Clean() {
+		fmt.Println("nothing to repair")
+		return
+	}
+	fmt.Printf("repaired %d replica(s) across %d subfile(s), %d bytes rewritten\n",
+		stats.Replicas, stats.Subfiles, stats.Bytes)
+}
+
+func printScrub(rep *clusterfile.ScrubReport) {
+	fmt.Printf("scrub: %d subfiles, %d segments, %d bytes checked\n",
+		rep.Subfiles, rep.Segments, rep.Checked)
+	if rep.Clean() {
+		fmt.Println("all replicas agree")
+		return
+	}
+	fmt.Printf("%d mismatching replica segment(s):\n", len(rep.Mismatches))
+	for _, m := range rep.Mismatches {
+		if m.Err != nil {
+			fmt.Printf("  subfile %d replica %d (node %d) [%d,%d): UNREADABLE: %v\n",
+				m.Subfile, m.Replica, m.IONode, m.Off, m.Off+m.Len, m.Err)
+			continue
+		}
+		fmt.Printf("  subfile %d replica %d (node %d) [%d,%d): crc %08x, want %08x\n",
+			m.Subfile, m.Replica, m.IONode, m.Off, m.Off+m.Len, m.Got, m.Want)
 	}
 }
 

@@ -101,15 +101,24 @@ func main() {
 		fmt.Fprintf(os.Stderr, "parafiled: %v, draining\n", sig)
 		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 		defer cancel()
+		// A failed drain means data may not have reached the stores
+		// (Sync/Close errors surface here) — that must flip the exit
+		// code, not vanish into the log.
+		failed := false
 		if err := srv.Shutdown(ctx); err != nil {
 			log.Printf("drain: %v", err)
+			failed = true
 		}
 		if metricsShutdown != nil {
 			if err := metricsShutdown(ctx); err != nil {
 				log.Printf("metrics shutdown: %v", err)
+				failed = true
 			}
 		}
 		<-serveErr
+		if failed {
+			log.Fatal("drain failed")
+		}
 		fmt.Fprintln(os.Stderr, "parafiled: drained, bye")
 	case err := <-serveErr:
 		if err != nil {

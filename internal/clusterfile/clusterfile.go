@@ -90,6 +90,19 @@ type Config struct {
 	// The default (false) lets every node finish independently, so a
 	// single bad node costs only its own window — the repairable case.
 	FailFast bool
+	// Replication materializes every subfile on this many I/O nodes:
+	// replica r of subfile s lives on node (assign[s]+r) mod IONodes,
+	// so each subfile's placement group is R distinct nodes (primary
+	// first). Writes scatter to all R placements; reads fail over
+	// replica by replica on transport errors. 0 and 1 both mean
+	// unreplicated (the pre-replication semantics, unchanged).
+	Replication int
+	// WriteQuorum is how many replica acknowledgements a subfile's
+	// write needs to succeed. 0 (the default) requires all R; a smaller
+	// quorum trades durability for availability — the write succeeds
+	// while a node is down, reports the stale placements in the op's
+	// Degraded field, and Repair heals them when the node returns.
+	WriteQuorum int
 	// ViewCache, when non-nil, memoizes the per-(view element, subfile)
 	// intersection and projection products SetView computes, keyed by
 	// partition geometry. Repeated view setting over the same
@@ -139,6 +152,8 @@ type Cluster struct {
 	met       cfMetrics
 	span      *obs.Span
 	transport Transport
+	repl      int // normalized Config.Replication (>= 1)
+	quorum    int // normalized Config.WriteQuorum (1..repl)
 }
 
 // New builds a cluster.
@@ -146,15 +161,31 @@ func New(cfg Config) (*Cluster, error) {
 	if cfg.ComputeNodes < 1 || cfg.IONodes < 1 {
 		return nil, fmt.Errorf("clusterfile: need at least one compute and one I/O node")
 	}
+	repl := cfg.Replication
+	if repl == 0 {
+		repl = 1
+	}
+	if repl < 1 || repl > cfg.IONodes {
+		return nil, fmt.Errorf("clusterfile: replication %d outside [1,%d I/O nodes]", repl, cfg.IONodes)
+	}
+	quorum := cfg.WriteQuorum
+	if quorum == 0 {
+		quorum = repl
+	}
+	if quorum < 1 || quorum > repl {
+		return nil, fmt.Errorf("clusterfile: write quorum %d outside [1,replication %d]", quorum, repl)
+	}
 	k := sim.NewKernel()
 	c := &Cluster{
-		cfg:   cfg,
-		K:     k,
-		Net:   netsim.New(k, cfg.Net, cfg.ComputeNodes+cfg.IONodes),
-		Disks: make([]*disksim.Disk, cfg.IONodes),
-		files: make(map[string]*File),
-		met:   newCFMetrics(cfg.Metrics, cfg.IONodes),
-		span:  cfg.Trace,
+		cfg:    cfg,
+		K:      k,
+		Net:    netsim.New(k, cfg.Net, cfg.ComputeNodes+cfg.IONodes),
+		Disks:  make([]*disksim.Disk, cfg.IONodes),
+		files:  make(map[string]*File),
+		met:    newCFMetrics(cfg.Metrics, cfg.IONodes),
+		span:   cfg.Trace,
+		repl:   repl,
+		quorum: quorum,
 	}
 	for i := range c.Disks {
 		c.Disks[i] = disksim.New(k, cfg.Disk)
@@ -191,15 +222,41 @@ func (c *Cluster) EnableTrace() *sim.Tracer {
 }
 
 // File is an open Clusterfile file: a physical partition whose
-// subfiles live on I/O nodes.
+// subfiles live on I/O nodes, materialized on Replication placement
+// groups.
 type File struct {
-	Name    string
-	Phys    *part.File
-	Assign  []int // subfile index -> I/O node
-	handles []SubfileHandle
-	mappers []*core.Mapper
-	cluster *Cluster
+	Name string
+	Phys *part.File
+	// Assign maps each subfile to its primary I/O node (Placement[0]).
+	Assign []int
+	// Replication is the file's replica count R (>= 1).
+	Replication int
+	// Placement maps [replica][subfile] -> I/O node: row 0 is the
+	// primary assignment, row r places each subfile r nodes further
+	// round the ring, so every subfile's placement group is R distinct
+	// nodes.
+	Placement [][]int
+	// replicas holds [replica][subfile] handles; replicas[0] is the
+	// primary tier.
+	replicas [][]SubfileHandle
+	mappers  []*core.Mapper
+	cluster  *Cluster
 }
+
+// ReplicaName is the transport-level store name of replica tier r of a
+// file: replica 0 keeps the plain name (unreplicated layouts are
+// byte-identical on disk to the pre-replication code), later tiers get
+// a "~r<r>" suffix so a directory or daemon hosting several tiers of
+// the same subfile keeps them apart.
+func ReplicaName(name string, r int) string {
+	if r == 0 {
+		return name
+	}
+	return fmt.Sprintf("%s~r%d", name, r)
+}
+
+// handle returns the handle of replica r of subfile sub.
+func (f *File) handle(r, sub int) SubfileHandle { return f.replicas[r][sub] }
 
 // CreateFile registers a file with the given physical partition. The
 // assignment maps each subfile to an I/O node; when nil, subfiles are
@@ -211,8 +268,15 @@ func (c *Cluster) CreateFile(name string, phys *part.File, assign []int) (*File,
 // CreateFileCtx is CreateFile bounded by a context: the transport's
 // store-opening RPCs observe ctx (plus the cluster's OpTimeout).
 func (c *Cluster) CreateFileCtx(ctx context.Context, name string, phys *part.File, assign []int) (*File, error) {
+	return c.createFileCtx(ctx, name, phys, assign, c.repl)
+}
+
+func (c *Cluster) createFileCtx(ctx context.Context, name string, phys *part.File, assign []int, repl int) (*File, error) {
 	if _, dup := c.files[name]; dup {
 		return nil, fmt.Errorf("clusterfile: file %q already exists", name)
+	}
+	if repl < 1 || repl > c.cfg.IONodes {
+		return nil, fmt.Errorf("clusterfile: replication %d outside [1,%d I/O nodes]", repl, c.cfg.IONodes)
 	}
 	n := phys.Pattern.Len()
 	if assign == nil {
@@ -230,11 +294,22 @@ func (c *Cluster) CreateFileCtx(ctx context.Context, name string, phys *part.Fil
 		}
 	}
 	f := &File{
-		Name:    name,
-		Phys:    phys,
-		Assign:  assign,
-		mappers: make([]*core.Mapper, n),
-		cluster: c,
+		Name:        name,
+		Phys:        phys,
+		Assign:      assign,
+		Replication: repl,
+		Placement:   make([][]int, repl),
+		replicas:    make([][]SubfileHandle, repl),
+		mappers:     make([]*core.Mapper, n),
+		cluster:     c,
+	}
+	f.Placement[0] = assign
+	for r := 1; r < repl; r++ {
+		row := make([]int, n)
+		for i := range row {
+			row[i] = (assign[i] + r) % c.cfg.IONodes
+		}
+		f.Placement[r] = row
 	}
 	for i := 0; i < n; i++ {
 		m, err := core.NewMapper(phys, i)
@@ -245,11 +320,18 @@ func (c *Cluster) CreateFileCtx(ctx context.Context, name string, phys *part.Fil
 	}
 	octx, cancel := c.opCtx(ctx)
 	defer cancel()
-	handles, err := c.transport.Open(octx, name, phys, assign)
-	if err != nil {
-		return nil, fmt.Errorf("clusterfile: storage for %q: %w", name, err)
+	for r := 0; r < repl; r++ {
+		handles, err := c.transport.Open(octx, ReplicaName(name, r), phys, f.Placement[r])
+		if err != nil {
+			for _, tier := range f.replicas[:r] {
+				for _, h := range tier {
+					h.Close()
+				}
+			}
+			return nil, fmt.Errorf("clusterfile: storage for %q (replica %d): %w", name, r, err)
+		}
+		f.replicas[r] = handles
 	}
-	f.handles = handles
 	c.files[name] = f
 	return f, nil
 }
@@ -271,38 +353,61 @@ func (f *File) ReadSubfile(i int) ([]byte, error) {
 	return f.ReadSubfileCtx(context.Background(), i)
 }
 
-// ReadSubfileCtx is ReadSubfile bounded by a context.
+// ReadSubfileCtx is ReadSubfile bounded by a context. With replication
+// it fails over replica by replica: a transport error against one
+// placement moves on to the next (ticking the failover counter), so a
+// single dead node is invisible to the caller. Context errors abort
+// immediately — a cancelled operation must not masquerade as a node
+// fault.
 func (f *File) ReadSubfileCtx(ctx context.Context, i int) ([]byte, error) {
 	octx, cancel := f.cluster.opCtx(ctx)
 	defer cancel()
-	n, err := f.handles[i].Len(octx)
-	if err != nil {
-		return nil, err
-	}
-	buf := make([]byte, n)
-	if n == 0 {
+	var lastErr error
+	for r := 0; r < f.Replication; r++ {
+		if r > 0 {
+			f.cluster.met.failovers.Inc()
+		}
+		n, err := f.handle(r, i).Len(octx)
+		if err != nil {
+			if isCtxErr(err) {
+				return nil, err
+			}
+			lastErr = err
+			continue
+		}
+		buf := make([]byte, n)
+		if n == 0 {
+			return buf, nil
+		}
+		if err := f.handle(r, i).ReadAt(octx, buf, 0); err != nil {
+			if isCtxErr(err) {
+				return nil, err
+			}
+			lastErr = err
+			continue
+		}
 		return buf, nil
 	}
-	if err := f.handles[i].ReadAt(octx, buf, 0); err != nil {
-		return nil, err
-	}
-	return buf, nil
+	return nil, lastErr
 }
 
-// Close releases the subfile stores (syncing durable ones).
+// Close releases the subfile stores of every replica tier (syncing
+// durable ones).
 func (f *File) Close() error {
 	var first error
-	for _, h := range f.handles {
-		if err := h.Close(); err != nil && first == nil {
-			first = err
+	for _, tier := range f.replicas {
+		for _, h := range tier {
+			if err := h.Close(); err != nil && first == nil {
+				first = err
+			}
 		}
 	}
 	return first
 }
 
-// growSubfile guarantees subfile i holds at least n bytes.
-func (f *File) growSubfile(ctx context.Context, i int, n int64) error {
-	return f.handles[i].EnsureLen(ctx, n)
+// growReplica guarantees replica r of subfile i holds at least n bytes.
+func (f *File) growReplica(ctx context.Context, r, i int, n int64) error {
+	return f.handle(r, i).EnsureLen(ctx, n)
 }
 
 // subView is the per-subfile state a view keeps after SetView.
@@ -377,19 +482,23 @@ func (f *File) SetViewCtx(ctx context.Context, node int, lf *part.File, elem int
 			continue
 		}
 		// PROJ_S travels to the subfile's I/O node over the wire
-		// (§8.1 "view set"); the server side operates on the decoded
-		// copy, exactly as the real system would.
+		// (§8.1 "view set") — with replication, to every node of the
+		// subfile's placement group, since each replica server scatters
+		// independently. The server side operates on the decoded copy,
+		// exactly as the real system would.
 		wire := redist.EncodeProjection(ps)
 		decoded, err := redist.DecodeProjection(wire)
 		if err != nil {
 			return nil, fmt.Errorf("clusterfile: projection wire round trip: %w", err)
 		}
-		v.SetViewMsgBytes += int64(len(wire))
 		c := f.cluster
-		if err := c.Net.Send(node, c.ioNet(f.Assign[s]), int64(len(wire)), nil); err != nil {
-			return nil, err
+		for r := 0; r < f.Replication; r++ {
+			v.SetViewMsgBytes += int64(len(wire))
+			if err := c.Net.Send(node, c.ioNet(f.Placement[r][s]), int64(len(wire)), nil); err != nil {
+				return nil, err
+			}
+			c.met.recordNet(int64(len(wire)))
 		}
-		c.met.recordNet(int64(len(wire)))
 		v.subs = append(v.subs, subView{
 			subfile: s, inter: inter, projV: pv, projS: decoded, mapper: f.mappers[s],
 		})

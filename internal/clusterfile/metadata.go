@@ -1,6 +1,7 @@
 package clusterfile
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -9,10 +10,10 @@ import (
 )
 
 // metadata.go persists and restores file metadata — the displacement,
-// the partitioning pattern and the subfile-to-I/O-node assignment — in
-// the binary wire format, so a file created in one cluster session can
-// be reopened in another (the metadata-manager role of the real
-// system).
+// the partitioning pattern, the subfile-to-I/O-node assignment and the
+// replica count — in the binary wire format, so a file created in one
+// cluster session can be reopened in another (the metadata-manager
+// role of the real system).
 
 // metadataMagic tags metadata blobs.
 var metadataMagic = []byte("PFMD")
@@ -36,6 +37,7 @@ func (f *File) EncodeMetadata() ([]byte, error) {
 	for _, io := range f.Assign {
 		buf = append(buf, byte(io))
 	}
+	buf = append(buf, byte(f.Replication))
 	return buf, nil
 }
 
@@ -84,14 +86,18 @@ func (c *Cluster) OpenFile(meta []byte) (*File, error) {
 	}
 	n := int(meta[0])
 	meta = meta[1:]
-	if len(meta) != n {
-		return nil, fmt.Errorf("clusterfile: assignment holds %d entries, want %d", len(meta), n)
+	// The assignment is followed by exactly one replication byte: a
+	// file reopens with the replication it was created with, regardless
+	// of the opening cluster's default.
+	if len(meta) != n+1 {
+		return nil, fmt.Errorf("clusterfile: assignment holds %d bytes, want %d entries plus replication", len(meta), n)
 	}
+	repl := int(meta[n])
 	assign := make([]int, n)
 	for i := range assign {
 		assign[i] = int(meta[i])
 	}
-	return c.CreateFile(name, phys, assign)
+	return c.createFileCtx(context.Background(), name, phys, assign, repl)
 }
 
 // SaveMetadata writes the metadata blob next to the subfiles of a

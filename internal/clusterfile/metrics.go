@@ -40,6 +40,18 @@ const (
 	// parafile_clusterfile_io_node_bytes_total{node="i"} — comparing
 	// the per-node series exposes the byte skew of a layout.
 	metricIONodeBytes = "parafile_clusterfile_io_node_bytes_total"
+	// Replication series. MetricReplicaFailovers counts reads re-issued
+	// against a sibling replica after a placement failed;
+	// MetricReplicaDegradedOps counts operations that succeeded while
+	// one or more replica placements failed (quorum absorbed the loss).
+	MetricReplicaFailovers   = "parafile_replica_failover_total"
+	MetricReplicaDegradedOps = "parafile_replica_degraded_ops_total"
+	// Scrub/repair series: segments compared, mismatching segments
+	// found, repair operations run and bytes rewritten by them.
+	MetricScrubSegments   = "parafile_replica_scrub_segments_total"
+	MetricScrubMismatches = "parafile_replica_scrub_mismatches_total"
+	MetricRepairOps       = "parafile_replica_repair_ops_total"
+	MetricRepairBytes     = "parafile_replica_repair_bytes_total"
 )
 
 // cfMetrics holds the cluster's bound metrics.
@@ -52,6 +64,10 @@ type cfMetrics struct {
 	setViewNs                 *obs.Histogram
 	writeOps, readOps         *obs.Counter
 	redistOps                 *obs.Counter
+	failovers, degradedOps    *obs.Counter
+	scrubSegments             *obs.Counter
+	scrubMismatches           *obs.Counter
+	repairOps, repairBytes    *obs.Counter
 	ioNodeBytes               []*obs.Counter
 }
 
@@ -72,6 +88,12 @@ func newCFMetrics(reg *obs.Registry, ioNodes int) cfMetrics {
 		writeOps:     reg.Counter(MetricWriteOps),
 		readOps:      reg.Counter(MetricReadOps),
 		redistOps:    reg.Counter(MetricRedistOps),
+		failovers:    reg.Counter(MetricReplicaFailovers),
+		degradedOps:  reg.Counter(MetricReplicaDegradedOps),
+		scrubSegments:   reg.Counter(MetricScrubSegments),
+		scrubMismatches: reg.Counter(MetricScrubMismatches),
+		repairOps:    reg.Counter(MetricRepairOps),
+		repairBytes:  reg.Counter(MetricRepairBytes),
 		ioNodeBytes:  make([]*obs.Counter, ioNodes),
 	}
 	for i := range m.ioNodeBytes {

@@ -76,6 +76,11 @@ type WriteStats struct {
 type WriteOp struct {
 	Stats WriteStats
 	Err   error
+	// Degraded, when non-nil after completion, lists replica placements
+	// that failed while every subfile still met its write quorum: the
+	// operation succeeded, but the named nodes hold stale replicas
+	// until the file is repaired.
+	Degraded *PartialError
 
 	pending  int
 	started  int64
@@ -86,6 +91,23 @@ type WriteOp struct {
 	failFast bool
 }
 
+// sharedBuf refcounts one pooled gather buffer fanned out to R replica
+// deliveries: the last delivery returns it to the pool. The event
+// kernel is single-threaded, so a plain counter suffices.
+type sharedBuf struct {
+	buf  []byte
+	refs int
+}
+
+func (b *sharedBuf) release() {
+	if b == nil {
+		return
+	}
+	if b.refs--; b.refs == 0 {
+		putMsgBuf(b.buf)
+	}
+}
+
 // Done reports whether all acknowledgments have arrived.
 func (op *WriteOp) Done() bool { return op.pending == 0 }
 
@@ -93,14 +115,20 @@ func (op *WriteOp) Done() bool { return op.pending == 0 }
 // report OutcomeCancelled. Safe to call at any time.
 func (op *WriteOp) Cancel() { op.cancel() }
 
-// completeOne retires one per-subfile delivery; the last one seals the
-// stats, derives the PartialError and releases the op context.
+// completeOne retires one per-replica delivery; the last one seals the
+// stats, derives the PartialError (or the degraded report) and
+// releases the op context.
 func (op *WriteOp) completeOne(c *Cluster) {
 	op.pending--
 	if op.pending == 0 {
 		op.Stats.TNet = c.K.Now() - op.started
-		if err := op.outcomes.finalize(); err != nil && op.Err == nil {
+		err, degraded := op.outcomes.finalize()
+		if err != nil && op.Err == nil {
 			op.Err = err
+		}
+		if op.Err == nil && degraded != nil {
+			op.Degraded = degraded
+			c.met.degradedOps.Inc()
 		}
 		op.cancel()
 	}
@@ -232,69 +260,83 @@ func (v *View) StartWriteCtx(ctx context.Context, mode WriteMode, lowV, highV in
 		cancel()
 		return op, nil
 	}
-	op.pending = len(plans)
 
 	// The compute node executes the per-subfile loop sequentially; its
 	// local clock advances with the modeled gather costs while the NIC
-	// serializes the sends.
+	// serializes the sends. With replication every subfile's messages
+	// fan out to its whole placement group; the gather is paid once and
+	// a pooled buffer is shared across the fan-out.
+	R := v.file.Replication
 	sendSpan := span.StartChild("send")
 	cnTime := c.K.Now()
 	for i := range plans {
 		p := plans[i]
-		ioNode := v.file.Assign[p.sub.subfile]
-		netDst := c.ioNet(ioNode)
-		// Line 5: send the extremities to the I/O server.
-		if err := c.Net.SendAt(cnTime, v.node, netDst, extremityMsgBytes, nil); err != nil {
-			cancel()
-			return nil, err
+		op.outcomes.group(groupKey(p.sub.subfile), c.quorum)
+		// Line 5: send the extremities to every replica's I/O server.
+		for r := 0; r < R; r++ {
+			netDst := c.ioNet(v.file.Placement[r][p.sub.subfile])
+			if err := c.Net.SendAt(cnTime, v.node, netDst, extremityMsgBytes, nil); err != nil {
+				cancel()
+				return nil, err
+			}
+			op.Stats.Messages++
+			op.Stats.BytesSent += extremityMsgBytes
+			c.met.recordNet(extremityMsgBytes)
 		}
-		op.Stats.Messages++
-		op.Stats.BytesSent += extremityMsgBytes
-		c.met.recordNet(extremityMsgBytes)
 		cnTime += p.gatherNs
-		// Lines 7/10: send the data.
+		// Lines 7/10: send the data to each replica server.
 		data := p.data
 		sub := p.sub
-		lowS, highS, extents, contiguous, pooled := p.lowS, p.highS, p.extents, p.contiguous, p.pooled
-		deliver := func() {
-			c.serverWrite(op, v, sub, mode, ioNode, lowS, highS, extents, contiguous, pooled, data, lowV, highV)
+		var sb *sharedBuf
+		if p.pooled {
+			sb = &sharedBuf{buf: data, refs: R}
 		}
-		if err := c.Net.SendAt(cnTime, v.node, netDst, int64(len(data)), deliver); err != nil {
-			cancel()
-			return nil, err
+		lowS, highS, extents, contiguous := p.lowS, p.highS, p.extents, p.contiguous
+		for r := 0; r < R; r++ {
+			replica := r
+			deliver := func() {
+				c.serverWrite(op, v, sub, mode, replica, lowS, highS, extents, contiguous, sb, data, lowV, highV)
+			}
+			if err := c.Net.SendAt(cnTime, v.node, c.ioNet(v.file.Placement[r][sub.subfile]), int64(len(data)), deliver); err != nil {
+				cancel()
+				return nil, err
+			}
+			op.pending++
+			op.Stats.Messages++
+			op.Stats.BytesSent += int64(len(data))
+			c.met.recordNet(int64(len(data)))
 		}
-		op.Stats.Messages++
-		op.Stats.BytesSent += int64(len(data))
-		c.met.recordNet(int64(len(data)))
 	}
 	sendSpan.End()
 	return op, nil
 }
 
-// serverWrite is the I/O server side of §8.1: receive the data and
-// either write it contiguously or scatter it into the subfile, then
-// acknowledge. A cancelled operation context turns the delivery into a
-// cancelled outcome before touching storage.
+// serverWrite is the I/O server side of §8.1 for one replica: receive
+// the data and either write it contiguously or scatter it into the
+// replica's subfile store, then acknowledge. A cancelled operation
+// context turns the delivery into a cancelled outcome before touching
+// storage; a hard storage error marks the replica's node failed and
+// lets the subfile's quorum group decide the operation's fate.
 func (c *Cluster) serverWrite(op *WriteOp, v *View, sub *subView, mode WriteMode,
-	ioNode int, lowS, highS, extents int64, contiguous, pooled bool, data []byte, lowV, highV int64) {
+	replica int, lowS, highS, extents int64, contiguous bool, sb *sharedBuf, data []byte, lowV, highV int64) {
 
-	// The store copies on WriteAt, so a pooled message buffer is free
-	// for reuse as soon as the scatter below returns. The contiguous
-	// path carries the caller's buffer and is never pooled.
-	if pooled {
-		defer putMsgBuf(data)
-	}
+	// The store copies on WriteAt, so the pooled message buffer shared
+	// across the replica fan-out is free for reuse once the last
+	// delivery's scatter returns. The contiguous path carries the
+	// caller's buffer (sb == nil).
+	defer sb.release()
+	f := v.file
+	ioNode := f.Placement[replica][sub.subfile]
 	if err := op.ctx.Err(); err != nil {
 		op.outcomes.cancel(ioNode, err)
 		op.completeOne(c)
 		return
 	}
-	f := v.file
-	if err := f.growSubfile(op.ctx, sub.subfile, highS+1); err != nil {
+	if err := f.growReplica(op.ctx, replica, sub.subfile, highS+1); err != nil {
 		op.nodeFailed(c, ioNode, err)
 		return
 	}
-	store := f.handles[sub.subfile]
+	store := f.handle(replica, sub.subfile)
 	ts := time.Now()
 	if contiguous && sub.projS.IsContiguous(lowS, highS) {
 		// Line 4 (server): contiguous on both sides — plain write.
@@ -312,6 +354,7 @@ func (c *Cluster) serverWrite(op *WriteOp, v *View, sub *subView, mode WriteMode
 	real := time.Since(ts)
 	op.Stats.RealScatter += real
 	op.outcomes.ok(ioNode, int64(len(data)))
+	op.outcomes.groupOK(groupKey(sub.subfile))
 	c.met.scatterBytes.Add(int64(len(data)))
 	c.met.scatterNs.Observe(real.Nanoseconds())
 	c.met.ioBytes(ioNode).Add(int64(len(data)))
@@ -358,6 +401,11 @@ type ReadStats struct {
 type ReadOp struct {
 	Stats ReadStats
 	Err   error
+	// Degraded, when non-nil after completion, lists replica placements
+	// that failed before a sibling replica served the read: the data is
+	// complete and correct, but the named nodes were unreachable or
+	// unreadable when asked.
+	Degraded *PartialError
 
 	pending  int
 	started  int64
@@ -378,8 +426,13 @@ func (op *ReadOp) completeOne(c *Cluster) {
 	op.pending--
 	if op.pending == 0 {
 		op.Stats.TNet = c.K.Now() - op.started
-		if err := op.outcomes.finalize(); err != nil && op.Err == nil {
+		err, degraded := op.outcomes.finalize()
+		if err != nil && op.Err == nil {
 			op.Err = err
+		}
+		if op.Err == nil && degraded != nil {
+			op.Degraded = degraded
+			c.met.degradedOps.Inc()
 		}
 		op.cancel()
 	}
@@ -446,13 +499,15 @@ func (v *View) StartReadCtx(ctx context.Context, lowV, highV int64, buf []byte) 
 		}
 		op.Stats.TMap += time.Since(tm)
 
-		ioNode := v.file.Assign[sub.subfile]
-		netDst := c.ioNet(ioNode)
+		// A read needs exactly one replica to answer; the primary is
+		// asked first and serverRead fails over down the placement group.
+		op.outcomes.group(groupKey(sub.subfile), 1)
+		netDst := c.ioNet(v.file.Placement[0][sub.subfile])
 		op.pending++
 		lowS2, highS2 := lowS, highS
 		// Request to the I/O server.
 		err = c.Net.Send(v.node, netDst, extremityMsgBytes, func() {
-			c.serverRead(op, v, sub, ioNode, lowS2, highS2, buf, lowV, highV)
+			c.serverRead(op, v, sub, 0, lowS2, highS2, buf, lowV, highV)
 		})
 		if err != nil {
 			cancel()
@@ -467,28 +522,52 @@ func (v *View) StartReadCtx(ctx context.Context, lowV, highV int64, buf []byte) 
 	return op, nil
 }
 
-// serverRead gathers the requested subfile bytes and ships them back;
-// the compute node scatters them into the user buffer on arrival.
-func (c *Cluster) serverRead(op *ReadOp, v *View, sub *subView, ioNode int,
+// serverRead gathers the requested subfile bytes from one replica and
+// ships them back; the compute node scatters them into the user buffer
+// on arrival. A hard storage error against the replica fails over: the
+// compute node re-sends the extremity request to the next replica in
+// the placement group, so a dead node costs a failover round-trip
+// instead of the read. Context cancellation never fails over.
+func (c *Cluster) serverRead(op *ReadOp, v *View, sub *subView, replica int,
 	lowS, highS int64, buf []byte, lowV, highV int64) {
+
+	f := v.file
+	ioNode := f.Placement[replica][sub.subfile]
+	// fail retires this replica's attempt: mark the node, and either
+	// re-issue the request against the next replica or — with the
+	// placement group exhausted — fail the delivery for real.
+	fail := func(err error) {
+		if !isCtxErr(err) && replica+1 < f.Replication {
+			op.outcomes.fail(ioNode, err)
+			c.met.failovers.Inc()
+			next := f.Placement[replica+1][sub.subfile]
+			op.Stats.Messages++
+			c.met.recordNet(extremityMsgBytes)
+			if e := c.Net.Send(v.node, c.ioNet(next), extremityMsgBytes, func() {
+				c.serverRead(op, v, sub, replica+1, lowS, highS, buf, lowV, highV)
+			}); e == nil {
+				return
+			}
+		}
+		op.nodeFailed(c, ioNode, err)
+	}
 
 	if err := op.ctx.Err(); err != nil {
 		op.outcomes.cancel(ioNode, err)
 		op.completeOne(c)
 		return
 	}
-	f := v.file
-	if err := f.growSubfile(op.ctx, sub.subfile, highS+1); err != nil {
-		op.nodeFailed(c, ioNode, err)
+	if err := f.growReplica(op.ctx, replica, sub.subfile, highS+1); err != nil {
+		fail(err)
 		return
 	}
 	n := sub.projS.BytesIn(lowS, highS)
 	segs := sub.projS.SegmentsIn(lowS, highS)
 	data := c.getMsgBuf(n)
 	tg := time.Now()
-	if err := f.handles[sub.subfile].Gather(op.ctx, sub.projS, lowS, highS, data); err != nil {
+	if err := f.handle(replica, sub.subfile).Gather(op.ctx, sub.projS, lowS, highS, data); err != nil {
 		putMsgBuf(data)
-		op.nodeFailed(c, ioNode, err)
+		fail(err)
 		return
 	}
 	c.met.gatherBytes.Add(n)
@@ -508,12 +587,15 @@ func (c *Cluster) serverRead(op *ReadOp, v *View, sub *subView, ioNode int,
 			}
 			ts := time.Now()
 			if err := scatterWindow(buf, data, sub.projV, lowV, highV); err != nil {
+				// The failure is on the compute-node side; another
+				// replica's bytes would fail identically.
 				op.nodeFailed(c, ioNode, err)
 				return
 			}
 			real := time.Since(ts)
 			op.Stats.TScatter += real
 			op.outcomes.ok(ioNode, n)
+			op.outcomes.groupOK(groupKey(sub.subfile))
 			c.met.scatterBytes.Add(n)
 			c.met.scatterNs.Observe(real.Nanoseconds())
 			op.Stats.BytesMoved += n
@@ -521,7 +603,7 @@ func (c *Cluster) serverRead(op *ReadOp, v *View, sub *subView, ioNode int,
 		})
 		if err != nil {
 			putMsgBuf(data)
-			op.nodeFailed(c, ioNode, err)
+			fail(err)
 		}
 	})
 	op.Stats.Messages++

@@ -124,13 +124,50 @@ func (e *PartialError) Outcome(ioNode int) *NodeOutcome {
 
 // outcomeSet accumulates per-I/O-node outcomes while an operation is
 // in flight. The event kernel is single-threaded, so no locking.
+//
+// With replication a failed node no longer dooms the operation by
+// itself: each subfile's placement group registers a quorum group
+// (need = how many replica acknowledgements the subfile requires), and
+// the operation fails only when some group misses its quorum. Node
+// failures a group absorbed still surface — as the Degraded report of
+// the operation — so callers can tell "failed replica" apart from
+// "failed subfile group".
 type outcomeSet struct {
-	op    string
-	nodes map[int]*NodeOutcome
+	op     string
+	nodes  map[int]*NodeOutcome
+	groups map[string]*groupOutcome
 }
+
+// groupOutcome is one subfile's quorum ledger: how many replica
+// placements must succeed and how many have.
+type groupOutcome struct {
+	need int
+	ok   int
+}
+
+// groupKey names a subfile's quorum group within an operation.
+func groupKey(sub int) string { return fmt.Sprintf("sub/%d", sub) }
 
 func newOutcomeSet(op string) *outcomeSet {
 	return &outcomeSet{op: op, nodes: make(map[int]*NodeOutcome)}
+}
+
+// group registers a quorum group (idempotent; the first registration's
+// need wins).
+func (s *outcomeSet) group(key string, need int) {
+	if s.groups == nil {
+		s.groups = make(map[string]*groupOutcome)
+	}
+	if s.groups[key] == nil {
+		s.groups[key] = &groupOutcome{need: need}
+	}
+}
+
+// groupOK credits one replica acknowledgement to a group.
+func (s *outcomeSet) groupOK(key string) {
+	if g := s.groups[key]; g != nil {
+		g.ok++
+	}
 }
 
 // get returns the node's outcome, creating an OK entry on first use.
@@ -168,9 +205,24 @@ func (s *outcomeSet) cancel(ioNode int, err error) {
 	}
 }
 
-// finalize returns a PartialError when any node is not OK, nil when
-// the operation fully succeeded.
-func (s *outcomeSet) finalize() error {
+// partial snapshots the node outcomes into a PartialError.
+func (s *outcomeSet) partial() *PartialError {
+	e := &PartialError{Op: s.op}
+	for _, o := range s.nodes {
+		e.Outcomes = append(e.Outcomes, *o)
+	}
+	sort.Slice(e.Outcomes, func(i, j int) bool { return e.Outcomes[i].IONode < e.Outcomes[j].IONode })
+	return e
+}
+
+// finalize settles the operation once every delivery has retired.
+//
+// Without quorum groups (the pre-replication accounting) any non-OK
+// node fails the operation. With groups, the operation fails only if
+// some group missed its quorum; node failures the quorum absorbed are
+// returned as the degraded report instead — the operation succeeded,
+// but some replica placements are stale and want a Repair.
+func (s *outcomeSet) finalize() (err error, degraded *PartialError) {
 	clean := true
 	for _, o := range s.nodes {
 		if o.State != OutcomeOK {
@@ -178,13 +230,19 @@ func (s *outcomeSet) finalize() error {
 			break
 		}
 	}
+	if len(s.groups) > 0 {
+		for _, g := range s.groups {
+			if g.ok < g.need {
+				return s.partial(), nil
+			}
+		}
+		if clean {
+			return nil, nil
+		}
+		return nil, s.partial()
+	}
 	if clean {
-		return nil
+		return nil, nil
 	}
-	e := &PartialError{Op: s.op}
-	for _, o := range s.nodes {
-		e.Outcomes = append(e.Outcomes, *o)
-	}
-	sort.Slice(e.Outcomes, func(i, j int) bool { return e.Outcomes[i].IONode < e.Outcomes[j].IONode })
-	return e
+	return s.partial(), nil
 }

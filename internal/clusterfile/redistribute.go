@@ -43,8 +43,13 @@ type RedistStats struct {
 }
 
 // stagedScatter is one arrived transfer parked at its destination I/O
-// node, waiting for the operation's commit point.
+// node, waiting for the operation's commit point. key names the
+// transfer's quorum group: each transfer needs WriteQuorum replica
+// commits on the destination file. (Keys are per transfer, not per
+// destination subfile — several transfers may land in one subfile, and
+// each must meet quorum on its own.)
 type stagedScatter struct {
+	key     string
 	dstElem int
 	dstION  int
 	dstHi   int64
@@ -60,6 +65,10 @@ type stagedScatter struct {
 type RedistOp struct {
 	Stats RedistStats
 	Err   error
+	// Degraded, when non-nil after completion, lists replica placements
+	// that failed while every transfer still met its commit quorum on
+	// the destination file (or source placements a failover absorbed).
+	Degraded *PartialError
 
 	pending  int
 	started  int64
@@ -104,22 +113,18 @@ func (op *RedistOp) arrived(c *Cluster) {
 }
 
 // settle is the commit point: with every gather and transfer landed
-// cleanly, scatter the staged buffers into the new subfiles; otherwise
-// discard them all.
+// and the operation not doomed, scatter the staged buffers into the
+// new subfiles (every replica placement); otherwise discard them all.
+// Only an abort or a cancelled context dooms the operation here —
+// individual Failed node outcomes may be source failovers the
+// replication layer already absorbed.
 func (op *RedistOp) settle(c *Cluster) {
-	hardFail := op.aborted || op.ctx.Err() != nil
-	if !hardFail {
-		for _, o := range op.outcomes.nodes {
-			if o.State == OutcomeFailed {
-				hardFail = true
-				break
-			}
-		}
-	}
-	if hardFail {
+	if op.aborted || op.ctx.Err() != nil {
 		for _, s := range op.staged {
 			putMsgBuf(s.buf)
-			op.outcomes.cancel(s.dstION, ErrRedistAborted)
+			for r := 0; r < op.nf.Replication; r++ {
+				op.outcomes.cancel(op.nf.Placement[r][s.dstElem], ErrRedistAborted)
+			}
 		}
 		op.staged = nil
 		op.seal(c)
@@ -127,7 +132,7 @@ func (op *RedistOp) settle(c *Cluster) {
 	}
 	staged := op.staged
 	op.staged = nil
-	op.pending = len(staged)
+	op.pending = len(staged) * op.nf.Replication
 	if op.pending == 0 {
 		op.seal(c)
 		return
@@ -137,41 +142,56 @@ func (op *RedistOp) settle(c *Cluster) {
 	}
 }
 
-// commitOne scatters one staged buffer into its destination subfile
-// and charges the destination's storage cost.
+// replicaCommitFailed records one replica's commit failure. Past the
+// commit point a single replica no longer dooms the operation — the
+// transfer's quorum group decides — so this never sets op.aborted.
+func (op *RedistOp) replicaCommitFailed(c *Cluster, ioNode int, err error) {
+	if isCtxErr(err) {
+		op.outcomes.cancel(ioNode, err)
+	} else {
+		op.outcomes.fail(ioNode, err)
+	}
+	op.commitDone(c)
+}
+
+// commitOne scatters one staged buffer into every replica placement of
+// its destination subfile and charges each destination's storage cost.
+// The buffer is shared across the replica scatters (the store copies),
+// so it returns to the pool once the loop finishes.
 func (op *RedistOp) commitOne(c *Cluster, s stagedScatter) {
-	defer putMsgBuf(s.buf) // the store copies on scatter
-	if err := op.ctx.Err(); err != nil {
-		op.outcomes.cancel(s.dstION, err)
-		op.commitDone(c)
-		return
-	}
+	defer putMsgBuf(s.buf)
 	nf := op.nf
-	if err := nf.growSubfile(op.ctx, s.dstElem, s.dstHi+1); err != nil {
-		op.nodeFailed(s.dstION, err)
-		op.commitDone(c)
-		return
-	}
-	ts := time.Now()
-	if err := nf.handles[s.dstElem].Scatter(op.ctx, s.dstProj, 0, s.dstHi, s.buf); err != nil {
-		op.nodeFailed(s.dstION, err)
-		op.commitDone(c)
-		return
-	}
-	realScatter := time.Since(ts)
-	op.Stats.ScatterReal += realScatter
-	op.outcomes.ok(s.dstION, s.bytes)
-	c.met.scatterBytes.Add(s.bytes)
-	c.met.scatterNs.Observe(realScatter.Nanoseconds())
-	c.met.ioBytes(s.dstION).Add(s.bytes)
-	cost := c.Disks[s.dstION].CacheCost(s.bytes, s.dstSegs)
-	c.Disks[s.dstION].Account(s.bytes, false)
-	err := c.Net.ReceiverBusy(c.ioNet(s.dstION), cost, func() {
-		op.commitDone(c)
-	})
-	if err != nil {
-		op.nodeFailed(s.dstION, err)
-		op.commitDone(c)
+	for r := 0; r < nf.Replication; r++ {
+		dstION := nf.Placement[r][s.dstElem]
+		if err := op.ctx.Err(); err != nil {
+			op.outcomes.cancel(dstION, err)
+			op.commitDone(c)
+			continue
+		}
+		if err := nf.growReplica(op.ctx, r, s.dstElem, s.dstHi+1); err != nil {
+			op.replicaCommitFailed(c, dstION, err)
+			continue
+		}
+		ts := time.Now()
+		if err := nf.handle(r, s.dstElem).Scatter(op.ctx, s.dstProj, 0, s.dstHi, s.buf); err != nil {
+			op.replicaCommitFailed(c, dstION, err)
+			continue
+		}
+		realScatter := time.Since(ts)
+		op.Stats.ScatterReal += realScatter
+		op.outcomes.ok(dstION, s.bytes)
+		op.outcomes.groupOK(s.key)
+		c.met.scatterBytes.Add(s.bytes)
+		c.met.scatterNs.Observe(realScatter.Nanoseconds())
+		c.met.ioBytes(dstION).Add(s.bytes)
+		cost := c.Disks[dstION].CacheCost(s.bytes, s.dstSegs)
+		c.Disks[dstION].Account(s.bytes, false)
+		err := c.Net.ReceiverBusy(c.ioNet(dstION), cost, func() {
+			op.commitDone(c)
+		})
+		if err != nil {
+			op.replicaCommitFailed(c, dstION, err)
+		}
 	}
 }
 
@@ -190,13 +210,18 @@ func (op *RedistOp) seal(c *Cluster) {
 	}
 	op.sealed = true
 	op.Stats.TNet = c.K.Now() - op.started
-	if err := op.outcomes.finalize(); err != nil && op.Err == nil {
+	err, degraded := op.outcomes.finalize()
+	if err != nil && op.Err == nil {
 		op.Err = err
 	}
 	if op.Err == nil {
 		if err := op.ctx.Err(); err != nil {
 			op.Err = err
 		}
+	}
+	if op.Err == nil && degraded != nil {
+		op.Degraded = degraded
+		c.met.degradedOps.Inc()
 	}
 	op.cancel()
 }
@@ -266,21 +291,41 @@ func (c *Cluster) StartRedistributeCtx(ctx context.Context, f *File, newName str
 
 		// Source I/O node: gather the shared bytes from the old
 		// subfile (real I/O), modeled as CPU work before the send.
-		// Unwritten holes read as zeroes, like any sparse file.
-		if err := f.growSubfile(octx, t.SrcElem, srcHi+1); err != nil {
-			op.nodeFailed(srcION, err)
-			break
-		}
+		// Unwritten holes read as zeroes, like any sparse file. A hard
+		// error fails over to the next source replica; only an
+		// exhausted placement group aborts the redistribution.
 		buf := c.getMsgBuf(bytes)
+		var gatherErr error
+		gathered := false
 		tg := time.Now()
-		if err := f.handles[t.SrcElem].Gather(octx, t.SrcProj, 0, srcHi, buf); err != nil {
+		for r := 0; r < f.Replication; r++ {
+			srcION = f.Placement[r][t.SrcElem]
+			if r > 0 {
+				c.met.failovers.Inc()
+			}
+			if gatherErr = f.growReplica(octx, r, t.SrcElem, srcHi+1); gatherErr == nil {
+				gatherErr = f.handle(r, t.SrcElem).Gather(octx, t.SrcProj, 0, srcHi, buf)
+			}
+			if gatherErr == nil {
+				gathered = true
+				break
+			}
+			if isCtxErr(gatherErr) || r+1 >= f.Replication {
+				break
+			}
+			// Tolerated source failure: record it (it surfaces in the
+			// Degraded report) without dooming the operation.
+			op.outcomes.fail(srcION, gatherErr)
+		}
+		if !gathered {
 			putMsgBuf(buf)
-			op.nodeFailed(srcION, err)
+			op.nodeFailed(srcION, gatherErr)
 			break
 		}
 		realGather := time.Since(tg)
 		op.Stats.GatherReal += realGather
 		op.outcomes.ok(srcION, bytes)
+		op.outcomes.group(fmt.Sprintf("xfer/%d", i), c.quorum)
 		c.met.gatherBytes.Add(bytes)
 		c.met.gatherNs.Observe(realGather.Nanoseconds())
 		c.met.ioBytes(srcION).Add(bytes)
@@ -291,6 +336,8 @@ func (c *Cluster) StartRedistributeCtx(ctx context.Context, f *File, newName str
 		op.Stats.Messages++
 		op.Stats.Bytes += bytes
 		c.met.recordNet(bytes)
+		key := fmt.Sprintf("xfer/%d", i)
+		srcNode := srcION // the replica that served the gather
 		dstProj := t.DstProj
 		dstElem := t.DstElem
 		dstSegs := dstProj.SegmentsIn(0, dstHi)
@@ -303,12 +350,12 @@ func (c *Cluster) StartRedistributeCtx(ctx context.Context, f *File, newName str
 				op.arrived(c)
 				return
 			}
-			err := c.Net.Send(c.ioNet(srcION), c.ioNet(dstION), bytes, func() {
+			err := c.Net.Send(c.ioNet(srcNode), c.ioNet(dstION), bytes, func() {
 				// Destination I/O node: stage the arrived buffer. The
-				// scatter into the new subfile waits for the commit
-				// point in settle().
+				// scatter into the new subfiles (every replica) waits
+				// for the commit point in settle().
 				op.staged = append(op.staged, stagedScatter{
-					dstElem: dstElem, dstION: dstION,
+					key: key, dstElem: dstElem, dstION: dstION,
 					dstHi: dstHi, dstSegs: dstSegs, dstProj: dstProj,
 					buf: buf, bytes: bytes,
 				})

@@ -1,0 +1,322 @@
+package clusterfile
+
+import (
+	"context"
+	"fmt"
+)
+
+// repair.go implements the maintenance half of the replication layer:
+// Scrub compares the replica placements of every subfile segment by
+// checksum (no data ships — each I/O node computes CRC32C locally via
+// SubfileHandle.Checksum), and Repair rewrites the divergent or
+// unreadable replicas from a healthy sibling. Together they convert
+// "node was down during a quorum write" and "replica rotted on disk"
+// from silent divergence into a counted, healable condition.
+//
+// Both run host-side and synchronously: they are maintenance
+// operations, not part of the §8.1 data path, so they use the
+// transport directly rather than the event kernel.
+
+// DefaultScrubSegmentBytes is the per-segment granularity of Scrub:
+// checksums are compared segment by segment so a single flipped byte
+// names a 1 MiB window instead of the whole subfile.
+const DefaultScrubSegmentBytes = 1 << 20
+
+// repairChunk bounds the staging buffer RepairReplica copies through.
+const repairChunk = 4 << 20
+
+// ScrubMismatch is one divergent (or unreadable) replica segment.
+type ScrubMismatch struct {
+	// Subfile and Replica name the bad placement; IONode is where it
+	// lives.
+	Subfile int
+	Replica int
+	IONode  int
+	// Off/Len is the segment window in the subfile's linear space.
+	Off, Len int64
+	// Want is the consensus checksum, Got the divergent one. When the
+	// replica could not be checksummed at all, Err holds the transport
+	// error and Want/Got are zero.
+	Want, Got uint32
+	Err       error
+}
+
+// ScrubReport summarizes one scrub pass.
+type ScrubReport struct {
+	// Subfiles and Segments count what was compared; Checked totals the
+	// bytes covered (per subfile, not multiplied by R).
+	Subfiles int
+	Segments int
+	Checked  int64
+	// Mismatches lists every divergent or unreadable replica segment.
+	Mismatches []ScrubMismatch
+}
+
+// Clean reports whether the scrub found no divergence.
+func (r *ScrubReport) Clean() bool { return len(r.Mismatches) == 0 }
+
+// RepairStats summarizes one repair pass.
+type RepairStats struct {
+	// Subfiles and Replicas count what was healed; Bytes totals the
+	// bytes rewritten.
+	Subfiles int
+	Replicas int
+	Bytes    int64
+}
+
+// ReplicaLen reports the stored length of replica r of subfile sub —
+// the maintenance probe behind status tooling, reaching one placement
+// directly instead of the failover read path.
+func (f *File) ReplicaLen(ctx context.Context, r, sub int) (int64, error) {
+	if sub < 0 || sub >= len(f.replicas[0]) {
+		return 0, fmt.Errorf("clusterfile: subfile %d out of range [0,%d)", sub, len(f.replicas[0]))
+	}
+	if r < 0 || r >= f.Replication {
+		return 0, fmt.Errorf("clusterfile: replica %d out of range [0,%d)", r, f.Replication)
+	}
+	octx, cancel := f.cluster.opCtx(ctx)
+	defer cancel()
+	return f.handle(r, sub).Len(octx)
+}
+
+// Scrub compares every replica placement of the file segment by
+// segment at the default granularity. See ScrubSegments.
+func (f *File) Scrub(ctx context.Context) (*ScrubReport, error) {
+	return f.ScrubSegments(ctx, DefaultScrubSegmentBytes)
+}
+
+// ScrubSegments walks the file's subfiles in segBytes windows, asks
+// every replica placement for the window's CRC32C, and reports the
+// placements that diverge from consensus. Consensus per segment is
+// decided in three steps: replicas of the longest subfile length win
+// first (a quorum-relaxed write leaves a stale replica short, and
+// shorter must never outvote longer), then the majority checksum among
+// those, then — on a tie — the lowest replica index. With R=1 there is
+// nothing to vote on; scrub still checksums every subfile, so
+// unreadable storage surfaces as a mismatch with Err set.
+//
+// A placement whose Checksum call fails hard is reported as a
+// mismatch; a cancelled context aborts the scrub with the context
+// error instead.
+func (f *File) ScrubSegments(ctx context.Context, segBytes int64) (*ScrubReport, error) {
+	if segBytes < 1 {
+		return nil, fmt.Errorf("clusterfile: scrub segment of %d bytes", segBytes)
+	}
+	c := f.cluster
+	octx, cancel := c.opCtx(ctx)
+	defer cancel()
+	span := c.span.StartChild("clusterfile.scrub")
+	defer span.End()
+	rep := &ScrubReport{}
+	R := f.Replication
+	for s := 0; s < len(f.replicas[0]); s++ {
+		rep.Subfiles++
+		// The scrub covers the longest replica's extent: a replica that
+		// is short relative to a sibling is divergent in the tail, and
+		// the zero-fill semantics of Checksum make that visible.
+		var maxLen int64
+		lens := make([]int64, R)
+		lenErr := make([]error, R)
+		for r := 0; r < R; r++ {
+			n, err := f.handle(r, s).Len(octx)
+			if err != nil {
+				if isCtxErr(err) {
+					return nil, err
+				}
+				lenErr[r] = err
+				continue
+			}
+			lens[r] = n
+			if n > maxLen {
+				maxLen = n
+			}
+		}
+		for off := int64(0); off == 0 || off < maxLen; off += segBytes {
+			n := segBytes
+			if off+n > maxLen {
+				n = maxLen - off
+			}
+			if n <= 0 {
+				if off > 0 {
+					break
+				}
+				n = 0
+			}
+			rep.Segments++
+			rep.Checked += n
+			c.met.scrubSegments.Inc()
+			sums := make([]uint32, R)
+			sumOK := make([]bool, R)
+			for r := 0; r < R; r++ {
+				if lenErr[r] != nil {
+					continue
+				}
+				sum, err := f.handle(r, s).Checksum(octx, off, n)
+				if err != nil {
+					if isCtxErr(err) {
+						return nil, err
+					}
+					lenErr[r] = err
+					continue
+				}
+				sums[r] = sum
+				sumOK[r] = true
+			}
+			want, ok := consensus(lens, sums, sumOK)
+			for r := 0; r < R; r++ {
+				bad := false
+				m := ScrubMismatch{
+					Subfile: s, Replica: r, IONode: f.Placement[r][s],
+					Off: off, Len: n,
+				}
+				switch {
+				case lenErr[r] != nil:
+					m.Err = lenErr[r]
+					bad = true
+				case ok && sums[r] != want:
+					m.Want, m.Got = want, sums[r]
+					bad = true
+				}
+				if bad {
+					rep.Mismatches = append(rep.Mismatches, m)
+					c.met.scrubMismatches.Inc()
+				}
+			}
+			if maxLen == 0 {
+				break
+			}
+		}
+	}
+	return rep, nil
+}
+
+// consensus picks the reference checksum of one segment: among the
+// readable replicas of maximal subfile length, the majority checksum;
+// ties go to the lowest replica index. ok is false when no replica was
+// readable.
+func consensus(lens []int64, sums []uint32, sumOK []bool) (uint32, bool) {
+	var maxLen int64 = -1
+	for r := range sums {
+		if sumOK[r] && lens[r] > maxLen {
+			maxLen = lens[r]
+		}
+	}
+	if maxLen < 0 {
+		return 0, false
+	}
+	best, bestVotes := uint32(0), 0
+	for r := range sums {
+		if !sumOK[r] || lens[r] != maxLen {
+			continue
+		}
+		votes := 0
+		for q := range sums {
+			if sumOK[q] && lens[q] == maxLen && sums[q] == sums[r] {
+				votes++
+			}
+		}
+		if votes > bestVotes {
+			best, bestVotes = sums[r], votes
+		}
+	}
+	return best, bestVotes > 0
+}
+
+// RepairReplica rewrites replica dst of the given subfile from replica
+// src: the source is staged fully host-side first, then committed with
+// a grow plus chunked writes — so a source that dies mid-read leaves
+// the destination untouched. It returns the bytes written.
+func (f *File) RepairReplica(ctx context.Context, sub, src, dst int) (int64, error) {
+	R := f.Replication
+	if sub < 0 || sub >= len(f.replicas[0]) {
+		return 0, fmt.Errorf("clusterfile: subfile %d out of range [0,%d)", sub, len(f.replicas[0]))
+	}
+	if src < 0 || src >= R || dst < 0 || dst >= R || src == dst {
+		return 0, fmt.Errorf("clusterfile: repair %d<-%d outside replicas [0,%d)", dst, src, R)
+	}
+	c := f.cluster
+	octx, cancel := c.opCtx(ctx)
+	defer cancel()
+
+	// Stage: read the whole source replica.
+	n, err := f.handle(src, sub).Len(octx)
+	if err != nil {
+		return 0, fmt.Errorf("clusterfile: repair source len: %w", err)
+	}
+	data := make([]byte, n)
+	if n > 0 {
+		if err := f.handle(src, sub).ReadAt(octx, data, 0); err != nil {
+			return 0, fmt.Errorf("clusterfile: repair source read: %w", err)
+		}
+	}
+
+	// Commit: grow the destination, then overwrite it chunk by chunk.
+	if err := f.handle(dst, sub).EnsureLen(octx, n); err != nil {
+		return 0, fmt.Errorf("clusterfile: repair destination grow: %w", err)
+	}
+	for off := int64(0); off < n; off += repairChunk {
+		m := n - off
+		if m > repairChunk {
+			m = repairChunk
+		}
+		if err := f.handle(dst, sub).WriteAt(octx, data[off:off+m], off); err != nil {
+			return 0, fmt.Errorf("clusterfile: repair destination write: %w", err)
+		}
+	}
+	c.met.repairBytes.Add(n)
+	return n, nil
+}
+
+// Repair scrubs the file and heals every divergent or unreadable
+// replica segment from the lowest-indexed clean sibling of its
+// subfile, whole-replica at a time. It returns what was healed and the
+// pre-repair scrub report. A subfile with no clean replica at all is a
+// hard error — there is nothing to heal from.
+func (f *File) Repair(ctx context.Context) (*RepairStats, *ScrubReport, error) {
+	c := f.cluster
+	span := c.span.StartChild("clusterfile.repair")
+	defer span.End()
+	c.met.repairOps.Inc()
+	rep, err := f.Scrub(ctx)
+	if err != nil {
+		return nil, nil, err
+	}
+	stats := &RepairStats{}
+	if rep.Clean() {
+		return stats, rep, nil
+	}
+	// Collapse segment mismatches into per-subfile replica sets.
+	bad := make(map[int]map[int]bool)
+	for _, m := range rep.Mismatches {
+		if bad[m.Subfile] == nil {
+			bad[m.Subfile] = make(map[int]bool)
+		}
+		bad[m.Subfile][m.Replica] = true
+	}
+	for sub := 0; sub < len(f.replicas[0]); sub++ {
+		replicas := bad[sub]
+		if replicas == nil {
+			continue
+		}
+		src := -1
+		for r := 0; r < f.Replication; r++ {
+			if !replicas[r] {
+				src = r
+				break
+			}
+		}
+		if src < 0 {
+			return stats, rep, fmt.Errorf("clusterfile: subfile %d has no clean replica to repair from", sub)
+		}
+		stats.Subfiles++
+		for r := range replicas {
+			n, err := f.RepairReplica(ctx, sub, src, r)
+			if err != nil {
+				return stats, rep, err
+			}
+			stats.Replicas++
+			stats.Bytes += n
+		}
+	}
+	return stats, rep, nil
+}

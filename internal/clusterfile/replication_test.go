@@ -1,0 +1,348 @@
+package clusterfile_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"parafile/internal/bench"
+	"parafile/internal/clusterfile"
+	"parafile/internal/fault"
+	"parafile/internal/obs"
+	"parafile/internal/part"
+)
+
+// replication_test.go proves the replication layer's core promise:
+// what a client reads through an R=2 file is byte-identical to the
+// R=1 baseline — with every node healthy, with one node dead under
+// the reads, and with one replica silently corrupted and then healed
+// by Repair. The tests live outside the package so they can wrap the
+// transport with the fault injector (which itself imports clusterfile).
+
+const replN = 32 // matrix side; 4 subfiles of 256 bytes each
+
+// replRun is the observable surface of one write+read-back workload.
+type replRun struct {
+	w        *bench.Workload
+	reads    [][]byte // per-view read-back
+	subfiles [][]byte // via the failover read path
+}
+
+// runRepl drives the standard 4+4 workload (column-block physical
+// file, row-block views) under the given config and reads everything
+// back.
+func runRepl(t *testing.T, cfg clusterfile.Config) *replRun {
+	t.Helper()
+	w, err := bench.NewWorkloadWithConfig("c", replN, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops, err := w.WriteAll(clusterfile.ToBufferCache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, op := range ops {
+		if op.Err != nil || !op.Done() {
+			t.Fatalf("node %d write: %v", i, op.Err)
+		}
+	}
+	r := &replRun{w: w}
+	per := int64(replN * replN / 4)
+	for i, v := range w.Views {
+		out := make([]byte, per)
+		op, err := v.StartRead(0, per-1, out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w.Cluster.RunAll()
+		if op.Err != nil {
+			t.Fatalf("view %d read: %v", i, op.Err)
+		}
+		if !bytes.Equal(out, w.ViewBuf(i)) {
+			t.Fatalf("view %d read differs from what it wrote", i)
+		}
+		r.reads = append(r.reads, out)
+	}
+	for i := 0; i < w.File.Phys.Pattern.Len(); i++ {
+		b, err := w.File.ReadSubfile(i)
+		if err != nil {
+			t.Fatalf("subfile %d: %v", i, err)
+		}
+		r.subfiles = append(r.subfiles, b)
+	}
+	return r
+}
+
+// mustEqualRuns compares every observable byte of two runs.
+func mustEqualRuns(t *testing.T, base, got *replRun, label string) {
+	t.Helper()
+	for i := range base.reads {
+		if !bytes.Equal(base.reads[i], got.reads[i]) {
+			t.Fatalf("%s: view %d read differs from the R=1 baseline", label, i)
+		}
+	}
+	for i := range base.subfiles {
+		if !bytes.Equal(base.subfiles[i], got.subfiles[i]) {
+			t.Fatalf("%s: subfile %d differs from the R=1 baseline", label, i)
+		}
+	}
+}
+
+func replConfig(repl int, reg *obs.Registry, plan *fault.Plan) clusterfile.Config {
+	cfg := clusterfile.DefaultConfig()
+	cfg.Replication = repl
+	cfg.Metrics = reg
+	inner := clusterfile.NewLocalTransport(nil)
+	if plan != nil {
+		cfg.Transport = fault.NewInjector(*plan, reg).WrapTransport(inner)
+	} else {
+		cfg.Transport = inner
+	}
+	return cfg
+}
+
+func failovers(reg *obs.Registry) uint64 {
+	return reg.Counter(clusterfile.MetricReplicaFailovers).Value()
+}
+
+// TestReplicationEquivalenceHealthy: with every node up, R=2 is
+// invisible — same bytes, no failovers — and a scrub of the freshly
+// written store reports zero mismatches.
+func TestReplicationEquivalenceHealthy(t *testing.T) {
+	base := runRepl(t, replConfig(1, nil, nil))
+	reg := obs.NewRegistry()
+	run := runRepl(t, replConfig(2, reg, nil))
+	mustEqualRuns(t, base, run, "healthy R=2")
+	if n := failovers(reg); n != 0 {
+		t.Errorf("healthy run recorded %d failovers", n)
+	}
+	rep, err := run.w.File.Scrub(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Clean() {
+		t.Fatalf("clean store scrubs dirty: %d mismatches (%+v)", len(rep.Mismatches), rep.Mismatches[0])
+	}
+	if rep.Subfiles != 4 || rep.Checked == 0 {
+		t.Errorf("scrub covered %d subfiles / %d bytes, want 4 / >0", rep.Subfiles, rep.Checked)
+	}
+	if reg.Counter(clusterfile.MetricScrubMismatches).Value() != 0 {
+		t.Error("scrub mismatch counter ticked on a clean store")
+	}
+}
+
+// TestReplicationEquivalenceNodeDown: after the write, node 1 stops
+// answering reads. With R=2 every read still returns the baseline
+// bytes; the only trace is the failover counter — and no goroutine
+// sticks around afterwards.
+func TestReplicationEquivalenceNodeDown(t *testing.T) {
+	base := runRepl(t, replConfig(1, nil, nil))
+	before := runtime.NumGoroutine()
+	reg := obs.NewRegistry()
+	// Only read-side operations fail: the node died after the write.
+	plan := fault.Plan{Rules: []fault.Rule{
+		{Node: 1, Op: fault.OpLen, Kind: fault.ErrorAlways},
+		{Node: 1, Op: fault.OpReadAt, Kind: fault.ErrorAlways},
+		{Node: 1, Op: fault.OpGather, Kind: fault.ErrorAlways},
+	}}
+	run := runRepl(t, replConfig(2, reg, &plan))
+	mustEqualRuns(t, base, run, "node 1 down")
+	if n := failovers(reg); n == 0 {
+		t.Error("reads around a dead node recorded no failovers")
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutine leak after failover reads: %d before, %d after",
+				before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestReplicationCorruptionRepair: a fault rule silently flips one
+// byte of replica tier 1 during the write. Reads stay byte-identical
+// (tier 0 is clean), Scrub pins the divergence to tier 1, Repair
+// heals it, and the store scrubs clean afterwards.
+func TestReplicationCorruptionRepair(t *testing.T) {
+	base := runRepl(t, replConfig(1, nil, nil))
+	reg := obs.NewRegistry()
+	tier1 := clusterfile.ReplicaName("matrix", 1)
+	// One scatter to tier 1 gets a silently flipped byte. (Not OpWriteAt:
+	// that is the op Repair itself rewrites through, and a lingering
+	// corrupt rule there would re-damage the heal.)
+	plan := fault.Plan{Rules: []fault.Rule{
+		{File: tier1, Node: fault.AnyNode, Op: fault.OpScatter, Kind: fault.Corrupt, Times: 1},
+	}}
+	run := runRepl(t, replConfig(2, reg, &plan))
+	mustEqualRuns(t, base, run, "corrupted tier 1")
+
+	ctx := context.Background()
+	rep, err := run.w.File.Scrub(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Clean() {
+		t.Fatal("scrub missed the injected corruption")
+	}
+	for _, m := range rep.Mismatches {
+		if m.Replica != 1 {
+			t.Fatalf("mismatch blamed replica %d, want 1: %+v", m.Replica, m)
+		}
+		if m.Err != nil {
+			t.Fatalf("corruption reported as unreadable: %v", m.Err)
+		}
+	}
+
+	stats, pre, err := run.w.File.Repair(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pre.Clean() || stats.Replicas == 0 || stats.Bytes == 0 {
+		t.Fatalf("repair healed nothing: %+v", stats)
+	}
+	rep, err = run.w.File.Scrub(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Clean() {
+		t.Fatalf("store still dirty after repair: %+v", rep.Mismatches)
+	}
+	if reg.Counter(clusterfile.MetricRepairOps).Value() != 1 {
+		t.Error("repair op counter did not tick")
+	}
+	if reg.Counter(clusterfile.MetricRepairBytes).Value() != uint64(stats.Bytes) {
+		t.Error("repair bytes counter disagrees with the stats")
+	}
+
+	// The healed store serves the same bytes.
+	for i := range base.subfiles {
+		b, err := run.w.File.ReadSubfile(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(b, base.subfiles[i]) {
+			t.Fatalf("subfile %d differs after repair", i)
+		}
+	}
+}
+
+// TestReplicationQuorumWrite: with WriteQuorum=1 and replica tier 1
+// refusing writes, the collective write succeeds Degraded; the stale
+// tier is visible to Scrub (the length-first consensus keeps the
+// short replica from outvoting the written one) and reads never see
+// it.
+func TestReplicationQuorumWrite(t *testing.T) {
+	base := runRepl(t, replConfig(1, nil, nil))
+	reg := obs.NewRegistry()
+	tier1 := clusterfile.ReplicaName("matrix", 1)
+	plan := fault.Plan{Rules: []fault.Rule{
+		{File: tier1, Node: fault.AnyNode, Op: fault.OpEnsureLen, Kind: fault.ErrorAlways},
+		{File: tier1, Node: fault.AnyNode, Op: fault.OpWriteAt, Kind: fault.ErrorAlways},
+		{File: tier1, Node: fault.AnyNode, Op: fault.OpScatter, Kind: fault.ErrorAlways},
+	}}
+	cfg := replConfig(2, reg, &plan)
+	cfg.WriteQuorum = 1
+	w, err := bench.NewWorkloadWithConfig("c", replN, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops, err := w.WriteAll(clusterfile.ToBufferCache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawDegraded := false
+	for i, op := range ops {
+		if op.Err != nil {
+			t.Fatalf("node %d write failed despite quorum 1: %v", i, op.Err)
+		}
+		if op.Degraded != nil {
+			sawDegraded = true
+			var ie *fault.InjectedError
+			if !errors.As(op.Degraded, &ie) {
+				t.Fatalf("degraded report does not unwrap to the injected error: %v", op.Degraded)
+			}
+		}
+	}
+	if !sawDegraded {
+		t.Fatal("no write reported a degraded replica")
+	}
+	if reg.Counter(clusterfile.MetricReplicaDegradedOps).Value() == 0 {
+		t.Error("degraded op counter did not tick")
+	}
+
+	// Reads are served by the written tier and match the baseline.
+	for i := range base.subfiles {
+		b, err := w.File.ReadSubfile(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(b, base.subfiles[i]) {
+			t.Fatalf("subfile %d differs under a stale tier 1", i)
+		}
+	}
+
+	// The stale tier cannot hide from the scrub.
+	rep, err := w.File.Scrub(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Clean() {
+		t.Fatal("scrub missed the stale replica tier")
+	}
+	for _, m := range rep.Mismatches {
+		if m.Replica != 1 {
+			t.Fatalf("mismatch blamed replica %d, want the stale tier 1: %+v", m.Replica, m)
+		}
+	}
+}
+
+// TestReplicationRedistribute: a replicated source redistributes into
+// a replicated destination with the same bytes as the R=1 run, and
+// both destination tiers agree under scrub.
+func TestReplicationRedistribute(t *testing.T) {
+	redist := func(t *testing.T, cfg clusterfile.Config) (*replRun, *clusterfile.File) {
+		run := runRepl(t, cfg)
+		rowPat, err := bench.LayoutPattern("r", replN)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nf, op, err := run.w.Cluster.StartRedistribute(run.w.File, "matrix.v2", part.MustFile(0, rowPat), nil, replN*replN)
+		if err != nil {
+			t.Fatal(err)
+		}
+		run.w.Cluster.RunAll()
+		if op.Err != nil {
+			t.Fatal(op.Err)
+		}
+		return run, nf
+	}
+	_, nfBase := redist(t, replConfig(1, nil, nil))
+	_, nf := redist(t, replConfig(2, nil, nil))
+	if nf.Replication != 2 {
+		t.Fatalf("redistributed file has replication %d, want the cluster's 2", nf.Replication)
+	}
+	for i := 0; i < nfBase.Phys.Pattern.Len(); i++ {
+		a, err := nfBase.ReadSubfile(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := nf.ReadSubfile(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a, b) {
+			t.Fatalf("redistributed subfile %d differs between R=1 and R=2", i)
+		}
+	}
+	rep, err := nf.Scrub(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Clean() {
+		t.Fatalf("redistributed replicas diverge: %+v", rep.Mismatches)
+	}
+}

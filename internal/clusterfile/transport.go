@@ -3,6 +3,7 @@ package clusterfile
 import (
 	"context"
 	"fmt"
+	"hash/crc32"
 
 	"parafile/internal/falls"
 	"parafile/internal/part"
@@ -53,6 +54,11 @@ type SubfileHandle interface {
 	// Gather packs the regions the projection selects within [lo, hi]
 	// into dst — the §8 GATHER.
 	Gather(ctx context.Context, p *redist.Projection, lo, hi int64, dst []byte) error
+	// Checksum returns the CRC32C (Castagnoli) of bytes [off, off+n) of
+	// the subfile's linear space; bytes beyond the current length read
+	// as zeroes, matching the sparse-file semantics of the grow-first
+	// read path. Scrub compares replicas with it without shipping data.
+	Checksum(ctx context.Context, off, n int64) (uint32, error)
 	// Close releases the handle (syncing durable stores).
 	Close() error
 }
@@ -153,6 +159,13 @@ func (h *localHandle) Gather(ctx context.Context, p *redist.Projection, lo, hi i
 	return GatherRange(dst, h.st, p, lo, hi)
 }
 
+func (h *localHandle) Checksum(ctx context.Context, off, n int64) (uint32, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	return ChecksumRange(h.st, off, n)
+}
+
 // ScatterRange unpacks contiguous data into the storage regions the
 // projection selects within [lo, hi] — the §8 SCATTER against an
 // arbitrary subfile store. It is shared by the local transport and the
@@ -172,6 +185,58 @@ func ScatterRange(store Storage, data []byte, p *redist.Projection, lo, hi int64
 		return true
 	})
 	return err
+}
+
+// castagnoli is the CRC32C polynomial table shared by every checksum
+// in the replication layer (subfile segments and wire frames alike).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// checksumChunk bounds the scratch buffer ChecksumRange reads through.
+const checksumChunk = 64 << 10
+
+// ChecksumRange computes the CRC32C of bytes [off, off+n) of a subfile
+// store, treating bytes beyond the store's current length as zeroes
+// (the same sparse semantics the grow-first read path exposes). It is
+// shared by the local transport and the rpc server, which keeps scrub
+// verdicts identical across transports.
+func ChecksumRange(store Storage, off, n int64) (uint32, error) {
+	if off < 0 || n < 0 {
+		return 0, fmt.Errorf("clusterfile: checksum range [%d,+%d) invalid", off, n)
+	}
+	var sum uint32
+	end := off + n
+	avail := store.Len()
+	buf := make([]byte, checksumChunk)
+	pos := off
+	for pos < end && pos < avail {
+		m := end - pos
+		if a := avail - pos; a < m {
+			m = a
+		}
+		if m > checksumChunk {
+			m = checksumChunk
+		}
+		if err := store.ReadAt(buf[:m], pos); err != nil {
+			return 0, err
+		}
+		sum = crc32.Update(sum, castagnoli, buf[:m])
+		pos += m
+	}
+	if pos < end {
+		// Zero-fill the tail beyond the store's length.
+		for i := range buf {
+			buf[i] = 0
+		}
+		for pos < end {
+			m := end - pos
+			if m > checksumChunk {
+				m = checksumChunk
+			}
+			sum = crc32.Update(sum, castagnoli, buf[:m])
+			pos += m
+		}
+	}
+	return sum, nil
 }
 
 // GatherRange packs the storage regions the projection selects within

@@ -29,7 +29,7 @@ func (inj *Injector) Dialer(inner DialFunc) DialFunc {
 		}
 	}
 	return func(ctx context.Context, network, addr string) (net.Conn, error) {
-		if err := inj.fire(ctx, AnyNode, OpDial); err != nil {
+		if err := inj.fire(ctx, AnyNode, OpDial, ""); err != nil {
 			return nil, err
 		}
 		conn, err := inner(ctx, network, addr)
@@ -77,7 +77,7 @@ type faultConn struct {
 // fired Corrupt rule is reported back for the caller to apply to the
 // payload. First fired rule wins, as everywhere.
 func (c *faultConn) connFault(op Op) (corrupt bool, err error) {
-	r := c.inj.decide(AnyNode, op)
+	r := c.inj.decide(AnyNode, op, "")
 	if r == nil {
 		return false, nil
 	}
@@ -100,7 +100,7 @@ func (c *faultConn) Read(p []byte) (int, error) {
 	}
 	n, err := c.Conn.Read(p)
 	if n > 0 {
-		if berr := c.inj.accountBytes(AnyNode, OpConnRead, int64(n)); berr != nil {
+		if berr := c.inj.accountBytes(AnyNode, OpConnRead, "", int64(n)); berr != nil {
 			c.Conn.Close()
 			return 0, berr
 		}
@@ -116,7 +116,7 @@ func (c *faultConn) Write(p []byte) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	if err := c.inj.accountBytes(AnyNode, OpConnWrite, int64(len(p))); err != nil {
+	if err := c.inj.accountBytes(AnyNode, OpConnWrite, "", int64(len(p))); err != nil {
 		c.Conn.Close()
 		return 0, err
 	}

@@ -53,8 +53,12 @@ const (
 	// returns its error — the crashed-but-not-closed daemon case.
 	// Meaningless on raw connections (no context); use Delay there.
 	Hang
-	// Corrupt flips one byte of the payload moving through a wrapped
-	// connection (frame corruption). Connection-level only.
+	// Corrupt flips one byte of the payload in flight. On a wrapped
+	// connection that is frame corruption; on a wrapped transport's
+	// data-carrying operations (WriteAt/Scatter/ReadAt/Gather) the
+	// bytes are damaged SILENTLY — the call succeeds with a flipped
+	// byte, the bit-rot a scrub must catch. Non-data transport
+	// operations degenerate to a plain injected error.
 	Corrupt
 	// FailAfterBytes lets the rule's Bytes flow through a wrapped
 	// connection, then fails it permanently — the mid-stream crash.
@@ -94,6 +98,7 @@ const (
 	OpReadAt    Op = "read_at"
 	OpScatter   Op = "scatter"
 	OpGather    Op = "gather"
+	OpChecksum  Op = "checksum"
 	// Connection-level operations (Dialer / WrapListener).
 	OpDial      Op = "dial"
 	OpConnRead  Op = "conn_read"
@@ -113,6 +118,12 @@ type Rule struct {
 	// Op restricts the rule to one operation class (OpAny for all at
 	// the rule's injection point).
 	Op Op
+	// File restricts a transport-level rule to one store name — the
+	// name the transport's Open received, which with replication is
+	// clusterfile.ReplicaName(file, r), so a rule can target a single
+	// replica tier (e.g. "eq~r1") while its siblings stay healthy.
+	// Empty matches every file; connection-level calls carry no file.
+	File string
 	// Kind is the injected fault.
 	Kind Kind
 	// Err overrides the injected error (default: an *InjectedError
@@ -134,9 +145,12 @@ type Rule struct {
 	Prob float64
 }
 
-// matches reports whether the rule applies to (node, op).
-func (r *Rule) matches(node int, op Op) bool {
+// matches reports whether the rule applies to (node, op, file).
+func (r *Rule) matches(node int, op Op, file string) bool {
 	if r.Node != AnyNode && r.Node != node {
+		return false
+	}
+	if r.File != "" && r.File != file {
 		return false
 	}
 	return r.Op == OpAny || r.Op == op
@@ -213,9 +227,9 @@ func (inj *Injector) Injected(i int) int {
 	return inj.state[i].fired
 }
 
-// decide returns the first rule scheduled to fire for (node, op), or
-// nil. It advances every matching rule's schedule state.
-func (inj *Injector) decide(node int, op Op) *Rule {
+// decide returns the first rule scheduled to fire for (node, op,
+// file), or nil. It advances every matching rule's schedule state.
+func (inj *Injector) decide(node int, op Op, file string) *Rule {
 	inj.mu.Lock()
 	defer inj.mu.Unlock()
 	var hit *Rule
@@ -224,7 +238,7 @@ func (inj *Injector) decide(node int, op Op) *Rule {
 		if r.Kind == FailAfterBytes {
 			continue // byte-budget rules live in accountBytes
 		}
-		if !r.matches(node, op) {
+		if !r.matches(node, op, file) {
 			continue
 		}
 		st := &inj.state[i]
@@ -265,14 +279,14 @@ func errFor(r *Rule, node int, op Op) error {
 // fire evaluates the plan for one transport-level call and executes
 // the fault: returns the injected error, sleeps the delay, or hangs
 // until ctx is cancelled. nil means the call proceeds.
-func (inj *Injector) fire(ctx context.Context, node int, op Op) error {
-	r := inj.decide(node, op)
+func (inj *Injector) fire(ctx context.Context, node int, op Op, file string) error {
+	r := inj.decide(node, op, file)
 	if r == nil {
 		return nil
 	}
 	switch r.Kind {
 	case ErrorOnce, ErrorAlways, Corrupt:
-		// Corrupt degenerates to a plain error at transport level.
+		// Corrupt degenerates to a plain error on non-data calls.
 		return errFor(r, node, op)
 	case Delay:
 		timer := time.NewTimer(r.Delay)
@@ -290,15 +304,46 @@ func (inj *Injector) fire(ctx context.Context, node int, op Op) error {
 	return nil
 }
 
+// fireData evaluates the plan for a data-carrying transport call
+// (WriteAt/Scatter/ReadAt/Gather). A fired Corrupt rule returns
+// (true, nil): the caller must flip a payload byte and let the call
+// succeed — silent bit-rot only a scrub can catch. Everything else
+// behaves as fire does.
+func (inj *Injector) fireData(ctx context.Context, node int, op Op, file string) (corrupt bool, err error) {
+	r := inj.decide(node, op, file)
+	if r == nil {
+		return false, nil
+	}
+	switch r.Kind {
+	case Corrupt:
+		return true, nil
+	case ErrorOnce, ErrorAlways:
+		return false, errFor(r, node, op)
+	case Delay:
+		timer := time.NewTimer(r.Delay)
+		defer timer.Stop()
+		select {
+		case <-ctx.Done():
+			return false, ctx.Err()
+		case <-timer.C:
+		}
+		return false, nil
+	case Hang:
+		<-ctx.Done()
+		return false, ctx.Err()
+	}
+	return false, nil
+}
+
 // accountBytes charges n moved bytes against every matching
 // FailAfterBytes rule; an exhausted budget fails the call (and every
 // later one — the budget stays exhausted).
-func (inj *Injector) accountBytes(node int, op Op, n int64) error {
+func (inj *Injector) accountBytes(node int, op Op, file string, n int64) error {
 	inj.mu.Lock()
 	defer inj.mu.Unlock()
 	for i := range inj.plan.Rules {
 		r := &inj.plan.Rules[i]
-		if r.Kind != FailAfterBytes || !r.matches(node, op) {
+		if r.Kind != FailAfterBytes || !r.matches(node, op, file) {
 			continue
 		}
 		st := &inj.state[i]

@@ -36,7 +36,7 @@ func (t *faultTransport) Open(ctx context.Context, name string, phys *part.File,
 			continue
 		}
 		seen[node] = true
-		if err := t.inj.fire(ctx, node, OpOpen); err != nil {
+		if err := t.inj.fire(ctx, node, OpOpen, name); err != nil {
 			return nil, err
 		}
 	}
@@ -46,7 +46,7 @@ func (t *faultTransport) Open(ctx context.Context, name string, phys *part.File,
 	}
 	wrapped := make([]clusterfile.SubfileHandle, len(handles))
 	for i, h := range handles {
-		wrapped[i] = &faultHandle{inner: h, inj: t.inj, node: assign[i]}
+		wrapped[i] = &faultHandle{inner: h, inj: t.inj, node: assign[i], file: name}
 	}
 	return wrapped, nil
 }
@@ -54,22 +54,41 @@ func (t *faultTransport) Open(ctx context.Context, name string, phys *part.File,
 func (t *faultTransport) Close() error { return t.inner.Close() }
 
 // faultHandle interposes on one subfile's handle with its I/O node's
-// fault plan.
+// fault plan. file is the name the transport's Open received (with
+// replication, the per-tier clusterfile.ReplicaName), so rules can
+// fault one replica while its siblings stay healthy.
 type faultHandle struct {
 	inner clusterfile.SubfileHandle
 	inj   *Injector
 	node  int
+	file  string
 }
 
 // check runs the schedule and the byte budget for one operation.
 func (h *faultHandle) check(ctx context.Context, op Op, bytes int64) error {
-	if err := h.inj.fire(ctx, h.node, op); err != nil {
+	if err := h.inj.fire(ctx, h.node, op, h.file); err != nil {
 		return err
 	}
 	if bytes > 0 {
-		return h.inj.accountBytes(h.node, op, bytes)
+		return h.inj.accountBytes(h.node, op, h.file, bytes)
 	}
 	return nil
+}
+
+// checkData runs the schedule and byte budget for a data-carrying
+// operation, where a Corrupt rule asks for a silent byte flip instead
+// of an error.
+func (h *faultHandle) checkData(ctx context.Context, op Op, bytes int64) (corrupt bool, err error) {
+	corrupt, err = h.inj.fireData(ctx, h.node, op, h.file)
+	if err != nil {
+		return false, err
+	}
+	if bytes > 0 {
+		if err := h.inj.accountBytes(h.node, op, h.file, bytes); err != nil {
+			return false, err
+		}
+	}
+	return corrupt, nil
 }
 
 func (h *faultHandle) EnsureLen(ctx context.Context, n int64) error {
@@ -87,31 +106,66 @@ func (h *faultHandle) Len(ctx context.Context) (int64, error) {
 }
 
 func (h *faultHandle) WriteAt(ctx context.Context, p []byte, off int64) error {
-	if err := h.check(ctx, OpWriteAt, int64(len(p))); err != nil {
+	corrupt, err := h.checkData(ctx, OpWriteAt, int64(len(p)))
+	if err != nil {
 		return err
+	}
+	if corrupt && len(p) > 0 {
+		// Damage a copy: the caller's buffer (possibly pooled, possibly
+		// shared with sibling replicas) must stay intact.
+		tmp := append([]byte(nil), p...)
+		h.inj.corruptByte(tmp)
+		p = tmp
 	}
 	return h.inner.WriteAt(ctx, p, off)
 }
 
 func (h *faultHandle) ReadAt(ctx context.Context, p []byte, off int64) error {
-	if err := h.check(ctx, OpReadAt, int64(len(p))); err != nil {
+	corrupt, err := h.checkData(ctx, OpReadAt, int64(len(p)))
+	if err != nil {
 		return err
 	}
-	return h.inner.ReadAt(ctx, p, off)
+	if err := h.inner.ReadAt(ctx, p, off); err != nil {
+		return err
+	}
+	if corrupt {
+		h.inj.corruptByte(p)
+	}
+	return nil
 }
 
 func (h *faultHandle) Scatter(ctx context.Context, p *redist.Projection, lo, hi int64, data []byte) error {
-	if err := h.check(ctx, OpScatter, int64(len(data))); err != nil {
+	corrupt, err := h.checkData(ctx, OpScatter, int64(len(data)))
+	if err != nil {
 		return err
+	}
+	if corrupt && len(data) > 0 {
+		tmp := append([]byte(nil), data...)
+		h.inj.corruptByte(tmp)
+		data = tmp
 	}
 	return h.inner.Scatter(ctx, p, lo, hi, data)
 }
 
 func (h *faultHandle) Gather(ctx context.Context, p *redist.Projection, lo, hi int64, dst []byte) error {
-	if err := h.check(ctx, OpGather, int64(len(dst))); err != nil {
+	corrupt, err := h.checkData(ctx, OpGather, int64(len(dst)))
+	if err != nil {
 		return err
 	}
-	return h.inner.Gather(ctx, p, lo, hi, dst)
+	if err := h.inner.Gather(ctx, p, lo, hi, dst); err != nil {
+		return err
+	}
+	if corrupt {
+		h.inj.corruptByte(dst)
+	}
+	return nil
+}
+
+func (h *faultHandle) Checksum(ctx context.Context, off, n int64) (uint32, error) {
+	if err := h.check(ctx, OpChecksum, 0); err != nil {
+		return 0, err
+	}
+	return h.inner.Checksum(ctx, off, n)
 }
 
 func (h *faultHandle) Close() error { return h.inner.Close() }

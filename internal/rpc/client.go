@@ -63,6 +63,12 @@ type ClientConfig struct {
 	// fail-after-N-bytes) here. Nil uses a plain TCP dial. The context
 	// passed in carries the dial timeout.
 	Dialer func(ctx context.Context, network, addr string) (net.Conn, error)
+	// ProtoVersion caps the protocol generation the client negotiates
+	// (0 means MaxProtoVersion). At 1 the client skips negotiation
+	// entirely and speaks bare v1 frames; at 2+ every fresh connection
+	// opens with a MsgHello exchange, downgrading to v1 when the daemon
+	// predates negotiation (it answers the Hello with MsgError).
+	ProtoVersion int
 	// Metrics receives the client-side RPC series; nil records nothing.
 	Metrics *obs.Registry
 }
@@ -100,6 +106,16 @@ func (cfg *ClientConfig) fillDefaults() {
 	if cfg.BreakerCooldown <= 0 {
 		cfg.BreakerCooldown = time.Second
 	}
+	if cfg.ProtoVersion <= 0 || cfg.ProtoVersion > MaxProtoVersion {
+		cfg.ProtoVersion = MaxProtoVersion
+	}
+}
+
+// clientConn is one pooled connection and the protocol version its
+// MsgHello exchange settled on.
+type clientConn struct {
+	net.Conn
+	ver byte
 }
 
 // Client talks to one I/O node.
@@ -109,7 +125,7 @@ type Client struct {
 	br  *breaker // nil when disabled
 
 	mu     sync.Mutex
-	idle   []net.Conn
+	idle   []*clientConn
 	closed bool
 
 	// registered remembers the projection fingerprints this node has
@@ -145,7 +161,7 @@ func (c *Client) Close() error {
 	return nil
 }
 
-func (c *Client) getConn(ctx context.Context) (net.Conn, error) {
+func (c *Client) getConn(ctx context.Context) (*clientConn, error) {
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
@@ -161,14 +177,78 @@ func (c *Client) getConn(ctx context.Context) (net.Conn, error) {
 	c.met.dials.Inc()
 	dctx, cancel := context.WithTimeout(ctx, c.cfg.DialTimeout)
 	defer cancel()
+	var raw net.Conn
+	var err error
 	if c.cfg.Dialer != nil {
-		return c.cfg.Dialer(dctx, "tcp", c.cfg.Addr)
+		raw, err = c.cfg.Dialer(dctx, "tcp", c.cfg.Addr)
+	} else {
+		var d net.Dialer
+		raw, err = d.DialContext(dctx, "tcp", c.cfg.Addr)
 	}
-	var d net.Dialer
-	return d.DialContext(dctx, "tcp", c.cfg.Addr)
+	if err != nil {
+		return nil, err
+	}
+	conn := &clientConn{Conn: raw, ver: ProtoVersion}
+	if c.cfg.ProtoVersion > ProtoVersion {
+		if err := c.negotiate(ctx, conn); err != nil {
+			conn.Close()
+			return nil, err
+		}
+	}
+	return conn, nil
 }
 
-func (c *Client) putConn(conn net.Conn) {
+// negotiate runs the MsgHello exchange on a fresh connection. The
+// Hello itself travels v1-framed so a daemon that predates negotiation
+// parses it; such a daemon answers with MsgError (bad request), which
+// the client reads as "speak v1". A transport failure fails the dial —
+// the caller's retry loop handles it like any connection error.
+func (c *Client) negotiate(ctx context.Context, conn *clientConn) error {
+	want := byte(c.cfg.ProtoVersion)
+	req := AppendHello(getFrameBuf(8), want)
+	defer putFrameBuf(req)
+	if err := conn.SetWriteDeadline(deadline(ctx, c.cfg.WriteTimeout)); err != nil {
+		return err
+	}
+	if err := WriteFrame(conn, req); err != nil {
+		return err
+	}
+	if err := conn.SetReadDeadline(deadline(ctx, c.cfg.ReadTimeout)); err != nil {
+		return err
+	}
+	body, err := ReadFrame(conn, c.cfg.MaxFrame)
+	if err != nil {
+		return err
+	}
+	defer ReleaseFrame(body)
+	msgType, payload, err := ParseFrame(body)
+	if err != nil {
+		return err
+	}
+	switch msgType {
+	case MsgHelloResp:
+		agreed, err := DecodeHelloResp(payload)
+		if err != nil {
+			return err
+		}
+		if agreed < ProtoVersion {
+			agreed = ProtoVersion
+		}
+		if agreed > want {
+			agreed = want
+		}
+		conn.ver = agreed
+	case MsgError:
+		// Pre-negotiation daemon: it answered the unknown message with
+		// a bad-request error. Speak v1 on this connection.
+		conn.ver = ProtoVersion
+	default:
+		return fmt.Errorf("%w: hello response type %#x", ErrCorrupt, msgType)
+	}
+	return nil
+}
+
+func (c *Client) putConn(conn *clientConn) {
 	c.mu.Lock()
 	if !c.closed && len(c.idle) < c.cfg.PoolSize {
 		c.idle = append(c.idle, conn)
@@ -198,13 +278,14 @@ func deadline(ctx context.Context, d time.Duration) time.Time {
 	return t
 }
 
-// roundTrip performs one framed exchange on one connection. The
+// roundTrip performs one framed exchange on one connection, framing
+// the request at the connection's negotiated protocol version. The
 // response body is pooled; the caller releases it.
-func (c *Client) roundTrip(ctx context.Context, conn net.Conn, req []byte) ([]byte, error) {
+func (c *Client) roundTrip(ctx context.Context, conn *clientConn, req []byte) ([]byte, error) {
 	if err := conn.SetWriteDeadline(deadline(ctx, c.cfg.WriteTimeout)); err != nil {
 		return nil, err
 	}
-	if err := WriteFrame(conn, req); err != nil {
+	if err := WriteFrameV(conn, req, conn.ver); err != nil {
 		return nil, err
 	}
 	c.met.sentBytes.Add(int64(len(req) + 4))
@@ -326,6 +407,11 @@ func (c *Client) call(ctx context.Context, reqType byte, req []byte) ([]byte, er
 		}
 		conn, err := c.getConn(ctx)
 		if err != nil {
+			// Dial and negotiation failures count like any transport
+			// error, including their deadline expiries.
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				c.met.timeouts.Inc()
+			}
 			if ctx.Err() == nil {
 				c.br.failure()
 			}
@@ -459,6 +545,23 @@ func (c *Client) Stat(ctx context.Context, file string, subfile int64) (int64, e
 		return 0, err
 	}
 	return DecodeStatResp(payload)
+}
+
+// Checksum returns the CRC32C of subfile bytes [off, off+n); bytes
+// beyond the subfile's length count as zeroes.
+func (c *Client) Checksum(ctx context.Context, file string, subfile, off, n int64) (uint32, error) {
+	reqBuf := AppendChecksum(getFrameBuf(64), &ChecksumReq{File: file, Subfile: subfile, Off: off, N: n})
+	body, err := c.call(ctx, MsgChecksum, reqBuf)
+	putFrameBuf(reqBuf)
+	if err != nil {
+		return 0, err
+	}
+	defer ReleaseFrame(body)
+	payload, err := parseResp(body, MsgChecksumResp)
+	if err != nil {
+		return 0, err
+	}
+	return DecodeChecksumResp(payload)
 }
 
 // CloseFile syncs and closes the file's stores on the node.

@@ -1,0 +1,197 @@
+package rpc_test
+
+import (
+	"bytes"
+	"context"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"parafile/internal/bench"
+	"parafile/internal/clusterfile"
+	"parafile/internal/obs"
+	"parafile/internal/part"
+	"parafile/internal/rpc"
+)
+
+// replication_transport_test.go runs the replication layer over real
+// TCP daemons: a daemon dying between the write and the reads must be
+// invisible to an R=2 client except for the failover counter, and a
+// degraded open must hand out a usable file around the dead daemon
+// instead of refusing to connect.
+
+// startStoppableDaemon is startDaemon with an explicit, idempotent
+// stop so a test can kill one daemon mid-flight.
+func startStoppableDaemon(t *testing.T) (string, func()) {
+	t.Helper()
+	srv := rpc.NewServer(rpc.ServerConfig{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	var once sync.Once
+	stop := func() {
+		once.Do(func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			if err := srv.Shutdown(ctx); err != nil {
+				t.Errorf("shutdown: %v", err)
+			}
+			if err := <-done; err != nil {
+				t.Errorf("serve: %v", err)
+			}
+		})
+	}
+	t.Cleanup(stop)
+	return ln.Addr().String(), stop
+}
+
+// fastFailClient keeps dead-daemon calls from stalling the test.
+func fastFailClient() rpc.ClientConfig {
+	return rpc.ClientConfig{
+		MaxRetries:       1,
+		BackoffBase:      time.Millisecond,
+		DialTimeout:      500 * time.Millisecond,
+		ReadTimeout:      2 * time.Second,
+		WriteTimeout:     2 * time.Second,
+		BreakerThreshold: -1,
+	}
+}
+
+func TestReplicatedTransportSurvivesDaemonDeath(t *testing.T) {
+	addr0, _ := startStoppableDaemon(t)
+	addr1, stop1 := startStoppableDaemon(t)
+	addr2, _ := startStoppableDaemon(t)
+
+	reg := obs.NewRegistry()
+	tr, err := rpc.NewTransport([]string{addr0, addr1, addr2}, rpc.Options{Client: fastFailClient()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	cfg := clusterfile.DefaultConfig()
+	cfg.Replication = 2
+	cfg.Transport = tr
+	cfg.Metrics = reg
+
+	const n = 32
+	w, err := bench.NewWorkloadWithConfig("c", n, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops, err := w.WriteAll(clusterfile.ToBufferCache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, op := range ops {
+		if op.Err != nil || !op.Done() {
+			t.Fatalf("node %d write: %v", i, op.Err)
+		}
+	}
+	// Healthy snapshot of every subfile through the failover read path.
+	healthy := make([][]byte, w.File.Phys.Pattern.Len())
+	for i := range healthy {
+		if healthy[i], err = w.File.ReadSubfile(i); err != nil {
+			t.Fatalf("subfile %d: %v", i, err)
+		}
+	}
+
+	// With 4 I/O nodes over 3 daemons (round-robin), daemon 1 is
+	// exactly I/O node 1. Kill it: replica 0 of subfile 1 and replica 1
+	// of subfile 0 are gone, every byte still has a live placement.
+	stop1()
+
+	per := int64(n * n / 4)
+	for i, v := range w.Views {
+		out := make([]byte, per)
+		op, err := v.StartRead(0, per-1, out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w.Cluster.RunAll()
+		if op.Err != nil {
+			t.Fatalf("view %d read with daemon 1 dead: %v", i, op.Err)
+		}
+		if !bytes.Equal(out, w.ViewBuf(i)) {
+			t.Fatalf("view %d read differs with daemon 1 dead", i)
+		}
+	}
+	for i := range healthy {
+		b, err := w.File.ReadSubfile(i)
+		if err != nil {
+			t.Fatalf("subfile %d with daemon 1 dead: %v", i, err)
+		}
+		if !bytes.Equal(b, healthy[i]) {
+			t.Fatalf("subfile %d differs with daemon 1 dead", i)
+		}
+	}
+	if reg.Counter(clusterfile.MetricReplicaFailovers).Value() == 0 {
+		t.Error("reads around the dead daemon recorded no failovers")
+	}
+}
+
+func TestDegradedOpenAroundDeadDaemon(t *testing.T) {
+	live, _ := startStoppableDaemon(t)
+	// A dead endpoint: reserve a port, then free it.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := ln.Addr().String()
+	ln.Close()
+
+	cols, err := part.ColBlocks(16, 16, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	phys := part.MustFile(0, cols)
+	ctx := context.Background()
+
+	// Strict open refuses the dead daemon.
+	strict, err := rpc.NewTransport([]string{live, dead}, rpc.Options{Client: fastFailClient()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer strict.Close()
+	if _, err := strict.Open(ctx, "f", phys, []int{0, 1}); err == nil {
+		t.Fatal("strict open succeeded with a dead daemon")
+	}
+
+	// Degraded open hands out handles; the dead daemon's subfile fails
+	// per operation, the live one works.
+	tr, err := rpc.NewTransport([]string{live, dead}, rpc.Options{Client: fastFailClient(), DegradedOpen: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	handles, err := tr.Open(ctx, "f", phys, []int{0, 1})
+	if err != nil {
+		t.Fatalf("degraded open failed: %v", err)
+	}
+	if len(handles) != 2 {
+		t.Fatalf("%d handles, want 2", len(handles))
+	}
+	if err := handles[0].EnsureLen(ctx, 8); err != nil {
+		t.Fatalf("live subfile errors: %v", err)
+	}
+	if err := handles[0].WriteAt(ctx, []byte("abcdefgh"), 0); err != nil {
+		t.Fatalf("live subfile write: %v", err)
+	}
+	if sum, err := handles[0].Checksum(ctx, 0, 8); err != nil || sum == 0 {
+		t.Fatalf("live subfile checksum = (%d, %v)", sum, err)
+	}
+	if err := handles[1].EnsureLen(ctx, 8); err == nil {
+		t.Fatal("dead daemon's subfile accepted a write")
+	}
+	if _, err := handles[1].Len(ctx); err == nil {
+		t.Fatal("dead daemon's subfile answered a stat")
+	}
+	for _, h := range handles {
+		if err := h.Close(); err != nil {
+			t.Errorf("close: %v", err)
+		}
+	}
+}

@@ -28,6 +28,11 @@ type ServerConfig struct {
 	DataDir string
 	// MaxFrame bounds accepted frame bodies (DefaultMaxFrame when 0).
 	MaxFrame int64
+	// MaxProtoVersion caps the protocol generation the server speaks
+	// (0 means the build's MaxProtoVersion). Setting 1 emulates a
+	// pre-negotiation daemon: MsgHello is an unknown message and v2
+	// frames are rejected — the downgrade path the client must survive.
+	MaxProtoVersion int
 	// Metrics receives the server-side RPC series; nil records nothing.
 	Metrics *obs.Registry
 }
@@ -35,8 +40,9 @@ type ServerConfig struct {
 // Server hosts subfile stores behind the wire protocol. One Server is
 // one I/O node; a deployment runs one parafiled per node.
 type Server struct {
-	cfg ServerConfig
-	met serverMetrics
+	cfg    ServerConfig
+	met    serverMetrics
+	maxVer byte
 
 	mu       sync.Mutex
 	ln       net.Listener
@@ -59,12 +65,16 @@ func NewServer(cfg ServerConfig) *Server {
 	if cfg.MaxFrame <= 0 {
 		cfg.MaxFrame = DefaultMaxFrame
 	}
+	if cfg.MaxProtoVersion <= 0 || cfg.MaxProtoVersion > MaxProtoVersion {
+		cfg.MaxProtoVersion = MaxProtoVersion
+	}
 	return &Server{
-		cfg:   cfg,
-		met:   newServerMetrics(cfg.Metrics),
-		conns: make(map[net.Conn]struct{}),
-		files: make(map[string]*serverFile),
-		projs: make(map[uint64]*redist.Projection),
+		cfg:    cfg,
+		met:    newServerMetrics(cfg.Metrics),
+		maxVer: byte(cfg.MaxProtoVersion),
+		conns:  make(map[net.Conn]struct{}),
+		files:  make(map[string]*serverFile),
+		projs:  make(map[uint64]*redist.Projection),
 	}
 }
 
@@ -164,9 +174,19 @@ func (s *Server) handleConn(conn net.Conn) {
 			return
 		}
 		s.met.recvBytes.Add(int64(len(body) + 4))
+		// Responses mirror the request's frame version (clamped to what
+		// this server speaks): a v2 request gets a checksummed v2
+		// response, a v1 request a bare v1 one.
+		respVer := byte(ProtoVersion)
+		if len(body) > 0 && body[0] > respVer {
+			respVer = body[0]
+		}
+		if respVer > s.maxVer {
+			respVer = s.maxVer
+		}
 		resp := s.handle(body)
 		ReleaseFrame(body)
-		err = WriteFrame(conn, resp)
+		err = WriteFrameV(conn, resp, respVer)
 		s.met.sentBytes.Add(int64(len(resp) + 4))
 		putFrameBuf(resp)
 		if err != nil {
@@ -193,6 +213,12 @@ func (s *Server) handle(body []byte) []byte {
 	if err != nil {
 		return s.errResp(out, ErrCodeBadRequest, err.Error())
 	}
+	if body[0] > s.maxVer {
+		// A version-capped server refuses newer framing the same way a
+		// real old daemon would.
+		return s.errResp(out, ErrCodeBadRequest,
+			fmt.Sprintf("protocol version %d, want %d", body[0], s.maxVer))
+	}
 	s.met.requests[msgType].Inc()
 	if s.draining.Load() {
 		return s.errResp(out, ErrCodeShuttingDown, "server draining")
@@ -216,8 +242,52 @@ func (s *Server) handle(body []byte) []byte {
 			return s.errResp(out, ErrCodeBadRequest, err.Error())
 		}
 		return AppendOK(out)
+	case MsgHello:
+		// A version-capped (v1-emulating) server falls through to the
+		// unknown-message error below, exactly like a real old daemon.
+		if s.maxVer >= ProtoVersion2 {
+			return s.handleHello(out, payload)
+		}
+	case MsgChecksum:
+		return s.handleChecksum(out, payload)
 	}
 	return s.errResp(out, ErrCodeBadRequest, fmt.Sprintf("unknown message type %#x", msgType))
+}
+
+func (s *Server) handleHello(out, payload []byte) []byte {
+	want, err := DecodeHello(payload)
+	if err != nil {
+		return s.errResp(out, ErrCodeBadRequest, err.Error())
+	}
+	agreed := want
+	if agreed > s.maxVer {
+		agreed = s.maxVer
+	}
+	return AppendHelloResp(out, agreed)
+}
+
+func (s *Server) handleChecksum(out, payload []byte) []byte {
+	req, err := DecodeChecksum(payload)
+	if err != nil {
+		return s.errResp(out, ErrCodeBadRequest, err.Error())
+	}
+	if req.Off < 0 || req.N < 0 {
+		return s.errResp(out, ErrCodeBadRequest,
+			fmt.Sprintf("bad checksum range [%d,+%d)", req.Off, req.N))
+	}
+	sf, st, code, msg := s.lookup(req.File, req.Subfile)
+	if code != 0 {
+		return s.errResp(out, code, msg)
+	}
+	sf.mu.Lock()
+	defer sf.mu.Unlock()
+	// Read-only: bytes beyond the store's length count as zeroes, so no
+	// grow — scrubbing must never mutate what it audits.
+	sum, err := clusterfile.ChecksumRange(st, req.Off, req.N)
+	if err != nil {
+		return s.errResp(out, ErrCodeIO, err.Error())
+	}
+	return AppendChecksumResp(out, sum)
 }
 
 func (s *Server) errResp(out []byte, code uint64, msg string) []byte {

@@ -30,6 +30,14 @@ type Options struct {
 	// (the reopen-from-metadata case). Default is a fresh truncate,
 	// matching DirStorageFactory.
 	Reopen bool
+	// DegradedOpen tolerates unreachable daemons at Open time: a failed
+	// CreateFile yields handles that error on every operation for that
+	// daemon's subfiles, instead of failing the Open wholesale. With
+	// replication, the surviving placements then serve reads while the
+	// dead node's placements report as failed — the degraded-but-open
+	// state parafilectl needs to scrub or repair around a dead node.
+	// Default (false) is strict: any unreachable daemon fails Open.
+	DegradedOpen bool
 	// Metrics receives the client-side RPC series; nil records
 	// nothing. Overrides Client.Metrics when set.
 	Metrics *obs.Registry
@@ -37,8 +45,9 @@ type Options struct {
 
 // Transport implements clusterfile.Transport over TCP.
 type Transport struct {
-	clients []*Client
-	reopen  bool
+	clients  []*Client
+	reopen   bool
+	degraded bool
 }
 
 var _ clusterfile.Transport = (*Transport)(nil)
@@ -49,7 +58,7 @@ func NewTransport(addrs []string, opts Options) (*Transport, error) {
 	if len(addrs) == 0 {
 		return nil, fmt.Errorf("rpc: transport needs at least one endpoint")
 	}
-	t := &Transport{reopen: opts.Reopen}
+	t := &Transport{reopen: opts.Reopen, degraded: opts.DegradedOpen}
 	for _, addr := range addrs {
 		cfg := opts.Client
 		cfg.Addr = addr
@@ -78,6 +87,7 @@ func (t *Transport) Open(ctx context.Context, name string, phys *part.File, assi
 		perClient[c] = append(perClient[c], sub)
 	}
 	refs := make(map[*Client]*fileRef)
+	broken := make(map[*Client]error)
 	for _, c := range t.clients {
 		subs := perClient[c]
 		if len(subs) == 0 {
@@ -85,6 +95,14 @@ func (t *Transport) Open(ctx context.Context, name string, phys *part.File, assi
 		}
 		err := c.CreateFile(ctx, &CreateFileReq{Name: name, Phys: physEnc, Subfiles: subs, Reopen: t.reopen})
 		if err != nil {
+			if t.degraded {
+				// Remember the failure; the daemon's subfiles get
+				// handles that surface it on every operation, so the
+				// replication layer treats the node as failed instead
+				// of refusing to open the file at all.
+				broken[c] = fmt.Errorf("rpc: create %q on %s: %w", name, c.Addr(), err)
+				continue
+			}
 			return nil, fmt.Errorf("rpc: create %q on %s: %w", name, c.Addr(), err)
 		}
 		ref := &fileRef{c: c, file: name}
@@ -94,6 +112,10 @@ func (t *Transport) Open(ctx context.Context, name string, phys *part.File, assi
 	handles := make([]clusterfile.SubfileHandle, len(assign))
 	for sub, node := range assign {
 		c := t.nodeClient(node)
+		if err, bad := broken[c]; bad {
+			handles[sub] = &brokenHandle{err: err}
+			continue
+		}
 		handles[sub] = &remoteHandle{c: c, file: name, subfile: int64(sub), ref: refs[c]}
 	}
 	return handles, nil
@@ -241,9 +263,39 @@ func (h *remoteHandle) Gather(ctx context.Context, p *redist.Projection, lo, hi 
 	return err
 }
 
+func (h *remoteHandle) Checksum(ctx context.Context, off, n int64) (uint32, error) {
+	return h.c.Checksum(ctx, h.file, h.subfile, off, n)
+}
+
 func (h *remoteHandle) Close() error {
 	if h.ref == nil {
 		return nil
 	}
 	return h.ref.release()
 }
+
+// brokenHandle stands in for a subfile whose daemon was unreachable
+// during a DegradedOpen: every operation reports the open-time error,
+// which the replication layer's failover and quorum accounting absorb.
+type brokenHandle struct {
+	err error
+}
+
+func (h *brokenHandle) EnsureLen(ctx context.Context, n int64) error { return h.err }
+func (h *brokenHandle) Len(ctx context.Context) (int64, error)       { return 0, h.err }
+func (h *brokenHandle) WriteAt(ctx context.Context, p []byte, off int64) error {
+	return h.err
+}
+func (h *brokenHandle) ReadAt(ctx context.Context, p []byte, off int64) error {
+	return h.err
+}
+func (h *brokenHandle) Scatter(ctx context.Context, p *redist.Projection, lo, hi int64, data []byte) error {
+	return h.err
+}
+func (h *brokenHandle) Gather(ctx context.Context, p *redist.Projection, lo, hi int64, dst []byte) error {
+	return h.err
+}
+func (h *brokenHandle) Checksum(ctx context.Context, off, n int64) (uint32, error) {
+	return 0, h.err
+}
+func (h *brokenHandle) Close() error { return nil }

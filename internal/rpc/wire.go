@@ -24,6 +24,7 @@ package rpc
 import (
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"hash/fnv"
 	"io"
 	"sync"
@@ -31,9 +32,21 @@ import (
 	"parafile/internal/codec"
 )
 
-// ProtoVersion tags every frame; a daemon refuses frames from a
-// different protocol generation instead of misparsing them.
+// ProtoVersion tags every frame; a daemon refuses frames from a newer
+// protocol generation instead of misparsing them. Version 1 is the
+// original bare framing; version 2 appends a CRC32C trailer to every
+// frame (outside the length prefix), so wire corruption surfaces as a
+// typed ErrCorruptFrame instead of a decode failure deep in a payload.
+// The version is negotiated per connection: the client sends a
+// v1-framed MsgHello at dial time, and a v1-only daemon answering with
+// MsgError downgrades the connection instead of breaking it.
 const ProtoVersion = 1
+
+// ProtoVersion2 adds per-frame CRC32C trailers.
+const ProtoVersion2 = 2
+
+// MaxProtoVersion is the newest generation this build speaks.
+const MaxProtoVersion = ProtoVersion2
 
 // DefaultMaxFrame bounds a frame body (type byte + payload). Large
 // enough for any demo/benchmark payload, small enough to stop a
@@ -51,14 +64,26 @@ const (
 	// MsgPing is the lightweight liveness probe the circuit breaker
 	// uses in half-open state; it touches no file state.
 	MsgPing byte = 0x07
+	// MsgHello negotiates the connection's protocol version: the
+	// client names the newest generation it speaks, the server answers
+	// with min(client, server). Always sent v1-framed so a v1-only
+	// daemon parses it (and rejects it with MsgError, which the client
+	// treats as "speak v1").
+	MsgHello byte = 0x08
+	// MsgChecksum asks for the CRC32C of a subfile byte range; bytes
+	// beyond the current length count as zeroes. Scrub compares
+	// replicas with it without shipping the data.
+	MsgChecksum byte = 0x09
 )
 
 // Response message types.
 const (
-	MsgOK       byte = 0x10
-	MsgData     byte = 0x11
-	MsgStatResp byte = 0x12
-	MsgError    byte = 0x1F
+	MsgOK           byte = 0x10
+	MsgData         byte = 0x11
+	MsgStatResp     byte = 0x12
+	MsgHelloResp    byte = 0x13
+	MsgChecksumResp byte = 0x14
+	MsgError        byte = 0x1F
 )
 
 // MsgName returns the metrics label of a message type.
@@ -78,12 +103,20 @@ func MsgName(t byte) string {
 		return "close"
 	case MsgPing:
 		return "ping"
+	case MsgHello:
+		return "hello"
+	case MsgChecksum:
+		return "checksum"
 	case MsgOK:
 		return "ok"
 	case MsgData:
 		return "data"
 	case MsgStatResp:
 		return "stat_resp"
+	case MsgHelloResp:
+		return "hello_resp"
+	case MsgChecksumResp:
+		return "checksum_resp"
 	case MsgError:
 		return "error"
 	}
@@ -113,6 +146,21 @@ func (e *RemoteError) Error() string {
 
 // ErrCorrupt wraps every wire-decoding failure.
 var ErrCorrupt = fmt.Errorf("rpc: corrupt frame")
+
+// ErrCorruptFrame marks a v2 frame whose CRC32C trailer did not match
+// its body: the frame was damaged in flight, not malformed by a peer.
+// The client treats it like a connection-level failure — drop the
+// connection and retry the idempotent request — instead of surfacing a
+// decode error.
+var ErrCorruptFrame = fmt.Errorf("%w: frame checksum mismatch", ErrCorrupt)
+
+// frameCastagnoli is the CRC32C table of the v2 frame trailer.
+var frameCastagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// FrameChecksum is the CRC32C a v2 frame's trailer carries for body.
+func FrameChecksum(body []byte) uint32 {
+	return crc32.Checksum(body, frameCastagnoli)
+}
 
 // Fingerprint content-addresses an encoded projection (FNV-1a 64).
 // Zero is reserved to mean "no projection / contiguous", so a real
@@ -153,19 +201,44 @@ func putFrameBuf(b []byte) {
 }
 
 // WriteFrame writes one frame: a 4-byte big-endian body length, then
-// the body (version byte, type byte, payload).
+// the body (version byte, type byte, payload). Frames whose version
+// byte is 2 or newer additionally carry a 4-byte big-endian CRC32C
+// trailer of the body; the trailer travels outside the length prefix,
+// so a v1 length parser reading a v2 stream desynchronizes loudly
+// instead of silently truncating payloads.
 func WriteFrame(w io.Writer, body []byte) error {
 	var hdr [4]byte
 	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
 	if _, err := w.Write(hdr[:]); err != nil {
 		return err
 	}
-	_, err := w.Write(body)
-	return err
+	if _, err := w.Write(body); err != nil {
+		return err
+	}
+	if len(body) > 0 && body[0] >= ProtoVersion2 {
+		var sum [4]byte
+		binary.BigEndian.PutUint32(sum[:], FrameChecksum(body))
+		if _, err := w.Write(sum[:]); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
-// ReadFrame reads one frame body into a pooled buffer. Callers pass
-// the body to putFrameBuf (or ReleaseFrame) when done with it.
+// WriteFrameV stamps the frame body with the connection's negotiated
+// protocol version, then writes it. Message encoders stamp version 1
+// by default (beginFrame), so this is how a v2 connection upgrades its
+// outgoing frames.
+func WriteFrameV(w io.Writer, body []byte, ver byte) error {
+	if len(body) > 0 && ver >= ProtoVersion {
+		body[0] = ver
+	}
+	return WriteFrame(w, body)
+}
+
+// ReadFrame reads one frame body into a pooled buffer, verifying the
+// CRC32C trailer of v2 frames (a mismatch is ErrCorruptFrame). Callers
+// pass the body to putFrameBuf (or ReleaseFrame) when done with it.
 func ReadFrame(r io.Reader, maxFrame int64) ([]byte, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
@@ -183,6 +256,17 @@ func ReadFrame(r io.Reader, maxFrame int64) ([]byte, error) {
 		putFrameBuf(body)
 		return nil, err
 	}
+	if body[0] >= ProtoVersion2 {
+		var sum [4]byte
+		if _, err := io.ReadFull(r, sum[:]); err != nil {
+			putFrameBuf(body)
+			return nil, err
+		}
+		if binary.BigEndian.Uint32(sum[:]) != FrameChecksum(body) {
+			putFrameBuf(body)
+			return nil, ErrCorruptFrame
+		}
+	}
 	return body, nil
 }
 
@@ -196,8 +280,8 @@ func ParseFrame(body []byte) (msgType byte, payload []byte, err error) {
 	if len(body) < 2 {
 		return 0, nil, fmt.Errorf("%w: %d-byte body", ErrCorrupt, len(body))
 	}
-	if body[0] != ProtoVersion {
-		return 0, nil, fmt.Errorf("%w: protocol version %d, want %d", ErrCorrupt, body[0], ProtoVersion)
+	if body[0] < ProtoVersion || body[0] > MaxProtoVersion {
+		return 0, nil, fmt.Errorf("%w: protocol version %d, want %d-%d", ErrCorrupt, body[0], ProtoVersion, MaxProtoVersion)
 	}
 	return body[1], body[2:], nil
 }
@@ -533,6 +617,98 @@ func DecodeStatResp(payload []byte) (int64, error) {
 		return 0, err
 	}
 	return n, wantEmpty(payload)
+}
+
+// AppendHello encodes the version-negotiation request: the newest
+// protocol generation the client speaks.
+func AppendHello(buf []byte, want byte) []byte {
+	buf = beginFrame(buf, MsgHello)
+	return codec.AppendUvarint(buf, uint64(want))
+}
+
+// DecodeHello decodes a MsgHello payload.
+func DecodeHello(payload []byte) (byte, error) {
+	v, payload, err := readUvarint(payload)
+	if err != nil {
+		return 0, err
+	}
+	if v < 1 || v > 255 {
+		return 0, fmt.Errorf("%w: implausible protocol version %d", ErrCorrupt, v)
+	}
+	return byte(v), wantEmpty(payload)
+}
+
+// AppendHelloResp encodes the agreed protocol version.
+func AppendHelloResp(buf []byte, ver byte) []byte {
+	buf = beginFrame(buf, MsgHelloResp)
+	return codec.AppendUvarint(buf, uint64(ver))
+}
+
+// DecodeHelloResp decodes a MsgHelloResp payload.
+func DecodeHelloResp(payload []byte) (byte, error) {
+	v, payload, err := readUvarint(payload)
+	if err != nil {
+		return 0, err
+	}
+	if v < 1 || v > 255 {
+		return 0, fmt.Errorf("%w: implausible protocol version %d", ErrCorrupt, v)
+	}
+	return byte(v), wantEmpty(payload)
+}
+
+// ChecksumReq asks for the CRC32C of subfile bytes [Off, Off+N); bytes
+// beyond the subfile's current length count as zeroes.
+type ChecksumReq struct {
+	File    string
+	Subfile int64
+	Off, N  int64
+}
+
+// AppendChecksum encodes req as a frame body.
+func AppendChecksum(buf []byte, req *ChecksumReq) []byte {
+	buf = beginFrame(buf, MsgChecksum)
+	buf = appendString(buf, req.File)
+	buf = codec.AppendVarint(buf, req.Subfile)
+	buf = codec.AppendVarint(buf, req.Off)
+	buf = codec.AppendVarint(buf, req.N)
+	return buf
+}
+
+// DecodeChecksum decodes a MsgChecksum payload.
+func DecodeChecksum(payload []byte) (*ChecksumReq, error) {
+	req := &ChecksumReq{}
+	var err error
+	if req.File, payload, err = readString(payload); err != nil {
+		return nil, err
+	}
+	if req.Subfile, payload, err = readVarint(payload); err != nil {
+		return nil, err
+	}
+	if req.Off, payload, err = readVarint(payload); err != nil {
+		return nil, err
+	}
+	if req.N, payload, err = readVarint(payload); err != nil {
+		return nil, err
+	}
+	return req, wantEmpty(payload)
+}
+
+// AppendChecksumResp encodes a Checksum response.
+func AppendChecksumResp(buf []byte, sum uint32) []byte {
+	buf = beginFrame(buf, MsgChecksumResp)
+	return codec.AppendUvarint(buf, uint64(sum))
+}
+
+// DecodeChecksumResp decodes a MsgChecksumResp payload.
+func DecodeChecksumResp(payload []byte) (uint32, error) {
+	v, payload, err := readUvarint(payload)
+	if err != nil {
+		return 0, err
+	}
+	if v > 0xFFFFFFFF {
+		return 0, fmt.Errorf("%w: checksum %d overflows uint32", ErrCorrupt, v)
+	}
+	return uint32(v), wantEmpty(payload)
 }
 
 // AppendError encodes an error response.

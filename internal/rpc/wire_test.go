@@ -311,9 +311,13 @@ func TestFrameLengthBounds(t *testing.T) {
 
 func TestParseFrameVersion(t *testing.T) {
 	body := AppendOK(nil)
-	body[0] = ProtoVersion + 1
+	body[0] = MaxProtoVersion + 1
 	if _, _, err := ParseFrame(body); !errors.Is(err, ErrCorrupt) {
 		t.Fatalf("wrong protocol version accepted: %v", err)
+	}
+	body[0] = ProtoVersion2
+	if _, _, err := ParseFrame(body); err != nil {
+		t.Fatalf("v2 body rejected: %v", err)
 	}
 	if _, _, err := ParseFrame([]byte{ProtoVersion}); !errors.Is(err, ErrCorrupt) {
 		t.Fatalf("1-byte body accepted: %v", err)
