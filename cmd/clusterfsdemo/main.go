@@ -42,6 +42,8 @@ func main() {
 	remote := flag.String("remote", "", "comma-separated parafiled endpoints (host:port,...); subfile bytes live on the daemons instead of in-process")
 	replication := flag.Int("replication", 1, "materialize every subfile on this many I/O nodes (reads fail over, writes fan out)")
 	writeQuorum := flag.Int("write-quorum", 0, "replica acks a subfile's write needs (0 = all replicas); a smaller quorum keeps writes available while a node is down")
+	chunkKB := flag.Int("chunk-kb", 0, "streamed-transfer wire chunk in KiB for -remote (0 = default 1024)")
+	noStream := flag.Bool("no-stream", false, "disable proto-v3 chunked streaming for -remote (single-frame transfers)")
 	doRedist := flag.Bool("redist", false, "after the read-back, redistribute the file to a row-block layout and verify it")
 	trace := flag.Bool("trace", false, "print the virtual-time event trace of the write")
 	report := flag.Bool("report", false, "print the collected metrics as a table after the run")
@@ -83,7 +85,11 @@ func main() {
 		// With replication the replica layer can work around an
 		// unreachable daemon, so open degraded instead of refusing the
 		// whole cluster; unreplicated files keep the strict open.
-		tr, err := rpc.NewTransport(endpoints, rpc.Options{Metrics: reg, DegradedOpen: *replication > 1})
+		client := rpc.ClientConfig{ChunkSize: *chunkKB << 10}
+		if *noStream {
+			client.StreamThreshold = -1
+		}
+		tr, err := rpc.NewTransport(endpoints, rpc.Options{Client: client, Metrics: reg, DegradedOpen: *replication > 1})
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -143,6 +143,18 @@ type remoteFlags struct {
 	nodes  *int
 	repl   *int
 	seg    *int64
+	chunk  *int
+	stream *bool
+}
+
+// clientConfig translates the streaming flags into the per-node client
+// template.
+func (rf *remoteFlags) clientConfig() rpc.ClientConfig {
+	cfg := rpc.ClientConfig{ChunkSize: *rf.chunk << 10}
+	if *rf.stream {
+		cfg.StreamThreshold = -1
+	}
+	return cfg
 }
 
 func addRemoteFlags(fs *flag.FlagSet) *remoteFlags {
@@ -155,6 +167,8 @@ func addRemoteFlags(fs *flag.FlagSet) *remoteFlags {
 		nodes:  fs.Int("nodes", 4, "I/O node count of the deployment"),
 		repl:   fs.Int("replication", 1, "replica count the file was created with"),
 		seg:    fs.Int64("seg-bytes", clusterfile.DefaultScrubSegmentBytes, "scrub segment granularity in bytes"),
+		chunk:  fs.Int("chunk-kb", 0, "streamed-transfer wire chunk in KiB (0 = default 1024)"),
+		stream: fs.Bool("no-stream", false, "disable proto-v3 chunked streaming (single-frame transfers)"),
 	}
 }
 
@@ -167,6 +181,7 @@ func (rf *remoteFlags) openRemote() (*clusterfile.File, func()) {
 	}
 	phys := buildFile(*rf.dims, *rf.dist, *rf.elem)
 	tr, err := rpc.NewTransport(strings.Split(*rf.remote, ","), rpc.Options{
+		Client:       rf.clientConfig(),
 		Reopen:       true,
 		DegradedOpen: true,
 	})

@@ -45,6 +45,7 @@ func main() {
 	dataDir := flag.String("data-dir", "", "store subfiles as real files in this directory (default: in-memory)")
 	metricsAddr := flag.String("metrics-addr", "", "serve the RPC metrics over HTTP on this address (/metrics, /metrics.json, /report)")
 	maxFrameMB := flag.Int64("max-frame-mb", 64, "maximum accepted frame size in MiB")
+	maxProto := flag.Int("max-proto", 0, "cap the negotiated protocol version (0 = newest; 2 disables streaming/multiplexing, 1 also disables checksums)")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "how long a SIGTERM drain waits for in-flight requests")
 	faultSpec := flag.String("fault", "", "inject connection faults, e.g. error:0.01,delay:5ms (kinds: error, error-once, delay, corrupt, failafter)")
 	faultSeed := flag.Int64("fault-seed", 1, "seed for probabilistic fault schedules (reproducible runs)")
@@ -55,12 +56,16 @@ func main() {
 	if *maxFrameMB < 1 {
 		log.Fatalf("-max-frame-mb %d must be at least 1", *maxFrameMB)
 	}
+	if *maxProto < 0 || *maxProto > rpc.MaxProtoVersion {
+		log.Fatalf("-max-proto %d must be between 0 and %d", *maxProto, rpc.MaxProtoVersion)
+	}
 
 	reg := obs.NewRegistry()
 	srv := rpc.NewServer(rpc.ServerConfig{
-		DataDir:  *dataDir,
-		MaxFrame: *maxFrameMB << 20,
-		Metrics:  reg,
+		DataDir:         *dataDir,
+		MaxFrame:        *maxFrameMB << 20,
+		MaxProtoVersion: *maxProto,
+		Metrics:         reg,
 	})
 
 	ln, err := net.Listen("tcp", *listen)

@@ -2,20 +2,30 @@
 // Table 1 (write time breakdown at a compute node) and Table 2
 // (scatter time at an I/O node) — on the simulated Clusterfile
 // deployment, printing each value beside the paper's published number.
+// With -json it instead runs the loopback-TCP throughput benchmark
+// (streamed vs monolithic wire ablation plus the redistribution
+// pipeline) and writes the machine-readable record that BENCH_6.json
+// is produced from.
 //
 // Usage:
 //
 //	redistbench [-table 1|2|match|read|ablation|all] [-sizes 256,512,1024,2048]
 //	            [-reps 3] [-workers 0] [-plancache] [-metrics-addr host:port]
+//	redistbench -json out.json [-short] [-metrics-addr host:port]
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
+	"time"
 
 	"parafile/internal/bench"
 	"parafile/internal/match"
@@ -35,6 +45,9 @@ func main() {
 		"share an intersection cache across repetitions; t_i then shows the amortized (warm) cost instead of the paper's cold cost")
 	metricsAddr := flag.String("metrics-addr", "",
 		"serve the collected metrics over HTTP on this address after the run (/metrics Prometheus text, /metrics.json JSON, /report table); keeps the process alive")
+	jsonOut := flag.String("json", "",
+		"run the throughput benchmark instead of the tables and write the JSON report to this path (\"-\" for stdout)")
+	short := flag.Bool("short", false, "shrink the -json benchmark to CI smoke-test scale")
 	flag.Parse()
 
 	// Fail fast on malformed invocations before any benchmarking: a
@@ -44,6 +57,12 @@ func main() {
 	// GOMAXPROCS default instead of what the user asked for.
 	if flag.NArg() > 0 {
 		log.Fatalf("unexpected arguments %q — flags must precede all values; run with -h for usage", flag.Args())
+	}
+	if *jsonOut != "" {
+		if err := runThroughputJSON(*jsonOut, *short, *metricsAddr); err != nil {
+			log.Fatal(err)
+		}
+		return
 	}
 	switch *table {
 	case "1", "2", "match", "read", "ablation", "all":
@@ -125,15 +144,75 @@ func main() {
 			"absolute host-dependent values.")
 
 	if *metricsAddr != "" {
-		addr, _, err := obs.Serve(*metricsAddr, reg)
+		addr, shutdown, err := obs.Serve(*metricsAddr, reg)
 		if err != nil {
 			log.Fatal(err)
 		}
 		// The bound address goes to stderr in a greppable form so
 		// scripts can use ":0" and discover the port.
 		fmt.Fprintf(os.Stderr, "redistbench: serving metrics on http://%s/metrics (also /metrics.json, /report); interrupt to exit\n", addr)
-		select {}
+		waitAndShutdown(shutdown)
 	}
+}
+
+// waitAndShutdown blocks until SIGINT/SIGTERM, then drains the metrics
+// server gracefully so in-flight exposition requests are not cut off
+// by process exit.
+func waitAndShutdown(shutdown func(context.Context) error) {
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := shutdown(ctx); err != nil {
+		log.Printf("metrics shutdown: %v", err)
+	}
+}
+
+// runThroughputJSON runs the loopback-TCP throughput benchmark and
+// writes the JSON record. When a metrics address is given, the server
+// starts before the run (live series while it executes) and is flushed
+// and closed before the final report is emitted, so a short run never
+// races exposition against exit.
+func runThroughputJSON(path string, short bool, metricsAddr string) error {
+	reg := obs.NewRegistry()
+	var shutdown func(context.Context) error
+	if metricsAddr != "" {
+		addr, stop, err := obs.Serve(metricsAddr, reg)
+		if err != nil {
+			return err
+		}
+		shutdown = stop
+		fmt.Fprintf(os.Stderr, "redistbench: serving live metrics on http://%s/metrics during the run\n", addr)
+	}
+	rep, err := bench.RunThroughput(bench.ThroughputOptions{Short: short, Metrics: reg})
+	if err != nil {
+		return err
+	}
+	if shutdown != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := shutdown(ctx); err != nil {
+			return fmt.Errorf("metrics shutdown: %w", err)
+		}
+	}
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(out)
+	} else {
+		err = os.WriteFile(path, out, 0o644)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr,
+		"redistbench: wire write %.2fx, read %.2fx; redistribute %.2fx streamed vs monolithic; byte-identical=%v\n",
+		rep.WriteSpeedup, rep.ReadSpeedup, rep.RedistSpeedup, rep.ByteIdentical)
+	return nil
 }
 
 // printMatchTable prints the §9 "future work" extension: the

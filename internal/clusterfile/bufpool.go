@@ -1,6 +1,9 @@
 package clusterfile
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // bufpool.go pools the gather/scatter message buffers of the write,
 // read and redistribution paths. The protocol allocates one buffer
@@ -12,6 +15,18 @@ import "sync"
 // bytes (every gather path does — it packs exactly len(buf) bytes).
 
 var msgBufPool sync.Pool
+
+// maxPooledMsgBuf caps the capacity a returned buffer may retain. One
+// huge redistribution would otherwise pin its peak buffer in the pool
+// for the rest of the process; buffers beyond the cap are dropped and
+// counted instead.
+const maxPooledMsgBuf = 8 << 20
+
+var msgBufDiscards atomic.Int64
+
+// MsgBufDiscards reports how many buffers were dropped instead of
+// pooled because they exceeded the retention cap (process-wide).
+func MsgBufDiscards() int64 { return msgBufDiscards.Load() }
 
 // getMsgBuf returns a length-n buffer, reusing pooled capacity when
 // possible. Contents are unspecified. Pool traffic is counted on the
@@ -30,9 +45,17 @@ func (c *Cluster) getMsgBuf(n int64) []byte {
 }
 
 // putMsgBuf returns a buffer to the pool. The caller must not retain
-// the slice afterwards.
-func putMsgBuf(b []byte) {
+// the slice afterwards. Oversized buffers are dropped rather than
+// pooled so a single giant operation cannot pin its peak allocation;
+// drops count on both the process-wide counter and the cluster's
+// msgbuf-discard series.
+func (c *Cluster) putMsgBuf(b []byte) {
 	if cap(b) == 0 {
+		return
+	}
+	if cap(b) > maxPooledMsgBuf {
+		msgBufDiscards.Add(1)
+		c.met.bufDiscards.Inc()
 		return
 	}
 	b = b[:0]

@@ -1,0 +1,33 @@
+package clusterfile
+
+import (
+	"testing"
+
+	"parafile/internal/obs"
+)
+
+func TestMsgBufPoolRetentionCap(t *testing.T) {
+	// An oversized buffer is dropped (and counted on both the
+	// process-wide counter and the cluster's obs series) instead of
+	// pinning its capacity in the pool; a cap-sized one still pools.
+	reg := obs.NewRegistry()
+	cfg := DefaultConfig()
+	cfg.Metrics = reg
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := MsgBufDiscards()
+	c.putMsgBuf(make([]byte, maxPooledMsgBuf+1))
+	if got := MsgBufDiscards() - base; got != 1 {
+		t.Fatalf("oversized buffer discards = %d, want 1", got)
+	}
+	if got := reg.Counter(MetricMsgBufDiscards).Value(); got != 1 {
+		t.Fatalf("%s = %d, want 1", MetricMsgBufDiscards, got)
+	}
+	base = MsgBufDiscards()
+	c.putMsgBuf(make([]byte, maxPooledMsgBuf))
+	if got := MsgBufDiscards() - base; got != 0 {
+		t.Fatalf("cap-sized buffer was discarded (%d)", got)
+	}
+}

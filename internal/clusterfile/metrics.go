@@ -28,6 +28,9 @@ const (
 	// pool: hits reuse pooled capacity, misses allocate.
 	MetricMsgBufHits   = "parafile_clusterfile_msgbuf_hits_total"
 	MetricMsgBufMisses = "parafile_clusterfile_msgbuf_misses_total"
+	// MetricMsgBufDiscards counts buffers dropped by the pool's
+	// retention cap instead of being returned for reuse.
+	MetricMsgBufDiscards = "parafile_clusterfile_msgbuf_discards_total"
 	// MetricSetViews counts SetView calls; MetricSetViewNs is the
 	// intersection+projection latency histogram (the paper's t_i).
 	MetricSetViews  = "parafile_clusterfile_set_views_total"
@@ -60,6 +63,7 @@ type cfMetrics struct {
 	gatherNs, scatterNs       *obs.Histogram
 	netMsgs, netBytes         *obs.Counter
 	bufHits, bufMisses        *obs.Counter
+	bufDiscards               *obs.Counter
 	setViews                  *obs.Counter
 	setViewNs                 *obs.Histogram
 	writeOps, readOps         *obs.Counter
@@ -83,6 +87,7 @@ func newCFMetrics(reg *obs.Registry, ioNodes int) cfMetrics {
 		netBytes:     reg.Counter(MetricNetBytes),
 		bufHits:      reg.Counter(MetricMsgBufHits),
 		bufMisses:    reg.Counter(MetricMsgBufMisses),
+		bufDiscards:  reg.Counter(MetricMsgBufDiscards),
 		setViews:     reg.Counter(MetricSetViews),
 		setViewNs:    reg.Histogram(MetricSetViewNs, obs.LatencyBuckets()),
 		writeOps:     reg.Counter(MetricWriteOps),

@@ -99,12 +99,12 @@ type sharedBuf struct {
 	refs int
 }
 
-func (b *sharedBuf) release() {
+func (b *sharedBuf) release(c *Cluster) {
 	if b == nil {
 		return
 	}
 	if b.refs--; b.refs == 0 {
-		putMsgBuf(b.buf)
+		c.putMsgBuf(b.buf)
 	}
 }
 
@@ -324,7 +324,7 @@ func (c *Cluster) serverWrite(op *WriteOp, v *View, sub *subView, mode WriteMode
 	// across the replica fan-out is free for reuse once the last
 	// delivery's scatter returns. The contiguous path carries the
 	// caller's buffer (sb == nil).
-	defer sb.release()
+	defer sb.release(c)
 	f := v.file
 	ioNode := f.Placement[replica][sub.subfile]
 	if err := op.ctx.Err(); err != nil {
@@ -566,7 +566,7 @@ func (c *Cluster) serverRead(op *ReadOp, v *View, sub *subView, replica int,
 	data := c.getMsgBuf(n)
 	tg := time.Now()
 	if err := f.handle(replica, sub.subfile).Gather(op.ctx, sub.projS, lowS, highS, data); err != nil {
-		putMsgBuf(data)
+		c.putMsgBuf(data)
 		fail(err)
 		return
 	}
@@ -579,7 +579,7 @@ func (c *Cluster) serverRead(op *ReadOp, v *View, sub *subView, replica int,
 		err := c.Net.Send(c.ioNet(ioNode), v.node, n, func() {
 			// The scatter copies into the user buffer, after which the
 			// message buffer is free for reuse.
-			defer putMsgBuf(data)
+			defer c.putMsgBuf(data)
 			if err := op.ctx.Err(); err != nil {
 				op.outcomes.cancel(ioNode, err)
 				op.completeOne(c)
@@ -602,7 +602,7 @@ func (c *Cluster) serverRead(op *ReadOp, v *View, sub *subView, replica int,
 			op.completeOne(c)
 		})
 		if err != nil {
-			putMsgBuf(data)
+			c.putMsgBuf(data)
 			fail(err)
 		}
 	})

@@ -121,7 +121,7 @@ func (op *RedistOp) arrived(c *Cluster) {
 func (op *RedistOp) settle(c *Cluster) {
 	if op.aborted || op.ctx.Err() != nil {
 		for _, s := range op.staged {
-			putMsgBuf(s.buf)
+			c.putMsgBuf(s.buf)
 			for r := 0; r < op.nf.Replication; r++ {
 				op.outcomes.cancel(op.nf.Placement[r][s.dstElem], ErrRedistAborted)
 			}
@@ -159,7 +159,7 @@ func (op *RedistOp) replicaCommitFailed(c *Cluster, ioNode int, err error) {
 // The buffer is shared across the replica scatters (the store copies),
 // so it returns to the pool once the loop finishes.
 func (op *RedistOp) commitOne(c *Cluster, s stagedScatter) {
-	defer putMsgBuf(s.buf)
+	defer c.putMsgBuf(s.buf)
 	nf := op.nf
 	for r := 0; r < nf.Replication; r++ {
 		dstION := nf.Placement[r][s.dstElem]
@@ -318,7 +318,7 @@ func (c *Cluster) StartRedistributeCtx(ctx context.Context, f *File, newName str
 			op.outcomes.fail(srcION, gatherErr)
 		}
 		if !gathered {
-			putMsgBuf(buf)
+			c.putMsgBuf(buf)
 			op.nodeFailed(srcION, gatherErr)
 			break
 		}
@@ -345,7 +345,7 @@ func (c *Cluster) StartRedistributeCtx(ctx context.Context, f *File, newName str
 			// A doomed operation skips the transfer: its payload could
 			// never commit.
 			if op.aborted || op.ctx.Err() != nil {
-				putMsgBuf(buf)
+				c.putMsgBuf(buf)
 				op.outcomes.cancel(dstION, ErrRedistAborted)
 				op.arrived(c)
 				return
@@ -362,7 +362,7 @@ func (c *Cluster) StartRedistributeCtx(ctx context.Context, f *File, newName str
 				op.arrived(c)
 			})
 			if err != nil {
-				putMsgBuf(buf)
+				c.putMsgBuf(buf)
 				op.nodeFailed(dstION, err)
 				op.arrived(c)
 			}

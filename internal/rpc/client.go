@@ -2,6 +2,7 @@ package rpc
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"net"
 	"sync"
@@ -11,8 +12,13 @@ import (
 )
 
 // client.go is the compute-node side of the wire: one Client per I/O
-// node, holding a small pool of TCP connections. Calls are synchronous
-// request/response per connection; concurrency comes from the pool.
+// node. Against a proto-v3 daemon all traffic multiplexes over a
+// single connection (mux.go) — concurrent operations interleave as
+// tagged streams, and large transfers travel as chunked streams that
+// overlap network transmission with the server-side scatter/gather.
+// Against older daemons (or when capped below v3) the client keeps the
+// classic pool of synchronous request/response connections, with
+// overflow dialing bounded by a per-node semaphore.
 //
 // Every request in the protocol is idempotent — writes place the same
 // bytes at the same offsets, registration and close are
@@ -32,14 +38,21 @@ import (
 type ClientConfig struct {
 	// Addr is the node's host:port.
 	Addr string
-	// PoolSize caps pooled idle connections (default 2). Calls beyond
-	// the pool dial extra connections rather than queueing.
+	// PoolSize caps pooled idle connections on the classic
+	// (non-multiplexed) path (default 2).
 	PoolSize int
+	// MaxConns caps concurrently checked-out connections on the classic
+	// path (default 4×PoolSize). Calls beyond the cap wait for a free
+	// token instead of dialing unbounded extra sockets; waits are
+	// observed on parafile_rpc_conn_wait_ns. The multiplexed path
+	// shares one connection and never consumes tokens.
+	MaxConns int
 	// DialTimeout bounds connection establishment (default 5s).
 	DialTimeout time.Duration
 	// WriteTimeout / ReadTimeout are per-request deadlines (default
 	// 30s each), capped by the call context's deadline. An expired
-	// deadline drops the connection and retries.
+	// deadline drops the connection and retries. On streams they apply
+	// per frame, not per operation.
 	WriteTimeout time.Duration
 	ReadTimeout  time.Duration
 	// MaxRetries is the number of retry attempts after the first
@@ -51,6 +64,13 @@ type ClientConfig struct {
 	BackoffMax  time.Duration
 	// MaxFrame bounds response frames (DefaultMaxFrame when 0).
 	MaxFrame int64
+	// ChunkSize is the wire chunk of proto-v3 streamed transfers
+	// (default 1 MiB).
+	ChunkSize int
+	// StreamThreshold is the payload size at and above which
+	// WriteSegments/ReadSegments travel as chunked streams on v3
+	// connections (default ChunkSize; negative disables streaming).
+	StreamThreshold int
 	// BreakerThreshold is the number of consecutive transport failures
 	// that opens the per-node circuit breaker (default 5; negative
 	// disables the breaker).
@@ -67,7 +87,9 @@ type ClientConfig struct {
 	// (0 means MaxProtoVersion). At 1 the client skips negotiation
 	// entirely and speaks bare v1 frames; at 2+ every fresh connection
 	// opens with a MsgHello exchange, downgrading to v1 when the daemon
-	// predates negotiation (it answers the Hello with MsgError).
+	// predates negotiation (it answers the Hello with MsgError). At 3
+	// the client multiplexes all traffic over one connection when the
+	// daemon agrees.
 	ProtoVersion int
 	// Metrics receives the client-side RPC series; nil records nothing.
 	Metrics *obs.Registry
@@ -76,6 +98,12 @@ type ClientConfig struct {
 func (cfg *ClientConfig) fillDefaults() {
 	if cfg.PoolSize <= 0 {
 		cfg.PoolSize = 2
+	}
+	if cfg.MaxConns <= 0 {
+		cfg.MaxConns = 4 * cfg.PoolSize
+	}
+	if cfg.MaxConns < cfg.PoolSize {
+		cfg.MaxConns = cfg.PoolSize
 	}
 	if cfg.DialTimeout <= 0 {
 		cfg.DialTimeout = 5 * time.Second
@@ -100,6 +128,12 @@ func (cfg *ClientConfig) fillDefaults() {
 	if cfg.MaxFrame <= 0 {
 		cfg.MaxFrame = DefaultMaxFrame
 	}
+	if cfg.ChunkSize <= 0 {
+		cfg.ChunkSize = 1 << 20
+	}
+	if cfg.StreamThreshold == 0 {
+		cfg.StreamThreshold = cfg.ChunkSize
+	}
 	if cfg.BreakerThreshold == 0 {
 		cfg.BreakerThreshold = 5
 	}
@@ -112,11 +146,27 @@ func (cfg *ClientConfig) fillDefaults() {
 }
 
 // clientConn is one pooled connection and the protocol version its
-// MsgHello exchange settled on.
+// MsgHello exchange settled on. tokened marks a connection checked out
+// under the MaxConns semaphore.
 type clientConn struct {
 	net.Conn
-	ver byte
+	ver     byte
+	tokened bool
 }
+
+// respFrame is one parsed response: the pooled backing buffer plus the
+// message type and payload views into it. Release the body with
+// putFrameBuf (ReleaseFrame) when done.
+type respFrame struct {
+	body    []byte
+	msgType byte
+	payload []byte
+}
+
+// errNoMux reports that the peer negotiated below proto v3, so the
+// caller should take the classic path; the dialed connection was
+// handed to the idle pool, not wasted.
+var errNoMux = errors.New("rpc: peer does not speak proto v3")
 
 // Client talks to one I/O node.
 type Client struct {
@@ -124,9 +174,17 @@ type Client struct {
 	met clientMetrics
 	br  *breaker // nil when disabled
 
-	mu     sync.Mutex
-	idle   []*clientConn
-	closed bool
+	// sem is the MaxConns token semaphore of the classic path.
+	sem chan struct{}
+
+	mu      sync.Mutex
+	idle    []*clientConn
+	peerVer byte // last negotiated version; 0 until the first dial
+	closed  bool
+
+	// muxMu serializes (re)dialing the multiplexed connection.
+	muxMu sync.Mutex
+	mux   *muxConn
 
 	// registered remembers the projection fingerprints this node has
 	// acknowledged, so each shape's PROJ travels once (per client) —
@@ -137,7 +195,11 @@ type Client struct {
 // NewClient builds a client; connections are dialed lazily.
 func NewClient(cfg ClientConfig) *Client {
 	cfg.fillDefaults()
-	c := &Client{cfg: cfg, met: newClientMetrics(cfg.Metrics)}
+	c := &Client{
+		cfg: cfg,
+		met: newClientMetrics(cfg.Metrics),
+		sem: make(chan struct{}, cfg.MaxConns),
+	}
 	if cfg.BreakerThreshold > 0 {
 		c.br = newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown,
 			newBreakerMetrics(cfg.Metrics, cfg.Addr))
@@ -148,32 +210,49 @@ func NewClient(cfg ClientConfig) *Client {
 // Addr returns the node address the client was built for.
 func (c *Client) Addr() string { return c.cfg.Addr }
 
-// Close closes pooled connections. In-flight calls on checked-out
-// connections finish normally.
+// Close closes pooled connections and the multiplexed connection.
+// In-flight calls on checked-out connections finish normally;
+// in-flight mux streams fail.
 func (c *Client) Close() error {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	c.closed = true
-	for _, conn := range c.idle {
+	idle := c.idle
+	c.idle = nil
+	c.mu.Unlock()
+	for _, conn := range idle {
 		conn.Close()
 	}
-	c.idle = nil
+	c.muxMu.Lock()
+	if c.mux != nil {
+		c.mux.fail(fmt.Errorf("rpc: client for %s is closed", c.cfg.Addr))
+		c.mux = nil
+	}
+	c.muxMu.Unlock()
 	return nil
 }
 
-func (c *Client) getConn(ctx context.Context) (*clientConn, error) {
-	c.mu.Lock()
-	if c.closed {
-		c.mu.Unlock()
-		return nil, fmt.Errorf("rpc: client for %s is closed", c.cfg.Addr)
+// acquireToken takes a MaxConns token, observing the wait when the
+// semaphore is saturated.
+func (c *Client) acquireToken(ctx context.Context) error {
+	select {
+	case c.sem <- struct{}{}:
+		return nil
+	default:
 	}
-	if n := len(c.idle); n > 0 {
-		conn := c.idle[n-1]
-		c.idle = c.idle[:n-1]
-		c.mu.Unlock()
-		return conn, nil
+	start := time.Now()
+	select {
+	case c.sem <- struct{}{}:
+		c.met.connWaitNs.Observe(time.Since(start).Nanoseconds())
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
 	}
-	c.mu.Unlock()
+}
+
+func (c *Client) releaseToken() { <-c.sem }
+
+// dial establishes and (for want ≥ 2) negotiates one connection.
+func (c *Client) dial(ctx context.Context, want byte) (*clientConn, error) {
 	c.met.dials.Inc()
 	dctx, cancel := context.WithTimeout(ctx, c.cfg.DialTimeout)
 	defer cancel()
@@ -189,12 +268,50 @@ func (c *Client) getConn(ctx context.Context) (*clientConn, error) {
 		return nil, err
 	}
 	conn := &clientConn{Conn: raw, ver: ProtoVersion}
-	if c.cfg.ProtoVersion > ProtoVersion {
-		if err := c.negotiate(ctx, conn); err != nil {
+	if want > ProtoVersion {
+		if err := c.negotiate(ctx, conn, want); err != nil {
 			conn.Close()
 			return nil, err
 		}
 	}
+	c.mu.Lock()
+	c.peerVer = conn.ver
+	c.mu.Unlock()
+	return conn, nil
+}
+
+// getConn checks out a classic (non-multiplexed) connection: a pooled
+// idle one, or a fresh dial bounded by the MaxConns semaphore. Classic
+// connections never negotiate above v2 — asking for v3 would switch
+// the daemon side into multiplexed framing.
+func (c *Client) getConn(ctx context.Context) (*clientConn, error) {
+	if err := c.acquireToken(ctx); err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		c.releaseToken()
+		return nil, fmt.Errorf("rpc: client for %s is closed", c.cfg.Addr)
+	}
+	if n := len(c.idle); n > 0 {
+		conn := c.idle[n-1]
+		c.idle = c.idle[:n-1]
+		c.mu.Unlock()
+		conn.tokened = true
+		return conn, nil
+	}
+	c.mu.Unlock()
+	want := byte(c.cfg.ProtoVersion)
+	if want > ProtoVersion2 {
+		want = ProtoVersion2
+	}
+	conn, err := c.dial(ctx, want)
+	if err != nil {
+		c.releaseToken()
+		return nil, err
+	}
+	conn.tokened = true
 	return conn, nil
 }
 
@@ -203,8 +320,7 @@ func (c *Client) getConn(ctx context.Context) (*clientConn, error) {
 // parses it; such a daemon answers with MsgError (bad request), which
 // the client reads as "speak v1". A transport failure fails the dial —
 // the caller's retry loop handles it like any connection error.
-func (c *Client) negotiate(ctx context.Context, conn *clientConn) error {
-	want := byte(c.cfg.ProtoVersion)
+func (c *Client) negotiate(ctx context.Context, conn *clientConn, want byte) error {
 	req := AppendHello(getFrameBuf(8), want)
 	defer putFrameBuf(req)
 	if err := conn.SetWriteDeadline(deadline(ctx, c.cfg.WriteTimeout)); err != nil {
@@ -249,6 +365,10 @@ func (c *Client) negotiate(ctx context.Context, conn *clientConn) error {
 }
 
 func (c *Client) putConn(conn *clientConn) {
+	if conn.tokened {
+		conn.tokened = false
+		c.releaseToken()
+	}
 	c.mu.Lock()
 	if !c.closed && len(c.idle) < c.cfg.PoolSize {
 		c.idle = append(c.idle, conn)
@@ -257,6 +377,55 @@ func (c *Client) putConn(conn *clientConn) {
 	}
 	c.mu.Unlock()
 	conn.Close()
+}
+
+// discardConn drops a failed connection, returning its token.
+func (c *Client) discardConn(conn *clientConn) {
+	if conn.tokened {
+		conn.tokened = false
+		c.releaseToken()
+	}
+	conn.Close()
+}
+
+// useMux reports whether calls should try the multiplexed path: the
+// client is configured for v3 and the peer has not negotiated below it.
+func (c *Client) useMux() bool {
+	if c.cfg.ProtoVersion < ProtoVersion3 {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.peerVer == 0 || c.peerVer >= ProtoVersion3
+}
+
+// getMux returns the live multiplexed connection, dialing one if
+// needed. A peer that negotiates below v3 yields errNoMux and the
+// fresh connection is pooled for the classic path instead.
+func (c *Client) getMux(ctx context.Context) (*muxConn, error) {
+	c.muxMu.Lock()
+	defer c.muxMu.Unlock()
+	if c.mux != nil && c.mux.alive() {
+		return c.mux, nil
+	}
+	c.mux = nil
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("rpc: client for %s is closed", c.cfg.Addr)
+	}
+	c.mu.Unlock()
+	conn, err := c.dial(ctx, byte(c.cfg.ProtoVersion))
+	if err != nil {
+		return nil, err
+	}
+	if conn.ver < ProtoVersion3 {
+		c.putConn(conn)
+		return nil, errNoMux
+	}
+	m := newMuxConn(conn, &c.cfg)
+	c.mux = m
+	return m, nil
 }
 
 // backoff returns the pause before retry attempt (1-based).
@@ -278,9 +447,9 @@ func deadline(ctx context.Context, d time.Duration) time.Time {
 	return t
 }
 
-// roundTrip performs one framed exchange on one connection, framing
-// the request at the connection's negotiated protocol version. The
-// response body is pooled; the caller releases it.
+// roundTrip performs one framed exchange on one classic connection,
+// framing the request at the connection's negotiated protocol version.
+// The response body is pooled; the caller releases it.
 func (c *Client) roundTrip(ctx context.Context, conn *clientConn, req []byte) ([]byte, error) {
 	if err := conn.SetWriteDeadline(deadline(ctx, c.cfg.WriteTimeout)); err != nil {
 		return nil, err
@@ -300,23 +469,48 @@ func (c *Client) roundTrip(ctx context.Context, conn *clientConn, req []byte) ([
 	return body, nil
 }
 
+// attempt performs one unary exchange, over the multiplexed connection
+// when the peer speaks v3 and the classic pool otherwise.
+func (c *Client) attempt(ctx context.Context, reqType byte, req []byte) (respFrame, error) {
+	if c.useMux() {
+		m, err := c.getMux(ctx)
+		if err == nil {
+			return c.muxExchange(ctx, m, reqType, req)
+		}
+		if err != errNoMux {
+			return respFrame{}, err
+		}
+		// The peer negotiated down: fall through to the classic path.
+	}
+	conn, err := c.getConn(ctx)
+	if err != nil {
+		return respFrame{}, err
+	}
+	body, err := c.roundTrip(ctx, conn, req)
+	if err != nil {
+		c.discardConn(conn)
+		return respFrame{}, err
+	}
+	c.putConn(conn)
+	msgType, payload, err := ParseFrame(body)
+	if err != nil {
+		putFrameBuf(body)
+		return respFrame{}, err
+	}
+	return respFrame{body: body, msgType: msgType, payload: payload}, nil
+}
+
 // ping is one unretried Ping exchange, used directly by Ping and as
 // the breaker's half-open probe.
 func (c *Client) ping(ctx context.Context) error {
 	req := AppendPing(getFrameBuf(8))
 	defer putFrameBuf(req)
-	conn, err := c.getConn(ctx)
+	f, err := c.attempt(ctx, MsgPing, req)
 	if err != nil {
 		return err
 	}
-	body, err := c.roundTrip(ctx, conn, req)
-	if err != nil {
-		conn.Close()
-		return err
-	}
-	c.putConn(conn)
-	defer ReleaseFrame(body)
-	_, err = parseResp(body, MsgOK)
+	defer putFrameBuf(f.body)
+	_, err = parseResp(f, MsgOK)
 	return err
 }
 
@@ -365,12 +559,13 @@ func (c *Client) admit(ctx context.Context, reqType byte) error {
 	return nil
 }
 
-// call sends an encoded request frame body and returns the response
-// body (pooled — release with ReleaseFrame). Transport errors are
-// retried with exponential backoff; a RemoteError is returned as-is.
-// ctx cancellation aborts the retry loop (and its backoff sleeps)
-// immediately.
-func (c *Client) call(ctx context.Context, reqType byte, req []byte) ([]byte, error) {
+// run wraps one operation attempt function with the shared request
+// machinery: metrics, breaker admission, bounded-backoff retry on
+// transport errors, and context-aware cancellation. A RemoteError from
+// op is an answer (the node was reached), not a transport failure: it
+// is returned without retry and counts as breaker success. Both unary
+// calls and chunked streams retry through here.
+func (c *Client) run(ctx context.Context, reqType byte, op func(context.Context) error) error {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -384,7 +579,7 @@ func (c *Client) call(ctx context.Context, reqType byte, req []byte) ([]byte, er
 
 	if err := c.admit(ctx, reqType); err != nil {
 		c.met.failures.Inc()
-		return nil, err
+		return err
 	}
 
 	var lastErr error
@@ -396,79 +591,85 @@ func (c *Client) call(ctx context.Context, reqType byte, req []byte) ([]byte, er
 			case <-ctx.Done():
 				timer.Stop()
 				c.met.failures.Inc()
-				return nil, fmt.Errorf("rpc: %s to %s cancelled after %d attempts (last: %v): %w",
+				return fmt.Errorf("rpc: %s to %s cancelled after %d attempts (last: %v): %w",
 					MsgName(reqType), c.cfg.Addr, attempt, lastErr, ctx.Err())
 			case <-timer.C:
 			}
 		}
 		if err := ctx.Err(); err != nil {
 			c.met.failures.Inc()
-			return nil, fmt.Errorf("rpc: %s to %s: %w", MsgName(reqType), c.cfg.Addr, err)
+			return fmt.Errorf("rpc: %s to %s: %w", MsgName(reqType), c.cfg.Addr, err)
 		}
-		conn, err := c.getConn(ctx)
-		if err != nil {
-			// Dial and negotiation failures count like any transport
-			// error, including their deadline expiries.
-			if ne, ok := err.(net.Error); ok && ne.Timeout() {
-				c.met.timeouts.Inc()
-			}
-			if ctx.Err() == nil {
-				c.br.failure()
-			}
-			lastErr = err
-			continue
+		err := op(ctx)
+		if err == nil {
+			c.br.success()
+			return nil
 		}
-		body, err := c.roundTrip(ctx, conn, req)
-		if err != nil {
-			conn.Close()
-			if ne, ok := err.(net.Error); ok && ne.Timeout() {
-				c.met.timeouts.Inc()
-			}
-			if ctx.Err() == nil {
-				c.br.failure()
-			}
-			lastErr = err
-			continue
+		var re *RemoteError
+		if errors.As(err, &re) {
+			c.br.success()
+			return err
 		}
-		c.putConn(conn)
-		c.br.success()
-		return body, nil
+		var ne net.Error
+		if errors.As(err, &ne) && ne.Timeout() {
+			c.met.timeouts.Inc()
+		}
+		if ctx.Err() == nil {
+			c.br.failure()
+		}
+		lastErr = err
 	}
 	c.met.failures.Inc()
-	return nil, fmt.Errorf("rpc: %s to %s failed after %d attempts: %w",
+	return fmt.Errorf("rpc: %s to %s failed after %d attempts: %w",
 		MsgName(reqType), c.cfg.Addr, c.cfg.MaxRetries+1, lastErr)
 }
 
-// parseResp classifies a response body against the expected success
-// type and returns its payload.
-func parseResp(body []byte, want byte) ([]byte, error) {
-	msgType, payload, err := ParseFrame(body)
+// call sends an encoded request frame body and returns the parsed
+// response (pooled — release its body with ReleaseFrame). Transport
+// errors are retried with exponential backoff; ctx cancellation aborts
+// the retry loop (and its backoff sleeps) immediately.
+func (c *Client) call(ctx context.Context, reqType byte, req []byte) (respFrame, error) {
+	var resp respFrame
+	err := c.run(ctx, reqType, func(ctx context.Context) error {
+		f, err := c.attempt(ctx, reqType, req)
+		if err != nil {
+			return err
+		}
+		resp = f
+		return nil
+	})
 	if err != nil {
-		return nil, err
+		return respFrame{}, err
 	}
-	if msgType == MsgError {
-		re, err := DecodeError(payload)
+	return resp, nil
+}
+
+// parseResp classifies a response against the expected success type
+// and returns its payload.
+func parseResp(f respFrame, want byte) ([]byte, error) {
+	if f.msgType == MsgError {
+		re, err := DecodeError(f.payload)
 		if err != nil {
 			return nil, err
 		}
 		return nil, re
 	}
-	if msgType != want {
-		return nil, fmt.Errorf("%w: response type %#x, want %#x", ErrCorrupt, msgType, want)
+	if f.msgType != want {
+		return nil, fmt.Errorf("%w: response type %#x, want %#x", ErrCorrupt, f.msgType, want)
 	}
-	return payload, nil
+	return f.payload, nil
 }
 
 // exchange is call + parse + release for requests with empty OK
 // responses.
 func (c *Client) exchange(ctx context.Context, reqType byte, req []byte) error {
-	body, err := c.call(ctx, reqType, req)
+	f, err := c.call(ctx, reqType, req)
 	putFrameBuf(req)
 	if err != nil {
 		return err
 	}
-	defer ReleaseFrame(body)
-	_, err = parseResp(body, MsgOK)
+	defer ReleaseFrame(f.body)
+	_, err = parseResp(f, MsgOK)
 	return err
 }
 
@@ -497,26 +698,47 @@ func (c *Client) Registered(fp uint64) bool {
 // when the node reports it unknown, e.g. after a daemon restart).
 func (c *Client) Forget(fp uint64) { c.registered.Delete(fp) }
 
+// shouldStream reports whether a payload of n bytes should travel as a
+// chunked v3 stream.
+func (c *Client) shouldStream(n int) bool {
+	return c.cfg.StreamThreshold > 0 && n >= c.cfg.StreamThreshold && c.useMux()
+}
+
 // WriteSegments performs a scatter (nonzero fingerprint) or contiguous
-// (zero fingerprint) write.
+// (zero fingerprint) write. Payloads at or above StreamThreshold
+// travel as a chunked stream on v3 connections, overlapping
+// transmission with the server-side scatter.
 func (c *Client) WriteSegments(ctx context.Context, req *WriteSegsReq) error {
+	if c.shouldStream(len(req.Data)) {
+		err, streamed := c.writeStreamed(ctx, req)
+		if streamed {
+			return err
+		}
+	}
 	return c.exchange(ctx, MsgWriteSegs, AppendWriteSegs(getFrameBuf(64+len(req.Data)), req))
 }
 
 // ReadSegments performs a gather (nonzero fingerprint) or contiguous
-// (zero fingerprint) read of len(dst) bytes into dst.
+// (zero fingerprint) read of len(dst) bytes into dst. Reads at or
+// above StreamThreshold travel as a chunked stream on v3 connections.
 func (c *Client) ReadSegments(ctx context.Context, req *ReadSegsReq, dst []byte) error {
 	if req.N != int64(len(dst)) {
 		return fmt.Errorf("rpc: read of %d bytes into %d-byte buffer", req.N, len(dst))
 	}
+	if c.shouldStream(len(dst)) {
+		err, streamed := c.readStreamed(ctx, req, dst)
+		if streamed {
+			return err
+		}
+	}
 	reqBuf := AppendReadSegs(getFrameBuf(64), req)
-	body, err := c.call(ctx, MsgReadSegs, reqBuf)
+	f, err := c.call(ctx, MsgReadSegs, reqBuf)
 	putFrameBuf(reqBuf)
 	if err != nil {
 		return err
 	}
-	defer ReleaseFrame(body)
-	payload, err := parseResp(body, MsgData)
+	defer ReleaseFrame(f.body)
+	payload, err := parseResp(f, MsgData)
 	if err != nil {
 		return err
 	}
@@ -534,13 +756,13 @@ func (c *Client) ReadSegments(ctx context.Context, req *ReadSegsReq, dst []byte)
 // Stat returns the subfile's current length.
 func (c *Client) Stat(ctx context.Context, file string, subfile int64) (int64, error) {
 	reqBuf := AppendStat(getFrameBuf(64), &StatReq{File: file, Subfile: subfile})
-	body, err := c.call(ctx, MsgStat, reqBuf)
+	f, err := c.call(ctx, MsgStat, reqBuf)
 	putFrameBuf(reqBuf)
 	if err != nil {
 		return 0, err
 	}
-	defer ReleaseFrame(body)
-	payload, err := parseResp(body, MsgStatResp)
+	defer ReleaseFrame(f.body)
+	payload, err := parseResp(f, MsgStatResp)
 	if err != nil {
 		return 0, err
 	}
@@ -551,13 +773,13 @@ func (c *Client) Stat(ctx context.Context, file string, subfile int64) (int64, e
 // beyond the subfile's length count as zeroes.
 func (c *Client) Checksum(ctx context.Context, file string, subfile, off, n int64) (uint32, error) {
 	reqBuf := AppendChecksum(getFrameBuf(64), &ChecksumReq{File: file, Subfile: subfile, Off: off, N: n})
-	body, err := c.call(ctx, MsgChecksum, reqBuf)
+	f, err := c.call(ctx, MsgChecksum, reqBuf)
 	putFrameBuf(reqBuf)
 	if err != nil {
 		return 0, err
 	}
-	defer ReleaseFrame(body)
-	payload, err := parseResp(body, MsgChecksumResp)
+	defer ReleaseFrame(f.body)
+	payload, err := parseResp(f, MsgChecksumResp)
 	if err != nil {
 		return 0, err
 	}

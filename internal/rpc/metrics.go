@@ -25,6 +25,14 @@ const (
 	MetricClientTimeouts  = "parafile_rpc_client_timeouts_total"
 	MetricClientFailures  = "parafile_rpc_client_failures_total"
 	MetricClientDials     = "parafile_rpc_client_dials_total"
+	// MetricClientConnWaitNs records time spent waiting for a
+	// connection token when the per-node dial semaphore is saturated
+	// (classic, non-multiplexed path only; zero waits never observe).
+	MetricClientConnWaitNs = "parafile_rpc_conn_wait_ns"
+	// Streaming (proto v3): operations that traveled chunked instead of
+	// as one monolithic frame, and the chunk frames moved each way.
+	MetricClientStreamedOps = "parafile_rpc_client_streamed_ops_total"
+	MetricClientChunks      = "parafile_rpc_client_chunks_total"
 
 	// Server side: the mirrored series plus connection and open-file
 	// gauges and a per-code error counter.
@@ -36,6 +44,13 @@ const (
 	MetricServerErrors    = "parafile_rpc_server_errors_total"
 	MetricServerConns     = "parafile_rpc_server_connections"
 	MetricServerFiles     = "parafile_rpc_server_open_files"
+	// Streaming (proto v3), mirrored server-side.
+	MetricServerStreams = "parafile_rpc_server_streams_total"
+	MetricServerChunks  = "parafile_rpc_server_chunks_total"
+	// MetricFramePoolDiscards mirrors the process-wide frame-pool
+	// retention-cap drop counter (see FramePoolDiscards) as a gauge,
+	// refreshed on the server request path.
+	MetricFramePoolDiscards = "parafile_rpc_frame_pool_discards"
 
 	// Circuit breaker (per I/O node, labelled by address): the state
 	// gauge (0 closed, 1 open, 2 half-open), transitions to open,
@@ -47,7 +62,7 @@ const (
 )
 
 // reqTypes are the request message types with per-type volume series.
-var reqTypes = []byte{MsgCreateFile, MsgSetView, MsgWriteSegs, MsgReadSegs, MsgStat, MsgClose, MsgPing, MsgHello, MsgChecksum}
+var reqTypes = []byte{MsgCreateFile, MsgSetView, MsgWriteSegs, MsgReadSegs, MsgStat, MsgClose, MsgPing, MsgHello, MsgChecksum, MsgWriteStream, MsgReadStream}
 
 func bindPerType(reg *obs.Registry, name string) map[byte]*obs.Counter {
 	m := make(map[byte]*obs.Counter, len(reqTypes))
@@ -58,40 +73,56 @@ func bindPerType(reg *obs.Registry, name string) map[byte]*obs.Counter {
 }
 
 type clientMetrics struct {
-	requests  map[byte]*obs.Counter
-	requestNs *obs.Histogram
-	inflight  *obs.Gauge
-	sentBytes *obs.Counter
-	recvBytes *obs.Counter
-	retries   *obs.Counter
-	timeouts  *obs.Counter
-	failures  *obs.Counter
-	dials     *obs.Counter
+	requests     map[byte]*obs.Counter
+	requestNs    *obs.Histogram
+	inflight     *obs.Gauge
+	sentBytes    *obs.Counter
+	recvBytes    *obs.Counter
+	retries      *obs.Counter
+	timeouts     *obs.Counter
+	failures     *obs.Counter
+	dials        *obs.Counter
+	connWaitNs   *obs.Histogram
+	streamedW    *obs.Counter
+	streamedR    *obs.Counter
+	chunksSent   *obs.Counter
+	chunksRecvd  *obs.Counter
+	poolDiscards *obs.Gauge
 }
 
 func newClientMetrics(reg *obs.Registry) clientMetrics {
 	return clientMetrics{
-		requests:  bindPerType(reg, MetricClientRequests),
-		requestNs: reg.Histogram(MetricClientRequestNs, obs.LatencyBuckets()),
-		inflight:  reg.Gauge(MetricClientInflight),
-		sentBytes: reg.Counter(MetricClientSentBytes),
-		recvBytes: reg.Counter(MetricClientRecvBytes),
-		retries:   reg.Counter(MetricClientRetries),
-		timeouts:  reg.Counter(MetricClientTimeouts),
-		failures:  reg.Counter(MetricClientFailures),
-		dials:     reg.Counter(MetricClientDials),
+		requests:    bindPerType(reg, MetricClientRequests),
+		requestNs:   reg.Histogram(MetricClientRequestNs, obs.LatencyBuckets()),
+		inflight:    reg.Gauge(MetricClientInflight),
+		sentBytes:   reg.Counter(MetricClientSentBytes),
+		recvBytes:   reg.Counter(MetricClientRecvBytes),
+		retries:     reg.Counter(MetricClientRetries),
+		timeouts:    reg.Counter(MetricClientTimeouts),
+		failures:    reg.Counter(MetricClientFailures),
+		dials:       reg.Counter(MetricClientDials),
+		connWaitNs:  reg.Histogram(MetricClientConnWaitNs, obs.LatencyBuckets()),
+		streamedW:   reg.Counter(MetricClientStreamedOps + `{dir="write"}`),
+		streamedR:   reg.Counter(MetricClientStreamedOps + `{dir="read"}`),
+		chunksSent:  reg.Counter(MetricClientChunks + `{dir="sent"}`),
+		chunksRecvd: reg.Counter(MetricClientChunks + `{dir="received"}`),
 	}
 }
 
 type serverMetrics struct {
-	requests  map[byte]*obs.Counter
-	requestNs *obs.Histogram
-	inflight  *obs.Gauge
-	recvBytes *obs.Counter
-	sentBytes *obs.Counter
-	errors    map[uint64]*obs.Counter
-	conns     *obs.Gauge
-	files     *obs.Gauge
+	requests     map[byte]*obs.Counter
+	requestNs    *obs.Histogram
+	inflight     *obs.Gauge
+	recvBytes    *obs.Counter
+	sentBytes    *obs.Counter
+	errors       map[uint64]*obs.Counter
+	conns        *obs.Gauge
+	files        *obs.Gauge
+	streamsW     *obs.Counter
+	streamsR     *obs.Counter
+	chunksSent   *obs.Counter
+	chunksRecvd  *obs.Counter
+	poolDiscards *obs.Gauge
 }
 
 func newServerMetrics(reg *obs.Registry) serverMetrics {
@@ -107,14 +138,19 @@ func newServerMetrics(reg *obs.Registry) serverMetrics {
 		errs[code] = reg.Counter(fmt.Sprintf(`%s{code="%s"}`, MetricServerErrors, label))
 	}
 	return serverMetrics{
-		requests:  bindPerType(reg, MetricServerRequests),
-		requestNs: reg.Histogram(MetricServerRequestNs, obs.LatencyBuckets()),
-		inflight:  reg.Gauge(MetricServerInflight),
-		recvBytes: reg.Counter(MetricServerRecvBytes),
-		sentBytes: reg.Counter(MetricServerSentBytes),
-		errors:    errs,
-		conns:     reg.Gauge(MetricServerConns),
-		files:     reg.Gauge(MetricServerFiles),
+		requests:     bindPerType(reg, MetricServerRequests),
+		requestNs:    reg.Histogram(MetricServerRequestNs, obs.LatencyBuckets()),
+		inflight:     reg.Gauge(MetricServerInflight),
+		recvBytes:    reg.Counter(MetricServerRecvBytes),
+		sentBytes:    reg.Counter(MetricServerSentBytes),
+		errors:       errs,
+		conns:        reg.Gauge(MetricServerConns),
+		files:        reg.Gauge(MetricServerFiles),
+		streamsW:     reg.Counter(MetricServerStreams + `{dir="write"}`),
+		streamsR:     reg.Counter(MetricServerStreams + `{dir="read"}`),
+		chunksSent:   reg.Counter(MetricServerChunks + `{dir="sent"}`),
+		chunksRecvd:  reg.Counter(MetricServerChunks + `{dir="received"}`),
+		poolDiscards: reg.Gauge(MetricFramePoolDiscards),
 	}
 }
 

@@ -1,0 +1,460 @@
+package rpc
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// mux.go is the client side of proto v3: one multiplexed connection
+// per node carrying every operation as a tagged stream. A single
+// reader goroutine demultiplexes incoming frames onto per-stream
+// channels; writers serialize whole frames under a mutex and send them
+// vectored (WriteFrameVec), so a chunk's data bytes go from the
+// caller's buffer to the socket without an assembly copy.
+//
+// Failure model: any transport error on the connection — a write
+// error, a read error, a corrupt frame, a stream that timed out
+// waiting for its next frame — kills the whole muxConn. Every waiting
+// stream observes the death via the done channel, and the per-call
+// retry loop (client.run) dials a fresh muxConn. That is the same
+// drop-and-retry contract the classic pooled path has, widened to all
+// streams sharing the connection; it is safe for the same reason —
+// every request in the protocol is idempotent.
+
+// streamWindow bounds buffered frames per stream: the reader parks
+// once a stream is this far behind, which propagates TCP backpressure
+// to the sender — the bounded-channel half of the pipeline.
+const streamWindow = 4
+
+// errMuxTimeout is a per-stream deadline expiry. It implements
+// net.Error so the retry loop counts it as a timeout.
+type errMuxTimeout struct{ addr string }
+
+func (e errMuxTimeout) Error() string   { return fmt.Sprintf("rpc: stream read from %s timed out", e.addr) }
+func (e errMuxTimeout) Timeout() bool   { return true }
+func (e errMuxTimeout) Temporary() bool { return true }
+
+var _ net.Error = errMuxTimeout{}
+
+// muxStream is one in-flight operation on a muxConn.
+type muxStream struct {
+	id uint64
+	// ch delivers this stream's frames from the reader goroutine.
+	ch chan respFrame
+	// gone closes when the stream is deregistered, so the reader never
+	// blocks forever on an abandoned stream.
+	gone chan struct{}
+}
+
+// muxConn is one multiplexed v3 connection.
+type muxConn struct {
+	conn net.Conn
+	ver  byte
+	cfg  *ClientConfig
+
+	// wmu serializes frame writes; each frame is written whole.
+	wmu sync.Mutex
+
+	mu      sync.Mutex
+	streams map[uint64]*muxStream
+	nextID  uint64
+	err     error
+	done    chan struct{}
+}
+
+func newMuxConn(conn *clientConn, cfg *ClientConfig) *muxConn {
+	m := &muxConn{
+		conn:    conn.Conn,
+		ver:     conn.ver,
+		cfg:     cfg,
+		streams: make(map[uint64]*muxStream),
+		done:    make(chan struct{}),
+	}
+	go m.readLoop()
+	return m
+}
+
+func (m *muxConn) alive() bool {
+	select {
+	case <-m.done:
+		return false
+	default:
+		return true
+	}
+}
+
+func (m *muxConn) error() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.err == nil {
+		return fmt.Errorf("rpc: connection to %s failed", m.cfg.Addr)
+	}
+	return m.err
+}
+
+// fail kills the connection: the first error wins, every stream's
+// recv observes done, and the reader goroutine exits on the closed
+// socket.
+func (m *muxConn) fail(err error) {
+	m.mu.Lock()
+	if m.err == nil {
+		m.err = err
+		close(m.done)
+	}
+	m.mu.Unlock()
+	m.conn.Close()
+}
+
+// openStream registers a fresh stream id.
+func (m *muxConn) openStream() (*muxStream, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.err != nil {
+		return nil, m.err
+	}
+	m.nextID++
+	st := &muxStream{
+		id:   m.nextID,
+		ch:   make(chan respFrame, streamWindow),
+		gone: make(chan struct{}),
+	}
+	m.streams[st.id] = st
+	return st, nil
+}
+
+// closeStream deregisters a stream and releases any frames already
+// delivered to it; later frames for the id are dropped by the reader.
+func (m *muxConn) closeStream(st *muxStream) {
+	m.mu.Lock()
+	delete(m.streams, st.id)
+	m.mu.Unlock()
+	close(st.gone)
+	for {
+		select {
+		case f := <-st.ch:
+			putFrameBuf(f.body)
+		default:
+			return
+		}
+	}
+}
+
+// send writes one frame, vectored, under the write lock. A transport
+// error kills the connection.
+func (m *muxConn) send(ctx context.Context, parts ...[]byte) error {
+	m.wmu.Lock()
+	defer m.wmu.Unlock()
+	select {
+	case <-m.done:
+		return m.error()
+	default:
+	}
+	if err := m.conn.SetWriteDeadline(deadline(ctx, m.cfg.WriteTimeout)); err != nil {
+		m.fail(err)
+		return err
+	}
+	if err := WriteFrameVec(m.conn, m.ver, parts...); err != nil {
+		m.fail(err)
+		return err
+	}
+	return nil
+}
+
+// recv waits for the stream's next frame. ReadTimeout applies per
+// frame (as on the classic path); an expiry kills the connection so
+// the retry loop redials instead of inheriting a wedged stream.
+func (st *muxStream) recv(ctx context.Context, m *muxConn) (respFrame, error) {
+	timer := time.NewTimer(m.cfg.ReadTimeout)
+	defer timer.Stop()
+	select {
+	case f := <-st.ch:
+		return f, nil
+	case <-m.done:
+		return respFrame{}, m.error()
+	case <-ctx.Done():
+		return respFrame{}, ctx.Err()
+	case <-timer.C:
+		err := errMuxTimeout{m.cfg.Addr}
+		m.fail(err)
+		return respFrame{}, err
+	}
+}
+
+// readLoop demultiplexes incoming frames onto stream channels. Frames
+// for unknown (already closed) streams are dropped; any read or parse
+// error kills the connection.
+func (m *muxConn) readLoop() {
+	for {
+		body, err := ReadFrame(m.conn, m.cfg.MaxFrame)
+		if err != nil {
+			m.fail(err)
+			return
+		}
+		msgType, rest, err := ParseFrame(body)
+		var sid uint64
+		var payload []byte
+		if err == nil {
+			sid, payload, err = splitStreamFrame(rest)
+		}
+		if err != nil {
+			putFrameBuf(body)
+			m.fail(err)
+			return
+		}
+		m.mu.Lock()
+		st := m.streams[sid]
+		m.mu.Unlock()
+		if st == nil {
+			putFrameBuf(body)
+			continue
+		}
+		select {
+		case st.ch <- respFrame{body: body, msgType: msgType, payload: payload}:
+		case <-st.gone:
+			putFrameBuf(body)
+		case <-m.done:
+			putFrameBuf(body)
+			return
+		}
+	}
+}
+
+// muxExchange is one unary request/response over the mux: the encoded
+// request's [ver][type] prefix is replaced by a v3 stream header and
+// the rest travels untouched (vectored, no re-encode).
+func (c *Client) muxExchange(ctx context.Context, m *muxConn, reqType byte, req []byte) (respFrame, error) {
+	st, err := m.openStream()
+	if err != nil {
+		return respFrame{}, err
+	}
+	defer m.closeStream(st)
+	prefix := appendStreamHdr(getFrameBuf(16), reqType, st.id)
+	err = m.send(ctx, prefix, req[2:])
+	putFrameBuf(prefix)
+	if err != nil {
+		return respFrame{}, err
+	}
+	c.met.sentBytes.Add(int64(len(req) + 4))
+	f, err := st.recv(ctx, m)
+	if err != nil {
+		return respFrame{}, err
+	}
+	c.met.recvBytes.Add(int64(len(f.body) + 4))
+	return f, nil
+}
+
+// abortStream tells the server to tear a write stream down without a
+// reply (context cancellation, early server error). Best effort: a
+// failed abort already killed the connection, which tears down
+// server-side state just as finally.
+func (c *Client) abortStream(m *muxConn, st *muxStream) {
+	hdr := appendChunkHdr(getFrameBuf(16), MsgWriteChunk, st.id, flagChunkAbort)
+	m.send(context.Background(), hdr)
+	putFrameBuf(hdr)
+}
+
+// writeStreamed sends req as a chunked v3 stream through the shared
+// retry machinery. streamed=false reports a peer below v3: nothing was
+// sent and the caller falls back to the monolithic frame.
+func (c *Client) writeStreamed(ctx context.Context, req *WriteSegsReq) (err error, streamed bool) {
+	streamed = true
+	err = c.run(ctx, MsgWriteStream, func(ctx context.Context) error {
+		m, merr := c.getMux(ctx)
+		if merr == errNoMux {
+			streamed = false
+			return nil
+		}
+		if merr != nil {
+			return merr
+		}
+		return c.writeStreamOnce(ctx, m, req)
+	})
+	if !streamed {
+		return nil, false
+	}
+	if err == nil {
+		c.met.streamedW.Inc()
+	}
+	return err, true
+}
+
+// writeStreamOnce is one attempt: open the stream, ship the data as
+// bounded chunks, await the single server reply.
+func (c *Client) writeStreamOnce(ctx context.Context, m *muxConn, req *WriteSegsReq) error {
+	st, err := m.openStream()
+	if err != nil {
+		return err
+	}
+	defer m.closeStream(st)
+	hdr := AppendWriteStream(getFrameBuf(64), st.id, &WriteStreamReq{
+		File:        req.File,
+		Subfile:     req.Subfile,
+		Fingerprint: req.Fingerprint,
+		Lo:          req.Lo,
+		Hi:          req.Hi,
+		Total:       int64(len(req.Data)),
+	})
+	err = m.send(ctx, hdr)
+	putFrameBuf(hdr)
+	if err != nil {
+		return err
+	}
+	data := req.Data
+	for pos := 0; ; {
+		if err := ctx.Err(); err != nil {
+			c.abortStream(m, st)
+			return err
+		}
+		// An early reply means the server already gave up on the
+		// stream: stop shipping chunks and surface its answer.
+		select {
+		case f := <-st.ch:
+			err := earlyWriteReply(f)
+			c.abortStream(m, st)
+			return err
+		default:
+		}
+		end := pos + c.cfg.ChunkSize
+		if end > len(data) {
+			end = len(data)
+		}
+		flags := byte(0)
+		last := end == len(data)
+		if last {
+			flags = flagChunkLast
+		}
+		chdr := appendChunkHdr(getFrameBuf(16), MsgWriteChunk, st.id, flags)
+		err := m.send(ctx, chdr, data[pos:end])
+		putFrameBuf(chdr)
+		if err != nil {
+			return err
+		}
+		c.met.sentBytes.Add(int64(end - pos + 4))
+		c.met.chunksSent.Inc()
+		pos = end
+		if last {
+			break
+		}
+	}
+	f, err := st.recv(ctx, m)
+	if err != nil {
+		return err
+	}
+	defer putFrameBuf(f.body)
+	_, err = parseResp(f, MsgOK)
+	return err
+}
+
+// earlyWriteReply classifies a server reply that arrived before the
+// client finished sending chunks (release included).
+func earlyWriteReply(f respFrame) error {
+	defer putFrameBuf(f.body)
+	if _, err := parseResp(f, MsgOK); err != nil {
+		return err
+	}
+	return fmt.Errorf("%w: OK before write stream completed", ErrCorrupt)
+}
+
+// readStreamed fills dst from a chunked v3 read stream through the
+// shared retry machinery. streamed=false reports a peer below v3.
+func (c *Client) readStreamed(ctx context.Context, req *ReadSegsReq, dst []byte) (err error, streamed bool) {
+	streamed = true
+	err = c.run(ctx, MsgReadStream, func(ctx context.Context) error {
+		m, merr := c.getMux(ctx)
+		if merr == errNoMux {
+			streamed = false
+			return nil
+		}
+		if merr != nil {
+			return merr
+		}
+		return c.readStreamOnce(ctx, m, req, dst)
+	})
+	if !streamed {
+		return nil, false
+	}
+	if err == nil {
+		c.met.streamedR.Inc()
+	}
+	return err, true
+}
+
+// readStreamOnce is one attempt: open the stream and scatter arriving
+// chunks straight into dst as they land.
+func (c *Client) readStreamOnce(ctx context.Context, m *muxConn, req *ReadSegsReq, dst []byte) error {
+	st, err := m.openStream()
+	if err != nil {
+		return err
+	}
+	defer m.closeStream(st)
+	hdr := AppendReadStream(getFrameBuf(64), st.id, &ReadStreamReq{
+		File:        req.File,
+		Subfile:     req.Subfile,
+		Fingerprint: req.Fingerprint,
+		Lo:          req.Lo,
+		Hi:          req.Hi,
+		N:           req.N,
+		ChunkSize:   int64(c.cfg.ChunkSize),
+	})
+	err = m.send(ctx, hdr)
+	putFrameBuf(hdr)
+	if err != nil {
+		return err
+	}
+	pos := 0
+	for {
+		f, err := st.recv(ctx, m)
+		if err != nil {
+			return err
+		}
+		switch f.msgType {
+		case MsgDataChunk:
+			flags, data, err := splitChunk(f.payload)
+			if err != nil {
+				putFrameBuf(f.body)
+				m.fail(err)
+				return err
+			}
+			if pos+len(data) > len(dst) {
+				putFrameBuf(f.body)
+				err := fmt.Errorf("%w: read stream overflows %d-byte buffer", ErrCorrupt, len(dst))
+				m.fail(err)
+				return err
+			}
+			copy(dst[pos:], data)
+			pos += len(data)
+			c.met.recvBytes.Add(int64(len(data) + 4))
+			c.met.chunksRecvd.Inc()
+			putFrameBuf(f.body)
+			if flags&flagChunkAbort != 0 {
+				err := fmt.Errorf("%w: server aborted read stream", ErrCorrupt)
+				m.fail(err)
+				return err
+			}
+			if flags&flagChunkLast != 0 {
+				if int64(pos) != req.N {
+					err := fmt.Errorf("%w: read stream returned %d bytes, want %d", ErrCorrupt, pos, req.N)
+					m.fail(err)
+					return err
+				}
+				return nil
+			}
+		case MsgError:
+			re, err := DecodeError(f.payload)
+			putFrameBuf(f.body)
+			if err != nil {
+				m.fail(err)
+				return err
+			}
+			return re
+		default:
+			putFrameBuf(f.body)
+			err := fmt.Errorf("%w: read stream response type %#x", ErrCorrupt, f.msgType)
+			m.fail(err)
+			return err
+		}
+	}
+}

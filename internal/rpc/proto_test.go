@@ -80,8 +80,10 @@ func TestFrameV2DetectsCorruption(t *testing.T) {
 }
 
 func TestNegotiationAgreesOnV2(t *testing.T) {
+	// A client capped at v2 keeps the classic pooled-connection path
+	// and lands on v2 framing.
 	addr, _ := startServer(t, ServerConfig{})
-	c := NewClient(ClientConfig{Addr: addr})
+	c := NewClient(ClientConfig{Addr: addr, ProtoVersion: ProtoVersion2})
 	defer c.Close()
 	ctx := context.Background()
 	if err := c.CreateFile(ctx, &CreateFileReq{Name: "f", Phys: encodeTestPhys(t), Subfiles: []int{0}}); err != nil {
@@ -96,6 +98,33 @@ func TestNegotiationAgreesOnV2(t *testing.T) {
 	c.mu.Unlock()
 	if ver != ProtoVersion2 {
 		t.Fatalf("negotiated version %d, want %d", ver, ProtoVersion2)
+	}
+}
+
+func TestNegotiationDefaultUpgradesToMux(t *testing.T) {
+	// An uncapped client against a current daemon negotiates v3 and
+	// multiplexes over a single connection instead of pooling.
+	addr, _ := startServer(t, ServerConfig{})
+	c := NewClient(ClientConfig{Addr: addr})
+	defer c.Close()
+	ctx := context.Background()
+	if err := c.CreateFile(ctx, &CreateFileReq{Name: "f", Phys: encodeTestPhys(t), Subfiles: []int{0}}); err != nil {
+		t.Fatal(err)
+	}
+	c.muxMu.Lock()
+	m := c.mux
+	c.muxMu.Unlock()
+	if m == nil || !m.alive() {
+		t.Fatal("no live multiplexed connection after a call")
+	}
+	if m.ver != ProtoVersion3 {
+		t.Fatalf("mux negotiated version %d, want %d", m.ver, ProtoVersion3)
+	}
+	c.mu.Lock()
+	pooled := len(c.idle)
+	c.mu.Unlock()
+	if pooled != 0 {
+		t.Fatalf("default client pooled %d classic connections alongside the mux", pooled)
 	}
 }
 

@@ -174,6 +174,13 @@ func (s *Server) handleConn(conn net.Conn) {
 			return
 		}
 		s.met.recvBytes.Add(int64(len(body) + 4))
+		// A Hello asking for v3 or newer upgrades the connection to
+		// multiplexed framing right after the reply.
+		if s.tryUpgradeV3(conn, body) {
+			ReleaseFrame(body)
+			s.serveMux(conn)
+			return
+		}
 		// Responses mirror the request's frame version (clamped to what
 		// this server speaks): a v2 request gets a checksummed v2
 		// response, a v1 request a bare v1 one.
@@ -198,16 +205,42 @@ func (s *Server) handleConn(conn net.Conn) {
 	}
 }
 
-// handle executes one request and returns the encoded response in a
-// pooled buffer.
-func (s *Server) handle(body []byte) []byte {
-	start := time.Now()
-	s.met.inflight.Add(1)
-	defer func() {
-		s.met.inflight.Add(-1)
-		s.met.requestNs.Observe(time.Since(start).Nanoseconds())
-	}()
+// tryUpgradeV3 checks whether a frame is a Hello negotiating v3 or
+// newer; if so it sends the reply and reports true, and the caller
+// switches the connection into multiplexed serving. Anything else —
+// including a v1/v2 Hello, which must keep its classic one-frame
+// semantics — reports false and takes the ordinary path.
+func (s *Server) tryUpgradeV3(conn net.Conn, body []byte) bool {
+	if s.maxVer < ProtoVersion3 || s.draining.Load() {
+		return false
+	}
+	msgType, payload, err := ParseFrame(body)
+	if err != nil || msgType != MsgHello || body[0] > s.maxVer {
+		return false
+	}
+	want, err := DecodeHello(payload)
+	if err != nil || want < ProtoVersion3 {
+		return false
+	}
+	s.met.requests[MsgHello].Inc()
+	agreed := want
+	if agreed > s.maxVer {
+		agreed = s.maxVer
+	}
+	resp := AppendHelloResp(getFrameBuf(16), agreed)
+	// The Hello round-trip stays on the request's own frame version;
+	// only frames after it are v3. A failed reply write leaves the
+	// connection broken and the mux loop exits on its first read.
+	werr := WriteFrameV(conn, resp, body[0])
+	s.met.sentBytes.Add(int64(len(resp) + 4))
+	putFrameBuf(resp)
+	_ = werr
+	return true
+}
 
+// handle executes one classic-framed request and returns the encoded
+// response in a pooled buffer.
+func (s *Server) handle(body []byte) []byte {
 	out := getFrameBuf(64)
 	msgType, payload, err := ParseFrame(body)
 	if err != nil {
@@ -219,6 +252,21 @@ func (s *Server) handle(body []byte) []byte {
 		return s.errResp(out, ErrCodeBadRequest,
 			fmt.Sprintf("protocol version %d, want %d", body[0], s.maxVer))
 	}
+	return s.dispatch(out, msgType, payload)
+}
+
+// dispatch executes one parsed request. It is shared by the classic
+// one-at-a-time connection loop and the multiplexed per-stream
+// goroutines: every handler locks the state it touches, so concurrent
+// dispatch is safe.
+func (s *Server) dispatch(out []byte, msgType byte, payload []byte) []byte {
+	start := time.Now()
+	s.met.inflight.Add(1)
+	defer func() {
+		s.met.inflight.Add(-1)
+		s.met.requestNs.Observe(time.Since(start).Nanoseconds())
+		s.met.poolDiscards.Set(FramePoolDiscards())
+	}()
 	s.met.requests[msgType].Inc()
 	if s.draining.Load() {
 		return s.errResp(out, ErrCodeShuttingDown, "server draining")

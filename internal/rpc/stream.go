@@ -1,0 +1,602 @@
+package rpc
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"parafile/internal/clusterfile"
+	"parafile/internal/falls"
+	"parafile/internal/redist"
+)
+
+// stream.go is the server side of proto v3. A connection whose Hello
+// asked for v3 switches into multiplexed mode: a single read loop
+// demultiplexes tagged frames, unary requests dispatch in their own
+// goroutines, and the chunked-transfer messages run as pipelines —
+//
+//   write stream: read loop feeds arriving chunks into a bounded
+//   channel; a per-stream worker scatters them into the store while
+//   later chunks are still crossing the wire. When the channel's
+//   window fills, the read loop parks, which propagates TCP
+//   backpressure to the client.
+//
+//   read stream: a producer goroutine gathers store bytes into
+//   chunk-sized buffers while the stream worker sends completed
+//   chunks, so disk gather and network transmission overlap.
+//
+// Store access locks the file per individual store operation rather
+// than per whole transfer: holding the file lock across a chunk-fed
+// scatter would let one stalled stream wedge every other stream of the
+// same file (the chunks that would un-stall it can sit behind the
+// blocked one in the read loop).
+
+// errSenderDead stops a read-stream producer whose sender hit a
+// transport error.
+var errSenderDead = errors.New("rpc: stream sender failed")
+
+// srvChunk is one arriving write-stream chunk; data aliases body.
+type srvChunk struct {
+	body  []byte
+	data  []byte
+	last  bool
+	abort bool
+}
+
+// srvWriteStream is one open chunked write. The read loop owns the
+// map entry and closes chunks on the last/abort chunk or connection
+// death; the worker drains the channel no matter what, so the read
+// loop never blocks on a dead stream forever.
+type srvWriteStream struct {
+	chunks chan srvChunk
+}
+
+// srvConn is one multiplexed connection, server side.
+type srvConn struct {
+	s    *Server
+	conn net.Conn
+
+	// wmu serializes outgoing frames across all streams.
+	wmu sync.Mutex
+	// wg tracks every goroutine spawned for this connection.
+	wg sync.WaitGroup
+
+	// writeStreams is owned by the read loop goroutine.
+	writeStreams map[uint64]*srvWriteStream
+}
+
+// serveMux runs a v3 connection until it drops, then releases every
+// stream worker and waits for them.
+func (s *Server) serveMux(conn net.Conn) {
+	sc := &srvConn{s: s, conn: conn, writeStreams: make(map[uint64]*srvWriteStream)}
+	sc.readLoop()
+	for _, st := range sc.writeStreams {
+		close(st.chunks)
+	}
+	sc.wg.Wait()
+}
+
+// send writes one frame, vectored and serialized.
+func (sc *srvConn) send(parts ...[]byte) error {
+	n := 0
+	for _, p := range parts {
+		n += len(p)
+	}
+	sc.wmu.Lock()
+	defer sc.wmu.Unlock()
+	if err := WriteFrameVec(sc.conn, ProtoVersion3, parts...); err != nil {
+		return err
+	}
+	sc.s.met.sentBytes.Add(int64(n + 4))
+	return nil
+}
+
+// sendResp reframes an encoded [ver][type][payload] response onto a
+// stream and sends it. The response buffer stays owned by the caller.
+func (sc *srvConn) sendResp(sid uint64, resp []byte) error {
+	prefix := appendStreamHdr(getFrameBuf(16), resp[1], sid)
+	err := sc.send(prefix, resp[2:])
+	putFrameBuf(prefix)
+	return err
+}
+
+// sendErr sends an error response on a stream.
+func (sc *srvConn) sendErr(sid uint64, code uint64, msg string) {
+	out := sc.s.errResp(getFrameBuf(64), code, msg)
+	sc.sendResp(sid, out)
+	putFrameBuf(out)
+}
+
+// readLoop demultiplexes the connection until EOF, a framing error, or
+// the drain wake-up.
+func (sc *srvConn) readLoop() {
+	s := sc.s
+	for {
+		body, err := ReadFrame(sc.conn, s.cfg.MaxFrame)
+		if err != nil {
+			return
+		}
+		s.met.recvBytes.Add(int64(len(body) + 4))
+		msgType, rest, err := ParseFrame(body)
+		var sid uint64
+		var payload []byte
+		if err == nil {
+			sid, payload, err = splitStreamFrame(rest)
+		}
+		if err != nil {
+			// Broken framing on a multiplexed connection poisons every
+			// stream on it: drop the connection, clients retry.
+			ReleaseFrame(body)
+			return
+		}
+		switch msgType {
+		case MsgWriteChunk:
+			flags, data, cerr := splitChunk(payload)
+			if cerr != nil {
+				ReleaseFrame(body)
+				return
+			}
+			st := sc.writeStreams[sid]
+			if st == nil {
+				// Chunk for a stream that never opened (or a duplicate
+				// tail after teardown): drop it.
+				ReleaseFrame(body)
+				continue
+			}
+			ck := srvChunk{
+				body:  body,
+				data:  data,
+				last:  flags&flagChunkLast != 0,
+				abort: flags&flagChunkAbort != 0,
+			}
+			st.chunks <- ck
+			if ck.last || ck.abort {
+				close(st.chunks)
+				delete(sc.writeStreams, sid)
+			}
+		case MsgWriteStream:
+			req, derr := DecodeWriteStream(payload)
+			ReleaseFrame(body)
+			if derr != nil {
+				return
+			}
+			st := &srvWriteStream{chunks: make(chan srvChunk, streamWindow)}
+			sc.writeStreams[sid] = st
+			sc.wg.Add(1)
+			go sc.runWriteStream(sid, req, st)
+		case MsgReadStream:
+			req, derr := DecodeReadStream(payload)
+			ReleaseFrame(body)
+			if derr != nil {
+				return
+			}
+			sc.wg.Add(1)
+			go sc.runReadStream(sid, req)
+		default:
+			// Unary request: dispatch concurrently, responses serialize
+			// under the write lock.
+			sc.wg.Add(1)
+			go func(sid uint64, msgType byte, body, payload []byte) {
+				defer sc.wg.Done()
+				resp := s.dispatch(getFrameBuf(64), msgType, payload)
+				ReleaseFrame(body)
+				sc.sendResp(sid, resp)
+				putFrameBuf(resp)
+			}(sid, msgType, body, payload)
+		}
+	}
+}
+
+// chunkFeed pulls a write stream's bytes chunk by chunk, releasing
+// each spent frame. After take returns nil, exactly one of ended /
+// aborted / closed explains why.
+type chunkFeed struct {
+	s        *Server
+	chunks   <-chan srvChunk
+	cur      srvChunk
+	off      int
+	received int64
+	ended    bool // clean last chunk consumed
+	aborted  bool // client sent an abort chunk
+	closed   bool // connection died before the stream finished
+
+	// onWait, when set, runs just before take blocks on the chunk
+	// channel. The scatter uses it to drop the file lock while waiting
+	// on the network, so it can hold the lock across the buffered
+	// chunks (per-chunk locking instead of per-segment) without ever
+	// holding it through a wait — that would let one stalled stream
+	// wedge every sibling stream of the same file.
+	onWait func()
+}
+
+// take returns up to n unconsumed stream bytes (aliasing the chunk
+// frame; valid until the next call), or nil at end of stream.
+func (f *chunkFeed) take(n int64) []byte {
+	for {
+		if f.cur.body != nil {
+			if f.off < len(f.cur.data) {
+				avail := int64(len(f.cur.data) - f.off)
+				if avail > n {
+					avail = n
+				}
+				b := f.cur.data[f.off : f.off+int(avail)]
+				f.off += int(avail)
+				return b
+			}
+			if f.cur.last {
+				f.ended = true
+			}
+			if f.cur.abort {
+				f.aborted = true
+			}
+			ReleaseFrame(f.cur.body)
+			f.cur = srvChunk{}
+			f.off = 0
+		}
+		if f.ended || f.aborted || f.closed {
+			return nil
+		}
+		var ck srvChunk
+		var ok bool
+		select {
+		case ck, ok = <-f.chunks:
+		default:
+			if f.onWait != nil {
+				f.onWait()
+			}
+			ck, ok = <-f.chunks
+		}
+		if !ok {
+			f.closed = true
+			return nil
+		}
+		f.s.met.chunksRecvd.Inc()
+		f.received += int64(len(ck.data))
+		f.cur = ck
+	}
+}
+
+// drain consumes the rest of the stream without using the bytes, so
+// the read loop is never left blocked on the stream's window.
+func (f *chunkFeed) drain() {
+	for f.take(1<<62) != nil {
+	}
+}
+
+// runWriteStream executes one chunked scatter. Mirrors
+// handleWriteSegs' validation, then consumes the chunk feed through a
+// single projection walk.
+func (sc *srvConn) runWriteStream(sid uint64, req *WriteStreamReq, st *srvWriteStream) {
+	defer sc.wg.Done()
+	s := sc.s
+	start := time.Now()
+	s.met.inflight.Add(1)
+	defer func() {
+		s.met.inflight.Add(-1)
+		s.met.requestNs.Observe(time.Since(start).Nanoseconds())
+		s.met.poolDiscards.Set(FramePoolDiscards())
+	}()
+	s.met.requests[MsgWriteStream].Inc()
+	s.met.streamsW.Inc()
+
+	feed := &chunkFeed{s: s, chunks: st.chunks}
+	fail := func(code uint64, msg string) {
+		feed.drain()
+		if feed.closed {
+			return // connection gone; nobody to answer
+		}
+		sc.sendErr(sid, code, msg)
+	}
+
+	if s.draining.Load() {
+		fail(ErrCodeShuttingDown, "server draining")
+		return
+	}
+	if req.Hi < req.Lo-1 || req.Lo < 0 || req.Total < 0 {
+		fail(ErrCodeBadRequest, fmt.Sprintf("bad segment window [%d,%d] (%d bytes)", req.Lo, req.Hi, req.Total))
+		return
+	}
+	var proj *redist.Projection
+	if req.Fingerprint != 0 {
+		var ok bool
+		if proj, ok = s.projection(req.Fingerprint); !ok {
+			fail(ErrCodeUnknownProjection, fmt.Sprintf("projection %#x not registered", req.Fingerprint))
+			return
+		}
+		if want := proj.BytesIn(req.Lo, req.Hi); req.Total != 0 && want != req.Total {
+			fail(ErrCodeBadRequest, fmt.Sprintf("projection selects %d bytes in [%d,%d], stream announces %d",
+				want, req.Lo, req.Hi, req.Total))
+			return
+		}
+	} else if req.Total != 0 && req.Total != req.Hi-req.Lo+1 {
+		fail(ErrCodeBadRequest, fmt.Sprintf("contiguous write of %d bytes into window [%d,%d]", req.Total, req.Lo, req.Hi))
+		return
+	}
+	sf, store, code, msg := s.lookup(req.File, req.Subfile)
+	if code != 0 {
+		fail(code, msg)
+		return
+	}
+	sf.mu.Lock()
+	err := store.EnsureLen(req.Hi + 1)
+	sf.mu.Unlock()
+	if err != nil {
+		fail(ErrCodeIO, err.Error())
+		return
+	}
+
+	// The scatter: consume the feed through the projection's segments
+	// (or contiguously at Lo). The file lock is taken lazily and held
+	// across everything already buffered, but released whenever the
+	// feed is about to wait on the network (see chunkFeed.onWait) —
+	// amortized locking without wedging sibling streams.
+	locked := false
+	lock := func() {
+		if !locked {
+			sf.mu.Lock()
+			locked = true
+		}
+	}
+	unlock := func() {
+		if locked {
+			sf.mu.Unlock()
+			locked = false
+		}
+	}
+	defer unlock()
+	feed.onWait = unlock
+	writeAt := func(b []byte, off int64) error {
+		lock()
+		return store.WriteAt(b, off)
+	}
+	var werr error
+	if proj == nil {
+		pos := req.Lo
+		for {
+			b := feed.take(1 << 62)
+			if b == nil {
+				break
+			}
+			if pos+int64(len(b)) > req.Hi+1 {
+				werr = fmt.Errorf("stream overflows window [%d,%d]", req.Lo, req.Hi)
+				break
+			}
+			if werr = writeAt(b, pos); werr != nil {
+				break
+			}
+			pos += int64(len(b))
+		}
+	} else {
+		proj.WalkRange(req.Lo, req.Hi, func(seg falls.LineSegment) bool {
+			off := seg.L
+			left := seg.Len()
+			for left > 0 {
+				b := feed.take(left)
+				if b == nil {
+					werr = fmt.Errorf("stream ended %d bytes into segment", seg.Len()-left)
+					return false
+				}
+				if werr = writeAt(b, off); werr != nil {
+					return false
+				}
+				off += int64(len(b))
+				left -= int64(len(b))
+			}
+			return true
+		})
+	}
+	feed.drain()
+	switch {
+	case feed.aborted || feed.closed:
+		// Abandoned by the client (or the connection died): no reply.
+		return
+	case werr != nil:
+		sc.sendErr(sid, ErrCodeIO, werr.Error())
+		return
+	case feed.received != req.Total:
+		sc.sendErr(sid, ErrCodeBadRequest,
+			fmt.Sprintf("stream carried %d bytes, announced %d", feed.received, req.Total))
+		return
+	}
+	out := AppendOK(getFrameBuf(16))
+	sc.sendResp(sid, out)
+	putFrameBuf(out)
+}
+
+// streamPiece is one gathered chunk traveling producer -> sender.
+type streamPiece struct {
+	data []byte
+	last bool
+}
+
+// runReadStream executes one chunked gather: validation mirroring
+// handleReadSegs (minus the single-frame size cap — chunking is how a
+// read escapes it), then a producer/sender pipeline.
+func (sc *srvConn) runReadStream(sid uint64, req *ReadStreamReq) {
+	defer sc.wg.Done()
+	s := sc.s
+	start := time.Now()
+	s.met.inflight.Add(1)
+	defer func() {
+		s.met.inflight.Add(-1)
+		s.met.requestNs.Observe(time.Since(start).Nanoseconds())
+		s.met.poolDiscards.Set(FramePoolDiscards())
+	}()
+	s.met.requests[MsgReadStream].Inc()
+	s.met.streamsR.Inc()
+
+	if s.draining.Load() {
+		sc.sendErr(sid, ErrCodeShuttingDown, "server draining")
+		return
+	}
+	if req.N < 0 || req.Hi < req.Lo-1 || req.Lo < 0 {
+		sc.sendErr(sid, ErrCodeBadRequest,
+			fmt.Sprintf("bad read window [%d,%d] of %d bytes", req.Lo, req.Hi, req.N))
+		return
+	}
+	var proj *redist.Projection
+	if req.Fingerprint != 0 {
+		var ok bool
+		if proj, ok = s.projection(req.Fingerprint); !ok {
+			sc.sendErr(sid, ErrCodeUnknownProjection,
+				fmt.Sprintf("projection %#x not registered", req.Fingerprint))
+			return
+		}
+		if want := proj.BytesIn(req.Lo, req.Hi); want != req.N {
+			sc.sendErr(sid, ErrCodeBadRequest,
+				fmt.Sprintf("projection selects %d bytes in [%d,%d], request asks for %d",
+					want, req.Lo, req.Hi, req.N))
+			return
+		}
+	} else if req.N != req.Hi-req.Lo+1 {
+		sc.sendErr(sid, ErrCodeBadRequest,
+			fmt.Sprintf("contiguous read of %d bytes from window [%d,%d]", req.N, req.Lo, req.Hi))
+		return
+	}
+	sf, store, code, msg := s.lookup(req.File, req.Subfile)
+	if code != 0 {
+		sc.sendErr(sid, code, msg)
+		return
+	}
+	// Grow first, like the single-frame read path: unwritten holes read
+	// as zeroes, like any sparse file.
+	sf.mu.Lock()
+	err := store.EnsureLen(req.Hi + 1)
+	sf.mu.Unlock()
+	if err != nil {
+		sc.sendErr(sid, ErrCodeIO, err.Error())
+		return
+	}
+
+	cs := int(req.ChunkSize)
+	if cs <= 0 {
+		cs = 1 << 20
+	}
+	if max := int(s.cfg.MaxFrame) - 64; cs > max {
+		cs = max
+	}
+
+	ch := make(chan streamPiece, streamWindow)
+	var dead atomic.Bool
+	perrCh := make(chan error, 1)
+	sc.wg.Add(1)
+	go func() {
+		defer sc.wg.Done()
+		perrCh <- sc.gatherChunks(req, proj, sf, store, cs, ch, &dead)
+		close(ch)
+	}()
+
+	sendFailed := false
+	for p := range ch {
+		if sendFailed {
+			putFrameBuf(p.data)
+			continue
+		}
+		flags := byte(0)
+		if p.last {
+			flags = flagChunkLast
+		}
+		hdr := appendChunkHdr(getFrameBuf(16), MsgDataChunk, sid, flags)
+		err := sc.send(hdr, p.data)
+		putFrameBuf(hdr)
+		putFrameBuf(p.data)
+		if err != nil {
+			dead.Store(true)
+			sendFailed = true
+			continue
+		}
+		s.met.chunksSent.Inc()
+	}
+	if perr := <-perrCh; perr != nil && perr != errSenderDead && !sendFailed {
+		// Mid-stream store failure: the error frame terminates the
+		// stream, whether or not data chunks already traveled.
+		sc.sendErr(sid, ErrCodeIO, perr.Error())
+	}
+}
+
+// gatherChunks is the read-stream producer: it walks the requested
+// range (projected or contiguous), gathering store bytes into
+// chunk-sized pooled buffers, and hands each completed chunk to the
+// sender. The final chunk is flagged last (and may be empty for N=0).
+func (sc *srvConn) gatherChunks(req *ReadStreamReq, proj *redist.Projection, sf *serverFile,
+	store clusterfile.Storage, cs int, ch chan<- streamPiece, dead *atomic.Bool) error {
+	// The file lock is held across each chunk's worth of store reads
+	// and dropped before handing the chunk to the sender (a potential
+	// wait on the network), mirroring the write-side scatter.
+	locked := false
+	lock := func() {
+		if !locked {
+			sf.mu.Lock()
+			locked = true
+		}
+	}
+	unlock := func() {
+		if locked {
+			sf.mu.Unlock()
+			locked = false
+		}
+	}
+	defer unlock()
+	buf := getFrameBuf(cs)[:0]
+	emit := func(last bool) bool {
+		unlock()
+		if dead.Load() {
+			putFrameBuf(buf)
+			buf = nil
+			return false
+		}
+		ch <- streamPiece{data: buf, last: last}
+		buf = nil
+		if !last {
+			buf = getFrameBuf(cs)[:0]
+		}
+		return true
+	}
+	// read appends [off, off+n) of the store to the chunk in progress,
+	// emitting chunks as they fill.
+	read := func(off, n int64) error {
+		for n > 0 {
+			space := int64(cs - len(buf))
+			if space == 0 {
+				if !emit(false) {
+					return errSenderDead
+				}
+				space = int64(cs)
+			}
+			m := n
+			if m > space {
+				m = space
+			}
+			k := len(buf)
+			buf = buf[:k+int(m)]
+			lock()
+			err := store.ReadAt(buf[k:k+int(m)], off)
+			if err != nil {
+				return err
+			}
+			off += m
+			n -= m
+		}
+		return nil
+	}
+	var err error
+	if proj == nil {
+		err = read(req.Lo, req.N)
+	} else {
+		proj.WalkRange(req.Lo, req.Hi, func(seg falls.LineSegment) bool {
+			err = read(seg.L, seg.Len())
+			return err == nil
+		})
+	}
+	if err != nil {
+		putFrameBuf(buf)
+		return err
+	}
+	if !emit(true) {
+		return errSenderDead
+	}
+	return nil
+}

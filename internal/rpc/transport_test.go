@@ -176,6 +176,63 @@ func TestTransportEquivalence(t *testing.T) {
 	}
 }
 
+// TestStreamedTransportEquivalence re-runs the acceptance workload
+// with every segment operation forced onto the chunked streamed path
+// (threshold 1, chunks far smaller than the payloads): write, view
+// read-back and redistribution must stay byte-identical to the
+// in-process transport, and the streamed counters must prove the new
+// path actually carried the traffic.
+func TestStreamedTransportEquivalence(t *testing.T) {
+	const n = 64
+	local := runWorkload(t, n, clusterfile.DefaultConfig())
+
+	reg := obs.NewRegistry()
+	addrs := []string{
+		startDaemon(t, rpc.ServerConfig{}),
+		startDaemon(t, rpc.ServerConfig{}),
+	}
+	tr, err := rpc.NewTransport(addrs, rpc.Options{
+		Client: rpc.ClientConfig{
+			ChunkSize:       64,
+			StreamThreshold: 1,
+		},
+		Metrics: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	cfg := clusterfile.DefaultConfig()
+	cfg.Transport = tr
+	remote := runWorkload(t, n, cfg)
+
+	for i := range local.subfiles {
+		if !bytes.Equal(local.subfiles[i], remote.subfiles[i]) {
+			t.Errorf("subfile %d differs between in-process and streamed TCP", i)
+		}
+	}
+	for i := range local.reads {
+		if !bytes.Equal(local.reads[i], remote.reads[i]) {
+			t.Errorf("view read %d differs between transports", i)
+		}
+	}
+	for i := range local.redistSubs {
+		if !bytes.Equal(local.redistSubs[i], remote.redistSubs[i]) {
+			t.Errorf("redistributed subfile %d differs between transports", i)
+		}
+	}
+
+	streamedW := reg.Counter(rpc.MetricClientStreamedOps + `{dir="write"}`).Value()
+	streamedR := reg.Counter(rpc.MetricClientStreamedOps + `{dir="read"}`).Value()
+	if streamedW == 0 || streamedR == 0 {
+		t.Fatalf("streamed ops (w=%d r=%d) — workload fell back to monolithic frames", streamedW, streamedR)
+	}
+	chunks := reg.Counter(rpc.MetricClientChunks + `{dir="sent"}`).Value()
+	if chunks <= streamedW {
+		t.Fatalf("%d chunks for %d streamed writes — chunking did not split the payloads", chunks, streamedW)
+	}
+}
+
 // TestTransportDaemonRestartReopen checks the disk-backed daemon
 // lifecycle: write through one daemon, stop it (sync + close), start a
 // fresh daemon on the same data directory, and reopen the file without

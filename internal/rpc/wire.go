@@ -27,7 +27,9 @@ import (
 	"hash/crc32"
 	"hash/fnv"
 	"io"
+	"net"
 	"sync"
+	"sync/atomic"
 
 	"parafile/internal/codec"
 )
@@ -45,8 +47,17 @@ const ProtoVersion = 1
 // ProtoVersion2 adds per-frame CRC32C trailers.
 const ProtoVersion2 = 2
 
+// ProtoVersion3 multiplexes: every frame body carries a varint stream
+// id after the type byte, concurrent operations share one connection
+// per node (a reader goroutine demultiplexes responses onto per-stream
+// channels), and large transfers travel as chunked streams
+// (MsgWriteStream/MsgReadStream + chunk frames) so network transmission
+// overlaps with the store-side scatter/gather instead of materializing
+// whole-operation frames. v3 frames keep the v2 CRC32C trailer.
+const ProtoVersion3 = 3
+
 // MaxProtoVersion is the newest generation this build speaks.
-const MaxProtoVersion = ProtoVersion2
+const MaxProtoVersion = ProtoVersion3
 
 // DefaultMaxFrame bounds a frame body (type byte + payload). Large
 // enough for any demo/benchmark payload, small enough to stop a
@@ -74,6 +85,20 @@ const (
 	// beyond the current length count as zeroes. Scrub compares
 	// replicas with it without shipping the data.
 	MsgChecksum byte = 0x09
+	// MsgWriteStream opens a chunked scatter (proto v3 only): same
+	// addressing as MsgWriteSegs but the data follows as MsgWriteChunk
+	// frames on the same stream id, so the server scatters while later
+	// chunks are still in flight. The server answers once, after the
+	// last chunk.
+	MsgWriteStream byte = 0x0A
+	// MsgWriteChunk carries one slice of a write stream's data:
+	// [flags byte][bytes]. flagChunkLast marks the final slice,
+	// flagChunkAbort cancels the stream without a server reply.
+	MsgWriteChunk byte = 0x0B
+	// MsgReadStream opens a chunked gather (proto v3 only): same
+	// addressing as MsgReadSegs plus the chunk size the client wants;
+	// the server answers with MsgDataChunk frames.
+	MsgReadStream byte = 0x0C
 )
 
 // Response message types.
@@ -83,7 +108,20 @@ const (
 	MsgStatResp     byte = 0x12
 	MsgHelloResp    byte = 0x13
 	MsgChecksumResp byte = 0x14
-	MsgError        byte = 0x1F
+	// MsgDataChunk carries one slice of a read stream's gathered bytes:
+	// [flags byte][bytes]. flagChunkLast marks the final slice.
+	MsgDataChunk byte = 0x15
+	MsgError     byte = 0x1F
+)
+
+// Chunk frame flags (first payload byte of MsgWriteChunk/MsgDataChunk).
+const (
+	// flagChunkLast marks the final chunk of a stream.
+	flagChunkLast byte = 1 << 0
+	// flagChunkAbort cancels the stream: the sender gave up mid-transfer
+	// (context cancellation, local error) and the receiver must tear the
+	// stream down without waiting for more chunks.
+	flagChunkAbort byte = 1 << 1
 )
 
 // MsgName returns the metrics label of a message type.
@@ -107,6 +145,14 @@ func MsgName(t byte) string {
 		return "hello"
 	case MsgChecksum:
 		return "checksum"
+	case MsgWriteStream:
+		return "write_stream"
+	case MsgWriteChunk:
+		return "write_chunk"
+	case MsgReadStream:
+		return "read_stream"
+	case MsgDataChunk:
+		return "data_chunk"
 	case MsgOK:
 		return "ok"
 	case MsgData:
@@ -179,6 +225,20 @@ func Fingerprint(encoded []byte) uint64 {
 // both sides of the wire.
 var frameBufPool sync.Pool
 
+// maxPooledFrame caps frame-pool retention: buffers above this size are
+// dropped on release instead of returned to the pool, so one oversized
+// monolithic op cannot pin tens of megabytes for the life of the
+// process. Streamed chunks sit well below the cap, which is the point —
+// the steady-state pool holds chunk-sized buffers only.
+const maxPooledFrame = 8 << 20
+
+// framePoolDiscards counts buffers dropped by the retention cap.
+var framePoolDiscards atomic.Int64
+
+// FramePoolDiscards reports how many frame buffers were discarded
+// rather than pooled because they exceeded the retention cap.
+func FramePoolDiscards() int64 { return framePoolDiscards.Load() }
+
 // getFrameBuf returns a zero-length buffer with at least n capacity.
 func getFrameBuf(n int) []byte {
 	if v := frameBufPool.Get(); v != nil {
@@ -191,9 +251,14 @@ func getFrameBuf(n int) []byte {
 }
 
 // putFrameBuf returns a buffer to the pool; the caller must not retain
-// the slice afterwards.
+// the slice afterwards. Buffers above maxPooledFrame are dropped (and
+// counted) instead of pooled.
 func putFrameBuf(b []byte) {
 	if cap(b) == 0 {
+		return
+	}
+	if cap(b) > maxPooledFrame {
+		framePoolDiscards.Add(1)
 		return
 	}
 	b = b[:0]
@@ -234,6 +299,45 @@ func WriteFrameV(w io.Writer, body []byte, ver byte) error {
 		body[0] = ver
 	}
 	return WriteFrame(w, body)
+}
+
+// WriteFrameVec writes one frame whose body is the concatenation of
+// parts, without assembling them into a single buffer: the 4-byte
+// length prefix, every part, and (for v2+ versions) the CRC32C trailer
+// travel as one vectored write (writev on a *net.TCPConn via
+// net.Buffers, sequential writes elsewhere). The first part must start
+// with the version byte, which is restamped to ver; the checksum is
+// computed incrementally across parts, so a large data part is never
+// copied into a frame buffer just to be framed.
+func WriteFrameVec(w io.Writer, ver byte, parts ...[]byte) error {
+	n := 0
+	for _, p := range parts {
+		n += len(p)
+	}
+	if n == 0 || len(parts[0]) == 0 {
+		return fmt.Errorf("rpc: vectored frame with empty leading part")
+	}
+	parts[0][0] = ver
+	bufs := make(net.Buffers, 0, len(parts)+2)
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(n))
+	bufs = append(bufs, hdr[:])
+	for _, p := range parts {
+		if len(p) > 0 {
+			bufs = append(bufs, p)
+		}
+	}
+	var sum [4]byte
+	if ver >= ProtoVersion2 {
+		crc := uint32(0)
+		for _, p := range parts {
+			crc = crc32.Update(crc, frameCastagnoli, p)
+		}
+		binary.BigEndian.PutUint32(sum[:], crc)
+		bufs = append(bufs, sum[:])
+	}
+	_, err := bufs.WriteTo(w)
+	return err
 }
 
 // ReadFrame reads one frame body into a pooled buffer, verifying the
@@ -729,4 +833,143 @@ func DecodeError(payload []byte) (*RemoteError, error) {
 		return nil, err
 	}
 	return e, wantEmpty(payload)
+}
+
+// --- proto v3: multiplexed streams ---
+//
+// On a v3 connection every frame body is [version][type][uvarint
+// stream id][payload]. Unary requests reuse their v1/v2 payload
+// encodings unchanged past the stream id; the chunked-transfer
+// messages below exist only inside v3 streams.
+
+// appendStreamHdr begins a v3 frame body: version, type, stream id.
+func appendStreamHdr(buf []byte, msgType byte, sid uint64) []byte {
+	buf = append(buf, ProtoVersion3, msgType)
+	return codec.AppendUvarint(buf, sid)
+}
+
+// splitStreamFrame splits a v3 frame body past ParseFrame into its
+// stream id and remaining payload.
+func splitStreamFrame(payload []byte) (uint64, []byte, error) {
+	return readUvarint(payload)
+}
+
+// appendChunkHdr begins a chunk frame body (MsgWriteChunk or
+// MsgDataChunk): the chunk's data is appended by the vectored writer,
+// never copied into this buffer.
+func appendChunkHdr(buf []byte, msgType byte, sid uint64, flags byte) []byte {
+	buf = appendStreamHdr(buf, msgType, sid)
+	return append(buf, flags)
+}
+
+// splitChunk splits a chunk payload (past the stream id) into its
+// flags byte and data.
+func splitChunk(payload []byte) (flags byte, data []byte, err error) {
+	if len(payload) < 1 {
+		return 0, nil, fmt.Errorf("%w: chunk without flags byte", ErrCorrupt)
+	}
+	return payload[0], payload[1:], nil
+}
+
+// WriteStreamReq opens a chunked scatter: the same addressing as
+// WriteSegsReq, with the data instead arriving as MsgWriteChunk frames
+// totalling Total bytes.
+type WriteStreamReq struct {
+	File        string
+	Subfile     int64
+	Fingerprint uint64
+	Lo, Hi      int64
+	Total       int64
+}
+
+// AppendWriteStream encodes req as a v3 frame body on stream sid.
+func AppendWriteStream(buf []byte, sid uint64, req *WriteStreamReq) []byte {
+	buf = appendStreamHdr(buf, MsgWriteStream, sid)
+	buf = appendString(buf, req.File)
+	buf = codec.AppendVarint(buf, req.Subfile)
+	buf = codec.AppendUvarint(buf, req.Fingerprint)
+	buf = codec.AppendVarint(buf, req.Lo)
+	buf = codec.AppendVarint(buf, req.Hi)
+	buf = codec.AppendVarint(buf, req.Total)
+	return buf
+}
+
+// DecodeWriteStream decodes a MsgWriteStream payload (past the stream
+// id).
+func DecodeWriteStream(payload []byte) (*WriteStreamReq, error) {
+	req := &WriteStreamReq{}
+	var err error
+	if req.File, payload, err = readString(payload); err != nil {
+		return nil, err
+	}
+	if req.Subfile, payload, err = readVarint(payload); err != nil {
+		return nil, err
+	}
+	if req.Fingerprint, payload, err = readUvarint(payload); err != nil {
+		return nil, err
+	}
+	if req.Lo, payload, err = readVarint(payload); err != nil {
+		return nil, err
+	}
+	if req.Hi, payload, err = readVarint(payload); err != nil {
+		return nil, err
+	}
+	if req.Total, payload, err = readVarint(payload); err != nil {
+		return nil, err
+	}
+	return req, wantEmpty(payload)
+}
+
+// ReadStreamReq opens a chunked gather: the same addressing as
+// ReadSegsReq plus the chunk size the client wants the N gathered
+// bytes sliced into.
+type ReadStreamReq struct {
+	File        string
+	Subfile     int64
+	Fingerprint uint64
+	Lo, Hi      int64
+	N           int64
+	ChunkSize   int64
+}
+
+// AppendReadStream encodes req as a v3 frame body on stream sid.
+func AppendReadStream(buf []byte, sid uint64, req *ReadStreamReq) []byte {
+	buf = appendStreamHdr(buf, MsgReadStream, sid)
+	buf = appendString(buf, req.File)
+	buf = codec.AppendVarint(buf, req.Subfile)
+	buf = codec.AppendUvarint(buf, req.Fingerprint)
+	buf = codec.AppendVarint(buf, req.Lo)
+	buf = codec.AppendVarint(buf, req.Hi)
+	buf = codec.AppendVarint(buf, req.N)
+	buf = codec.AppendVarint(buf, req.ChunkSize)
+	return buf
+}
+
+// DecodeReadStream decodes a MsgReadStream payload (past the stream
+// id).
+func DecodeReadStream(payload []byte) (*ReadStreamReq, error) {
+	req := &ReadStreamReq{}
+	var err error
+	if req.File, payload, err = readString(payload); err != nil {
+		return nil, err
+	}
+	if req.Subfile, payload, err = readVarint(payload); err != nil {
+		return nil, err
+	}
+	if req.Fingerprint, payload, err = readUvarint(payload); err != nil {
+		return nil, err
+	}
+	if req.Lo, payload, err = readVarint(payload); err != nil {
+		return nil, err
+	}
+	if req.Hi, payload, err = readVarint(payload); err != nil {
+		return nil, err
+	}
+	if req.N, payload, err = readVarint(payload); err != nil {
+		return nil, err
+	}
+	if req.ChunkSize, payload, err = readVarint(payload); err != nil {
+		return nil, err
+	}
+	return req, wantEmpty(payload)
 }
