@@ -9,11 +9,19 @@
 //	              [-spans] [-metrics-addr host:port]
 //	              [-remote host:port,...] [-redist]
 //	              [-replication R] [-write-quorum Q]
+//	              [-op-trace] [-slow-op DUR]
 //
 // With -remote the subfile bytes live on parafiled I/O-node daemons
 // reached over real TCP (I/O nodes map onto the endpoints
 // round-robin); without it they live in-process. Either way the same
 // protocol runs and the verification is byte-for-byte.
+//
+// -op-trace turns on distributed tracing: every write/read/
+// redistribute gets a 64-bit trace ID, the daemons' server-side spans
+// come back over the wire, and the stitched cross-node trees print
+// after the run (also served on -metrics-addr under /debug/trace).
+// -slow-op 50ms logs a structured warning, with the trace ID, for any
+// op slower than 50ms.
 package main
 
 import (
@@ -46,10 +54,12 @@ func main() {
 	noStream := flag.Bool("no-stream", false, "disable proto-v3 chunked streaming for -remote (single-frame transfers)")
 	doRedist := flag.Bool("redist", false, "after the read-back, redistribute the file to a row-block layout and verify it")
 	trace := flag.Bool("trace", false, "print the virtual-time event trace of the write")
+	opTrace := flag.Bool("op-trace", false, "distributed tracing: stitch per-op cross-node span trees (client + daemon spans with -remote) and print them after the run")
+	slowOp := flag.Duration("slow-op", 0, "log a structured warning for client ops slower than this (0 disables; implies -op-trace IDs on the log lines)")
 	report := flag.Bool("report", false, "print the collected metrics as a table after the run")
 	spans := flag.Bool("spans", false, "print the wall-clock span tree of the run")
 	metricsAddr := flag.String("metrics-addr", "",
-		"serve the collected metrics over HTTP on this address after the run (/metrics Prometheus text, /metrics.json JSON, /report table); keeps the process alive")
+		"serve the collected metrics over HTTP on this address after the run (/metrics Prometheus text, /metrics.json JSON, /report table, /debug/pprof profiles, /debug/trace); keeps the process alive")
 	flag.Parse()
 
 	if *n < 4 || *n%4 != 0 {
@@ -73,6 +83,13 @@ func main() {
 	cfg.Trace = root
 	cfg.Replication = *replication
 	cfg.WriteQuorum = *writeQuorum
+	var opTracer *obs.Tracer
+	if *opTrace || *slowOp > 0 {
+		opTracer = obs.NewTracer("client", 32)
+		cfg.Tracer = opTracer
+		cfg.Log = obs.NewLogger(os.Stderr, "client")
+		cfg.SlowOpThreshold = *slowOp
+	}
 	if *dir != "" {
 		cfg.Storage = clusterfile.DirStorageFactory(*dir)
 	}
@@ -85,7 +102,7 @@ func main() {
 		// With replication the replica layer can work around an
 		// unreachable daemon, so open degraded instead of refusing the
 		// whole cluster; unreplicated files keep the strict open.
-		client := rpc.ClientConfig{ChunkSize: *chunkKB << 10}
+		client := rpc.ClientConfig{ChunkSize: *chunkKB << 10, Trace: opTracer != nil}
 		if *noStream {
 			client.StreamThreshold = -1
 		}
@@ -203,8 +220,14 @@ func main() {
 		fmt.Println("\nWall-clock spans of the run:")
 		fmt.Print(root.Format())
 	}
+	if *opTrace {
+		fmt.Println("\nDistributed traces (per-op cross-node span trees):")
+		for _, tree := range opTracer.Recent() {
+			fmt.Print(tree.Format())
+		}
+	}
 	if *metricsAddr != "" {
-		addr, _, err := obs.Serve(*metricsAddr, reg)
+		addr, _, err := obs.ServeWith(*metricsAddr, reg, opTracer)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -16,23 +16,41 @@
 //	    -dist '*,BLOCK(64)' -replication 2
 //	parafilectl scrub  ... (same flags; exit 1 when replicas diverge)
 //	parafilectl repair ... (same flags; heals divergent replicas)
+//	parafilectl top    -debug host:port,...   (live op view per node)
+//	parafilectl trace  -debug host:port <trace-id|op>
 //
 // The maintenance verbs reopen the file degraded — a dead daemon shows
 // up as failed placements in status and scrub output instead of
 // refusing the connection, which is exactly when you want to look.
+//
+// top and trace are thin clients of the /debug/trace endpoint every
+// cmd's -metrics-addr serves: top summarises each endpoint's in-flight
+// operations and recent stitched traces with the hottest node's share
+// of the critical path; trace prints one full cross-node span tree,
+// selected by 16-hex trace ID (as printed by top, slow-op log lines
+// and partial-failure errors) or by op name (write, read,
+// redistribute — newest match wins).
 package main
 
 import (
 	"context"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"net/http"
+	"net/url"
 	"os"
+	"strconv"
 	"strings"
+	"time"
 
 	"parafile/internal/clusterfile"
 	"parafile/internal/hpf"
 	"parafile/internal/match"
+	"parafile/internal/obs"
 	"parafile/internal/part"
 	"parafile/internal/redist"
 	"parafile/internal/rpc"
@@ -60,13 +78,17 @@ func main() {
 		scrubCmd(os.Args[2:])
 	case "repair":
 		repairCmd(os.Args[2:])
+	case "top":
+		topCmd(os.Args[2:])
+	case "trace":
+		traceCmd(os.Args[2:])
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: parafilectl describe|match|rank|plan|status|scrub|repair [flags]")
+	fmt.Fprintln(os.Stderr, "usage: parafilectl describe|match|rank|plan|status|scrub|repair|top|trace [flags]")
 	os.Exit(2)
 }
 
@@ -292,6 +314,127 @@ func printScrub(rep *clusterfile.ScrubReport) {
 		fmt.Printf("  subfile %d replica %d (node %d) [%d,%d): crc %08x, want %08x\n",
 			m.Subfile, m.Replica, m.IONode, m.Off, m.Off+m.Len, m.Got, m.Want)
 	}
+}
+
+// topCmd summarises each endpoint's /debug/trace document: node name,
+// in-flight operations, and the recent stitched trees with the node
+// that owns the largest share of each trace's critical path.
+func topCmd(args []string) {
+	fs := flag.NewFlagSet("top", flag.ExitOnError)
+	debug := fs.String("debug", "", "comma-separated -metrics-addr endpoints to poll (host:port,...)")
+	recent := fs.Int("n", 8, "recent traces to show per endpoint")
+	fs.Parse(args)
+	if *debug == "" {
+		log.Fatal("need -debug host:port[,host:port...]")
+	}
+	for i, addr := range strings.Split(*debug, ",") {
+		addr = strings.TrimSpace(addr)
+		if addr == "" {
+			continue
+		}
+		if i > 0 {
+			fmt.Println()
+		}
+		var dump obs.TraceDump
+		if err := fetchTraceJSON(addr, "", &dump); err != nil {
+			log.Fatal(err)
+		}
+		printDump(addr, &dump, *recent)
+	}
+}
+
+func printDump(addr string, dump *obs.TraceDump, recent int) {
+	fmt.Printf("%s  node %q", addr, dump.Node)
+	if !dump.Enabled {
+		fmt.Println("  (tracing disabled)")
+		return
+	}
+	fmt.Println()
+	fmt.Printf("  in-flight (%d):\n", len(dump.InFlight))
+	for _, op := range dump.InFlight {
+		fmt.Printf("    %016x  %-14s running %s\n", op.TraceID, op.Op, fmtNs(op.DurNs))
+	}
+	if len(dump.InFlight) == 0 {
+		fmt.Println("    (none)")
+	}
+	trees := dump.Recent
+	if len(trees) > recent {
+		trees = trees[len(trees)-recent:]
+	}
+	fmt.Printf("  recent (%d of %d):\n", len(trees), len(dump.Recent))
+	if len(trees) == 0 {
+		fmt.Println("    (none)")
+	}
+	for _, tr := range trees {
+		status := "ok"
+		if tr.Err {
+			status = "ERROR"
+		}
+		hot := "-"
+		if len(tr.Shares) > 0 {
+			hot = fmt.Sprintf("%s %.0f%%", tr.Shares[0].Node, tr.Shares[0].Pct)
+		}
+		fmt.Printf("    %016x  %-14s %10s  %-5s  hottest: %s\n",
+			tr.TraceID, tr.Op, fmtNs(tr.DurNs), status, hot)
+	}
+}
+
+// traceCmd prints one stitched cross-node span tree. A selector that
+// parses as hex is tried as a trace ID first and falls back to an op
+// name on a miss, so `trace write` works even though "ead" is hex.
+func traceCmd(args []string) {
+	fs := flag.NewFlagSet("trace", flag.ExitOnError)
+	debug := fs.String("debug", "", "-metrics-addr endpoint to query (host:port)")
+	fs.Parse(args)
+	if *debug == "" || fs.NArg() != 1 {
+		log.Fatal("usage: parafilectl trace -debug host:port <trace-id|op>")
+	}
+	sel := fs.Arg(0)
+	var tree obs.TraceTree
+	var err error
+	if _, perr := strconv.ParseUint(sel, 16, 64); perr == nil {
+		err = fetchTraceJSON(*debug, "id="+sel, &tree)
+	} else {
+		err = errNotFound
+	}
+	if err == errNotFound {
+		err = fetchTraceJSON(*debug, "op="+url.QueryEscape(sel), &tree)
+	}
+	if err == errNotFound {
+		log.Fatalf("no trace matching %q (try `parafilectl top -debug %s`)", sel, *debug)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(tree.Format())
+}
+
+var errNotFound = errors.New("trace not found")
+
+// fetchTraceJSON GETs /debug/trace?format=json[&query] from an
+// endpoint and decodes the document into out.
+func fetchTraceJSON(addr, query string, out any) error {
+	u := "http://" + addr + "/debug/trace?format=json"
+	if query != "" {
+		u += "&" + query
+	}
+	resp, err := http.Get(u)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		return errNotFound
+	}
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("%s: %s: %s", u, resp.Status, strings.TrimSpace(string(body)))
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+func fmtNs(ns int64) string {
+	return time.Duration(ns).Round(time.Microsecond).String()
 }
 
 func buildFile(dims, dist string, elem int64) *part.File {

@@ -9,6 +9,7 @@
 //	parafiled [-listen 127.0.0.1:7070] [-data-dir DIR]
 //	          [-metrics-addr host:port] [-max-frame-mb 64]
 //	          [-drain-timeout 10s] [-fault SPEC] [-fault-seed N]
+//	          [-node NAME] [-trace] [-slow-op DUR]
 //
 // With -data-dir each subfile is a real file under the directory (the
 // original Clusterfile I/O nodes' local disks); without it subfiles
@@ -20,6 +21,14 @@
 // handling without test-only hooks. SIGTERM or SIGINT drains gracefully:
 // the listener closes, in-flight requests finish (bounded by
 // -drain-timeout), and every store is synced and closed before exit.
+//
+// Tracing is on by default (-trace=false turns it off): clients that
+// negotiate FeatureTrace get server-side spans piggybacked on replies,
+// -metrics-addr additionally serves /debug/trace and /debug/pprof/,
+// -node labels this daemon's spans and structured log lines (default:
+// the bound listen address), and -slow-op 50ms warns about any request
+// slower than 50ms with its trace ID. `parafilectl top` and
+// `parafilectl trace` read the /debug/trace endpoint.
 package main
 
 import (
@@ -27,6 +36,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net"
 	"os"
 	"os/signal"
@@ -49,6 +59,9 @@ func main() {
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "how long a SIGTERM drain waits for in-flight requests")
 	faultSpec := flag.String("fault", "", "inject connection faults, e.g. error:0.01,delay:5ms (kinds: error, error-once, delay, corrupt, failafter)")
 	faultSeed := flag.Int64("fault-seed", 1, "seed for probabilistic fault schedules (reproducible runs)")
+	nodeName := flag.String("node", "", "node label stamped on this daemon's trace spans and log lines (default: the listen address)")
+	trace := flag.Bool("trace", true, "grant FeatureTrace to clients and record server-side spans (off: byte-identical v2/v3 wire behavior)")
+	slowOp := flag.Duration("slow-op", 0, "log a structured warning for server requests slower than this (0 disables)")
 	flag.Parse()
 	if flag.NArg() > 0 {
 		log.Fatalf("unexpected arguments: %v", flag.Args())
@@ -61,17 +74,32 @@ func main() {
 	}
 
 	reg := obs.NewRegistry()
-	srv := rpc.NewServer(rpc.ServerConfig{
-		DataDir:         *dataDir,
-		MaxFrame:        *maxFrameMB << 20,
-		MaxProtoVersion: *maxProto,
-		Metrics:         reg,
-	})
 
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
 		log.Fatal(err)
 	}
+	node := *nodeName
+	if node == "" {
+		node = ln.Addr().String()
+	}
+	var tracer *obs.Tracer
+	var slogger *slog.Logger
+	if *trace {
+		tracer = obs.NewTracer(node, 64)
+		slogger = obs.NewLogger(os.Stderr, node)
+	}
+	srv := rpc.NewServer(rpc.ServerConfig{
+		DataDir:         *dataDir,
+		MaxFrame:        *maxFrameMB << 20,
+		MaxProtoVersion: *maxProto,
+		Metrics:         reg,
+		Trace:           *trace,
+		Node:            node,
+		Tracer:          tracer,
+		Log:             slogger,
+		SlowOp:          *slowOp,
+	})
 	if *faultSpec != "" {
 		plan, err := fault.ParseSpec(*faultSpec, *faultSeed)
 		if err != nil {
@@ -88,7 +116,7 @@ func main() {
 
 	var metricsShutdown func(context.Context) error
 	if *metricsAddr != "" {
-		addr, shutdown, err := obs.Serve(*metricsAddr, reg)
+		addr, shutdown, err := obs.ServeWith(*metricsAddr, reg, tracer)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -44,7 +44,7 @@ func main() {
 	planCache := flag.Bool("plancache", false,
 		"share an intersection cache across repetitions; t_i then shows the amortized (warm) cost instead of the paper's cold cost")
 	metricsAddr := flag.String("metrics-addr", "",
-		"serve the collected metrics over HTTP on this address after the run (/metrics Prometheus text, /metrics.json JSON, /report table); keeps the process alive")
+		"serve the collected metrics over HTTP on this address after the run (/metrics Prometheus text, /metrics.json JSON, /report table, /debug/pprof profiles, /debug/trace); keeps the process alive")
 	jsonOut := flag.String("json", "",
 		"run the throughput benchmark instead of the tables and write the JSON report to this path (\"-\" for stdout)")
 	short := flag.Bool("short", false, "shrink the -json benchmark to CI smoke-test scale")

@@ -56,6 +56,7 @@ func (c *Cluster) putMsgBuf(b []byte) {
 	if cap(b) > maxPooledMsgBuf {
 		msgBufDiscards.Add(1)
 		c.met.bufDiscards.Inc()
+		c.met.poolDiscards.Set(MsgBufDiscards())
 		return
 	}
 	b = b[:0]

@@ -22,7 +22,9 @@ package clusterfile
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"log/slog"
 	"time"
 
 	"parafile/internal/core"
@@ -124,6 +126,23 @@ type Config struct {
 	// redistributions open children — the real-time complement of the
 	// virtual-time sim.Tracer.
 	Trace *obs.Span
+	// Tracer, when non-nil, turns every collective operation into a
+	// distributed trace: writes, reads and redistributions open a root
+	// span registered with the tracer, the operation context carries it
+	// to the transport, and (over the RPC transport against tracing
+	// daemons) the servers' child spans come back to be stitched into
+	// one cross-node tree, browsable via the tracer's ring and
+	// /debug/trace. Nil records nothing at zero cost.
+	Tracer *obs.Tracer
+	// SlowOpThreshold, when positive and Log is set, emits one
+	// structured warning per collective operation that ran longer
+	// (wall-clock), carrying the op's trace_id so it can be chased into
+	// `parafilectl trace`.
+	SlowOpThreshold time.Duration
+	// Log receives the cluster's structured op log lines (slow ops,
+	// failed ops). Nil disables logging. Only operations under a Tracer
+	// are logged — the trace span is what measures them.
+	Log *slog.Logger
 }
 
 // DefaultConfig mirrors the paper's testbed subset: four compute nodes
@@ -151,6 +170,7 @@ type Cluster struct {
 	tracer    *sim.Tracer
 	met       cfMetrics
 	span      *obs.Span
+	slow      obs.SlowOpLogger
 	transport Transport
 	repl      int // normalized Config.Replication (>= 1)
 	quorum    int // normalized Config.WriteQuorum (1..repl)
@@ -184,6 +204,7 @@ func New(cfg Config) (*Cluster, error) {
 		files:  make(map[string]*File),
 		met:    newCFMetrics(cfg.Metrics, cfg.IONodes),
 		span:   cfg.Trace,
+		slow:   obs.SlowOpLogger{Log: cfg.Log, Threshold: cfg.SlowOpThreshold},
 		repl:   repl,
 		quorum: quorum,
 	}
@@ -211,6 +232,49 @@ func (c *Cluster) opCtx(ctx context.Context) (context.Context, context.CancelFun
 		return context.WithTimeout(ctx, c.cfg.OpTimeout)
 	}
 	return context.WithCancel(ctx)
+}
+
+// startOp opens a traced root span for one collective operation and
+// threads it through the operation context, so every transport RPC the
+// operation issues joins the trace (and, against tracing daemons, the
+// server-side child spans come back for stitching). With no Tracer
+// configured the span is nil and octx passes through unchanged — the
+// untraced path costs nothing.
+func (c *Cluster) startOp(octx context.Context, name string) (context.Context, *obs.Span) {
+	sp := c.cfg.Tracer.StartOp(name)
+	return obs.ContextWithSpan(octx, sp), sp
+}
+
+// finishOp seals one collective operation's trace: error mark,
+// publication into the tracer's recent ring, and the structured
+// slow-op / failed-op log line. Nil span (untraced cluster) is free.
+func (c *Cluster) finishOp(sp *obs.Span, opErr error) {
+	if sp == nil {
+		return
+	}
+	if opErr != nil {
+		sp.Fail()
+	}
+	d := sp.End()
+	c.cfg.Tracer.FinishOp(sp)
+	c.slow.Observe(sp.Name(), sp.TraceID(), d, opErr)
+}
+
+// abortStart finishes a traced operation that failed in its
+// synchronous start phase, before any delivery went pending.
+func (c *Cluster) abortStart(cancel context.CancelFunc, sp *obs.Span, err error) error {
+	cancel()
+	c.finishOp(sp, err)
+	return err
+}
+
+// stampTrace tags a PartialError with the operation's trace ID, so a
+// partial-failure report can be chased straight into its trace tree.
+func stampTrace(opErr error, sp *obs.Span) {
+	var pe *PartialError
+	if errors.As(opErr, &pe) {
+		pe.TraceID = sp.TraceID()
+	}
 }
 
 // EnableTrace attaches a virtual-time trace recorder to the cluster

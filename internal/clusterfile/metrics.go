@@ -31,6 +31,12 @@ const (
 	// MetricMsgBufDiscards counts buffers dropped by the pool's
 	// retention cap instead of being returned for reuse.
 	MetricMsgBufDiscards = "parafile_clusterfile_msgbuf_discards_total"
+	// metricPoolDiscards is the cross-package normalized discard
+	// series (rpc.MetricPoolDiscards): every buffer pool exposes its
+	// process-wide discard count under this one name with a lowercase
+	// kind label. The msgbuf kind is bound once here, mirroring
+	// MsgBufDiscards as a gauge.
+	metricPoolDiscards = `parafile_pool_discards{kind="msgbuf"}`
 	// MetricSetViews counts SetView calls; MetricSetViewNs is the
 	// intersection+projection latency histogram (the paper's t_i).
 	MetricSetViews  = "parafile_clusterfile_set_views_total"
@@ -64,6 +70,7 @@ type cfMetrics struct {
 	netMsgs, netBytes         *obs.Counter
 	bufHits, bufMisses        *obs.Counter
 	bufDiscards               *obs.Counter
+	poolDiscards              *obs.Gauge
 	setViews                  *obs.Counter
 	setViewNs                 *obs.Histogram
 	writeOps, readOps         *obs.Counter
@@ -79,27 +86,28 @@ type cfMetrics struct {
 // reg is nil, which is the free disabled state).
 func newCFMetrics(reg *obs.Registry, ioNodes int) cfMetrics {
 	m := cfMetrics{
-		gatherBytes:  reg.Counter(MetricGatherBytes),
-		scatterBytes: reg.Counter(MetricScatterBytes),
-		gatherNs:     reg.Histogram(MetricGatherNs, obs.LatencyBuckets()),
-		scatterNs:    reg.Histogram(MetricScatterNs, obs.LatencyBuckets()),
-		netMsgs:      reg.Counter(MetricNetMessages),
-		netBytes:     reg.Counter(MetricNetBytes),
-		bufHits:      reg.Counter(MetricMsgBufHits),
-		bufMisses:    reg.Counter(MetricMsgBufMisses),
-		bufDiscards:  reg.Counter(MetricMsgBufDiscards),
-		setViews:     reg.Counter(MetricSetViews),
-		setViewNs:    reg.Histogram(MetricSetViewNs, obs.LatencyBuckets()),
-		writeOps:     reg.Counter(MetricWriteOps),
-		readOps:      reg.Counter(MetricReadOps),
-		redistOps:    reg.Counter(MetricRedistOps),
-		failovers:    reg.Counter(MetricReplicaFailovers),
-		degradedOps:  reg.Counter(MetricReplicaDegradedOps),
+		gatherBytes:     reg.Counter(MetricGatherBytes),
+		scatterBytes:    reg.Counter(MetricScatterBytes),
+		gatherNs:        reg.Histogram(MetricGatherNs, obs.LatencyBuckets()),
+		scatterNs:       reg.Histogram(MetricScatterNs, obs.LatencyBuckets()),
+		netMsgs:         reg.Counter(MetricNetMessages),
+		netBytes:        reg.Counter(MetricNetBytes),
+		bufHits:         reg.Counter(MetricMsgBufHits),
+		bufMisses:       reg.Counter(MetricMsgBufMisses),
+		bufDiscards:     reg.Counter(MetricMsgBufDiscards),
+		poolDiscards:    reg.Gauge(metricPoolDiscards),
+		setViews:        reg.Counter(MetricSetViews),
+		setViewNs:       reg.Histogram(MetricSetViewNs, obs.LatencyBuckets()),
+		writeOps:        reg.Counter(MetricWriteOps),
+		readOps:         reg.Counter(MetricReadOps),
+		redistOps:       reg.Counter(MetricRedistOps),
+		failovers:       reg.Counter(MetricReplicaFailovers),
+		degradedOps:     reg.Counter(MetricReplicaDegradedOps),
 		scrubSegments:   reg.Counter(MetricScrubSegments),
 		scrubMismatches: reg.Counter(MetricScrubMismatches),
-		repairOps:    reg.Counter(MetricRepairOps),
-		repairBytes:  reg.Counter(MetricRepairBytes),
-		ioNodeBytes:  make([]*obs.Counter, ioNodes),
+		repairOps:       reg.Counter(MetricRepairOps),
+		repairBytes:     reg.Counter(MetricRepairBytes),
+		ioNodeBytes:     make([]*obs.Counter, ioNodes),
 	}
 	for i := range m.ioNodeBytes {
 		m.ioNodeBytes[i] = reg.Counter(fmt.Sprintf(`%s{node="%d"}`, metricIONodeBytes, i))

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"parafile/internal/falls"
+	"parafile/internal/obs"
 	"parafile/internal/redist"
 	"parafile/internal/sim"
 )
@@ -89,6 +90,7 @@ type WriteOp struct {
 	cancel   context.CancelFunc
 	outcomes *outcomeSet
 	failFast bool
+	span     *obs.Span // distributed-trace root (nil when untraced)
 }
 
 // sharedBuf refcounts one pooled gather buffer fanned out to R replica
@@ -131,6 +133,8 @@ func (op *WriteOp) completeOne(c *Cluster) {
 			c.met.degradedOps.Inc()
 		}
 		op.cancel()
+		stampTrace(op.Err, op.span)
+		c.finishOp(op.span, op.Err)
 	}
 }
 
@@ -178,11 +182,13 @@ func (v *View) StartWriteCtx(ctx context.Context, mode WriteMode, lowV, highV in
 	}
 	c := v.file.cluster
 	octx, cancel := c.opCtx(ctx)
+	octx, osp := c.startOp(octx, "write")
 	op := &WriteOp{
 		view: v, started: c.K.Now(),
 		ctx: octx, cancel: cancel,
 		outcomes: newOutcomeSet("write"),
 		failFast: c.cfg.FailFast,
+		span:     osp,
 	}
 	op.Stats.PerIONodeScatterNs = make(map[int]int64)
 	c.met.writeOps.Inc()
@@ -209,20 +215,17 @@ func (v *View) StartWriteCtx(ctx context.Context, mode WriteMode, lowV, highV in
 			continue
 		}
 		if err := octx.Err(); err != nil {
-			cancel()
-			return nil, err
+			return nil, c.abortStart(cancel, osp, err)
 		}
 		tm := time.Now()
 		firstV, lastV := windowExtremes(sub.projV, lowV, highV)
 		lowS, err := mapThrough(v, sub, firstV)
 		if err != nil {
-			cancel()
-			return nil, err
+			return nil, c.abortStart(cancel, osp, err)
 		}
 		highS, err := mapThrough(v, sub, lastV)
 		if err != nil {
-			cancel()
-			return nil, err
+			return nil, c.abortStart(cancel, osp, err)
 		}
 		op.Stats.TMap += time.Since(tm)
 
@@ -242,8 +245,7 @@ func (v *View) StartWriteCtx(ctx context.Context, mode WriteMode, lowV, highV in
 			p.pooled = true
 			tg := time.Now()
 			if err := gatherWindow(buf2, buf, sub.projV, lowV, highV); err != nil {
-				cancel()
-				return nil, err
+				return nil, c.abortStart(cancel, osp, err)
 			}
 			real := time.Since(tg)
 			op.Stats.TGather += real
@@ -258,6 +260,7 @@ func (v *View) StartWriteCtx(ctx context.Context, mode WriteMode, lowV, highV in
 	gatherSpan.End()
 	if len(plans) == 0 {
 		cancel()
+		c.finishOp(osp, nil)
 		return op, nil
 	}
 
@@ -276,8 +279,7 @@ func (v *View) StartWriteCtx(ctx context.Context, mode WriteMode, lowV, highV in
 		for r := 0; r < R; r++ {
 			netDst := c.ioNet(v.file.Placement[r][p.sub.subfile])
 			if err := c.Net.SendAt(cnTime, v.node, netDst, extremityMsgBytes, nil); err != nil {
-				cancel()
-				return nil, err
+				return nil, c.abortStart(cancel, osp, err)
 			}
 			op.Stats.Messages++
 			op.Stats.BytesSent += extremityMsgBytes
@@ -298,8 +300,7 @@ func (v *View) StartWriteCtx(ctx context.Context, mode WriteMode, lowV, highV in
 				c.serverWrite(op, v, sub, mode, replica, lowS, highS, extents, contiguous, sb, data, lowV, highV)
 			}
 			if err := c.Net.SendAt(cnTime, v.node, c.ioNet(v.file.Placement[r][sub.subfile]), int64(len(data)), deliver); err != nil {
-				cancel()
-				return nil, err
+				return nil, c.abortStart(cancel, osp, err)
 			}
 			op.pending++
 			op.Stats.Messages++
@@ -413,6 +414,7 @@ type ReadOp struct {
 	cancel   context.CancelFunc
 	outcomes *outcomeSet
 	failFast bool
+	span     *obs.Span // distributed-trace root (nil when untraced)
 }
 
 // Done reports whether all data has arrived.
@@ -435,6 +437,8 @@ func (op *ReadOp) completeOne(c *Cluster) {
 			c.met.degradedOps.Inc()
 		}
 		op.cancel()
+		stampTrace(op.Err, op.span)
+		c.finishOp(op.span, op.Err)
 	}
 }
 
@@ -467,11 +471,13 @@ func (v *View) StartReadCtx(ctx context.Context, lowV, highV int64, buf []byte) 
 	}
 	c := v.file.cluster
 	octx, cancel := c.opCtx(ctx)
+	octx, osp := c.startOp(octx, "read")
 	op := &ReadOp{
 		started: c.K.Now(),
 		ctx:     octx, cancel: cancel,
 		outcomes: newOutcomeSet("read"),
 		failFast: c.cfg.FailFast,
+		span:     osp,
 	}
 	c.met.readOps.Inc()
 	span := c.span.StartChild("clusterfile.read")
@@ -482,20 +488,17 @@ func (v *View) StartReadCtx(ctx context.Context, lowV, highV int64, buf []byte) 
 			continue
 		}
 		if err := octx.Err(); err != nil {
-			cancel()
-			return nil, err
+			return nil, c.abortStart(cancel, osp, err)
 		}
 		tm := time.Now()
 		firstV, lastV := windowExtremes(sub.projV, lowV, highV)
 		lowS, err := mapThrough(v, sub, firstV)
 		if err != nil {
-			cancel()
-			return nil, err
+			return nil, c.abortStart(cancel, osp, err)
 		}
 		highS, err := mapThrough(v, sub, lastV)
 		if err != nil {
-			cancel()
-			return nil, err
+			return nil, c.abortStart(cancel, osp, err)
 		}
 		op.Stats.TMap += time.Since(tm)
 
@@ -510,14 +513,14 @@ func (v *View) StartReadCtx(ctx context.Context, lowV, highV int64, buf []byte) 
 			c.serverRead(op, v, sub, 0, lowS2, highS2, buf, lowV, highV)
 		})
 		if err != nil {
-			cancel()
-			return nil, err
+			return nil, c.abortStart(cancel, osp, err)
 		}
 		op.Stats.Messages++
 		c.met.recordNet(extremityMsgBytes)
 	}
 	if op.pending == 0 {
 		cancel()
+		c.finishOp(osp, nil)
 	}
 	return op, nil
 }

@@ -61,6 +61,11 @@ type PartialError struct {
 	Op string
 	// Outcomes holds one entry per involved I/O node, sorted by node.
 	Outcomes []NodeOutcome
+	// TraceID, when nonzero, is the distributed trace the operation ran
+	// under (Config.Tracer): `parafilectl trace <id>` or
+	// /debug/trace?id=<id> shows where the failure sat in the op's
+	// cross-node timeline.
+	TraceID uint64
 }
 
 // Error summarizes the outcome split and names the failing nodes.
@@ -79,6 +84,9 @@ func (e *PartialError) Error() string {
 	}
 	if cancelled := e.Nodes(OutcomeCancelled); len(cancelled) > 0 {
 		fmt.Fprintf(&b, "; cancelled %v", cancelled)
+	}
+	if e.TraceID != 0 {
+		fmt.Fprintf(&b, "; trace %016x", e.TraceID)
 	}
 	return b.String()
 }

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"time"
 
+	"parafile/internal/obs"
 	"parafile/internal/part"
 	"parafile/internal/redist"
 )
@@ -80,6 +81,7 @@ type RedistOp struct {
 	staged   []stagedScatter
 	aborted  bool
 	sealed   bool
+	span     *obs.Span // distributed-trace root (nil when untraced)
 }
 
 // Done reports whether the redistribution has settled (committed or
@@ -224,6 +226,8 @@ func (op *RedistOp) seal(c *Cluster) {
 		c.met.degradedOps.Inc()
 	}
 	op.cancel()
+	stampTrace(op.Err, op.span)
+	c.finishOp(op.span, op.Err)
 }
 
 // StartRedistribute creates newName with the given physical partition
@@ -263,10 +267,10 @@ func (c *Cluster) StartRedistributeCtx(ctx context.Context, f *File, newName str
 		return nil, nil, err
 	}
 	octx, cancel := c.opCtx(ctx)
+	octx, osp := c.startOp(octx, "redistribute")
 	nf, err := c.CreateFileCtx(octx, newName, newPhys, newAssign)
 	if err != nil {
-		cancel()
-		return nil, nil, err
+		return nil, nil, c.abortStart(cancel, osp, err)
 	}
 	op := &RedistOp{
 		started: c.K.Now(),
@@ -274,6 +278,7 @@ func (c *Cluster) StartRedistributeCtx(ctx context.Context, f *File, newName str
 		outcomes: newOutcomeSet("redistribute"),
 		failFast: c.cfg.FailFast,
 		nf:       nf,
+		span:     osp,
 	}
 	for i := range plan.Transfers {
 		t := &plan.Transfers[i]

@@ -268,6 +268,20 @@ func (inj *Injector) decide(node int, op Op, file string) *Rule {
 	return hit
 }
 
+// annotate marks a fired fault on the operation's distributed trace,
+// when the context carries one: a zero-length failed child span named
+// fault.<kind>, so the injected fault shows up in the stitched tree
+// exactly where it struck. Untraced contexts cost one nil check.
+func annotate(ctx context.Context, r *Rule, node int, op Op) {
+	sp := obs.SpanFromContext(ctx)
+	if sp.TraceID() == 0 {
+		return
+	}
+	c := sp.StartChild(fmt.Sprintf("fault.%s node=%d op=%s", r.Kind, node, op))
+	c.Fail()
+	c.End()
+}
+
 // errFor materializes the injected error of a fired rule.
 func errFor(r *Rule, node int, op Op) error {
 	if r.Err != nil {
@@ -284,6 +298,7 @@ func (inj *Injector) fire(ctx context.Context, node int, op Op, file string) err
 	if r == nil {
 		return nil
 	}
+	annotate(ctx, r, node, op)
 	switch r.Kind {
 	case ErrorOnce, ErrorAlways, Corrupt:
 		// Corrupt degenerates to a plain error on non-data calls.
@@ -314,6 +329,7 @@ func (inj *Injector) fireData(ctx context.Context, node int, op Op, file string)
 	if r == nil {
 		return false, nil
 	}
+	annotate(ctx, r, node, op)
 	switch r.Kind {
 	case Corrupt:
 		return true, nil

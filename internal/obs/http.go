@@ -2,21 +2,37 @@ package obs
 
 import (
 	"context"
+	"encoding/json"
+	"errors"
 	"net"
 	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"sync"
 )
 
 // http.go serves the expositions over HTTP for the -metrics-addr
-// flags of redistbench and clusterfsdemo:
+// flags of the cmds:
 //
-//	GET /metrics       Prometheus text exposition
-//	GET /metrics.json  expvar-style JSON
-//	GET /report        the human-readable Report table
+//	GET /metrics        Prometheus text exposition
+//	GET /metrics.json   expvar-style JSON
+//	GET /report         the human-readable Report table
+//	GET /debug/trace    in-flight ops and recent stitched trace trees
+//	GET /debug/pprof/*  the standard runtime profiles
+//
+// /debug/trace parameters: ?id=<16-hex trace id> or ?op=<name> select
+// one tree; ?format=json switches any view to JSON. parafilectl top
+// and trace are thin clients of the JSON form.
 
 // Handler returns an http.Handler serving the registry's expositions.
 // A nil registry serves empty documents, so the endpoint can be wired
 // unconditionally.
-func Handler(r *Registry) http.Handler {
+func Handler(r *Registry) http.Handler { return HandlerWith(r, nil) }
+
+// HandlerWith additionally serves /debug/trace from the tracer (nil
+// tracer: the endpoint reports tracing disabled) and the pprof
+// profiles under /debug/pprof/.
+func HandlerWith(r *Registry, t *Tracer) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -30,20 +46,132 @@ func Handler(r *Registry) http.Handler {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		w.Write([]byte(Report(r)))
 	})
+	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, req *http.Request) {
+		serveTrace(w, req, t)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
+}
+
+// TraceDump is the JSON document /debug/trace serves without a
+// selector: the node, its in-flight ops, and the recent trees.
+type TraceDump struct {
+	Node     string       `json:"node"`
+	Enabled  bool         `json:"enabled"`
+	InFlight []OpSnapshot `json:"inflight"`
+	Recent   []*TraceTree `json:"recent"`
+}
+
+func serveTrace(w http.ResponseWriter, req *http.Request, t *Tracer) {
+	q := req.URL.Query()
+	asJSON := q.Get("format") == "json"
+
+	// Selector: one tree by trace ID or latest by op name.
+	var tree *TraceTree
+	selected := false
+	if id := q.Get("id"); id != "" {
+		selected = true
+		n, err := strconv.ParseUint(id, 16, 64)
+		if err != nil {
+			http.Error(w, "bad trace id (want hex): "+id, http.StatusBadRequest)
+			return
+		}
+		tree = t.Find(n)
+	} else if op := q.Get("op"); op != "" {
+		selected = true
+		tree = t.FindOp(op)
+	}
+	if selected {
+		if tree == nil {
+			http.Error(w, "no such trace", http.StatusNotFound)
+			return
+		}
+		if asJSON {
+			w.Header().Set("Content-Type", "application/json")
+			json.NewEncoder(w).Encode(tree)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write([]byte(tree.Format()))
+		return
+	}
+
+	dump := TraceDump{
+		Node:     t.Node(),
+		Enabled:  t != nil,
+		InFlight: t.InFlight(),
+		Recent:   t.Recent(),
+	}
+	if dump.InFlight == nil {
+		dump.InFlight = []OpSnapshot{}
+	}
+	if dump.Recent == nil {
+		dump.Recent = []*TraceTree{}
+	}
+	if asJSON {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(dump)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if t == nil {
+		w.Write([]byte("tracing disabled\n"))
+		return
+	}
+	out := "node " + dump.Node + "\n\nin-flight:\n"
+	if len(dump.InFlight) == 0 {
+		out += "  (none)\n"
+	}
+	for _, op := range dump.InFlight {
+		out += "  " + FormatTraceID(op.TraceID) + "  " + op.Op + "  " + formatNs(op.DurNs) + "\n"
+	}
+	out += "\nrecent:\n"
+	if len(dump.Recent) == 0 {
+		out += "  (none)\n"
+	}
+	w.Write([]byte(out))
+	for _, tr := range dump.Recent {
+		w.Write([]byte(tr.Format()))
+	}
 }
 
 // Serve starts an HTTP metrics server on addr (":0" binds a free
 // port) and returns the bound address, e.g. "127.0.0.1:43571", plus a
-// shutdown function that stops the server, waiting (bounded by ctx)
-// for in-flight scrapes to finish. The server runs on a background
-// goroutine until shut down.
+// shutdown function (see ServeWith).
 func Serve(addr string, r *Registry) (string, func(context.Context) error, error) {
+	return ServeWith(addr, r, nil)
+}
+
+// ServeWith is Serve with a tracer backing /debug/trace. The returned
+// shutdown function stops the server, waiting (bounded by ctx) for
+// in-flight scrapes to finish, and closes the listener; it is
+// idempotent — concurrent and repeated calls all return the first
+// call's result rather than racing a second Shutdown/Close against a
+// listener that is already gone.
+func ServeWith(addr string, r *Registry, t *Tracer) (string, func(context.Context) error, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", nil, err
 	}
-	srv := &http.Server{Handler: Handler(r)}
+	srv := &http.Server{Handler: HandlerWith(r, t)}
 	go srv.Serve(ln)
-	return ln.Addr().String(), srv.Shutdown, nil
+	var once sync.Once
+	var shutErr error
+	shutdown := func(ctx context.Context) error {
+		once.Do(func() {
+			shutErr = srv.Shutdown(ctx)
+			// Shutdown closes the listener itself; the explicit Close
+			// covers the path where Shutdown's context expired before
+			// it got that far, so the port is never leaked.
+			if cerr := ln.Close(); shutErr == nil && cerr != nil && !errors.Is(cerr, net.ErrClosed) {
+				shutErr = cerr
+			}
+		})
+		return shutErr
+	}
+	return ln.Addr().String(), shutdown, nil
 }

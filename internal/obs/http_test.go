@@ -2,10 +2,12 @@ package obs
 
 import (
 	"context"
+	"encoding/json"
 	"io"
 	"net"
 	"net/http"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 )
@@ -44,5 +46,150 @@ func TestServeAndShutdown(t *testing.T) {
 	if conn, err := net.DialTimeout("tcp", addr, 250*time.Millisecond); err == nil {
 		conn.Close()
 		t.Fatal("metrics port still accepting connections after shutdown")
+	}
+}
+
+// TestShutdownIdempotent is the regression test for the old shutdown
+// func, which Closed the listener a second time on repeat calls and
+// returned the spurious "use of closed network connection" — callers
+// with both a signal path and a defer path hit it routinely. Repeated
+// and concurrent shutdowns must all return the first call's result.
+func TestShutdownIdempotent(t *testing.T) {
+	addr, shutdown, err := Serve("127.0.0.1:0", NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	for i := range errs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = shutdown(ctx)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("concurrent shutdown %d: %v", i, err)
+		}
+	}
+	// And again, sequentially, after the server is long gone.
+	if err := shutdown(ctx); err != nil {
+		t.Fatalf("repeated shutdown: %v", err)
+	}
+	if conn, err := net.DialTimeout("tcp", addr, 250*time.Millisecond); err == nil {
+		conn.Close()
+		t.Fatal("port still open after shutdown")
+	}
+}
+
+// TestDebugTraceEndpoint drives /debug/trace through its selector
+// matrix: full dump (text and JSON), by-ID and by-op selection, the
+// 404 on a miss, and the nil-tracer disabled notice.
+func TestDebugTraceEndpoint(t *testing.T) {
+	tr := NewTracer("ion0", 4)
+	sp := tr.StartOp("write")
+	id := sp.TraceID()
+	tr.FinishOp(sp)
+	inflight := tr.StartOp("read")
+	defer tr.FinishOp(inflight)
+
+	addr, shutdown, err := ServeWith("127.0.0.1:0", NewRegistry(), tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		shutdown(ctx)
+	}()
+
+	get := func(path string, wantCode int) string {
+		t.Helper()
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != wantCode {
+			t.Fatalf("GET %s = %s, want %d", path, resp.Status, wantCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body)
+	}
+
+	var dump TraceDump
+	if err := json.Unmarshal([]byte(get("/debug/trace?format=json", 200)), &dump); err != nil {
+		t.Fatalf("dump is not valid JSON: %v", err)
+	}
+	if dump.Node != "ion0" || !dump.Enabled {
+		t.Fatalf("dump header wrong: %+v", dump)
+	}
+	if len(dump.InFlight) != 1 || dump.InFlight[0].Op != "read" {
+		t.Fatalf("in-flight = %+v, want the open read", dump.InFlight)
+	}
+	if len(dump.Recent) != 1 || dump.Recent[0].TraceID != id {
+		t.Fatalf("recent = %+v, want the finished write", dump.Recent)
+	}
+
+	var tree TraceTree
+	byID := get("/debug/trace?format=json&id="+FormatTraceID(id), 200)
+	if err := json.Unmarshal([]byte(byID), &tree); err != nil || tree.TraceID != id {
+		t.Fatalf("by-ID selection failed: %v (%s)", err, byID)
+	}
+	var byOp TraceTree
+	if err := json.Unmarshal([]byte(get("/debug/trace?format=json&op=write", 200)), &byOp); err != nil || byOp.TraceID != id {
+		t.Fatalf("by-op selection failed: %v", err)
+	}
+	if txt := get("/debug/trace?id="+FormatTraceID(id), 200); !strings.Contains(txt, "op write") {
+		t.Fatalf("text rendering missing header: %s", txt)
+	}
+	get("/debug/trace?id=ffffffffffffffff", 404)
+	get("/debug/trace?op=nope", 404)
+	get("/debug/trace?id=zzz", 400)
+
+	// pprof rides along on the same handler.
+	if body := get("/debug/pprof/cmdline", 200); body == "" {
+		t.Fatal("pprof endpoint empty")
+	}
+}
+
+// TestDebugTraceDisabled: the endpoint must answer, not panic, when no
+// tracer is wired (tracing off or an old caller using Serve).
+func TestDebugTraceDisabled(t *testing.T) {
+	addr, shutdown, err := Serve("127.0.0.1:0", NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		shutdown(ctx)
+	}()
+	resp, err := http.Get("http://" + addr + "/debug/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "tracing disabled") {
+		t.Fatalf("disabled notice missing: %s", body)
+	}
+	resp, err = http.Get("http://" + addr + "/debug/trace?format=json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dump TraceDump
+	err = json.NewDecoder(resp.Body).Decode(&dump)
+	resp.Body.Close()
+	if err != nil || dump.Enabled {
+		t.Fatalf("disabled JSON dump wrong: %v %+v", err, dump)
 	}
 }

@@ -1,0 +1,63 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"time"
+)
+
+// log.go is the structured-logging side of the observability layer:
+// slog JSON loggers pre-labelled with the emitting node, trace IDs
+// rendered the same way everywhere, and the slow-op threshold logger
+// the cluster wires to Config.SlowOpThreshold. Metrics say how much,
+// traces say where; the log lines are the joinable middle — every
+// line about an operation carries its trace_id, so a slow-op warning
+// can be chased straight into `parafilectl trace`.
+
+// NewLogger returns a JSON slog.Logger writing to w, with every line
+// carrying the emitting node.
+func NewLogger(w io.Writer, node string) *slog.Logger {
+	return slog.New(slog.NewJSONHandler(w, nil)).With("node", node)
+}
+
+// TraceAttr renders a trace ID as the canonical log attribute:
+// trace_id as 16 lowercase hex digits, matching what parafilectl
+// trace accepts.
+func TraceAttr(traceID uint64) slog.Attr {
+	return slog.String("trace_id", FormatTraceID(traceID))
+}
+
+// FormatTraceID renders a trace ID as 16 lowercase hex digits.
+func FormatTraceID(traceID uint64) string {
+	return fmt.Sprintf("%016x", traceID)
+}
+
+// SlowOpLogger emits one structured warning per completed operation
+// that ran longer than Threshold, and one error line per failed
+// operation regardless of duration. A nil logger, nil Log, or zero
+// threshold (for the slow half) disables the respective lines; the
+// disabled path is a handful of compares and no allocation.
+type SlowOpLogger struct {
+	Log       *slog.Logger
+	Threshold time.Duration
+}
+
+// Observe reports one completed operation. opErr is the operation's
+// final error (nil for success).
+func (l *SlowOpLogger) Observe(op string, traceID uint64, d time.Duration, opErr error) {
+	if l == nil || l.Log == nil {
+		return
+	}
+	if opErr != nil {
+		l.Log.Error("op failed", "op", op, TraceAttr(traceID),
+			"duration_ms", float64(d.Nanoseconds())/1e6, "err", opErr.Error())
+		return
+	}
+	if l.Threshold <= 0 || d < l.Threshold {
+		return
+	}
+	l.Log.Warn("slow op", "op", op, TraceAttr(traceID),
+		"duration_ms", float64(d.Nanoseconds())/1e6,
+		"threshold_ms", float64(l.Threshold.Nanoseconds())/1e6)
+}

@@ -17,32 +17,168 @@ import (
 // A nil *Span is the disabled state: StartChild returns nil, End and
 // friends record nothing, so instrumented code needs no guards.
 
-// Span is one timed region of host execution.
+// Span is one timed region of host execution. When opened under a
+// trace (StartTrace/StartRemoteSpan, or as a descendant of either),
+// it additionally carries the 64-bit trace/span/parent IDs and node
+// label that let it travel across processes as a SpanRecord; a plain
+// StartSpan tree leaves them zero and behaves exactly as before.
 type Span struct {
 	name  string
 	start time.Time
 
+	traceID uint64
+	spanID  uint64
+	parent  uint64
+	node    string
+
 	mu       sync.Mutex
 	end      time.Time
 	ended    bool
+	errFlag  bool
 	children []*Span
+	foreign  []SpanRecord
 }
 
-// StartSpan opens a root span.
+// StartSpan opens a root span (untraced: no IDs, not exportable).
 func StartSpan(name string) *Span {
 	return &Span{name: name, start: time.Now()}
 }
 
+// StartTrace opens a root span under a fresh trace ID, labelled with
+// the node that runs it. Its descendants inherit the trace ID and
+// node and get span IDs of their own.
+func StartTrace(name, node string) *Span {
+	return &Span{name: name, start: time.Now(),
+		traceID: NewTraceID(), spanID: newID(), node: node}
+}
+
+// StartRemoteSpan opens a local root span adopted into a trace that
+// started on another node: it keeps the caller-supplied trace ID and
+// sets its parent to the remote span that issued the request, so the
+// client can stitch it under that span by ID.
+func StartRemoteSpan(name, node string, traceID, parent uint64) *Span {
+	if traceID == 0 {
+		return nil
+	}
+	return &Span{name: name, start: time.Now(),
+		traceID: traceID, spanID: newID(), parent: parent, node: node}
+}
+
 // StartChild opens a child span under s; nil-safe (returns nil).
+// Under a traced parent the child joins the trace.
 func (s *Span) StartChild(name string) *Span {
 	if s == nil {
 		return nil
 	}
 	c := &Span{name: name, start: time.Now()}
+	if s.traceID != 0 {
+		c.traceID, c.spanID, c.parent, c.node = s.traceID, newID(), s.spanID, s.node
+	}
 	s.mu.Lock()
 	s.children = append(s.children, c)
 	s.mu.Unlock()
 	return c
+}
+
+// AddInterval attaches an already-measured child interval — the form
+// used for accumulated costs like stream-window stalls, where the
+// individual waits are too cheap to span but their sum matters.
+// Nil-safe; zero or negative durations record nothing.
+func (s *Span) AddInterval(name string, start time.Time, d time.Duration) {
+	if s == nil || d <= 0 {
+		return
+	}
+	c := &Span{name: name, start: start, end: start.Add(d), ended: true}
+	if s.traceID != 0 {
+		c.traceID, c.spanID, c.parent, c.node = s.traceID, newID(), s.spanID, s.node
+	}
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+}
+
+// TraceID returns the span's trace ID (0 when untraced or nil) — the
+// standard "is tracing live here" gate.
+func (s *Span) TraceID() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.traceID
+}
+
+// SpanID returns the span's own ID (0 when untraced or nil).
+func (s *Span) SpanID() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.spanID
+}
+
+// Node returns the node label the span runs on ("" when untraced).
+func (s *Span) Node() string {
+	if s == nil {
+		return ""
+	}
+	return s.node
+}
+
+// Fail marks the span as errored; the flag travels in its record.
+func (s *Span) Fail() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.errFlag = true
+	s.mu.Unlock()
+}
+
+// Failed reports whether Fail was called.
+func (s *Span) Failed() bool {
+	if s == nil {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.errFlag
+}
+
+// Attach adds foreign records — completed spans shipped back from
+// another node — under s; they surface in Records for stitching.
+func (s *Span) Attach(recs []SpanRecord) {
+	if s == nil || len(recs) == 0 {
+		return
+	}
+	s.mu.Lock()
+	s.foreign = append(s.foreign, recs...)
+	s.mu.Unlock()
+}
+
+// Records flattens the traced subtree (local spans plus attached
+// foreign records) into dst. Untraced spans contribute nothing. An
+// open span is recorded up to now.
+func (s *Span) Records(dst []SpanRecord) []SpanRecord {
+	if s == nil || s.traceID == 0 {
+		return dst
+	}
+	s.mu.Lock()
+	end := s.end
+	if !s.ended {
+		end = time.Now()
+	}
+	rec := SpanRecord{
+		TraceID: s.traceID, SpanID: s.spanID, Parent: s.parent,
+		Name: s.name, Node: s.node,
+		Start: s.start.UnixNano(), End: end.UnixNano(), Err: s.errFlag,
+	}
+	kids := append([]*Span(nil), s.children...)
+	foreign := append([]SpanRecord(nil), s.foreign...)
+	s.mu.Unlock()
+	dst = append(dst, rec)
+	dst = append(dst, foreign...)
+	for _, c := range kids {
+		dst = c.Records(dst)
+	}
+	return dst
 }
 
 // End closes the span (idempotent) and returns its duration.

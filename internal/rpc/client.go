@@ -93,6 +93,14 @@ type ClientConfig struct {
 	ProtoVersion int
 	// Metrics receives the client-side RPC series; nil records nothing.
 	Metrics *obs.Registry
+	// Trace enables distributed tracing: the client offers FeatureTrace
+	// in its Hello, and calls whose context carries a traced obs.Span
+	// travel in MsgTraced envelopes (or carry trace IDs on stream
+	// headers) against daemons that granted the feature. Against old
+	// daemons — or with Trace false — the wire bytes are identical to
+	// the untraced protocol, and calls without a span in their context
+	// pay nothing.
+	Trace bool
 }
 
 func (cfg *ClientConfig) fillDefaults() {
@@ -152,6 +160,9 @@ type clientConn struct {
 	net.Conn
 	ver     byte
 	tokened bool
+	// features is the feature bitmask the daemon granted in its
+	// HelloResp (0 against pre-feature daemons).
+	features uint64
 }
 
 // respFrame is one parsed response: the pooled backing buffer plus the
@@ -242,7 +253,9 @@ func (c *Client) acquireToken(ctx context.Context) error {
 	start := time.Now()
 	select {
 	case c.sem <- struct{}{}:
-		c.met.connWaitNs.Observe(time.Since(start).Nanoseconds())
+		wait := time.Since(start)
+		c.met.connWaitNs.Observe(wait.Nanoseconds())
+		obs.SpanFromContext(ctx).AddInterval("conn_wait", start, wait)
 		return nil
 	case <-ctx.Done():
 		return ctx.Err()
@@ -321,7 +334,11 @@ func (c *Client) getConn(ctx context.Context) (*clientConn, error) {
 // the client reads as "speak v1". A transport failure fails the dial —
 // the caller's retry loop handles it like any connection error.
 func (c *Client) negotiate(ctx context.Context, conn *clientConn, want byte) error {
-	req := AppendHello(getFrameBuf(8), want)
+	var offer uint64
+	if c.cfg.Trace {
+		offer = FeatureTrace
+	}
+	req := AppendHelloFeatures(getFrameBuf(8), want, offer)
 	defer putFrameBuf(req)
 	if err := conn.SetWriteDeadline(deadline(ctx, c.cfg.WriteTimeout)); err != nil {
 		return err
@@ -343,7 +360,7 @@ func (c *Client) negotiate(ctx context.Context, conn *clientConn, want byte) err
 	}
 	switch msgType {
 	case MsgHelloResp:
-		agreed, err := DecodeHelloResp(payload)
+		agreed, granted, err := DecodeHelloRespFeatures(payload)
 		if err != nil {
 			return err
 		}
@@ -354,6 +371,7 @@ func (c *Client) negotiate(ctx context.Context, conn *clientConn, want byte) err
 			agreed = want
 		}
 		conn.ver = agreed
+		conn.features = granted & offer
 	case MsgError:
 		// Pre-negotiation daemon: it answered the unknown message with
 		// a bad-request error. Speak v1 on this connection.
@@ -469,6 +487,35 @@ func (c *Client) roundTrip(ctx context.Context, conn *clientConn, req []byte) ([
 	return body, nil
 }
 
+// traceSpan returns the context's span when this request should travel
+// in a traced envelope: tracing is on, the peer granted FeatureTrace,
+// and the context carries a traced span. MsgSpans never nests — the
+// drain RPC is bookkeeping about a trace, not part of it.
+func (c *Client) traceSpan(ctx context.Context, reqType byte, features uint64) *obs.Span {
+	if !c.cfg.Trace || features&FeatureTrace == 0 || reqType == MsgSpans {
+		return nil
+	}
+	if sp := obs.SpanFromContext(ctx); sp.TraceID() != 0 {
+		return sp
+	}
+	return nil
+}
+
+// unwrapTraced peels a MsgTracedResp envelope, attaching the server's
+// span records to sp; plain responses pass through untouched.
+func unwrapTraced(sp *obs.Span, f respFrame) (respFrame, error) {
+	if f.msgType != MsgTracedResp {
+		return f, nil
+	}
+	recs, innerType, inner, err := DecodeTracedResp(f.payload)
+	if err != nil {
+		putFrameBuf(f.body)
+		return respFrame{}, err
+	}
+	sp.Attach(recs)
+	return respFrame{body: f.body, msgType: innerType, payload: inner}, nil
+}
+
 // attempt performs one unary exchange, over the multiplexed connection
 // when the peer speaks v3 and the classic pool otherwise.
 func (c *Client) attempt(ctx context.Context, reqType byte, req []byte) (respFrame, error) {
@@ -486,7 +533,20 @@ func (c *Client) attempt(ctx context.Context, reqType byte, req []byte) (respFra
 	if err != nil {
 		return respFrame{}, err
 	}
-	body, err := c.roundTrip(ctx, conn, req)
+	sp := c.traceSpan(ctx, reqType, conn.features)
+	wire := req
+	if sp != nil {
+		// Wrap the encoded request in a MsgTraced envelope. The classic
+		// path copies (the mux path splices vectored); it is the cold
+		// fallback, simplicity wins.
+		wire = AppendTracedHdr(getFrameBuf(32+len(req)), sp.TraceID(), sp.SpanID())
+		wire = append(wire, reqType)
+		wire = append(wire, req[2:]...)
+	}
+	body, err := c.roundTrip(ctx, conn, wire)
+	if sp != nil {
+		putFrameBuf(wire)
+	}
 	if err != nil {
 		c.discardConn(conn)
 		return respFrame{}, err
@@ -497,7 +557,7 @@ func (c *Client) attempt(ctx context.Context, reqType byte, req []byte) (respFra
 		putFrameBuf(body)
 		return respFrame{}, err
 	}
-	return respFrame{body: body, msgType: msgType, payload: payload}, nil
+	return unwrapTraced(sp, respFrame{body: body, msgType: msgType, payload: payload})
 }
 
 // ping is one unretried Ping exchange, used directly by Ping and as
@@ -565,10 +625,30 @@ func (c *Client) admit(ctx context.Context, reqType byte) error {
 // op is an answer (the node was reached), not a transport failure: it
 // is returned without retry and counts as breaker success. Both unary
 // calls and chunked streams retry through here.
+//
+// When the context carries a traced span and tracing is on, the whole
+// call (every attempt, backoff included) runs under an rpc.* child
+// span; a call that exhausts its retries leaves that span marked
+// failed, so an unreachable node still shows up in the stitched tree.
 func (c *Client) run(ctx context.Context, reqType byte, op func(context.Context) error) error {
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	if c.cfg.Trace {
+		if parent := obs.SpanFromContext(ctx); parent.TraceID() != 0 {
+			sp := parent.StartChild("rpc." + MsgName(reqType) + "→" + c.cfg.Addr)
+			err := c.runInner(obs.ContextWithSpan(ctx, sp), reqType, op)
+			if err != nil {
+				sp.Fail()
+			}
+			sp.End()
+			return err
+		}
+	}
+	return c.runInner(ctx, reqType, op)
+}
+
+func (c *Client) runInner(ctx context.Context, reqType byte, op func(context.Context) error) error {
 	c.met.inflight.Add(1)
 	start := time.Now()
 	defer func() {

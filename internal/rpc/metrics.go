@@ -47,10 +47,14 @@ const (
 	// Streaming (proto v3), mirrored server-side.
 	MetricServerStreams = "parafile_rpc_server_streams_total"
 	MetricServerChunks  = "parafile_rpc_server_chunks_total"
-	// MetricFramePoolDiscards mirrors the process-wide frame-pool
-	// retention-cap drop counter (see FramePoolDiscards) as a gauge,
-	// refreshed on the server request path.
-	MetricFramePoolDiscards = "parafile_rpc_frame_pool_discards"
+	// MetricPoolDiscards is the shared buffer-pool discard series:
+	// every pool's retention-cap drops surface under one name,
+	// distinguished by a lowercase kind label — {kind="frame"} mirrors
+	// the process-wide FramePoolDiscards counter (refreshed on the
+	// server request path), {kind="msgbuf"} the clusterfile message
+	// buffers. Each kind is bound exactly once, at metrics
+	// construction, never at the refresh sites.
+	MetricPoolDiscards = "parafile_pool_discards"
 
 	// Circuit breaker (per I/O node, labelled by address): the state
 	// gauge (0 closed, 1 open, 2 half-open), transitions to open,
@@ -62,7 +66,7 @@ const (
 )
 
 // reqTypes are the request message types with per-type volume series.
-var reqTypes = []byte{MsgCreateFile, MsgSetView, MsgWriteSegs, MsgReadSegs, MsgStat, MsgClose, MsgPing, MsgHello, MsgChecksum, MsgWriteStream, MsgReadStream}
+var reqTypes = []byte{MsgCreateFile, MsgSetView, MsgWriteSegs, MsgReadSegs, MsgStat, MsgClose, MsgPing, MsgHello, MsgChecksum, MsgWriteStream, MsgReadStream, MsgTraced, MsgSpans}
 
 func bindPerType(reg *obs.Registry, name string) map[byte]*obs.Counter {
 	m := make(map[byte]*obs.Counter, len(reqTypes))
@@ -73,21 +77,20 @@ func bindPerType(reg *obs.Registry, name string) map[byte]*obs.Counter {
 }
 
 type clientMetrics struct {
-	requests     map[byte]*obs.Counter
-	requestNs    *obs.Histogram
-	inflight     *obs.Gauge
-	sentBytes    *obs.Counter
-	recvBytes    *obs.Counter
-	retries      *obs.Counter
-	timeouts     *obs.Counter
-	failures     *obs.Counter
-	dials        *obs.Counter
-	connWaitNs   *obs.Histogram
-	streamedW    *obs.Counter
-	streamedR    *obs.Counter
-	chunksSent   *obs.Counter
-	chunksRecvd  *obs.Counter
-	poolDiscards *obs.Gauge
+	requests    map[byte]*obs.Counter
+	requestNs   *obs.Histogram
+	inflight    *obs.Gauge
+	sentBytes   *obs.Counter
+	recvBytes   *obs.Counter
+	retries     *obs.Counter
+	timeouts    *obs.Counter
+	failures    *obs.Counter
+	dials       *obs.Counter
+	connWaitNs  *obs.Histogram
+	streamedW   *obs.Counter
+	streamedR   *obs.Counter
+	chunksSent  *obs.Counter
+	chunksRecvd *obs.Counter
 }
 
 func newClientMetrics(reg *obs.Registry) clientMetrics {
@@ -150,7 +153,7 @@ func newServerMetrics(reg *obs.Registry) serverMetrics {
 		streamsR:     reg.Counter(MetricServerStreams + `{dir="read"}`),
 		chunksSent:   reg.Counter(MetricServerChunks + `{dir="sent"}`),
 		chunksRecvd:  reg.Counter(MetricServerChunks + `{dir="received"}`),
-		poolDiscards: reg.Gauge(MetricFramePoolDiscards),
+		poolDiscards: reg.Gauge(MetricPoolDiscards + `{kind="frame"}`),
 	}
 }
 

@@ -6,6 +6,9 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"parafile/internal/codec"
+	"parafile/internal/obs"
 )
 
 // mux.go is the client side of proto v3: one multiplexed connection
@@ -33,7 +36,9 @@ const streamWindow = 4
 // net.Error so the retry loop counts it as a timeout.
 type errMuxTimeout struct{ addr string }
 
-func (e errMuxTimeout) Error() string   { return fmt.Sprintf("rpc: stream read from %s timed out", e.addr) }
+func (e errMuxTimeout) Error() string {
+	return fmt.Sprintf("rpc: stream read from %s timed out", e.addr)
+}
 func (e errMuxTimeout) Timeout() bool   { return true }
 func (e errMuxTimeout) Temporary() bool { return true }
 
@@ -54,6 +59,8 @@ type muxConn struct {
 	conn net.Conn
 	ver  byte
 	cfg  *ClientConfig
+	// features is the daemon-granted feature bitmask from the Hello.
+	features uint64
 
 	// wmu serializes frame writes; each frame is written whole.
 	wmu sync.Mutex
@@ -67,11 +74,12 @@ type muxConn struct {
 
 func newMuxConn(conn *clientConn, cfg *ClientConfig) *muxConn {
 	m := &muxConn{
-		conn:    conn.Conn,
-		ver:     conn.ver,
-		cfg:     cfg,
-		streams: make(map[uint64]*muxStream),
-		done:    make(chan struct{}),
+		conn:     conn.Conn,
+		ver:      conn.ver,
+		cfg:      cfg,
+		features: conn.features,
+		streams:  make(map[uint64]*muxStream),
+		done:     make(chan struct{}),
 	}
 	go m.readLoop()
 	return m
@@ -224,26 +232,38 @@ func (m *muxConn) readLoop() {
 
 // muxExchange is one unary request/response over the mux: the encoded
 // request's [ver][type] prefix is replaced by a v3 stream header and
-// the rest travels untouched (vectored, no re-encode).
+// the rest travels untouched (vectored, no re-encode). A traced call
+// grows the prefix into a MsgTraced envelope head — the inner request
+// bytes still travel straight from the caller's buffer, no copy.
 func (c *Client) muxExchange(ctx context.Context, m *muxConn, reqType byte, req []byte) (respFrame, error) {
 	st, err := m.openStream()
 	if err != nil {
 		return respFrame{}, err
 	}
 	defer m.closeStream(st)
-	prefix := appendStreamHdr(getFrameBuf(16), reqType, st.id)
+	sp := c.traceSpan(ctx, reqType, m.features)
+	var prefix []byte
+	if sp != nil {
+		prefix = appendStreamHdr(getFrameBuf(48), MsgTraced, st.id)
+		prefix = codec.AppendUvarint(prefix, sp.TraceID())
+		prefix = codec.AppendUvarint(prefix, sp.SpanID())
+		prefix = append(prefix, reqType)
+	} else {
+		prefix = appendStreamHdr(getFrameBuf(16), reqType, st.id)
+	}
+	sent := len(prefix) + len(req) - 2
 	err = m.send(ctx, prefix, req[2:])
 	putFrameBuf(prefix)
 	if err != nil {
 		return respFrame{}, err
 	}
-	c.met.sentBytes.Add(int64(len(req) + 4))
+	c.met.sentBytes.Add(int64(sent + 4))
 	f, err := st.recv(ctx, m)
 	if err != nil {
 		return respFrame{}, err
 	}
 	c.met.recvBytes.Add(int64(len(f.body) + 4))
-	return f, nil
+	return unwrapTraced(sp, f)
 }
 
 // abortStream tells the server to tear a write stream down without a
@@ -289,6 +309,7 @@ func (c *Client) writeStreamOnce(ctx context.Context, m *muxConn, req *WriteSegs
 		return err
 	}
 	defer m.closeStream(st)
+	sp := c.traceSpan(ctx, MsgWriteStream, m.features)
 	hdr := AppendWriteStream(getFrameBuf(64), st.id, &WriteStreamReq{
 		File:        req.File,
 		Subfile:     req.Subfile,
@@ -296,6 +317,8 @@ func (c *Client) writeStreamOnce(ctx context.Context, m *muxConn, req *WriteSegs
 		Lo:          req.Lo,
 		Hi:          req.Hi,
 		Total:       int64(len(req.Data)),
+		TraceID:     sp.TraceID(),
+		SpanID:      sp.SpanID(),
 	})
 	err = m.send(ctx, hdr)
 	putFrameBuf(hdr)
@@ -344,8 +367,11 @@ func (c *Client) writeStreamOnce(ctx context.Context, m *muxConn, req *WriteSegs
 		return err
 	}
 	defer putFrameBuf(f.body)
-	_, err = parseResp(f, MsgOK)
-	return err
+	if _, err := parseResp(f, MsgOK); err != nil {
+		return err
+	}
+	c.drainSpans(ctx, m, sp)
+	return nil
 }
 
 // earlyWriteReply classifies a server reply that arrived before the
@@ -390,6 +416,7 @@ func (c *Client) readStreamOnce(ctx context.Context, m *muxConn, req *ReadSegsRe
 		return err
 	}
 	defer m.closeStream(st)
+	sp := c.traceSpan(ctx, MsgReadStream, m.features)
 	hdr := AppendReadStream(getFrameBuf(64), st.id, &ReadStreamReq{
 		File:        req.File,
 		Subfile:     req.Subfile,
@@ -398,6 +425,8 @@ func (c *Client) readStreamOnce(ctx context.Context, m *muxConn, req *ReadSegsRe
 		Hi:          req.Hi,
 		N:           req.N,
 		ChunkSize:   int64(c.cfg.ChunkSize),
+		TraceID:     sp.TraceID(),
+		SpanID:      sp.SpanID(),
 	})
 	err = m.send(ctx, hdr)
 	putFrameBuf(hdr)
@@ -440,6 +469,7 @@ func (c *Client) readStreamOnce(ctx context.Context, m *muxConn, req *ReadSegsRe
 					m.fail(err)
 					return err
 				}
+				c.drainSpans(ctx, m, sp)
 				return nil
 			}
 		case MsgError:
@@ -455,6 +485,45 @@ func (c *Client) readStreamOnce(ctx context.Context, m *muxConn, req *ReadSegsRe
 			err := fmt.Errorf("%w: read stream response type %#x", ErrCorrupt, f.msgType)
 			m.fail(err)
 			return err
+		}
+	}
+}
+
+// drainSpans fetches the server-side span records of a completed
+// streamed op and attaches them to sp. Stream spans cannot piggyback
+// on the stream reply (it is built before the span closes), so the
+// server stashes them and the client drains with MsgSpans. Best
+// effort: a trace missing its server half still stitches, the server
+// leg just shows as part of the client rpc span. The server stashes
+// records a beat after sending the reply, so an empty first answer is
+// retried briefly before giving up.
+func (c *Client) drainSpans(ctx context.Context, m *muxConn, sp *obs.Span) {
+	if sp == nil {
+		return
+	}
+	for attempt := 0; attempt < 3; attempt++ {
+		req := AppendSpansReq(getFrameBuf(16), sp.TraceID())
+		f, err := c.muxExchange(ctx, m, MsgSpans, req)
+		putFrameBuf(req)
+		if err != nil {
+			return
+		}
+		var recs []obs.SpanRecord
+		if f.msgType == MsgSpansResp {
+			recs, err = DecodeSpansResp(f.payload)
+		}
+		putFrameBuf(f.body)
+		if err != nil {
+			return
+		}
+		if len(recs) > 0 {
+			sp.Attach(recs)
+			return
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(time.Millisecond):
 		}
 	}
 }

@@ -3,6 +3,7 @@ package rpc
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -35,6 +36,24 @@ type ServerConfig struct {
 	MaxProtoVersion int
 	// Metrics receives the server-side RPC series; nil records nothing.
 	Metrics *obs.Registry
+	// Trace advertises FeatureTrace in the hello exchange and opens
+	// server-side child spans (decode, lock wait, scatter/gather,
+	// stream stalls, fsync) for requests that carry trace IDs. Off by
+	// default: a non-tracing server answers hellos byte-identically to
+	// a pre-tracing build.
+	Trace bool
+	// Node labels this server's spans and log lines (defaults to
+	// Tracer.Node(), else "ion").
+	Node string
+	// Tracer, when non-nil, additionally retains this server's
+	// completed request spans for its own /debug/trace endpoint.
+	Tracer *obs.Tracer
+	// Log receives structured server events (slow requests, faults);
+	// nil logs nothing.
+	Log *slog.Logger
+	// SlowOp logs a structured warning through Log for any request
+	// slower than this threshold (0 disables).
+	SlowOp time.Duration
 }
 
 // Server hosts subfile stores behind the wire protocol. One Server is
@@ -43,6 +62,9 @@ type Server struct {
 	cfg    ServerConfig
 	met    serverMetrics
 	maxVer byte
+	node   string
+	stash  *obs.SpanStash
+	slow   obs.SlowOpLogger
 
 	mu       sync.Mutex
 	ln       net.Listener
@@ -68,14 +90,49 @@ func NewServer(cfg ServerConfig) *Server {
 	if cfg.MaxProtoVersion <= 0 || cfg.MaxProtoVersion > MaxProtoVersion {
 		cfg.MaxProtoVersion = MaxProtoVersion
 	}
-	return &Server{
+	node := cfg.Node
+	if node == "" {
+		node = cfg.Tracer.Node()
+	}
+	if node == "" {
+		node = "ion"
+	}
+	s := &Server{
 		cfg:    cfg,
 		met:    newServerMetrics(cfg.Metrics),
 		maxVer: byte(cfg.MaxProtoVersion),
+		node:   node,
+		slow:   obs.SlowOpLogger{Log: cfg.Log, Threshold: cfg.SlowOp},
 		conns:  make(map[net.Conn]struct{}),
 		files:  make(map[string]*serverFile),
 		projs:  make(map[uint64]*redist.Projection),
 	}
+	if cfg.Trace {
+		// Streamed ops park their completed spans here until the
+		// client's MsgSpans drain; the bound caps what a client that
+		// never drains can pin.
+		s.stash = obs.NewSpanStash(1024)
+	}
+	return s
+}
+
+// features returns the feature bits this server grants from a
+// client's requested mask.
+func (s *Server) features(requested uint64) uint64 {
+	var granted uint64
+	if s.cfg.Trace {
+		granted |= FeatureTrace
+	}
+	return granted & requested
+}
+
+// startSpan opens the server-side root span for one traced request
+// (nil when tracing is off or the request carries no trace ID).
+func (s *Server) startSpan(name string, traceID, parent uint64) *obs.Span {
+	if !s.cfg.Trace || traceID == 0 {
+		return nil
+	}
+	return obs.StartRemoteSpan("server."+name, s.node, traceID, parent)
 }
 
 // Serve accepts connections on ln until Shutdown. It returns nil after
@@ -218,7 +275,7 @@ func (s *Server) tryUpgradeV3(conn net.Conn, body []byte) bool {
 	if err != nil || msgType != MsgHello || body[0] > s.maxVer {
 		return false
 	}
-	want, err := DecodeHello(payload)
+	want, features, err := DecodeHelloFeatures(payload)
 	if err != nil || want < ProtoVersion3 {
 		return false
 	}
@@ -227,7 +284,7 @@ func (s *Server) tryUpgradeV3(conn net.Conn, body []byte) bool {
 	if agreed > s.maxVer {
 		agreed = s.maxVer
 	}
-	resp := AppendHelloResp(getFrameBuf(16), agreed)
+	resp := AppendHelloRespFeatures(getFrameBuf(16), agreed, s.features(features))
 	// The Hello round-trip stays on the request's own frame version;
 	// only frames after it are v3. A failed reply write leaves the
 	// connection broken and the mux loop exits on its first read.
@@ -252,38 +309,54 @@ func (s *Server) handle(body []byte) []byte {
 		return s.errResp(out, ErrCodeBadRequest,
 			fmt.Sprintf("protocol version %d, want %d", body[0], s.maxVer))
 	}
-	return s.dispatch(out, msgType, payload)
+	return s.dispatch(out, msgType, payload, nil)
 }
 
 // dispatch executes one parsed request. It is shared by the classic
 // one-at-a-time connection loop and the multiplexed per-stream
 // goroutines: every handler locks the state it touches, so concurrent
-// dispatch is safe.
-func (s *Server) dispatch(out []byte, msgType byte, payload []byte) []byte {
+// dispatch is safe. sp is the server-side span of the request (nil
+// for untraced requests — every handler is nil-safe).
+func (s *Server) dispatch(out []byte, msgType byte, payload []byte, sp *obs.Span) []byte {
 	start := time.Now()
 	s.met.inflight.Add(1)
 	defer func() {
 		s.met.inflight.Add(-1)
-		s.met.requestNs.Observe(time.Since(start).Nanoseconds())
+		elapsed := time.Since(start)
+		s.met.requestNs.Observe(elapsed.Nanoseconds())
 		s.met.poolDiscards.Set(FramePoolDiscards())
+		// The traced envelope logs itself with the inner request's name
+		// and real trace ID; logging the wrapper too would double up.
+		if msgType != MsgTraced {
+			s.slow.Observe("rpc."+MsgName(msgType), sp.TraceID(), elapsed, nil)
+		}
 	}()
 	s.met.requests[msgType].Inc()
 	if s.draining.Load() {
 		return s.errResp(out, ErrCodeShuttingDown, "server draining")
 	}
+	if msgType == MsgTraced {
+		return s.handleTraced(out, payload)
+	}
+	return s.route(out, msgType, payload, sp)
+}
+
+// route is the request-type switch shared by dispatch and the traced
+// envelope (which re-enters with the inner request and a live span).
+func (s *Server) route(out []byte, msgType byte, payload []byte, sp *obs.Span) []byte {
 	switch msgType {
 	case MsgCreateFile:
 		return s.handleCreateFile(out, payload)
 	case MsgSetView:
 		return s.handleSetView(out, payload)
 	case MsgWriteSegs:
-		return s.handleWriteSegs(out, payload)
+		return s.handleWriteSegs(out, payload, sp)
 	case MsgReadSegs:
-		return s.handleReadSegs(out, payload)
+		return s.handleReadSegs(out, payload, sp)
 	case MsgStat:
 		return s.handleStat(out, payload)
 	case MsgClose:
-		return s.handleClose(out, payload)
+		return s.handleClose(out, payload, sp)
 	case MsgPing:
 		// Liveness probe (breaker half-open): no file state touched.
 		if err := wantEmpty(payload); err != nil {
@@ -297,13 +370,51 @@ func (s *Server) dispatch(out []byte, msgType byte, payload []byte) []byte {
 			return s.handleHello(out, payload)
 		}
 	case MsgChecksum:
-		return s.handleChecksum(out, payload)
+		return s.handleChecksum(out, payload, sp)
+	case MsgSpans:
+		return s.handleSpans(out, payload)
 	}
 	return s.errResp(out, ErrCodeBadRequest, fmt.Sprintf("unknown message type %#x", msgType))
 }
 
+// handleTraced runs a MsgTraced envelope: the inner request executes
+// under a span adopted into the caller's trace, and the completed
+// records travel back piggybacked ahead of the inner response.
+func (s *Server) handleTraced(out, payload []byte) []byte {
+	traceID, parent, innerType, inner, err := DecodeTraced(payload)
+	if err != nil {
+		return s.errResp(out, ErrCodeBadRequest, err.Error())
+	}
+	if innerType == MsgTraced {
+		return s.errResp(out, ErrCodeBadRequest, "nested traced envelope")
+	}
+	s.met.requests[innerType].Inc()
+	start := time.Now()
+	sp := s.startSpan(MsgName(innerType), traceID, parent)
+	s.cfg.Tracer.Adopt(sp)
+	resp := s.route(getFrameBuf(64), innerType, inner, sp)
+	if len(resp) >= 2 && resp[1] == MsgError {
+		sp.Fail()
+	}
+	s.slow.Observe("rpc."+MsgName(innerType), traceID, time.Since(start), nil)
+	s.cfg.Tracer.FinishOp(sp)
+	out = AppendTracedResp(out, sp.Records(nil), resp)
+	putFrameBuf(resp)
+	return out
+}
+
+// handleSpans drains the span records streamed operations stashed
+// under a trace ID.
+func (s *Server) handleSpans(out, payload []byte) []byte {
+	traceID, err := DecodeSpansReq(payload)
+	if err != nil {
+		return s.errResp(out, ErrCodeBadRequest, err.Error())
+	}
+	return AppendSpansResp(out, s.stash.Take(traceID))
+}
+
 func (s *Server) handleHello(out, payload []byte) []byte {
-	want, err := DecodeHello(payload)
+	want, features, err := DecodeHelloFeatures(payload)
 	if err != nil {
 		return s.errResp(out, ErrCodeBadRequest, err.Error())
 	}
@@ -311,10 +422,10 @@ func (s *Server) handleHello(out, payload []byte) []byte {
 	if agreed > s.maxVer {
 		agreed = s.maxVer
 	}
-	return AppendHelloResp(out, agreed)
+	return AppendHelloRespFeatures(out, agreed, s.features(features))
 }
 
-func (s *Server) handleChecksum(out, payload []byte) []byte {
+func (s *Server) handleChecksum(out, payload []byte, sp *obs.Span) []byte {
 	req, err := DecodeChecksum(payload)
 	if err != nil {
 		return s.errResp(out, ErrCodeBadRequest, err.Error())
@@ -327,7 +438,9 @@ func (s *Server) handleChecksum(out, payload []byte) []byte {
 	if code != 0 {
 		return s.errResp(out, code, msg)
 	}
+	lw := sp.StartChild("lock_wait")
 	sf.mu.Lock()
+	lw.End()
 	defer sf.mu.Unlock()
 	// Read-only: bytes beyond the store's length count as zeroes, so no
 	// grow — scrubbing must never mutate what it audits.
@@ -435,8 +548,10 @@ func (s *Server) projection(fp uint64) (*redist.Projection, bool) {
 	return p, ok
 }
 
-func (s *Server) handleWriteSegs(out, payload []byte) []byte {
+func (s *Server) handleWriteSegs(out, payload []byte, sp *obs.Span) []byte {
+	dsp := sp.StartChild("decode")
 	req, err := DecodeWriteSegs(payload)
+	dsp.End()
 	if err != nil {
 		return s.errResp(out, ErrCodeBadRequest, err.Error())
 	}
@@ -459,7 +574,9 @@ func (s *Server) handleWriteSegs(out, payload []byte) []byte {
 	if code != 0 {
 		return s.errResp(out, code, msg)
 	}
+	lw := sp.StartChild("lock_wait")
 	sf.mu.Lock()
+	lw.End()
 	defer sf.mu.Unlock()
 	if err := st.EnsureLen(req.Hi + 1); err != nil {
 		return s.errResp(out, ErrCodeIO, err.Error())
@@ -467,19 +584,23 @@ func (s *Server) handleWriteSegs(out, payload []byte) []byte {
 	if len(req.Data) == 0 {
 		return AppendOK(out)
 	}
+	ssp := sp.StartChild("scatter")
 	if proj == nil {
 		err = st.WriteAt(req.Data, req.Lo)
 	} else {
 		err = clusterfile.ScatterRange(st, req.Data, proj, req.Lo, req.Hi)
 	}
+	ssp.End()
 	if err != nil {
 		return s.errResp(out, ErrCodeIO, err.Error())
 	}
 	return AppendOK(out)
 }
 
-func (s *Server) handleReadSegs(out, payload []byte) []byte {
+func (s *Server) handleReadSegs(out, payload []byte, sp *obs.Span) []byte {
+	dsp := sp.StartChild("decode")
 	req, err := DecodeReadSegs(payload)
+	dsp.End()
 	if err != nil {
 		return s.errResp(out, ErrCodeBadRequest, err.Error())
 	}
@@ -507,7 +628,9 @@ func (s *Server) handleReadSegs(out, payload []byte) []byte {
 	if code != 0 {
 		return s.errResp(out, code, msg)
 	}
+	lw := sp.StartChild("lock_wait")
 	sf.mu.Lock()
+	lw.End()
 	defer sf.mu.Unlock()
 	// Grow first, like the in-process read path: unwritten holes read
 	// as zeroes, like any sparse file.
@@ -516,11 +639,13 @@ func (s *Server) handleReadSegs(out, payload []byte) []byte {
 	}
 	data := getFrameBuf(int(req.N))[:req.N]
 	defer putFrameBuf(data)
+	gsp := sp.StartChild("gather")
 	if proj == nil {
 		err = st.ReadAt(data, req.Lo)
 	} else {
 		err = clusterfile.GatherRange(data, st, proj, req.Lo, req.Hi)
 	}
+	gsp.End()
 	if err != nil {
 		return s.errResp(out, ErrCodeIO, err.Error())
 	}
@@ -542,7 +667,7 @@ func (s *Server) handleStat(out, payload []byte) []byte {
 	return AppendStatResp(out, n)
 }
 
-func (s *Server) handleClose(out, payload []byte) []byte {
+func (s *Server) handleClose(out, payload []byte, sp *obs.Span) []byte {
 	req, err := DecodeClose(payload)
 	if err != nil {
 		return s.errResp(out, ErrCodeBadRequest, err.Error())
@@ -559,14 +684,19 @@ func (s *Server) handleClose(out, payload []byte) []byte {
 		// success keeps blind client retry safe.
 		return AppendOK(out)
 	}
+	lw := sp.StartChild("lock_wait")
 	sf.mu.Lock()
+	lw.End()
 	defer sf.mu.Unlock()
+	// Closing a disk-backed store syncs it — the op's fsync cost.
+	fsp := sp.StartChild("fsync")
 	var firstErr error
 	for _, st := range sf.stores {
 		if err := st.Close(); err != nil && firstErr == nil {
 			firstErr = err
 		}
 	}
+	fsp.End()
 	if firstErr != nil {
 		return s.errResp(out, ErrCodeIO, firstErr.Error())
 	}

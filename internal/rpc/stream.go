@@ -10,6 +10,7 @@ import (
 
 	"parafile/internal/clusterfile"
 	"parafile/internal/falls"
+	"parafile/internal/obs"
 	"parafile/internal/redist"
 )
 
@@ -177,11 +178,12 @@ func (sc *srvConn) readLoop() {
 			go sc.runReadStream(sid, req)
 		default:
 			// Unary request: dispatch concurrently, responses serialize
-			// under the write lock.
+			// under the write lock. MsgTraced envelopes take this path
+			// too — dispatch unwraps them.
 			sc.wg.Add(1)
 			go func(sid uint64, msgType byte, body, payload []byte) {
 				defer sc.wg.Done()
-				resp := s.dispatch(getFrameBuf(64), msgType, payload)
+				resp := s.dispatch(getFrameBuf(64), msgType, payload, nil)
 				ReleaseFrame(body)
 				sc.sendResp(sid, resp)
 				putFrameBuf(resp)
@@ -210,6 +212,12 @@ type chunkFeed struct {
 	// holding it through a wait — that would let one stalled stream
 	// wedge every sibling stream of the same file.
 	onWait func()
+	// measure accumulates the blocked time into waitNs (stream-window
+	// stalls: the client is slower than the scatter). Only set when
+	// the stream is traced, so the untraced hot loop never reads the
+	// clock for it.
+	measure bool
+	waitNs  int64
 }
 
 // take returns up to n unconsumed stream bytes (aliasing the chunk
@@ -247,7 +255,13 @@ func (f *chunkFeed) take(n int64) []byte {
 			if f.onWait != nil {
 				f.onWait()
 			}
-			ck, ok = <-f.chunks
+			if f.measure {
+				t0 := time.Now()
+				ck, ok = <-f.chunks
+				f.waitNs += time.Since(t0).Nanoseconds()
+			} else {
+				ck, ok = <-f.chunks
+			}
 		}
 		if !ok {
 			f.closed = true
@@ -282,8 +296,21 @@ func (sc *srvConn) runWriteStream(sid uint64, req *WriteStreamReq, st *srvWriteS
 	s.met.requests[MsgWriteStream].Inc()
 	s.met.streamsW.Inc()
 
-	feed := &chunkFeed{s: s, chunks: st.chunks}
+	// Traced stream: the span adopts the caller's trace; its records
+	// wait in the stash for the client's MsgSpans drain (the stream's
+	// own reply stays lean).
+	sp := s.startSpan("write_stream", req.TraceID, req.SpanID)
+	s.cfg.Tracer.Adopt(sp)
+	defer func() {
+		if sp != nil {
+			s.cfg.Tracer.FinishOp(sp)
+			s.stash.Put(req.TraceID, sp.Records(nil))
+		}
+	}()
+
+	feed := &chunkFeed{s: s, chunks: st.chunks, measure: sp != nil}
 	fail := func(code uint64, msg string) {
+		sp.Fail()
 		feed.drain()
 		if feed.closed {
 			return // connection gone; nobody to answer
@@ -334,9 +361,16 @@ func (sc *srvConn) runWriteStream(sid uint64, req *WriteStreamReq, st *srvWriteS
 	// feed is about to wait on the network (see chunkFeed.onWait) —
 	// amortized locking without wedging sibling streams.
 	locked := false
+	var lockNs int64
 	lock := func() {
 		if !locked {
-			sf.mu.Lock()
+			if sp != nil {
+				t0 := time.Now()
+				sf.mu.Lock()
+				lockNs += time.Since(t0).Nanoseconds()
+			} else {
+				sf.mu.Lock()
+			}
 			locked = true
 		}
 	}
@@ -352,6 +386,7 @@ func (sc *srvConn) runWriteStream(sid uint64, req *WriteStreamReq, st *srvWriteS
 		lock()
 		return store.WriteAt(b, off)
 	}
+	ssp := sp.StartChild("scatter")
 	var werr error
 	if proj == nil {
 		pos := req.Lo
@@ -389,14 +424,22 @@ func (sc *srvConn) runWriteStream(sid uint64, req *WriteStreamReq, st *srvWriteS
 		})
 	}
 	feed.drain()
+	// The accumulated waits surface as pre-measured children: lock
+	// contention and stream-window stalls both live inside the scatter.
+	ssp.AddInterval("lock_wait", start, time.Duration(lockNs))
+	ssp.AddInterval("stream_stall", start, time.Duration(feed.waitNs))
+	ssp.End()
 	switch {
 	case feed.aborted || feed.closed:
 		// Abandoned by the client (or the connection died): no reply.
+		sp.Fail()
 		return
 	case werr != nil:
+		sp.Fail()
 		sc.sendErr(sid, ErrCodeIO, werr.Error())
 		return
 	case feed.received != req.Total:
+		sp.Fail()
 		sc.sendErr(sid, ErrCodeBadRequest,
 			fmt.Sprintf("stream carried %d bytes, announced %d", feed.received, req.Total))
 		return
@@ -428,12 +471,25 @@ func (sc *srvConn) runReadStream(sid uint64, req *ReadStreamReq) {
 	s.met.requests[MsgReadStream].Inc()
 	s.met.streamsR.Inc()
 
+	sp := s.startSpan("read_stream", req.TraceID, req.SpanID)
+	s.cfg.Tracer.Adopt(sp)
+	defer func() {
+		if sp != nil {
+			s.cfg.Tracer.FinishOp(sp)
+			s.stash.Put(req.TraceID, sp.Records(nil))
+		}
+	}()
+	fail := func(code uint64, msg string) {
+		sp.Fail()
+		sc.sendErr(sid, code, msg)
+	}
+
 	if s.draining.Load() {
-		sc.sendErr(sid, ErrCodeShuttingDown, "server draining")
+		fail(ErrCodeShuttingDown, "server draining")
 		return
 	}
 	if req.N < 0 || req.Hi < req.Lo-1 || req.Lo < 0 {
-		sc.sendErr(sid, ErrCodeBadRequest,
+		fail(ErrCodeBadRequest,
 			fmt.Sprintf("bad read window [%d,%d] of %d bytes", req.Lo, req.Hi, req.N))
 		return
 	}
@@ -441,24 +497,24 @@ func (sc *srvConn) runReadStream(sid uint64, req *ReadStreamReq) {
 	if req.Fingerprint != 0 {
 		var ok bool
 		if proj, ok = s.projection(req.Fingerprint); !ok {
-			sc.sendErr(sid, ErrCodeUnknownProjection,
+			fail(ErrCodeUnknownProjection,
 				fmt.Sprintf("projection %#x not registered", req.Fingerprint))
 			return
 		}
 		if want := proj.BytesIn(req.Lo, req.Hi); want != req.N {
-			sc.sendErr(sid, ErrCodeBadRequest,
+			fail(ErrCodeBadRequest,
 				fmt.Sprintf("projection selects %d bytes in [%d,%d], request asks for %d",
 					want, req.Lo, req.Hi, req.N))
 			return
 		}
 	} else if req.N != req.Hi-req.Lo+1 {
-		sc.sendErr(sid, ErrCodeBadRequest,
+		fail(ErrCodeBadRequest,
 			fmt.Sprintf("contiguous read of %d bytes from window [%d,%d]", req.N, req.Lo, req.Hi))
 		return
 	}
 	sf, store, code, msg := s.lookup(req.File, req.Subfile)
 	if code != 0 {
-		sc.sendErr(sid, code, msg)
+		fail(code, msg)
 		return
 	}
 	// Grow first, like the single-frame read path: unwritten holes read
@@ -467,7 +523,7 @@ func (sc *srvConn) runReadStream(sid uint64, req *ReadStreamReq) {
 	err := store.EnsureLen(req.Hi + 1)
 	sf.mu.Unlock()
 	if err != nil {
-		sc.sendErr(sid, ErrCodeIO, err.Error())
+		fail(ErrCodeIO, err.Error())
 		return
 	}
 
@@ -485,10 +541,11 @@ func (sc *srvConn) runReadStream(sid uint64, req *ReadStreamReq) {
 	sc.wg.Add(1)
 	go func() {
 		defer sc.wg.Done()
-		perrCh <- sc.gatherChunks(req, proj, sf, store, cs, ch, &dead)
+		perrCh <- sc.gatherChunks(req, proj, sf, store, cs, ch, &dead, sp)
 		close(ch)
 	}()
 
+	var sendNs int64
 	sendFailed := false
 	for p := range ch {
 		if sendFailed {
@@ -500,7 +557,14 @@ func (sc *srvConn) runReadStream(sid uint64, req *ReadStreamReq) {
 			flags = flagChunkLast
 		}
 		hdr := appendChunkHdr(getFrameBuf(16), MsgDataChunk, sid, flags)
-		err := sc.send(hdr, p.data)
+		var err error
+		if sp != nil {
+			t0 := time.Now()
+			err = sc.send(hdr, p.data)
+			sendNs += time.Since(t0).Nanoseconds()
+		} else {
+			err = sc.send(hdr, p.data)
+		}
 		putFrameBuf(hdr)
 		putFrameBuf(p.data)
 		if err != nil {
@@ -510,10 +574,17 @@ func (sc *srvConn) runReadStream(sid uint64, req *ReadStreamReq) {
 		}
 		s.met.chunksSent.Inc()
 	}
-	if perr := <-perrCh; perr != nil && perr != errSenderDead && !sendFailed {
+	// Time spent pushing chunks down the connection: wire transmission
+	// plus the stall when the client's window is full.
+	sp.AddInterval("send", start, time.Duration(sendNs))
+	perr := <-perrCh
+	if sendFailed {
+		sp.Fail()
+	}
+	if perr != nil && perr != errSenderDead && !sendFailed {
 		// Mid-stream store failure: the error frame terminates the
 		// stream, whether or not data chunks already traveled.
-		sc.sendErr(sid, ErrCodeIO, perr.Error())
+		fail(ErrCodeIO, perr.Error())
 	}
 }
 
@@ -522,14 +593,23 @@ func (sc *srvConn) runReadStream(sid uint64, req *ReadStreamReq) {
 // chunk-sized pooled buffers, and hands each completed chunk to the
 // sender. The final chunk is flagged last (and may be empty for N=0).
 func (sc *srvConn) gatherChunks(req *ReadStreamReq, proj *redist.Projection, sf *serverFile,
-	store clusterfile.Storage, cs int, ch chan<- streamPiece, dead *atomic.Bool) error {
+	store clusterfile.Storage, cs int, ch chan<- streamPiece, dead *atomic.Bool, sp *obs.Span) error {
 	// The file lock is held across each chunk's worth of store reads
 	// and dropped before handing the chunk to the sender (a potential
 	// wait on the network), mirroring the write-side scatter.
+	gsp := sp.StartChild("gather")
+	gstart := time.Now()
 	locked := false
+	var lockNs, stallNs int64
 	lock := func() {
 		if !locked {
-			sf.mu.Lock()
+			if sp != nil {
+				t0 := time.Now()
+				sf.mu.Lock()
+				lockNs += time.Since(t0).Nanoseconds()
+			} else {
+				sf.mu.Lock()
+			}
 			locked = true
 		}
 	}
@@ -540,6 +620,11 @@ func (sc *srvConn) gatherChunks(req *ReadStreamReq, proj *redist.Projection, sf 
 		}
 	}
 	defer unlock()
+	defer func() {
+		gsp.AddInterval("lock_wait", gstart, time.Duration(lockNs))
+		gsp.AddInterval("stream_stall", gstart, time.Duration(stallNs))
+		gsp.End()
+	}()
 	buf := getFrameBuf(cs)[:0]
 	emit := func(last bool) bool {
 		unlock()
@@ -548,7 +633,15 @@ func (sc *srvConn) gatherChunks(req *ReadStreamReq, proj *redist.Projection, sf 
 			buf = nil
 			return false
 		}
-		ch <- streamPiece{data: buf, last: last}
+		if sp != nil {
+			// The hand-off blocks when the sender's window is full:
+			// the read-side stream stall.
+			t0 := time.Now()
+			ch <- streamPiece{data: buf, last: last}
+			stallNs += time.Since(t0).Nanoseconds()
+		} else {
+			ch <- streamPiece{data: buf, last: last}
+		}
 		buf = nil
 		if !last {
 			buf = getFrameBuf(cs)[:0]

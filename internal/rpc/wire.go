@@ -32,6 +32,7 @@ import (
 	"sync/atomic"
 
 	"parafile/internal/codec"
+	"parafile/internal/obs"
 )
 
 // ProtoVersion tags every frame; a daemon refuses frames from a newer
@@ -99,6 +100,19 @@ const (
 	// addressing as MsgReadSegs plus the chunk size the client wants;
 	// the server answers with MsgDataChunk frames.
 	MsgReadStream byte = 0x0C
+	// MsgTraced is the tracing envelope: [uvarint trace id][uvarint
+	// parent span id][inner type][inner payload]. The server runs the
+	// inner request under a span adopted into the caller's trace and
+	// answers with MsgTracedResp carrying the completed span records
+	// piggybacked ahead of the inner response. Sent only after the
+	// peer advertised FeatureTrace in the hello exchange.
+	MsgTraced byte = 0x0D
+	// MsgSpans drains the span records a streamed operation left
+	// behind: [uvarint trace id] → MsgSpansResp. Streamed transfers
+	// carry their trace IDs in the stream-open request instead of an
+	// envelope, and their replies stay lean; the client collects the
+	// server-side spans with one drain call after the stream settles.
+	MsgSpans byte = 0x0E
 )
 
 // Response message types.
@@ -111,7 +125,21 @@ const (
 	// MsgDataChunk carries one slice of a read stream's gathered bytes:
 	// [flags byte][bytes]. flagChunkLast marks the final slice.
 	MsgDataChunk byte = 0x15
+	// MsgTracedResp answers MsgTraced: [span records][inner type]
+	// [inner payload].
+	MsgTracedResp byte = 0x16
+	// MsgSpansResp answers MsgSpans: [span records].
+	MsgSpansResp byte = 0x17
 	MsgError     byte = 0x1F
+)
+
+// Feature bits exchanged in the hello negotiation (a uvarint bitmask
+// trailing the version; absent means zero, so pre-feature daemons and
+// clients interoperate unchanged).
+const (
+	// FeatureTrace: the peer accepts MsgTraced envelopes, trace IDs on
+	// stream-open requests, and MsgSpans drains.
+	FeatureTrace uint64 = 1 << 0
 )
 
 // Chunk frame flags (first payload byte of MsgWriteChunk/MsgDataChunk).
@@ -153,6 +181,14 @@ func MsgName(t byte) string {
 		return "read_stream"
 	case MsgDataChunk:
 		return "data_chunk"
+	case MsgTraced:
+		return "traced"
+	case MsgSpans:
+		return "spans"
+	case MsgTracedResp:
+		return "traced_resp"
+	case MsgSpansResp:
+		return "spans_resp"
 	case MsgOK:
 		return "ok"
 	case MsgData:
@@ -726,38 +762,90 @@ func DecodeStatResp(payload []byte) (int64, error) {
 // AppendHello encodes the version-negotiation request: the newest
 // protocol generation the client speaks.
 func AppendHello(buf []byte, want byte) []byte {
-	buf = beginFrame(buf, MsgHello)
-	return codec.AppendUvarint(buf, uint64(want))
+	return AppendHelloFeatures(buf, want, 0)
 }
 
-// DecodeHello decodes a MsgHello payload.
+// AppendHelloFeatures encodes the negotiation request with a feature
+// bitmask. A zero mask appends nothing, keeping the request
+// byte-identical to the pre-feature encoding — old daemons reject a
+// trailing field they do not know, so a client only grows the frame
+// when it actually wants a feature.
+func AppendHelloFeatures(buf []byte, want byte, features uint64) []byte {
+	buf = beginFrame(buf, MsgHello)
+	buf = codec.AppendUvarint(buf, uint64(want))
+	if features != 0 {
+		buf = codec.AppendUvarint(buf, features)
+	}
+	return buf
+}
+
+// DecodeHello decodes a MsgHello payload (features discarded).
 func DecodeHello(payload []byte) (byte, error) {
+	v, _, err := DecodeHelloFeatures(payload)
+	return v, err
+}
+
+// DecodeHelloFeatures decodes a MsgHello payload. An absent features
+// field decodes as zero, so pre-feature clients parse unchanged.
+func DecodeHelloFeatures(payload []byte) (byte, uint64, error) {
 	v, payload, err := readUvarint(payload)
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	if v < 1 || v > 255 {
-		return 0, fmt.Errorf("%w: implausible protocol version %d", ErrCorrupt, v)
+		return 0, 0, fmt.Errorf("%w: implausible protocol version %d", ErrCorrupt, v)
 	}
-	return byte(v), wantEmpty(payload)
+	var features uint64
+	if len(payload) > 0 {
+		if features, payload, err = readUvarint(payload); err != nil {
+			return 0, 0, err
+		}
+	}
+	return byte(v), features, wantEmpty(payload)
 }
 
 // AppendHelloResp encodes the agreed protocol version.
 func AppendHelloResp(buf []byte, ver byte) []byte {
-	buf = beginFrame(buf, MsgHelloResp)
-	return codec.AppendUvarint(buf, uint64(ver))
+	return AppendHelloRespFeatures(buf, ver, 0)
 }
 
-// DecodeHelloResp decodes a MsgHelloResp payload.
+// AppendHelloRespFeatures encodes the agreed version plus the feature
+// bits the server both understands and saw requested. As with the
+// request, a zero mask appends nothing — a client that did not ask
+// for features gets the byte-identical legacy response.
+func AppendHelloRespFeatures(buf []byte, ver byte, features uint64) []byte {
+	buf = beginFrame(buf, MsgHelloResp)
+	buf = codec.AppendUvarint(buf, uint64(ver))
+	if features != 0 {
+		buf = codec.AppendUvarint(buf, features)
+	}
+	return buf
+}
+
+// DecodeHelloResp decodes a MsgHelloResp payload (features
+// discarded).
 func DecodeHelloResp(payload []byte) (byte, error) {
+	v, _, err := DecodeHelloRespFeatures(payload)
+	return v, err
+}
+
+// DecodeHelloRespFeatures decodes a MsgHelloResp payload; an absent
+// features field decodes as zero.
+func DecodeHelloRespFeatures(payload []byte) (byte, uint64, error) {
 	v, payload, err := readUvarint(payload)
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	if v < 1 || v > 255 {
-		return 0, fmt.Errorf("%w: implausible protocol version %d", ErrCorrupt, v)
+		return 0, 0, fmt.Errorf("%w: implausible protocol version %d", ErrCorrupt, v)
 	}
-	return byte(v), wantEmpty(payload)
+	var features uint64
+	if len(payload) > 0 {
+		if features, payload, err = readUvarint(payload); err != nil {
+			return 0, 0, err
+		}
+	}
+	return byte(v), features, wantEmpty(payload)
 }
 
 // ChecksumReq asks for the CRC32C of subfile bytes [Off, Off+N); bytes
@@ -880,6 +968,11 @@ type WriteStreamReq struct {
 	Fingerprint uint64
 	Lo, Hi      int64
 	Total       int64
+	// TraceID/SpanID tie the stream into a distributed trace; both
+	// zero (the default) encodes byte-identically to the pre-tracing
+	// request. Only sent to peers that advertised FeatureTrace.
+	TraceID uint64
+	SpanID  uint64
 }
 
 // AppendWriteStream encodes req as a v3 frame body on stream sid.
@@ -891,6 +984,10 @@ func AppendWriteStream(buf []byte, sid uint64, req *WriteStreamReq) []byte {
 	buf = codec.AppendVarint(buf, req.Lo)
 	buf = codec.AppendVarint(buf, req.Hi)
 	buf = codec.AppendVarint(buf, req.Total)
+	if req.TraceID != 0 {
+		buf = codec.AppendUvarint(buf, req.TraceID)
+		buf = codec.AppendUvarint(buf, req.SpanID)
+	}
 	return buf
 }
 
@@ -917,6 +1014,14 @@ func DecodeWriteStream(payload []byte) (*WriteStreamReq, error) {
 	if req.Total, payload, err = readVarint(payload); err != nil {
 		return nil, err
 	}
+	if len(payload) > 0 {
+		if req.TraceID, payload, err = readUvarint(payload); err != nil {
+			return nil, err
+		}
+		if req.SpanID, payload, err = readUvarint(payload); err != nil {
+			return nil, err
+		}
+	}
 	return req, wantEmpty(payload)
 }
 
@@ -930,6 +1035,10 @@ type ReadStreamReq struct {
 	Lo, Hi      int64
 	N           int64
 	ChunkSize   int64
+	// TraceID/SpanID as on WriteStreamReq: zero encodes the legacy
+	// bytes, non-zero only travels to FeatureTrace peers.
+	TraceID uint64
+	SpanID  uint64
 }
 
 // AppendReadStream encodes req as a v3 frame body on stream sid.
@@ -942,6 +1051,10 @@ func AppendReadStream(buf []byte, sid uint64, req *ReadStreamReq) []byte {
 	buf = codec.AppendVarint(buf, req.Hi)
 	buf = codec.AppendVarint(buf, req.N)
 	buf = codec.AppendVarint(buf, req.ChunkSize)
+	if req.TraceID != 0 {
+		buf = codec.AppendUvarint(buf, req.TraceID)
+		buf = codec.AppendUvarint(buf, req.SpanID)
+	}
 	return buf
 }
 
@@ -971,5 +1084,172 @@ func DecodeReadStream(payload []byte) (*ReadStreamReq, error) {
 	if req.ChunkSize, payload, err = readVarint(payload); err != nil {
 		return nil, err
 	}
+	if len(payload) > 0 {
+		if req.TraceID, payload, err = readUvarint(payload); err != nil {
+			return nil, err
+		}
+		if req.SpanID, payload, err = readUvarint(payload); err != nil {
+			return nil, err
+		}
+	}
 	return req, wantEmpty(payload)
+}
+
+// --- tracing extension: span records, the traced envelope, drains ---
+
+// maxSpanRecords bounds a decoded record batch: no legitimate op tree
+// is deeper or wider than this, and the cap stops a corrupt count
+// from allocating the machine away.
+const maxSpanRecords = 1 << 16
+
+func appendSpanRecord(buf []byte, r *obs.SpanRecord) []byte {
+	buf = codec.AppendUvarint(buf, r.TraceID)
+	buf = codec.AppendUvarint(buf, r.SpanID)
+	buf = codec.AppendUvarint(buf, r.Parent)
+	buf = appendString(buf, r.Name)
+	buf = appendString(buf, r.Node)
+	buf = codec.AppendVarint(buf, r.Start)
+	buf = codec.AppendVarint(buf, r.End)
+	var e byte
+	if r.Err {
+		e = 1
+	}
+	return append(buf, e)
+}
+
+func readSpanRecord(payload []byte) (obs.SpanRecord, []byte, error) {
+	var r obs.SpanRecord
+	var err error
+	if r.TraceID, payload, err = readUvarint(payload); err != nil {
+		return r, nil, err
+	}
+	if r.SpanID, payload, err = readUvarint(payload); err != nil {
+		return r, nil, err
+	}
+	if r.Parent, payload, err = readUvarint(payload); err != nil {
+		return r, nil, err
+	}
+	if r.Name, payload, err = readString(payload); err != nil {
+		return r, nil, err
+	}
+	if r.Node, payload, err = readString(payload); err != nil {
+		return r, nil, err
+	}
+	if r.Start, payload, err = readVarint(payload); err != nil {
+		return r, nil, err
+	}
+	if r.End, payload, err = readVarint(payload); err != nil {
+		return r, nil, err
+	}
+	if len(payload) < 1 {
+		return r, nil, fmt.Errorf("%w: span record without error byte", ErrCorrupt)
+	}
+	r.Err = payload[0] != 0
+	return r, payload[1:], nil
+}
+
+// AppendSpanRecords encodes a uvarint count followed by the records.
+func AppendSpanRecords(buf []byte, recs []obs.SpanRecord) []byte {
+	buf = codec.AppendUvarint(buf, uint64(len(recs)))
+	for i := range recs {
+		buf = appendSpanRecord(buf, &recs[i])
+	}
+	return buf
+}
+
+// ReadSpanRecords decodes a record batch, returning the remainder.
+func ReadSpanRecords(payload []byte) ([]obs.SpanRecord, []byte, error) {
+	n, payload, err := readUvarint(payload)
+	if err != nil {
+		return nil, nil, err
+	}
+	if n > maxSpanRecords {
+		return nil, nil, fmt.Errorf("%w: implausible span record count %d", ErrCorrupt, n)
+	}
+	recs := make([]obs.SpanRecord, 0, n)
+	for i := uint64(0); i < n; i++ {
+		var r obs.SpanRecord
+		if r, payload, err = readSpanRecord(payload); err != nil {
+			return nil, nil, err
+		}
+		recs = append(recs, r)
+	}
+	return recs, payload, nil
+}
+
+// AppendTracedHdr begins a MsgTraced envelope; the caller appends the
+// inner request's type byte and payload after it.
+func AppendTracedHdr(buf []byte, traceID, parent uint64) []byte {
+	buf = beginFrame(buf, MsgTraced)
+	buf = codec.AppendUvarint(buf, traceID)
+	return codec.AppendUvarint(buf, parent)
+}
+
+// DecodeTraced splits a MsgTraced payload into the trace identifiers
+// and the inner request (type + payload, aliasing the input).
+func DecodeTraced(payload []byte) (traceID, parent uint64, innerType byte, inner []byte, err error) {
+	if traceID, payload, err = readUvarint(payload); err != nil {
+		return 0, 0, 0, nil, err
+	}
+	if parent, payload, err = readUvarint(payload); err != nil {
+		return 0, 0, 0, nil, err
+	}
+	if traceID == 0 {
+		return 0, 0, 0, nil, fmt.Errorf("%w: traced envelope without trace id", ErrCorrupt)
+	}
+	if len(payload) < 1 {
+		return 0, 0, 0, nil, fmt.Errorf("%w: traced envelope without inner request", ErrCorrupt)
+	}
+	return traceID, parent, payload[0], payload[1:], nil
+}
+
+// AppendTracedResp wraps a complete inner response frame body (as
+// produced by the Append* response builders: [ver][type][payload])
+// into a MsgTracedResp envelope carrying the server's span records.
+func AppendTracedResp(buf []byte, recs []obs.SpanRecord, inner []byte) []byte {
+	buf = beginFrame(buf, MsgTracedResp)
+	buf = AppendSpanRecords(buf, recs)
+	return append(buf, inner[1:]...) // drop the inner version byte
+}
+
+// DecodeTracedResp splits a MsgTracedResp payload into the span
+// records and the inner response (type + payload, aliasing input).
+func DecodeTracedResp(payload []byte) (recs []obs.SpanRecord, innerType byte, inner []byte, err error) {
+	if recs, payload, err = ReadSpanRecords(payload); err != nil {
+		return nil, 0, nil, err
+	}
+	if len(payload) < 1 {
+		return nil, 0, nil, fmt.Errorf("%w: traced response without inner response", ErrCorrupt)
+	}
+	return recs, payload[0], payload[1:], nil
+}
+
+// AppendSpansReq encodes a MsgSpans drain request.
+func AppendSpansReq(buf []byte, traceID uint64) []byte {
+	buf = beginFrame(buf, MsgSpans)
+	return codec.AppendUvarint(buf, traceID)
+}
+
+// DecodeSpansReq decodes a MsgSpans payload.
+func DecodeSpansReq(payload []byte) (uint64, error) {
+	traceID, payload, err := readUvarint(payload)
+	if err != nil {
+		return 0, err
+	}
+	return traceID, wantEmpty(payload)
+}
+
+// AppendSpansResp encodes the drained records.
+func AppendSpansResp(buf []byte, recs []obs.SpanRecord) []byte {
+	buf = beginFrame(buf, MsgSpansResp)
+	return AppendSpanRecords(buf, recs)
+}
+
+// DecodeSpansResp decodes a MsgSpansResp payload.
+func DecodeSpansResp(payload []byte) ([]obs.SpanRecord, error) {
+	recs, payload, err := ReadSpanRecords(payload)
+	if err != nil {
+		return nil, err
+	}
+	return recs, wantEmpty(payload)
 }
