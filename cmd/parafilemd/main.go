@@ -1,0 +1,158 @@
+// Command parafilemd is the parafile metadata service daemon: it owns
+// the flat multi-file namespace (create/open/list/remove), the data
+// node membership table, and one versioned placement map per file
+// (epoch, node list, stripe assignment). State is persisted in a
+// crash-safe append-only log with snapshot compaction under -data-dir,
+// so a restart replays the namespace exactly to the last fsynced
+// record.
+//
+// Usage:
+//
+//	parafilemd [-listen 127.0.0.1:7060] [-data-dir DIR]
+//	           [-metrics-addr host:port] [-max-frame-mb 4]
+//	           [-snapshot-mb 1] [-fault SPEC] [-fault-seed N]
+//
+// Data daemons (parafiled) are registered by address via
+// `parafilectl add-node`; clients (internal/meta.Dial, parafilectl,
+// clusterfsdemo -meta) open files by name here, cache the placement
+// map and talk to the data daemons directly. Rebalances driven by
+// `parafilectl add-node/drain-node` flip a file's epoch through this
+// daemon's compare-and-swap commit. SIGTERM or SIGINT drains: the
+// listener closes, in-flight requests finish, and the log is synced
+// before exit.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
+	"time"
+
+	"parafile/internal/fault"
+	"parafile/internal/meta"
+	"parafile/internal/obs"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("parafilemd: ")
+	listen := flag.String("listen", "127.0.0.1:7060", "TCP address to serve the metadata protocol on (:0 picks a free port)")
+	dataDir := flag.String("data-dir", "", "directory for the namespace log and snapshots (default: a temporary directory, state lost on exit)")
+	metricsAddr := flag.String("metrics-addr", "", "serve the metadata metrics over HTTP on this address (/metrics, /metrics.json, /report)")
+	maxFrameMB := flag.Int64("max-frame-mb", 4, "maximum accepted frame size in MiB")
+	snapshotMB := flag.Int64("snapshot-mb", 1, "compact the append-only log into a snapshot once it exceeds this many MiB")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "how long a SIGTERM drain waits for in-flight requests")
+	faultSpec := flag.String("fault", "", "inject faults on accepted connections and log appends, e.g. error:0.01 (see internal/fault)")
+	faultSeed := flag.Int64("fault-seed", 1, "seed for probabilistic fault schedules (reproducible runs)")
+	flag.Parse()
+	if flag.NArg() > 0 {
+		log.Fatalf("unexpected arguments: %v", flag.Args())
+	}
+	if *maxFrameMB < 1 {
+		log.Fatalf("-max-frame-mb %d must be at least 1", *maxFrameMB)
+	}
+	if *snapshotMB < 1 {
+		log.Fatalf("-snapshot-mb %d must be at least 1", *snapshotMB)
+	}
+
+	reg := obs.NewRegistry()
+
+	var inj *fault.Injector
+	if *faultSpec != "" {
+		plan, err := fault.ParseSpec(*faultSpec, *faultSeed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		inj = fault.NewInjector(plan, reg)
+		fmt.Fprintf(os.Stderr, "parafilemd: FAULT INJECTION ACTIVE (%s, seed %d)\n", *faultSpec, *faultSeed)
+	}
+
+	dir := *dataDir
+	persistent := dir != ""
+	if !persistent {
+		tmp, err := os.MkdirTemp("", "parafilemd-*")
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer os.RemoveAll(tmp)
+		dir = tmp
+	}
+	store, err := meta.OpenStore(filepath.Join(dir), meta.StoreConfig{
+		Fault:         inj,
+		SnapshotEvery: *snapshotMB << 20,
+		Metrics:       reg,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer store.Close()
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	svc := meta.NewService(meta.ServiceConfig{
+		Store:    store,
+		MaxFrame: *maxFrameMB << 20,
+		Metrics:  reg,
+		Log:      obs.NewLogger(os.Stderr, "parafilemd@"+ln.Addr().String()),
+		Fault:    inj,
+	})
+	where := "ephemeral namespace in " + dir
+	if persistent {
+		where = "namespace under " + dir
+	}
+	fmt.Fprintf(os.Stderr, "parafilemd: listening on %s (%s)\n", ln.Addr(), where)
+
+	var metricsShutdown func(context.Context) error
+	if *metricsAddr != "" {
+		addr, shutdown, err := obs.ServeWith(*metricsAddr, reg, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		metricsShutdown = shutdown
+		fmt.Fprintf(os.Stderr, "parafilemd: serving metrics on http://%s/metrics (also /metrics.json, /report)\n", addr)
+	}
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- svc.Serve(ln) }()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case sig := <-sigCh:
+		fmt.Fprintf(os.Stderr, "parafilemd: %v, draining\n", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		failed := false
+		if err := svc.Shutdown(ctx); err != nil {
+			log.Printf("drain: %v", err)
+			failed = true
+		}
+		if metricsShutdown != nil {
+			if err := metricsShutdown(ctx); err != nil {
+				log.Printf("metrics shutdown: %v", err)
+				failed = true
+			}
+		}
+		if err := store.Close(); err != nil {
+			log.Printf("store close: %v", err)
+			failed = true
+		}
+		<-serveErr
+		if failed {
+			log.Fatal("drain failed")
+		}
+		fmt.Fprintln(os.Stderr, "parafilemd: drained, bye")
+	case err := <-serveErr:
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+}

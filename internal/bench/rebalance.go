@@ -1,0 +1,152 @@
+package bench
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math/rand"
+	"net"
+	"os"
+	"time"
+
+	"parafile/internal/meta"
+	"parafile/internal/obs"
+	"parafile/internal/rpc"
+)
+
+// rebalance.go measures the elastic path end to end: a file striped
+// over a metadata-managed cluster is rebalanced by membership changes
+// (add a node, drain a node), each move running as one paper
+// redistribution MAP_new ∘ MAP⁻¹_old under the fence/commit protocol.
+// The series reports rebalance throughput — bytes moved per second of
+// driver wall time, fences and CAS commit included — so regressions
+// in the control plane show up alongside data-path regressions.
+
+// RebalanceStat is one membership change's measured rebalance.
+type RebalanceStat struct {
+	// Step names the membership change, e.g. "add-node (3->4)".
+	Step string `json:"step"`
+	// FromEpoch/ToEpoch bracket the placement flip.
+	FromEpoch uint64 `json:"from_epoch"`
+	ToEpoch   uint64 `json:"to_epoch"`
+	// FileBytes is the logical file length; BytesMoved the inter-node
+	// redistribution traffic (replication makes it exceed FileBytes).
+	FileBytes  int64 `json:"file_bytes"`
+	BytesMoved int64 `json:"bytes_moved"`
+	Messages   int   `json:"messages"`
+	// MBps is BytesMoved over the driver wall time — fence, copy,
+	// commit and unfence included.
+	MBps   float64 `json:"mb_per_s"`
+	WallMs float64 `json:"wall_ms"`
+	// ByteIdentical reports the post-move read-back against the
+	// original payload.
+	ByteIdentical bool `json:"byte_identical"`
+}
+
+// runRebalanceBench writes fileBytes through the metadata service onto
+// three daemons (replication 2), then times an add-node grow and a
+// drain of an original node, verifying the bytes after each move.
+func runRebalanceBench(fileBytes, stripeBytes int64, reg *obs.Registry) ([]RebalanceStat, error) {
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	dir, err := os.MkdirTemp("", "parafile-bench-meta-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	st, err := meta.OpenStore(dir, meta.StoreConfig{Metrics: reg})
+	if err != nil {
+		return nil, err
+	}
+	defer st.Close()
+	svc := meta.NewService(meta.ServiceConfig{Store: st, Metrics: reg})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	go svc.Serve(ln)
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		svc.Shutdown(ctx)
+	}()
+
+	var daemons []string
+	for i := 0; i < 4; i++ {
+		addr, stop, err := startBenchDaemon(reg)
+		if err != nil {
+			return nil, err
+		}
+		defer stop()
+		daemons = append(daemons, addr)
+	}
+
+	fs := meta.Dial(ln.Addr().String(), meta.Options{Metrics: reg})
+	defer fs.Close()
+	ctx := context.Background()
+	for _, addr := range daemons[:3] {
+		if _, err := fs.SetNode(ctx, addr, rpc.NodeActive); err != nil {
+			return nil, err
+		}
+	}
+
+	f, err := fs.Create(ctx, "bench", stripeBytes, 2)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	payload := make([]byte, fileBytes)
+	rand.New(rand.NewSource(8)).Read(payload)
+	if err := f.WriteAt(ctx, payload, 0); err != nil {
+		return nil, err
+	}
+
+	check := func() (bool, error) {
+		got := make([]byte, len(payload))
+		if err := f.ReadAt(ctx, got, 0); err != nil {
+			return false, err
+		}
+		return bytes.Equal(got, payload), nil
+	}
+
+	var stats []RebalanceStat
+	record := func(step string, results []*meta.RebalanceResult) error {
+		if len(results) != 1 || !results[0].Moved {
+			return fmt.Errorf("rebalance bench: %s moved %d files, want 1", step, len(results))
+		}
+		r := results[0]
+		same, err := check()
+		if err != nil {
+			return fmt.Errorf("rebalance bench: read-back after %s: %w", step, err)
+		}
+		stats = append(stats, RebalanceStat{
+			Step:          step,
+			FromEpoch:     r.FromEpoch,
+			ToEpoch:       r.ToEpoch,
+			FileBytes:     fileBytes,
+			BytesMoved:    r.BytesMoved,
+			Messages:      r.Messages,
+			MBps:          mbps(r.BytesMoved, r.Wall),
+			WallMs:        float64(r.Wall.Nanoseconds()) / 1e6,
+			ByteIdentical: same,
+		})
+		return nil
+	}
+
+	grow, err := fs.AddNode(ctx, daemons[3])
+	if err != nil {
+		return nil, fmt.Errorf("rebalance bench: add-node: %w", err)
+	}
+	if err := record("add-node (3->4)", grow); err != nil {
+		return nil, err
+	}
+	shrink, err := fs.DrainNode(ctx, daemons[0])
+	if err != nil {
+		return nil, fmt.Errorf("rebalance bench: drain-node: %w", err)
+	}
+	if err := record("drain-node (4->3)", shrink); err != nil {
+		return nil, err
+	}
+	return stats, nil
+}

@@ -42,6 +42,11 @@ type ThroughputOptions struct {
 	// transport after one untimed warmup (default 3, short 2); the
 	// median is reported.
 	Reps int
+	// RebalanceBytes is the file length for the elastic rebalance
+	// series (default 32 MiB, short 2 MiB; negative skips the series).
+	RebalanceBytes int64
+	// RebalanceStripe is that file's stripe unit (default 256 KiB).
+	RebalanceStripe int64
 	// Short selects the CI smoke-test scale.
 	Short bool
 	// Metrics, when non-nil, receives the client- and server-side RPC
@@ -77,6 +82,15 @@ func (o *ThroughputOptions) fillDefaults() {
 			o.Reps = 2
 		}
 	}
+	if o.RebalanceBytes == 0 {
+		o.RebalanceBytes = 32 << 20
+		if o.Short {
+			o.RebalanceBytes = 2 << 20
+		}
+	}
+	if o.RebalanceStripe <= 0 {
+		o.RebalanceStripe = 256 << 10
+	}
 }
 
 // LatencyStat is a per-operation latency summary in microseconds.
@@ -108,21 +122,24 @@ type RedistModeStat struct {
 // ThroughputReport is the full benchmark record (the shape of
 // BENCH_6.json).
 type ThroughputReport struct {
-	GOMAXPROCS    int              `json:"gomaxprocs"`
-	OpBytes       int64            `json:"op_bytes"`
-	Ops           int              `json:"ops"`
-	ChunkSize     int              `json:"chunk_size"`
-	MatrixN       int64            `json:"matrix_n"`
-	RedistSpec    string           `json:"redist_spec"`
-	Short         bool             `json:"short"`
-	Wire          []WireModeStat   `json:"wire"`
-	Redistribute  []RedistModeStat `json:"redistribute"`
-	WriteSpeedup  float64          `json:"write_speedup_streamed_vs_monolithic"`
-	ReadSpeedup   float64          `json:"read_speedup_streamed_vs_monolithic"`
-	RedistSpeedup float64          `json:"redist_speedup_streamed_vs_monolithic"`
-	ByteIdentical bool             `json:"byte_identical"`
-	FramePoolDiscards int64        `json:"frame_pool_discards"`
-	MsgBufDiscards    int64        `json:"msgbuf_discards"`
+	GOMAXPROCS   int              `json:"gomaxprocs"`
+	OpBytes      int64            `json:"op_bytes"`
+	Ops          int              `json:"ops"`
+	ChunkSize    int              `json:"chunk_size"`
+	MatrixN      int64            `json:"matrix_n"`
+	RedistSpec   string           `json:"redist_spec"`
+	Short        bool             `json:"short"`
+	Wire         []WireModeStat   `json:"wire"`
+	Redistribute []RedistModeStat `json:"redistribute"`
+	// Rebalance is the elastic series: membership changes through the
+	// metadata service, each move one online paper redistribution.
+	Rebalance         []RebalanceStat `json:"rebalance"`
+	WriteSpeedup      float64         `json:"write_speedup_streamed_vs_monolithic"`
+	ReadSpeedup       float64         `json:"read_speedup_streamed_vs_monolithic"`
+	RedistSpeedup     float64         `json:"redist_speedup_streamed_vs_monolithic"`
+	ByteIdentical     bool            `json:"byte_identical"`
+	FramePoolDiscards int64           `json:"frame_pool_discards"`
+	MsgBufDiscards    int64           `json:"msgbuf_discards"`
 }
 
 // startBenchDaemon runs one in-memory daemon on loopback.
@@ -413,6 +430,21 @@ func RunThroughput(opts ThroughputOptions) (*ThroughputReport, error) {
 			}
 		}
 	}
+	// Elastic rebalance: add-node then drain-node through the metadata
+	// service, bytes verified after each move.
+	if opts.RebalanceBytes > 0 {
+		stats, err := runRebalanceBench(opts.RebalanceBytes, opts.RebalanceStripe, opts.Metrics)
+		if err != nil {
+			return nil, err
+		}
+		rep.Rebalance = stats
+		for _, s := range stats {
+			if !s.ByteIdentical {
+				rep.ByteIdentical = false
+			}
+		}
+	}
+
 	rep.FramePoolDiscards = rpc.FramePoolDiscards()
 	rep.MsgBufDiscards = clusterfile.MsgBufDiscards()
 	return rep, nil

@@ -298,8 +298,13 @@ type File struct {
 	// Placement maps [replica][subfile] -> I/O node: row 0 is the
 	// primary assignment, row r places each subfile r nodes further
 	// round the ring, so every subfile's placement group is R distinct
-	// nodes.
+	// nodes. Files opened through CreateFilePlacementCtx carry explicit
+	// rows instead of the computed ring.
 	Placement [][]int
+	// Epoch is the placement epoch the file's handles were opened at
+	// (zero for files outside the metadata service's regime). Epoch-
+	// aware transports stamp it on every storage op.
+	Epoch uint64
 	// replicas holds [replica][subfile] handles; replicas[0] is the
 	// primary tier.
 	replicas [][]SubfileHandle
@@ -336,9 +341,6 @@ func (c *Cluster) CreateFileCtx(ctx context.Context, name string, phys *part.Fil
 }
 
 func (c *Cluster) createFileCtx(ctx context.Context, name string, phys *part.File, assign []int, repl int) (*File, error) {
-	if _, dup := c.files[name]; dup {
-		return nil, fmt.Errorf("clusterfile: file %q already exists", name)
-	}
 	if repl < 1 || repl > c.cfg.IONodes {
 		return nil, fmt.Errorf("clusterfile: replication %d outside [1,%d I/O nodes]", repl, c.cfg.IONodes)
 	}
@@ -352,28 +354,72 @@ func (c *Cluster) createFileCtx(ctx context.Context, name string, phys *part.Fil
 	if len(assign) != n {
 		return nil, fmt.Errorf("clusterfile: %d assignments for %d subfiles", len(assign), n)
 	}
-	for _, io := range assign {
-		if io < 0 || io >= c.cfg.IONodes {
-			return nil, fmt.Errorf("clusterfile: I/O node %d out of range [0,%d)", io, c.cfg.IONodes)
-		}
-	}
-	f := &File{
-		Name:        name,
-		Phys:        phys,
-		Assign:      assign,
-		Replication: repl,
-		Placement:   make([][]int, repl),
-		replicas:    make([][]SubfileHandle, repl),
-		mappers:     make([]*core.Mapper, n),
-		cluster:     c,
-	}
-	f.Placement[0] = assign
+	placement := make([][]int, repl)
+	placement[0] = assign
 	for r := 1; r < repl; r++ {
 		row := make([]int, n)
 		for i := range row {
 			row[i] = (assign[i] + r) % c.cfg.IONodes
 		}
-		f.Placement[r] = row
+		placement[r] = row
+	}
+	return c.createFilePlacement(ctx, name, phys, placement, 0)
+}
+
+// CreateFilePlacement registers a file with explicit placement rows —
+// [replica][subfile] -> I/O node — instead of the computed
+// (assign[s]+r) mod IONodes ring. The rebalance driver needs this: it
+// opens old and new generations inside one union cluster whose node
+// count matches neither generation's, so ring arithmetic would place
+// replicas wrong.
+func (c *Cluster) CreateFilePlacement(name string, phys *part.File, placement [][]int) (*File, error) {
+	return c.CreateFilePlacementCtx(context.Background(), name, phys, placement, 0)
+}
+
+// CreateFilePlacementCtx is CreateFilePlacement bounded by a context
+// and stamped with a placement epoch: when the transport is
+// epoch-aware (EpochTransport) every storage op of the file's handles
+// carries the epoch, so daemons reject stale ops. Epoch zero opens
+// unstamped.
+func (c *Cluster) CreateFilePlacementCtx(ctx context.Context, name string, phys *part.File, placement [][]int, epoch uint64) (*File, error) {
+	if len(placement) < 1 {
+		return nil, fmt.Errorf("clusterfile: placement needs at least one replica row")
+	}
+	if len(placement) > c.cfg.IONodes {
+		return nil, fmt.Errorf("clusterfile: %d replica rows over %d I/O nodes", len(placement), c.cfg.IONodes)
+	}
+	n := phys.Pattern.Len()
+	for r, row := range placement {
+		if len(row) != n {
+			return nil, fmt.Errorf("clusterfile: placement row %d has %d entries for %d subfiles", r, len(row), n)
+		}
+	}
+	return c.createFilePlacement(ctx, name, phys, placement, epoch)
+}
+
+func (c *Cluster) createFilePlacement(ctx context.Context, name string, phys *part.File, placement [][]int, epoch uint64) (*File, error) {
+	if _, dup := c.files[name]; dup {
+		return nil, fmt.Errorf("clusterfile: file %q already exists", name)
+	}
+	repl := len(placement)
+	n := phys.Pattern.Len()
+	for _, row := range placement {
+		for _, io := range row {
+			if io < 0 || io >= c.cfg.IONodes {
+				return nil, fmt.Errorf("clusterfile: I/O node %d out of range [0,%d)", io, c.cfg.IONodes)
+			}
+		}
+	}
+	f := &File{
+		Name:        name,
+		Phys:        phys,
+		Assign:      placement[0],
+		Replication: repl,
+		Placement:   placement,
+		Epoch:       epoch,
+		replicas:    make([][]SubfileHandle, repl),
+		mappers:     make([]*core.Mapper, n),
+		cluster:     c,
 	}
 	for i := 0; i < n; i++ {
 		m, err := core.NewMapper(phys, i)
@@ -384,8 +430,15 @@ func (c *Cluster) createFileCtx(ctx context.Context, name string, phys *part.Fil
 	}
 	octx, cancel := c.opCtx(ctx)
 	defer cancel()
+	et, epochAware := c.transport.(EpochTransport)
 	for r := 0; r < repl; r++ {
-		handles, err := c.transport.Open(octx, ReplicaName(name, r), phys, f.Placement[r])
+		var handles []SubfileHandle
+		var err error
+		if epochAware && epoch != 0 {
+			handles, err = et.OpenEpoch(octx, ReplicaName(name, r), phys, f.Placement[r], epoch)
+		} else {
+			handles, err = c.transport.Open(octx, ReplicaName(name, r), phys, f.Placement[r])
+		}
 		if err != nil {
 			for _, tier := range f.replicas[:r] {
 				for _, h := range tier {

@@ -243,6 +243,25 @@ func (c *Cluster) StartRedistribute(f *File, newName string, newPhys *part.File,
 // aborts the whole redistribution: staged destination data is
 // discarded and the new file's subfiles stay untouched.
 func (c *Cluster) StartRedistributeCtx(ctx context.Context, f *File, newName string, newPhys *part.File, newAssign []int, length int64) (*File, *RedistOp, error) {
+	return c.startRedistribute(ctx, f, newPhys, length, func(octx context.Context) (*File, error) {
+		return c.CreateFileCtx(octx, newName, newPhys, newAssign)
+	})
+}
+
+// StartRedistributePlacementCtx is StartRedistributeCtx with the new
+// file created under explicit placement rows and a placement epoch —
+// the online-rebalance shape: the metadata service computes the
+// post-rebalance placement, the driver opens the new generation at
+// epoch E+1 inside the union cluster of old and new nodes, and the
+// paper's redistribution (MAP_new ∘ MAP⁻¹_old) moves the bytes under
+// the same stage-then-commit machinery.
+func (c *Cluster) StartRedistributePlacementCtx(ctx context.Context, f *File, newName string, newPhys *part.File, placement [][]int, epoch uint64, length int64) (*File, *RedistOp, error) {
+	return c.startRedistribute(ctx, f, newPhys, length, func(octx context.Context) (*File, error) {
+		return c.CreateFilePlacementCtx(octx, newName, newPhys, placement, epoch)
+	})
+}
+
+func (c *Cluster) startRedistribute(ctx context.Context, f *File, newPhys *part.File, length int64, create func(context.Context) (*File, error)) (*File, *RedistOp, error) {
 	if f == nil {
 		return nil, nil, fmt.Errorf("clusterfile: nil file")
 	}
@@ -268,7 +287,7 @@ func (c *Cluster) StartRedistributeCtx(ctx context.Context, f *File, newName str
 	}
 	octx, cancel := c.opCtx(ctx)
 	octx, osp := c.startOp(octx, "redistribute")
-	nf, err := c.CreateFileCtx(octx, newName, newPhys, newAssign)
+	nf, err := create(octx)
 	if err != nil {
 		return nil, nil, c.abortStart(cancel, osp, err)
 	}

@@ -72,6 +72,17 @@ type Transport interface {
 	Close() error
 }
 
+// EpochTransport is the optional placement-epoch extension of a
+// Transport: OpenEpoch is Open with every returned handle's storage
+// operations stamped with the placement epoch, so daemons that track
+// epochs reject stale ops with ErrStalePlacement (and writes while
+// fenced). The rpc transport implements it; transports that do not
+// (the local one) are opened unstamped — epoch enforcement is a
+// property of the remote protocol, not of local stores.
+type EpochTransport interface {
+	OpenEpoch(ctx context.Context, name string, phys *part.File, assign []int, epoch uint64) ([]SubfileHandle, error)
+}
+
 // NewLocalTransport is the in-process transport: subfiles are local
 // Storage instances from the factory (nil selects in-memory stores).
 func NewLocalTransport(factory StorageFactory) Transport {

@@ -103,6 +103,10 @@ const (
 	OpDial      Op = "dial"
 	OpConnRead  Op = "conn_read"
 	OpConnWrite Op = "conn_write"
+	// Metadata-service operations (meta store durability points,
+	// injected via Fire). file carries the namespace entry's name.
+	OpMetaAppend   Op = "meta_append"
+	OpMetaSnapshot Op = "meta_snapshot"
 )
 
 // AnyNode makes a rule match every I/O node (and every connection).
@@ -288,6 +292,16 @@ func errFor(r *Rule, node int, op Op) error {
 		return r.Err
 	}
 	return &InjectedError{Node: node, Op: op, Kind: r.Kind}
+}
+
+// Fire evaluates the plan for one call at an arbitrary injection
+// point and executes the fault — the hook subsystems outside the
+// transport seam (the metadata store's durability points) use to join
+// the injector's deterministic timeline. Returns the injected error,
+// sleeps the delay, or hangs until ctx is cancelled; nil means the
+// call proceeds.
+func (inj *Injector) Fire(ctx context.Context, node int, op Op, file string) error {
+	return inj.fire(ctx, node, op, file)
 }
 
 // fire evaluates the plan for one transport-level call and executes

@@ -28,6 +28,26 @@ type faultTransport struct {
 }
 
 func (t *faultTransport) Open(ctx context.Context, name string, phys *part.File, assign []int) ([]clusterfile.SubfileHandle, error) {
+	return t.open(ctx, name, assign, func(ctx context.Context) ([]clusterfile.SubfileHandle, error) {
+		return t.inner.Open(ctx, name, phys, assign)
+	})
+}
+
+// OpenEpoch passes the placement epoch through to an epoch-aware inner
+// transport, keeping the fault layer transparent to the epoch
+// protocol. An inner transport without the extension opens unstamped.
+func (t *faultTransport) OpenEpoch(ctx context.Context, name string, phys *part.File, assign []int, epoch uint64) ([]clusterfile.SubfileHandle, error) {
+	return t.open(ctx, name, assign, func(ctx context.Context) ([]clusterfile.SubfileHandle, error) {
+		if et, ok := t.inner.(clusterfile.EpochTransport); ok {
+			return et.OpenEpoch(ctx, name, phys, assign, epoch)
+		}
+		return t.inner.Open(ctx, name, phys, assign)
+	})
+}
+
+var _ clusterfile.EpochTransport = (*faultTransport)(nil)
+
+func (t *faultTransport) open(ctx context.Context, name string, assign []int, inner func(context.Context) ([]clusterfile.SubfileHandle, error)) ([]clusterfile.SubfileHandle, error) {
 	// One open fault-check per distinct I/O node, in node order — the
 	// granularity a per-daemon CreateFile fan-out has.
 	seen := make(map[int]bool)
@@ -40,7 +60,7 @@ func (t *faultTransport) Open(ctx context.Context, name string, phys *part.File,
 			return nil, err
 		}
 	}
-	handles, err := t.inner.Open(ctx, name, phys, assign)
+	handles, err := inner(ctx)
 	if err != nil {
 		return nil, err
 	}

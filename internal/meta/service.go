@@ -1,0 +1,363 @@
+package meta
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log/slog"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"parafile/internal/fault"
+	"parafile/internal/obs"
+	"parafile/internal/rpc"
+)
+
+// service.go is the parafilemd daemon: a small TCP loop speaking the
+// storage wire's framing (length-prefixed frames, hello negotiation,
+// MsgError) but answering the namespace/placement messages instead of
+// the data-path ones. It caps the negotiated protocol at v2 — the
+// metadata exchanges are tiny unary round-trips, so the v3 mux buys
+// nothing; a default (v3-wanting) client falls back to classic pooled
+// connections on its own.
+
+// DefaultStripeBytes is the striping unit a create without an explicit
+// stripe gets: subfile s holds bytes [s*W, (s+1)*W) of each period.
+const DefaultStripeBytes = 64 << 10
+
+// ServiceConfig configures a metadata service.
+type ServiceConfig struct {
+	// Store is the durable namespace state (required).
+	Store *Store
+	// MaxFrame bounds accepted frame bodies (rpc.DefaultMaxFrame if 0).
+	MaxFrame int64
+	// Metrics receives the request series; nil records nothing.
+	Metrics *obs.Registry
+	// Log receives structured events; nil logs nothing.
+	Log *slog.Logger
+	// Fault, when non-nil, interposes on accepted connections
+	// (fault.OpDial, node 0) for robustness tests.
+	Fault *fault.Injector
+}
+
+// Service serves the metadata protocol on accepted connections.
+type Service struct {
+	cfg    ServiceConfig
+	maxVer byte
+
+	mu       sync.Mutex
+	conns    map[net.Conn]struct{}
+	ln       net.Listener
+	draining atomic.Bool
+	connWG   sync.WaitGroup
+
+	metRequests map[byte]*obs.Counter
+	metErrors   *obs.Counter
+}
+
+// NewService builds a metadata service over the given store.
+func NewService(cfg ServiceConfig) *Service {
+	if cfg.MaxFrame == 0 {
+		cfg.MaxFrame = rpc.DefaultMaxFrame
+	}
+	s := &Service{
+		cfg:    cfg,
+		maxVer: rpc.ProtoVersion2,
+		conns:  make(map[net.Conn]struct{}),
+	}
+	if reg := cfg.Metrics; reg != nil {
+		s.metRequests = make(map[byte]*obs.Counter)
+		for _, t := range []byte{
+			rpc.MsgHello, rpc.MsgPing,
+			rpc.MsgMetaCreate, rpc.MsgMetaOpen, rpc.MsgMetaList, rpc.MsgMetaRemove,
+			rpc.MsgMetaCommit, rpc.MsgMetaExtend, rpc.MsgMetaNodes, rpc.MsgMetaNode,
+		} {
+			s.metRequests[t] = reg.Counter(
+				fmt.Sprintf("parafile_meta_requests_total{type=%q}", rpc.MsgName(t)))
+		}
+		s.metErrors = reg.Counter("parafile_meta_errors_total")
+	}
+	return s
+}
+
+// Serve accepts connections until the listener closes.
+func (s *Service) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if s.draining.Load() {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.draining.Load() {
+			s.mu.Unlock()
+			conn.Close()
+			return nil
+		}
+		s.conns[conn] = struct{}{}
+		s.connWG.Add(1)
+		s.mu.Unlock()
+		go s.serveConn(conn)
+	}
+}
+
+// Shutdown stops accepting, closes every connection and waits for the
+// handlers (bounded by ctx).
+func (s *Service) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	s.mu.Lock()
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.connWG.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (s *Service) serveConn(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		s.connWG.Done()
+	}()
+	if inj := s.cfg.Fault; inj != nil {
+		if err := inj.Fire(context.Background(), 0, fault.OpDial, ""); err != nil {
+			return
+		}
+	}
+	for {
+		body, err := rpc.ReadFrame(conn, s.cfg.MaxFrame)
+		if err != nil {
+			return
+		}
+		reqVer := body[0]
+		msgType, payload, err := rpc.ParseFrame(body)
+		var resp []byte
+		if err != nil {
+			resp = rpc.AppendError(nil, rpc.ErrCodeBadRequest, err.Error())
+		} else {
+			if c := s.metRequests[msgType]; c != nil {
+				c.Inc()
+			}
+			resp = s.route(msgType, payload)
+		}
+		respVer := reqVer
+		if respVer > s.maxVer {
+			respVer = s.maxVer
+		}
+		werr := rpc.WriteFrameV(conn, resp, respVer)
+		rpc.ReleaseFrame(body)
+		if werr != nil {
+			return
+		}
+	}
+}
+
+func (s *Service) route(msgType byte, payload []byte) []byte {
+	switch msgType {
+	case rpc.MsgHello:
+		return s.handleHello(payload)
+	case rpc.MsgPing:
+		if len(payload) != 0 {
+			return s.errResp(rpc.ErrCodeBadRequest, "ping with payload")
+		}
+		return rpc.AppendOK(nil)
+	case rpc.MsgMetaCreate:
+		return s.handleCreate(payload)
+	case rpc.MsgMetaOpen:
+		return s.handleOpen(payload)
+	case rpc.MsgMetaList:
+		if len(payload) != 0 {
+			return s.errResp(rpc.ErrCodeBadRequest, "list with payload")
+		}
+		return rpc.AppendMetaListResp(nil, s.cfg.Store.List())
+	case rpc.MsgMetaRemove:
+		return s.handleRemove(payload)
+	case rpc.MsgMetaCommit:
+		return s.handleCommit(payload)
+	case rpc.MsgMetaExtend:
+		return s.handleExtend(payload)
+	case rpc.MsgMetaNodes:
+		if len(payload) != 0 {
+			return s.errResp(rpc.ErrCodeBadRequest, "nodes with payload")
+		}
+		return rpc.AppendMetaNodesResp(nil, s.cfg.Store.Nodes())
+	case rpc.MsgMetaNode:
+		return s.handleNode(payload)
+	}
+	return s.errResp(rpc.ErrCodeBadRequest, fmt.Sprintf("unknown message type %#x", msgType))
+}
+
+// handleHello negotiates min(client, v2) and grants FeaturePlacement:
+// this daemon IS the placement authority.
+func (s *Service) handleHello(payload []byte) []byte {
+	want, features, err := rpc.DecodeHelloFeatures(payload)
+	if err != nil {
+		return s.errResp(rpc.ErrCodeBadRequest, err.Error())
+	}
+	agreed := want
+	if agreed > s.maxVer {
+		agreed = s.maxVer
+	}
+	granted := rpc.FeaturePlacement & features
+	return rpc.AppendHelloRespFeatures(nil, agreed, granted)
+}
+
+// handleCreate computes the initial placement over the active nodes:
+// one subfile per active node, identity assign, epoch 1.
+func (s *Service) handleCreate(payload []byte) []byte {
+	req, err := rpc.DecodeMetaCreate(payload)
+	if err != nil {
+		return s.errResp(rpc.ErrCodeBadRequest, err.Error())
+	}
+	if req.Name == "" {
+		return s.errResp(rpc.ErrCodeBadRequest, "empty file name")
+	}
+	stripe := req.StripeBytes
+	if stripe == 0 {
+		stripe = DefaultStripeBytes
+	}
+	if stripe < 1 {
+		return s.errResp(rpc.ErrCodeBadRequest, fmt.Sprintf("bad stripe %d", stripe))
+	}
+	repl := req.Replication
+	if repl == 0 {
+		repl = 1
+	}
+	active := s.cfg.Store.ActiveNodes()
+	if len(active) == 0 {
+		return s.errResp(rpc.ErrCodeIO, "no active data nodes registered")
+	}
+	if repl < 1 || repl > len(active) {
+		return s.errResp(rpc.ErrCodeBadRequest,
+			fmt.Sprintf("replication %d outside [1,%d active nodes]", repl, len(active)))
+	}
+	assign := make([]int, len(active))
+	for i := range assign {
+		assign[i] = i
+	}
+	f := &rpc.MetaFile{
+		Name:        req.Name,
+		StripeBytes: stripe,
+		Replication: repl,
+		Epoch:       1,
+		StoreName:   req.Name,
+		Nodes:       active,
+		Assign:      assign,
+	}
+	if err := s.cfg.Store.Create(context.Background(), f); err != nil {
+		return s.storeErr(err)
+	}
+	s.logf("meta create", "file", f.Name, "nodes", len(f.Nodes), "replication", repl)
+	return rpc.AppendMetaFileResp(nil, f)
+}
+
+func (s *Service) handleOpen(payload []byte) []byte {
+	name, err := rpc.DecodeMetaName(payload)
+	if err != nil {
+		return s.errResp(rpc.ErrCodeBadRequest, err.Error())
+	}
+	f, err := s.cfg.Store.Get(name)
+	if err != nil {
+		return s.storeErr(err)
+	}
+	return rpc.AppendMetaFileResp(nil, f)
+}
+
+func (s *Service) handleRemove(payload []byte) []byte {
+	name, err := rpc.DecodeMetaName(payload)
+	if err != nil {
+		return s.errResp(rpc.ErrCodeBadRequest, err.Error())
+	}
+	if err := s.cfg.Store.Remove(context.Background(), name); err != nil {
+		return s.storeErr(err)
+	}
+	return rpc.AppendOK(nil)
+}
+
+func (s *Service) handleCommit(payload []byte) []byte {
+	req, err := rpc.DecodeMetaCommit(payload)
+	if err != nil {
+		return s.errResp(rpc.ErrCodeBadRequest, err.Error())
+	}
+	f, err := s.cfg.Store.Commit(context.Background(), req)
+	if err != nil {
+		return s.storeErr(err)
+	}
+	s.logf("meta commit", "file", f.Name, "epoch", f.Epoch, "store", f.StoreName, "nodes", len(f.Nodes))
+	return rpc.AppendMetaFileResp(nil, f)
+}
+
+func (s *Service) handleExtend(payload []byte) []byte {
+	req, err := rpc.DecodeMetaExtend(payload)
+	if err != nil {
+		return s.errResp(rpc.ErrCodeBadRequest, err.Error())
+	}
+	if req.Length < 0 {
+		return s.errResp(rpc.ErrCodeBadRequest, fmt.Sprintf("negative length %d", req.Length))
+	}
+	f, err := s.cfg.Store.Extend(context.Background(), req.Name, req.Length)
+	if err != nil {
+		return s.storeErr(err)
+	}
+	return rpc.AppendMetaFileResp(nil, f)
+}
+
+func (s *Service) handleNode(payload []byte) []byte {
+	req, err := rpc.DecodeMetaNodeReq(payload)
+	if err != nil {
+		return s.errResp(rpc.ErrCodeBadRequest, err.Error())
+	}
+	nodes, err := s.cfg.Store.SetNode(context.Background(), req.Addr, req.State)
+	if err != nil {
+		return s.storeErr(err)
+	}
+	s.logf("meta node", "addr", req.Addr, "state", rpc.NodeStateName(req.State))
+	return rpc.AppendMetaNodesResp(nil, nodes)
+}
+
+// storeErr maps a store error onto the wire's error codes.
+func (s *Service) storeErr(err error) []byte {
+	switch {
+	case errors.Is(err, ErrNotFound):
+		return s.errResp(rpc.ErrCodeUnknownFile, err.Error())
+	case errors.Is(err, ErrStaleEpoch):
+		return s.errResp(rpc.ErrCodeStalePlacement, err.Error())
+	case errors.Is(err, ErrExists), errors.Is(err, ErrNodeBusy):
+		return s.errResp(rpc.ErrCodeBadRequest, err.Error())
+	}
+	return s.errResp(rpc.ErrCodeIO, err.Error())
+}
+
+func (s *Service) errResp(code uint64, msg string) []byte {
+	if s.metErrors != nil {
+		s.metErrors.Inc()
+	}
+	return rpc.AppendError(nil, code, msg)
+}
+
+func (s *Service) logf(msg string, args ...any) {
+	if s.cfg.Log != nil {
+		s.cfg.Log.Info(msg, args...)
+	}
+}

@@ -1,0 +1,603 @@
+// Package meta implements the metadata service of the elastic
+// cluster: a flat multi-file namespace whose entries carry a
+// versioned placement map (epoch, node list, assign permutation), a
+// membership table of data daemons, and the client/driver sides of
+// the online-rebalance protocol that moves a file between placements
+// as a paper redistribution (MAP_new ∘ MAP⁻¹_old).
+//
+// The state lives in a crash-safe append-only log with snapshot
+// compaction (store.go); parafilemd serves it over the storage wire's
+// framing (service.go); clients open files by name, cache the
+// placement map and refetch it on ErrStalePlacement (fs.go); and the
+// rebalance driver fences, copies and commits placement flips
+// (rebalance.go).
+package meta
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"parafile/internal/codec"
+	"parafile/internal/fault"
+	"parafile/internal/obs"
+	"parafile/internal/rpc"
+)
+
+// Store errors the service maps onto wire error codes.
+var (
+	// ErrNotFound: the namespace has no entry under the name.
+	ErrNotFound = errors.New("meta: file not found")
+	// ErrExists: create of a name that is already present.
+	ErrExists = errors.New("meta: file already exists")
+	// ErrStaleEpoch: a commit named an epoch the file has moved past —
+	// the CAS lost; the caller must refetch and re-drive.
+	ErrStaleEpoch = errors.New("meta: placement epoch has moved")
+	// ErrNodeBusy: a decommission was requested for a node that is
+	// still active or still referenced by a file's placement.
+	ErrNodeBusy = errors.New("meta: node still referenced")
+)
+
+// Record types of the append-only log. recPut carries the FULL
+// MetaFile state (create, commit and extend all write the complete
+// record), so replay is trivially idempotent: the last put wins, and
+// replaying a pre-snapshot log over a snapshot converges to the same
+// namespace.
+const (
+	recPut  byte = 1
+	recDel  byte = 2
+	recNode byte = 3
+)
+
+const (
+	logName  = "meta.log"
+	snapName = "meta.snap"
+	tmpName  = "meta.snap.tmp"
+)
+
+// snapMagic heads a snapshot file; a file without it is rejected
+// (a torn rename cannot produce one, the write-fsync-rename order
+// guarantees the named snapshot is always complete).
+var snapMagic = []byte("pfmeta01")
+
+// defaultSnapshotEvery is the log size that triggers compaction.
+const defaultSnapshotEvery = 1 << 20
+
+var storeCastagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Store is the durable namespace + membership state of the metadata
+// service. Every mutation appends one framed record to the log
+// ([uvarint len][payload][crc32c]) and fsyncs before returning;
+// snapshot compaction rewrites the current state into meta.snap
+// (write tmp, fsync, rename) and truncates the log. A crash at any
+// point replays to the last complete record: a torn log tail is
+// discarded, a torn snapshot tmp is ignored, and a crash between the
+// snapshot rename and the log truncation is safe because the log is a
+// prefix history whose replay over the snapshot converges.
+type Store struct {
+	mu  sync.Mutex
+	dir string
+	log *os.File
+	inj *fault.Injector
+
+	files     map[string]*rpc.MetaFile
+	nodes     map[string]byte
+	nodeOrder []string
+
+	logBytes      int64
+	snapshotEvery int64
+
+	metAppends   *obs.Counter
+	metSnapshots *obs.Counter
+	metFiles     *obs.Gauge
+	metNodes     *obs.Gauge
+	metLogBytes  *obs.Gauge
+}
+
+// StoreConfig configures OpenStore.
+type StoreConfig struct {
+	// Fault, when non-nil, interposes the injector on log appends
+	// (fault.OpMetaAppend) and snapshots (fault.OpMetaSnapshot), node 0.
+	Fault *fault.Injector
+	// SnapshotEvery is the log size in bytes that triggers compaction
+	// (default 1 MiB; negative disables automatic snapshots).
+	SnapshotEvery int64
+	// Metrics receives the store series; nil records nothing.
+	Metrics *obs.Registry
+}
+
+// OpenStore opens (or initialises) the metadata store rooted at dir,
+// replaying the snapshot and log into memory.
+func OpenStore(dir string, cfg StoreConfig) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	st := &Store{
+		dir:           dir,
+		inj:           cfg.Fault,
+		files:         make(map[string]*rpc.MetaFile),
+		nodes:         make(map[string]byte),
+		snapshotEvery: cfg.SnapshotEvery,
+	}
+	if st.snapshotEvery == 0 {
+		st.snapshotEvery = defaultSnapshotEvery
+	}
+	if reg := cfg.Metrics; reg != nil {
+		st.metAppends = reg.Counter("parafile_meta_log_appends_total")
+		st.metSnapshots = reg.Counter("parafile_meta_snapshots_total")
+		st.metFiles = reg.Gauge("parafile_meta_files")
+		st.metNodes = reg.Gauge("parafile_meta_nodes")
+		st.metLogBytes = reg.Gauge("parafile_meta_log_bytes")
+	}
+	// A leftover snapshot tmp is a crash mid-snapshot: the rename never
+	// happened, so the old snapshot + log still hold the full state.
+	os.Remove(filepath.Join(dir, tmpName))
+
+	if err := st.loadSnapshot(); err != nil {
+		return nil, err
+	}
+	if err := st.replayLog(); err != nil {
+		return nil, err
+	}
+	logf, err := os.OpenFile(filepath.Join(dir, logName), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	st.log = logf
+	if fi, err := logf.Stat(); err == nil {
+		st.logBytes = fi.Size()
+	}
+	st.publishGauges()
+	return st, nil
+}
+
+func (st *Store) publishGauges() {
+	if st.metFiles != nil {
+		st.metFiles.Set(int64(len(st.files)))
+		st.metNodes.Set(int64(len(st.nodes)))
+		st.metLogBytes.Set(st.logBytes)
+	}
+}
+
+// loadSnapshot replays meta.snap, if present. Unlike the log, a named
+// snapshot must be complete — it only ever appears via rename after
+// fsync — so corruption here is a hard error, not a torn tail.
+func (st *Store) loadSnapshot() error {
+	data, err := os.ReadFile(filepath.Join(st.dir, snapName))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	if len(data) < len(snapMagic) || string(data[:len(snapMagic)]) != string(snapMagic) {
+		return fmt.Errorf("meta: %s: bad snapshot magic", snapName)
+	}
+	rest := data[len(snapMagic):]
+	for len(rest) > 0 {
+		payload, next, err := readRecord(rest)
+		if err != nil {
+			return fmt.Errorf("meta: %s: %w", snapName, err)
+		}
+		if err := st.apply(payload); err != nil {
+			return fmt.Errorf("meta: %s: %w", snapName, err)
+		}
+		rest = next
+	}
+	return nil
+}
+
+// replayLog replays meta.log to the last complete record, truncating
+// a torn tail (the crash-mid-append case) in place.
+func (st *Store) replayLog() error {
+	path := filepath.Join(st.dir, logName)
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	good := 0
+	rest := data
+	for len(rest) > 0 {
+		payload, next, err := readRecord(rest)
+		if err != nil {
+			// Torn or corrupt tail: everything before it replayed; drop
+			// the rest so the next append starts on a record boundary.
+			return os.Truncate(path, int64(good))
+		}
+		if err := st.apply(payload); err != nil {
+			return fmt.Errorf("meta: %s: %w", logName, err)
+		}
+		good = len(data) - len(next)
+		rest = next
+	}
+	return nil
+}
+
+// readRecord splits one [uvarint len][payload][crc32c] record off buf.
+func readRecord(buf []byte) (payload, rest []byte, err error) {
+	n, w := binary.Uvarint(buf)
+	if w <= 0 {
+		return nil, nil, errors.New("truncated record length")
+	}
+	if n > 1<<24 {
+		return nil, nil, fmt.Errorf("implausible record length %d", n)
+	}
+	body := buf[w:]
+	if uint64(len(body)) < n+4 {
+		return nil, nil, errors.New("truncated record")
+	}
+	payload = body[:n]
+	sum := binary.BigEndian.Uint32(body[n : n+4])
+	if crc32.Checksum(payload, storeCastagnoli) != sum {
+		return nil, nil, errors.New("record checksum mismatch")
+	}
+	return payload, body[n+4:], nil
+}
+
+// apply folds one decoded record payload into the in-memory state.
+func (st *Store) apply(payload []byte) error {
+	if len(payload) == 0 {
+		return errors.New("empty record")
+	}
+	switch payload[0] {
+	case recPut:
+		f, rest, err := rpc.ReadMetaFile(payload[1:])
+		if err != nil {
+			return err
+		}
+		if len(rest) != 0 {
+			return errors.New("trailing bytes after file record")
+		}
+		st.files[f.Name] = f
+	case recDel:
+		name, err := readRecString(payload[1:])
+		if err != nil {
+			return err
+		}
+		delete(st.files, name)
+	case recNode:
+		if len(payload) < 2 {
+			return errors.New("short node record")
+		}
+		state := payload[len(payload)-1]
+		addr, err := readRecString(payload[1 : len(payload)-1])
+		if err != nil {
+			return err
+		}
+		if _, known := st.nodes[addr]; !known {
+			st.nodeOrder = append(st.nodeOrder, addr)
+		}
+		st.nodes[addr] = state
+	default:
+		return fmt.Errorf("unknown record type %d", payload[0])
+	}
+	return nil
+}
+
+// readRecString decodes one length-prefixed string occupying all of buf.
+func readRecString(buf []byte) (string, error) {
+	n, w := binary.Uvarint(buf)
+	if w <= 0 || uint64(len(buf)-w) != n {
+		return "", errors.New("bad string record")
+	}
+	return string(buf[w : w+int(n)]), nil
+}
+
+// appendRecord frames, writes and fsyncs one record, then snapshots
+// when the log has outgrown the threshold. Caller holds st.mu.
+func (st *Store) appendRecord(ctx context.Context, op fault.Op, name string, payload []byte) error {
+	if st.inj != nil {
+		if err := st.inj.Fire(ctx, 0, op, name); err != nil {
+			return err
+		}
+	}
+	frame := binary.AppendUvarint(nil, uint64(len(payload)))
+	frame = append(frame, payload...)
+	frame = binary.BigEndian.AppendUint32(frame, crc32.Checksum(payload, storeCastagnoli))
+	if _, err := st.log.Write(frame); err != nil {
+		return err
+	}
+	if err := st.log.Sync(); err != nil {
+		return err
+	}
+	st.logBytes += int64(len(frame))
+	if st.metAppends != nil {
+		st.metAppends.Inc()
+	}
+	st.publishGauges()
+	if st.snapshotEvery > 0 && st.logBytes >= st.snapshotEvery {
+		// Compaction failure is not a mutation failure: the record is
+		// durable, the oversized log just survives to the next trigger.
+		_ = st.snapshotLocked(ctx)
+	}
+	return nil
+}
+
+func putRecord(f *rpc.MetaFile) []byte {
+	return rpc.AppendMetaFile([]byte{recPut}, f)
+}
+
+func delRecord(name string) []byte {
+	buf := append([]byte{recDel}, codec.AppendUvarint(nil, uint64(len(name)))...)
+	return append(buf, name...)
+}
+
+func nodeRecord(addr string, state byte) []byte {
+	buf := append([]byte{recNode}, codec.AppendUvarint(nil, uint64(len(addr)))...)
+	buf = append(buf, addr...)
+	return append(buf, state)
+}
+
+// Snapshot compacts the store: current state into meta.snap, log
+// truncated. Exposed for tests and the admin path; mutations trigger
+// it automatically past StoreConfig.SnapshotEvery.
+func (st *Store) Snapshot(ctx context.Context) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.snapshotLocked(ctx)
+}
+
+func (st *Store) snapshotLocked(ctx context.Context) error {
+	if st.inj != nil {
+		if err := st.inj.Fire(ctx, 0, fault.OpMetaSnapshot, ""); err != nil {
+			return err
+		}
+	}
+	buf := append([]byte(nil), snapMagic...)
+	names := make([]string, 0, len(st.files))
+	for name := range st.files {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		buf = appendFramed(buf, putRecord(st.files[name]))
+	}
+	for _, addr := range st.nodeOrder {
+		buf = appendFramed(buf, nodeRecord(addr, st.nodes[addr]))
+	}
+	tmp := filepath.Join(st.dir, tmpName)
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(st.dir, snapName)); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	// The snapshot is durable; the log's history is now redundant.
+	// A crash before this truncation replays it over the snapshot,
+	// which converges (puts carry full state).
+	if err := st.log.Truncate(0); err != nil {
+		return err
+	}
+	if _, err := st.log.Seek(0, 0); err != nil {
+		return err
+	}
+	st.logBytes = 0
+	if st.metSnapshots != nil {
+		st.metSnapshots.Inc()
+	}
+	st.publishGauges()
+	return nil
+}
+
+func appendFramed(buf, payload []byte) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(payload)))
+	buf = append(buf, payload...)
+	return binary.BigEndian.AppendUint32(buf, crc32.Checksum(payload, storeCastagnoli))
+}
+
+// cloneFile deep-copies a record so callers cannot alias store state.
+func cloneFile(f *rpc.MetaFile) *rpc.MetaFile {
+	cp := *f
+	cp.Nodes = append([]string(nil), f.Nodes...)
+	cp.Assign = append([]int(nil), f.Assign...)
+	return &cp
+}
+
+// Get returns the named file's record.
+func (st *Store) Get(name string) (*rpc.MetaFile, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	f, ok := st.files[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	return cloneFile(f), nil
+}
+
+// List returns every namespace entry, name-sorted.
+func (st *Store) List() []*rpc.MetaFile {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := make([]*rpc.MetaFile, 0, len(st.files))
+	for _, f := range st.files {
+		out = append(out, cloneFile(f))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Create persists a new namespace entry.
+func (st *Store) Create(ctx context.Context, f *rpc.MetaFile) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if _, dup := st.files[f.Name]; dup {
+		return fmt.Errorf("%w: %q", ErrExists, f.Name)
+	}
+	if err := st.appendRecord(ctx, fault.OpMetaAppend, f.Name, putRecord(f)); err != nil {
+		return err
+	}
+	st.files[f.Name] = cloneFile(f)
+	st.publishGauges()
+	return nil
+}
+
+// Remove deletes a namespace entry; removing an absent name is OK
+// (idempotent, like the daemons' close).
+func (st *Store) Remove(ctx context.Context, name string) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if _, ok := st.files[name]; !ok {
+		return nil
+	}
+	if err := st.appendRecord(ctx, fault.OpMetaAppend, name, delRecord(name)); err != nil {
+		return err
+	}
+	delete(st.files, name)
+	st.publishGauges()
+	return nil
+}
+
+// Commit is the placement CAS: if the file still sits at req.OldEpoch
+// it flips to OldEpoch+1 with the new store name, node list and assign
+// permutation, returning the committed record; otherwise ErrStaleEpoch.
+func (st *Store) Commit(ctx context.Context, req *rpc.MetaCommitReq) (*rpc.MetaFile, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	f, ok := st.files[req.Name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, req.Name)
+	}
+	if f.Epoch != req.OldEpoch {
+		return nil, fmt.Errorf("%w: %q is at epoch %d, commit named %d",
+			ErrStaleEpoch, req.Name, f.Epoch, req.OldEpoch)
+	}
+	if len(req.Nodes) == 0 || len(req.Assign) == 0 {
+		return nil, errors.New("meta: commit with empty placement")
+	}
+	next := cloneFile(f)
+	next.Epoch = req.OldEpoch + 1
+	next.StoreName = req.StoreName
+	next.Nodes = append([]string(nil), req.Nodes...)
+	next.Assign = append([]int(nil), req.Assign...)
+	if err := st.appendRecord(ctx, fault.OpMetaAppend, req.Name, putRecord(next)); err != nil {
+		return nil, err
+	}
+	st.files[req.Name] = next
+	return cloneFile(next), nil
+}
+
+// Extend ratchets the file's logical length (never shrinks).
+func (st *Store) Extend(ctx context.Context, name string, length int64) (*rpc.MetaFile, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	f, ok := st.files[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	if length > f.Length {
+		next := cloneFile(f)
+		next.Length = length
+		if err := st.appendRecord(ctx, fault.OpMetaAppend, name, putRecord(next)); err != nil {
+			return nil, err
+		}
+		st.files[name] = next
+	}
+	return cloneFile(st.files[name]), nil
+}
+
+// Nodes returns the membership table in registration order.
+func (st *Store) Nodes() []rpc.MetaNode {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.nodesLocked()
+}
+
+func (st *Store) nodesLocked() []rpc.MetaNode {
+	out := make([]rpc.MetaNode, 0, len(st.nodeOrder))
+	for _, addr := range st.nodeOrder {
+		out = append(out, rpc.MetaNode{Addr: addr, State: st.nodes[addr]})
+	}
+	return out
+}
+
+// ActiveNodes returns the addresses eligible for new placements, in
+// registration order.
+func (st *Store) ActiveNodes() []string {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	var out []string
+	for _, addr := range st.nodeOrder {
+		if st.nodes[addr] == rpc.NodeActive {
+			out = append(out, addr)
+		}
+	}
+	return out
+}
+
+// SetNode registers a node or changes its membership state, returning
+// the updated table. Decommission (NodeRemoved) is validated: the node
+// must already be draining and no file's placement may still reference
+// it — rebalance first, then remove.
+func (st *Store) SetNode(ctx context.Context, addr string, state byte) ([]rpc.MetaNode, error) {
+	if addr == "" {
+		return nil, errors.New("meta: empty node address")
+	}
+	if state > rpc.NodeRemoved {
+		return nil, fmt.Errorf("meta: unknown node state %d", state)
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if state == rpc.NodeRemoved {
+		if st.nodes[addr] != rpc.NodeDraining {
+			return nil, fmt.Errorf("%w: %s is %s, drain it first",
+				ErrNodeBusy, addr, rpc.NodeStateName(st.nodes[addr]))
+		}
+		for _, f := range st.files {
+			for _, n := range f.Nodes {
+				if n == addr {
+					return nil, fmt.Errorf("%w: %s still places file %q",
+						ErrNodeBusy, addr, f.Name)
+				}
+			}
+		}
+	}
+	if err := st.appendRecord(ctx, fault.OpMetaAppend, addr, nodeRecord(addr, state)); err != nil {
+		return nil, err
+	}
+	if _, known := st.nodes[addr]; !known {
+		st.nodeOrder = append(st.nodeOrder, addr)
+	}
+	st.nodes[addr] = state
+	st.publishGauges()
+	return st.nodesLocked(), nil
+}
+
+// Close syncs and closes the log.
+func (st *Store) Close() error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.log == nil {
+		return nil
+	}
+	err := st.log.Sync()
+	if cerr := st.log.Close(); err == nil {
+		err = cerr
+	}
+	st.log = nil
+	return err
+}

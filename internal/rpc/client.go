@@ -101,6 +101,15 @@ type ClientConfig struct {
 	// the untraced protocol, and calls without a span in their context
 	// pay nothing.
 	Trace bool
+	// Placement enables placement-epoch awareness: the client offers
+	// FeaturePlacement in its Hello, and epoch-stamped requests (Epoch
+	// fields set nonzero by the meta layer) are accepted by daemons that
+	// speak the feature. With Placement false — the default — the Hello
+	// bytes are identical to the pre-placement protocol. Epoch-stamped
+	// requests sent to a daemon that predates the feature fail with a
+	// bad-request error rather than silently dropping the check, so a
+	// meta-managed file can never be served unfenced by an old daemon.
+	Placement bool
 }
 
 func (cfg *ClientConfig) fillDefaults() {
@@ -242,6 +251,32 @@ func (c *Client) Close() error {
 	return nil
 }
 
+// Retire closes the client like Close, counting each torn-down
+// connection under parafile_pool_discards{kind="retired"}. The meta
+// layer calls it when a placement refresh drops the node from the map:
+// pooled connections to a node that no longer serves the file are
+// dead weight, better closed now than idling until discard caps evict
+// them.
+func (c *Client) Retire() error {
+	c.mu.Lock()
+	c.closed = true
+	idle := c.idle
+	c.idle = nil
+	c.mu.Unlock()
+	for _, conn := range idle {
+		conn.Close()
+		c.met.poolRetired.Inc()
+	}
+	c.muxMu.Lock()
+	if c.mux != nil {
+		c.mux.fail(fmt.Errorf("rpc: client for %s retired by placement refresh", c.cfg.Addr))
+		c.mux = nil
+		c.met.poolRetired.Inc()
+	}
+	c.muxMu.Unlock()
+	return nil
+}
+
 // acquireToken takes a MaxConns token, observing the wait when the
 // semaphore is saturated.
 func (c *Client) acquireToken(ctx context.Context) error {
@@ -337,6 +372,9 @@ func (c *Client) negotiate(ctx context.Context, conn *clientConn, want byte) err
 	var offer uint64
 	if c.cfg.Trace {
 		offer = FeatureTrace
+	}
+	if c.cfg.Placement {
+		offer |= FeaturePlacement
 	}
 	req := AppendHelloFeatures(getFrameBuf(8), want, offer)
 	defer putFrameBuf(req)
@@ -869,4 +907,13 @@ func (c *Client) Checksum(ctx context.Context, file string, subfile, off, n int6
 // CloseFile syncs and closes the file's stores on the node.
 func (c *Client) CloseFile(ctx context.Context, file string) error {
 	return c.exchange(ctx, MsgClose, AppendClose(getFrameBuf(64), &CloseReq{File: file}))
+}
+
+// SetEpoch ratchets the placement epoch of the file's stores on the
+// node (base name plus replica stores) and raises or clears the write
+// fence — the data-daemon half of a rebalance's epoch flip. A node
+// holding no store of the file answers OK: the flip is idempotent
+// across the fan-out.
+func (c *Client) SetEpoch(ctx context.Context, file string, epoch uint64, fence bool) error {
+	return c.exchange(ctx, MsgEpoch, AppendEpoch(getFrameBuf(64), &EpochReq{File: file, Epoch: epoch, Fence: fence}))
 }

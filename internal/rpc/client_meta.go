@@ -1,0 +1,106 @@
+package rpc
+
+import "context"
+
+// client_meta.go is the metadata-service half of the client: the
+// MsgMeta* calls parafilemd answers. The metadata daemon speaks the
+// same framing, negotiation and error protocol as the data daemons, so
+// the calls ride the shared retry/breaker/mux machinery — a Client
+// pointed at a parafilemd address just uses these methods instead of
+// the storage ones.
+
+// metaFileCall is one request returning a MsgMetaFileResp.
+func (c *Client) metaFileCall(ctx context.Context, reqType byte, req []byte) (*MetaFile, error) {
+	f, err := c.call(ctx, reqType, req)
+	putFrameBuf(req)
+	if err != nil {
+		return nil, err
+	}
+	defer ReleaseFrame(f.body)
+	payload, err := parseResp(f, MsgMetaFileResp)
+	if err != nil {
+		return nil, err
+	}
+	return DecodeMetaFileResp(payload)
+}
+
+// MetaCreate creates a namespace entry; the service computes the
+// initial placement over its active nodes and returns the full record.
+func (c *Client) MetaCreate(ctx context.Context, req *MetaCreateReq) (*MetaFile, error) {
+	return c.metaFileCall(ctx, MsgMetaCreate, AppendMetaCreate(getFrameBuf(64), req))
+}
+
+// MetaOpen fetches the record of one file by name — the placement map
+// clients cache and refetch on ErrStalePlacement.
+func (c *Client) MetaOpen(ctx context.Context, name string) (*MetaFile, error) {
+	return c.metaFileCall(ctx, MsgMetaOpen, AppendMetaName(getFrameBuf(64), MsgMetaOpen, name))
+}
+
+// MetaList returns every namespace entry, name-sorted.
+func (c *Client) MetaList(ctx context.Context) ([]*MetaFile, error) {
+	req := AppendMetaEmpty(getFrameBuf(8), MsgMetaList)
+	f, err := c.call(ctx, MsgMetaList, req)
+	putFrameBuf(req)
+	if err != nil {
+		return nil, err
+	}
+	defer ReleaseFrame(f.body)
+	payload, err := parseResp(f, MsgMetaListResp)
+	if err != nil {
+		return nil, err
+	}
+	return DecodeMetaListResp(payload)
+}
+
+// MetaRemove deletes a namespace entry. The daemon-side stores are the
+// caller's to reap; the service only forgets the name.
+func (c *Client) MetaRemove(ctx context.Context, name string) error {
+	return c.exchange(ctx, MsgMetaRemove, AppendMetaName(getFrameBuf(64), MsgMetaRemove, name))
+}
+
+// MetaCommit performs the compare-and-swap placement flip after a
+// rebalance and returns the committed record (epoch OldEpoch+1). A
+// file that moved past OldEpoch answers ErrStalePlacement and nothing
+// changes.
+func (c *Client) MetaCommit(ctx context.Context, req *MetaCommitReq) (*MetaFile, error) {
+	return c.metaFileCall(ctx, MsgMetaCommit, AppendMetaCommit(getFrameBuf(128), req))
+}
+
+// MetaExtend ratchets the file's logical length (shrinks are ignored)
+// and returns the current record.
+func (c *Client) MetaExtend(ctx context.Context, name string, length int64) (*MetaFile, error) {
+	return c.metaFileCall(ctx, MsgMetaExtend, AppendMetaExtend(getFrameBuf(64), &MetaExtendReq{Name: name, Length: length}))
+}
+
+// MetaNodes returns the cluster membership table.
+func (c *Client) MetaNodes(ctx context.Context) ([]MetaNode, error) {
+	req := AppendMetaEmpty(getFrameBuf(8), MsgMetaNodes)
+	f, err := c.call(ctx, MsgMetaNodes, req)
+	putFrameBuf(req)
+	if err != nil {
+		return nil, err
+	}
+	defer ReleaseFrame(f.body)
+	payload, err := parseResp(f, MsgMetaNodesResp)
+	if err != nil {
+		return nil, err
+	}
+	return DecodeMetaNodesResp(payload)
+}
+
+// MetaNodeSet registers a node or changes its membership state and
+// returns the updated table.
+func (c *Client) MetaNodeSet(ctx context.Context, addr string, state byte) ([]MetaNode, error) {
+	req := AppendMetaNodeReq(getFrameBuf(64), &MetaNode{Addr: addr, State: state})
+	f, err := c.call(ctx, MsgMetaNode, req)
+	putFrameBuf(req)
+	if err != nil {
+		return nil, err
+	}
+	defer ReleaseFrame(f.body)
+	payload, err := parseResp(f, MsgMetaNodesResp)
+	if err != nil {
+		return nil, err
+	}
+	return DecodeMetaNodesResp(payload)
+}

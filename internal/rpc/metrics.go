@@ -52,8 +52,10 @@ const (
 	// distinguished by a lowercase kind label — {kind="frame"} mirrors
 	// the process-wide FramePoolDiscards counter (refreshed on the
 	// server request path), {kind="msgbuf"} the clusterfile message
-	// buffers. Each kind is bound exactly once, at metrics
-	// construction, never at the refresh sites.
+	// buffers, {kind="retired"} the connections Client.Retire closes
+	// when a placement refresh drops a node from the map. Each kind is
+	// bound exactly once, at metrics construction, never at the refresh
+	// sites.
 	MetricPoolDiscards = "parafile_pool_discards"
 
 	// Circuit breaker (per I/O node, labelled by address): the state
@@ -66,7 +68,7 @@ const (
 )
 
 // reqTypes are the request message types with per-type volume series.
-var reqTypes = []byte{MsgCreateFile, MsgSetView, MsgWriteSegs, MsgReadSegs, MsgStat, MsgClose, MsgPing, MsgHello, MsgChecksum, MsgWriteStream, MsgReadStream, MsgTraced, MsgSpans}
+var reqTypes = []byte{MsgCreateFile, MsgSetView, MsgWriteSegs, MsgReadSegs, MsgStat, MsgClose, MsgPing, MsgHello, MsgChecksum, MsgWriteStream, MsgReadStream, MsgTraced, MsgSpans, MsgEpoch, MsgMetaCreate, MsgMetaOpen, MsgMetaList, MsgMetaRemove, MsgMetaCommit, MsgMetaExtend, MsgMetaNodes, MsgMetaNode}
 
 func bindPerType(reg *obs.Registry, name string) map[byte]*obs.Counter {
 	m := make(map[byte]*obs.Counter, len(reqTypes))
@@ -91,6 +93,10 @@ type clientMetrics struct {
 	streamedR   *obs.Counter
 	chunksSent  *obs.Counter
 	chunksRecvd *obs.Counter
+	// poolRetired counts connections closed by Client.Retire when a
+	// placement refresh drops the node from the map — a third discard
+	// kind alongside the frame and msgbuf retention caps.
+	poolRetired *obs.Counter
 }
 
 func newClientMetrics(reg *obs.Registry) clientMetrics {
@@ -109,6 +115,7 @@ func newClientMetrics(reg *obs.Registry) clientMetrics {
 		streamedR:   reg.Counter(MetricClientStreamedOps + `{dir="read"}`),
 		chunksSent:  reg.Counter(MetricClientChunks + `{dir="sent"}`),
 		chunksRecvd: reg.Counter(MetricClientChunks + `{dir="received"}`),
+		poolRetired: reg.Counter(MetricPoolDiscards + `{kind="retired"}`),
 	}
 }
 

@@ -319,6 +319,7 @@ func (c *Client) writeStreamOnce(ctx context.Context, m *muxConn, req *WriteSegs
 		Total:       int64(len(req.Data)),
 		TraceID:     sp.TraceID(),
 		SpanID:      sp.SpanID(),
+		Epoch:       req.Epoch,
 	})
 	err = m.send(ctx, hdr)
 	putFrameBuf(hdr)
@@ -427,6 +428,7 @@ func (c *Client) readStreamOnce(ctx context.Context, m *muxConn, req *ReadSegsRe
 		ChunkSize:   int64(c.cfg.ChunkSize),
 		TraceID:     sp.TraceID(),
 		SpanID:      sp.SpanID(),
+		Epoch:       req.Epoch,
 	})
 	err = m.send(ctx, hdr)
 	putFrameBuf(hdr)

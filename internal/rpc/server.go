@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"log/slog"
 	"net"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -80,6 +81,32 @@ type Server struct {
 type serverFile struct {
 	mu     sync.Mutex
 	stores map[int]clusterfile.Storage
+	// epoch is the placement epoch the stores belong to (0 =
+	// unversioned, legacy single-placement file). It only ratchets
+	// upward, via CreateFile stamps and MsgEpoch.
+	epoch uint64
+	// fenced rejects epoch-stamped writes while a rebalance copies the
+	// stores to their next placement; reads keep flowing at the old
+	// epoch until the flip.
+	fenced bool
+}
+
+// epochCheck validates a request's placement epoch against the store
+// generation. Called with sf.mu held; a zero request epoch (legacy
+// client) always passes.
+func (sf *serverFile) epochCheck(epoch uint64, write bool) (uint64, string) {
+	if epoch == 0 {
+		return 0, ""
+	}
+	if sf.epoch != 0 && epoch != sf.epoch {
+		return ErrCodeStalePlacement,
+			fmt.Sprintf("request at placement epoch %d, store at %d", epoch, sf.epoch)
+	}
+	if write && sf.fenced {
+		return ErrCodeStalePlacement,
+			fmt.Sprintf("store fenced for rebalance at epoch %d", sf.epoch)
+	}
+	return 0, ""
 }
 
 // NewServer builds a server; call Serve with a listener to run it.
@@ -119,7 +146,7 @@ func NewServer(cfg ServerConfig) *Server {
 // features returns the feature bits this server grants from a
 // client's requested mask.
 func (s *Server) features(requested uint64) uint64 {
-	var granted uint64
+	granted := FeaturePlacement
 	if s.cfg.Trace {
 		granted |= FeatureTrace
 	}
@@ -373,6 +400,8 @@ func (s *Server) route(out []byte, msgType byte, payload []byte, sp *obs.Span) [
 		return s.handleChecksum(out, payload, sp)
 	case MsgSpans:
 		return s.handleSpans(out, payload)
+	case MsgEpoch:
+		return s.handleEpoch(out, payload)
 	}
 	return s.errResp(out, ErrCodeBadRequest, fmt.Sprintf("unknown message type %#x", msgType))
 }
@@ -486,6 +515,12 @@ func (s *Server) handleCreateFile(out, payload []byte) []byte {
 
 	sf.mu.Lock()
 	defer sf.mu.Unlock()
+	// An epoch-stamped open versions the stores: the epoch only
+	// ratchets upward, so a laggard's reopen at an old epoch cannot
+	// roll a store generation back.
+	if req.Epoch > sf.epoch {
+		sf.epoch = req.Epoch
+	}
 	factory := s.storageFactory(req.Reopen)
 	for _, sub := range req.Subfiles {
 		if _, open := sf.stores[sub]; open {
@@ -499,6 +534,38 @@ func (s *Server) handleCreateFile(out, payload []byte) []byte {
 			return s.errResp(out, ErrCodeIO, fmt.Sprintf("subfile %d: %v", sub, err))
 		}
 		sf.stores[sub] = st
+	}
+	return AppendOK(out)
+}
+
+// handleEpoch ratchets the placement epoch of every store of a file
+// (base name plus its replica stores) and sets the write fence. A
+// daemon hosting no store of the file answers OK — the rebalance
+// driver fans the fence out to every node of the old placement without
+// tracking which subfiles each one holds.
+func (s *Server) handleEpoch(out, payload []byte) []byte {
+	req, err := DecodeEpoch(payload)
+	if err != nil {
+		return s.errResp(out, ErrCodeBadRequest, err.Error())
+	}
+	if req.Epoch == 0 {
+		return s.errResp(out, ErrCodeBadRequest, "zero placement epoch")
+	}
+	s.mu.Lock()
+	var targets []*serverFile
+	for name, sf := range s.files {
+		if name == req.File || strings.HasPrefix(name, req.File+"~r") {
+			targets = append(targets, sf)
+		}
+	}
+	s.mu.Unlock()
+	for _, sf := range targets {
+		sf.mu.Lock()
+		if req.Epoch > sf.epoch {
+			sf.epoch = req.Epoch
+		}
+		sf.fenced = req.Fence
+		sf.mu.Unlock()
 	}
 	return AppendOK(out)
 }
@@ -578,6 +645,9 @@ func (s *Server) handleWriteSegs(out, payload []byte, sp *obs.Span) []byte {
 	sf.mu.Lock()
 	lw.End()
 	defer sf.mu.Unlock()
+	if code, msg := sf.epochCheck(req.Epoch, true); code != 0 {
+		return s.errResp(out, code, msg)
+	}
 	if err := st.EnsureLen(req.Hi + 1); err != nil {
 		return s.errResp(out, ErrCodeIO, err.Error())
 	}
@@ -632,6 +702,9 @@ func (s *Server) handleReadSegs(out, payload []byte, sp *obs.Span) []byte {
 	sf.mu.Lock()
 	lw.End()
 	defer sf.mu.Unlock()
+	if code, msg := sf.epochCheck(req.Epoch, false); code != 0 {
+		return s.errResp(out, code, msg)
+	}
 	// Grow first, like the in-process read path: unwritten holes read
 	// as zeroes, like any sparse file.
 	if err := st.EnsureLen(req.Hi + 1); err != nil {

@@ -348,8 +348,16 @@ func (sc *srvConn) runWriteStream(sid uint64, req *WriteStreamReq, st *srvWriteS
 		return
 	}
 	sf.mu.Lock()
-	err := store.EnsureLen(req.Hi + 1)
+	code, msg = sf.epochCheck(req.Epoch, true)
+	var err error
+	if code == 0 {
+		err = store.EnsureLen(req.Hi + 1)
+	}
 	sf.mu.Unlock()
+	if code != 0 {
+		fail(code, msg)
+		return
+	}
 	if err != nil {
 		fail(ErrCodeIO, err.Error())
 		return
@@ -520,8 +528,16 @@ func (sc *srvConn) runReadStream(sid uint64, req *ReadStreamReq) {
 	// Grow first, like the single-frame read path: unwritten holes read
 	// as zeroes, like any sparse file.
 	sf.mu.Lock()
-	err := store.EnsureLen(req.Hi + 1)
+	code, msg = sf.epochCheck(req.Epoch, false)
+	var err error
+	if code == 0 {
+		err = store.EnsureLen(req.Hi + 1)
+	}
 	sf.mu.Unlock()
+	if code != 0 {
+		fail(code, msg)
+		return
+	}
 	if err != nil {
 		fail(ErrCodeIO, err.Error())
 		return

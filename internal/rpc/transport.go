@@ -45,9 +45,12 @@ type Options struct {
 
 // Transport implements clusterfile.Transport over TCP.
 type Transport struct {
-	clients  []*Client
+	opts     Options
 	reopen   bool
 	degraded bool
+
+	mu      sync.RWMutex
+	clients []*Client
 }
 
 var _ clusterfile.Transport = (*Transport)(nil)
@@ -58,42 +61,105 @@ func NewTransport(addrs []string, opts Options) (*Transport, error) {
 	if len(addrs) == 0 {
 		return nil, fmt.Errorf("rpc: transport needs at least one endpoint")
 	}
-	t := &Transport{reopen: opts.Reopen, degraded: opts.DegradedOpen}
+	t := &Transport{opts: opts, reopen: opts.Reopen, degraded: opts.DegradedOpen}
 	for _, addr := range addrs {
-		cfg := opts.Client
-		cfg.Addr = addr
-		if opts.Metrics != nil {
-			cfg.Metrics = opts.Metrics
-		}
-		t.clients = append(t.clients, NewClient(cfg))
+		t.clients = append(t.clients, t.newClient(addr))
 	}
 	return t, nil
 }
 
+func (t *Transport) newClient(addr string) *Client {
+	cfg := t.opts.Client
+	cfg.Addr = addr
+	if t.opts.Metrics != nil {
+		cfg.Metrics = t.opts.Metrics
+	}
+	return NewClient(cfg)
+}
+
+// Update reconciles the endpoint list after a placement refresh:
+// clients for endpoints still present are kept (their pools and
+// negotiated connections survive), new endpoints get fresh clients,
+// and clients for endpoints no longer in the map are retired — their
+// pooled connections close now, counted under
+// parafile_pool_discards{kind="retired"}, instead of idling until
+// discard caps evict them. Handles open before the update keep their
+// client pointers; operations on a retired client fail, which sends
+// the caller back through its placement-refresh path.
+func (t *Transport) Update(addrs []string) {
+	t.mu.Lock()
+	old := t.clients
+	kept := make(map[*Client]bool, len(old))
+	byAddr := make(map[string]*Client, len(old))
+	for _, c := range old {
+		byAddr[c.Addr()] = c
+	}
+	next := make([]*Client, 0, len(addrs))
+	for _, addr := range addrs {
+		if c, ok := byAddr[addr]; ok && !kept[c] {
+			kept[c] = true
+			next = append(next, c)
+			continue
+		}
+		next = append(next, t.newClient(addr))
+	}
+	t.clients = next
+	t.mu.Unlock()
+	for _, c := range old {
+		if !kept[c] {
+			c.Retire()
+		}
+	}
+}
+
+// Endpoints returns the current endpoint list, in node order.
+func (t *Transport) Endpoints() []string {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	addrs := make([]string, len(t.clients))
+	for i, c := range t.clients {
+		addrs[i] = c.Addr()
+	}
+	return addrs
+}
+
 // nodeClient maps an I/O node id onto a daemon.
 func (t *Transport) nodeClient(ioNode int) *Client {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	return t.clients[ioNode%len(t.clients)]
 }
 
 // Open registers the file on every involved daemon and returns one
 // remote handle per subfile.
 func (t *Transport) Open(ctx context.Context, name string, phys *part.File, assign []int) ([]clusterfile.SubfileHandle, error) {
+	return t.OpenEpoch(ctx, name, phys, assign, 0)
+}
+
+// OpenEpoch is Open with every handle's operations stamped with a
+// placement epoch: the daemons compare it against their stores' and
+// answer ErrStalePlacement on mismatch (or, for writes, while
+// fenced). Epoch zero is the unstamped legacy protocol.
+func (t *Transport) OpenEpoch(ctx context.Context, name string, phys *part.File, assign []int, epoch uint64) ([]clusterfile.SubfileHandle, error) {
 	physEnc := codec.EncodeFile(phys)
 	// Group the subfiles by daemon, preserving client order so the
 	// CreateFile fan-out is deterministic.
+	t.mu.RLock()
+	clients := t.clients
+	t.mu.RUnlock()
 	perClient := make(map[*Client][]int)
 	for sub, node := range assign {
-		c := t.nodeClient(node)
+		c := clients[node%len(clients)]
 		perClient[c] = append(perClient[c], sub)
 	}
 	refs := make(map[*Client]*fileRef)
 	broken := make(map[*Client]error)
-	for _, c := range t.clients {
+	for _, c := range clients {
 		subs := perClient[c]
 		if len(subs) == 0 {
 			continue
 		}
-		err := c.CreateFile(ctx, &CreateFileReq{Name: name, Phys: physEnc, Subfiles: subs, Reopen: t.reopen})
+		err := c.CreateFile(ctx, &CreateFileReq{Name: name, Phys: physEnc, Subfiles: subs, Reopen: t.reopen, Epoch: epoch})
 		if err != nil {
 			if t.degraded {
 				// Remember the failure; the daemon's subfiles get
@@ -111,20 +177,39 @@ func (t *Transport) Open(ctx context.Context, name string, phys *part.File, assi
 	}
 	handles := make([]clusterfile.SubfileHandle, len(assign))
 	for sub, node := range assign {
-		c := t.nodeClient(node)
+		c := clients[node%len(clients)]
 		if err, bad := broken[c]; bad {
 			handles[sub] = &brokenHandle{err: err}
 			continue
 		}
-		handles[sub] = &remoteHandle{c: c, file: name, subfile: int64(sub), ref: refs[c]}
+		handles[sub] = &remoteHandle{c: c, file: name, subfile: int64(sub), epoch: epoch, ref: refs[c]}
 	}
 	return handles, nil
 }
 
+// SetEpoch fans the placement-epoch flip out to every daemon: each
+// ratchets the file's stores to the epoch and raises or clears the
+// write fence. Daemons holding no store of the file answer OK.
+func (t *Transport) SetEpoch(ctx context.Context, file string, epoch uint64, fence bool) error {
+	t.mu.RLock()
+	clients := t.clients
+	t.mu.RUnlock()
+	var first error
+	for _, c := range clients {
+		if err := c.SetEpoch(ctx, file, epoch, fence); err != nil && first == nil {
+			first = fmt.Errorf("rpc: set epoch on %s: %w", c.Addr(), err)
+		}
+	}
+	return first
+}
+
 // Close closes every daemon client pool.
 func (t *Transport) Close() error {
+	t.mu.RLock()
+	clients := t.clients
+	t.mu.RUnlock()
 	var first error
-	for _, c := range t.clients {
+	for _, c := range clients {
 		if err := c.Close(); err != nil && first == nil {
 			first = err
 		}
@@ -155,7 +240,10 @@ type remoteHandle struct {
 	c       *Client
 	file    string
 	subfile int64
-	ref     *fileRef
+	// epoch stamps every storage op with the placement epoch the handle
+	// was opened at (zero = unstamped legacy protocol).
+	epoch uint64
+	ref   *fileRef
 
 	mu     sync.Mutex
 	projFP map[*redist.Projection]uint64 // encode+fingerprint memo
@@ -165,7 +253,7 @@ func (h *remoteHandle) EnsureLen(ctx context.Context, n int64) error {
 	if n <= 0 {
 		return nil
 	}
-	return h.c.WriteSegments(ctx, &WriteSegsReq{File: h.file, Subfile: h.subfile, Lo: 0, Hi: n - 1})
+	return h.c.WriteSegments(ctx, &WriteSegsReq{File: h.file, Subfile: h.subfile, Lo: 0, Hi: n - 1, Epoch: h.epoch})
 }
 
 func (h *remoteHandle) Len(ctx context.Context) (int64, error) {
@@ -177,7 +265,7 @@ func (h *remoteHandle) WriteAt(ctx context.Context, p []byte, off int64) error {
 		return nil
 	}
 	return h.c.WriteSegments(ctx, &WriteSegsReq{
-		File: h.file, Subfile: h.subfile, Lo: off, Hi: off + int64(len(p)) - 1, Data: p,
+		File: h.file, Subfile: h.subfile, Lo: off, Hi: off + int64(len(p)) - 1, Data: p, Epoch: h.epoch,
 	})
 }
 
@@ -186,7 +274,7 @@ func (h *remoteHandle) ReadAt(ctx context.Context, p []byte, off int64) error {
 		return nil
 	}
 	return h.c.ReadSegments(ctx, &ReadSegsReq{
-		File: h.file, Subfile: h.subfile, Lo: off, Hi: off + int64(len(p)) - 1, N: int64(len(p)),
+		File: h.file, Subfile: h.subfile, Lo: off, Hi: off + int64(len(p)) - 1, N: int64(len(p)), Epoch: h.epoch,
 	}, p)
 }
 
@@ -236,7 +324,7 @@ func (h *remoteHandle) Scatter(ctx context.Context, p *redist.Projection, lo, hi
 	if err != nil {
 		return err
 	}
-	req := &WriteSegsReq{File: h.file, Subfile: h.subfile, Fingerprint: fp, Lo: lo, Hi: hi, Data: data}
+	req := &WriteSegsReq{File: h.file, Subfile: h.subfile, Fingerprint: fp, Lo: lo, Hi: hi, Data: data, Epoch: h.epoch}
 	err = h.c.WriteSegments(ctx, req)
 	if isUnknownProjection(err) {
 		if err = h.reRegister(ctx, p, fp); err != nil {
@@ -252,7 +340,7 @@ func (h *remoteHandle) Gather(ctx context.Context, p *redist.Projection, lo, hi 
 	if err != nil {
 		return err
 	}
-	req := &ReadSegsReq{File: h.file, Subfile: h.subfile, Fingerprint: fp, Lo: lo, Hi: hi, N: int64(len(dst))}
+	req := &ReadSegsReq{File: h.file, Subfile: h.subfile, Fingerprint: fp, Lo: lo, Hi: hi, N: int64(len(dst)), Epoch: h.epoch}
 	err = h.c.ReadSegments(ctx, req, dst)
 	if isUnknownProjection(err) {
 		if err = h.reRegister(ctx, p, fp); err != nil {

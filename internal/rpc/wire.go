@@ -113,6 +113,38 @@ const (
 	// envelope, and their replies stay lean; the client collects the
 	// server-side spans with one drain call after the stream settles.
 	MsgSpans byte = 0x0E
+	// MsgEpoch is the placement-epoch admin request a rebalance driver
+	// sends to a data daemon: it stamps (ratchets) the placement epoch
+	// of every store of a file and raises or clears the write fence.
+	// Idempotent; a daemon that hosts no store of the file answers OK.
+	MsgEpoch byte = 0x0F
+)
+
+// Metadata-service request types (handled by parafilemd, not by the
+// data daemons; they share the framing, hello negotiation and error
+// encoding with the storage protocol).
+const (
+	MsgMetaCreate byte = 0x20
+	MsgMetaOpen   byte = 0x21
+	MsgMetaList   byte = 0x22
+	MsgMetaRemove byte = 0x23
+	// MsgMetaCommit is the compare-and-swap placement flip: it names
+	// the epoch the caller rebalanced from and fails with
+	// ErrCodeStalePlacement if the file has moved on since.
+	MsgMetaCommit byte = 0x24
+	// MsgMetaExtend ratchets a file's logical length upward after a
+	// write; the recorded length sizes later rebalances.
+	MsgMetaExtend byte = 0x25
+	MsgMetaNodes  byte = 0x26
+	// MsgMetaNode registers a node or updates its membership state.
+	MsgMetaNode byte = 0x27
+)
+
+// Metadata-service response types.
+const (
+	MsgMetaFileResp  byte = 0x30
+	MsgMetaListResp  byte = 0x31
+	MsgMetaNodesResp byte = 0x32
 )
 
 // Response message types.
@@ -140,6 +172,12 @@ const (
 	// FeatureTrace: the peer accepts MsgTraced envelopes, trace IDs on
 	// stream-open requests, and MsgSpans drains.
 	FeatureTrace uint64 = 1 << 0
+	// FeaturePlacement: the peer accepts placement-epoch fields on
+	// data-path requests, checks them against each store's current
+	// epoch, and understands MsgEpoch. Clients only stamp epochs on
+	// connections where this bit came back granted, so the wire stays
+	// byte-identical against old daemons.
+	FeaturePlacement uint64 = 1 << 1
 )
 
 // Chunk frame flags (first payload byte of MsgWriteChunk/MsgDataChunk).
@@ -185,6 +223,30 @@ func MsgName(t byte) string {
 		return "traced"
 	case MsgSpans:
 		return "spans"
+	case MsgEpoch:
+		return "epoch"
+	case MsgMetaCreate:
+		return "meta_create"
+	case MsgMetaOpen:
+		return "meta_open"
+	case MsgMetaList:
+		return "meta_list"
+	case MsgMetaRemove:
+		return "meta_remove"
+	case MsgMetaCommit:
+		return "meta_commit"
+	case MsgMetaExtend:
+		return "meta_extend"
+	case MsgMetaNodes:
+		return "meta_nodes"
+	case MsgMetaNode:
+		return "meta_node"
+	case MsgMetaFileResp:
+		return "meta_file_resp"
+	case MsgMetaListResp:
+		return "meta_list_resp"
+	case MsgMetaNodesResp:
+		return "meta_nodes_resp"
 	case MsgTracedResp:
 		return "traced_resp"
 	case MsgSpansResp:
@@ -212,7 +274,22 @@ const (
 	ErrCodeUnknownProjection uint64 = 3
 	ErrCodeIO                uint64 = 4
 	ErrCodeShuttingDown      uint64 = 5
+	// ErrCodeStalePlacement: the request named a placement epoch the
+	// store has moved past (or the store is fenced for a rebalance).
+	// The caller should refetch the placement map from the metadata
+	// service and retry against the new epoch.
+	ErrCodeStalePlacement uint64 = 6
 )
+
+// ErrStalePlacement is the sentinel callers match with errors.Is to
+// detect an ErrCodeStalePlacement RemoteError anywhere in a wrapped
+// chain (including inside a clusterfile.PartialError).
+var ErrStalePlacement = fmt.Errorf("rpc: stale placement epoch")
+
+// ErrUnknownFile is the sentinel for an ErrCodeUnknownFile
+// RemoteError — the named file does not exist on the answering
+// service (metadata namespace miss, or a store the daemon never saw).
+var ErrUnknownFile = fmt.Errorf("rpc: unknown file")
 
 // RemoteError is a server-reported failure: the request was delivered
 // and answered, so the client does not retry it at the transport
@@ -224,6 +301,18 @@ type RemoteError struct {
 
 func (e *RemoteError) Error() string {
 	return fmt.Sprintf("rpc: remote error %d: %s", e.Code, e.Msg)
+}
+
+// Is lets errors.Is match the code sentinels through any wrapping
+// (PartialError outcomes, fmt %w chains).
+func (e *RemoteError) Is(target error) bool {
+	switch target {
+	case ErrStalePlacement:
+		return e.Code == ErrCodeStalePlacement
+	case ErrUnknownFile:
+		return e.Code == ErrCodeUnknownFile
+	}
+	return false
 }
 
 // ErrCorrupt wraps every wire-decoding failure.
@@ -487,6 +576,11 @@ type CreateFileReq struct {
 	Phys     []byte // codec.EncodeFile of the physical partition
 	Subfiles []int  // subfile indices hosted by the receiving node
 	Reopen   bool   // open existing subfiles without truncation
+	// Epoch stamps the opened stores with a placement epoch. Zero (the
+	// default) encodes byte-identically to the pre-placement request
+	// and leaves the stores unversioned. Only sent to peers that
+	// granted FeaturePlacement.
+	Epoch uint64
 }
 
 // AppendCreateFile encodes req as a frame body.
@@ -502,6 +596,9 @@ func AppendCreateFile(buf []byte, req *CreateFileReq) []byte {
 		buf = append(buf, 1)
 	} else {
 		buf = append(buf, 0)
+	}
+	if req.Epoch != 0 {
+		buf = codec.AppendUvarint(buf, req.Epoch)
 	}
 	return buf
 }
@@ -537,7 +634,13 @@ func DecodeCreateFile(payload []byte) (*CreateFileReq, error) {
 		return nil, fmt.Errorf("%w: missing reopen flag", ErrCorrupt)
 	}
 	req.Reopen = payload[0] != 0
-	return req, wantEmpty(payload[1:])
+	payload = payload[1:]
+	if len(payload) > 0 {
+		if req.Epoch, payload, err = readUvarint(payload); err != nil {
+			return nil, err
+		}
+	}
+	return req, wantEmpty(payload)
 }
 
 // SetViewReq registers an encoded projection under its fingerprint.
@@ -582,6 +685,11 @@ type WriteSegsReq struct {
 	Fingerprint uint64
 	Lo, Hi      int64
 	Data        []byte
+	// Epoch is the placement epoch the client believes current; the
+	// server rejects a mismatch with ErrCodeStalePlacement. Zero (the
+	// default) encodes byte-identically to the pre-placement request
+	// and skips the check.
+	Epoch uint64
 }
 
 // AppendWriteSegs encodes req as a frame body.
@@ -593,6 +701,9 @@ func AppendWriteSegs(buf []byte, req *WriteSegsReq) []byte {
 	buf = codec.AppendVarint(buf, req.Lo)
 	buf = codec.AppendVarint(buf, req.Hi)
 	buf = appendBytes(buf, req.Data)
+	if req.Epoch != 0 {
+		buf = codec.AppendUvarint(buf, req.Epoch)
+	}
 	return buf
 }
 
@@ -620,6 +731,11 @@ func DecodeWriteSegs(payload []byte) (*WriteSegsReq, error) {
 	if req.Data, payload, err = readBytes(payload); err != nil {
 		return nil, err
 	}
+	if len(payload) > 0 {
+		if req.Epoch, payload, err = readUvarint(payload); err != nil {
+			return nil, err
+		}
+	}
 	return req, wantEmpty(payload)
 }
 
@@ -633,6 +749,8 @@ type ReadSegsReq struct {
 	Fingerprint uint64
 	Lo, Hi      int64
 	N           int64
+	// Epoch as on WriteSegsReq: zero encodes the legacy bytes.
+	Epoch uint64
 }
 
 // AppendReadSegs encodes req as a frame body.
@@ -644,6 +762,9 @@ func AppendReadSegs(buf []byte, req *ReadSegsReq) []byte {
 	buf = codec.AppendVarint(buf, req.Lo)
 	buf = codec.AppendVarint(buf, req.Hi)
 	buf = codec.AppendVarint(buf, req.N)
+	if req.Epoch != 0 {
+		buf = codec.AppendUvarint(buf, req.Epoch)
+	}
 	return buf
 }
 
@@ -668,6 +789,11 @@ func DecodeReadSegs(payload []byte) (*ReadSegsReq, error) {
 	}
 	if req.N, payload, err = readVarint(payload); err != nil {
 		return nil, err
+	}
+	if len(payload) > 0 {
+		if req.Epoch, payload, err = readUvarint(payload); err != nil {
+			return nil, err
+		}
 	}
 	return req, wantEmpty(payload)
 }
@@ -973,6 +1099,10 @@ type WriteStreamReq struct {
 	// request. Only sent to peers that advertised FeatureTrace.
 	TraceID uint64
 	SpanID  uint64
+	// Epoch as on WriteSegsReq. A non-zero epoch forces the trace pair
+	// onto the wire (zeros if untraced) so the decoder can tell the
+	// trailing fields apart; only sent to FeaturePlacement peers.
+	Epoch uint64
 }
 
 // AppendWriteStream encodes req as a v3 frame body on stream sid.
@@ -984,9 +1114,12 @@ func AppendWriteStream(buf []byte, sid uint64, req *WriteStreamReq) []byte {
 	buf = codec.AppendVarint(buf, req.Lo)
 	buf = codec.AppendVarint(buf, req.Hi)
 	buf = codec.AppendVarint(buf, req.Total)
-	if req.TraceID != 0 {
+	if req.TraceID != 0 || req.Epoch != 0 {
 		buf = codec.AppendUvarint(buf, req.TraceID)
 		buf = codec.AppendUvarint(buf, req.SpanID)
+	}
+	if req.Epoch != 0 {
+		buf = codec.AppendUvarint(buf, req.Epoch)
 	}
 	return buf
 }
@@ -1022,6 +1155,11 @@ func DecodeWriteStream(payload []byte) (*WriteStreamReq, error) {
 			return nil, err
 		}
 	}
+	if len(payload) > 0 {
+		if req.Epoch, payload, err = readUvarint(payload); err != nil {
+			return nil, err
+		}
+	}
 	return req, wantEmpty(payload)
 }
 
@@ -1039,6 +1177,8 @@ type ReadStreamReq struct {
 	// bytes, non-zero only travels to FeatureTrace peers.
 	TraceID uint64
 	SpanID  uint64
+	// Epoch as on WriteStreamReq: forces the trace pair when set.
+	Epoch uint64
 }
 
 // AppendReadStream encodes req as a v3 frame body on stream sid.
@@ -1051,9 +1191,12 @@ func AppendReadStream(buf []byte, sid uint64, req *ReadStreamReq) []byte {
 	buf = codec.AppendVarint(buf, req.Hi)
 	buf = codec.AppendVarint(buf, req.N)
 	buf = codec.AppendVarint(buf, req.ChunkSize)
-	if req.TraceID != 0 {
+	if req.TraceID != 0 || req.Epoch != 0 {
 		buf = codec.AppendUvarint(buf, req.TraceID)
 		buf = codec.AppendUvarint(buf, req.SpanID)
+	}
+	if req.Epoch != 0 {
+		buf = codec.AppendUvarint(buf, req.Epoch)
 	}
 	return buf
 }
@@ -1089,6 +1232,11 @@ func DecodeReadStream(payload []byte) (*ReadStreamReq, error) {
 			return nil, err
 		}
 		if req.SpanID, payload, err = readUvarint(payload); err != nil {
+			return nil, err
+		}
+	}
+	if len(payload) > 0 {
+		if req.Epoch, payload, err = readUvarint(payload); err != nil {
 			return nil, err
 		}
 	}
