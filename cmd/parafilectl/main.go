@@ -21,6 +21,7 @@
 //	parafilectl repair ... (same flags; heals divergent replicas)
 //	parafilectl top    -debug host:port,...   (live op view per node)
 //	parafilectl trace  -debug host:port <trace-id|op>
+//	parafilectl qos    -debug host:port,...   (admission-control status)
 //	parafilectl create -meta host:port -file name [-stripe-kb 64] [-replication 1]
 //	parafilectl ls     -meta host:port
 //	parafilectl rm     -meta host:port -file name
@@ -65,6 +66,7 @@ import (
 	"parafile/internal/meta"
 	"parafile/internal/obs"
 	"parafile/internal/part"
+	"parafile/internal/qos"
 	"parafile/internal/redist"
 	"parafile/internal/rpc"
 	"parafile/internal/viz"
@@ -99,6 +101,8 @@ var verbs = []verb{
 		"live per-node view of in-flight and recent operations", topVerb},
 	{"trace", "trace -debug host:port <trace-id|op>",
 		"print one stitched cross-node span tree", traceVerb},
+	{"qos", "qos -debug host:port,...",
+		"per-node admission control and fair-share status", qosVerb},
 	{"create", "create -meta host:port -file NAME [-stripe-kb N] [-replication N]",
 		"register a file in the metadata namespace", createVerb},
 	{"ls", "ls -meta host:port",
@@ -781,6 +785,32 @@ func traceVerb(fs *flag.FlagSet) func() error {
 	}
 }
 
+// qosVerb prints each endpoint's /debug/qos snapshot: admission
+// occupancy, memory budget, and the per-tenant fair-share table.
+func qosVerb(fs *flag.FlagSet) func() error {
+	debug := fs.String("debug", "", "comma-separated -metrics-addr endpoints to poll (host:port,...)")
+	return func() error {
+		if *debug == "" {
+			return errors.New("need -debug host:port[,host:port...]")
+		}
+		for i, addr := range strings.Split(*debug, ",") {
+			addr = strings.TrimSpace(addr)
+			if addr == "" {
+				continue
+			}
+			if i > 0 {
+				fmt.Println()
+			}
+			var st qos.Status
+			if err := fetchDebugJSON(addr, "/debug/qos", &st); err != nil {
+				return err
+			}
+			fmt.Printf("%s\n%s", addr, st.Format())
+		}
+		return nil
+	}
+}
+
 var errNotFound = errors.New("trace not found")
 
 // fetchTraceJSON GETs /debug/trace?format=json[&query] from an
@@ -798,6 +828,21 @@ func fetchTraceJSON(addr, query string, out any) error {
 	if resp.StatusCode == http.StatusNotFound {
 		return errNotFound
 	}
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("%s: %s: %s", u, resp.Status, strings.TrimSpace(string(body)))
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// fetchDebugJSON GETs an arbitrary debug endpoint's JSON form.
+func fetchDebugJSON(addr, path string, out any) error {
+	u := "http://" + addr + path + "?format=json"
+	resp, err := http.Get(u)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
 		return fmt.Errorf("%s: %s: %s", u, resp.Status, strings.TrimSpace(string(body)))

@@ -10,6 +10,9 @@
 //	          [-metrics-addr host:port] [-max-frame-mb 64]
 //	          [-drain-timeout 10s] [-fault SPEC] [-fault-seed N]
 //	          [-node NAME] [-trace] [-slow-op DUR]
+//	          [-qos] [-qos-inflight N] [-qos-queue N] [-qos-mem-mb N]
+//	          [-qos-wait DUR] [-qos-rate-mb F] [-qos-ops F]
+//	          [-qos-tenants SPEC]
 //
 // With -data-dir each subfile is a real file under the directory (the
 // original Clusterfile I/O nodes' local disks); without it subfiles
@@ -29,6 +32,20 @@
 // the bound listen address), and -slow-op 50ms warns about any request
 // slower than 50ms with its trace ID. `parafilectl top` and
 // `parafilectl trace` read the /debug/trace endpoint.
+//
+// -qos turns on admission control: data-plane requests are bounded by
+// -qos-inflight concurrent executions, -qos-mem-mb of in-flight
+// request memory and a fair-share queue of -qos-queue waiters (shed
+// oldest-write-first when it overflows, or after -qos-wait in queue),
+// while control-plane requests (pings, stats, epoch fencing, metadata)
+// bypass the queue so the cluster stays steerable under overload.
+// -qos-rate-mb / -qos-ops set the default per-tenant token-bucket
+// quotas (0 = unlimited) and -qos-tenants names per-tenant overrides
+// with the internal/qos grammar name:weight[:mbps[:ops]], e.g.
+// -qos-tenants gold:4,bulk:1:8. Shed requests answer with a typed
+// overloaded error carrying a retry-after hint; clients back off
+// without tripping circuit breakers. -metrics-addr then also serves
+// /debug/qos (text, ?format=json) — `parafilectl qos` reads it.
 package main
 
 import (
@@ -45,6 +62,7 @@ import (
 
 	"parafile/internal/fault"
 	"parafile/internal/obs"
+	"parafile/internal/qos"
 	"parafile/internal/rpc"
 )
 
@@ -62,6 +80,14 @@ func main() {
 	nodeName := flag.String("node", "", "node label stamped on this daemon's trace spans and log lines (default: the listen address)")
 	trace := flag.Bool("trace", true, "grant FeatureTrace to clients and record server-side spans (off: byte-identical v2/v3 wire behavior)")
 	slowOp := flag.Duration("slow-op", 0, "log a structured warning for server requests slower than this (0 disables)")
+	qosOn := flag.Bool("qos", false, "enable admission control and fair-share scheduling on the data plane")
+	qosInflight := flag.Int("qos-inflight", 0, "max concurrently executing data-plane requests (0 = default 256)")
+	qosQueue := flag.Int("qos-queue", 0, "max queued data-plane requests before shedding (0 = default 4x inflight)")
+	qosMemMB := flag.Int64("qos-mem-mb", 0, "in-flight request memory budget in MiB (0 = default 256)")
+	qosWait := flag.Duration("qos-wait", 0, "max queue residence before a request is shed (0 = default 1s)")
+	qosRateMB := flag.Float64("qos-rate-mb", 0, "default per-tenant byte quota in MiB/s (0 = unlimited)")
+	qosOps := flag.Float64("qos-ops", 0, "default per-tenant operation quota per second (0 = unlimited)")
+	qosTenants := flag.String("qos-tenants", "", "per-tenant overrides, e.g. gold:4,bulk:1:8 (name:weight[:mbps[:ops]])")
 	flag.Parse()
 	if flag.NArg() > 0 {
 		log.Fatalf("unexpected arguments: %v", flag.Args())
@@ -74,6 +100,27 @@ func main() {
 	}
 
 	reg := obs.NewRegistry()
+
+	var limiter *qos.Limiter
+	if *qosOn {
+		tenants, err := qos.ParseTenants(*qosTenants)
+		if err != nil {
+			log.Fatal(err)
+		}
+		limiter = qos.NewLimiter(qos.Config{
+			MaxInFlight: *qosInflight,
+			MaxQueue:    *qosQueue,
+			MemoryBytes: *qosMemMB << 20,
+			MaxWait:     *qosWait,
+			DefaultLimit: qos.TenantLimit{
+				Weight:      1,
+				BytesPerSec: *qosRateMB * (1 << 20),
+				OpsPerSec:   *qosOps,
+			},
+			Tenants: tenants,
+			Metrics: reg,
+		})
+	}
 
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
@@ -99,6 +146,7 @@ func main() {
 		Tracer:          tracer,
 		Log:             slogger,
 		SlowOp:          *slowOp,
+		QoS:             limiter,
 	})
 	if *faultSpec != "" {
 		plan, err := fault.ParseSpec(*faultSpec, *faultSeed)
@@ -116,7 +164,15 @@ func main() {
 
 	var metricsShutdown func(context.Context) error
 	if *metricsAddr != "" {
-		addr, shutdown, err := obs.ServeWith(*metricsAddr, reg, tracer)
+		var extra []obs.DebugEndpoint
+		if limiter != nil {
+			extra = append(extra, obs.DebugEndpoint{
+				Path: "/debug/qos",
+				JSON: func() any { return limiter.Status() },
+				Text: func() string { return limiter.Status().Format() },
+			})
+		}
+		addr, shutdown, err := obs.ServeWith(*metricsAddr, reg, tracer, extra...)
 		if err != nil {
 			log.Fatal(err)
 		}

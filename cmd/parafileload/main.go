@@ -1,0 +1,418 @@
+// Command parafileload is an open-loop load generator for parafiled
+// daemons — the overload-robustness harness behind BENCH_9.json and
+// the CI overload matrix. It drives mixed tenants at fixed arrival
+// rates against real daemons and reports, per tenant, the latency
+// distribution (p50/p95/p99), goodput, and how many requests the
+// cluster admitted, shed, or failed.
+//
+// Usage:
+//
+//	parafileload -remote host:port,... \
+//	    -workloads 'gold:200:64,bulk:800:256' -duration 15s [-json]
+//
+// Each workload is name:ops:sizekb[:read_pct] — a tenant named
+// `name` issuing `ops` requests per second of `sizekb`-KiB payloads,
+// of which read_pct percent are reads (default 0: all writes). The
+// generator is open loop: arrivals follow the configured rate no
+// matter how slowly the cluster answers, and every latency is
+// measured from the request's *intended* start, so queueing delay is
+// charged to the server instead of being hidden by coordinated
+// omission. Overload answers (the typed qos backpressure error)
+// count as `shed`, hard errors as `failed`; shed work is safe to
+// retry — by contract nothing of a shed request executed.
+//
+// -retries 0 (the default) disables client-side retries so the raw
+// shed rate is visible; give the tenants a retry budget to measure
+// the effective goodput a backing-off client achieves instead.
+//
+// With -json the report is a machine-readable document (used by the
+// checked-in BENCH_9.json and the CI overload matrix); without, a
+// human-readable table.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"parafile/internal/codec"
+	"parafile/internal/falls"
+	"parafile/internal/obs"
+	"parafile/internal/part"
+	"parafile/internal/qos"
+	"parafile/internal/rpc"
+)
+
+// workload is one tenant's offered load.
+type workload struct {
+	Name    string
+	OpsPer  float64 // arrivals per second
+	SizeKB  int64   // payload per request
+	ReadPct int     // percent of requests that are reads
+}
+
+// parseWorkloads parses the name:ops:sizekb[:read_pct] grammar.
+func parseWorkloads(spec string) ([]workload, error) {
+	var out []workload
+	seen := map[string]bool{}
+	for _, tok := range strings.Split(spec, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		parts := strings.Split(tok, ":")
+		if len(parts) < 3 || len(parts) > 4 {
+			return nil, fmt.Errorf("workload %q: want name:ops:sizekb[:read_pct]", tok)
+		}
+		w := workload{Name: strings.TrimSpace(parts[0])}
+		if w.Name == "" {
+			return nil, fmt.Errorf("workload %q has no tenant name", tok)
+		}
+		if seen[w.Name] {
+			return nil, fmt.Errorf("tenant %q specified twice", w.Name)
+		}
+		seen[w.Name] = true
+		ops, err := strconv.ParseFloat(parts[1], 64)
+		if err != nil || ops <= 0 {
+			return nil, fmt.Errorf("workload %q: bad ops/s %q", tok, parts[1])
+		}
+		w.OpsPer = ops
+		kb, err := strconv.ParseInt(parts[2], 10, 64)
+		if err != nil || kb <= 0 {
+			return nil, fmt.Errorf("workload %q: bad size-kb %q", tok, parts[2])
+		}
+		w.SizeKB = kb
+		if len(parts) == 4 {
+			pct, err := strconv.Atoi(parts[3])
+			if err != nil || pct < 0 || pct > 100 {
+				return nil, fmt.Errorf("workload %q: bad read_pct %q", tok, parts[3])
+			}
+			w.ReadPct = pct
+		}
+		out = append(out, w)
+	}
+	if len(out) == 0 {
+		return nil, errors.New("no workloads given")
+	}
+	return out, nil
+}
+
+// tenantReport is one tenant's measured outcome, the JSON unit of the
+// report document.
+type tenantReport struct {
+	Name        string  `json:"name"`
+	TargetOps   float64 `json:"target_ops_per_s"`
+	SizeKB      int64   `json:"size_kb"`
+	Issued      int64   `json:"issued"`
+	OK          int64   `json:"ok"`
+	Shed        int64   `json:"shed"`
+	Failed      int64   `json:"failed"`
+	Dropped     int64   `json:"dropped"`
+	GoodputMBps float64 `json:"goodput_mbps"`
+	P50Ms       float64 `json:"p50_ms"`
+	P95Ms       float64 `json:"p95_ms"`
+	P99Ms       float64 `json:"p99_ms"`
+	MaxMs       float64 `json:"max_ms"`
+}
+
+// report is the whole run's outcome document.
+type report struct {
+	Remotes   []string       `json:"remotes"`
+	DurationS float64        `json:"duration_s"`
+	Retries   int            `json:"retries"`
+	Tenants   []tenantReport `json:"tenants"`
+}
+
+// tenantRun aggregates one tenant's in-flight accounting.
+type tenantRun struct {
+	w       workload
+	clients []*rpc.Client
+	data    []byte
+	// sem bounds outstanding requests: the arrival process stays open
+	// loop up to the cap, and arrivals past it are recorded as dropped
+	// instead of queueing unbounded frame memory inside the generator
+	// (which would shift the measured collapse from the cluster to the
+	// measuring tool).
+	sem chan struct{}
+
+	mu        sync.Mutex
+	issued    int64
+	ok        int64
+	shed      int64
+	failed    int64
+	dropped   int64
+	okBytes   int64
+	latencies []time.Duration
+}
+
+func (t *tenantRun) record(start time.Time, bytes int64, err error) {
+	lat := time.Since(start)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	switch {
+	case err == nil:
+		t.ok++
+		t.okBytes += bytes
+		t.latencies = append(t.latencies, lat)
+	case errors.Is(err, qos.ErrOverloaded):
+		t.shed++
+	default:
+		t.failed++
+	}
+}
+
+// percentile returns the q-th percentile of sorted latencies in ms.
+func percentile(sorted []time.Duration, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return float64(sorted[i]) / float64(time.Millisecond)
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("parafileload: ")
+	remote := flag.String("remote", "", "comma-separated parafiled endpoints (host:port,...)")
+	workloads := flag.String("workloads", "", "tenant workloads, name:ops:sizekb[:read_pct],...")
+	duration := flag.Duration("duration", 10*time.Second, "measured run length")
+	opTimeout := flag.Duration("op-timeout", 5*time.Second, "per-request deadline")
+	retries := flag.Int("retries", 0, "client retry attempts per request (0 = none: raw shed rate)")
+	outstanding := flag.Int("max-outstanding", 512, "per-tenant in-flight cap; arrivals past it count as dropped")
+	window := flag.Int64("window-mb", 64, "per-tenant file window the offsets are drawn from (MiB)")
+	seed := flag.Int64("seed", 1, "offset/read-mix randomness seed")
+	asJSON := flag.Bool("json", false, "emit the report as JSON")
+	flag.Parse()
+	if *remote == "" || *workloads == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	specs, err := parseWorkloads(*workloads)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var addrs []string
+	for _, a := range strings.Split(*remote, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			addrs = append(addrs, a)
+		}
+	}
+	if len(addrs) == 0 {
+		log.Fatal("no -remote endpoints")
+	}
+
+	rep, err := run(addrs, specs, *duration, *opTimeout, *retries, *outstanding, *window<<20, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	printReport(rep)
+}
+
+// loadPhys is the single-subfile physical layout every load file is
+// created with: one contiguous element, so zero-fingerprint writes
+// land as plain contiguous I/O.
+func loadPhys() []byte {
+	pattern := part.MustPattern(
+		part.Element{Name: "s0", Set: falls.Set{falls.MustLeaf(0, 63, 64, 1)}},
+	)
+	return codec.EncodeFile(part.MustFile(0, pattern))
+}
+
+func run(addrs []string, specs []workload, dur, opTimeout time.Duration, retries, outstanding int, window, seed int64) (*report, error) {
+	ctx := context.Background()
+	phys := loadPhys()
+	maxRetries := retries
+	if maxRetries == 0 {
+		maxRetries = -1 // rpc default-0 means "4 attempts"; -1 disables
+	}
+
+	var runs []*tenantRun
+	for _, w := range specs {
+		tr := &tenantRun{w: w, data: make([]byte, w.SizeKB<<10), sem: make(chan struct{}, outstanding)}
+		rnd := rand.New(rand.NewSource(seed))
+		rnd.Read(tr.data)
+		for _, addr := range addrs {
+			c := rpc.NewClient(rpc.ClientConfig{
+				Addr:       addr,
+				Tenant:     w.Name,
+				MaxRetries: maxRetries,
+				// The generator measures overloads; a breaker that
+				// fast-fails after shed bursts would distort the
+				// arrival process (and sheds must never trip it
+				// anyway — this also guards hard-failure storms).
+				BreakerThreshold: -1,
+				Metrics:          obs.NewRegistry(),
+			})
+			if err := c.CreateFile(ctx, &rpc.CreateFileReq{
+				Name: "load-" + w.Name, Phys: phys, Subfiles: []int{0}, Reopen: true,
+			}); err != nil {
+				c.Close()
+				return nil, fmt.Errorf("create load file for %q on %s: %w", w.Name, addr, err)
+			}
+			tr.clients = append(tr.clients, c)
+		}
+		runs = append(runs, tr)
+	}
+	defer func() {
+		for _, tr := range runs {
+			for _, c := range tr.clients {
+				c.Close()
+			}
+		}
+	}()
+
+	// Seed each tenant's window so reads have bytes to gather.
+	for _, tr := range runs {
+		for _, c := range tr.clients {
+			if err := c.WriteSegments(ctx, &rpc.WriteSegsReq{
+				File: "load-" + tr.w.Name, Subfile: 0,
+				Lo: 0, Hi: int64(len(tr.data)) - 1, Data: tr.data,
+			}); err != nil {
+				return nil, fmt.Errorf("seed write for %q: %w", tr.w.Name, err)
+			}
+		}
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i, tr := range runs {
+		wg.Add(1)
+		go func(tr *tenantRun, tseed int64) {
+			defer wg.Done()
+			tr.generate(stop, opTimeout, window, tseed)
+		}(tr, seed+int64(i)+1)
+	}
+	time.Sleep(dur)
+	close(stop)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	rep := &report{Remotes: addrs, DurationS: elapsed.Seconds(), Retries: retries}
+	for _, tr := range runs {
+		tr.mu.Lock()
+		sort.Slice(tr.latencies, func(i, j int) bool { return tr.latencies[i] < tr.latencies[j] })
+		t := tenantReport{
+			Name:      tr.w.Name,
+			TargetOps: tr.w.OpsPer,
+			SizeKB:    tr.w.SizeKB,
+			Issued:    tr.issued,
+			OK:        tr.ok,
+			Shed:      tr.shed,
+			Failed:    tr.failed,
+			Dropped:   tr.dropped,
+			GoodputMBps: float64(tr.okBytes) / elapsed.Seconds() /
+				float64(1<<20),
+			P50Ms: percentile(tr.latencies, 0.50),
+			P95Ms: percentile(tr.latencies, 0.95),
+			P99Ms: percentile(tr.latencies, 0.99),
+			MaxMs: percentile(tr.latencies, 1.0),
+		}
+		tr.mu.Unlock()
+		rep.Tenants = append(rep.Tenants, t)
+	}
+	return rep, nil
+}
+
+// generate runs one tenant's open-loop arrival process until stop
+// closes: a request is launched at every tick of the configured rate,
+// regardless of how many are still outstanding.
+func (t *tenantRun) generate(stop chan struct{}, opTimeout time.Duration, window, seed int64) {
+	rnd := rand.New(rand.NewSource(seed))
+	// Wake on a coarse tick and launch the arrival deficit — every
+	// request the schedule owes since the last wakeup — so the offered
+	// rate holds even when the interval is far below timer resolution
+	// (a plain ticker silently coalesces sub-millisecond ticks and
+	// degrades the open loop into a closed one under overload).
+	ticker := time.NewTicker(2 * time.Millisecond)
+	defer ticker.Stop()
+	var wg sync.WaitGroup
+	file := "load-" + t.w.Name
+	size := int64(len(t.data))
+	slots := window / size
+	if slots < 1 {
+		slots = 1
+	}
+	begin := time.Now()
+	for n := 0; ; {
+		select {
+		case <-stop:
+			wg.Wait()
+			return
+		case <-ticker.C:
+		}
+		due := int(time.Since(begin).Seconds() * t.w.OpsPer)
+		for ; n < due; n++ {
+			t.launch(&wg, n, size, slots, file, rnd, opTimeout)
+		}
+	}
+}
+
+// launch fires the n-th request of the schedule.
+func (t *tenantRun) launch(wg *sync.WaitGroup, n int, size, slots int64, file string, rnd *rand.Rand, opTimeout time.Duration) {
+	c := t.clients[n%len(t.clients)]
+	off := (rnd.Int63n(slots)) * size
+	isRead := rnd.Intn(100) < t.w.ReadPct
+	t.mu.Lock()
+	t.issued++
+	t.mu.Unlock()
+	select {
+	case t.sem <- struct{}{}:
+	default:
+		t.mu.Lock()
+		t.dropped++
+		t.mu.Unlock()
+		return
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer func() { <-t.sem }()
+		start := time.Now()
+		ctx, cancel := context.WithTimeout(context.Background(), opTimeout)
+		defer cancel()
+		var err error
+		if isRead {
+			dst := make([]byte, size)
+			err = c.ReadSegments(ctx, &rpc.ReadSegsReq{
+				File: file, Subfile: 0, Lo: 0, Hi: size - 1, N: size,
+			}, dst)
+		} else {
+			err = c.WriteSegments(ctx, &rpc.WriteSegsReq{
+				File: file, Subfile: 0, Lo: off, Hi: off + size - 1, Data: t.data,
+			})
+		}
+		t.record(start, size, err)
+	}()
+}
+
+func printReport(rep *report) {
+	fmt.Printf("parafileload: %s for %.1fs (retries %d)\n\n",
+		strings.Join(rep.Remotes, ","), rep.DurationS, rep.Retries)
+	fmt.Printf("%-12s %10s %8s %8s %8s %8s %8s %8s %12s %9s %9s %9s\n",
+		"TENANT", "TARGET/S", "ISSUED", "OK", "SHED", "FAILED", "DROP", "KB",
+		"GOODPUT", "P50", "P95", "P99")
+	for _, t := range rep.Tenants {
+		fmt.Printf("%-12s %10.0f %8d %8d %8d %8d %8d %8d %9.2fMB/s %7.1fms %7.1fms %7.1fms\n",
+			t.Name, t.TargetOps, t.Issued, t.OK, t.Shed, t.Failed, t.Dropped, t.SizeKB,
+			t.GoodputMBps, t.P50Ms, t.P95Ms, t.P99Ms)
+	}
+}

@@ -8,6 +8,7 @@ import (
 
 	"parafile/internal/falls"
 	"parafile/internal/obs"
+	"parafile/internal/qos"
 	"parafile/internal/redist"
 	"parafile/internal/sim"
 )
@@ -139,11 +140,18 @@ func (op *WriteOp) completeOne(c *Cluster) {
 }
 
 // nodeFailed records a delivery error for one I/O node, cancelling
-// siblings when the cluster is configured fail-fast.
+// siblings when the cluster is configured fail-fast. Overload answers
+// (admission control shed the request through the client's whole
+// retry budget) are a class of their own: nothing executed, nothing
+// torn, and the node is healthy — so they never trip fail-fast and
+// surface as OutcomeShed rather than OutcomeFailed.
 func (op *WriteOp) nodeFailed(c *Cluster, ioNode int, err error) {
-	if isCtxErr(err) {
+	switch {
+	case isCtxErr(err):
 		op.outcomes.cancel(ioNode, err)
-	} else {
+	case errors.Is(err, qos.ErrOverloaded):
+		op.outcomes.shed(ioNode, err)
+	default:
 		op.outcomes.fail(ioNode, err)
 		if op.failFast {
 			op.cancel()
@@ -443,9 +451,12 @@ func (op *ReadOp) completeOne(c *Cluster) {
 }
 
 func (op *ReadOp) nodeFailed(c *Cluster, ioNode int, err error) {
-	if isCtxErr(err) {
+	switch {
+	case isCtxErr(err):
 		op.outcomes.cancel(ioNode, err)
-	} else {
+	case errors.Is(err, qos.ErrOverloaded):
+		op.outcomes.shed(ioNode, err)
+	default:
 		op.outcomes.fail(ioNode, err)
 		if op.failFast {
 			op.cancel()
@@ -541,7 +552,13 @@ func (c *Cluster) serverRead(op *ReadOp, v *View, sub *subView, replica int,
 	// placement group exhausted — fail the delivery for real.
 	fail := func(err error) {
 		if !isCtxErr(err) && replica+1 < f.Replication {
-			op.outcomes.fail(ioNode, err)
+			// A saturated replica is shed, not failed — either way the
+			// read fails over to the next replica in the group.
+			if errors.Is(err, qos.ErrOverloaded) {
+				op.outcomes.shed(ioNode, err)
+			} else {
+				op.outcomes.fail(ioNode, err)
+			}
 			c.met.failovers.Inc()
 			next := f.Placement[replica+1][sub.subfile]
 			op.Stats.Messages++

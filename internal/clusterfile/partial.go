@@ -29,6 +29,12 @@ const (
 	// cancellation, per-op deadline, or sibling fail-fast) before the
 	// node's work ran.
 	OutcomeCancelled
+	// OutcomeShed: the node answered with admission-control
+	// backpressure (ErrCodeOverloaded) and the retry budget ran out
+	// before capacity returned. Nothing was executed — the window is
+	// untouched, not torn — and the node is healthy, just saturated;
+	// retry later rather than repairing.
+	OutcomeShed
 )
 
 func (s OutcomeState) String() string {
@@ -39,6 +45,8 @@ func (s OutcomeState) String() string {
 		return "failed"
 	case OutcomeCancelled:
 		return "cancelled"
+	case OutcomeShed:
+		return "shed"
 	}
 	return fmt.Sprintf("OutcomeState(%d)", int(s))
 }
@@ -82,6 +90,9 @@ func (e *PartialError) Error() string {
 			}
 		}
 	}
+	if shed := e.Nodes(OutcomeShed); len(shed) > 0 {
+		fmt.Fprintf(&b, "; shed %v", shed)
+	}
 	if cancelled := e.Nodes(OutcomeCancelled); len(cancelled) > 0 {
 		fmt.Fprintf(&b, "; cancelled %v", cancelled)
 	}
@@ -97,6 +108,11 @@ func (e *PartialError) Error() string {
 func (e *PartialError) Unwrap() error {
 	for _, o := range e.Outcomes {
 		if o.State == OutcomeFailed && o.Err != nil {
+			return o.Err
+		}
+	}
+	for _, o := range e.Outcomes {
+		if o.State == OutcomeShed && o.Err != nil {
 			return o.Err
 		}
 	}
@@ -195,11 +211,21 @@ func (s *outcomeSet) ok(ioNode int, bytes int64) {
 }
 
 // fail marks a node failed with its first error. Failed dominates
-// cancelled: a node that failed hard stays failed.
+// shed and cancelled: a node that failed hard stays failed.
 func (s *outcomeSet) fail(ioNode int, err error) {
 	o := s.get(ioNode)
 	if o.State != OutcomeFailed {
 		o.State = OutcomeFailed
+		o.Err = err
+	}
+}
+
+// shed marks a node shed by admission control, unless it already
+// failed hard — an overload answer beside a real failure is noise.
+func (s *outcomeSet) shed(ioNode int, err error) {
+	o := s.get(ioNode)
+	if o.State != OutcomeFailed {
+		o.State = OutcomeShed
 		o.Err = err
 	}
 }

@@ -1,0 +1,142 @@
+package clusterfile
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"parafile/internal/part"
+	"parafile/internal/qos"
+)
+
+// shed_test.go pins the third outcome class: a node that answers with
+// admission-control backpressure is SHED — not failed (it is healthy),
+// not cancelled (the caller did not give up). The contract callers
+// rely on: shed never trips fail-fast cancellation of the healthy
+// siblings, and the whole partial error still matches
+// qos.ErrOverloaded so retry loops can tell backpressure from damage.
+
+// shedStorage refuses writes to one subfile with a typed overload, as
+// a shedding remote daemon does through the rpc transport.
+type shedStorage struct {
+	memStorage
+	shed bool
+}
+
+func (s *shedStorage) WriteAt(p []byte, off int64) error {
+	if s.shed {
+		return &qos.Overload{Reason: "injected"}
+	}
+	return s.memStorage.WriteAt(p, off)
+}
+
+func shedCluster(t *testing.T, failFast bool) (*Cluster, *View, int64) {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.FailFast = failFast
+	cfg.Storage = func(_ string, sub int) (Storage, error) {
+		return &shedStorage{shed: sub == 0}, nil
+	}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 32
+	cols, err := part.ColBlocks(n, n, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := c.CreateFile("shedding", part.MustFile(0, cols), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := part.RowBlocks(n, n, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := f.SetView(0, part.MustFile(0, rows), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, v, n * n / 4
+}
+
+// TestShedOutcomeDoesNotTripFailFast: with fail-fast on, a hard
+// failure cancels the siblings — a shed must not, because the shed
+// node asks for a later retry while the rest of the collective is
+// landing bytes on healthy nodes.
+func TestShedOutcomeDoesNotTripFailFast(t *testing.T) {
+	c, v, per := shedCluster(t, true)
+	buf := make([]byte, per)
+	op, err := v.StartWrite(ToBufferCache, 0, per-1, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.RunAll()
+	if op.Err == nil {
+		t.Fatal("write against a shedding subfile reported no error")
+	}
+	var pe *PartialError
+	if !errors.As(op.Err, &pe) {
+		t.Fatalf("op error is %T (%v), want *PartialError", op.Err, op.Err)
+	}
+	if !errors.Is(op.Err, qos.ErrOverloaded) {
+		t.Fatalf("partial error does not match qos.ErrOverloaded: %v", op.Err)
+	}
+	shed := pe.Nodes(OutcomeShed)
+	if len(shed) == 0 {
+		t.Fatalf("no shed outcomes in %v", pe)
+	}
+	if failed := pe.Nodes(OutcomeFailed); len(failed) != 0 {
+		t.Fatalf("shed answers recorded as hard failures on nodes %v", failed)
+	}
+	if cancelled := pe.Nodes(OutcomeCancelled); len(cancelled) != 0 {
+		t.Fatalf("shed tripped fail-fast: siblings %v cancelled", cancelled)
+	}
+	if ok := pe.Nodes(OutcomeOK); len(ok) == 0 {
+		t.Fatal("healthy siblings landed no bytes while one node shed")
+	}
+	if !strings.Contains(pe.Error(), "shed") {
+		t.Fatalf("rendering %q does not name the shed nodes", pe.Error())
+	}
+	if c.K.Pending() != 0 {
+		t.Errorf("kernel left %d pending events", c.K.Pending())
+	}
+}
+
+// TestOutcomePrecedence: failed dominates shed dominates cancelled —
+// whichever order the answers arrive in.
+func TestOutcomePrecedence(t *testing.T) {
+	hard := errors.New("disk on fire")
+	over := &qos.Overload{Reason: "queue_full"}
+
+	s := newOutcomeSet("write")
+	s.fail(1, hard)
+	s.shed(1, over) // shed after a hard failure must not mask it
+	if o := s.get(1); o.State != OutcomeFailed || o.Err != hard {
+		t.Fatalf("node 1 = %v/%v, want failed/%v", o.State, o.Err, hard)
+	}
+
+	s.shed(2, over)
+	s.cancel(2, context.Canceled) // cancel after shed keeps the shed
+	if o := s.get(2); o.State != OutcomeShed {
+		t.Fatalf("node 2 = %v, want shed", o.State)
+	}
+
+	s.shed(3, over)
+	s.fail(3, hard) // a later hard failure upgrades a shed
+	if o := s.get(3); o.State != OutcomeFailed {
+		t.Fatalf("node 3 = %v, want failed", o.State)
+	}
+
+	// Shed counts as non-OK for quorum: a group whose only answer was
+	// shed misses quorum and the operation fails.
+	q := newOutcomeSet("write")
+	q.group(groupKey(0), 1)
+	q.shed(0, over)
+	err, degraded := q.finalize()
+	if err == nil {
+		t.Fatalf("quorum met by a shed answer (degraded=%v)", degraded)
+	}
+}

@@ -29,6 +29,22 @@ type Storage interface {
 	Close() error
 }
 
+// Remover is the optional capability of a Storage whose backing
+// medium can be deleted outright. RemoveStorage uses it after Close
+// when a store generation is garbage-collected; stores without it
+// (memory-backed) have nothing durable to reclaim.
+type Remover interface {
+	Remove() error
+}
+
+// RemoveStorage deletes a closed store's backing medium if it has one.
+func RemoveStorage(st Storage) error {
+	if r, ok := st.(Remover); ok {
+		return r.Remove()
+	}
+	return nil
+}
+
 // memStorage is the default in-memory store.
 type memStorage struct {
 	data []byte
@@ -125,6 +141,15 @@ func (s *fileStorage) Close() error {
 		return err
 	}
 	return s.f.Close()
+}
+
+// Remove deletes the subfile's backing file. Call after Close; a
+// missing file (already collected) is not an error.
+func (s *fileStorage) Remove() error {
+	if err := os.Remove(s.f.Name()); err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	return nil
 }
 
 // StorageFactory creates the store for one subfile.

@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"parafile/internal/obs"
+	"parafile/internal/qos"
 )
 
 // Kind is the fault a rule injects.
@@ -64,6 +65,12 @@ const (
 	// connection, then fails it permanently — the mid-stream crash.
 	// Connection-level only.
 	FailAfterBytes
+	// Overload answers scheduled calls with the typed admission
+	// backpressure error (qos.Overload carrying the rule's Delay as
+	// the RetryAfter hint) — exercising every overload-handling path
+	// without needing a genuinely saturated daemon: clients must back
+	// off without tripping breakers, collectives must report shed.
+	Overload
 )
 
 func (k Kind) String() string {
@@ -80,6 +87,8 @@ func (k Kind) String() string {
 		return "corrupt"
 	case FailAfterBytes:
 		return "fail-after-bytes"
+	case Overload:
+		return "overload"
 	}
 	return fmt.Sprintf("Kind(%d)", int(k))
 }
@@ -215,7 +224,7 @@ func NewInjector(plan Plan, reg *obs.Registry) *Injector {
 		rng:   rand.New(rand.NewSource(plan.Seed)),
 		met:   make(map[Kind]*obs.Counter),
 	}
-	for _, k := range []Kind{ErrorOnce, ErrorAlways, Delay, Hang, Corrupt, FailAfterBytes} {
+	for _, k := range []Kind{ErrorOnce, ErrorAlways, Delay, Hang, Corrupt, FailAfterBytes, Overload} {
 		inj.met[k] = reg.Counter(fmt.Sprintf(`%s{kind="%s"}`, MetricInjected, k))
 	}
 	return inj
@@ -291,6 +300,11 @@ func errFor(r *Rule, node int, op Op) error {
 	if r.Err != nil {
 		return r.Err
 	}
+	if r.Kind == Overload {
+		// The typed backpressure error, exactly as a saturated
+		// daemon's admission controller would answer.
+		return &qos.Overload{RetryAfter: r.Delay, Reason: "injected"}
+	}
 	return &InjectedError{Node: node, Op: op, Kind: r.Kind}
 }
 
@@ -314,7 +328,7 @@ func (inj *Injector) fire(ctx context.Context, node int, op Op, file string) err
 	}
 	annotate(ctx, r, node, op)
 	switch r.Kind {
-	case ErrorOnce, ErrorAlways, Corrupt:
+	case ErrorOnce, ErrorAlways, Corrupt, Overload:
 		// Corrupt degenerates to a plain error on non-data calls.
 		return errFor(r, node, op)
 	case Delay:
@@ -406,6 +420,8 @@ func (inj *Injector) corruptByte(p []byte) {
 //	delay:<duration>   sleep before every conn operation
 //	corrupt:<prob>     flip one byte of passing data with probability
 //	failafter:<bytes>  let bytes flow, then fail the conn permanently
+//	overload:<dur>     answer with typed overload backpressure whose
+//	                   RetryAfter hint is dur (transport seam only)
 //
 // e.g. "error:0.01,delay:5ms". The rules target every connection
 // (AnyNode). seed makes probabilistic schedules reproducible.
@@ -452,6 +468,15 @@ func ParseSpec(spec string, seed int64) (Plan, error) {
 				}
 				rule.Prob = p
 			}
+		case "overload":
+			rule.Kind = Overload
+			if hasArg {
+				d, err := time.ParseDuration(arg)
+				if err != nil {
+					return plan, fmt.Errorf("fault: bad overload retry-after %q: %v", arg, err)
+				}
+				rule.Delay = d
+			}
 		case "failafter":
 			if !hasArg {
 				return plan, fmt.Errorf("fault: failafter needs a byte count (failafter:65536)")
@@ -463,7 +488,7 @@ func ParseSpec(spec string, seed int64) (Plan, error) {
 			rule.Kind = FailAfterBytes
 			rule.Bytes = n
 		default:
-			return plan, fmt.Errorf("fault: unknown fault %q (want error, error-once, delay, corrupt, failafter)", name)
+			return plan, fmt.Errorf("fault: unknown fault %q (want error, error-once, delay, corrupt, failafter, overload)", name)
 		}
 		plan.Rules = append(plan.Rules, rule)
 	}

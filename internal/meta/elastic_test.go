@@ -3,12 +3,14 @@ package meta
 import (
 	"bytes"
 	"context"
+	"errors"
 	"fmt"
 	"net"
 	"sync"
 	"testing"
 	"time"
 
+	"parafile/internal/clusterfile"
 	"parafile/internal/obs"
 	"parafile/internal/rpc"
 )
@@ -373,4 +375,80 @@ func TestElasticWriteRaceNeverTorn(t *testing.T) {
 func counterValue(t *testing.T, reg *obs.Registry, name string) uint64 {
 	t.Helper()
 	return reg.Counter(name).Value()
+}
+
+// TestRebalanceGCSweepsOldStores: once a rebalance commits and the old
+// epoch is unfenced, the superseded `name@epoch` stores (and their
+// replica siblings) are deleted from the daemons — the counted GC
+// sweep — while reads keep working against the new epoch's stores.
+func TestRebalanceGCSweepsOldStores(t *testing.T) {
+	tc := startElasticCluster(t, 3)
+	ctx := context.Background()
+	cl := tc.dial()
+	defer cl.Close()
+	for addr := range tc.daemons {
+		if _, err := cl.SetNode(ctx, addr, rpc.NodeActive); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	const size = 3 * 3 * 4096
+	f, err := cl.Create(ctx, "data", 4096, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	want := patternBuf(0, size)
+	if err := f.WriteAt(ctx, want, 0); err != nil {
+		t.Fatal(err)
+	}
+	oldStore := f.Placement().StoreName
+	oldNodes := append([]string(nil), f.Placement().Nodes...)
+
+	added := tc.startDaemon()
+	if _, err := cl.AddNode(ctx, added); err != nil {
+		t.Fatalf("AddNode: %v", err)
+	}
+
+	if n := counterValue(t, tc.reg, "parafile_meta_gc_total"); n != 1 {
+		t.Fatalf("parafile_meta_gc_total = %d, want 1 swept store", n)
+	}
+
+	// The old epoch's stores — base and replica — answer unknown-file
+	// on every node that held them.
+	for _, addr := range oldNodes {
+		c := rpc.NewClient(rpc.ClientConfig{Addr: addr, MaxRetries: -1})
+		for _, store := range []string{oldStore, clusterfile.ReplicaName(oldStore, 1)} {
+			for sub := int64(0); sub < 3; sub++ {
+				if _, err := c.Stat(ctx, store, sub); !errors.Is(err, rpc.ErrUnknownFile) {
+					t.Errorf("node %s store %q subfile %d: %v, want unknown file (swept)", addr, store, sub, err)
+				}
+			}
+		}
+		c.Close()
+	}
+
+	// A fresh open reads the new epoch's stores — nothing the sweep
+	// removed was still load-bearing.
+	r, err := cl.Open(ctx, "data")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	got := make([]byte, size)
+	if err := r.ReadAt(ctx, got, 0); err != nil {
+		t.Fatalf("read after gc: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("bytes diverged after the gc sweep")
+	}
+
+	// The pre-rebalance handle (bound to the swept store) refetches on
+	// unknown-file and keeps working.
+	if err := f.ReadAt(ctx, got, 0); err != nil {
+		t.Fatalf("stale-handle read after gc: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("stale-handle bytes diverged after the gc sweep")
+	}
 }

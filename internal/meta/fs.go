@@ -55,6 +55,7 @@ type FS struct {
 	metStale      *obs.Counter
 	metRebalances *obs.Counter
 	metRebalanced *obs.Counter
+	metGC         *obs.Counter
 }
 
 // Dial connects to the metadata service at addr.
@@ -73,6 +74,7 @@ func Dial(addr string, opts Options) *FS {
 		fs.metStale = reg.Counter("parafile_meta_stale_retries_total")
 		fs.metRebalances = reg.Counter("parafile_rebalance_total")
 		fs.metRebalanced = reg.Counter("parafile_rebalance_bytes_moved_total")
+		fs.metGC = reg.Counter("parafile_meta_gc_total")
 	}
 	return fs
 }
@@ -309,20 +311,24 @@ func (f *File) Close() error {
 	return f.tr.Close()
 }
 
-// staleErr reports whether any failure in err's tree is a stale
-// placement verdict — including outcomes buried in a PartialError
-// whose Unwrap surfaces a different node's error first.
+// staleErr reports whether any failure in err's tree means the
+// client's placement view is out of date — a stale-placement verdict,
+// or an unknown-file answer from a daemon whose superseded store the
+// rebalance GC already swept. Both resolve the same way: refetch the
+// map and retry on the current epoch. PartialError outcomes are
+// scanned individually, since Unwrap may surface a different node's
+// error first.
 func staleErr(err error) bool {
 	if err == nil {
 		return false
 	}
-	if errors.Is(err, rpc.ErrStalePlacement) {
+	if errors.Is(err, rpc.ErrStalePlacement) || errors.Is(err, rpc.ErrUnknownFile) {
 		return true
 	}
 	var pe *clusterfile.PartialError
 	if errors.As(err, &pe) {
 		for _, o := range pe.Outcomes {
-			if o.Err != nil && errors.Is(o.Err, rpc.ErrStalePlacement) {
+			if o.Err != nil && (errors.Is(o.Err, rpc.ErrStalePlacement) || errors.Is(o.Err, rpc.ErrUnknownFile)) {
 				return true
 			}
 		}

@@ -218,6 +218,27 @@ func (fs *FS) rebalanceOnce(ctx context.Context, mf *rpc.MetaFile, target []stri
 	// old-epoch clients now get ErrStalePlacement on reads and writes
 	// alike, refetch the map, and land on the new store.
 	unfenceOld(committed.Epoch)
+
+	// GC the superseded generation: the committed map points at the
+	// new store, so the old name@epoch stores (replicas included) on
+	// the old placement are dead weight — close them and delete their
+	// backing data. Best-effort by design: a node that misses the
+	// sweep keeps an orphaned store whose stale readers see
+	// unknown-file and refetch, and the next rebalance of the file
+	// sweeps again.
+	if err := tr.RemoveStore(ctx, mf.StoreName); err != nil {
+		if fs.opts.Log != nil {
+			fs.opts.Log.Warn("rebalance gc", "file", mf.Name, "store", mf.StoreName, "err", err)
+		}
+	} else {
+		if fs.metGC != nil {
+			fs.metGC.Inc()
+		}
+		if fs.opts.Log != nil {
+			fs.opts.Log.Info("rebalance gc", "file", mf.Name, "store", mf.StoreName,
+				"nodes", len(mf.Nodes))
+		}
+	}
 	return res, nil
 }
 

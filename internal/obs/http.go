@@ -29,11 +29,36 @@ import (
 // unconditionally.
 func Handler(r *Registry) http.Handler { return HandlerWith(r, nil) }
 
+// DebugEndpoint is an extra debug route served beside the built-in
+// expositions — e.g. a daemon's /debug/qos admission snapshot. JSON
+// answers ?format=json requests; Text answers the rest (falling back
+// to the JSON encoding when Text is nil).
+type DebugEndpoint struct {
+	// Path is the absolute route, e.g. "/debug/qos".
+	Path string
+	// JSON produces the document encoded for ?format=json requests.
+	JSON func() any
+	// Text produces the human-readable rendering (optional).
+	Text func() string
+}
+
 // HandlerWith additionally serves /debug/trace from the tracer (nil
-// tracer: the endpoint reports tracing disabled) and the pprof
-// profiles under /debug/pprof/.
-func HandlerWith(r *Registry, t *Tracer) http.Handler {
+// tracer: the endpoint reports tracing disabled), the pprof profiles
+// under /debug/pprof/, and any extra debug endpoints.
+func HandlerWith(r *Registry, t *Tracer, extra ...DebugEndpoint) http.Handler {
 	mux := http.NewServeMux()
+	for _, ep := range extra {
+		ep := ep
+		mux.HandleFunc(ep.Path, func(w http.ResponseWriter, req *http.Request) {
+			if req.URL.Query().Get("format") == "json" || ep.Text == nil {
+				w.Header().Set("Content-Type", "application/json")
+				json.NewEncoder(w).Encode(ep.JSON())
+				return
+			}
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			w.Write([]byte(ep.Text()))
+		})
+	}
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		WriteProm(w, r)
@@ -152,12 +177,12 @@ func Serve(addr string, r *Registry) (string, func(context.Context) error, error
 // idempotent — concurrent and repeated calls all return the first
 // call's result rather than racing a second Shutdown/Close against a
 // listener that is already gone.
-func ServeWith(addr string, r *Registry, t *Tracer) (string, func(context.Context) error, error) {
+func ServeWith(addr string, r *Registry, t *Tracer, extra ...DebugEndpoint) (string, func(context.Context) error, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", nil, err
 	}
-	srv := &http.Server{Handler: HandlerWith(r, t)}
+	srv := &http.Server{Handler: HandlerWith(r, t, extra...)}
 	go srv.Serve(ln)
 	var once sync.Once
 	var shutErr error

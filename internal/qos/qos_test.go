@@ -1,0 +1,391 @@
+package qos
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"parafile/internal/obs"
+)
+
+func waitQueued(t *testing.T, l *Limiter, want int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if l.Status().Queued == want {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("queue never reached %d (at %d)", want, l.Status().Queued)
+}
+
+func TestAdmitAndRelease(t *testing.T) {
+	l := NewLimiter(Config{MaxInFlight: 2})
+	rel1, err := l.Acquire(context.Background(), "a", OpWrite, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel2, err := l.Acquire(context.Background(), "a", OpRead, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := l.Status().InFlight; got != 2 {
+		t.Fatalf("in-flight = %d, want 2", got)
+	}
+	rel1()
+	rel2()
+	if got := l.Status().InFlight; got != 0 {
+		t.Fatalf("in-flight after release = %d, want 0", got)
+	}
+}
+
+func TestNilLimiterAdmitsEverything(t *testing.T) {
+	var l *Limiter
+	rel, err := l.Acquire(context.Background(), "a", OpWrite, 1<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel()
+	if s := l.Status(); s == nil {
+		t.Fatal("nil limiter Status returned nil")
+	}
+}
+
+func TestControlBypassesSaturation(t *testing.T) {
+	l := NewLimiter(Config{MaxInFlight: 1, MaxQueue: 1, MaxWait: 50 * time.Millisecond})
+	rel, err := l.Acquire(context.Background(), "hog", OpWrite, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel()
+	// Data plane is saturated; control ops must still pass instantly.
+	for i := 0; i < 100; i++ {
+		crel, err := l.Acquire(context.Background(), "anyone", OpControl, 0)
+		if err != nil {
+			t.Fatalf("control op %d refused: %v", i, err)
+		}
+		crel()
+	}
+}
+
+func TestQueueTimeoutSheds(t *testing.T) {
+	l := NewLimiter(Config{MaxInFlight: 1, MaxWait: 30 * time.Millisecond})
+	rel, err := l.Acquire(context.Background(), "a", OpWrite, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel()
+	start := time.Now()
+	_, err = l.Acquire(context.Background(), "a", OpWrite, 1)
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("want ErrOverloaded, got %v", err)
+	}
+	var ov *Overload
+	if !errors.As(err, &ov) || ov.Reason != ReasonTimeout {
+		t.Fatalf("want timeout Overload, got %#v", err)
+	}
+	if ov.RetryAfter <= 0 {
+		t.Fatalf("RetryAfter = %v, want > 0", ov.RetryAfter)
+	}
+	if waited := time.Since(start); waited < 25*time.Millisecond {
+		t.Fatalf("shed after %v, before MaxWait", waited)
+	}
+}
+
+func TestQueueFullShedsOldestWrite(t *testing.T) {
+	l := NewLimiter(Config{MaxInFlight: 1, MaxQueue: 2, MaxWait: 5 * time.Second})
+	rel, err := l.Acquire(context.Background(), "a", OpWrite, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel()
+
+	type result struct {
+		op  Op
+		err error
+	}
+	results := make(chan result, 3)
+	// Oldest waiter is a READ, then a WRITE: the write must be the
+	// victim even though the read queued first.
+	go func() {
+		_, err := l.Acquire(context.Background(), "a", OpRead, 1)
+		results <- result{OpRead, err}
+	}()
+	waitQueued(t, l, 1)
+	go func() {
+		_, err := l.Acquire(context.Background(), "a", OpWrite, 1)
+		results <- result{OpWrite, err}
+	}()
+	waitQueued(t, l, 2)
+
+	// Queue is full: the next arrival evicts the oldest queued write.
+	go func() {
+		_, err := l.Acquire(context.Background(), "a", OpWrite, 1)
+		results <- result{OpWrite, err} // this one queues in the freed slot
+	}()
+
+	r := <-results
+	if r.op != OpWrite {
+		t.Fatalf("victim was %v, want the queued write", r.op)
+	}
+	var ov *Overload
+	if !errors.As(r.err, &ov) || ov.Reason != ReasonQueueFull {
+		t.Fatalf("victim error = %v, want queue_full Overload", r.err)
+	}
+}
+
+func TestByteQuota(t *testing.T) {
+	now := time.Unix(1000, 0)
+	cfg := Config{
+		MaxInFlight: 16,
+		Tenants:     map[string]TenantLimit{"a": {BytesPerSec: 1000}},
+		now:         func() time.Time { return now },
+	}
+	l := NewLimiter(cfg)
+	rel, err := l.Acquire(context.Background(), "a", OpWrite, 800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel()
+	_, err = l.Acquire(context.Background(), "a", OpWrite, 800)
+	var ov *Overload
+	if !errors.As(err, &ov) || ov.Reason != ReasonQuotaB {
+		t.Fatalf("want quota_bytes Overload, got %v", err)
+	}
+	// Deficit is 600 tokens at 1000/s: RetryAfter ≈ 600ms.
+	if ov.RetryAfter < 500*time.Millisecond || ov.RetryAfter > 700*time.Millisecond {
+		t.Fatalf("RetryAfter = %v, want ≈600ms", ov.RetryAfter)
+	}
+	now = now.Add(650 * time.Millisecond)
+	rel, err = l.Acquire(context.Background(), "a", OpWrite, 800)
+	if err != nil {
+		t.Fatalf("after refill: %v", err)
+	}
+	rel()
+	// Other tenants are not limited.
+	rel, err = l.Acquire(context.Background(), "b", OpWrite, 1<<20)
+	if err != nil {
+		t.Fatalf("unlimited tenant refused: %v", err)
+	}
+	rel()
+}
+
+func TestOpsQuota(t *testing.T) {
+	now := time.Unix(1000, 0)
+	cfg := Config{
+		MaxInFlight: 16,
+		Tenants:     map[string]TenantLimit{"a": {OpsPerSec: 2}},
+		now:         func() time.Time { return now },
+	}
+	l := NewLimiter(cfg)
+	for i := 0; i < 2; i++ {
+		rel, err := l.Acquire(context.Background(), "a", OpRead, 1)
+		if err != nil {
+			t.Fatalf("op %d: %v", i, err)
+		}
+		rel()
+	}
+	_, err := l.Acquire(context.Background(), "a", OpRead, 1)
+	var ov *Overload
+	if !errors.As(err, &ov) || ov.Reason != ReasonQuotaOps {
+		t.Fatalf("want quota_ops Overload, got %v", err)
+	}
+}
+
+func TestFairShareByWeight(t *testing.T) {
+	l := NewLimiter(Config{
+		MaxInFlight: 1,
+		MaxQueue:    100,
+		MaxWait:     30 * time.Second,
+		Tenants: map[string]TenantLimit{
+			"heavy": {Weight: 2},
+			"light": {Weight: 1},
+		},
+	})
+	relHold, err := l.Acquire(context.Background(), "warm", OpWrite, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var mu sync.Mutex
+	var order []string
+	var wg sync.WaitGroup
+	const perTenant = 12
+	enqueue := func(tenant string) {
+		defer wg.Done()
+		rel, err := l.Acquire(context.Background(), tenant, OpWrite, 1<<16)
+		if err != nil {
+			t.Errorf("%s: %v", tenant, err)
+			return
+		}
+		mu.Lock()
+		order = append(order, tenant)
+		mu.Unlock()
+		rel()
+	}
+	// Interleave arrivals so FIFO order alone cannot explain the
+	// outcome, and wait for each to be queued to fix arrival order.
+	for i := 0; i < perTenant; i++ {
+		wg.Add(2)
+		go enqueue("light")
+		waitQueued(t, l, 2*i+1)
+		go enqueue("heavy")
+		waitQueued(t, l, 2*i+2)
+	}
+	relHold()
+	wg.Wait()
+
+	// In the first half of the dispatch order, heavy (weight 2) must
+	// have been served about twice as often as light.
+	half := order[:len(order)/2]
+	heavy := 0
+	for _, name := range half {
+		if name == "heavy" {
+			heavy++
+		}
+	}
+	frac := float64(heavy) / float64(len(half))
+	if frac < 0.55 || frac > 0.80 {
+		t.Fatalf("heavy got %.0f%% of the first half, want ≈67%% (order %v)", frac*100, order)
+	}
+}
+
+func TestCancelWhileQueued(t *testing.T) {
+	l := NewLimiter(Config{MaxInFlight: 1, MaxWait: 30 * time.Second})
+	rel, err := l.Acquire(context.Background(), "a", OpWrite, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := l.Acquire(ctx, "a", OpWrite, 1)
+		done <- err
+	}()
+	waitQueued(t, l, 1)
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if shed := l.Status().Shed; shed != 0 {
+		t.Fatalf("cancellation counted as shed (%d)", shed)
+	}
+}
+
+func TestMemoryBudget(t *testing.T) {
+	l := NewLimiter(Config{MaxInFlight: 16, MemoryBytes: 1 << 20, MaxWait: 40 * time.Millisecond})
+	rel, err := l.Acquire(context.Background(), "a", OpWrite, 900<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Second large request exceeds the budget: it queues, then sheds
+	// on MaxWait.
+	_, err = l.Acquire(context.Background(), "a", OpWrite, 900<<10)
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("want ErrOverloaded, got %v", err)
+	}
+	rel()
+	// Budget free again.
+	rel, err = l.Acquire(context.Background(), "a", OpWrite, 900<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel()
+	// A single request larger than the whole budget is clamped and
+	// runs alone rather than being unservable.
+	rel, err = l.Acquire(context.Background(), "a", OpWrite, 8<<20)
+	if err != nil {
+		t.Fatalf("oversized request refused: %v", err)
+	}
+	rel()
+}
+
+func TestMetricsBound(t *testing.T) {
+	reg := obs.NewRegistry()
+	l := NewLimiter(Config{MaxInFlight: 1, MaxWait: 20 * time.Millisecond, Metrics: reg})
+	rel, _ := l.Acquire(context.Background(), "a", OpWrite, 1)
+	_, err := l.Acquire(context.Background(), "a", OpWrite, 1)
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("want shed, got %v", err)
+	}
+	rel()
+	if got := reg.Counter(fmt.Sprintf(`%s{op="write"}`, MetricAdmitted)).Value(); got != 1 {
+		t.Fatalf("admitted{write} = %d, want 1", got)
+	}
+	if got := reg.Counter(fmt.Sprintf(`%s{reason="timeout"}`, MetricShed)).Value(); got != 1 {
+		t.Fatalf("shed{timeout} = %d, want 1", got)
+	}
+}
+
+func TestStatusFormat(t *testing.T) {
+	l := NewLimiter(Config{
+		MaxInFlight: 4,
+		Tenants:     map[string]TenantLimit{"a": {Weight: 2, BytesPerSec: 1 << 20}},
+	})
+	rel, err := l.Acquire(context.Background(), "a", OpWrite, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel()
+	s := l.Status()
+	if len(s.Tenants) != 1 || s.Tenants[0].Name != "a" || s.Tenants[0].InFlight != 1 {
+		t.Fatalf("status = %+v", s)
+	}
+	out := (&Status{}).Format()
+	if out == "" {
+		t.Fatal("unconfigured Format empty")
+	}
+	out = s.Format()
+	for _, want := range []string{"in-flight 1/4", "TENANT", "a"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Format missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestConcurrentChurn(t *testing.T) {
+	l := NewLimiter(Config{
+		MaxInFlight: 8,
+		MaxQueue:    64,
+		MaxWait:     50 * time.Millisecond,
+		Tenants: map[string]TenantLimit{
+			"q": {BytesPerSec: 1 << 26, OpsPerSec: 1e6},
+		},
+	})
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			tenant := fmt.Sprintf("t%d", g%4)
+			if g%5 == 0 {
+				tenant = "q"
+			}
+			for i := 0; i < 200; i++ {
+				op := OpWrite
+				if i%3 == 0 {
+					op = OpRead
+				}
+				rel, err := l.Acquire(context.Background(), tenant, op, int64(i%4096))
+				if err != nil {
+					if !errors.Is(err, ErrOverloaded) {
+						t.Errorf("unexpected error: %v", err)
+					}
+					continue
+				}
+				rel()
+			}
+		}(g)
+	}
+	wg.Wait()
+	s := l.Status()
+	if s.InFlight != 0 || s.Queued != 0 || s.MemoryUsed != 0 {
+		t.Fatalf("leaked accounting: %+v", s)
+	}
+}

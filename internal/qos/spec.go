@@ -1,0 +1,72 @@
+package qos
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// spec.go parses the compact tenant grammar shared by the parafiled
+// -qos-tenants flag and the parafileload workload flags: a
+// comma-separated list of
+//
+//	name:weight[:mbps[:ops]]
+//
+// where weight is the fair-share weight, mbps the sustained byte
+// quota in MiB/s (0 = unlimited) and ops the sustained operation
+// quota per second (0 = unlimited), e.g.
+//
+//	gold:4,bulk:1:8,scavenger:1:2:50
+//
+// gives gold 4× the share of bulk with no quota, caps bulk at 8 MiB/s
+// and scavenger at 2 MiB/s and 50 ops/s.
+
+// ParseTenants parses the tenant-spec grammar into per-tenant limits.
+// An empty spec yields an empty (non-nil) map.
+func ParseTenants(spec string) (map[string]TenantLimit, error) {
+	out := make(map[string]TenantLimit)
+	if strings.TrimSpace(spec) == "" {
+		return out, nil
+	}
+	for _, tok := range strings.Split(spec, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		parts := strings.Split(tok, ":")
+		name := strings.TrimSpace(parts[0])
+		if name == "" {
+			return nil, fmt.Errorf("qos: tenant spec %q has no name", tok)
+		}
+		if _, dup := out[name]; dup {
+			return nil, fmt.Errorf("qos: tenant %q specified twice", name)
+		}
+		lim := TenantLimit{Weight: 1}
+		if len(parts) > 1 {
+			w, err := strconv.ParseFloat(parts[1], 64)
+			if err != nil || w <= 0 {
+				return nil, fmt.Errorf("qos: bad weight %q for tenant %q", parts[1], name)
+			}
+			lim.Weight = w
+		}
+		if len(parts) > 2 {
+			mb, err := strconv.ParseFloat(parts[2], 64)
+			if err != nil || mb < 0 {
+				return nil, fmt.Errorf("qos: bad MiB/s quota %q for tenant %q", parts[2], name)
+			}
+			lim.BytesPerSec = mb * (1 << 20)
+		}
+		if len(parts) > 3 {
+			ops, err := strconv.ParseFloat(parts[3], 64)
+			if err != nil || ops < 0 {
+				return nil, fmt.Errorf("qos: bad ops/s quota %q for tenant %q", parts[3], name)
+			}
+			lim.OpsPerSec = ops
+		}
+		if len(parts) > 4 {
+			return nil, fmt.Errorf("qos: tenant spec %q has too many fields (want name:weight[:mbps[:ops]])", tok)
+		}
+		out[name] = lim
+	}
+	return out, nil
+}

@@ -1,0 +1,41 @@
+package qos
+
+import "testing"
+
+func TestParseTenants(t *testing.T) {
+	got, err := ParseTenants(" gold:4, bulk:1:8 ,scavenger:1:2:50 ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("parsed %d tenants, want 3", len(got))
+	}
+	if g := got["gold"]; g.Weight != 4 || g.BytesPerSec != 0 || g.OpsPerSec != 0 {
+		t.Fatalf("gold = %+v", g)
+	}
+	if b := got["bulk"]; b.Weight != 1 || b.BytesPerSec != 8*(1<<20) {
+		t.Fatalf("bulk = %+v", b)
+	}
+	if s := got["scavenger"]; s.BytesPerSec != 2*(1<<20) || s.OpsPerSec != 50 {
+		t.Fatalf("scavenger = %+v", s)
+	}
+
+	if got, err = ParseTenants("  "); err != nil || len(got) != 0 {
+		t.Fatalf("empty spec: %v %v", got, err)
+	}
+
+	for _, bad := range []string{
+		":4",        // no name
+		"a:0",       // zero weight
+		"a:-1",      // negative weight
+		"a:1:x",     // bad quota
+		"a:1:1:-2",  // negative ops
+		"a:1,a:2",   // duplicate
+		"a:1:2:3:4", // too many fields
+		"a:one",     // non-numeric weight
+	} {
+		if _, err := ParseTenants(bad); err == nil {
+			t.Errorf("ParseTenants(%q) accepted", bad)
+		}
+	}
+}

@@ -4,11 +4,14 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"parafile/internal/obs"
+	"parafile/internal/qos"
 )
 
 // client.go is the compute-node side of the wire: one Client per I/O
@@ -59,9 +62,21 @@ type ClientConfig struct {
 	// failure (default 4; total attempts = MaxRetries+1).
 	MaxRetries int
 	// BackoffBase and BackoffMax shape the exponential backoff between
-	// attempts (defaults 10ms and 1s).
+	// attempts (defaults 10ms and 1s). Each pause is equal-jittered:
+	// half the capped exponential plus a random draw of the other
+	// half, so clients that failed together do not retry in lockstep.
 	BackoffBase time.Duration
 	BackoffMax  time.Duration
+	// BackoffSeed seeds the jitter source (0 derives a per-client seed
+	// from the clock and a process-wide counter). Tests pin it for
+	// reproducible schedules.
+	BackoffSeed int64
+	// Tenant names this client's fair-share class for server-side
+	// admission control: offered with FeatureTenant in the Hello,
+	// attached to the connection by daemons that speak the feature.
+	// Empty lands in the server's default class, and keeps the Hello
+	// bytes identical to the pre-tenant protocol.
+	Tenant string
 	// MaxFrame bounds response frames (DefaultMaxFrame when 0).
 	MaxFrame int64
 	// ChunkSize is the wire chunk of proto-v3 streamed transfers
@@ -194,6 +209,11 @@ type Client struct {
 	met clientMetrics
 	br  *breaker // nil when disabled
 
+	// rng draws backoff jitter; guarded because concurrent calls on
+	// one client share it.
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
 	// sem is the MaxConns token semaphore of the classic path.
 	sem chan struct{}
 
@@ -210,14 +230,41 @@ type Client struct {
 	// acknowledged, so each shape's PROJ travels once (per client) —
 	// the §8.1 view-set amortization over a real wire.
 	registered sync.Map // uint64 -> struct{}
+
+	// paceUntil (UnixNano, 0 = open) is the client-side shed gate: the
+	// deadline of the latest RetryAfter hint a shed answer carried.
+	// Data-plane attempts before the deadline are refused locally —
+	// shipping a payload the node already said it will refuse wastes
+	// exactly the bandwidth the shed was protecting. Control-plane
+	// calls (pings, stats, epoch fencing) bypass the gate like they
+	// bypass server-side admission.
+	//
+	// The gate never snaps fully open mid-episode: from the first wire
+	// shed until paceEpisode passes without another one, wire attempts
+	// are additionally capped at paceBurst in flight (paceSlots), with
+	// the overflow shed locally. Reopening uncapped would let a queued
+	// backlog flood the node the instant a window expires — hundreds
+	// of doomed payloads per cycle instead of at most paceBurst.
+	paceUntil    atomic.Int64
+	paceSlots    atomic.Int32
+	paceLastShed atomic.Int64
 }
+
+// clientSeq decorrelates the derived jitter seeds of clients built in
+// the same clock tick.
+var clientSeq atomic.Int64
 
 // NewClient builds a client; connections are dialed lazily.
 func NewClient(cfg ClientConfig) *Client {
 	cfg.fillDefaults()
+	seed := cfg.BackoffSeed
+	if seed == 0 {
+		seed = time.Now().UnixNano() ^ clientSeq.Add(1)<<32
+	}
 	c := &Client{
 		cfg: cfg,
 		met: newClientMetrics(cfg.Metrics),
+		rng: rand.New(rand.NewSource(seed)),
 		sem: make(chan struct{}, cfg.MaxConns),
 	}
 	if cfg.BreakerThreshold > 0 {
@@ -226,6 +273,91 @@ func NewClient(cfg ClientConfig) *Client {
 	}
 	return c
 }
+
+// maxClientPace caps how long a RetryAfter hint closes the client-side
+// gate: a hint beyond the cap still paces, but the client re-probes the
+// node at least this often so a stale (or absurd) hint cannot wedge a
+// tenant after server-side pressure clears.
+const maxClientPace = 2 * time.Second
+
+// paceStretch widens the gate past the server's hint. RetryAfter says
+// when capacity covers ONE request, so pacing exactly that long makes
+// every other wire attempt a doomed payload (50% of the tenant's
+// bytes shipped only to be refused). Stretching the window lets the
+// server-side budget accumulate stretch-many requests' worth, so each
+// wire shed amortizes over ~stretch admitted requests once the gate
+// reopens, while the tenant's long-run admitted rate — set by the
+// server's refill, not by probe timing — is unchanged.
+const paceStretch = 8
+
+// paceBurst caps concurrent wire attempts during an overload episode:
+// when a closed window expires, at most this many requests carry
+// payloads to the node at once; the rest stay locally shed until a
+// slot frees. It bounds the doomed bytes of a reopen to paceBurst
+// payloads while leaving far more admission throughput than any
+// quota that produced the episode (paceBurst per round trip).
+const paceBurst = 8
+
+// paceEpisode is how long after the last wire shed the concurrency
+// cap stays armed. It must exceed maxClientPace so an episode cannot
+// lapse while the gate is still closed; once a node answers nothing
+// but admits for this long, the client's data path returns to
+// zero-overhead.
+const paceEpisode = maxClientPace + time.Second
+
+// paceFor closes the client-side shed gate for d (capped), keeping the
+// latest deadline when hints race.
+func (c *Client) paceFor(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	if d > maxClientPace {
+		d = maxClientPace
+	}
+	t := time.Now().Add(d).UnixNano()
+	for {
+		cur := c.paceUntil.Load()
+		if cur >= t || c.paceUntil.CompareAndSwap(cur, t) {
+			return
+		}
+	}
+}
+
+// paceRemaining reports how long the shed gate stays closed (0 = open).
+func (c *Client) paceRemaining() time.Duration {
+	u := c.paceUntil.Load()
+	if u == 0 {
+		return 0
+	}
+	d := time.Until(time.Unix(0, u))
+	if d <= 0 {
+		return 0
+	}
+	return d
+}
+
+// paceActive reports whether the client is inside an overload episode:
+// a wire shed happened within paceEpisode. Outside an episode the
+// data path pays one atomic load and nothing else.
+func (c *Client) paceActive() bool {
+	u := c.paceLastShed.Load()
+	return u != 0 && time.Since(time.Unix(0, u)) < paceEpisode
+}
+
+// paceAcquire claims one of the episode's paceBurst wire slots.
+func (c *Client) paceAcquire() bool {
+	for {
+		n := c.paceSlots.Load()
+		if n >= paceBurst {
+			return false
+		}
+		if c.paceSlots.CompareAndSwap(n, n+1) {
+			return true
+		}
+	}
+}
+
+func (c *Client) paceRelease() { c.paceSlots.Add(-1) }
 
 // Addr returns the node address the client was built for.
 func (c *Client) Addr() string { return c.cfg.Addr }
@@ -376,7 +508,10 @@ func (c *Client) negotiate(ctx context.Context, conn *clientConn, want byte) err
 	if c.cfg.Placement {
 		offer |= FeaturePlacement
 	}
-	req := AppendHelloFeatures(getFrameBuf(8), want, offer)
+	if c.cfg.Tenant != "" {
+		offer |= FeatureTenant
+	}
+	req := AppendHelloTenant(getFrameBuf(8), want, offer, c.cfg.Tenant)
 	defer putFrameBuf(req)
 	if err := conn.SetWriteDeadline(deadline(ctx, c.cfg.WriteTimeout)); err != nil {
 		return err
@@ -484,13 +619,22 @@ func (c *Client) getMux(ctx context.Context) (*muxConn, error) {
 	return m, nil
 }
 
-// backoff returns the pause before retry attempt (1-based).
+// backoff returns the pause before retry attempt (1-based): equal
+// jitter around the capped exponential — half deterministic, half
+// drawn from the client's seeded source. Purely deterministic backoff
+// synchronizes every client that failed at the same moment into
+// retrying at the same moment, turning one overload spike into a
+// train of them.
 func (c *Client) backoff(attempt int) time.Duration {
 	d := c.cfg.BackoffBase << (attempt - 1)
 	if d > c.cfg.BackoffMax || d <= 0 {
 		d = c.cfg.BackoffMax
 	}
-	return d
+	half := d / 2
+	c.rngMu.Lock()
+	j := time.Duration(c.rng.Int63n(int64(half) + 1))
+	c.rngMu.Unlock()
+	return half + j
 }
 
 // deadline caps a configured per-request timeout by the context's
@@ -701,10 +845,18 @@ func (c *Client) runInner(ctx context.Context, reqType byte, op func(context.Con
 	}
 
 	var lastErr error
+	var retryAfter time.Duration
 	for attempt := 0; attempt <= c.cfg.MaxRetries; attempt++ {
 		if attempt > 0 {
 			c.met.retries.Inc()
-			timer := time.NewTimer(c.backoff(attempt))
+			pause := c.backoff(attempt)
+			if retryAfter > pause {
+				// A shed answer's RetryAfter hint dominates the
+				// exponential: the server told us when capacity returns.
+				pause = retryAfter
+			}
+			retryAfter = 0
+			timer := time.NewTimer(pause)
 			select {
 			case <-ctx.Done():
 				timer.Stop()
@@ -718,15 +870,60 @@ func (c *Client) runInner(ctx context.Context, reqType byte, op func(context.Con
 			c.met.failures.Inc()
 			return fmt.Errorf("rpc: %s to %s: %w", MsgName(reqType), c.cfg.Addr, err)
 		}
+		var paced bool
+		if qosOpOf(reqType) != qos.OpControl && c.paceActive() {
+			if wait := c.paceRemaining(); wait > 0 {
+				// The node's last shed answer said capacity returns at a
+				// known time; honoring it here sheds the attempt without
+				// shipping a payload the node would refuse anyway. Counted
+				// as shed (plus paced), never as failure, and the retry
+				// loop sleeps out the remaining window like a wire shed.
+				c.met.shed.Inc()
+				c.met.paced.Inc()
+				retryAfter = wait
+				lastErr = fmt.Errorf("rpc: %s to %s: %w", MsgName(reqType), c.cfg.Addr,
+					&qos.Overload{RetryAfter: wait, Reason: "client paced"})
+				continue
+			}
+			// Window expired but the episode is still on: attempts trickle
+			// to the node at most paceBurst at a time, so a queued backlog
+			// cannot flood it the instant the window reopens.
+			if !c.paceAcquire() {
+				c.met.shed.Inc()
+				c.met.paced.Inc()
+				retryAfter = c.cfg.BackoffBase
+				lastErr = fmt.Errorf("rpc: %s to %s: %w", MsgName(reqType), c.cfg.Addr,
+					&qos.Overload{RetryAfter: c.cfg.BackoffBase, Reason: "client paced"})
+				continue
+			}
+			paced = true
+		}
 		err := op(ctx)
+		if paced {
+			c.paceRelease()
+		}
 		if err == nil {
 			c.br.success()
 			return nil
 		}
 		var re *RemoteError
 		if errors.As(err, &re) {
+			// A RemoteError is an answer: the node was reached and
+			// responded, so the breaker records success whatever the
+			// answer says. An overloaded answer is backpressure, not a
+			// verdict — retry it (jittered, honoring the server's
+			// RetryAfter) instead of returning; every other remote
+			// answer is final.
 			c.br.success()
-			return err
+			if re.Code != ErrCodeOverloaded {
+				return err
+			}
+			c.met.shed.Inc()
+			c.paceLastShed.Store(time.Now().UnixNano())
+			c.paceFor(re.RetryAfter * paceStretch)
+			retryAfter = re.RetryAfter
+			lastErr = err
+			continue
 		}
 		var ne net.Error
 		if errors.As(err, &ne) && ne.Timeout() {
@@ -736,6 +933,15 @@ func (c *Client) runInner(ctx context.Context, reqType byte, op func(context.Con
 			c.br.failure()
 		}
 		lastErr = err
+	}
+	if errors.Is(lastErr, qos.ErrOverloaded) {
+		// The budget ran out on backpressure, not failure: every
+		// attempt was answered by a healthy, saturated node. Already
+		// counted per-attempt on the shed counter; the %w keeps
+		// errors.Is(err, qos.ErrOverloaded) true for callers that
+		// classify outcomes (clusterfile marks the node shed).
+		return fmt.Errorf("rpc: %s to %s shed after %d attempts: %w",
+			MsgName(reqType), c.cfg.Addr, c.cfg.MaxRetries+1, lastErr)
 	}
 	c.met.failures.Inc()
 	return fmt.Errorf("rpc: %s to %s failed after %d attempts: %w",
@@ -752,6 +958,18 @@ func (c *Client) call(ctx context.Context, reqType byte, req []byte) (respFrame,
 		f, err := c.attempt(ctx, reqType, req)
 		if err != nil {
 			return err
+		}
+		// Decode error answers inside the retry loop, not after it:
+		// an overloaded answer must reach the loop's backpressure
+		// branch (retry with the server's RetryAfter) instead of
+		// surfacing only once the transport retries are spent.
+		if f.msgType == MsgError {
+			re, derr := DecodeError(f.payload)
+			ReleaseFrame(f.body)
+			if derr != nil {
+				return derr
+			}
+			return re
 		}
 		resp = f
 		return nil
@@ -907,6 +1125,14 @@ func (c *Client) Checksum(ctx context.Context, file string, subfile, off, n int6
 // CloseFile syncs and closes the file's stores on the node.
 func (c *Client) CloseFile(ctx context.Context, file string) error {
 	return c.exchange(ctx, MsgClose, AppendClose(getFrameBuf(64), &CloseReq{File: file}))
+}
+
+// RemoveStore closes the file's stores on the node and deletes their
+// backing media, replica stores (name~r<r>) included — the rebalance
+// GC of a superseded store generation. Unknown files answer OK, so
+// the sweep is idempotent across retries and half-done passes.
+func (c *Client) RemoveStore(ctx context.Context, file string) error {
+	return c.exchange(ctx, MsgClose, AppendClose(getFrameBuf(64), &CloseReq{File: file, Remove: true}))
 }
 
 // SetEpoch ratchets the placement epoch of the file's stores on the

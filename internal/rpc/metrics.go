@@ -25,6 +25,15 @@ const (
 	MetricClientTimeouts  = "parafile_rpc_client_timeouts_total"
 	MetricClientFailures  = "parafile_rpc_client_failures_total"
 	MetricClientDials     = "parafile_rpc_client_dials_total"
+	// MetricClientShed counts overloaded answers (ErrCodeOverloaded):
+	// backpressure the client absorbed by backing off, distinct from
+	// retries (transport errors) and failures (exhausted budgets). A
+	// shed answer never advances the circuit breaker.
+	MetricClientShed = "parafile_rpc_client_shed_total"
+	// MetricClientPaced is the subset of sheds refused locally: after a
+	// shed answer with a RetryAfter hint, data-plane attempts inside the
+	// hinted window are shed client-side without shipping the payload.
+	MetricClientPaced = "parafile_rpc_client_paced_total"
 	// MetricClientConnWaitNs records time spent waiting for a
 	// connection token when the per-node dial semaphore is saturated
 	// (classic, non-multiplexed path only; zero waits never observe).
@@ -87,6 +96,8 @@ type clientMetrics struct {
 	retries     *obs.Counter
 	timeouts    *obs.Counter
 	failures    *obs.Counter
+	shed        *obs.Counter
+	paced       *obs.Counter
 	dials       *obs.Counter
 	connWaitNs  *obs.Histogram
 	streamedW   *obs.Counter
@@ -109,6 +120,8 @@ func newClientMetrics(reg *obs.Registry) clientMetrics {
 		retries:     reg.Counter(MetricClientRetries),
 		timeouts:    reg.Counter(MetricClientTimeouts),
 		failures:    reg.Counter(MetricClientFailures),
+		shed:        reg.Counter(MetricClientShed),
+		paced:       reg.Counter(MetricClientPaced),
 		dials:       reg.Counter(MetricClientDials),
 		connWaitNs:  reg.Histogram(MetricClientConnWaitNs, obs.LatencyBuckets()),
 		streamedW:   reg.Counter(MetricClientStreamedOps + `{dir="write"}`),
@@ -142,6 +155,8 @@ func newServerMetrics(reg *obs.Registry) serverMetrics {
 		ErrCodeUnknownProjection: "unknown_projection",
 		ErrCodeIO:                "io",
 		ErrCodeShuttingDown:      "shutting_down",
+		ErrCodeStalePlacement:    "stale_placement",
+		ErrCodeOverloaded:        "overloaded",
 	}
 	errs := make(map[uint64]*obs.Counter, len(codes))
 	for code, label := range codes {

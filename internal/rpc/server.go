@@ -2,6 +2,7 @@ package rpc
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"log/slog"
 	"net"
@@ -13,6 +14,7 @@ import (
 	"parafile/internal/clusterfile"
 	"parafile/internal/codec"
 	"parafile/internal/obs"
+	"parafile/internal/qos"
 	"parafile/internal/redist"
 )
 
@@ -55,6 +57,16 @@ type ServerConfig struct {
 	// SlowOp logs a structured warning through Log for any request
 	// slower than this threshold (0 disables).
 	SlowOp time.Duration
+	// QoS, when non-nil, runs every request through admission control:
+	// data-plane requests are charged against the limiter's in-flight,
+	// memory and per-tenant quota bounds (queueing under the fair-share
+	// scheduler when the daemon is busy, shedding with a typed
+	// ErrCodeOverloaded answer under sustained pressure), while
+	// control-plane requests bypass the queue so pings, stats and epoch
+	// fencing survive data-plane overload. The tenant key is the name
+	// the connection negotiated via FeatureTenant (legacy connections
+	// fall into the default class). Nil admits everything.
+	QoS *qos.Limiter
 }
 
 // Server hosts subfile stores behind the wire protocol. One Server is
@@ -146,11 +158,50 @@ func NewServer(cfg ServerConfig) *Server {
 // features returns the feature bits this server grants from a
 // client's requested mask.
 func (s *Server) features(requested uint64) uint64 {
-	granted := FeaturePlacement
+	granted := FeaturePlacement | FeatureTenant
 	if s.cfg.Trace {
 		granted |= FeatureTrace
 	}
 	return granted & requested
+}
+
+// qosOpOf classifies a message type for admission. Only the
+// payload-bearing data-plane operations are subject to queueing and
+// quotas; everything else — pings (breaker probes), stats, hellos,
+// epoch fencing, checksums, metadata RPCs — is control-plane and must
+// keep answering while the data plane sheds.
+func qosOpOf(msgType byte) qos.Op {
+	switch msgType {
+	case MsgWriteSegs, MsgWriteStream:
+		return qos.OpWrite
+	case MsgReadSegs, MsgReadStream:
+		return qos.OpRead
+	}
+	return qos.OpControl
+}
+
+// qosBytes is the admission cost of one unary request: the request
+// frame for writes (the dominant msgbuf cost on the write path), the
+// declared response size for reads.
+func qosBytes(msgType byte, payload []byte) int64 {
+	if msgType == MsgReadSegs {
+		if req, err := DecodeReadSegs(payload); err == nil {
+			return req.N
+		}
+	}
+	return int64(len(payload))
+}
+
+// overloadResp encodes an admission refusal: a typed
+// ErrCodeOverloaded answer carrying the limiter's RetryAfter hint.
+func (s *Server) overloadResp(out []byte, err error) []byte {
+	s.met.errCounter(ErrCodeOverloaded).Inc()
+	var ov *qos.Overload
+	var retry time.Duration
+	if errors.As(err, &ov) {
+		retry = ov.RetryAfter
+	}
+	return AppendErrorRetry(out, ErrCodeOverloaded, err.Error(), retry)
 }
 
 // startSpan opens the server-side root span for one traced request
@@ -250,6 +301,10 @@ func (s *Server) handleConn(conn net.Conn) {
 		conn.Close()
 		s.connWG.Done()
 	}()
+	// tenant is the fair-share class this connection negotiated via a
+	// FeatureTenant hello (empty = default class). The classic loop is
+	// serial, so the hello handler may write it between requests.
+	var tenant string
 	for {
 		body, err := ReadFrame(conn, s.cfg.MaxFrame)
 		if err != nil {
@@ -260,9 +315,9 @@ func (s *Server) handleConn(conn net.Conn) {
 		s.met.recvBytes.Add(int64(len(body) + 4))
 		// A Hello asking for v3 or newer upgrades the connection to
 		// multiplexed framing right after the reply.
-		if s.tryUpgradeV3(conn, body) {
+		if muxTenant, ok := s.tryUpgradeV3(conn, body); ok {
 			ReleaseFrame(body)
-			s.serveMux(conn)
+			s.serveMux(conn, muxTenant)
 			return
 		}
 		// Responses mirror the request's frame version (clamped to what
@@ -275,7 +330,7 @@ func (s *Server) handleConn(conn net.Conn) {
 		if respVer > s.maxVer {
 			respVer = s.maxVer
 		}
-		resp := s.handle(body)
+		resp := s.handle(body, &tenant)
 		ReleaseFrame(body)
 		err = WriteFrameV(conn, resp, respVer)
 		s.met.sentBytes.Add(int64(len(resp) + 4))
@@ -290,28 +345,33 @@ func (s *Server) handleConn(conn net.Conn) {
 }
 
 // tryUpgradeV3 checks whether a frame is a Hello negotiating v3 or
-// newer; if so it sends the reply and reports true, and the caller
-// switches the connection into multiplexed serving. Anything else —
-// including a v1/v2 Hello, which must keep its classic one-frame
-// semantics — reports false and takes the ordinary path.
-func (s *Server) tryUpgradeV3(conn net.Conn, body []byte) bool {
+// newer; if so it sends the reply and reports true (plus the tenant
+// the hello carried), and the caller switches the connection into
+// multiplexed serving. Anything else — including a v1/v2 Hello, which
+// must keep its classic one-frame semantics — reports false and takes
+// the ordinary path.
+func (s *Server) tryUpgradeV3(conn net.Conn, body []byte) (string, bool) {
 	if s.maxVer < ProtoVersion3 || s.draining.Load() {
-		return false
+		return "", false
 	}
 	msgType, payload, err := ParseFrame(body)
 	if err != nil || msgType != MsgHello || body[0] > s.maxVer {
-		return false
+		return "", false
 	}
-	want, features, err := DecodeHelloFeatures(payload)
+	want, features, tenant, err := DecodeHelloTenant(payload)
 	if err != nil || want < ProtoVersion3 {
-		return false
+		return "", false
 	}
 	s.met.requests[MsgHello].Inc()
 	agreed := want
 	if agreed > s.maxVer {
 		agreed = s.maxVer
 	}
-	resp := AppendHelloRespFeatures(getFrameBuf(16), agreed, s.features(features))
+	granted := s.features(features)
+	if granted&FeatureTenant == 0 {
+		tenant = ""
+	}
+	resp := AppendHelloRespFeatures(getFrameBuf(16), agreed, granted)
 	// The Hello round-trip stays on the request's own frame version;
 	// only frames after it are v3. A failed reply write leaves the
 	// connection broken and the mux loop exits on its first read.
@@ -319,12 +379,13 @@ func (s *Server) tryUpgradeV3(conn net.Conn, body []byte) bool {
 	s.met.sentBytes.Add(int64(len(resp) + 4))
 	putFrameBuf(resp)
 	_ = werr
-	return true
+	return tenant, true
 }
 
 // handle executes one classic-framed request and returns the encoded
-// response in a pooled buffer.
-func (s *Server) handle(body []byte) []byte {
+// response in a pooled buffer. tenant is the connection's negotiated
+// fair-share class; a hello carrying FeatureTenant updates it.
+func (s *Server) handle(body []byte, tenant *string) []byte {
 	out := getFrameBuf(64)
 	msgType, payload, err := ParseFrame(body)
 	if err != nil {
@@ -336,7 +397,7 @@ func (s *Server) handle(body []byte) []byte {
 		return s.errResp(out, ErrCodeBadRequest,
 			fmt.Sprintf("protocol version %d, want %d", body[0], s.maxVer))
 	}
-	return s.dispatch(out, msgType, payload, nil)
+	return s.dispatch(out, msgType, payload, nil, tenant)
 }
 
 // dispatch executes one parsed request. It is shared by the classic
@@ -344,7 +405,7 @@ func (s *Server) handle(body []byte) []byte {
 // goroutines: every handler locks the state it touches, so concurrent
 // dispatch is safe. sp is the server-side span of the request (nil
 // for untraced requests — every handler is nil-safe).
-func (s *Server) dispatch(out []byte, msgType byte, payload []byte, sp *obs.Span) []byte {
+func (s *Server) dispatch(out []byte, msgType byte, payload []byte, sp *obs.Span, tenant *string) []byte {
 	start := time.Now()
 	s.met.inflight.Add(1)
 	defer func() {
@@ -363,14 +424,29 @@ func (s *Server) dispatch(out []byte, msgType byte, payload []byte, sp *obs.Span
 		return s.errResp(out, ErrCodeShuttingDown, "server draining")
 	}
 	if msgType == MsgTraced {
-		return s.handleTraced(out, payload)
+		return s.handleTraced(out, payload, tenant)
 	}
-	return s.route(out, msgType, payload, sp)
+	return s.route(out, msgType, payload, sp, tenant)
 }
 
 // route is the request-type switch shared by dispatch and the traced
 // envelope (which re-enters with the inner request and a live span).
-func (s *Server) route(out []byte, msgType byte, payload []byte, sp *obs.Span) []byte {
+// Admission happens here, so every execution path — classic loop, mux
+// unary goroutines, traced envelopes — charges the limiter exactly
+// once per request, after the draining check and before any state is
+// touched.
+func (s *Server) route(out []byte, msgType byte, payload []byte, sp *obs.Span, tenant *string) []byte {
+	if s.cfg.QoS != nil {
+		var name string
+		if tenant != nil {
+			name = *tenant
+		}
+		rel, err := s.cfg.QoS.Acquire(context.Background(), name, qosOpOf(msgType), qosBytes(msgType, payload))
+		if err != nil {
+			return s.overloadResp(out, err)
+		}
+		defer rel()
+	}
 	switch msgType {
 	case MsgCreateFile:
 		return s.handleCreateFile(out, payload)
@@ -394,7 +470,7 @@ func (s *Server) route(out []byte, msgType byte, payload []byte, sp *obs.Span) [
 		// A version-capped (v1-emulating) server falls through to the
 		// unknown-message error below, exactly like a real old daemon.
 		if s.maxVer >= ProtoVersion2 {
-			return s.handleHello(out, payload)
+			return s.handleHello(out, payload, tenant)
 		}
 	case MsgChecksum:
 		return s.handleChecksum(out, payload, sp)
@@ -409,7 +485,7 @@ func (s *Server) route(out []byte, msgType byte, payload []byte, sp *obs.Span) [
 // handleTraced runs a MsgTraced envelope: the inner request executes
 // under a span adopted into the caller's trace, and the completed
 // records travel back piggybacked ahead of the inner response.
-func (s *Server) handleTraced(out, payload []byte) []byte {
+func (s *Server) handleTraced(out, payload []byte, tenant *string) []byte {
 	traceID, parent, innerType, inner, err := DecodeTraced(payload)
 	if err != nil {
 		return s.errResp(out, ErrCodeBadRequest, err.Error())
@@ -421,7 +497,7 @@ func (s *Server) handleTraced(out, payload []byte) []byte {
 	start := time.Now()
 	sp := s.startSpan(MsgName(innerType), traceID, parent)
 	s.cfg.Tracer.Adopt(sp)
-	resp := s.route(getFrameBuf(64), innerType, inner, sp)
+	resp := s.route(getFrameBuf(64), innerType, inner, sp, tenant)
 	if len(resp) >= 2 && resp[1] == MsgError {
 		sp.Fail()
 	}
@@ -442,8 +518,8 @@ func (s *Server) handleSpans(out, payload []byte) []byte {
 	return AppendSpansResp(out, s.stash.Take(traceID))
 }
 
-func (s *Server) handleHello(out, payload []byte) []byte {
-	want, features, err := DecodeHelloFeatures(payload)
+func (s *Server) handleHello(out, payload []byte, tenant *string) []byte {
+	want, features, helloTenant, err := DecodeHelloTenant(payload)
 	if err != nil {
 		return s.errResp(out, ErrCodeBadRequest, err.Error())
 	}
@@ -451,7 +527,11 @@ func (s *Server) handleHello(out, payload []byte) []byte {
 	if agreed > s.maxVer {
 		agreed = s.maxVer
 	}
-	return AppendHelloRespFeatures(out, agreed, s.features(features))
+	granted := s.features(features)
+	if granted&FeatureTenant != 0 && tenant != nil {
+		*tenant = helloTenant
+	}
+	return AppendHelloRespFeatures(out, agreed, granted)
 }
 
 func (s *Server) handleChecksum(out, payload []byte, sp *obs.Span) []byte {
@@ -746,30 +826,52 @@ func (s *Server) handleClose(out, payload []byte, sp *obs.Span) []byte {
 		return s.errResp(out, ErrCodeBadRequest, err.Error())
 	}
 	s.mu.Lock()
-	sf := s.files[req.File]
-	if sf != nil {
+	var targets []*serverFile
+	if sf := s.files[req.File]; sf != nil {
+		targets = append(targets, sf)
 		delete(s.files, req.File)
 		s.met.files.Add(-1)
 	}
+	if req.Remove {
+		// A removing close also sweeps the file's replica stores
+		// (name~r<r>): the rebalance GC retires a superseded store
+		// generation whole, replicas included.
+		for name, sf := range s.files {
+			if strings.HasPrefix(name, req.File+"~r") {
+				targets = append(targets, sf)
+				delete(s.files, name)
+				s.met.files.Add(-1)
+			}
+		}
+	}
 	s.mu.Unlock()
-	if sf == nil {
+	if len(targets) == 0 {
 		// Unknown file: already closed (a retried Close). Idempotent
 		// success keeps blind client retry safe.
 		return AppendOK(out)
 	}
-	lw := sp.StartChild("lock_wait")
-	sf.mu.Lock()
-	lw.End()
-	defer sf.mu.Unlock()
-	// Closing a disk-backed store syncs it — the op's fsync cost.
-	fsp := sp.StartChild("fsync")
 	var firstErr error
-	for _, st := range sf.stores {
-		if err := st.Close(); err != nil && firstErr == nil {
-			firstErr = err
+	for _, sf := range targets {
+		lw := sp.StartChild("lock_wait")
+		sf.mu.Lock()
+		lw.End()
+		// Closing a disk-backed store syncs it — the op's fsync cost.
+		// A removing close then deletes the backing file, reclaiming
+		// the superseded generation's disk.
+		fsp := sp.StartChild("fsync")
+		for _, st := range sf.stores {
+			if err := st.Close(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+			if req.Remove {
+				if err := clusterfile.RemoveStorage(st); err != nil && firstErr == nil {
+					firstErr = err
+				}
+			}
 		}
+		fsp.End()
+		sf.mu.Unlock()
 	}
-	fsp.End()
 	if firstErr != nil {
 		return s.errResp(out, ErrCodeIO, firstErr.Error())
 	}

@@ -1,6 +1,7 @@
 package rpc
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net"
@@ -11,6 +12,7 @@ import (
 	"parafile/internal/clusterfile"
 	"parafile/internal/falls"
 	"parafile/internal/obs"
+	"parafile/internal/qos"
 	"parafile/internal/redist"
 )
 
@@ -59,6 +61,10 @@ type srvWriteStream struct {
 type srvConn struct {
 	s    *Server
 	conn net.Conn
+	// tenant is the fair-share class the upgrade hello negotiated,
+	// fixed for the connection's lifetime (the concurrent stream
+	// goroutines only ever read it).
+	tenant string
 
 	// wmu serializes outgoing frames across all streams.
 	wmu sync.Mutex
@@ -71,8 +77,8 @@ type srvConn struct {
 
 // serveMux runs a v3 connection until it drops, then releases every
 // stream worker and waits for them.
-func (s *Server) serveMux(conn net.Conn) {
-	sc := &srvConn{s: s, conn: conn, writeStreams: make(map[uint64]*srvWriteStream)}
+func (s *Server) serveMux(conn net.Conn, tenant string) {
+	sc := &srvConn{s: s, conn: conn, tenant: tenant, writeStreams: make(map[uint64]*srvWriteStream)}
 	sc.readLoop()
 	for _, st := range sc.writeStreams {
 		close(st.chunks)
@@ -107,6 +113,14 @@ func (sc *srvConn) sendResp(sid uint64, resp []byte) error {
 // sendErr sends an error response on a stream.
 func (sc *srvConn) sendErr(sid uint64, code uint64, msg string) {
 	out := sc.s.errResp(getFrameBuf(64), code, msg)
+	sc.sendResp(sid, out)
+	putFrameBuf(out)
+}
+
+// sendOverload sends an admission refusal (with its RetryAfter hint)
+// on a stream.
+func (sc *srvConn) sendOverload(sid uint64, err error) {
+	out := sc.s.overloadResp(getFrameBuf(64), err)
 	sc.sendResp(sid, out)
 	putFrameBuf(out)
 }
@@ -183,7 +197,11 @@ func (sc *srvConn) readLoop() {
 			sc.wg.Add(1)
 			go func(sid uint64, msgType byte, body, payload []byte) {
 				defer sc.wg.Done()
-				resp := s.dispatch(getFrameBuf(64), msgType, payload, nil)
+				// Each goroutine gets its own tenant copy: the mux
+				// connection's class is fixed at upgrade, and a stray
+				// mid-connection hello must not race sibling dispatches.
+				tenant := sc.tenant
+				resp := s.dispatch(getFrameBuf(64), msgType, payload, nil, &tenant)
 				ReleaseFrame(body)
 				sc.sendResp(sid, resp)
 				putFrameBuf(resp)
@@ -321,6 +339,21 @@ func (sc *srvConn) runWriteStream(sid uint64, req *WriteStreamReq, st *srvWriteS
 	if s.draining.Load() {
 		fail(ErrCodeShuttingDown, "server draining")
 		return
+	}
+	// Admission charges the stream's announced payload up front: the
+	// whole transfer occupies an in-flight slot and its bytes count
+	// against the tenant's quota, exactly like a unary write's frame.
+	if s.cfg.QoS != nil {
+		rel, aerr := s.cfg.QoS.Acquire(context.Background(), sc.tenant, qos.OpWrite, req.Total)
+		if aerr != nil {
+			sp.Fail()
+			feed.drain()
+			if !feed.closed {
+				sc.sendOverload(sid, aerr)
+			}
+			return
+		}
+		defer rel()
 	}
 	if req.Hi < req.Lo-1 || req.Lo < 0 || req.Total < 0 {
 		fail(ErrCodeBadRequest, fmt.Sprintf("bad segment window [%d,%d] (%d bytes)", req.Lo, req.Hi, req.Total))
@@ -495,6 +528,17 @@ func (sc *srvConn) runReadStream(sid uint64, req *ReadStreamReq) {
 	if s.draining.Load() {
 		fail(ErrCodeShuttingDown, "server draining")
 		return
+	}
+	// Admission charges the declared response size, mirroring the
+	// unary read path.
+	if s.cfg.QoS != nil {
+		rel, aerr := s.cfg.QoS.Acquire(context.Background(), sc.tenant, qos.OpRead, req.N)
+		if aerr != nil {
+			sp.Fail()
+			sc.sendOverload(sid, aerr)
+			return
+		}
+		defer rel()
 	}
 	if req.N < 0 || req.Hi < req.Lo-1 || req.Lo < 0 {
 		fail(ErrCodeBadRequest,

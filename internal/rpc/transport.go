@@ -203,6 +203,23 @@ func (t *Transport) SetEpoch(ctx context.Context, file string, epoch uint64, fen
 	return first
 }
 
+// RemoveStore fans a store-generation sweep out to every daemon: each
+// closes the file's stores (replica stores included) and deletes
+// their backing media. Daemons not hosting the store answer OK, so
+// the sweep is idempotent across the fan-out and across retries.
+func (t *Transport) RemoveStore(ctx context.Context, file string) error {
+	t.mu.RLock()
+	clients := t.clients
+	t.mu.RUnlock()
+	var first error
+	for _, c := range clients {
+		if err := c.RemoveStore(ctx, file); err != nil && first == nil {
+			first = fmt.Errorf("rpc: remove store on %s: %w", c.Addr(), err)
+		}
+	}
+	return first
+}
+
 // Close closes every daemon client pool.
 func (t *Transport) Close() error {
 	t.mu.RLock()

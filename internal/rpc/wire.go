@@ -30,9 +30,11 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"parafile/internal/codec"
 	"parafile/internal/obs"
+	"parafile/internal/qos"
 )
 
 // ProtoVersion tags every frame; a daemon refuses frames from a newer
@@ -178,6 +180,13 @@ const (
 	// connections where this bit came back granted, so the wire stays
 	// byte-identical against old daemons.
 	FeaturePlacement uint64 = 1 << 1
+	// FeatureTenant: the hello request carries a tenant name (a string
+	// trailing the feature mask) keying the daemon's fair-share
+	// admission scheduler. Granted means the daemon recorded it;
+	// legacy daemons reject the unknown trailing field, which the
+	// dialer handles by retrying the hello without it. Clients without
+	// a tenant never set the bit, so their hello stays byte-identical.
+	FeatureTenant uint64 = 1 << 2
 )
 
 // Chunk frame flags (first payload byte of MsgWriteChunk/MsgDataChunk).
@@ -279,6 +288,13 @@ const (
 	// The caller should refetch the placement map from the metadata
 	// service and retry against the new epoch.
 	ErrCodeStalePlacement uint64 = 6
+	// ErrCodeOverloaded: the daemon's admission controller refused the
+	// request (quota, queue overflow, or shed under pressure). The
+	// request was never executed, so any request type is safe to retry
+	// — after the RetryAfter hint carried beside the code. Overload is
+	// an answer, not a transport failure: it must never advance the
+	// circuit breaker.
+	ErrCodeOverloaded uint64 = 7
 )
 
 // ErrStalePlacement is the sentinel callers match with errors.Is to
@@ -293,10 +309,14 @@ var ErrUnknownFile = fmt.Errorf("rpc: unknown file")
 
 // RemoteError is a server-reported failure: the request was delivered
 // and answered, so the client does not retry it at the transport
-// layer.
+// layer. The one exception is ErrCodeOverloaded — backpressure, which
+// the client retries after RetryAfter without charging the breaker.
 type RemoteError struct {
 	Code uint64
 	Msg  string
+	// RetryAfter is the server's backoff hint on ErrCodeOverloaded
+	// responses (zero otherwise, and absent from the wire when zero).
+	RetryAfter time.Duration
 }
 
 func (e *RemoteError) Error() string {
@@ -311,6 +331,8 @@ func (e *RemoteError) Is(target error) bool {
 		return e.Code == ErrCodeStalePlacement
 	case ErrUnknownFile:
 		return e.Code == ErrCodeUnknownFile
+	case qos.ErrOverloaded:
+		return e.Code == ErrCodeOverloaded
 	}
 	return false
 }
@@ -827,14 +849,22 @@ func DecodeStat(payload []byte) (*StatReq, error) {
 
 // CloseReq syncs and closes every store of the file on the receiving
 // node. Closing an unknown file succeeds (idempotent, retry-safe).
+// With Remove set, the node also deletes the stores' backing data —
+// the rebalance driver's garbage collection of superseded name@epoch
+// stores. Remove travels as an optional trailing flag byte, only when
+// set, so the legacy encoding is untouched.
 type CloseReq struct {
-	File string
+	File   string
+	Remove bool
 }
 
 // AppendClose encodes req as a frame body.
 func AppendClose(buf []byte, req *CloseReq) []byte {
 	buf = beginFrame(buf, MsgClose)
 	buf = appendString(buf, req.File)
+	if req.Remove {
+		buf = append(buf, 1)
+	}
 	return buf
 }
 
@@ -844,6 +874,10 @@ func DecodeClose(payload []byte) (*CloseReq, error) {
 	var err error
 	if req.File, payload, err = readString(payload); err != nil {
 		return nil, err
+	}
+	if len(payload) > 0 {
+		req.Remove = payload[0] != 0
+		payload = payload[1:]
 	}
 	return req, wantEmpty(payload)
 }
@@ -897,10 +931,19 @@ func AppendHello(buf []byte, want byte) []byte {
 // trailing field they do not know, so a client only grows the frame
 // when it actually wants a feature.
 func AppendHelloFeatures(buf []byte, want byte, features uint64) []byte {
+	return AppendHelloTenant(buf, want, features, "")
+}
+
+// AppendHelloTenant encodes the negotiation request with a feature
+// bitmask and, when FeatureTenant is set, the tenant name trailing it.
+func AppendHelloTenant(buf []byte, want byte, features uint64, tenant string) []byte {
 	buf = beginFrame(buf, MsgHello)
 	buf = codec.AppendUvarint(buf, uint64(want))
 	if features != 0 {
 		buf = codec.AppendUvarint(buf, features)
+	}
+	if features&FeatureTenant != 0 {
+		buf = appendString(buf, tenant)
 	}
 	return buf
 }
@@ -911,23 +954,36 @@ func DecodeHello(payload []byte) (byte, error) {
 	return v, err
 }
 
-// DecodeHelloFeatures decodes a MsgHello payload. An absent features
-// field decodes as zero, so pre-feature clients parse unchanged.
+// DecodeHelloFeatures decodes a MsgHello payload (tenant discarded).
 func DecodeHelloFeatures(payload []byte) (byte, uint64, error) {
+	v, f, _, err := DecodeHelloTenant(payload)
+	return v, f, err
+}
+
+// DecodeHelloTenant decodes a MsgHello payload. An absent features
+// field decodes as zero, so pre-feature clients parse unchanged; the
+// tenant string is present exactly when FeatureTenant is set.
+func DecodeHelloTenant(payload []byte) (byte, uint64, string, error) {
 	v, payload, err := readUvarint(payload)
 	if err != nil {
-		return 0, 0, err
+		return 0, 0, "", err
 	}
 	if v < 1 || v > 255 {
-		return 0, 0, fmt.Errorf("%w: implausible protocol version %d", ErrCorrupt, v)
+		return 0, 0, "", fmt.Errorf("%w: implausible protocol version %d", ErrCorrupt, v)
 	}
 	var features uint64
 	if len(payload) > 0 {
 		if features, payload, err = readUvarint(payload); err != nil {
-			return 0, 0, err
+			return 0, 0, "", err
 		}
 	}
-	return byte(v), features, wantEmpty(payload)
+	var tenant string
+	if features&FeatureTenant != 0 {
+		if tenant, payload, err = readString(payload); err != nil {
+			return 0, 0, "", err
+		}
+	}
+	return byte(v), features, tenant, wantEmpty(payload)
 }
 
 // AppendHelloResp encodes the agreed protocol version.
@@ -1031,12 +1087,30 @@ func DecodeChecksumResp(payload []byte) (uint32, error) {
 
 // AppendError encodes an error response.
 func AppendError(buf []byte, code uint64, msg string) []byte {
-	buf = beginFrame(buf, MsgError)
-	buf = codec.AppendUvarint(buf, code)
-	return appendString(buf, msg)
+	return AppendErrorRetry(buf, code, msg, 0)
 }
 
-// DecodeError decodes a MsgError payload.
+// AppendErrorRetry encodes an error response with a retry-after hint.
+// A zero hint appends nothing, so pre-overload peers decode the
+// byte-identical legacy payload; a nonzero hint travels as trailing
+// uvarint milliseconds (sub-millisecond hints round up to 1ms so the
+// hint survives the wire).
+func AppendErrorRetry(buf []byte, code uint64, msg string, retryAfter time.Duration) []byte {
+	buf = beginFrame(buf, MsgError)
+	buf = codec.AppendUvarint(buf, code)
+	buf = appendString(buf, msg)
+	if retryAfter > 0 {
+		ms := uint64(retryAfter.Milliseconds())
+		if ms == 0 {
+			ms = 1
+		}
+		buf = codec.AppendUvarint(buf, ms)
+	}
+	return buf
+}
+
+// DecodeError decodes a MsgError payload. An absent retry-after field
+// decodes as zero.
 func DecodeError(payload []byte) (*RemoteError, error) {
 	e := &RemoteError{}
 	var err error
@@ -1045,6 +1119,13 @@ func DecodeError(payload []byte) (*RemoteError, error) {
 	}
 	if e.Msg, payload, err = readString(payload); err != nil {
 		return nil, err
+	}
+	if len(payload) > 0 {
+		var ms uint64
+		if ms, payload, err = readUvarint(payload); err != nil {
+			return nil, err
+		}
+		e.RetryAfter = time.Duration(ms) * time.Millisecond
 	}
 	return e, wantEmpty(payload)
 }
