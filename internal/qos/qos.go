@@ -348,6 +348,12 @@ func (l *Limiter) Acquire(ctx context.Context, tenantName string, op Op, bytes i
 	if l == nil {
 		return func() {}, nil
 	}
+	if bytes < 0 {
+		// A malformed request can announce a negative size; debiting it
+		// would CREDIT the tenant's byte bucket. Charge it as zero-size
+		// — the rpc layer rejects it right after admission anyway.
+		bytes = 0
+	}
 	l.mu.Lock()
 	t := l.tenantLocked(tenantName)
 	if op == OpControl {
@@ -433,10 +439,10 @@ func (l *Limiter) Acquire(ctx context.Context, tenantName string, op Op, bytes i
 }
 
 // abandonLocked resolves the race between a waiter giving up (timeout
-// or cancellation) and dispatch admitting it. done=false means the
-// waiter was admitted first and the caller owns a slot. reason ""
-// (cancellation) sheds silently — the client asked to stop, that is
-// not overload.
+// or cancellation) and dispatch admitting or shedding it. done=false
+// means the waiter was admitted first and the caller owns a slot.
+// reason "" (cancellation) sheds silently — the client asked to stop,
+// that is not overload.
 func (l *Limiter) abandonLocked(w *waiter, reason string) (func(), error, bool) {
 	l.mu.Lock()
 	if w.admitted {
@@ -446,6 +452,15 @@ func (l *Limiter) abandonLocked(w *waiter, reason string) (func(), error, bool) 
 			return nil, nil, false // cancelled: caller releases
 		}
 		return nil, nil, false
+	}
+	if w.shed {
+		// shedOldestLocked got here first: it already removed w from
+		// its queue, decremented l.queued and counted the shed.
+		// Touching the counters again would drift l.queued negative and
+		// permanently fail the fast-path admission check. Just deliver
+		// its verdict.
+		l.mu.Unlock()
+		return nil, <-w.ready, true
 	}
 	// Still queued: remove.
 	q := w.tn.queue

@@ -139,6 +139,100 @@ func TestQueueFullShedsOldestWrite(t *testing.T) {
 	}
 }
 
+// TestShedThenAbandonNoDoubleCount pins the race between
+// shedOldestLocked and the victim's own MaxWait timeout: the shed
+// already removed the waiter and decremented l.queued, so the abandon
+// path must not decrement (and count the shed) again — a drifted
+// l.queued would fail the fast-path admission check forever.
+func TestShedThenAbandonNoDoubleCount(t *testing.T) {
+	l := NewLimiter(Config{MaxInFlight: 1, MaxQueue: 1, MaxWait: time.Second})
+
+	l.mu.Lock()
+	tn := l.tenantLocked("a")
+	w := &waiter{tn: tn, op: OpWrite, bytes: 1, need: 1, enq: l.cfg.now(), ready: make(chan error, 1)}
+	tn.queue = append(tn.queue, w)
+	l.queued++
+	if !l.shedOldestLocked() {
+		l.mu.Unlock()
+		t.Fatal("shedOldestLocked found no victim")
+	}
+	shedAfter := l.totalShed
+	l.mu.Unlock()
+
+	// The waiter's timer fires concurrently with the shed: abandon must
+	// see w.shed and only deliver the verdict.
+	fn, err, done := l.abandonLocked(w, ReasonTimeout)
+	if !done || fn != nil {
+		t.Fatalf("abandon after shed: done=%v haveSlot=%v, want done with no slot", done, fn != nil)
+	}
+	var ov *Overload
+	if !errors.As(err, &ov) || ov.Reason != ReasonQueueFull {
+		t.Fatalf("abandon after shed returned %v, want the shed's queue_full Overload", err)
+	}
+	s := l.Status()
+	if s.Queued != 0 {
+		t.Fatalf("queued drifted to %d after shed+abandon, want 0", s.Queued)
+	}
+	if s.Shed != shedAfter {
+		t.Fatalf("shed double-counted: %d, want %d", s.Shed, shedAfter)
+	}
+	// The drifted counter would wedge the fast path; a fresh request on
+	// the idle limiter must be admitted immediately.
+	rel, aerr := l.Acquire(context.Background(), "a", OpWrite, 1)
+	if aerr != nil {
+		t.Fatalf("admission after shed+abandon: %v", aerr)
+	}
+	rel()
+
+	// Same race on the cancellation branch.
+	l.mu.Lock()
+	w2 := &waiter{tn: tn, op: OpWrite, bytes: 1, need: 1, enq: l.cfg.now(), ready: make(chan error, 1)}
+	tn.queue = append(tn.queue, w2)
+	l.queued++
+	if !l.shedOldestLocked() {
+		l.mu.Unlock()
+		t.Fatal("shedOldestLocked found no victim")
+	}
+	l.mu.Unlock()
+	if _, err, done := l.abandonLocked(w2, ""); !done || !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("cancel after shed: done=%v err=%v", done, err)
+	}
+	if got := l.Status().Queued; got != 0 {
+		t.Fatalf("queued drifted to %d after shed+cancel, want 0", got)
+	}
+}
+
+// TestNegativeBytesDoNotCreditQuota: a request announcing a negative
+// size must not be debited against the byte bucket — the debit of a
+// negative value would CREDIT the tenant's quota.
+func TestNegativeBytesDoNotCreditQuota(t *testing.T) {
+	now := time.Unix(1000, 0)
+	cfg := Config{
+		MaxInFlight: 16,
+		Tenants:     map[string]TenantLimit{"a": {BytesPerSec: 1000}},
+		now:         func() time.Time { return now },
+	}
+	l := NewLimiter(cfg)
+	rel, err := l.Acquire(context.Background(), "a", OpWrite, -1<<20)
+	if err != nil {
+		t.Fatalf("negative-size request refused outright: %v", err)
+	}
+	rel()
+	// The bucket still holds exactly its burst: one 800-byte write
+	// passes, the next is over quota. With the credit bug the bucket
+	// would hold ~1MiB and both would pass.
+	rel, err = l.Acquire(context.Background(), "a", OpWrite, 800)
+	if err != nil {
+		t.Fatalf("first write after negative request: %v", err)
+	}
+	rel()
+	_, err = l.Acquire(context.Background(), "a", OpWrite, 800)
+	var ov *Overload
+	if !errors.As(err, &ov) || ov.Reason != ReasonQuotaB {
+		t.Fatalf("want quota_bytes Overload, got %v", err)
+	}
+}
+
 func TestByteQuota(t *testing.T) {
 	now := time.Unix(1000, 0)
 	cfg := Config{

@@ -246,3 +246,55 @@ func TestServerRejectsGarbageFrames(t *testing.T) {
 		t.Fatalf("code %d, want bad request", re.Code)
 	}
 }
+
+// TestIsReplicaStoreOf pins the replica-store matcher to exactly the
+// names clusterfile.ReplicaName produces: base+"~r"+digits. Anything
+// looser would let the epoch fan-out and the removing-close sweep
+// catch distinct client files that merely share the prefix.
+func TestIsReplicaStoreOf(t *testing.T) {
+	for _, tc := range []struct {
+		name, base string
+		want       bool
+	}{
+		{"data~r1", "data", true},
+		{"data~r12", "data", true},
+		{"data", "data", false},
+		{"data~r", "data", false},
+		{"data~rX", "data", false},
+		{"data~r1x", "data", false},
+		{"database~r1", "data", false},
+		{"data~r1", "other", false},
+	} {
+		if got := isReplicaStoreOf(tc.name, tc.base); got != tc.want {
+			t.Errorf("isReplicaStoreOf(%q, %q) = %v, want %v", tc.name, tc.base, got, tc.want)
+		}
+	}
+}
+
+// TestRemoveStoreSweepsOnlyReplicaStores: a removing close retires the
+// file's replica stores (name~r<digits>) with it, but must not close
+// and delete a distinct client file whose name merely starts with the
+// same prefix.
+func TestRemoveStoreSweepsOnlyReplicaStores(t *testing.T) {
+	addr, _ := startServer(t, ServerConfig{})
+	c := NewClient(ClientConfig{Addr: addr})
+	defer c.Close()
+	ctx := context.Background()
+	phys := encodeTestPhys(t)
+
+	for _, name := range []string{"data", "data~r1", "data~rX"} {
+		if err := c.CreateFile(ctx, &CreateFileReq{Name: name, Phys: phys, Subfiles: []int{0}}); err != nil {
+			t.Fatalf("create %q: %v", name, err)
+		}
+	}
+	if err := c.RemoveStore(ctx, "data"); err != nil {
+		t.Fatal(err)
+	}
+	var re *RemoteError
+	if _, err := c.Stat(ctx, "data~r1", 0); !errors.As(err, &re) || re.Code != ErrCodeUnknownFile {
+		t.Fatalf("replica store survived the sweep: %v", err)
+	}
+	if _, err := c.Stat(ctx, "data~rX", 0); err != nil {
+		t.Fatalf("distinct file swept away with its prefix twin: %v", err)
+	}
+}

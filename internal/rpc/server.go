@@ -182,14 +182,34 @@ func qosOpOf(msgType byte) qos.Op {
 
 // qosBytes is the admission cost of one unary request: the request
 // frame for writes (the dominant msgbuf cost on the write path), the
-// declared response size for reads.
+// declared response size for reads. A read declaring a negative size
+// (rejected as bad-request after admission) must not reach the quota
+// debit, where it would credit the tenant's byte bucket.
 func qosBytes(msgType byte, payload []byte) int64 {
 	if msgType == MsgReadSegs {
-		if req, err := DecodeReadSegs(payload); err == nil {
+		if req, err := DecodeReadSegs(payload); err == nil && req.N >= 0 {
 			return req.N
 		}
 	}
 	return int64(len(payload))
+}
+
+// isReplicaStoreOf reports whether name is a replica-tier store of
+// base, exactly as clusterfile.ReplicaName produces them:
+// base+"~r"+digits. A raw prefix match would also catch a distinct
+// client file whose name merely starts with base+"~r" (e.g. "data~rX"
+// alongside "data") and sweep its stores away with the base file's.
+func isReplicaStoreOf(name, base string) bool {
+	rest, ok := strings.CutPrefix(name, base+"~r")
+	if !ok || rest == "" {
+		return false
+	}
+	for i := 0; i < len(rest); i++ {
+		if rest[i] < '0' || rest[i] > '9' {
+			return false
+		}
+	}
+	return true
 }
 
 // overloadResp encodes an admission refusal: a typed
@@ -634,7 +654,7 @@ func (s *Server) handleEpoch(out, payload []byte) []byte {
 	s.mu.Lock()
 	var targets []*serverFile
 	for name, sf := range s.files {
-		if name == req.File || strings.HasPrefix(name, req.File+"~r") {
+		if name == req.File || isReplicaStoreOf(name, req.File) {
 			targets = append(targets, sf)
 		}
 	}
@@ -837,7 +857,7 @@ func (s *Server) handleClose(out, payload []byte, sp *obs.Span) []byte {
 		// (name~r<r>): the rebalance GC retires a superseded store
 		// generation whole, replicas included.
 		for name, sf := range s.files {
-			if strings.HasPrefix(name, req.File+"~r") {
+			if isReplicaStoreOf(name, req.File) {
 				targets = append(targets, sf)
 				delete(s.files, name)
 				s.met.files.Add(-1)

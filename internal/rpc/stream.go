@@ -340,6 +340,13 @@ func (sc *srvConn) runWriteStream(sid uint64, req *WriteStreamReq, st *srvWriteS
 		fail(ErrCodeShuttingDown, "server draining")
 		return
 	}
+	// Validate before admission: a malformed request must be refused
+	// without ever touching the tenant's quota (a negative Total would
+	// otherwise credit the byte bucket).
+	if req.Hi < req.Lo-1 || req.Lo < 0 || req.Total < 0 {
+		fail(ErrCodeBadRequest, fmt.Sprintf("bad segment window [%d,%d] (%d bytes)", req.Lo, req.Hi, req.Total))
+		return
+	}
 	// Admission charges the stream's announced payload up front: the
 	// whole transfer occupies an in-flight slot and its bytes count
 	// against the tenant's quota, exactly like a unary write's frame.
@@ -354,10 +361,6 @@ func (sc *srvConn) runWriteStream(sid uint64, req *WriteStreamReq, st *srvWriteS
 			return
 		}
 		defer rel()
-	}
-	if req.Hi < req.Lo-1 || req.Lo < 0 || req.Total < 0 {
-		fail(ErrCodeBadRequest, fmt.Sprintf("bad segment window [%d,%d] (%d bytes)", req.Lo, req.Hi, req.Total))
-		return
 	}
 	var proj *redist.Projection
 	if req.Fingerprint != 0 {
@@ -529,6 +532,13 @@ func (sc *srvConn) runReadStream(sid uint64, req *ReadStreamReq) {
 		fail(ErrCodeShuttingDown, "server draining")
 		return
 	}
+	// Validate before admission, so a malformed request is refused
+	// without charging the tenant's quota.
+	if req.N < 0 || req.Hi < req.Lo-1 || req.Lo < 0 {
+		fail(ErrCodeBadRequest,
+			fmt.Sprintf("bad read window [%d,%d] of %d bytes", req.Lo, req.Hi, req.N))
+		return
+	}
 	// Admission charges the declared response size, mirroring the
 	// unary read path.
 	if s.cfg.QoS != nil {
@@ -539,11 +549,6 @@ func (sc *srvConn) runReadStream(sid uint64, req *ReadStreamReq) {
 			return
 		}
 		defer rel()
-	}
-	if req.N < 0 || req.Hi < req.Lo-1 || req.Lo < 0 {
-		fail(ErrCodeBadRequest,
-			fmt.Sprintf("bad read window [%d,%d] of %d bytes", req.Lo, req.Hi, req.N))
-		return
 	}
 	var proj *redist.Projection
 	if req.Fingerprint != 0 {
