@@ -51,7 +51,7 @@ func main() {
 	mode := flag.String("mode", "bc", "write mode: bc (buffer cache) or disk")
 	dir := flag.String("dir", "", "store subfiles as real files in this directory (default: in-memory)")
 	remote := flag.String("remote", "", "comma-separated parafiled endpoints (host:port,...); subfile bytes live on the daemons instead of in-process")
-	metaAddr := flag.String("meta", "", "parafilemd metadata service endpoint (host:port); open by name through the namespace, write a deterministic pattern and verify it (ignores the workload flags)")
+	metaAddr := flag.String("meta", "", "parafilemd metadata endpoint(s), host:port[,host:port...]; open by name through the namespace, write a deterministic pattern and verify it (ignores the workload flags)")
 	metaFile := flag.String("meta-file", "demo", "file name in the metadata namespace for -meta")
 	metaVerify := flag.Bool("meta-verify", false, "with -meta: skip the write and only verify the pattern a previous run wrote — proves the bytes survived a rebalance untouched")
 	replication := flag.Int("replication", 1, "materialize every subfile on this many I/O nodes (reads fail over, writes fan out)")

@@ -115,6 +115,8 @@ var verbs = []verb{
 		"exclude a data node from placements and rebalance off it", drainNodeVerb},
 	{"decommission", "decommission -meta host:port -node host:port",
 		"remove a drained, empty data node", decommissionVerb},
+	{"meta-status", "meta-status -meta host:port[,host:port...]",
+		"replication status of every metadata group member", metaStatusVerb},
 }
 
 func main() {
@@ -504,7 +506,7 @@ type metaFlags struct {
 
 func addMetaFlags(fs *flag.FlagSet) *metaFlags {
 	return &metaFlags{
-		meta: fs.String("meta", "", "parafilemd metadata service endpoint (host:port)"),
+		meta: fs.String("meta", "", "parafilemd metadata endpoint(s), host:port[,host:port...] for a replicated group"),
 		file: fs.String("file", "", "file name in the metadata namespace"),
 		node: fs.String("node", "", "data node endpoint (host:port)"),
 	}
@@ -521,6 +523,54 @@ func (mf *metaFlags) dial() (*meta.FS, error) {
 		// daemons' /debug/trace; daemons without tracing ignore it.
 		Tracer: obs.NewTracer("parafilectl", 128),
 	}), nil
+}
+
+// metaStatusVerb polls every -meta endpoint directly (no leader
+// chasing: the point is each member's own view) and prints the group:
+// term, role, believed leader, log tail, and the leaseholder's
+// remaining lease.
+func metaStatusVerb(fs *flag.FlagSet) func() error {
+	mf := addMetaFlags(fs)
+	return func() error {
+		if *mf.meta == "" {
+			return errors.New("need -meta host:port[,host:port...]")
+		}
+		fmt.Printf("%-22s %6s %-11s %-22s %10s %8s %8s\n",
+			"endpoint", "term", "role", "leader", "log-tail", "lease", "peers")
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		leaders := map[string]bool{}
+		reached := 0
+		for _, addr := range strings.Split(*mf.meta, ",") {
+			if addr = strings.TrimSpace(addr); addr == "" {
+				continue
+			}
+			cl := rpc.NewClient(rpc.ClientConfig{Addr: addr, MaxRetries: 1})
+			st, err := cl.MetaStatus(ctx)
+			cl.Close()
+			if err != nil {
+				fmt.Printf("%-22s unreachable: %v\n", addr, err)
+				continue
+			}
+			reached++
+			lease := "-"
+			if st.LeaseMs > 0 {
+				lease = fmt.Sprintf("%dms", st.LeaseMs)
+			}
+			if st.Role == rpc.RoleLeader || st.Role == rpc.RoleStandalone {
+				leaders[st.Self] = true
+			}
+			fmt.Printf("%-22s %6d %-11s %-22s %6d@%-3d %8s %8d\n",
+				addr, st.Term, st.Role, st.Leader, st.LastIndex, st.LastTerm, lease, st.Peers)
+		}
+		if reached == 0 {
+			return errors.New("no metadata endpoint reachable")
+		}
+		if len(leaders) > 1 {
+			return fmt.Errorf("split view: %d nodes claim the lease", len(leaders))
+		}
+		return nil
+	}
 }
 
 func createVerb(fs *flag.FlagSet) func() error {
@@ -623,14 +673,14 @@ func printNamespace(cl *meta.FS) error {
 
 func addNodeVerb(fs *flag.FlagSet) func() error {
 	mf := addMetaFlags(fs)
-	return membershipAction(mf, "add-node", func(cl *meta.FS, ctx context.Context, addr string) ([]*meta.RebalanceResult, error) {
+	return membershipAction(mf, "add-node", func(cl *meta.FS, ctx context.Context, addr string) ([]*meta.RebalanceOutcome, error) {
 		return cl.AddNode(ctx, addr)
 	})
 }
 
 func drainNodeVerb(fs *flag.FlagSet) func() error {
 	mf := addMetaFlags(fs)
-	return membershipAction(mf, "drain-node", func(cl *meta.FS, ctx context.Context, addr string) ([]*meta.RebalanceResult, error) {
+	return membershipAction(mf, "drain-node", func(cl *meta.FS, ctx context.Context, addr string) ([]*meta.RebalanceOutcome, error) {
 		return cl.DrainNode(ctx, addr)
 	})
 }
@@ -655,8 +705,9 @@ func decommissionVerb(fs *flag.FlagSet) func() error {
 }
 
 // membershipAction runs one membership change plus the namespace-wide
-// rebalance it triggers, printing per-file movement.
-func membershipAction(mf *metaFlags, what string, act func(*meta.FS, context.Context, string) ([]*meta.RebalanceResult, error)) func() error {
+// rebalance it triggers, printing per-file outcomes. Files that failed
+// don't abort the rest; they are reported and the verb exits nonzero.
+func membershipAction(mf *metaFlags, what string, act func(*meta.FS, context.Context, string) ([]*meta.RebalanceOutcome, error)) func() error {
 	return func() error {
 		if *mf.node == "" {
 			return errors.New("need -node host:port")
@@ -666,27 +717,35 @@ func membershipAction(mf *metaFlags, what string, act func(*meta.FS, context.Con
 			return err
 		}
 		defer cl.Close()
-		results, err := act(cl, context.Background(), *mf.node)
-		printRebalance(results)
+		outcomes, err := act(cl, context.Background(), *mf.node)
+		printRebalance(outcomes)
 		if err != nil {
 			return fmt.Errorf("%s %s: %w", what, *mf.node, err)
+		}
+		if failed := meta.Failed(outcomes); failed > 0 {
+			return fmt.Errorf("%s %s: %d of %d file(s) failed to rebalance", what, *mf.node, failed, len(outcomes))
 		}
 		return nil
 	}
 }
 
-func printRebalance(results []*meta.RebalanceResult) {
+func printRebalance(outcomes []*meta.RebalanceOutcome) {
 	moved := 0
 	var bytes int64
-	for _, r := range results {
+	for _, o := range outcomes {
+		if o.Err != nil {
+			fmt.Printf("  %-20s FAILED: %v\n", o.Name, o.Err)
+			continue
+		}
+		r := o.Result
 		if !r.Moved {
-			fmt.Printf("  %-20s already balanced (epoch %d)\n", r.File.Name, r.FromEpoch)
+			fmt.Printf("  %-20s already balanced (epoch %d)\n", o.Name, r.FromEpoch)
 			continue
 		}
 		moved++
 		bytes += r.BytesMoved
 		fmt.Printf("  %-20s epoch %d -> %d: %d -> %d nodes, %d bytes in %d messages (%s)\n",
-			r.File.Name, r.FromEpoch, r.ToEpoch, len(r.FromNodes), len(r.ToNodes),
+			o.Name, r.FromEpoch, r.ToEpoch, len(r.FromNodes), len(r.ToNodes),
 			r.BytesMoved, r.Messages, r.Wall.Round(time.Millisecond))
 	}
 	fmt.Printf("rebalanced %d file(s), %d bytes moved\n", moved, bytes)

@@ -9,6 +9,7 @@
 // Usage:
 //
 //	parafilemd [-listen 127.0.0.1:7060] [-data-dir DIR]
+//	           [-peers a:1,b:2,c:3] [-advertise a:1]
 //	           [-metrics-addr host:port] [-max-frame-mb 4]
 //	           [-snapshot-mb 1] [-fault SPEC] [-fault-seed N]
 //
@@ -17,9 +18,20 @@
 // clusterfsdemo -meta) open files by name here, cache the placement
 // map and talk to the data daemons directly. Rebalances driven by
 // `parafilectl add-node/drain-node` flip a file's epoch through this
-// daemon's compare-and-swap commit. SIGTERM or SIGINT drains: the
+// daemon's compare-and-swap commit.
+//
+// With -peers, the daemon joins a replicated group of 2f+1 parafilemd
+// processes: one holds a time-bounded leader lease and serves the
+// namespace, replicating every mutation to a quorum before acking;
+// the others answer NotLeader redirects and vote in elections. Kill
+// the leader and a follower takes over within the election timeout;
+// clients dialed with the comma-separated endpoint list fail over by
+// themselves.
+//
+// SIGTERM or SIGINT drains: leadership is resigned first (so a peer
+// can take over immediately instead of waiting out the lease), the
 // listener closes, in-flight requests finish, and the log is synced
-// before exit.
+// before exit. A drain that cannot complete exits nonzero.
 package main
 
 import (
@@ -31,6 +43,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strings"
 	"syscall"
 	"time"
 
@@ -48,6 +61,10 @@ func main() {
 	maxFrameMB := flag.Int64("max-frame-mb", 4, "maximum accepted frame size in MiB")
 	snapshotMB := flag.Int64("snapshot-mb", 1, "compact the append-only log into a snapshot once it exceeds this many MiB")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "how long a SIGTERM drain waits for in-flight requests")
+	peers := flag.String("peers", "", "comma-separated replication group membership including this node's advertised address (empty: standalone, no replication)")
+	advertise := flag.String("advertise", "", "address peers and clients reach this node at (default: the bound listen address)")
+	heartbeat := flag.Duration("heartbeat", 150*time.Millisecond, "leader lease heartbeat cadence")
+	electionTimeout := flag.Duration("election-timeout", 500*time.Millisecond, "minimum follower silence before campaigning (max is 2x)")
 	faultSpec := flag.String("fault", "", "inject faults on accepted connections and log appends, e.g. error:0.01 (see internal/fault)")
 	faultSeed := flag.Int64("fault-seed", 1, "seed for probabilistic fault schedules (reproducible runs)")
 	flag.Parse()
@@ -97,18 +114,52 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	self := *advertise
+	if self == "" {
+		self = ln.Addr().String()
+	}
+	logger := obs.NewLogger(os.Stderr, "parafilemd@"+ln.Addr().String())
+
+	var group *meta.Group
+	if *peers != "" {
+		var peerList []string
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				peerList = append(peerList, p)
+			}
+		}
+		group, err = meta.NewGroup(meta.GroupConfig{
+			Self:               self,
+			Peers:              peerList,
+			Store:              store,
+			HeartbeatEvery:     *heartbeat,
+			ElectionTimeoutMin: *electionTimeout,
+			Metrics:            reg,
+			Log:                logger,
+			Fault:              inj,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
 	svc := meta.NewService(meta.ServiceConfig{
 		Store:    store,
 		MaxFrame: *maxFrameMB << 20,
 		Metrics:  reg,
-		Log:      obs.NewLogger(os.Stderr, "parafilemd@"+ln.Addr().String()),
+		Log:      logger,
 		Fault:    inj,
+		Group:    group,
 	})
 	where := "ephemeral namespace in " + dir
 	if persistent {
 		where = "namespace under " + dir
 	}
 	fmt.Fprintf(os.Stderr, "parafilemd: listening on %s (%s)\n", ln.Addr(), where)
+	if group != nil {
+		group.Start()
+		fmt.Fprintf(os.Stderr, "parafilemd: replication group member %s of %s\n", self, *peers)
+	}
 
 	var metricsShutdown func(context.Context) error
 	if *metricsAddr != "" {
@@ -131,9 +182,19 @@ func main() {
 		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 		defer cancel()
 		failed := false
+		if group != nil {
+			// Step down first: peers can elect a successor right away
+			// instead of waiting out our lease, and any mutation that
+			// arrives mid-drain is refused with a redirect rather than
+			// half-replicated by a dying leader.
+			group.Resign()
+		}
 		if err := svc.Shutdown(ctx); err != nil {
 			log.Printf("drain: %v", err)
 			failed = true
+		}
+		if group != nil {
+			group.Stop()
 		}
 		if metricsShutdown != nil {
 			if err := metricsShutdown(ctx); err != nil {

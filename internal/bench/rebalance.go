@@ -111,11 +111,17 @@ func runRebalanceBench(fileBytes, stripeBytes int64, reg *obs.Registry) ([]Rebal
 	}
 
 	var stats []RebalanceStat
-	record := func(step string, results []*meta.RebalanceResult) error {
-		if len(results) != 1 || !results[0].Moved {
-			return fmt.Errorf("rebalance bench: %s moved %d files, want 1", step, len(results))
+	record := func(step string, outcomes []*meta.RebalanceOutcome) error {
+		if len(outcomes) != 1 {
+			return fmt.Errorf("rebalance bench: %s touched %d files, want 1", step, len(outcomes))
 		}
-		r := results[0]
+		if outcomes[0].Err != nil {
+			return fmt.Errorf("rebalance bench: %s: %w", step, outcomes[0].Err)
+		}
+		r := outcomes[0].Result
+		if !r.Moved {
+			return fmt.Errorf("rebalance bench: %s did not move the file", step)
+		}
 		same, err := check()
 		if err != nil {
 			return fmt.Errorf("rebalance bench: read-back after %s: %w", step, err)

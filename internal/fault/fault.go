@@ -116,6 +116,12 @@ const (
 	// injected via Fire). file carries the namespace entry's name.
 	OpMetaAppend   Op = "meta_append"
 	OpMetaSnapshot Op = "meta_snapshot"
+	// Metadata replication-path operations (injected via Fire by the
+	// group): a leader's quorum replication round and a candidate's
+	// election round. Delay rules widen windows; error rules force
+	// failed rounds (ErrNotCommitted on clients) and lost elections.
+	OpMetaReplicate Op = "meta_replicate"
+	OpMetaVote      Op = "meta_vote"
 )
 
 // AnyNode makes a rule match every I/O node (and every connection).

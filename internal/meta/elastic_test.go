@@ -209,16 +209,17 @@ func TestElasticAddDrain(t *testing.T) {
 	if err != nil {
 		t.Fatalf("AddNode: %v", err)
 	}
-	if len(results) != 1 || !results[0].Moved {
+	if len(results) != 1 || results[0].Err != nil || !results[0].Result.Moved {
 		t.Fatalf("AddNode results = %+v, want one moved file", results)
 	}
-	if results[0].BytesMoved == 0 {
+	grow := results[0].Result
+	if grow.BytesMoved == 0 {
 		t.Fatal("add-node rebalance reports zero bytes moved — did not run through the redistribution path")
 	}
-	if results[0].FromEpoch != 1 || results[0].ToEpoch != 2 {
-		t.Fatalf("add-node epochs = %d -> %d, want 1 -> 2", results[0].FromEpoch, results[0].ToEpoch)
+	if grow.FromEpoch != 1 || grow.ToEpoch != 2 {
+		t.Fatalf("add-node epochs = %d -> %d, want 1 -> 2", grow.FromEpoch, grow.ToEpoch)
 	}
-	if got := len(results[0].ToNodes); got != 4 {
+	if got := len(grow.ToNodes); got != 4 {
 		t.Fatalf("placement after add-node spans %d nodes, want 4", got)
 	}
 	checkReader("during add-node")
@@ -243,10 +244,10 @@ func TestElasticAddDrain(t *testing.T) {
 	if err != nil {
 		t.Fatalf("DrainNode: %v", err)
 	}
-	if len(results) != 1 || !results[0].Moved || results[0].ToEpoch != 3 {
+	if len(results) != 1 || results[0].Err != nil || !results[0].Result.Moved || results[0].Result.ToEpoch != 3 {
 		t.Fatalf("DrainNode results = %+v, want one move to epoch 3", results)
 	}
-	for _, n := range results[0].ToNodes {
+	for _, n := range results[0].Result.ToNodes {
 		if n == drained {
 			t.Fatalf("drained node %s still in the new placement", drained)
 		}

@@ -37,6 +37,9 @@ type Options struct {
 	// a fence holds from the rebalance's first gather to its commit,
 	// and writers issued in that window spin against it.
 	RetryBackoff time.Duration
+	// RebalanceWorkers bounds concurrent per-file moves inside
+	// RebalanceAll (default 4).
+	RebalanceWorkers int
 	// Metrics receives the FS series (stale retries, rebalances) plus
 	// the client/cluster series; nil records nothing.
 	Metrics *obs.Registry
@@ -47,9 +50,10 @@ type Options struct {
 	Log *slog.Logger
 }
 
-// FS is a connection to a metadata service.
+// FS is a connection to a metadata service (or a replicated group of
+// them).
 type FS struct {
-	md   *rpc.Client
+	md   *mdClient
 	opts Options
 
 	metStale      *obs.Counter
@@ -58,7 +62,10 @@ type FS struct {
 	metGC         *obs.Counter
 }
 
-// Dial connects to the metadata service at addr.
+// Dial connects to the metadata service. addr may be a single address
+// or a comma-separated endpoint list for a replicated group; the FS
+// discovers the leaseholder by following NotLeader redirects and fails
+// over through elections transparently.
 func Dial(addr string, opts Options) *FS {
 	if opts.MaxRetries == 0 {
 		opts.MaxRetries = 8
@@ -67,9 +74,8 @@ func Dial(addr string, opts Options) *FS {
 		opts.RetryBackoff = 25 * time.Millisecond
 	}
 	cfg := opts.Client
-	cfg.Addr = addr
 	cfg.Metrics = opts.Metrics
-	fs := &FS{md: rpc.NewClient(cfg), opts: opts}
+	fs := &FS{md: newMDClient(splitEndpoints(addr), cfg, opts.Metrics), opts: opts}
 	if reg := opts.Metrics; reg != nil {
 		fs.metStale = reg.Counter("parafile_meta_stale_retries_total")
 		fs.metRebalances = reg.Counter("parafile_rebalance_total")

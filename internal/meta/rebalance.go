@@ -4,11 +4,18 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"parafile/internal/clusterfile"
 	"parafile/internal/rpc"
 )
+
+// defaultRebalanceWorkers bounds concurrent per-file rebalances in
+// RebalanceAll when Options.RebalanceWorkers is zero. Each file's move
+// is independent (its own fence, union transport, and CAS commit), so
+// a small pool overlaps transfer time without flooding the daemons.
+const defaultRebalanceWorkers = 4
 
 // rebalance.go drives online placement changes as paper
 // redistributions. A file laid out over its old node set is one
@@ -120,6 +127,17 @@ func (fs *FS) rebalanceOnce(ctx context.Context, mf *rpc.MetaFile, target []stri
 	}
 
 	newEpoch := mf.Epoch + 1
+	// Under a replicated metadata group every epoch minted in leader
+	// term T must clear the floor T<<epochTermShift: the daemons'
+	// epoch ratchet then fences a deposed leader's driver (staging at a
+	// lower epoch) out of the data path with no daemon-side changes.
+	// The commit re-validates against the floor, so a term that moves
+	// mid-rebalance fails the CAS instead of committing stale.
+	if st, err := fs.md.MetaStatus(ctx); err == nil {
+		if floor := st.Term << epochTermShift; newEpoch < floor {
+			newEpoch = floor
+		}
+	}
 	newStore := fmt.Sprintf("%s@%d", mf.Name, newEpoch)
 	newAssign := make([]int, len(target))
 	for i := range newAssign {
@@ -201,6 +219,7 @@ func (fs *FS) rebalanceOnce(ctx context.Context, mf *rpc.MetaFile, target []stri
 	committed, err := fs.md.MetaCommit(ctx, &rpc.MetaCommitReq{
 		Name:      mf.Name,
 		OldEpoch:  mf.Epoch,
+		NewEpoch:  newEpoch,
 		StoreName: newStore,
 		Nodes:     target,
 		Assign:    newAssign,
@@ -242,27 +261,69 @@ func (fs *FS) rebalanceOnce(ctx context.Context, mf *rpc.MetaFile, target []stri
 	return res, nil
 }
 
-// RebalanceAll rebalances every file in the namespace onto the
-// current active membership, in name order.
-func (fs *FS) RebalanceAll(ctx context.Context) ([]*RebalanceResult, error) {
+// RebalanceOutcome is one file's result from a namespace-wide
+// rebalance: either a result or the error that stopped that file.
+// Each file's move is all-or-nothing on its own (fence → copy → CAS →
+// unfence), so one file failing leaves every other file either moved
+// or untouched — never half-moved.
+type RebalanceOutcome struct {
+	Name   string
+	Result *RebalanceResult // nil when Err is set
+	Err    error
+}
+
+// Failed counts the outcomes that errored.
+func Failed(outcomes []*RebalanceOutcome) int {
+	n := 0
+	for _, o := range outcomes {
+		if o.Err != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// RebalanceAll rebalances every file in the namespace onto the current
+// active membership through a bounded worker pool. It does not stop at
+// the first failure: every file is attempted and the outcomes come
+// back in name order, failures attached to the file they belong to.
+// The returned error is non-nil only when the namespace itself could
+// not be listed.
+func (fs *FS) RebalanceAll(ctx context.Context) ([]*RebalanceOutcome, error) {
 	files, err := fs.md.MetaList(ctx)
 	if err != nil {
 		return nil, err
 	}
-	results := make([]*RebalanceResult, 0, len(files))
-	for _, mf := range files {
-		res, err := fs.Rebalance(ctx, mf.Name)
-		if err != nil {
-			return results, fmt.Errorf("meta: rebalancing %q: %w", mf.Name, err)
-		}
-		results = append(results, res)
+	workers := fs.opts.RebalanceWorkers
+	if workers <= 0 {
+		workers = defaultRebalanceWorkers
 	}
-	return results, nil
+	if workers > len(files) {
+		workers = len(files)
+	}
+	outcomes := make([]*RebalanceOutcome, len(files))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for i, mf := range files {
+		i, name := i, mf.Name
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer func() { <-sem; wg.Done() }()
+			res, err := fs.Rebalance(ctx, name)
+			if err != nil {
+				err = fmt.Errorf("meta: rebalancing %q: %w", name, err)
+			}
+			outcomes[i] = &RebalanceOutcome{Name: name, Result: res, Err: err}
+		}()
+	}
+	wg.Wait()
+	return outcomes, nil
 }
 
 // AddNode registers addr as an active data node and rebalances the
 // namespace onto the grown membership.
-func (fs *FS) AddNode(ctx context.Context, addr string) ([]*RebalanceResult, error) {
+func (fs *FS) AddNode(ctx context.Context, addr string) ([]*RebalanceOutcome, error) {
 	if _, err := fs.md.MetaNodeSet(ctx, addr, rpc.NodeActive); err != nil {
 		return nil, err
 	}
@@ -271,7 +332,7 @@ func (fs *FS) AddNode(ctx context.Context, addr string) ([]*RebalanceResult, err
 
 // DrainNode marks addr draining — excluded from new placements — and
 // rebalances every file off it.
-func (fs *FS) DrainNode(ctx context.Context, addr string) ([]*RebalanceResult, error) {
+func (fs *FS) DrainNode(ctx context.Context, addr string) ([]*RebalanceOutcome, error) {
 	if _, err := fs.md.MetaNodeSet(ctx, addr, rpc.NodeDraining); err != nil {
 		return nil, err
 	}

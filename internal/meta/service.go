@@ -8,6 +8,7 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"parafile/internal/fault"
 	"parafile/internal/obs"
@@ -39,6 +40,12 @@ type ServiceConfig struct {
 	// Fault, when non-nil, interposes on accepted connections
 	// (fault.OpDial, node 0) for robustness tests.
 	Fault *fault.Injector
+	// Group, when non-nil, is the replication group this node belongs
+	// to. Namespace traffic is then gated on the leader lease (others
+	// answer ErrCodeNotLeader with a redirect hint) and the peer
+	// replication messages are routed into the group. Nil runs the
+	// pre-replication single-node behavior unchanged.
+	Group *Group
 }
 
 // Service serves the metadata protocol on accepted connections.
@@ -72,6 +79,7 @@ func NewService(cfg ServiceConfig) *Service {
 			rpc.MsgHello, rpc.MsgPing,
 			rpc.MsgMetaCreate, rpc.MsgMetaOpen, rpc.MsgMetaList, rpc.MsgMetaRemove,
 			rpc.MsgMetaCommit, rpc.MsgMetaExtend, rpc.MsgMetaNodes, rpc.MsgMetaNode,
+			rpc.MsgMetaVote, rpc.MsgMetaAppend, rpc.MsgMetaSnapInstall, rpc.MsgMetaStatus,
 		} {
 			s.metRequests[t] = reg.Counter(
 				fmt.Sprintf("parafile_meta_requests_total{type=%q}", rpc.MsgName(t)))
@@ -182,6 +190,25 @@ func (s *Service) route(msgType byte, payload []byte) []byte {
 			return s.errResp(rpc.ErrCodeBadRequest, "ping with payload")
 		}
 		return rpc.AppendOK(nil)
+	case rpc.MsgMetaVote:
+		return s.handleVote(payload)
+	case rpc.MsgMetaAppend:
+		return s.handleAppendEntries(payload)
+	case rpc.MsgMetaSnapInstall:
+		return s.handleSnapInstall(payload)
+	case rpc.MsgMetaStatus:
+		if len(payload) != 0 {
+			return s.errResp(rpc.ErrCodeBadRequest, "status with payload")
+		}
+		return s.handleStatus()
+	}
+	// Everything else is namespace traffic: reads included, it is only
+	// served while this node holds the leader lease, so a client can
+	// never observe a stale namespace from a deposed or lagging node.
+	if resp := s.notLeader(); resp != nil {
+		return resp
+	}
+	switch msgType {
 	case rpc.MsgMetaCreate:
 		return s.handleCreate(payload)
 	case rpc.MsgMetaOpen:
@@ -206,6 +233,76 @@ func (s *Service) route(msgType byte, payload []byte) []byte {
 		return s.handleNode(payload)
 	}
 	return s.errResp(rpc.ErrCodeBadRequest, fmt.Sprintf("unknown message type %#x", msgType))
+}
+
+// notLeader answers non-nil when namespace traffic must be refused:
+// this node is grouped and does not hold a live leader lease. The
+// response carries the believed leader as a redirect hint and a small
+// retry delay for the election window, when there is no leader at all.
+func (s *Service) notLeader() []byte {
+	g := s.cfg.Group
+	if g == nil || g.IsLeader() {
+		return nil
+	}
+	if s.metErrors != nil {
+		s.metErrors.Inc()
+	}
+	hint := g.LeaderHint()
+	retry := time.Duration(0)
+	if hint == "" {
+		retry = 50 * time.Millisecond
+	}
+	return rpc.AppendErrorLeader(nil, rpc.ErrCodeNotLeader,
+		"not the metadata leader", retry, hint)
+}
+
+func (s *Service) handleVote(payload []byte) []byte {
+	req, err := rpc.DecodeMetaVote(payload)
+	if err != nil {
+		return s.errResp(rpc.ErrCodeBadRequest, err.Error())
+	}
+	if s.cfg.Group == nil {
+		return s.errResp(rpc.ErrCodeBadRequest, "node is not part of a replication group")
+	}
+	return rpc.AppendMetaVoteResp(nil, s.cfg.Group.HandleVote(req))
+}
+
+func (s *Service) handleAppendEntries(payload []byte) []byte {
+	req, err := rpc.DecodeMetaAppend(payload)
+	if err != nil {
+		return s.errResp(rpc.ErrCodeBadRequest, err.Error())
+	}
+	if s.cfg.Group == nil {
+		return s.errResp(rpc.ErrCodeBadRequest, "node is not part of a replication group")
+	}
+	return rpc.AppendMetaAppendResp(nil, s.cfg.Group.HandleAppend(context.Background(), req))
+}
+
+func (s *Service) handleSnapInstall(payload []byte) []byte {
+	req, err := rpc.DecodeMetaSnapInstall(payload)
+	if err != nil {
+		return s.errResp(rpc.ErrCodeBadRequest, err.Error())
+	}
+	if s.cfg.Group == nil {
+		return s.errResp(rpc.ErrCodeBadRequest, "node is not part of a replication group")
+	}
+	return rpc.AppendMetaAppendResp(nil, s.cfg.Group.HandleSnapInstall(context.Background(), req))
+}
+
+// handleStatus answers on any node, leader or not — it is how clients
+// and operators discover the leader in the first place.
+func (s *Service) handleStatus() []byte {
+	if g := s.cfg.Group; g != nil {
+		return rpc.AppendMetaStatusResp(nil, g.Status())
+	}
+	idx, trm := s.cfg.Store.LastEntry()
+	return rpc.AppendMetaStatusResp(nil, &rpc.MetaStatusInfo{
+		Term:      s.cfg.Store.Term(),
+		Role:      rpc.RoleStandalone,
+		LastIndex: idx,
+		LastTerm:  trm,
+		Peers:     1,
+	})
 }
 
 // handleHello negotiates min(client, v2) and grants FeaturePlacement:

@@ -88,6 +88,73 @@ func (c *Client) MetaNodes(ctx context.Context) ([]MetaNode, error) {
 	return DecodeMetaNodesResp(payload)
 }
 
+// MetaVote asks a peer for its ballot in a leader election round.
+func (c *Client) MetaVote(ctx context.Context, req *MetaVoteReq) (*MetaVoteResp, error) {
+	body := AppendMetaVote(getFrameBuf(64), req)
+	f, err := c.call(ctx, MsgMetaVote, body)
+	putFrameBuf(body)
+	if err != nil {
+		return nil, err
+	}
+	defer ReleaseFrame(f.body)
+	payload, err := parseResp(f, MsgMetaVoteResp)
+	if err != nil {
+		return nil, err
+	}
+	return DecodeMetaVoteResp(payload)
+}
+
+// MetaAppendEntries ships a log batch (or an empty heartbeat) to a
+// follower. Duplicate delivery is safe: the follower skips entries at
+// or below its log tail, so the shared retry machinery applies.
+func (c *Client) MetaAppendEntries(ctx context.Context, req *MetaAppendReq) (*MetaAppendResp, error) {
+	body := AppendMetaAppend(getFrameBuf(256), req)
+	f, err := c.call(ctx, MsgMetaAppend, body)
+	putFrameBuf(body)
+	if err != nil {
+		return nil, err
+	}
+	defer ReleaseFrame(f.body)
+	payload, err := parseResp(f, MsgMetaAppendResp)
+	if err != nil {
+		return nil, err
+	}
+	return DecodeMetaAppendResp(payload)
+}
+
+// MetaSnapInstall transfers a full serialized namespace state to a
+// diverged follower, which installs it atomically.
+func (c *Client) MetaSnapInstall(ctx context.Context, req *MetaSnapInstallReq) (*MetaAppendResp, error) {
+	body := AppendMetaSnapInstall(getFrameBuf(1024), req)
+	f, err := c.call(ctx, MsgMetaSnapInstall, body)
+	putFrameBuf(body)
+	if err != nil {
+		return nil, err
+	}
+	defer ReleaseFrame(f.body)
+	payload, err := parseResp(f, MsgMetaAppendResp)
+	if err != nil {
+		return nil, err
+	}
+	return DecodeMetaAppendResp(payload)
+}
+
+// MetaStatus asks a metadata node for its replication status.
+func (c *Client) MetaStatus(ctx context.Context) (*MetaStatusInfo, error) {
+	body := AppendMetaStatus(getFrameBuf(8))
+	f, err := c.call(ctx, MsgMetaStatus, body)
+	putFrameBuf(body)
+	if err != nil {
+		return nil, err
+	}
+	defer ReleaseFrame(f.body)
+	payload, err := parseResp(f, MsgMetaStatusResp)
+	if err != nil {
+		return nil, err
+	}
+	return DecodeMetaStatusResp(payload)
+}
+
 // MetaNodeSet registers a node or changes its membership state and
 // returns the updated table.
 func (c *Client) MetaNodeSet(ctx context.Context, addr string, state byte) ([]MetaNode, error) {

@@ -140,6 +140,21 @@ const (
 	MsgMetaNodes  byte = 0x26
 	// MsgMetaNode registers a node or updates its membership state.
 	MsgMetaNode byte = 0x27
+	// MsgMetaVote is the replication group's leader-election ballot: a
+	// candidate names its term and log tail, a peer grants or denies.
+	MsgMetaVote byte = 0x28
+	// MsgMetaAppend ships namespace log records from the leader to a
+	// follower (and doubles as the lease heartbeat when it carries no
+	// records). The follower checks the leader's previous-entry tail
+	// against its own and nacks on divergence.
+	MsgMetaAppend byte = 0x29
+	// MsgMetaSnapInstall transfers a full serialized namespace state to
+	// a follower whose log diverged or fell behind; the follower installs
+	// it atomically (temp + fsync + rename) and truncates its log.
+	MsgMetaSnapInstall byte = 0x2A
+	// MsgMetaStatus asks a metadata node for its replication status:
+	// term, role, known leader, log tail, lease remainder.
+	MsgMetaStatus byte = 0x2B
 )
 
 // Metadata-service response types.
@@ -147,6 +162,14 @@ const (
 	MsgMetaFileResp  byte = 0x30
 	MsgMetaListResp  byte = 0x31
 	MsgMetaNodesResp byte = 0x32
+	// MsgMetaVoteResp answers MsgMetaVote with the voter's term and the
+	// grant/deny verdict.
+	MsgMetaVoteResp byte = 0x33
+	// MsgMetaAppendResp acks (or nacks, with the follower's tail) a
+	// MsgMetaAppend batch.
+	MsgMetaAppendResp byte = 0x34
+	// MsgMetaStatusResp answers MsgMetaStatus.
+	MsgMetaStatusResp byte = 0x35
 )
 
 // Response message types.
@@ -250,6 +273,20 @@ func MsgName(t byte) string {
 		return "meta_nodes"
 	case MsgMetaNode:
 		return "meta_node"
+	case MsgMetaVote:
+		return "meta_vote"
+	case MsgMetaAppend:
+		return "meta_append"
+	case MsgMetaSnapInstall:
+		return "meta_snap_install"
+	case MsgMetaStatus:
+		return "meta_status"
+	case MsgMetaVoteResp:
+		return "meta_vote_resp"
+	case MsgMetaAppendResp:
+		return "meta_append_resp"
+	case MsgMetaStatusResp:
+		return "meta_status_resp"
 	case MsgMetaFileResp:
 		return "meta_file_resp"
 	case MsgMetaListResp:
@@ -295,6 +332,12 @@ const (
 	// an answer, not a transport failure: it must never advance the
 	// circuit breaker.
 	ErrCodeOverloaded uint64 = 7
+	// ErrCodeNotLeader: the metadata node answering is not the group's
+	// leader (or its lease lapsed mid-election). The request was not
+	// executed; the caller should redirect to RemoteError.Leader when
+	// the hint is present, otherwise probe the other endpoints, with
+	// jittered retry through the election window.
+	ErrCodeNotLeader uint64 = 8
 )
 
 // ErrStalePlacement is the sentinel callers match with errors.Is to
@@ -307,6 +350,11 @@ var ErrStalePlacement = fmt.Errorf("rpc: stale placement epoch")
 // service (metadata namespace miss, or a store the daemon never saw).
 var ErrUnknownFile = fmt.Errorf("rpc: unknown file")
 
+// ErrNotLeader is the sentinel for an ErrCodeNotLeader RemoteError —
+// the metadata node is not the leaseholder. Match with errors.As on
+// *RemoteError to read the Leader redirect hint.
+var ErrNotLeader = fmt.Errorf("rpc: not the metadata leader")
+
 // RemoteError is a server-reported failure: the request was delivered
 // and answered, so the client does not retry it at the transport
 // layer. The one exception is ErrCodeOverloaded — backpressure, which
@@ -317,6 +365,10 @@ type RemoteError struct {
 	// RetryAfter is the server's backoff hint on ErrCodeOverloaded
 	// responses (zero otherwise, and absent from the wire when zero).
 	RetryAfter time.Duration
+	// Leader is the redirect hint on ErrCodeNotLeader responses: the
+	// address of the node the answering follower believes holds the
+	// lease (empty when unknown, e.g. mid-election).
+	Leader string
 }
 
 func (e *RemoteError) Error() string {
@@ -333,6 +385,8 @@ func (e *RemoteError) Is(target error) bool {
 		return e.Code == ErrCodeUnknownFile
 	case qos.ErrOverloaded:
 		return e.Code == ErrCodeOverloaded
+	case ErrNotLeader:
+		return e.Code == ErrCodeNotLeader
 	}
 	return false
 }
@@ -1096,21 +1150,32 @@ func AppendError(buf []byte, code uint64, msg string) []byte {
 // uvarint milliseconds (sub-millisecond hints round up to 1ms so the
 // hint survives the wire).
 func AppendErrorRetry(buf []byte, code uint64, msg string, retryAfter time.Duration) []byte {
+	return AppendErrorLeader(buf, code, msg, retryAfter, "")
+}
+
+// AppendErrorLeader encodes an error response with a retry-after hint
+// and a leader redirect hint. A non-empty leader forces the retry
+// uvarint onto the wire (zero included) so the two trailing optional
+// fields stay unambiguous; both empty reproduces the legacy bytes.
+func AppendErrorLeader(buf []byte, code uint64, msg string, retryAfter time.Duration, leader string) []byte {
 	buf = beginFrame(buf, MsgError)
 	buf = codec.AppendUvarint(buf, code)
 	buf = appendString(buf, msg)
-	if retryAfter > 0 {
+	if retryAfter > 0 || leader != "" {
 		ms := uint64(retryAfter.Milliseconds())
-		if ms == 0 {
+		if ms == 0 && retryAfter > 0 {
 			ms = 1
 		}
 		buf = codec.AppendUvarint(buf, ms)
 	}
+	if leader != "" {
+		buf = appendString(buf, leader)
+	}
 	return buf
 }
 
-// DecodeError decodes a MsgError payload. An absent retry-after field
-// decodes as zero.
+// DecodeError decodes a MsgError payload. Absent retry-after and
+// leader fields decode as zero values.
 func DecodeError(payload []byte) (*RemoteError, error) {
 	e := &RemoteError{}
 	var err error
@@ -1126,6 +1191,11 @@ func DecodeError(payload []byte) (*RemoteError, error) {
 			return nil, err
 		}
 		e.RetryAfter = time.Duration(ms) * time.Millisecond
+	}
+	if len(payload) > 0 {
+		if e.Leader, payload, err = readString(payload); err != nil {
+			return nil, err
+		}
 	}
 	return e, wantEmpty(payload)
 }

@@ -241,6 +241,12 @@ type MetaCommitReq struct {
 	StoreName string
 	Nodes     []string
 	Assign    []int
+	// NewEpoch is the exact epoch the driver stamped into the daemon
+	// stores it staged the data on; the service records it verbatim so
+	// the namespace and the data plane agree. It must exceed OldEpoch
+	// and clear the service's current term floor. Zero (the legacy
+	// encoding) lets the service pick OldEpoch+1 raised to the floor.
+	NewEpoch uint64
 }
 
 // AppendMetaCommit encodes req as a frame body.
@@ -256,6 +262,9 @@ func AppendMetaCommit(buf []byte, req *MetaCommitReq) []byte {
 	buf = codec.AppendUvarint(buf, uint64(len(req.Assign)))
 	for _, a := range req.Assign {
 		buf = codec.AppendUvarint(buf, uint64(a))
+	}
+	if req.NewEpoch != 0 {
+		buf = codec.AppendUvarint(buf, req.NewEpoch)
 	}
 	return buf
 }
@@ -301,6 +310,11 @@ func DecodeMetaCommit(payload []byte) (*MetaCommitReq, error) {
 			return nil, err
 		}
 		req.Assign = append(req.Assign, int(a))
+	}
+	if len(payload) > 0 {
+		if req.NewEpoch, payload, err = readUvarint(payload); err != nil {
+			return nil, err
+		}
 	}
 	return req, wantEmpty(payload)
 }
